@@ -1,0 +1,101 @@
+//! Shared result type for baseline optimizers.
+
+use oa_bo::{TopoObservation, TopoRecord};
+
+/// The history of a baseline optimization run, aligned with the record
+/// shape of `oa_bo::topology_bo` so that the experiment harness treats all
+/// methods identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRun {
+    /// Every successfully evaluated topology, in evaluation order.
+    pub history: Vec<TopoRecord>,
+    /// Index of the best record under feasible-first ranking.
+    pub best: Option<usize>,
+}
+
+impl BaselineRun {
+    /// Builds a run from a history, computing the best index.
+    pub fn from_history(history: Vec<TopoRecord>) -> Self {
+        let best = (0..history.len()).reduce(|a, b| {
+            if rank_better(&history[b].observation, &history[a].observation) {
+                b
+            } else {
+                a
+            }
+        });
+        BaselineRun { history, best }
+    }
+
+    /// The best record, if any.
+    pub fn best_record(&self) -> Option<&TopoRecord> {
+        self.best.map(|i| &self.history[i])
+    }
+
+    /// Running best objective among feasible records (Fig. 5 curve).
+    pub fn feasible_best_curve(&self) -> Vec<Option<f64>> {
+        let mut best = None;
+        self.history
+            .iter()
+            .map(|r| {
+                if r.observation.is_feasible() {
+                    best = Some(best.map_or(r.observation.objective, |b: f64| {
+                        b.max(r.observation.objective)
+                    }));
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+pub(crate) fn rank_better(a: &TopoObservation, b: &TopoObservation) -> bool {
+    match (a.is_feasible(), b.is_feasible()) {
+        (true, false) => true,
+        (false, true) => false,
+        (true, true) => a.objective > b.objective,
+        (false, false) => a.violation() < b.violation(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_circuit::Topology;
+
+    fn rec(objective: f64, feasible: bool) -> TopoRecord {
+        TopoRecord {
+            topology: Topology::bare_cascade(),
+            observation: TopoObservation {
+                objective,
+                constraints: vec![if feasible { -1.0 } else { 1.0 }],
+                metrics: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn best_prefers_feasible_over_higher_infeasible() {
+        let run = BaselineRun::from_history(vec![rec(100.0, false), rec(1.0, true)]);
+        assert_eq!(run.best, Some(1));
+    }
+
+    #[test]
+    fn curve_tracks_running_feasible_best() {
+        let run = BaselineRun::from_history(vec![
+            rec(5.0, false),
+            rec(2.0, true),
+            rec(1.0, true),
+            rec(7.0, true),
+        ]);
+        assert_eq!(
+            run.feasible_best_curve(),
+            vec![None, Some(2.0), Some(2.0), Some(7.0)]
+        );
+    }
+
+    #[test]
+    fn empty_history_has_no_best() {
+        let run = BaselineRun::from_history(vec![]);
+        assert!(run.best_record().is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! One-hot feature embedding of topologies ([14]'s "feature embedding").
+//!
+//! Each of the five variable edges contributes a one-hot block over its
+//! legal type set (7 + 7 + 25 + 5 + 5 = 49 dimensions). Both baselines use
+//! this embedding: FE-GA crosses over and mutates in the embedded genotype,
+//! and the VGAE substitute trains its linear autoencoder on these vectors.
+
+use oa_circuit::{SubcircuitType, Topology, VariableEdge};
+
+/// Total dimension of the one-hot embedding.
+pub fn embedding_dim() -> usize {
+    VariableEdge::ALL
+        .iter()
+        .map(|e| e.allowed_types().len())
+        .sum()
+}
+
+/// Per-edge `(offset, size)` of the one-hot blocks.
+pub fn blocks() -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(5);
+    let mut offset = 0;
+    for e in VariableEdge::ALL {
+        let size = e.allowed_types().len();
+        out.push((offset, size));
+        offset += size;
+    }
+    out
+}
+
+/// Embeds a topology as a 49-dimensional one-hot vector.
+///
+/// # Examples
+///
+/// ```
+/// use oa_baselines::{embed, embedding_dim};
+/// use oa_circuit::Topology;
+///
+/// let x = embed(&Topology::bare_cascade());
+/// assert_eq!(x.len(), embedding_dim());
+/// assert_eq!(x.iter().sum::<f64>(), 5.0); // one hot bit per edge
+/// ```
+pub fn embed(topology: &Topology) -> Vec<f64> {
+    let mut x = vec![0.0; embedding_dim()];
+    let mut offset = 0;
+    for e in VariableEdge::ALL {
+        let allowed = e.allowed_types();
+        let pos = allowed
+            .iter()
+            .position(|&t| t == topology.type_on(e))
+            .expect("topology types are legal");
+        x[offset + pos] = 1.0;
+        offset += allowed.len();
+    }
+    x
+}
+
+/// Decodes an arbitrary real vector back to the nearest legal topology:
+/// per edge, the type whose one-hot slot has the largest value.
+///
+/// This is the projection step of the VGAE substitute's decoder; it is
+/// piecewise constant, which is exactly the discontinuity the paper blames
+/// for VGAE-BO's inefficiency.
+///
+/// # Panics
+///
+/// Panics if `x.len() != embedding_dim()`.
+pub fn decode_nearest(x: &[f64]) -> Topology {
+    assert_eq!(x.len(), embedding_dim(), "embedding dimension mismatch");
+    let mut types: [SubcircuitType; 5] = [SubcircuitType::NoConn; 5];
+    let mut offset = 0;
+    for e in VariableEdge::ALL {
+        let allowed = e.allowed_types();
+        let block = &x[offset..offset + allowed.len()];
+        let argmax = block
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite embedding"))
+            .map(|(i, _)| i)
+            .expect("non-empty block");
+        types[e.index()] = allowed[argmax];
+        offset += allowed.len();
+    }
+    Topology::new(types).expect("types drawn from allowed sets")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn embedding_dim_is_49() {
+        assert_eq!(embedding_dim(), 49);
+        let b = blocks();
+        assert_eq!(b.len(), 5);
+        assert_eq!(b[4].0 + b[4].1, 49);
+    }
+
+    #[test]
+    fn embed_decode_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..200 {
+            let t = oa_circuit::Topology::random(&mut rng);
+            assert_eq!(decode_nearest(&embed(&t)), t);
+        }
+    }
+
+    #[test]
+    fn decode_is_robust_to_noise_smaller_than_margin() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = oa_circuit::Topology::random(&mut rng);
+        let mut x = embed(&t);
+        for (i, v) in x.iter_mut().enumerate() {
+            *v += 0.3 * (((i * 31) % 7) as f64 / 7.0 - 0.5);
+        }
+        assert_eq!(decode_nearest(&x), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn decode_rejects_wrong_length() {
+        let _ = decode_nearest(&[0.0; 10]);
+    }
+}

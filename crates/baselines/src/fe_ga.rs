@@ -1,0 +1,286 @@
+//! FE-GA: a genetic algorithm over feature-embedded topology genotypes —
+//! the comparison method built on [14]'s feature embedding.
+//!
+//! A steady-state GA: tournament selection under feasible-first ranking,
+//! uniform crossover over the five embedded genes, per-gene mutation, and
+//! worst-replacement. One offspring is evaluated per iteration so the
+//! simulation budget matches the BO methods (10 initial + 50 iterations).
+
+use std::collections::HashSet;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use oa_bo::{TopoObservation, TopoRecord};
+use oa_circuit::Topology;
+
+use crate::common::{rank_better, BaselineRun};
+
+/// Configuration of the FE-GA baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeGaConfig {
+    /// Population size (also the number of random initial evaluations;
+    /// paper setup: 10).
+    pub population: usize,
+    /// Offspring evaluations after initialization (paper setup: 50).
+    pub n_iter: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Probability that a gene is taken from the second parent during
+    /// uniform crossover.
+    pub crossover_prob: f64,
+    /// Per-gene mutation probability.
+    pub mutation_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FeGaConfig {
+    fn default() -> Self {
+        FeGaConfig {
+            population: 10,
+            n_iter: 50,
+            tournament: 3,
+            crossover_prob: 0.5,
+            mutation_prob: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs the FE-GA baseline against an evaluation oracle.
+///
+/// The oracle contract matches [`oa_bo::topology_bo`]: `None` marks a
+/// failed evaluation (the candidate is discarded).
+///
+/// # Examples
+///
+/// ```
+/// use oa_baselines::{fe_ga, FeGaConfig};
+/// use oa_bo::TopoObservation;
+///
+/// let cfg = FeGaConfig { population: 5, n_iter: 5, ..FeGaConfig::default() };
+/// let run = fe_ga(&cfg, |t| Some(TopoObservation {
+///     objective: t.connected_count() as f64,
+///     constraints: vec![],
+///     metrics: vec![],
+/// }));
+/// assert_eq!(run.history.len(), 10);
+/// ```
+pub fn fe_ga<F>(config: &FeGaConfig, mut oracle: F) -> BaselineRun
+where
+    F: FnMut(&Topology) -> Option<TopoObservation>,
+{
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut visited: HashSet<Topology> = HashSet::new();
+    let mut history: Vec<TopoRecord> = Vec::new();
+    // Population holds indices into `history`.
+    let mut population: Vec<usize> = Vec::new();
+
+    // Initialization: `population` random unique topologies.
+    let mut attempts = 0;
+    while population.len() < config.population.max(2) && attempts < config.population * 50 {
+        attempts += 1;
+        let t = Topology::random(&mut rng);
+        if !visited.insert(t) {
+            continue;
+        }
+        if let Some(obs) = oracle(&t) {
+            history.push(TopoRecord {
+                topology: t,
+                observation: obs,
+            });
+            population.push(history.len() - 1);
+        }
+    }
+
+    for _ in 0..config.n_iter {
+        if population.len() < 2 {
+            break;
+        }
+        let offspring = propose_offspring(config, &history, &population, &visited, &mut rng);
+        let Some(t) = offspring else { continue };
+        visited.insert(t);
+        let Some(obs) = oracle(&t) else { continue };
+        history.push(TopoRecord {
+            topology: t,
+            observation: obs,
+        });
+        let new_idx = history.len() - 1;
+
+        // Replace the worst population member if the offspring beats it.
+        let worst_slot = (0..population.len())
+            .reduce(|a, b| {
+                if rank_better(
+                    &history[population[a]].observation,
+                    &history[population[b]].observation,
+                ) {
+                    b
+                } else {
+                    a
+                }
+            })
+            .expect("population non-empty");
+        if rank_better(
+            &history[new_idx].observation,
+            &history[population[worst_slot]].observation,
+        ) {
+            population[worst_slot] = new_idx;
+        }
+    }
+
+    BaselineRun::from_history(history)
+}
+
+fn tournament_select(
+    config: &FeGaConfig,
+    history: &[TopoRecord],
+    population: &[usize],
+    rng: &mut ChaCha8Rng,
+) -> usize {
+    let mut best = population[rng.gen_range(0..population.len())];
+    for _ in 1..config.tournament.max(1) {
+        let challenger = population[rng.gen_range(0..population.len())];
+        if rank_better(&history[challenger].observation, &history[best].observation) {
+            best = challenger;
+        }
+    }
+    best
+}
+
+/// Uniform crossover over the 5 embedded genes plus per-gene mutation;
+/// retries a few times to escape already-visited genotypes.
+fn propose_offspring(
+    config: &FeGaConfig,
+    history: &[TopoRecord],
+    population: &[usize],
+    visited: &HashSet<Topology>,
+    rng: &mut ChaCha8Rng,
+) -> Option<Topology> {
+    for _ in 0..20 {
+        let pa = history[tournament_select(config, history, population, rng)].topology;
+        let pb = history[tournament_select(config, history, population, rng)].topology;
+        let mut child = pa;
+        for edge in oa_circuit::VariableEdge::ALL {
+            if rng.gen::<f64>() < config.crossover_prob {
+                child = child
+                    .with_type(edge, pb.type_on(edge))
+                    .expect("parent genes are legal");
+            }
+            if rng.gen::<f64>() < config.mutation_prob {
+                child = child.mutate_edge(edge, rng);
+            }
+        }
+        if !visited.contains(&child) {
+            return Some(child);
+        }
+    }
+    // Fully explored neighborhood: fall back to a fresh random topology.
+    for _ in 0..50 {
+        let t = Topology::random(rng);
+        if !visited.contains(&t) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_circuit::{PassiveKind, SubcircuitType, VariableEdge};
+
+    fn oracle(t: &Topology) -> Option<TopoObservation> {
+        let mut score = t.connected_count() as f64;
+        if matches!(
+            t.type_on(VariableEdge::V1Vout),
+            SubcircuitType::Passive(PassiveKind::C | PassiveKind::SeriesRc)
+        ) {
+            score += 5.0;
+        }
+        Some(TopoObservation {
+            objective: score,
+            constraints: vec![-1.0],
+            metrics: vec![],
+        })
+    }
+
+    #[test]
+    fn budget_matches_population_plus_iterations() {
+        let cfg = FeGaConfig {
+            population: 8,
+            n_iter: 20,
+            ..FeGaConfig::default()
+        };
+        let run = fe_ga(&cfg, oracle);
+        assert_eq!(run.history.len(), 28);
+    }
+
+    #[test]
+    fn improves_over_generations() {
+        let cfg = FeGaConfig {
+            population: 10,
+            n_iter: 40,
+            seed: 3,
+            ..FeGaConfig::default()
+        };
+        let run = fe_ga(&cfg, oracle);
+        let init_best = run.history[..10]
+            .iter()
+            .map(|r| r.observation.objective)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let final_best = run
+            .best_record()
+            .map(|r| r.observation.objective)
+            .unwrap();
+        assert!(final_best >= init_best);
+        assert!(final_best >= 8.0, "GA did not improve: {final_best}");
+    }
+
+    #[test]
+    fn never_reevaluates_topologies() {
+        let cfg = FeGaConfig {
+            population: 10,
+            n_iter: 30,
+            seed: 9,
+            ..FeGaConfig::default()
+        };
+        let run = fe_ga(&cfg, oracle);
+        let set: HashSet<Topology> = run.history.iter().map(|r| r.topology).collect();
+        assert_eq!(set.len(), run.history.len());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = FeGaConfig {
+            population: 6,
+            n_iter: 10,
+            seed: 77,
+            ..FeGaConfig::default()
+        };
+        let a = fe_ga(&cfg, oracle);
+        let b = fe_ga(&cfg, oracle);
+        let ta: Vec<_> = a.history.iter().map(|r| r.topology).collect();
+        let tb: Vec<_> = b.history.iter().map(|r| r.topology).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn survives_failing_oracle() {
+        let cfg = FeGaConfig {
+            population: 6,
+            n_iter: 10,
+            seed: 5,
+            ..FeGaConfig::default()
+        };
+        let run = fe_ga(&cfg, |t| {
+            if t.index() % 2 == 0 {
+                None
+            } else {
+                oracle(t)
+            }
+        });
+        assert!(run.history.iter().all(|r| r.topology.index() % 2 == 1));
+    }
+}

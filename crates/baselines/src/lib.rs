@@ -1,0 +1,39 @@
+//! Baseline topology optimizers for the INTO-OA comparison (Section IV-A).
+//!
+//! * [`fe_ga`] — FE-GA: a genetic algorithm over the feature-embedded
+//!   topology genotype of [14].
+//! * [`vgae_bo`] — VGAE-BO: Bayesian optimization in a continuous latent
+//!   space learned by a (linear, see DESIGN.md §2) graph autoencoder, after
+//!   [16].
+//!
+//! Both baselines consume the same evaluation-oracle interface as
+//! [`oa_bo::topology_bo`], so the experiment harness drives all methods
+//! with identical simulation budgets.
+//!
+//! # Examples
+//!
+//! ```
+//! use oa_baselines::{fe_ga, FeGaConfig};
+//! use oa_bo::TopoObservation;
+//!
+//! let cfg = FeGaConfig { population: 4, n_iter: 4, ..FeGaConfig::default() };
+//! let run = fe_ga(&cfg, |t| Some(TopoObservation {
+//!     objective: t.connected_count() as f64,
+//!     constraints: vec![],
+//!     metrics: vec![],
+//! }));
+//! assert!(run.best_record().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod encoding;
+mod fe_ga;
+mod vgae_bo;
+
+pub use common::BaselineRun;
+pub use encoding::{blocks, decode_nearest, embed, embedding_dim};
+pub use fe_ga::{fe_ga, FeGaConfig};
+pub use vgae_bo::{vgae_bo, LatentSpace, VgaeBoConfig};

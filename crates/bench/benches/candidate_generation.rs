@@ -1,0 +1,61 @@
+//! Microbenchmarks of the candidate-generation primitives of Section
+//! III-D: uniform sampling, mutation, and encoding round-trips — the
+//! per-iteration cost of building Algorithm 1's candidate pool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oa_circuit::Topology;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_random_sampling(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    c.bench_function("topology_random_sample", |b| {
+        b.iter(|| std::hint::black_box(Topology::random(&mut rng)))
+    });
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let base = Topology::random(&mut rng);
+    c.bench_function("topology_mutate", |b| {
+        b.iter(|| std::hint::black_box(base.mutate(&mut rng)))
+    });
+}
+
+fn bench_index_roundtrip(c: &mut Criterion) {
+    c.bench_function("topology_index_roundtrip", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 9973) % oa_circuit::DESIGN_SPACE_SIZE;
+            let t = Topology::from_index(i).expect("in range");
+            std::hint::black_box(t.index())
+        })
+    });
+}
+
+fn bench_pool_of_200(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let elites: Vec<Topology> = (0..5).map(|_| Topology::random(&mut rng)).collect();
+    c.bench_function("candidate_pool_200_mixed", |b| {
+        b.iter(|| {
+            let mut pool = Vec::with_capacity(200);
+            for k in 0..200 {
+                if k % 2 == 0 {
+                    pool.push(elites[k % elites.len()].mutate(&mut rng));
+                } else {
+                    pool.push(Topology::random(&mut rng));
+                }
+            }
+            std::hint::black_box(pool.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_random_sampling,
+    bench_mutation,
+    bench_index_roundtrip,
+    bench_pool_of_200
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Microbenchmarks of the AC simulator: single-frequency MNA solves and
+//! the full measurement pipeline (sweep + unity-crossing refinement) — one
+//! "Hspice run" of the reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oa_circuit::{elaborate, ParamSpace, PassiveKind, Process, SubcircuitType, Topology, VariableEdge};
+use oa_sim::{measure, AcOptions, MnaSystem};
+
+fn miller_netlist() -> oa_circuit::Netlist {
+    let t = Topology::bare_cascade()
+        .with_type(
+            VariableEdge::V1Vout,
+            SubcircuitType::Passive(PassiveKind::SeriesRc),
+        )
+        .expect("legal");
+    let space = ParamSpace::for_topology(&t);
+    elaborate(&t, &space.nominal(), &Process::default(), 10e-12).expect("elaborates")
+}
+
+fn bench_single_solve(c: &mut Criterion) {
+    let netlist = miller_netlist();
+    let sys = MnaSystem::new(&netlist, 1e-12);
+    c.bench_function("mna_transfer_single_freq", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let f = 1e3 * (1.0 + (k % 100) as f64);
+            std::hint::black_box(sys.transfer(f).expect("solves"))
+        })
+    });
+}
+
+fn bench_full_measurement(c: &mut Criterion) {
+    let netlist = miller_netlist();
+    let opts = AcOptions::default();
+    c.bench_function("ac_measure_full_sweep", |b| {
+        b.iter(|| std::hint::black_box(measure(&netlist, &opts).expect("measures")))
+    });
+}
+
+fn bench_elaboration(c: &mut Criterion) {
+    let t = Topology::bare_cascade()
+        .with_type(
+            VariableEdge::V1Vout,
+            SubcircuitType::Passive(PassiveKind::SeriesRc),
+        )
+        .expect("legal");
+    let space = ParamSpace::for_topology(&t);
+    let values = space.nominal();
+    let process = Process::default();
+    c.bench_function("netlist_elaboration", |b| {
+        b.iter(|| std::hint::black_box(elaborate(&t, &values, &process, 10e-12).expect("ok")))
+    });
+}
+
+criterion_group!(benches, bench_single_solve, bench_full_measurement, bench_elaboration);
+criterion_main!(benches);

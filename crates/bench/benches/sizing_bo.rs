@@ -1,0 +1,57 @@
+//! End-to-end benchmark of the sizing inner loop: one topology evaluation
+//! as performed inside every outer-loop iteration (constrained BO against
+//! the AC simulator). This is the unit the paper counts as "#
+//! simulations / 40".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use into_oa::{Evaluator, Spec};
+use oa_bo::BoConfig;
+use oa_circuit::{PassiveKind, SubcircuitType, Topology, VariableEdge};
+
+fn miller() -> Topology {
+    Topology::bare_cascade()
+        .with_type(
+            VariableEdge::V1Vout,
+            SubcircuitType::Passive(PassiveKind::C),
+        )
+        .expect("legal")
+}
+
+fn bench_sizing(c: &mut Criterion) {
+    let evaluator = Evaluator::new(Spec::s1());
+    let topology = miller();
+    let mut group = c.benchmark_group("sizing_bo");
+    group.sample_size(10);
+    for (init, iters) in [(5usize, 5usize), (10, 30)] {
+        let cfg = BoConfig {
+            n_init: init,
+            n_iter: iters,
+            n_candidates: 100,
+            seed: 1,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{init}+{iters}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let (design, sims) = evaluator.size(&topology, cfg);
+                    std::hint::black_box((design.map(|d| d.fom), sims))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_simulation(c: &mut Criterion) {
+    let evaluator = Evaluator::new(Spec::s1());
+    let topology = miller();
+    let space = oa_circuit::ParamSpace::for_topology(&topology);
+    let values = space.nominal();
+    c.bench_function("single_opamp_simulation", |b| {
+        b.iter(|| std::hint::black_box(evaluator.simulate(&topology, &values).expect("simulates")))
+    });
+}
+
+criterion_group!(benches, bench_sizing, bench_single_simulation);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmarks of the WL kernel: graph construction, feature
+//! extraction at several depths, and kernel evaluation — the per-candidate
+//! cost inside Algorithm 1's acquisition loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oa_circuit::Topology;
+use oa_graph::{CircuitGraph, WlFeaturizer};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let topologies: Vec<Topology> = (0..64).map(|_| Topology::random(&mut rng)).collect();
+    c.bench_function("circuit_graph_from_topology", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let g = CircuitGraph::from_topology(&topologies[i % topologies.len()]);
+            i += 1;
+            std::hint::black_box(g.node_count())
+        })
+    });
+}
+
+fn bench_featurize(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let graphs: Vec<CircuitGraph> = (0..64)
+        .map(|_| CircuitGraph::from_topology(&Topology::random(&mut rng)))
+        .collect();
+    let mut group = c.benchmark_group("wl_featurize");
+    for h in [0usize, 2, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            let mut wl = WlFeaturizer::new();
+            let mut i = 0;
+            b.iter(|| {
+                let f = wl.featurize(&graphs[i % graphs.len()], h);
+                i += 1;
+                std::hint::black_box(f.max_h())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_eval(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut wl = WlFeaturizer::new();
+    let feats: Vec<_> = (0..64)
+        .map(|_| {
+            wl.featurize(
+                &CircuitGraph::from_topology(&Topology::random(&mut rng)),
+                4,
+            )
+        })
+        .collect();
+    c.bench_function("wl_kernel_h4_pairwise", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let a = &feats[i % feats.len()];
+            let bb = &feats[(i * 7 + 3) % feats.len()];
+            i += 1;
+            std::hint::black_box(a.kernel(bb, 4))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_graph_construction,
+    bench_featurize,
+    bench_kernel_eval
+);
+criterion_main!(benches);

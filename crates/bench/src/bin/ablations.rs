@@ -1,0 +1,118 @@
+//! Ablation study of INTO-OA's design choices (the hooks called out in
+//! DESIGN.md §4):
+//!
+//! * **WL depth** — extraction depth 0 (bag of subcircuit types) vs. 2 vs.
+//!   4 (the default; the GP still selects `h` by marginal likelihood
+//!   below the cap). The paper argues deeper WL features capture
+//!   circuit-level structure; depth 0 ablates that away.
+//! * **Candidate pool size** — 25 / 100 / 200 candidates per iteration.
+//! * **Elite count** — how many best topologies seed the mutations.
+//!
+//! Each configuration runs INTO-OA on S-1 over the profile's seeds and
+//! reports success rate and mean final FoM.
+
+use into_oa::{optimize, IntoOaConfig, Spec};
+use oa_bench::Profile;
+use oa_bo::TopoBoConfig;
+
+struct Ablation {
+    name: &'static str,
+    wl_levels: usize,
+    pool_size: usize,
+    elite_count: usize,
+}
+
+fn main() {
+    let profile = Profile::from_env();
+    let spec = Spec::s1();
+    println!(
+        "INTO-OA ablations on {} — profile '{}' ({} runs per row)",
+        spec.name, profile.name, profile.runs
+    );
+
+    let base = profile.topo(0);
+    let ablations = [
+        Ablation {
+            name: "default (h<=4, pool, elite 5)",
+            wl_levels: 4,
+            pool_size: base.pool_size,
+            elite_count: 5,
+        },
+        Ablation {
+            name: "WL depth 0 (bag of types)",
+            wl_levels: 0,
+            pool_size: base.pool_size,
+            elite_count: 5,
+        },
+        Ablation {
+            name: "WL depth 2",
+            wl_levels: 2,
+            pool_size: base.pool_size,
+            elite_count: 5,
+        },
+        Ablation {
+            name: "small pool (25)",
+            wl_levels: 4,
+            pool_size: 25,
+            elite_count: 5,
+        },
+        Ablation {
+            name: "single elite",
+            wl_levels: 4,
+            pool_size: base.pool_size,
+            elite_count: 1,
+        },
+        Ablation {
+            name: "broad elites (15)",
+            wl_levels: 4,
+            pool_size: base.pool_size,
+            elite_count: 15,
+        },
+    ];
+
+    println!(
+        "{:<32} {:>9} {:>14} {:>10}",
+        "configuration", "success", "mean FoM", "mean sims"
+    );
+    for ab in &ablations {
+        let mut succ = 0usize;
+        let mut fom_sum = 0.0;
+        let mut fom_n = 0usize;
+        let mut sims_sum = 0usize;
+        for seed in 0..profile.runs {
+            let config = IntoOaConfig {
+                topo: TopoBoConfig {
+                    wl_levels: ab.wl_levels,
+                    pool_size: ab.pool_size,
+                    elite_count: ab.elite_count,
+                    seed: seed as u64,
+                    ..profile.topo(seed as u64)
+                },
+                sizing: profile.sizing(seed as u64),
+                ..IntoOaConfig::default()
+            };
+            let run = optimize(&spec, &config);
+            if run.succeeded() {
+                succ += 1;
+            }
+            if let Some(best) = run.best_design().filter(|d| d.feasible) {
+                fom_sum += best.fom;
+                fom_n += 1;
+            }
+            sims_sum += run.total_sims;
+        }
+        let mean_fom = if fom_n > 0 {
+            format!("{:>14.2}", fom_sum / fom_n as f64)
+        } else {
+            format!("{:>14}", "-")
+        };
+        println!(
+            "{:<32} {:>6}/{:<2} {} {:>10}",
+            ab.name,
+            succ,
+            profile.runs,
+            mean_fom,
+            sims_sum / profile.runs
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Reproduces **Fig. 5**: behavior-level optimization curves (best feasible
+//! FoM vs. number of simulations), averaged over the profile's runs, for
+//! all five specs × five methods.
+//!
+//! Emits one CSV per spec under `results/fig5_<spec>.csv` and prints a
+//! compact ASCII rendition. Budget scale: `OA_PROFILE=paper|quick|smoke`.
+
+use std::collections::BTreeMap;
+use std::fs;
+
+use into_oa::Spec;
+use oa_bench::{mean_curve, results_dir, run_cached, sim_grid, Method, Profile, RunSummary};
+
+fn main() {
+    let profile = Profile::from_env();
+    println!(
+        "Fig. 5 reproduction — profile '{}' ({} runs, {} topologies/run, {} sims/topology)",
+        profile.name,
+        profile.runs,
+        profile.topologies_per_run(),
+        profile.sims_per_topology()
+    );
+
+    for spec in Spec::all() {
+        println!("\n=== {spec} ===");
+        let mut all_runs: BTreeMap<Method, Vec<RunSummary>> = BTreeMap::new();
+        for method in Method::ALL {
+            let runs: Vec<RunSummary> = (0..profile.runs)
+                .map(|seed| run_cached(&spec, method, seed as u64, &profile))
+                .collect();
+            all_runs.insert(method, runs);
+        }
+
+        // Common simulation grid across methods.
+        let flattened: Vec<RunSummary> = all_runs.values().flatten().cloned().collect();
+        let grid = sim_grid(&flattened, 25);
+
+        // CSV: sims, then one mean-curve column per method.
+        let mut csv = String::from("sims");
+        for method in Method::ALL {
+            csv.push_str(&format!(",{}", method.label()));
+        }
+        csv.push('\n');
+        let curves: BTreeMap<Method, Vec<Option<f64>>> = all_runs
+            .iter()
+            .map(|(&m, runs)| (m, mean_curve(runs, &grid)))
+            .collect();
+        for (i, &g) in grid.iter().enumerate() {
+            csv.push_str(&g.to_string());
+            for method in Method::ALL {
+                match curves[&method][i] {
+                    Some(v) => csv.push_str(&format!(",{v:.4}")),
+                    None => csv.push(','),
+                }
+            }
+            csv.push('\n');
+        }
+        let dir = results_dir();
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("fig5_{}.csv", spec.name));
+        if let Err(e) = fs::write(&path, &csv) {
+            eprintln!("warning: failed to write {}: {e}", path.display());
+        } else {
+            println!("wrote {}", path.display());
+        }
+
+        // ASCII summary: final mean FoM per method plus sparkline-ish rows.
+        println!(
+            "{:<10} {:>12}   curve (mean best feasible FoM over sims)",
+            "method", "final FoM"
+        );
+        for method in Method::ALL {
+            let c = &curves[&method];
+            let last = c.iter().rev().flatten().next().copied();
+            let line: String = c
+                .iter()
+                .map(|v| match v {
+                    None => ' ',
+                    Some(x) => {
+                        let max = c.iter().flatten().fold(1e-12_f64, |a, &b| a.max(b));
+                        let lvl = (x / max * 8.0).ceil().clamp(1.0, 8.0) as usize;
+                        [' ', '.', ':', '-', '=', '+', '*', '#', '@'][lvl]
+                    }
+                })
+                .collect();
+            println!(
+                "{:<10} {:>12}   |{line}|",
+                method.label(),
+                oa_bench::fmt_opt(last, 12, 1)
+            );
+        }
+    }
+}

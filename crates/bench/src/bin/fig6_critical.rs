@@ -1,0 +1,109 @@
+//! Reproduces **§IV-B / Fig. 6**: identification of critical structures.
+//!
+//! Runs INTO-OA on one spec, trains the per-metric WL-GP models on the run
+//! history, reports the gradient of GBW and PM with respect to every
+//! connected subcircuit structure of the best topology, and validates the
+//! gradients with remove-and-resimulate sensitivity analysis, exactly as
+//! the paper does for the `-gmRs` (vin–v2) and `RCs` (v1–vout)
+//! subcircuits.
+
+use into_oa::{
+    optimize, removal_sensitivity, Evaluator, IntoOaConfig, MetricModels, Spec,
+};
+use oa_bench::Profile;
+
+fn main() {
+    let profile = Profile::from_env();
+    let spec = Spec::s4(); // the paper's example circuit comes from S-4
+    println!(
+        "Critical-structure identification (Fig. 6 / §IV-B) — spec {} profile '{}'",
+        spec.name, profile.name
+    );
+
+    let config = IntoOaConfig {
+        topo: profile.topo(2024),
+        sizing: profile.sizing(2024),
+        ..IntoOaConfig::default()
+    };
+    let run = optimize(&spec, &config);
+    let Some(best) = run.best_design().cloned() else {
+        println!("no design found — increase the profile budget");
+        return;
+    };
+    println!(
+        "\nbest topology: {}\n  gain {:.2} dB, GBW {:.3} MHz, PM {:.2} deg, power {:.2} uW, FoM {:.2}",
+        best.topology,
+        best.performance.gain_db,
+        best.performance.gbw_hz / 1e6,
+        best.performance.pm_deg,
+        best.performance.power_w / 1e-6,
+        best.fom
+    );
+
+    let models = match MetricModels::fit(&run, 4) {
+        Ok(m) => m,
+        Err(e) => {
+            println!("failed to train WL-GP metric models: {e}");
+            return;
+        }
+    };
+
+    println!("\nWL-GP gradients (Eq. 5) per connected subcircuit structure:");
+    println!(
+        "{:<10} {:<10} {:>12} {:>12} {:>12} {:>12}",
+        "edge", "type", "d(gain_db)", "d(log10GBW)", "d(pm_deg)", "d(log10P)"
+    );
+    let report = models.structure_report(&best.topology);
+    for impact in &report {
+        let g: Vec<f64> = impact.gradients.iter().map(|(_, v)| *v).collect();
+        println!(
+            "{:<10} {:<10} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            impact.edge.to_string(),
+            impact.ty.to_string(),
+            g[0],
+            g[1],
+            g[2],
+            g[3]
+        );
+    }
+
+    println!("\nValidation: remove-and-resimulate sensitivity (paper §IV-B):");
+    println!(
+        "{:<10} {:<10} {:>14} {:>12}  consistency with gradient sign",
+        "edge", "type", "ΔGBW(MHz)", "ΔPM(deg)"
+    );
+    let evaluator = Evaluator::new(spec);
+    for impact in &report {
+        let sens = match removal_sensitivity(&evaluator, &best.topology, &best.values, impact.edge)
+        {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{:<10} removal failed: {e}", impact.edge.to_string());
+                continue;
+            }
+        };
+        // Gradient of log10 GBW wrt the structure count: positive gradient
+        // means the structure helps GBW, so removing it should reduce GBW
+        // (ΔGBW < 0). Same logic for PM.
+        let g_gbw = impact.gradients[1].1;
+        let g_pm = impact.gradients[2].1;
+        let gbw_consistent = (g_gbw > 0.0) == (sens.delta_gbw_hz() < 0.0);
+        let pm_consistent = (g_pm > 0.0) == (sens.delta_pm_deg() < 0.0);
+        println!(
+            "{:<10} {:<10} {:>14.4} {:>12.2}  GBW: {}  PM: {}",
+            impact.edge.to_string(),
+            impact.ty.to_string(),
+            sens.delta_gbw_hz() / 1e6,
+            sens.delta_pm_deg(),
+            if gbw_consistent { "consistent" } else { "mixed" },
+            if pm_consistent { "consistent" } else { "mixed" },
+        );
+    }
+
+    println!("\nStructure descriptions (h = 1 neighborhoods):");
+    for impact in &report {
+        if let Some(desc) = models.describe_structure(&best.topology, impact.edge) {
+            println!("  {}: {}", impact.edge, desc);
+        }
+    }
+}

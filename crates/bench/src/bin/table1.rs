@@ -1,0 +1,24 @@
+//! Reproduces **Table I**: the design-specification sets.
+
+use into_oa::Spec;
+
+fn main() {
+    println!("TABLE I: The Design Specification Sets");
+    println!(
+        "{:<6} {:>9} {:>9} {:>6} {:>10} {:>8}",
+        "Specs", "Gain(dB)", "GBW(MHz)", "PM(deg)", "Power(uW)", "CL(pF)"
+    );
+    for s in Spec::all() {
+        println!(
+            "{:<6} {:>9} {:>9} {:>6} {:>10} {:>8}",
+            s.name,
+            format!(">{}", s.min_gain_db),
+            format!(">{}", s.min_gbw_hz / 1e6),
+            format!(">{}", s.min_pm_deg),
+            format!("<{}", s.max_power_w / 1e-6),
+            s.cl_farads / 1e-12
+        );
+    }
+    println!();
+    println!("Supply voltage: 1.8 V;  FoM = GBW[MHz]*CL[pF]/Power[mW]  (Eq. 6)");
+}

@@ -1,0 +1,55 @@
+//! Reproduces **Table II**: behavior-level op-amp optimization results —
+//! success rate, mean final FoM of successful runs, mean simulations to
+//! reach the per-spec reference FoM, and speedup relative to the slowest
+//! method. Budget scale: `OA_PROFILE=paper|quick|smoke`.
+
+use std::collections::BTreeMap;
+
+use into_oa::Spec;
+use oa_bench::{
+    fmt_opt, reference_fom, run_cached, table2_stats, Method, Profile, RunSummary,
+};
+
+fn main() {
+    let profile = Profile::from_env();
+    println!(
+        "TABLE II reproduction — profile '{}' ({} runs per cell)",
+        profile.name, profile.runs
+    );
+    println!(
+        "{:<6} {:<10} {:>9} {:>12} {:>8} {:>9}",
+        "Specs", "Method", "Suc.Rate", "Final FoM", "# Sim.", "Speedup"
+    );
+
+    for spec in Spec::all() {
+        let mut all_runs: BTreeMap<Method, Vec<RunSummary>> = BTreeMap::new();
+        for method in Method::ALL {
+            let runs = (0..profile.runs)
+                .map(|seed| run_cached(&spec, method, seed as u64, &profile))
+                .collect();
+            all_runs.insert(method, runs);
+        }
+        let stats = table2_stats(&all_runs);
+        let reference = reference_fom(&all_runs);
+        for method in Method::ALL {
+            let c = &stats[&method];
+            println!(
+                "{:<6} {:<10} {:>6}/{:<2} {} {} {}",
+                spec.name,
+                method.label(),
+                c.success.0,
+                c.success.1,
+                fmt_opt(c.final_fom, 12, 2),
+                fmt_opt(c.sims_to_ref, 8, 0),
+                match c.speedup {
+                    Some(s) => format!("{s:>8.2}x"),
+                    None => format!("{:>9}", "-"),
+                }
+            );
+        }
+        if let Some(r) = reference {
+            println!("       (reference FoM for '# Sim.': {r:.2})");
+        }
+        println!();
+    }
+}

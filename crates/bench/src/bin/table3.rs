@@ -1,0 +1,60 @@
+//! Reproduces **Table III**: behavior-level performance of the best
+//! op-amp found by each method on each spec (Gain / GBW / PM / Power /
+//! FoM). Uses the cached runs produced for Table II / Fig. 5.
+
+use into_oa::Spec;
+use oa_bench::{run_cached, BestDesign, Method, Profile};
+
+fn best_across_runs(spec: &Spec, method: Method, profile: &Profile) -> Option<BestDesign> {
+    let mut best: Option<BestDesign> = None;
+    for seed in 0..profile.runs {
+        let run = run_cached(spec, method, seed as u64, profile);
+        if let Some(b) = run.best {
+            let replace = match &best {
+                None => true,
+                Some(cur) => match (b.feasible, cur.feasible) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    _ => b.fom > cur.fom,
+                },
+            };
+            if replace {
+                best = Some(b);
+            }
+        }
+    }
+    best
+}
+
+fn main() {
+    let profile = Profile::from_env();
+    println!(
+        "TABLE III reproduction — profile '{}' (best of {} runs)",
+        profile.name, profile.runs
+    );
+    println!(
+        "{:<6} {:<10} {:>9} {:>9} {:>7} {:>10} {:>12}  feasible",
+        "Specs", "Method", "Gain(dB)", "GBW(MHz)", "PM(deg)", "Power(uW)", "FoM"
+    );
+    // The paper's Table III compares the three headline methods.
+    let methods = [Method::FeGa, Method::VgaeBo, Method::IntoOa];
+    for spec in Spec::all() {
+        for method in methods {
+            match best_across_runs(&spec, method, &profile) {
+                Some(b) => println!(
+                    "{:<6} {:<10} {:>9.2} {:>9.3} {:>7.2} {:>10.2} {:>12.2}  {}",
+                    spec.name,
+                    method.label(),
+                    b.perf.gain_db,
+                    b.perf.gbw_hz / 1e6,
+                    b.perf.pm_deg,
+                    b.perf.power_w / 1e-6,
+                    b.fom,
+                    b.feasible
+                ),
+                None => println!("{:<6} {:<10} (no design found)", spec.name, method.label()),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,215 @@
+//! Reproduces **Fig. 7 + Table IV**: gradient-guided refinement of the two
+//! literature op-amps C1 [19] and C2 [20] toward S-5.
+//!
+//! The trusted designs are sized under a mildly relaxed S-5 (emulating the
+//! published designs' original target) and then held to the full S-5,
+//! which they narrowly fail on one metric — C1 on phase margin, C2 on
+//! gain, as in the paper. WL-GP metric models trained on an S-5
+//! optimization run guide the single-subcircuit replacement; only the
+//! modified part is re-sized.
+
+use into_oa::{
+    literature, optimize, refine, Evaluator, IntoOaConfig, MetricModels, RefineConfig, Spec,
+};
+use oa_bench::Profile;
+use oa_circuit::{DeviceValues, Topology};
+use oa_sim::OpAmpPerformance;
+
+fn row(name: &str, spec_name: &str, perf: &OpAmpPerformance, fom: f64, feasible: bool) {
+    println!(
+        "{:<4} {:>9.2} {:>9.3} {:>7.2} {:>10.2} {:>12.1}  {} {}",
+        name,
+        perf.gain_db,
+        perf.gbw_hz / 1e6,
+        perf.pm_deg,
+        perf.power_w / 1e-6,
+        fom,
+        if feasible { "meets" } else { "violates" },
+        spec_name,
+    );
+}
+
+/// Sizes a trusted topology under a *relaxed* version of S-5 (one
+/// constraint loosened), emulating a published design that drives the
+/// heavy load competently but narrowly misses the new spec on one metric —
+/// the paper's C1 misses PM (46.9° < 55°), C2 misses gain (82 dB < 85 dB).
+fn trusted_sizing(
+    topology: &Topology,
+    relaxed: &Spec,
+    full: &Spec,
+    profile: &Profile,
+    seed: u64,
+) -> Option<DeviceValues> {
+    let evaluator = Evaluator::new(*relaxed);
+    let checker = Evaluator::new(*full);
+    let mut fallback: Option<(f64, DeviceValues)> = None;
+    // Scan a few sizing seeds for a trusted design that narrowly misses
+    // the full spec (small positive violation) — the paper's scenario.
+    for k in 0..16 {
+        let (design, _) = evaluator.size(topology, &profile.sizing(seed + k));
+        let Some(d) = design else { continue };
+        let Ok(perf) = checker.simulate(&d.topology, &d.values) else {
+            continue;
+        };
+        let cons = full.constraints(&perf);
+        let violation: f64 = cons.iter().map(|c| c.max(0.0)).sum();
+        let violated = cons.iter().filter(|&&c| c > 0.0).count();
+        // "Narrowly" = one violated constraint, within ~10° of PM / 3 dB of
+        // gain / a third of a decade of GBW — the band where a
+        // one-subcircuit touch-up is a reasonable ask (the paper's C1
+        // missed PM by 8.1°). Among acceptable candidates prefer the one
+        // with the most slack on its *met* constraints: the touch-up will
+        // trade some of that slack for the missing margin.
+        let acceptable = violated == 1 && violation < 0.35;
+        let score = if acceptable {
+            // Most negative (largest) slack first.
+            -cons
+                .iter()
+                .filter(|&&c| c <= 0.0)
+                .map(|&c| -c)
+                .fold(0.0_f64, |a, b| a + b.min(0.5))
+        } else {
+            // Fall back to the least-violating design, ranked far behind
+            // every acceptable candidate.
+            1.0 + violation
+        };
+        let better = match &fallback {
+            None => true,
+            Some((best, _)) => score < *best,
+        };
+        if better && violation > 0.0 {
+            fallback = Some((score, d.values));
+        }
+    }
+    fallback.map(|(_, v)| v)
+}
+
+fn main() {
+    let profile = Profile::from_env();
+    let spec = Spec::s5();
+    println!(
+        "TABLE IV reproduction (topology refinement toward {}) — profile '{}'",
+        spec.name, profile.name
+    );
+
+    // Metric models come from an S-5 optimization run, "trained during
+    // optimization" as in the paper.
+    println!("\ntraining WL-GP metric models on an S-5 optimization run…");
+    let run = optimize(
+        &spec,
+        &IntoOaConfig {
+            topo: profile.topo(555),
+            sizing: profile.sizing(555),
+            ..IntoOaConfig::default()
+        },
+    );
+    let models = match MetricModels::fit(&run, 4) {
+        Ok(m) => m,
+        Err(e) => {
+            println!("failed to train metric models: {e}");
+            return;
+        }
+    };
+
+    println!(
+        "\n{:<4} {:>9} {:>9} {:>7} {:>10} {:>12}",
+        "Ckt", "Gain(dB)", "GBW(MHz)", "PM(deg)", "Power(uW)", "FoM"
+    );
+
+    // Like the paper's originals, each trusted design narrowly misses the
+    // target on one FoM-coupled metric (the sizing presses against the
+    // relaxed bound): C1 and C2 both land just under the 55° phase-margin
+    // line (the paper's C1 case; its C2 misses gain instead — gain is
+    // topology-fixed in our behavioral model, so the PM shortfall is the
+    // faithful analogue).
+    let c1_design_spec = Spec {
+        min_pm_deg: 47.0, // the PM shortfall the refinement must close
+        ..spec
+    };
+    let c2_design_spec = Spec {
+        min_pm_deg: 47.0,
+        ..spec
+    };
+    for (name, refined_name, topology, target, relaxed, seed) in [
+        ("C1", "R1", literature::c1(), spec, c1_design_spec, 71u64),
+        ("C2", "R2", literature::c2(), spec, c2_design_spec, 72u64),
+    ] {
+        let evaluator = Evaluator::new(target);
+        let Some(values) = trusted_sizing(&topology, &relaxed, &target, &profile, seed) else {
+            println!("{name}: trusted sizing failed");
+            continue;
+        };
+        let original = match evaluator.simulate(&topology, &values) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{name}: simulation failed: {e}");
+                continue;
+            }
+        };
+        row(name, target.name, &original, target.fom(&original), target.is_met_by(&original));
+
+        let outcome = match refine(
+            &evaluator,
+            &topology,
+            &values,
+            &models,
+            &RefineConfig {
+                max_attempts: 15,
+                resize: oa_bo::BoConfig {
+                    n_init: 8,
+                    n_iter: 16,
+                    n_candidates: 80,
+                    seed: 0,
+                },
+            },
+        )
+        {
+            Ok(o) => o,
+            Err(e) => {
+                println!("{name}: refinement failed: {e}");
+                continue;
+            }
+        };
+        match &outcome.refined {
+            Some(d) if outcome.attempts.is_empty() => {
+                row(refined_name, target.name, &d.performance, d.fom, d.feasible);
+                println!("     already meets {}; no modification needed", target.name);
+            }
+            Some(d) => {
+                row(refined_name, target.name, &d.performance, d.fom, d.feasible);
+                println!(
+                    "     replaced {} on {} with {} ({} sims, {} attempt(s); rest of the design untouched)",
+                    outcome.old_ty,
+                    outcome.edge,
+                    d.topology.type_on(outcome.edge),
+                    outcome.total_sims,
+                    outcome.attempts.len().max(1)
+                );
+            }
+            None => {
+                println!(
+                    "     refinement of {} on {} did not reach {} within {} sims ({} attempts)",
+                    outcome.old_ty,
+                    outcome.edge,
+                    target.name,
+                    outcome.total_sims,
+                    outcome.attempts.len()
+                );
+                let least_violating = outcome
+                    .attempts
+                    .iter()
+                    .filter_map(|a| a.design.as_ref())
+                    .min_by(|a, b| {
+                        let va: f64 = target.constraints(&a.performance).iter().map(|c| c.max(0.0)).sum();
+                        let vb: f64 = target.constraints(&b.performance).iter().map(|c| c.max(0.0)).sum();
+                        va.partial_cmp(&vb).expect("finite violations")
+                    });
+                if let Some(best) = least_violating {
+                    row(refined_name, target.name, &best.performance, best.fom, best.feasible);
+                }
+            }
+        }
+        println!();
+    }
+    println!("(paper reference: refinement succeeds for both circuits within 40 simulations)");
+}

@@ -1,0 +1,207 @@
+//! On-disk cache of run summaries, so the table/figure binaries can share
+//! one set of experiment runs instead of re-simulating.
+//!
+//! The format is a plain tab-separated text file under
+//! `results/cache/` — human-inspectable and free of external
+//! serialization dependencies.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use into_oa::Spec;
+use oa_circuit::Topology;
+
+use crate::profile::Profile;
+use crate::runner::{BestDesign, Method, RunPoint, RunSummary};
+
+/// Directory all experiment artifacts live under.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("OA_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned()))
+}
+
+fn cache_path(spec: &Spec, method: Method, seed: u64, profile: &Profile) -> PathBuf {
+    results_dir().join("cache").join(format!(
+        "{}_{}_{}_{}.tsv",
+        profile.name,
+        spec.name,
+        method.label().replace('-', "_"),
+        seed
+    ))
+}
+
+/// Saves a run summary; errors are reported to stderr but not fatal (the
+/// cache is an optimization, not a requirement).
+pub fn save(summary: &RunSummary, profile: &Profile, spec: &Spec) {
+    let path = cache_path(spec, summary.method, summary.seed, profile);
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "meta\t{}\t{}\t{}\t{}\n",
+        summary.spec_name,
+        summary.method.label(),
+        summary.seed,
+        summary.total_sims
+    ));
+    if let Some(b) = &summary.best {
+        let xs: Vec<String> = b.x.iter().map(|v| format!("{v:.12e}")).collect();
+        out.push_str(&format!(
+            "best\t{}\t{:.10e}\t{:.10e}\t{:.10e}\t{:.10e}\t{:.10e}\t{}\t{}\n",
+            b.topology.index(),
+            b.perf.gain_db,
+            b.perf.gbw_hz,
+            b.perf.pm_deg,
+            b.perf.power_w,
+            b.fom,
+            b.feasible,
+            xs.join(",")
+        ));
+    }
+    for p in &summary.points {
+        out.push_str(&format!(
+            "point\t{}\t{:.10e}\t{}\n",
+            p.cum_sims, p.fom, p.feasible
+        ));
+    }
+    if let Err(e) = fs::write(&path, out) {
+        eprintln!("warning: failed to write cache {}: {e}", path.display());
+    }
+}
+
+/// Loads a cached run summary if present and parseable.
+pub fn load(spec: &Spec, method: Method, seed: u64, profile: &Profile) -> Option<RunSummary> {
+    let path = cache_path(spec, method, seed, profile);
+    parse(&path, method)
+}
+
+fn parse(path: &Path, method: Method) -> Option<RunSummary> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut spec_name = String::new();
+    let mut seed = 0u64;
+    let mut total_sims = 0usize;
+    let mut best = None;
+    let mut points = Vec::new();
+    for line in text.lines() {
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.first().copied() {
+            Some("meta") if fields.len() == 5 => {
+                spec_name = fields[1].to_owned();
+                seed = fields[3].parse().ok()?;
+                total_sims = fields[4].parse().ok()?;
+            }
+            Some("best") if fields.len() == 9 => {
+                let topology = Topology::from_index(fields[1].parse().ok()?).ok()?;
+                let x: Vec<f64> = if fields[8].is_empty() {
+                    Vec::new()
+                } else {
+                    fields[8]
+                        .split(',')
+                        .map(str::parse)
+                        .collect::<Result<_, _>>()
+                        .ok()?
+                };
+                best = Some(BestDesign {
+                    topology,
+                    x,
+                    perf: oa_sim::OpAmpPerformance {
+                        gain_db: fields[2].parse().ok()?,
+                        gbw_hz: fields[3].parse().ok()?,
+                        pm_deg: fields[4].parse().ok()?,
+                        power_w: fields[5].parse().ok()?,
+                    },
+                    fom: fields[6].parse().ok()?,
+                    feasible: fields[7] == "true",
+                });
+            }
+            Some("point") if fields.len() == 4 => {
+                points.push(RunPoint {
+                    cum_sims: fields[1].parse().ok()?,
+                    fom: fields[2].parse().ok()?,
+                    feasible: fields[3] == "true",
+                });
+            }
+            _ => {}
+        }
+    }
+    if spec_name.is_empty() {
+        return None;
+    }
+    Some(RunSummary {
+        spec_name,
+        method,
+        seed,
+        points,
+        best,
+        total_sims,
+    })
+}
+
+/// Loads the run from cache or executes it and caches the result.
+pub fn run_cached(spec: &Spec, method: Method, seed: u64, profile: &Profile) -> RunSummary {
+    if let Some(cached) = load(spec, method, seed, profile) {
+        return cached;
+    }
+    let summary = crate::runner::run_method(spec, method, seed, profile);
+    save(&summary, profile, spec);
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("oa_cache_test_{}", std::process::id()));
+        std::env::set_var("OA_RESULTS_DIR", &dir);
+        let profile = Profile::SMOKE;
+        let spec = Spec::s1();
+        let summary = RunSummary {
+            spec_name: "S-1".to_owned(),
+            method: Method::IntoOa,
+            seed: 7,
+            points: vec![
+                RunPoint {
+                    cum_sims: 8,
+                    fom: 12.5,
+                    feasible: false,
+                },
+                RunPoint {
+                    cum_sims: 16,
+                    fom: 99.25,
+                    feasible: true,
+                },
+            ],
+            best: Some(BestDesign {
+                topology: Topology::from_index(1234).unwrap(),
+                x: vec![0.25, 0.5, 0.75],
+                perf: oa_sim::OpAmpPerformance {
+                    gain_db: 91.0,
+                    gbw_hz: 1.5e6,
+                    pm_deg: 61.0,
+                    power_w: 120e-6,
+                },
+                fom: 99.25,
+                feasible: true,
+            }),
+            total_sims: 16,
+        };
+        save(&summary, &profile, &spec);
+        let loaded = load(&spec, Method::IntoOa, 7, &profile).expect("cache hit");
+        assert_eq!(loaded.spec_name, summary.spec_name);
+        assert_eq!(loaded.total_sims, 16);
+        assert_eq!(loaded.points.len(), 2);
+        let b = loaded.best.as_ref().unwrap();
+        assert_eq!(b.topology.index(), 1234);
+        assert_eq!(b.x.len(), 3);
+        assert!(b.feasible);
+        assert!((b.fom - 99.25).abs() < 1e-9);
+        // Missing entries miss cleanly (same env scope to avoid races
+        // between parallel tests on the process-global variable).
+        assert!(load(&Spec::s2(), Method::FeGa, 999, &Profile::SMOKE).is_none());
+
+        std::env::remove_var("OA_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

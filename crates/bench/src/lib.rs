@@ -1,0 +1,31 @@
+//! Benchmark and experiment-reproduction harness for the INTO-OA
+//! reproduction.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper's evaluation section (see DESIGN.md §3 for the full index):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table I — design-specification sets |
+//! | `fig5` | Fig. 5 — optimization curves (CSV per spec) |
+//! | `table2` | Table II — success rate / final FoM / #sim / speedup |
+//! | `table3` | Table III — best behavior-level performance |
+//! | `fig6_critical` | §IV-B — WL-GP gradients vs. sensitivity analysis |
+//! | `table4_refine` | Fig. 7 + Table IV — topology refinement |
+//! | `table5_xtor` | Table V — transistor-level validation |
+//!
+//! Budgets are scaled by [`Profile`] (`OA_PROFILE=paper|quick|smoke`), and
+//! runs are cached under `results/cache/` so the binaries share work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod profile;
+mod report;
+mod runner;
+
+pub use cache::{load, results_dir, run_cached, save};
+pub use profile::Profile;
+pub use report::{fmt_opt, mean_curve, reference_fom, sim_grid, table2_stats, CellStats};
+pub use runner::{rehydrate, run_method, BestDesign, Method, RunPoint, RunSummary};

@@ -1,0 +1,147 @@
+//! Experiment-scale profiles.
+//!
+//! The paper's setup (10 runs × 10 init + 50 BO iterations × 40-simulation
+//! sizing, candidate pool 200) is reproduced by the `paper` profile. The
+//! default `quick` profile shrinks every budget so the whole table
+//! regenerates in minutes on one core; `smoke` is for CI-style sanity
+//! runs. Select with the `OA_PROFILE` environment variable.
+
+use oa_bo::{BoConfig, TopoBoConfig};
+use oa_baselines::{FeGaConfig, VgaeBoConfig};
+
+/// Budget profile for experiment reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Profile {
+    /// Profile name (`paper`, `quick`, `smoke`).
+    pub name: &'static str,
+    /// Repetitions per (spec, method) cell.
+    pub runs: usize,
+    /// Initial random topologies.
+    pub n_init: usize,
+    /// Outer-loop iterations.
+    pub n_iter: usize,
+    /// Candidate pool size.
+    pub pool: usize,
+    /// Sizing initial points.
+    pub sizing_init: usize,
+    /// Sizing BO iterations.
+    pub sizing_iter: usize,
+}
+
+impl Profile {
+    /// The paper's full experimental setup.
+    pub const PAPER: Profile = Profile {
+        name: "paper",
+        runs: 10,
+        n_init: 10,
+        n_iter: 50,
+        pool: 200,
+        sizing_init: 10,
+        sizing_iter: 30,
+    };
+
+    /// Reduced budgets for fast regeneration (default).
+    pub const QUICK: Profile = Profile {
+        name: "quick",
+        runs: 5,
+        n_init: 8,
+        n_iter: 22,
+        pool: 100,
+        sizing_init: 10,
+        sizing_iter: 30,
+    };
+
+    /// Minimal sanity-check budgets.
+    pub const SMOKE: Profile = Profile {
+        name: "smoke",
+        runs: 2,
+        n_init: 4,
+        n_iter: 6,
+        pool: 30,
+        sizing_init: 4,
+        sizing_iter: 4,
+    };
+
+    /// Reads `OA_PROFILE` (`paper` / `quick` / `smoke`); defaults to
+    /// `quick`; unknown values also fall back to `quick`.
+    pub fn from_env() -> Profile {
+        match std::env::var("OA_PROFILE").as_deref() {
+            Ok("paper") => Profile::PAPER,
+            Ok("smoke") => Profile::SMOKE,
+            _ => Profile::QUICK,
+        }
+    }
+
+    /// Simulations spent sizing one topology.
+    pub fn sims_per_topology(&self) -> usize {
+        self.sizing_init + self.sizing_iter
+    }
+
+    /// Total topologies evaluated per run.
+    pub fn topologies_per_run(&self) -> usize {
+        self.n_init + self.n_iter
+    }
+
+    /// Sizing BO configuration.
+    pub fn sizing(&self, seed: u64) -> BoConfig {
+        BoConfig {
+            n_init: self.sizing_init,
+            n_iter: self.sizing_iter,
+            n_candidates: 100,
+            seed,
+        }
+    }
+
+    /// Outer-loop configuration for the INTO-OA family.
+    pub fn topo(&self, seed: u64) -> TopoBoConfig {
+        TopoBoConfig {
+            n_init: self.n_init,
+            n_iter: self.n_iter,
+            pool_size: self.pool,
+            seed,
+            ..TopoBoConfig::default()
+        }
+    }
+
+    /// FE-GA configuration at matched budget.
+    pub fn fe_ga(&self, seed: u64) -> FeGaConfig {
+        FeGaConfig {
+            population: self.n_init,
+            n_iter: self.n_iter,
+            seed,
+            ..FeGaConfig::default()
+        }
+    }
+
+    /// VGAE-BO configuration at matched budget.
+    pub fn vgae(&self, seed: u64) -> VgaeBoConfig {
+        VgaeBoConfig {
+            n_init: self.n_init,
+            n_iter: self.n_iter,
+            acq_candidates: self.pool,
+            seed,
+            ..VgaeBoConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_matches_section_iv() {
+        let p = Profile::PAPER;
+        assert_eq!(p.runs, 10);
+        assert_eq!(p.topologies_per_run(), 60);
+        assert_eq!(p.sims_per_topology(), 40);
+        assert_eq!(p.pool, 200);
+    }
+
+    #[test]
+    fn derived_configs_share_budgets() {
+        let p = Profile::QUICK;
+        assert_eq!(p.topo(1).n_init, p.fe_ga(1).population);
+        assert_eq!(p.topo(1).n_iter, p.vgae(1).n_iter);
+    }
+}

@@ -1,0 +1,195 @@
+//! Aggregation of run summaries into the paper's table rows.
+
+use std::collections::BTreeMap;
+
+use crate::runner::{Method, RunSummary};
+
+/// Aggregated statistics for one `(spec, method)` cell of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStats {
+    /// `(successful runs, total runs)` — the "Suc. Rate" column.
+    pub success: (usize, usize),
+    /// Mean final FoM over successful runs — the "Final FoM" column.
+    pub final_fom: Option<f64>,
+    /// Mean simulations to reach the reference FoM, over runs that reached
+    /// it — the "# Sim." column.
+    pub sims_to_ref: Option<f64>,
+    /// Speedup relative to the slowest method — the "Sim. Speedup" column.
+    pub speedup: Option<f64>,
+}
+
+/// Computes Table II statistics for one spec from all methods' runs.
+///
+/// The reference FoM (the paper's dashed line in Fig. 5) is the smallest
+/// mean final FoM among methods with at least one successful run, so every
+/// method has a fair chance of reaching it.
+pub fn table2_stats(runs: &BTreeMap<Method, Vec<RunSummary>>) -> BTreeMap<Method, CellStats> {
+    let reference = reference_fom(runs);
+    let mut cells: BTreeMap<Method, CellStats> = BTreeMap::new();
+    for (&method, rs) in runs {
+        let total = rs.len();
+        let succ = rs.iter().filter(|r| r.success()).count();
+        let final_fom = mean(rs.iter().filter_map(RunSummary::final_fom));
+        let sims_to_ref = reference.and_then(|target| {
+            mean(rs.iter().filter_map(|r| r.sims_to_reach(target).map(|s| s as f64)))
+        });
+        cells.insert(
+            method,
+            CellStats {
+                success: (succ, total),
+                final_fom,
+                sims_to_ref,
+                speedup: None,
+            },
+        );
+    }
+    // Speedup vs. the slowest method that reached the reference.
+    let slowest = cells
+        .values()
+        .filter_map(|c| c.sims_to_ref)
+        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))));
+    if let Some(slowest) = slowest {
+        for c in cells.values_mut() {
+            c.speedup = c.sims_to_ref.map(|s| slowest / s);
+        }
+    }
+    cells
+}
+
+/// The reference FoM target for a spec (see [`table2_stats`]).
+pub fn reference_fom(runs: &BTreeMap<Method, Vec<RunSummary>>) -> Option<f64> {
+    runs.values()
+        .filter_map(|rs| mean(rs.iter().filter_map(RunSummary::final_fom)))
+        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+}
+
+/// Mean best-so-far feasible FoM across runs, sampled on a cumulative-
+/// simulation grid. Runs that have not yet found a feasible design at a
+/// grid point contribute nothing to the mean at that point.
+pub fn mean_curve(runs: &[RunSummary], grid: &[usize]) -> Vec<Option<f64>> {
+    let per_run: Vec<Vec<Option<f64>>> = runs.iter().map(|r| r.curve_on_grid(grid)).collect();
+    (0..grid.len())
+        .map(|i| mean(per_run.iter().filter_map(|c| c[i])))
+        .collect()
+}
+
+/// A common simulation grid covering every run.
+pub fn sim_grid(runs: &[RunSummary], points: usize) -> Vec<usize> {
+    let max = runs.iter().map(|r| r.total_sims).max().unwrap_or(1);
+    (1..=points.max(1)).map(|i| i * max / points.max(1)).collect()
+}
+
+fn mean<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Formats an optional statistic for table printing.
+pub fn fmt_opt(v: Option<f64>, width: usize, precision: usize) -> String {
+    match v {
+        Some(x) => format!("{x:>width$.precision$}"),
+        None => format!("{:>width$}", "-"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunPoint;
+
+    fn run(method: Method, seed: u64, points: Vec<(usize, f64, bool)>) -> RunSummary {
+        RunSummary {
+            spec_name: "S-1".to_owned(),
+            method,
+            seed,
+            total_sims: points.last().map(|p| p.0).unwrap_or(0),
+            points: points
+                .into_iter()
+                .map(|(cum_sims, fom, feasible)| RunPoint {
+                    cum_sims,
+                    fom,
+                    feasible,
+                })
+                .collect(),
+            best: None,
+        }
+    }
+
+    fn sample_runs() -> BTreeMap<Method, Vec<RunSummary>> {
+        let mut m = BTreeMap::new();
+        // Fast method: reaches FoM 100 by 40 sims in both runs.
+        m.insert(
+            Method::IntoOa,
+            vec![
+                run(Method::IntoOa, 0, vec![(20, 60.0, true), (40, 120.0, true)]),
+                run(Method::IntoOa, 1, vec![(20, 110.0, true), (40, 130.0, true)]),
+            ],
+        );
+        // Slow method: reaches only 100 at 200 sims; one failed run.
+        m.insert(
+            Method::FeGa,
+            vec![
+                run(Method::FeGa, 0, vec![(100, 40.0, true), (200, 100.0, true)]),
+                run(Method::FeGa, 1, vec![(100, 10.0, false), (200, 20.0, false)]),
+            ],
+        );
+        m
+    }
+
+    #[test]
+    fn success_rate_counts_feasible_runs() {
+        let stats = table2_stats(&sample_runs());
+        assert_eq!(stats[&Method::IntoOa].success, (2, 2));
+        assert_eq!(stats[&Method::FeGa].success, (1, 2));
+    }
+
+    #[test]
+    fn reference_is_weakest_methods_mean() {
+        // INTO-OA mean final = 125; FE-GA mean final (successful only) = 100.
+        let reference = reference_fom(&sample_runs()).unwrap();
+        assert!((reference - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_is_relative_to_slowest() {
+        let stats = table2_stats(&sample_runs());
+        // FE-GA reaches 100 at 200 sims → speedup 1.0.
+        assert!((stats[&Method::FeGa].speedup.unwrap() - 1.0).abs() < 1e-9);
+        // INTO-OA reaches 100 at 40 (run 0: fom 120 ≥ 100 at 40; run 1: 110
+        // at 20) → mean 30 → speedup 200/30.
+        let s = stats[&Method::IntoOa].speedup.unwrap();
+        assert!((s - 200.0 / 30.0).abs() < 1e-9, "speedup {s}");
+    }
+
+    #[test]
+    fn mean_curve_averages_available_runs() {
+        let runs = sample_runs()[&Method::FeGa].clone();
+        let grid = vec![100, 200];
+        let curve = mean_curve(&runs, &grid);
+        // At 100 sims only run 0 is feasible (40); at 200 still only run 0
+        // (100).
+        assert_eq!(curve, vec![Some(40.0), Some(100.0)]);
+    }
+
+    #[test]
+    fn sim_grid_spans_longest_run() {
+        let runs = sample_runs()[&Method::FeGa].clone();
+        let grid = sim_grid(&runs, 4);
+        assert_eq!(grid, vec![50, 100, 150, 200]);
+    }
+
+    #[test]
+    fn fmt_opt_handles_missing() {
+        assert_eq!(fmt_opt(None, 6, 1), "     -");
+        assert_eq!(fmt_opt(Some(3.25), 6, 1), "   3.2");
+    }
+}

@@ -1,0 +1,290 @@
+//! Unified experiment runner: every method (INTO-OA family and baselines)
+//! drives the same evaluation oracle, so comparisons are budget-matched.
+
+use into_oa::{optimize, CandidateStrategy, Evaluator, IntoOaConfig, Spec};
+use oa_baselines::{fe_ga, vgae_bo};
+use oa_bo::TopoObservation;
+use oa_circuit::{ParamSpace, Topology};
+use oa_sim::OpAmpPerformance;
+
+use crate::profile::Profile;
+
+/// One of the five compared methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Method {
+    /// Genetic algorithm with feature embedding [14].
+    FeGa,
+    /// BO with a (linear) graph-autoencoder latent space [16].
+    VgaeBo,
+    /// INTO-OA with random-only candidates (ablation).
+    IntoOaR,
+    /// INTO-OA with mutation-only candidates (ablation).
+    IntoOaM,
+    /// Full INTO-OA (half mutation, half random).
+    IntoOa,
+}
+
+impl Method {
+    /// All methods in the paper's table order.
+    pub const ALL: [Method; 5] = [
+        Method::FeGa,
+        Method::VgaeBo,
+        Method::IntoOaR,
+        Method::IntoOaM,
+        Method::IntoOa,
+    ];
+
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::FeGa => "FE-GA",
+            Method::VgaeBo => "VGAE-BO",
+            Method::IntoOaR => "INTO-OA-r",
+            Method::IntoOaM => "INTO-OA-m",
+            Method::IntoOa => "INTO-OA",
+        }
+    }
+}
+
+/// One evaluated topology in a unified run record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunPoint {
+    /// Cumulative simulations after this topology's sizing.
+    pub cum_sims: usize,
+    /// The topology's best FoM.
+    pub fom: f64,
+    /// Whether the sized design met the spec.
+    pub feasible: bool,
+}
+
+/// The best design of a run, with enough information to re-elaborate it
+/// (for Table III metrics and the Table V transistor mapping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestDesign {
+    /// The topology.
+    pub topology: Topology,
+    /// Normalized sizing vector (decode with the topology's
+    /// [`ParamSpace`]).
+    pub x: Vec<f64>,
+    /// Measured behavior-level performance.
+    pub perf: OpAmpPerformance,
+    /// FoM under the spec's load.
+    pub fom: f64,
+    /// Whether the design met the spec.
+    pub feasible: bool,
+}
+
+/// Unified record of one optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Spec name (e.g. `"S-1"`).
+    pub spec_name: String,
+    /// The method that produced the run.
+    pub method: Method,
+    /// Run seed.
+    pub seed: u64,
+    /// Per-topology progress points.
+    pub points: Vec<RunPoint>,
+    /// Best design (feasible-first ranking).
+    pub best: Option<BestDesign>,
+    /// Total simulations, including failed sizing attempts.
+    pub total_sims: usize,
+}
+
+impl RunSummary {
+    /// Returns `true` if any design met the spec.
+    pub fn success(&self) -> bool {
+        self.points.iter().any(|p| p.feasible)
+    }
+
+    /// Best feasible FoM at the end of the run.
+    pub fn final_fom(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.feasible)
+            .map(|p| p.fom)
+            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+    }
+
+    /// Simulations needed to first reach a feasible FoM ≥ `target`.
+    pub fn sims_to_reach(&self, target: f64) -> Option<usize> {
+        self.points
+            .iter()
+            .find(|p| p.feasible && p.fom >= target)
+            .map(|p| p.cum_sims)
+    }
+
+    /// Best-so-far feasible FoM as a step function over cumulative
+    /// simulations, sampled at `grid`.
+    pub fn curve_on_grid(&self, grid: &[usize]) -> Vec<Option<f64>> {
+        grid.iter()
+            .map(|&g| {
+                self.points
+                    .iter()
+                    .take_while(|p| p.cum_sims <= g)
+                    .filter(|p| p.feasible)
+                    .map(|p| p.fom)
+                    .fold(None, |acc: Option<f64>, v| {
+                        Some(acc.map_or(v, |a| a.max(v)))
+                    })
+            })
+            .collect()
+    }
+}
+
+/// Runs one method on one spec with one seed at the given profile scale.
+pub fn run_method(spec: &Spec, method: Method, seed: u64, profile: &Profile) -> RunSummary {
+    match method {
+        Method::IntoOa | Method::IntoOaR | Method::IntoOaM => {
+            run_into_oa(spec, method, seed, profile)
+        }
+        Method::FeGa | Method::VgaeBo => run_baseline(spec, method, seed, profile),
+    }
+}
+
+fn best_design_from(d: &into_oa::SizedDesign) -> BestDesign {
+    let space = ParamSpace::for_topology(&d.topology);
+    BestDesign {
+        topology: d.topology,
+        x: space.encode(&d.values),
+        perf: d.performance,
+        fom: d.fom,
+        feasible: d.feasible,
+    }
+}
+
+fn run_into_oa(spec: &Spec, method: Method, seed: u64, profile: &Profile) -> RunSummary {
+    let strategy = match method {
+        Method::IntoOa => CandidateStrategy::Mixed,
+        Method::IntoOaR => CandidateStrategy::RandomOnly,
+        Method::IntoOaM => CandidateStrategy::MutationOnly,
+        _ => unreachable!("baselines handled separately"),
+    };
+    let config = IntoOaConfig {
+        topo: profile.topo(seed),
+        sizing: profile.sizing(seed),
+        strategy,
+        ..IntoOaConfig::default()
+    };
+    let run = optimize(spec, &config);
+    let points = run
+        .records
+        .iter()
+        .map(|r| RunPoint {
+            cum_sims: r.cum_sims,
+            fom: r.design.fom,
+            feasible: r.design.feasible,
+        })
+        .collect();
+    RunSummary {
+        spec_name: spec.name.to_owned(),
+        method,
+        seed,
+        points,
+        best: run.best_design().map(best_design_from),
+        total_sims: run.total_sims,
+    }
+}
+
+fn run_baseline(spec: &Spec, method: Method, seed: u64, profile: &Profile) -> RunSummary {
+    let evaluator = Evaluator::new(*spec);
+    let sizing = profile.sizing(seed);
+    let mut cum_sims = 0usize;
+    let mut points: Vec<RunPoint> = Vec::new();
+    let mut designs: Vec<into_oa::SizedDesign> = Vec::new();
+
+    let mut oracle = |t: &Topology| -> Option<TopoObservation> {
+        let (design, sims) = evaluator.size(t, &sizing);
+        cum_sims += sims;
+        let design = design?;
+        points.push(RunPoint {
+            cum_sims,
+            fom: design.fom,
+            feasible: design.feasible,
+        });
+        let obs = TopoObservation {
+            objective: design.fom.max(1.0).log10(),
+            constraints: spec.constraints(&design.performance),
+            metrics: vec![],
+        };
+        designs.push(design);
+        Some(obs)
+    };
+
+    let baseline_run = match method {
+        Method::FeGa => fe_ga(&profile.fe_ga(seed), &mut oracle),
+        Method::VgaeBo => vgae_bo(&profile.vgae(seed), &mut oracle),
+        _ => unreachable!("INTO-OA family handled separately"),
+    };
+
+    let best = baseline_run
+        .best
+        .and_then(|i| designs.get(i))
+        .map(best_design_from);
+    RunSummary {
+        spec_name: spec.name.to_owned(),
+        method,
+        seed,
+        points,
+        best,
+        total_sims: cum_sims,
+    }
+}
+
+/// Re-measures a cached best design (used by Tables III and V).
+pub fn rehydrate(spec: &Spec, best: &BestDesign) -> Option<into_oa::SizedDesign> {
+    let evaluator = Evaluator::new(*spec);
+    let space = ParamSpace::for_topology(&best.topology);
+    let values = space.decode(&best.x).ok()?;
+    let perf = evaluator.simulate(&best.topology, &values).ok()?;
+    Some(evaluator.design_from(best.topology, values, perf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_methods_run_at_smoke_scale() {
+        let profile = Profile::SMOKE;
+        for method in Method::ALL {
+            let run = run_method(&Spec::s1(), method, 0, &profile);
+            assert_eq!(run.method, method);
+            assert!(!run.points.is_empty(), "{} produced no points", method.label());
+            assert!(run.total_sims > 0);
+            // Points are ordered by cumulative simulations.
+            for w in run.points.windows(2) {
+                assert!(w[1].cum_sims > w[0].cum_sims);
+            }
+        }
+    }
+
+    #[test]
+    fn rehydrated_design_matches_cached_performance() {
+        let run = run_method(&Spec::s1(), Method::IntoOa, 1, &Profile::SMOKE);
+        if let Some(best) = &run.best {
+            let d = rehydrate(&Spec::s1(), best).expect("rehydrates");
+            assert!((d.fom - best.fom).abs() / best.fom.max(1e-9) < 1e-6);
+            assert_eq!(d.feasible, best.feasible);
+        }
+    }
+
+    #[test]
+    fn curve_on_grid_is_monotone() {
+        let run = run_method(&Spec::s1(), Method::IntoOa, 2, &Profile::SMOKE);
+        let grid: Vec<usize> = (0..10).map(|i| i * run.total_sims / 9).collect();
+        let curve = run.curve_on_grid(&grid);
+        let mut prev = f64::NEG_INFINITY;
+        for v in curve.into_iter().flatten() {
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Method::FeGa.label(), "FE-GA");
+        assert_eq!(Method::VgaeBo.label(), "VGAE-BO");
+        assert_eq!(Method::IntoOa.label(), "INTO-OA");
+    }
+}

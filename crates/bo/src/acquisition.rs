@@ -1,0 +1,146 @@
+//! Acquisition functions: Expected Improvement and the weighted EI (wEI)
+//! of [1] used for constrained optimization.
+
+/// Standard normal probability density.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution, via the Abramowitz–Stegun
+/// 7.1.26 rational approximation of `erf` (absolute error < 1.5e-7).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Expected Improvement for **maximization**: `E[max(0, f − f_best)]` under
+/// a Gaussian posterior `N(mean, var)`.
+///
+/// Returns 0 for a degenerate (zero-variance) posterior that does not beat
+/// the incumbent.
+///
+/// # Examples
+///
+/// ```
+/// use oa_bo::expected_improvement;
+///
+/// // A posterior well above the incumbent has EI ≈ mean − best.
+/// let ei = expected_improvement(10.0, 1e-12, 0.0);
+/// assert!((ei - 10.0).abs() < 1e-6);
+/// // A posterior far below the incumbent has negligible EI.
+/// assert!(expected_improvement(-10.0, 0.01, 0.0) < 1e-12);
+/// ```
+pub fn expected_improvement(mean: f64, var: f64, best: f64) -> f64 {
+    let sigma = var.max(0.0).sqrt();
+    if sigma < 1e-12 {
+        return (mean - best).max(0.0);
+    }
+    let z = (mean - best) / sigma;
+    (mean - best) * normal_cdf(z) + sigma * normal_pdf(z)
+}
+
+/// Probability that a constraint value with posterior `N(mean, var)` is
+/// feasible, i.e. `P(c ≤ 0)`.
+pub fn probability_feasible(mean: f64, var: f64) -> f64 {
+    let sigma = var.max(0.0).sqrt();
+    if sigma < 1e-12 {
+        return if mean <= 0.0 { 1.0 } else { 0.0 };
+    }
+    normal_cdf(-mean / sigma)
+}
+
+/// The weighted EI acquisition of [1]: `EI(x) · Π_i P(c_i(x) ≤ 0)`.
+///
+/// `objective` is the `(mean, var)` posterior of the objective (to be
+/// maximized), `constraints` the posteriors of each constraint value
+/// (feasible when ≤ 0), and `best_feasible` the incumbent feasible
+/// objective, if any. Before any feasible point is known the acquisition
+/// reduces to the feasibility probability alone, the standard fallback.
+pub fn weighted_ei(
+    objective: (f64, f64),
+    constraints: &[(f64, f64)],
+    best_feasible: Option<f64>,
+) -> f64 {
+    let pf: f64 = constraints
+        .iter()
+        .map(|&(m, v)| probability_feasible(m, v))
+        .product();
+    match best_feasible {
+        Some(best) => expected_improvement(objective.0, objective.1, best) * pf,
+        None => pf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_matches_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.841_344_7).abs() < 1e-6);
+        assert!((normal_cdf(-1.96) - 0.024_997_9).abs() < 1e-5);
+        assert!(normal_cdf(8.0) > 0.999_999);
+    }
+
+    #[test]
+    fn pdf_is_symmetric_and_normal_at_zero() {
+        assert!((normal_pdf(0.0) - 0.398_942_28).abs() < 1e-7);
+        assert_eq!(normal_pdf(1.3), normal_pdf(-1.3));
+    }
+
+    #[test]
+    fn ei_increases_with_mean_and_variance() {
+        let base = expected_improvement(0.0, 1.0, 0.0);
+        assert!(expected_improvement(1.0, 1.0, 0.0) > base);
+        assert!(expected_improvement(0.0, 4.0, 0.0) > base);
+    }
+
+    #[test]
+    fn ei_is_nonnegative() {
+        for mean in [-5.0, 0.0, 5.0] {
+            for var in [0.0, 0.5, 10.0] {
+                assert!(expected_improvement(mean, var, 1.0) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn feasibility_probability_limits() {
+        assert!((probability_feasible(-10.0, 1.0) - 1.0).abs() < 1e-7);
+        assert!(probability_feasible(10.0, 1.0) < 1e-7);
+        assert_eq!(probability_feasible(-0.1, 0.0), 1.0);
+        assert_eq!(probability_feasible(0.1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn wei_without_incumbent_is_pure_feasibility() {
+        let a = weighted_ei((100.0, 1.0), &[(-1.0, 1.0)], None);
+        let b = weighted_ei((-100.0, 1.0), &[(-1.0, 1.0)], None);
+        assert_eq!(a, b); // objective ignored until something is feasible
+    }
+
+    #[test]
+    fn wei_penalizes_likely_infeasible_points() {
+        let good = weighted_ei((1.0, 0.5), &[(-2.0, 0.1)], Some(0.0));
+        let bad = weighted_ei((1.0, 0.5), &[(2.0, 0.1)], Some(0.0));
+        assert!(good > bad * 100.0);
+    }
+
+    #[test]
+    fn wei_multiplies_constraint_probabilities() {
+        let one = weighted_ei((1.0, 1.0), &[(0.0, 1.0)], Some(0.0));
+        let two = weighted_ei((1.0, 1.0), &[(0.0, 1.0), (0.0, 1.0)], Some(0.0));
+        // Tolerance bounded by the erf approximation error (~1.5e-7).
+        assert!((two - one * 0.5).abs() < 1e-6);
+    }
+}

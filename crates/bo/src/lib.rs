@@ -1,0 +1,41 @@
+//! Bayesian-optimization substrate of the INTO-OA reproduction.
+//!
+//! Three layers:
+//!
+//! * [`expected_improvement`] / [`probability_feasible`] / [`weighted_ei`] —
+//!   the acquisition functions ([1]'s wEI handles the performance
+//!   constraints).
+//! * [`maximize_constrained`] — constrained GP-BO on the unit cube: the
+//!   automated **sizing** inner loop every evaluated topology goes through
+//!   (10 init + 30 iterations in the paper's setup).
+//! * [`topology_bo`] — **Algorithm 1**: WL kernel-based BO over the
+//!   discrete topology space with the mutation + random-sampling candidate
+//!   generator and visited-set deduplication.
+//!
+//! Both optimizers are generic over their evaluation oracle, so the
+//! algorithms are unit-testable on synthetic landscapes; the `into-oa`
+//! crate wires them to the circuit simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use oa_bo::{maximize_constrained, BoConfig, Observation};
+//!
+//! let result = maximize_constrained(1, &BoConfig::default(), |x| {
+//!     Some(Observation { objective: -(x[0] - 0.3) * (x[0] - 0.3), constraints: vec![] })
+//! });
+//! assert!(result.best.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acquisition;
+mod continuous;
+mod topology;
+
+pub use acquisition::{
+    expected_improvement, normal_cdf, normal_pdf, probability_feasible, weighted_ei,
+};
+pub use continuous::{maximize_constrained, maximize_constrained_anchored, BoConfig, BoResult, Observation};
+pub use topology::{topology_bo, TopoBoConfig, TopoBoResult, TopoObservation, TopoRecord};

@@ -1,0 +1,157 @@
+//! Compact, human-readable topology serialization.
+//!
+//! A topology round-trips through a string of the form
+//! `"NC/+gm>/RCs/NC/C"` — one subcircuit mnemonic per variable edge in
+//! [`VariableEdge::ALL`] order. This is the format used in logs, the
+//! command-line tools, and anywhere a design needs to be pasted between
+//! sessions.
+
+use crate::edge::VariableEdge;
+use crate::error::CircuitError;
+use crate::subcircuit::SubcircuitType;
+use crate::topology::Topology;
+use std::str::FromStr;
+
+impl Topology {
+    /// Renders the topology as five `/`-separated type mnemonics.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oa_circuit::Topology;
+    ///
+    /// let t = Topology::bare_cascade();
+    /// assert_eq!(t.to_compact_string(), "NC/NC/NC/NC/NC");
+    /// let back: Topology = t.to_compact_string().parse()?;
+    /// assert_eq!(back, t);
+    /// # Ok::<(), oa_circuit::ParseTopologyError>(())
+    /// ```
+    pub fn to_compact_string(&self) -> String {
+        VariableEdge::ALL
+            .iter()
+            .map(|&e| self.type_on(e).mnemonic())
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+}
+
+/// Error parsing a compact topology string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseTopologyError {
+    /// The string does not have exactly five `/`-separated fields.
+    WrongFieldCount {
+        /// Number of fields found.
+        found: usize,
+    },
+    /// A field is not a known subcircuit mnemonic.
+    UnknownMnemonic {
+        /// The offending field.
+        field: String,
+    },
+    /// A legal mnemonic sits on an edge whose rules forbid it.
+    IllegalPlacement {
+        /// The underlying design-space error.
+        source: CircuitError,
+    },
+}
+
+impl std::fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseTopologyError::WrongFieldCount { found } => {
+                write!(f, "expected 5 '/'-separated fields, found {found}")
+            }
+            ParseTopologyError::UnknownMnemonic { field } => {
+                write!(f, "unknown subcircuit mnemonic {field:?}")
+            }
+            ParseTopologyError::IllegalPlacement { source } => {
+                write!(f, "illegal placement: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTopologyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTopologyError::IllegalPlacement { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl FromStr for Topology {
+    type Err = ParseTopologyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let fields: Vec<&str> = s.split('/').collect();
+        if fields.len() != 5 {
+            return Err(ParseTopologyError::WrongFieldCount {
+                found: fields.len(),
+            });
+        }
+        let catalog = SubcircuitType::catalog();
+        let mut types = [SubcircuitType::NoConn; 5];
+        for (edge, field) in VariableEdge::ALL.iter().zip(&fields) {
+            let field = field.trim();
+            let ty = catalog
+                .iter()
+                .copied()
+                .find(|t| t.mnemonic() == field)
+                .ok_or_else(|| ParseTopologyError::UnknownMnemonic {
+                    field: field.to_owned(),
+                })?;
+            types[edge.index()] = ty;
+        }
+        Topology::new(types).map_err(|source| ParseTopologyError::IllegalPlacement { source })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn roundtrips_random_topologies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..300 {
+            let t = Topology::random(&mut rng);
+            let s = t.to_compact_string();
+            let back: Topology = s.parse().unwrap();
+            assert_eq!(back, t, "string was {s}");
+        }
+    }
+
+    #[test]
+    fn tolerates_whitespace() {
+        let t: Topology = "NC / +gm> / RCs / NC / C".parse().unwrap();
+        assert_eq!(t.connected_count(), 3);
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        assert!(matches!(
+            "NC/NC/NC".parse::<Topology>(),
+            Err(ParseTopologyError::WrongFieldCount { found: 3 })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        assert!(matches!(
+            "NC/NC/XYZ/NC/NC".parse::<Topology>(),
+            Err(ParseTopologyError::UnknownMnemonic { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_illegal_placement() {
+        // A plain resistor is not allowed on the vin-v2 feedforward edge.
+        assert!(matches!(
+            "R/NC/NC/NC/NC".parse::<Topology>(),
+            Err(ParseTopologyError::IllegalPlacement { .. })
+        ));
+    }
+}

@@ -1,0 +1,219 @@
+//! The five variable edges and the design-space rules `R`.
+//!
+//! Section II-C: the types each variable subcircuit may take are constrained
+//! by a rule set so that every topology in the space is a functional op-amp:
+//!
+//! * `vin–v2` and `vin–vout` admit **7** types (no connection, or a forward
+//!   feedforward transconductor of either polarity, bare or with a series
+//!   R/C). Passive elements and reverse transconductors would load or feed
+//!   back into the input, so they are excluded.
+//! * `v1–vout` admits all **25** types (this is where classical Miller /
+//!   series-RC compensation and feedback transconductors live).
+//! * `v1–gnd` and `v2–gnd` admit **5** types (no connection or one of the
+//!   four passive shapes; a transconductor to ground senses a constant node).
+//!
+//! The product `7 · 7 · 25 · 5 · 5 = 30 625` matches the paper's design-space
+//! size.
+
+use crate::nodes::CircuitNode;
+use crate::subcircuit::{GmComposite, GmDirection, GmPolarity, PassiveKind, SubcircuitType};
+use std::fmt;
+
+/// One of the five variable-subcircuit slots of the three-stage template.
+///
+/// # Examples
+///
+/// ```
+/// use oa_circuit::VariableEdge;
+///
+/// let sizes: Vec<usize> = VariableEdge::ALL
+///     .iter()
+///     .map(|e| e.allowed_types().len())
+///     .collect();
+/// assert_eq!(sizes, vec![7, 7, 25, 5, 5]);
+/// assert_eq!(sizes.iter().product::<usize>(), 30_625);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VariableEdge {
+    /// Feedforward slot from the input to the second-stage output.
+    VinV2,
+    /// Feedforward slot from the input to the op-amp output.
+    VinVout,
+    /// Compensation/feedback slot between the first-stage output and the
+    /// op-amp output.
+    V1Vout,
+    /// Shunt slot from the first-stage output to ground.
+    V1Gnd,
+    /// Shunt slot from the second-stage output to ground.
+    V2Gnd,
+}
+
+impl VariableEdge {
+    /// All five edges in canonical (encoding) order.
+    pub const ALL: [VariableEdge; 5] = [
+        VariableEdge::VinV2,
+        VariableEdge::VinVout,
+        VariableEdge::V1Vout,
+        VariableEdge::V1Gnd,
+        VariableEdge::V2Gnd,
+    ];
+
+    /// Canonical `(first, second)` endpoints. [`GmDirection::Forward`] senses
+    /// `first` and drives `second`.
+    pub fn endpoints(self) -> (CircuitNode, CircuitNode) {
+        match self {
+            VariableEdge::VinV2 => (CircuitNode::Vin, CircuitNode::V2),
+            VariableEdge::VinVout => (CircuitNode::Vin, CircuitNode::Vout),
+            VariableEdge::V1Vout => (CircuitNode::V1, CircuitNode::Vout),
+            VariableEdge::V1Gnd => (CircuitNode::V1, CircuitNode::Gnd),
+            VariableEdge::V2Gnd => (CircuitNode::V2, CircuitNode::Gnd),
+        }
+    }
+
+    /// Position of this edge in [`VariableEdge::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            VariableEdge::VinV2 => 0,
+            VariableEdge::VinVout => 1,
+            VariableEdge::V1Vout => 2,
+            VariableEdge::V1Gnd => 3,
+            VariableEdge::V2Gnd => 4,
+        }
+    }
+
+    /// The rule set `R`: legal subcircuit types for this edge, in a stable
+    /// order used by the topology integer encoding.
+    pub fn allowed_types(self) -> Vec<SubcircuitType> {
+        match self {
+            VariableEdge::VinV2 | VariableEdge::VinVout => {
+                let mut v = vec![SubcircuitType::NoConn];
+                for polarity in GmPolarity::ALL {
+                    for composite in [GmComposite::Bare, GmComposite::SeriesR, GmComposite::SeriesC]
+                    {
+                        v.push(SubcircuitType::Gm {
+                            polarity,
+                            direction: GmDirection::Forward,
+                            composite,
+                        });
+                    }
+                }
+                v
+            }
+            VariableEdge::V1Vout => SubcircuitType::catalog(),
+            VariableEdge::V1Gnd | VariableEdge::V2Gnd => {
+                let mut v = vec![SubcircuitType::NoConn];
+                for p in PassiveKind::ALL {
+                    v.push(SubcircuitType::Passive(p));
+                }
+                v
+            }
+        }
+    }
+
+    /// Returns `true` if `ty` is legal on this edge under the rules `R`.
+    pub fn allows(self, ty: SubcircuitType) -> bool {
+        self.allowed_types().contains(&ty)
+    }
+
+    /// Short display name, e.g. `"vin-v2"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            VariableEdge::VinV2 => "vin-v2",
+            VariableEdge::VinVout => "vin-vout",
+            VariableEdge::V1Vout => "v1-vout",
+            VariableEdge::V1Gnd => "v1-gnd",
+            VariableEdge::V2Gnd => "v2-gnd",
+        }
+    }
+}
+
+impl fmt::Display for VariableEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn design_space_size_is_30625() {
+        let product: usize = VariableEdge::ALL
+            .iter()
+            .map(|e| e.allowed_types().len())
+            .product();
+        assert_eq!(product, 30_625);
+    }
+
+    #[test]
+    fn feedforward_edges_forbid_passives_and_reverse_gm() {
+        for e in [VariableEdge::VinV2, VariableEdge::VinVout] {
+            for ty in e.allowed_types() {
+                match ty {
+                    SubcircuitType::NoConn => {}
+                    SubcircuitType::Gm { direction, .. } => {
+                        assert_eq!(direction, GmDirection::Forward);
+                    }
+                    SubcircuitType::Passive(_) => {
+                        panic!("passive type allowed on feedforward edge {e}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ground_edges_are_passive_only() {
+        for e in [VariableEdge::V1Gnd, VariableEdge::V2Gnd] {
+            for ty in e.allowed_types() {
+                assert!(!ty.has_gm(), "gm allowed on ground edge {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn v1_vout_allows_everything() {
+        let allowed = VariableEdge::V1Vout.allowed_types();
+        assert_eq!(allowed.len(), 25);
+        let set: HashSet<_> = allowed.into_iter().collect();
+        for ty in SubcircuitType::catalog() {
+            assert!(set.contains(&ty));
+        }
+    }
+
+    #[test]
+    fn allowed_types_contain_no_duplicates() {
+        for e in VariableEdge::ALL {
+            let allowed = e.allowed_types();
+            let set: HashSet<_> = allowed.iter().copied().collect();
+            assert_eq!(set.len(), allowed.len(), "duplicates on edge {e}");
+        }
+    }
+
+    #[test]
+    fn allows_is_consistent_with_allowed_types() {
+        for e in VariableEdge::ALL {
+            let allowed: HashSet<_> = e.allowed_types().into_iter().collect();
+            for ty in SubcircuitType::catalog() {
+                assert_eq!(e.allows(ty), allowed.contains(&ty));
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_never_touch_both_rails() {
+        for e in VariableEdge::ALL {
+            let (a, b) = e.endpoints();
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn index_roundtrips() {
+        for (i, e) in VariableEdge::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+    }
+}

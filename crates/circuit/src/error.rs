@@ -1,0 +1,83 @@
+//! Error type for the design-space crate.
+
+use crate::edge::VariableEdge;
+use crate::subcircuit::SubcircuitType;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or elaborating topologies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A subcircuit type violates the design-space rules for its edge.
+    IllegalType {
+        /// The edge on which the type was placed.
+        edge: VariableEdge,
+        /// The offending type.
+        ty: SubcircuitType,
+    },
+    /// A topology index outside `0..DESIGN_SPACE_SIZE`.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+    },
+    /// A sizing vector with the wrong number of entries for its topology.
+    SizingLengthMismatch {
+        /// Number of parameters the topology requires.
+        expected: usize,
+        /// Number of entries provided.
+        found: usize,
+    },
+    /// A device value outside its physical range (non-positive, NaN, …).
+    InvalidDeviceValue {
+        /// Human-readable parameter name.
+        name: String,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::IllegalType { edge, ty } => {
+                write!(f, "subcircuit type {ty} is not allowed on edge {edge}")
+            }
+            CircuitError::IndexOutOfRange { index } => {
+                write!(f, "topology index {index} is outside the design space")
+            }
+            CircuitError::SizingLengthMismatch { expected, found } => {
+                write!(
+                    f,
+                    "sizing vector has {found} entries but the topology requires {expected}"
+                )
+            }
+            CircuitError::InvalidDeviceValue { name, value } => {
+                write!(f, "device parameter {name} has invalid value {value}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CircuitError::IndexOutOfRange { index: 99_999 };
+        assert!(e.to_string().contains("99999"));
+        let e = CircuitError::SizingLengthMismatch {
+            expected: 7,
+            found: 3,
+        };
+        assert!(e.to_string().contains('7') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

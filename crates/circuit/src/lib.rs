@@ -1,0 +1,59 @@
+//! Behavior-level op-amp topology design space (INTO-OA reproduction).
+//!
+//! This crate implements Section II-C of the paper: the behavior-level
+//! topology design space for three-stage operational amplifiers.
+//!
+//! * [`CircuitNode`] — the five circuit nodes (`vin, v1, v2, gnd, vout`).
+//! * [`SubcircuitType`] — the 25 variable-subcircuit types.
+//! * [`VariableEdge`] — the five variable slots and the rule set `R`
+//!   (7·7·25·5·5 = 30 625 legal topologies).
+//! * [`Topology`] — a point in the design space, with integer
+//!   encoding/decoding, enumeration, uniform sampling and mutation.
+//! * [`ParamSpace`] / [`DeviceValues`] — the per-topology continuous sizing
+//!   space `S_G`.
+//! * [`Netlist`] / [`elaborate`] — lowering to a primitive small-signal
+//!   netlist (resistors, capacitors, VCCS) for the AC simulator in `oa-sim`.
+//! * [`Process`] — synthetic technology constants (supply, `gm/Id`,
+//!   parasitics).
+//!
+//! # Examples
+//!
+//! Sample a random topology, size it nominally, and elaborate it:
+//!
+//! ```
+//! use oa_circuit::{elaborate, ParamSpace, Process, Topology};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), oa_circuit::CircuitError> {
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+//! let topology = Topology::random(&mut rng);
+//! let space = ParamSpace::for_topology(&topology);
+//! let netlist = elaborate(&topology, &space.nominal(), &Process::default(), 10e-12)?;
+//! assert!(netlist.node_count() >= 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compact;
+mod edge;
+mod error;
+mod netlist;
+mod nodes;
+mod params;
+mod process;
+mod spice;
+mod subcircuit;
+mod topology;
+
+pub use compact::ParseTopologyError;
+pub use edge::VariableEdge;
+pub use error::CircuitError;
+pub use netlist::{elaborate, Element, Netlist, NetlistBuilder, NodeId, STAGE_SIGNS};
+pub use nodes::CircuitNode;
+pub use params::{DeviceValues, EdgeValues, ParamDesc, ParamKind, ParamSpace, ParamTarget};
+pub use process::Process;
+pub use subcircuit::{GmComposite, GmDirection, GmPolarity, PassiveKind, SubcircuitType};
+pub use topology::{Topology, DESIGN_SPACE_SIZE};

@@ -1,0 +1,79 @@
+//! The five circuit nodes of the behavior-level three-stage op-amp.
+
+use std::fmt;
+
+/// A named circuit node of the behavior-level op-amp template (Fig. 1 of the
+/// paper).
+///
+/// A three-stage op-amp has exactly five circuit nodes: the input, the two
+/// inter-stage nodes, ground, and the output.
+///
+/// # Examples
+///
+/// ```
+/// use oa_circuit::CircuitNode;
+///
+/// assert_eq!(CircuitNode::ALL.len(), 5);
+/// assert_eq!(CircuitNode::Vin.to_string(), "vin");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CircuitNode {
+    /// Op-amp input.
+    Vin,
+    /// Output of the first amplifier stage.
+    V1,
+    /// Output of the second amplifier stage.
+    V2,
+    /// Ground / small-signal reference.
+    Gnd,
+    /// Op-amp output.
+    Vout,
+}
+
+impl CircuitNode {
+    /// All five circuit nodes in canonical order.
+    pub const ALL: [CircuitNode; 5] = [
+        CircuitNode::Vin,
+        CircuitNode::V1,
+        CircuitNode::V2,
+        CircuitNode::Gnd,
+        CircuitNode::Vout,
+    ];
+
+    /// A stable short name (also used as the graph-node label).
+    pub fn name(self) -> &'static str {
+        match self {
+            CircuitNode::Vin => "vin",
+            CircuitNode::V1 => "v1",
+            CircuitNode::V2 => "v2",
+            CircuitNode::Gnd => "gnd",
+            CircuitNode::Vout => "vout",
+        }
+    }
+}
+
+impl fmt::Display for CircuitNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = CircuitNode::ALL.iter().map(|n| n.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for n in CircuitNode::ALL {
+            assert_eq!(n.to_string(), n.name());
+        }
+    }
+}

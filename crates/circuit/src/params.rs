@@ -1,0 +1,405 @@
+//! Tunable device parameters and the per-topology sizing space `S_G`.
+//!
+//! Each topology `G` induces a continuous parameter space: one `gm` per
+//! amplifier stage (always three) plus the device values of every connected
+//! variable subcircuit. The sizing optimizer works on the normalized unit
+//! cube `[0,1]^d`; [`ParamSpace::decode`] maps it log-uniformly onto the
+//! physical ranges.
+
+use crate::edge::VariableEdge;
+use crate::error::CircuitError;
+use crate::subcircuit::{GmComposite, SubcircuitType};
+use crate::topology::Topology;
+use std::fmt;
+
+/// The physical kind of one tunable parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// The transconductance of a fixed main amplifier stage. The paper
+    /// fixes the three main stages structurally; only their bias may move
+    /// inside a narrow design window, so gain, bandwidth and power are
+    /// dominated by the topology rather than by sizing freedom.
+    StageGm,
+    /// The transconductance of a variable subcircuit in siemens.
+    Gm,
+    /// A resistance in ohms.
+    Res,
+    /// A capacitance in farads.
+    Cap,
+}
+
+impl ParamKind {
+    /// Physical sizing range `(lo, hi)`; values are drawn log-uniformly.
+    pub fn range(self) -> (f64, f64) {
+        match self {
+            ParamKind::StageGm => (5e-5, 5e-4),
+            ParamKind::Gm => (1e-6, 2e-3),
+            ParamKind::Res => (1e3, 1e7),
+            ParamKind::Cap => (1e-13, 1e-10),
+        }
+    }
+
+    /// Maps a normalized coordinate in `[0,1]` log-uniformly onto the range.
+    /// Inputs outside `[0,1]` are clamped.
+    pub fn from_unit(self, x: f64) -> f64 {
+        let (lo, hi) = self.range();
+        let x = x.clamp(0.0, 1.0);
+        (lo.ln() + x * (hi.ln() - lo.ln())).exp()
+    }
+
+    /// Inverse of [`ParamKind::from_unit`]; values outside the range clamp
+    /// to the cube boundary.
+    pub fn to_unit(self, value: f64) -> f64 {
+        let (lo, hi) = self.range();
+        ((value.ln() - lo.ln()) / (hi.ln() - lo.ln())).clamp(0.0, 1.0)
+    }
+}
+
+/// What a parameter controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamTarget {
+    /// The transconductance of main stage `0..3`.
+    StageGm(usize),
+    /// The transconductance of the variable subcircuit on an edge.
+    EdgeGm(VariableEdge),
+    /// The resistance of the variable subcircuit on an edge.
+    EdgeR(VariableEdge),
+    /// The capacitance of the variable subcircuit on an edge.
+    EdgeC(VariableEdge),
+}
+
+/// Description of one tunable parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDesc {
+    /// Human-readable name, e.g. `"gm2"` or `"R(v1-vout)"`.
+    pub name: String,
+    /// Physical kind (sets the sizing range).
+    pub kind: ParamKind,
+    /// What the parameter controls.
+    pub target: ParamTarget,
+}
+
+/// Device values of one variable subcircuit. Which fields are `Some` is
+/// dictated by the subcircuit type.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EdgeValues {
+    /// Transconductance in siemens, when the type contains a `gm`.
+    pub gm: Option<f64>,
+    /// Resistance in ohms, when the type contains an `R`.
+    pub r: Option<f64>,
+    /// Capacitance in farads, when the type contains a `C`.
+    pub c: Option<f64>,
+}
+
+/// A complete sizing of one topology: three stage transconductances plus the
+/// variable-subcircuit device values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceValues {
+    /// Main-stage transconductances `gm1..gm3` in siemens.
+    pub stage_gm: [f64; 3],
+    /// Per-edge device values, in [`VariableEdge::ALL`] order.
+    pub edges: [EdgeValues; 5],
+}
+
+impl DeviceValues {
+    /// All transconductances in the design (stages plus variable `gm`s),
+    /// used by the power model.
+    pub fn all_gms(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.stage_gm.to_vec();
+        v.extend(self.edges.iter().filter_map(|e| e.gm));
+        v
+    }
+}
+
+/// The continuous sizing space induced by a topology.
+///
+/// # Examples
+///
+/// ```
+/// use oa_circuit::{ParamSpace, Topology};
+///
+/// # fn main() -> Result<(), oa_circuit::CircuitError> {
+/// let t = Topology::bare_cascade();
+/// let space = ParamSpace::for_topology(&t);
+/// assert_eq!(space.dim(), 3); // just gm1..gm3
+/// let v = space.decode(&[0.5, 0.5, 0.5])?;
+/// assert!(v.stage_gm.iter().all(|&g| g > 0.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpace {
+    topology: Topology,
+    params: Vec<ParamDesc>,
+}
+
+impl ParamSpace {
+    /// Builds the sizing space for `topology`.
+    pub fn for_topology(topology: &Topology) -> Self {
+        let mut params = Vec::new();
+        for i in 0..3 {
+            params.push(ParamDesc {
+                name: format!("gm{}", i + 1),
+                kind: ParamKind::StageGm,
+                target: ParamTarget::StageGm(i),
+            });
+        }
+        for edge in VariableEdge::ALL {
+            let ty = topology.type_on(edge);
+            match ty {
+                SubcircuitType::NoConn => {}
+                SubcircuitType::Passive(p) => {
+                    use crate::subcircuit::PassiveKind as P;
+                    if matches!(p, P::R | P::ParallelRc | P::SeriesRc) {
+                        params.push(ParamDesc {
+                            name: format!("R({edge})"),
+                            kind: ParamKind::Res,
+                            target: ParamTarget::EdgeR(edge),
+                        });
+                    }
+                    if matches!(p, P::C | P::ParallelRc | P::SeriesRc) {
+                        params.push(ParamDesc {
+                            name: format!("C({edge})"),
+                            kind: ParamKind::Cap,
+                            target: ParamTarget::EdgeC(edge),
+                        });
+                    }
+                }
+                SubcircuitType::Gm { composite, .. } => {
+                    params.push(ParamDesc {
+                        name: format!("gm({edge})"),
+                        kind: ParamKind::Gm,
+                        target: ParamTarget::EdgeGm(edge),
+                    });
+                    match composite {
+                        GmComposite::Bare => {}
+                        GmComposite::ParallelR | GmComposite::SeriesR => {
+                            params.push(ParamDesc {
+                                name: format!("R({edge})"),
+                                kind: ParamKind::Res,
+                                target: ParamTarget::EdgeR(edge),
+                            });
+                        }
+                        GmComposite::ParallelC | GmComposite::SeriesC => {
+                            params.push(ParamDesc {
+                                name: format!("C({edge})"),
+                                kind: ParamKind::Cap,
+                                target: ParamTarget::EdgeC(edge),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        ParamSpace {
+            topology: *topology,
+            params,
+        }
+    }
+
+    /// The topology this space belongs to.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Dimensionality of the sizing cube.
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Descriptions of all parameters, in decode order.
+    pub fn params(&self) -> &[ParamDesc] {
+        &self.params
+    }
+
+    /// Indices (into the sizing vector) of the parameters belonging to the
+    /// variable subcircuit on `edge`. Used by topology refinement to resize
+    /// only the modified circuit part.
+    pub fn indices_for_edge(&self, edge: VariableEdge) -> Vec<usize> {
+        self.params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                matches!(
+                    p.target,
+                    ParamTarget::EdgeGm(e) | ParamTarget::EdgeR(e) | ParamTarget::EdgeC(e)
+                    if e == edge
+                )
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Decodes a normalized sizing vector into physical device values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SizingLengthMismatch`] if `x.len() != dim()`
+    /// and [`CircuitError::InvalidDeviceValue`] if any entry is non-finite.
+    pub fn decode(&self, x: &[f64]) -> Result<DeviceValues, CircuitError> {
+        if x.len() != self.dim() {
+            return Err(CircuitError::SizingLengthMismatch {
+                expected: self.dim(),
+                found: x.len(),
+            });
+        }
+        let mut values = DeviceValues {
+            stage_gm: [0.0; 3],
+            edges: [EdgeValues::default(); 5],
+        };
+        for (desc, &xi) in self.params.iter().zip(x) {
+            if !xi.is_finite() {
+                return Err(CircuitError::InvalidDeviceValue {
+                    name: desc.name.clone(),
+                    value: xi,
+                });
+            }
+            let value = desc.kind.from_unit(xi);
+            match desc.target {
+                ParamTarget::StageGm(i) => values.stage_gm[i] = value,
+                ParamTarget::EdgeGm(e) => values.edges[e.index()].gm = Some(value),
+                ParamTarget::EdgeR(e) => values.edges[e.index()].r = Some(value),
+                ParamTarget::EdgeC(e) => values.edges[e.index()].c = Some(value),
+            }
+        }
+        Ok(values)
+    }
+
+    /// Encodes physical device values back into the normalized cube
+    /// (inverse of [`ParamSpace::decode`]; out-of-range values clamp).
+    pub fn encode(&self, values: &DeviceValues) -> Vec<f64> {
+        self.params
+            .iter()
+            .map(|desc| {
+                let v = match desc.target {
+                    ParamTarget::StageGm(i) => values.stage_gm[i],
+                    ParamTarget::EdgeGm(e) => values.edges[e.index()].gm.unwrap_or(1e-6),
+                    ParamTarget::EdgeR(e) => values.edges[e.index()].r.unwrap_or(1e3),
+                    ParamTarget::EdgeC(e) => values.edges[e.index()].c.unwrap_or(1e-14),
+                };
+                desc.kind.to_unit(v)
+            })
+            .collect()
+    }
+
+    /// The midpoint sizing (all coordinates 0.5), a sane simulation default.
+    pub fn nominal(&self) -> DeviceValues {
+        self.decode(&vec![0.5; self.dim()])
+            .expect("midpoint vector always has the right length")
+    }
+}
+
+impl fmt::Display for ParamSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ParamSpace(dim={}: ", self.dim())?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            f.write_str(&p.name)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subcircuit::{GmDirection, GmPolarity, PassiveKind};
+
+    fn rich_topology() -> Topology {
+        Topology::bare_cascade()
+            .with_type(
+                VariableEdge::VinV2,
+                SubcircuitType::Gm {
+                    polarity: GmPolarity::Minus,
+                    direction: GmDirection::Forward,
+                    composite: GmComposite::SeriesR,
+                },
+            )
+            .unwrap()
+            .with_type(
+                VariableEdge::V1Vout,
+                SubcircuitType::Passive(PassiveKind::SeriesRc),
+            )
+            .unwrap()
+            .with_type(VariableEdge::V2Gnd, SubcircuitType::Passive(PassiveKind::C))
+            .unwrap()
+    }
+
+    #[test]
+    fn dimension_counts_parameters_per_type() {
+        let space = ParamSpace::for_topology(&rich_topology());
+        // 3 stage gms + (gm+R) + (R+C) + C = 3 + 2 + 2 + 1 = 8.
+        assert_eq!(space.dim(), 8);
+    }
+
+    #[test]
+    fn decode_encode_roundtrip() {
+        let space = ParamSpace::for_topology(&rich_topology());
+        let x: Vec<f64> = (0..space.dim()).map(|i| (i as f64 + 1.0) / 10.0).collect();
+        let v = space.decode(&x).unwrap();
+        let x2 = space.encode(&v);
+        for (a, b) in x.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        let space = ParamSpace::for_topology(&Topology::bare_cascade());
+        assert!(matches!(
+            space.decode(&[0.5]),
+            Err(CircuitError::SizingLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_nan() {
+        let space = ParamSpace::for_topology(&Topology::bare_cascade());
+        assert!(matches!(
+            space.decode(&[0.5, f64::NAN, 0.5]),
+            Err(CircuitError::InvalidDeviceValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unit_mapping_hits_range_endpoints() {
+        for kind in [
+            ParamKind::StageGm,
+            ParamKind::Gm,
+            ParamKind::Res,
+            ParamKind::Cap,
+        ] {
+            let (lo, hi) = kind.range();
+            assert!((kind.from_unit(0.0) - lo).abs() / lo < 1e-12);
+            assert!((kind.from_unit(1.0) - hi).abs() / hi < 1e-12);
+            assert!((kind.to_unit(lo) - 0.0).abs() < 1e-12);
+            assert!((kind.to_unit(hi) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_cube_inputs_clamp() {
+        assert_eq!(ParamKind::Gm.from_unit(-1.0), ParamKind::Gm.from_unit(0.0));
+        assert_eq!(ParamKind::Gm.from_unit(2.0), ParamKind::Gm.from_unit(1.0));
+    }
+
+    #[test]
+    fn indices_for_edge_select_only_that_edge() {
+        let space = ParamSpace::for_topology(&rich_topology());
+        let idx = space.indices_for_edge(VariableEdge::V1Vout);
+        assert_eq!(idx.len(), 2);
+        for i in idx {
+            assert!(space.params()[i].name.contains("v1-vout"));
+        }
+        assert!(space.indices_for_edge(VariableEdge::V1Gnd).is_empty());
+    }
+
+    #[test]
+    fn all_gms_includes_edge_transconductors() {
+        let space = ParamSpace::for_topology(&rich_topology());
+        let v = space.nominal();
+        assert_eq!(v.all_gms().len(), 4); // 3 stages + 1 feedforward
+    }
+}

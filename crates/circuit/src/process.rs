@@ -1,0 +1,135 @@
+//! Behavior-level process constants.
+//!
+//! The paper sizes behavioral elements (`gm`, `R`, `C`) directly; parasitic
+//! output resistance `Ro` and capacitance `Co` of each transconductor, the
+//! supply voltage, and the current efficiency are fixed by the technology.
+//! These constants stand in for the authors' 180 nm-class process (see
+//! DESIGN.md §2): they are synthetic but physically shaped, which preserves
+//! every qualitative trade-off the optimizer exploits (gain vs. power,
+//! bandwidth vs. stability, parasitic pole positions).
+
+/// Technology constants used when elaborating behavioral netlists.
+///
+/// # Examples
+///
+/// ```
+/// use oa_circuit::Process;
+///
+/// let p = Process::default();
+/// assert_eq!(p.vdd, 1.8); // the paper's supply voltage
+/// let gm = 100e-6;
+/// assert!(p.output_resistance(gm) > 0.0);
+/// assert!(p.output_capacitance(gm) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Process {
+    /// Supply voltage in volts (paper: 1.8 V).
+    pub vdd: f64,
+    /// Transconductance efficiency `gm/Id` in 1/V; sets the bias current a
+    /// transconductor of a given `gm` costs.
+    pub gm_over_id: f64,
+    /// Intrinsic voltage gain `gm·Ro` of a single behavioral stage;
+    /// `Ro = intrinsic_gain / gm`.
+    pub intrinsic_gain: f64,
+    /// Parasitic output capacitance slope: `Co = co_floor + gm·parasitic_tau`
+    /// (bigger devices ⇒ bigger parasitics).
+    pub parasitic_tau: f64,
+    /// Fixed part of the parasitic output capacitance in farads (wiring).
+    pub co_floor: f64,
+    /// Bandwidth of every behavioral transconductor cell in hertz: the
+    /// effective transconductance rolls off as `gm/(1 + j·f/f_t)`. Ideal
+    /// VCCS cells (infinite bandwidth) let the optimizer exploit
+    /// arbitrarily fast internal paths that no real circuit provides.
+    pub gm_ft_hz: f64,
+    /// Leak conductance from every node to ground in siemens, the standard
+    /// SPICE `GMIN` that keeps the MNA matrix non-singular.
+    pub gmin: f64,
+}
+
+impl Process {
+    /// The default synthetic 180 nm-class process used throughout the
+    /// reproduction.
+    pub const fn default_180nm() -> Self {
+        Process {
+            vdd: 1.8,
+            gm_over_id: 15.0,
+            intrinsic_gain: 80.0,
+            parasitic_tau: 100e-12,
+            co_floor: 150e-15,
+            gm_ft_hz: 20e6,
+            gmin: 1e-12,
+        }
+    }
+
+    /// Parasitic output resistance of a transconductor, `Ro = A0/gm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `gm` is not strictly positive.
+    pub fn output_resistance(&self, gm: f64) -> f64 {
+        debug_assert!(gm > 0.0, "gm must be positive");
+        self.intrinsic_gain / gm
+    }
+
+    /// Parasitic output capacitance of a transconductor,
+    /// `Co = co_floor + gm·τ`.
+    pub fn output_capacitance(&self, gm: f64) -> f64 {
+        self.co_floor + gm * self.parasitic_tau
+    }
+
+    /// Bias current a transconductor of value `gm` costs, `I = gm/(gm/Id)`.
+    pub fn bias_current(&self, gm: f64) -> f64 {
+        gm / self.gm_over_id
+    }
+
+    /// Static power of a set of transconductors, `P = Vdd·ΣI`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oa_circuit::Process;
+    /// let p = Process::default();
+    /// // One 150 µS transconductor at gm/Id = 15 costs 10 µA → 18 µW.
+    /// let w = p.static_power([150e-6]);
+    /// assert!((w - 18e-6).abs() < 1e-12);
+    /// ```
+    pub fn static_power<I: IntoIterator<Item = f64>>(&self, gms: I) -> f64 {
+        self.vdd * gms.into_iter().map(|gm| self.bias_current(gm)).sum::<f64>()
+    }
+}
+
+impl Default for Process {
+    fn default() -> Self {
+        Process::default_180nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parasitic_pole_is_gm_independent_to_first_order() {
+        let p = Process::default();
+        // 1/(Ro·Co) ≈ 1/(A0·τ) once gm·τ dominates the floor.
+        for gm in [2e-3, 5e-3] {
+            let pole = 1.0 / (p.output_resistance(gm) * p.output_capacitance(gm));
+            let ideal = 1.0 / (p.intrinsic_gain * p.parasitic_tau);
+            assert!(pole < ideal);
+            assert!(pole > ideal * 0.4, "pole {pole} vs ideal {ideal}");
+        }
+    }
+
+    #[test]
+    fn power_scales_linearly_with_gm() {
+        let p = Process::default();
+        let w1 = p.static_power([1e-4]);
+        let w2 = p.static_power([2e-4]);
+        assert!((w2 - 2.0 * w1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn default_matches_named_constructor() {
+        assert_eq!(Process::default(), Process::default_180nm());
+    }
+}

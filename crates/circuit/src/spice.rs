@@ -1,0 +1,168 @@
+//! SPICE-deck export for netlists.
+//!
+//! The reproduction's own simulator (`oa-sim`) consumes [`Netlist`]
+//! directly, but a downstream user will want to re-verify designs in a
+//! production SPICE engine. [`Netlist::to_spice`] emits a standard `.AC`
+//! deck: `R`/`C`/`G` cards over named nodes, the unit AC source on the
+//! input, and a band-limited transconductor macro (a `G` element driving an
+//! internal RC pole) for cells with finite `f_t`.
+
+use crate::netlist::{Element, Netlist};
+use std::fmt::Write as _;
+
+impl Netlist {
+    /// Renders the netlist as a SPICE `.AC` deck.
+    ///
+    /// Band-limited VCCS elements are expanded into the standard two-stage
+    /// macro (unit-gain pole stage feeding an ideal VCCS) so the deck works
+    /// in any SPICE dialect without behavioral sources.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oa_circuit::{NetlistBuilder, NodeId};
+    ///
+    /// let mut b = NetlistBuilder::new();
+    /// let inp = b.add_node("in");
+    /// let out = b.add_node("out");
+    /// b.resistor(inp, out, 1e3);
+    /// b.capacitor(out, NodeId::GROUND, 1e-9);
+    /// let deck = b.build(inp, out).to_spice("rc lowpass");
+    /// assert!(deck.contains(".ac dec"));
+    /// assert!(deck.contains("vin in 0 dc 0 ac 1"));
+    /// ```
+    pub fn to_spice(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "* {title}");
+        let _ = writeln!(
+            out,
+            "* exported by into-oa; {} nodes, {} elements, static power {:.3e} W",
+            self.node_count(),
+            self.elements().len(),
+            self.static_power()
+        );
+        let node = |id| {
+            let name = self.node_name(id);
+            if name == "gnd" {
+                "0".to_owned()
+            } else {
+                name.replace(' ', "_")
+            }
+        };
+
+        let mut r_idx = 0usize;
+        let mut c_idx = 0usize;
+        let mut g_idx = 0usize;
+        for e in self.elements() {
+            match *e {
+                Element::Resistor { a, b, ohms } => {
+                    r_idx += 1;
+                    let _ = writeln!(out, "r{} {} {} {:.6e}", r_idx, node(a), node(b), ohms);
+                }
+                Element::Capacitor { a, b, farads } => {
+                    c_idx += 1;
+                    let _ = writeln!(out, "c{} {} {} {:.6e}", c_idx, node(a), node(b), farads);
+                }
+                Element::Vccs {
+                    ctrl_p,
+                    ctrl_n,
+                    out_p,
+                    out_n,
+                    gm,
+                    ft_hz,
+                } => {
+                    g_idx += 1;
+                    match ft_hz {
+                        None => {
+                            let _ = writeln!(
+                                out,
+                                "g{} {} {} {} {} {:.6e}",
+                                g_idx,
+                                node(out_p),
+                                node(out_n),
+                                node(ctrl_p),
+                                node(ctrl_n),
+                                gm
+                            );
+                        }
+                        Some(ft) => {
+                            // Pole macro: unit-gm stage into 1Ω ∥ C with
+                            // RC = 1/(2π·f_t), then the ideal output VCCS
+                            // sensing the internal node.
+                            let cpole = 1.0 / (2.0 * std::f64::consts::PI * ft);
+                            let _ = writeln!(
+                                out,
+                                "gp{g_idx} xg{g_idx} 0 {} {} -1.0",
+                                node(ctrl_p),
+                                node(ctrl_n)
+                            );
+                            let _ = writeln!(out, "rp{g_idx} xg{g_idx} 0 1.0");
+                            let _ = writeln!(out, "cp{g_idx} xg{g_idx} 0 {cpole:.6e}");
+                            let _ = writeln!(
+                                out,
+                                "g{} {} {} xg{} 0 {:.6e}",
+                                g_idx,
+                                node(out_p),
+                                node(out_n),
+                                g_idx,
+                                gm
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out, "vin {} 0 dc 0 ac 1", node(self.input()));
+        let _ = writeln!(out, ".ac dec 20 1e-2 1e10");
+        let _ = writeln!(out, ".print ac v({})", node(self.output()));
+        let _ = writeln!(out, ".end");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{elaborate, NetlistBuilder, NodeId, ParamSpace, Process, Topology};
+
+    #[test]
+    fn deck_contains_all_elements_and_directives() {
+        let t = Topology::bare_cascade();
+        let space = ParamSpace::for_topology(&t);
+        let n = elaborate(&t, &space.nominal(), &Process::default(), 10e-12).unwrap();
+        let deck = n.to_spice("bare cascade");
+        // 3 band-limited stages → 3 pole macros with 4 cards each.
+        assert_eq!(deck.matches("\ngp").count(), 3);
+        assert_eq!(deck.matches("\nrp").count(), 3);
+        assert!(deck.contains(".ac dec"));
+        assert!(deck.contains(".end"));
+        assert!(deck.contains("v(vout)"));
+        // Ground is node 0, never named "gnd".
+        assert!(!deck.contains(" gnd "));
+    }
+
+    #[test]
+    fn ideal_vccs_exports_single_g_card() {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.inject_gm(inp, out, -2e-3);
+        b.resistor(out, NodeId::GROUND, 1e4);
+        let deck = b.build(inp, out).to_spice("one stage");
+        assert!(deck.contains("g1 0 out in 0 -2.000000e-3")
+            || deck.contains("g1 0 out in 0 -2e-3")
+            || deck.contains("g1 0 out in 0 -2.000000e-3".replace("e-3", "e-03").as_str()),
+            "deck was:\n{deck}");
+        assert!(!deck.contains("gp1"));
+    }
+
+    #[test]
+    fn pole_macro_time_constant_matches_ft() {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.inject_gm_banded(inp, out, 1e-3, 1e6);
+        let deck = b.build(inp, out).to_spice("banded");
+        // RC = 1/(2π·1e6) ≈ 1.59e-7 with R = 1.
+        assert!(deck.contains("1.591549e-7") || deck.contains("1.591549e-07"), "{deck}");
+    }
+}

@@ -1,0 +1,338 @@
+//! The 25 variable-subcircuit types of the behavior-level design space.
+//!
+//! Section II-C of the paper: between a pair of circuit nodes, a *variable
+//! subcircuit* can take at most 25 types —
+//!
+//! * a single `R` or `C` (2 types),
+//! * `R` and `C` connected in parallel or in series (2 types),
+//! * a transconductor `gm` with two polarities and two directions (4 types),
+//! * a `gm` combined with an `R` or a `C`, in parallel or in series
+//!   (4 × 4 = 16 types),
+//! * no connection (1 type).
+
+use std::fmt;
+
+/// A purely passive subcircuit shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PassiveKind {
+    /// A single resistor.
+    R,
+    /// A single capacitor.
+    C,
+    /// Resistor and capacitor in parallel.
+    ParallelRc,
+    /// Resistor and capacitor in series (the paper's `RCs`).
+    SeriesRc,
+}
+
+impl PassiveKind {
+    /// All passive shapes in canonical order.
+    pub const ALL: [PassiveKind; 4] = [
+        PassiveKind::R,
+        PassiveKind::C,
+        PassiveKind::ParallelRc,
+        PassiveKind::SeriesRc,
+    ];
+
+    /// Short mnemonic matching the paper's notation (`RCs` = series RC).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            PassiveKind::R => "R",
+            PassiveKind::C => "C",
+            PassiveKind::ParallelRc => "RCp",
+            PassiveKind::SeriesRc => "RCs",
+        }
+    }
+
+    /// Number of tunable device parameters of this shape.
+    pub fn param_count(self) -> usize {
+        match self {
+            PassiveKind::R | PassiveKind::C => 1,
+            PassiveKind::ParallelRc | PassiveKind::SeriesRc => 2,
+        }
+    }
+}
+
+/// Transconductor polarity: the sign of the controlled current.
+///
+/// A `Minus` transconductor realizes an inverting behavioral stage
+/// (`i_out = -gm·v_ctrl`), a `Plus` one a non-inverting stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GmPolarity {
+    /// Non-inverting: `i_out = +gm·v_ctrl`.
+    Plus,
+    /// Inverting: `i_out = -gm·v_ctrl`.
+    Minus,
+}
+
+impl GmPolarity {
+    /// Both polarities in canonical order.
+    pub const ALL: [GmPolarity; 2] = [GmPolarity::Plus, GmPolarity::Minus];
+
+    /// Signed multiplier (+1.0 or -1.0) for netlist stamping.
+    pub fn sign(self) -> f64 {
+        match self {
+            GmPolarity::Plus => 1.0,
+            GmPolarity::Minus => -1.0,
+        }
+    }
+
+    /// `"+"` or `"-"`, matching the paper's `±gm` notation.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            GmPolarity::Plus => "+",
+            GmPolarity::Minus => "-",
+        }
+    }
+}
+
+/// Transconductor direction across the (ordered) pair of edge endpoints.
+///
+/// Every [`crate::VariableEdge`] has a canonical `(first, second)` endpoint
+/// order; `Forward` senses the voltage at `first` and drives current into
+/// `second`, `Reverse` the opposite. Feedforward paths are `Forward`,
+/// feedback paths `Reverse`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GmDirection {
+    /// Control at the first endpoint, output at the second.
+    Forward,
+    /// Control at the second endpoint, output at the first.
+    Reverse,
+}
+
+impl GmDirection {
+    /// Both directions in canonical order.
+    pub const ALL: [GmDirection; 2] = [GmDirection::Forward, GmDirection::Reverse];
+}
+
+/// How a passive element is combined with a transconductor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GmComposite {
+    /// Just the transconductor.
+    Bare,
+    /// Resistor in parallel with the transconductor.
+    ParallelR,
+    /// Resistor in series with the transconductor output (the paper's
+    /// `gmRs`).
+    SeriesR,
+    /// Capacitor in parallel with the transconductor.
+    ParallelC,
+    /// Capacitor in series with the transconductor output.
+    SeriesC,
+}
+
+impl GmComposite {
+    /// All composite shapes in canonical order.
+    pub const ALL: [GmComposite; 5] = [
+        GmComposite::Bare,
+        GmComposite::ParallelR,
+        GmComposite::SeriesR,
+        GmComposite::ParallelC,
+        GmComposite::SeriesC,
+    ];
+
+    /// Suffix used in the mnemonic (`""`, `"Rp"`, `"Rs"`, `"Cp"`, `"Cs"`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            GmComposite::Bare => "",
+            GmComposite::ParallelR => "Rp",
+            GmComposite::SeriesR => "Rs",
+            GmComposite::ParallelC => "Cp",
+            GmComposite::SeriesC => "Cs",
+        }
+    }
+
+    /// Number of tunable parameters contributed by the passive companion.
+    pub fn extra_param_count(self) -> usize {
+        match self {
+            GmComposite::Bare => 0,
+            _ => 1,
+        }
+    }
+}
+
+/// One of the 25 variable-subcircuit types.
+///
+/// # Examples
+///
+/// ```
+/// use oa_circuit::SubcircuitType;
+///
+/// assert_eq!(SubcircuitType::catalog().len(), 25);
+/// let nc = SubcircuitType::NoConn;
+/// assert!(nc.is_no_conn());
+/// assert_eq!(nc.param_count(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SubcircuitType {
+    /// No connection between the node pair.
+    NoConn,
+    /// A purely passive subcircuit.
+    Passive(PassiveKind),
+    /// A transconductor, optionally combined with a passive element.
+    Gm {
+        /// Sign of the controlled current.
+        polarity: GmPolarity,
+        /// Which endpoint is sensed and which is driven.
+        direction: GmDirection,
+        /// Companion passive element, if any.
+        composite: GmComposite,
+    },
+}
+
+impl SubcircuitType {
+    /// The full catalog of 25 types in canonical order (`NoConn` first,
+    /// then passives, then transconductor composites).
+    pub fn catalog() -> Vec<SubcircuitType> {
+        let mut v = Vec::with_capacity(25);
+        v.push(SubcircuitType::NoConn);
+        for p in PassiveKind::ALL {
+            v.push(SubcircuitType::Passive(p));
+        }
+        for polarity in GmPolarity::ALL {
+            for direction in GmDirection::ALL {
+                for composite in GmComposite::ALL {
+                    v.push(SubcircuitType::Gm {
+                        polarity,
+                        direction,
+                        composite,
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    /// Returns `true` for the "no connection" type.
+    pub fn is_no_conn(self) -> bool {
+        matches!(self, SubcircuitType::NoConn)
+    }
+
+    /// Returns `true` if the subcircuit contains a transconductor.
+    pub fn has_gm(self) -> bool {
+        matches!(self, SubcircuitType::Gm { .. })
+    }
+
+    /// Number of tunable device parameters (resistances, capacitances,
+    /// transconductances) of this type.
+    pub fn param_count(self) -> usize {
+        match self {
+            SubcircuitType::NoConn => 0,
+            SubcircuitType::Passive(p) => p.param_count(),
+            SubcircuitType::Gm { composite, .. } => 1 + composite.extra_param_count(),
+        }
+    }
+
+    /// A compact, stable mnemonic. This string doubles as the graph-node
+    /// label in `oa-graph`, so it must be unique per type.
+    ///
+    /// Examples: `"NC"`, `"RCs"`, `"-gmRs>"` (forward inverting gm with
+    /// series R), `"+gm<"` (reverse non-inverting gm).
+    pub fn mnemonic(self) -> String {
+        match self {
+            SubcircuitType::NoConn => "NC".to_owned(),
+            SubcircuitType::Passive(p) => p.mnemonic().to_owned(),
+            SubcircuitType::Gm {
+                polarity,
+                direction,
+                composite,
+            } => {
+                let arrow = match direction {
+                    GmDirection::Forward => ">",
+                    GmDirection::Reverse => "<",
+                };
+                format!("{}gm{}{}", polarity.symbol(), composite.suffix(), arrow)
+            }
+        }
+    }
+}
+
+impl fmt::Display for SubcircuitType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalog_has_25_unique_types() {
+        let cat = SubcircuitType::catalog();
+        assert_eq!(cat.len(), 25);
+        let set: HashSet<_> = cat.iter().copied().collect();
+        assert_eq!(set.len(), 25);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let cat = SubcircuitType::catalog();
+        let set: HashSet<_> = cat.iter().map(|t| t.mnemonic()).collect();
+        assert_eq!(set.len(), 25);
+    }
+
+    #[test]
+    fn catalog_type_breakdown_matches_paper() {
+        let cat = SubcircuitType::catalog();
+        let no_conn = cat.iter().filter(|t| t.is_no_conn()).count();
+        let passive = cat
+            .iter()
+            .filter(|t| matches!(t, SubcircuitType::Passive(_)))
+            .count();
+        let bare_gm = cat
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t,
+                    SubcircuitType::Gm {
+                        composite: GmComposite::Bare,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let gm_with_passive = cat
+            .iter()
+            .filter(|t| t.has_gm() && t.param_count() == 2)
+            .count();
+        assert_eq!(no_conn, 1);
+        assert_eq!(passive, 4);
+        assert_eq!(bare_gm, 4);
+        assert_eq!(gm_with_passive, 16);
+    }
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(SubcircuitType::NoConn.param_count(), 0);
+        assert_eq!(SubcircuitType::Passive(PassiveKind::R).param_count(), 1);
+        assert_eq!(
+            SubcircuitType::Passive(PassiveKind::SeriesRc).param_count(),
+            2
+        );
+        assert_eq!(
+            SubcircuitType::Gm {
+                polarity: GmPolarity::Minus,
+                direction: GmDirection::Forward,
+                composite: GmComposite::SeriesR,
+            }
+            .param_count(),
+            2
+        );
+    }
+
+    #[test]
+    fn mnemonic_examples_match_paper_notation() {
+        let neg_gm_rs = SubcircuitType::Gm {
+            polarity: GmPolarity::Minus,
+            direction: GmDirection::Forward,
+            composite: GmComposite::SeriesR,
+        };
+        assert_eq!(neg_gm_rs.mnemonic(), "-gmRs>");
+        assert_eq!(
+            SubcircuitType::Passive(PassiveKind::SeriesRc).mnemonic(),
+            "RCs"
+        );
+    }
+}

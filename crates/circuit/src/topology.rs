@@ -1,0 +1,364 @@
+//! Behavior-level op-amp topologies: the point type of the design space.
+
+use crate::edge::VariableEdge;
+use crate::error::CircuitError;
+use crate::subcircuit::SubcircuitType;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// Total number of distinct three-stage behavior-level topologies
+/// (`7 · 7 · 25 · 5 · 5`).
+pub const DESIGN_SPACE_SIZE: usize = 30_625;
+
+/// A behavior-level op-amp topology: one subcircuit-type choice per
+/// [`VariableEdge`], with the three main amplifier stages implied.
+///
+/// Topologies are cheap to copy and hashable, so optimizers can keep visited
+/// sets. The integer encoding ([`Topology::index`] /
+/// [`Topology::from_index`]) is a mixed-radix code over the per-edge rule
+/// sets and enumerates exactly the 30 625 legal designs.
+///
+/// # Examples
+///
+/// ```
+/// use oa_circuit::{Topology, DESIGN_SPACE_SIZE};
+///
+/// # fn main() -> Result<(), oa_circuit::CircuitError> {
+/// let t = Topology::from_index(12_345)?;
+/// assert_eq!(t.index(), 12_345);
+/// assert!(Topology::from_index(DESIGN_SPACE_SIZE).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    types: [SubcircuitType; 5],
+}
+
+impl Topology {
+    /// Builds a topology from one type per edge (in [`VariableEdge::ALL`]
+    /// order), validating each against the rule set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::IllegalType`] if any type violates the rules
+    /// for its edge.
+    pub fn new(types: [SubcircuitType; 5]) -> Result<Self, CircuitError> {
+        for (edge, &ty) in VariableEdge::ALL.iter().zip(&types) {
+            if !edge.allows(ty) {
+                return Err(CircuitError::IllegalType { edge: *edge, ty });
+            }
+        }
+        Ok(Topology { types })
+    }
+
+    /// The topology in which every variable edge is unconnected: a plain
+    /// uncompensated three-stage cascade.
+    pub fn bare_cascade() -> Self {
+        Topology {
+            types: [SubcircuitType::NoConn; 5],
+        }
+    }
+
+    /// The subcircuit type on `edge`.
+    pub fn type_on(&self, edge: VariableEdge) -> SubcircuitType {
+        self.types[edge.index()]
+    }
+
+    /// All five types, in [`VariableEdge::ALL`] order.
+    pub fn types(&self) -> &[SubcircuitType; 5] {
+        &self.types
+    }
+
+    /// Returns a copy with `edge` replaced by `ty`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::IllegalType`] if `ty` is not allowed on
+    /// `edge`.
+    pub fn with_type(&self, edge: VariableEdge, ty: SubcircuitType) -> Result<Self, CircuitError> {
+        if !edge.allows(ty) {
+            return Err(CircuitError::IllegalType { edge, ty });
+        }
+        let mut types = self.types;
+        types[edge.index()] = ty;
+        Ok(Topology { types })
+    }
+
+    /// Mixed-radix integer encoding in `0..DESIGN_SPACE_SIZE`.
+    pub fn index(&self) -> usize {
+        let mut idx = 0usize;
+        for (edge, &ty) in VariableEdge::ALL.iter().zip(&self.types) {
+            let allowed = edge.allowed_types();
+            let pos = allowed
+                .iter()
+                .position(|&t| t == ty)
+                .expect("validated type must be in the allowed set");
+            idx = idx * allowed.len() + pos;
+        }
+        idx
+    }
+
+    /// Decodes a mixed-radix index produced by [`Topology::index`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::IndexOutOfRange`] if
+    /// `index >= DESIGN_SPACE_SIZE`.
+    pub fn from_index(index: usize) -> Result<Self, CircuitError> {
+        if index >= DESIGN_SPACE_SIZE {
+            return Err(CircuitError::IndexOutOfRange { index });
+        }
+        let mut rem = index;
+        let mut types = [SubcircuitType::NoConn; 5];
+        for edge in VariableEdge::ALL.iter().rev() {
+            let allowed = edge.allowed_types();
+            let pos = rem % allowed.len();
+            rem /= allowed.len();
+            types[edge.index()] = allowed[pos];
+        }
+        Ok(Topology { types })
+    }
+
+    /// Iterates over the full design space in index order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oa_circuit::Topology;
+    /// assert_eq!(Topology::enumerate().count(), 30_625);
+    /// ```
+    pub fn enumerate() -> impl Iterator<Item = Topology> {
+        (0..DESIGN_SPACE_SIZE).map(|i| Topology::from_index(i).expect("index in range"))
+    }
+
+    /// Draws a topology uniformly at random from the design space.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut types = [SubcircuitType::NoConn; 5];
+        for edge in VariableEdge::ALL {
+            let allowed = edge.allowed_types();
+            types[edge.index()] = *allowed.choose(rng).expect("rule sets are non-empty");
+        }
+        Topology { types }
+    }
+
+    /// Mutates the topology as in Section III-D: every variable edge is
+    /// re-drawn (to a *different* legal type) independently with probability
+    /// `1/5`, so the expected number of mutated subcircuits is one. If no
+    /// edge fired, one edge chosen uniformly is forced to mutate, so the
+    /// result always differs from `self`.
+    pub fn mutate<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        let mut out = *self;
+        let mut changed = false;
+        for edge in VariableEdge::ALL {
+            if rng.gen::<f64>() < 1.0 / 5.0 {
+                out = out.mutate_edge(edge, rng);
+                changed = true;
+            }
+        }
+        if !changed {
+            let edge = VariableEdge::ALL[rng.gen_range(0..VariableEdge::ALL.len())];
+            out = out.mutate_edge(edge, rng);
+        }
+        out
+    }
+
+    /// Replaces the type on `edge` with a different legal type chosen
+    /// uniformly.
+    pub fn mutate_edge<R: Rng + ?Sized>(&self, edge: VariableEdge, rng: &mut R) -> Self {
+        let current = self.type_on(edge);
+        let alternatives: Vec<SubcircuitType> = edge
+            .allowed_types()
+            .into_iter()
+            .filter(|&t| t != current)
+            .collect();
+        let ty = *alternatives
+            .choose(rng)
+            .expect("every edge has at least two legal types");
+        self.with_type(edge, ty)
+            .expect("alternative drawn from the allowed set")
+    }
+
+    /// All topologies at Hamming distance one (single-edge changes).
+    pub fn neighbors(&self) -> Vec<Topology> {
+        let mut out = Vec::new();
+        for edge in VariableEdge::ALL {
+            let current = self.type_on(edge);
+            for ty in edge.allowed_types() {
+                if ty != current {
+                    out.push(
+                        self.with_type(edge, ty)
+                            .expect("type drawn from allowed set"),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Hamming distance: number of edges whose types differ.
+    pub fn distance(&self, other: &Topology) -> usize {
+        self.types
+            .iter()
+            .zip(&other.types)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Number of connected (non-`NoConn`) variable subcircuits.
+    pub fn connected_count(&self) -> usize {
+        self.types.iter().filter(|t| !t.is_no_conn()).count()
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::bare_cascade()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {{", self.index())?;
+        let mut first = true;
+        for edge in VariableEdge::ALL {
+            let ty = self.type_on(edge);
+            if ty.is_no_conn() {
+                continue;
+            }
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", edge, ty)?;
+            first = false;
+        }
+        if first {
+            write!(f, "bare cascade")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subcircuit::{GmComposite, GmDirection, GmPolarity, PassiveKind};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn index_roundtrip_over_entire_space() {
+        for i in (0..DESIGN_SPACE_SIZE).step_by(97) {
+            let t = Topology::from_index(i).unwrap();
+            assert_eq!(t.index(), i);
+        }
+    }
+
+    #[test]
+    fn enumerate_yields_unique_topologies() {
+        let set: HashSet<Topology> = Topology::enumerate().collect();
+        assert_eq!(set.len(), DESIGN_SPACE_SIZE);
+    }
+
+    #[test]
+    fn new_rejects_rule_violations() {
+        // A passive R on the feedforward vin-v2 edge is illegal.
+        let mut types = [SubcircuitType::NoConn; 5];
+        types[VariableEdge::VinV2.index()] = SubcircuitType::Passive(PassiveKind::R);
+        assert!(matches!(
+            Topology::new(types),
+            Err(CircuitError::IllegalType { .. })
+        ));
+    }
+
+    #[test]
+    fn with_type_preserves_other_edges() {
+        let base = Topology::bare_cascade();
+        let t = base
+            .with_type(
+                VariableEdge::V1Vout,
+                SubcircuitType::Passive(PassiveKind::SeriesRc),
+            )
+            .unwrap();
+        assert_eq!(
+            t.type_on(VariableEdge::V1Vout),
+            SubcircuitType::Passive(PassiveKind::SeriesRc)
+        );
+        for edge in [VariableEdge::VinV2, VariableEdge::VinVout, VariableEdge::V1Gnd] {
+            assert_eq!(t.type_on(edge), SubcircuitType::NoConn);
+        }
+        assert_eq!(t.distance(&base), 1);
+    }
+
+    #[test]
+    fn random_topologies_are_legal_and_diverse() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            let t = Topology::random(&mut rng);
+            // Validation: re-constructing through `new` must succeed.
+            assert!(Topology::new(*t.types()).is_ok());
+            seen.insert(t);
+        }
+        assert!(seen.len() > 150, "random sampling looks degenerate");
+    }
+
+    #[test]
+    fn mutation_always_changes_the_topology() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let base = Topology::random(&mut rng);
+        for _ in 0..100 {
+            let m = base.mutate(&mut rng);
+            assert_ne!(m, base);
+            assert!(Topology::new(*m.types()).is_ok());
+        }
+    }
+
+    #[test]
+    fn mutation_changes_one_edge_in_expectation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let base = Topology::bare_cascade();
+        let total: usize = (0..2000).map(|_| base.mutate(&mut rng).distance(&base)).sum();
+        let mean = total as f64 / 2000.0;
+        // Expected ≈ 1.0 + correction for the forced mutation; allow slack.
+        assert!((0.8..=1.5).contains(&mean), "mean mutated edges = {mean}");
+    }
+
+    #[test]
+    fn neighbors_count_matches_rule_sizes() {
+        let t = Topology::bare_cascade();
+        // Σ (|allowed(e)| - 1) = 6+6+24+4+4 = 44.
+        assert_eq!(t.neighbors().len(), 44);
+        for n in t.neighbors() {
+            assert_eq!(n.distance(&t), 1);
+        }
+    }
+
+    #[test]
+    fn display_mentions_connected_subcircuits() {
+        let t = Topology::bare_cascade()
+            .with_type(
+                VariableEdge::V1Vout,
+                SubcircuitType::Gm {
+                    polarity: GmPolarity::Minus,
+                    direction: GmDirection::Reverse,
+                    composite: GmComposite::Bare,
+                },
+            )
+            .unwrap();
+        let s = t.to_string();
+        assert!(s.contains("v1-vout"), "display was {s}");
+        assert!(Topology::bare_cascade().to_string().contains("bare cascade"));
+    }
+
+    #[test]
+    fn connected_count_tracks_non_nc_edges() {
+        assert_eq!(Topology::bare_cascade().connected_count(), 0);
+        let t = Topology::bare_cascade()
+            .with_type(VariableEdge::V1Gnd, SubcircuitType::Passive(PassiveKind::C))
+            .unwrap();
+        assert_eq!(t.connected_count(), 1);
+    }
+}

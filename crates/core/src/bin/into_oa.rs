@@ -1,0 +1,224 @@
+//! `into-oa` — command-line front end for the INTO-OA library.
+//!
+//! ```text
+//! into-oa synth   --spec S-1 [--seed 0] [--topologies 20] [--strategy mixed|random|mutation]
+//! into-oa eval    --spec S-1 --topology "NC/+gm>/C/NC/NC" [--seed 0]
+//! into-oa explain --spec S-4 [--seed 0]
+//! into-oa spice   --topology "NC/+gm>/C/NC/NC" [--spec S-1]
+//! into-oa specs
+//! ```
+
+use std::process::ExitCode;
+
+use into_oa::{optimize, Evaluator, IntoOaConfig, MetricModels, SizedDesign, Spec};
+use oa_bo::{BoConfig, TopoBoConfig};
+use oa_circuit::{elaborate, ParamSpace, Process, Topology};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "synth" => cmd_synth(&args[1..]),
+        "eval" => cmd_eval(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
+        "spice" => cmd_spice(&args[1..]),
+        "specs" => cmd_specs(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+into-oa — interpretable op-amp topology optimization
+
+commands:
+  synth   --spec S-1 [--seed N] [--topologies N] [--strategy mixed|random|mutation]
+          synthesize a topology for a spec and print the winner
+  eval    --spec S-1 --topology \"NC/+gm>/C/NC/NC\" [--seed N]
+          size and measure one topology under a spec
+  explain --spec S-4 [--seed N]
+          synthesize, then print the WL-GP gradient report of the winner
+  spice   --topology \"NC/+gm>/C/NC/NC\" [--spec S-1]
+          print a SPICE .AC deck of the nominally-sized topology
+  specs   print the Table I specification sets";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_spec(args: &[String]) -> Result<Spec, String> {
+    let name = flag(args, "--spec").unwrap_or_else(|| "S-1".to_owned());
+    Spec::all()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(&name))
+        .ok_or_else(|| format!("unknown spec {name:?} (use S-1..S-5)"))
+}
+
+fn parse_seed(args: &[String]) -> Result<u64, String> {
+    match flag(args, "--seed") {
+        None => Ok(0),
+        Some(s) => s.parse().map_err(|_| format!("bad seed {s:?}")),
+    }
+}
+
+fn parse_topology(args: &[String]) -> Result<Topology, String> {
+    let s = flag(args, "--topology").ok_or("missing --topology")?;
+    // Accept either a compact string or a design-space index.
+    if let Ok(index) = s.parse::<usize>() {
+        return Topology::from_index(index).map_err(|e| e.to_string());
+    }
+    s.parse().map_err(|e| format!("{e}"))
+}
+
+fn print_design(d: &SizedDesign, spec: &Spec) {
+    println!("topology   : {}", d.topology.to_compact_string());
+    println!("  (index {}: {})", d.topology.index(), d.topology);
+    println!("gain       : {:>9.2} dB", d.performance.gain_db);
+    println!("GBW        : {:>9.3} MHz", d.performance.gbw_hz / 1e6);
+    println!("PM         : {:>9.2} deg", d.performance.pm_deg);
+    println!("power      : {:>9.2} uW", d.performance.power_w / 1e-6);
+    println!("FoM        : {:>9.2}", d.fom);
+    println!(
+        "spec {}    : {}",
+        spec.name,
+        if d.feasible { "met" } else { "violated" }
+    );
+}
+
+fn run_config(args: &[String], seed: u64) -> Result<IntoOaConfig, String> {
+    let topologies: usize = match flag(args, "--topologies") {
+        None => 20,
+        Some(s) => s.parse().map_err(|_| format!("bad --topologies {s:?}"))?,
+    };
+    let strategy = match flag(args, "--strategy").as_deref() {
+        None | Some("mixed") => into_oa::CandidateStrategy::Mixed,
+        Some("random") => into_oa::CandidateStrategy::RandomOnly,
+        Some("mutation") => into_oa::CandidateStrategy::MutationOnly,
+        Some(other) => return Err(format!("unknown strategy {other:?}")),
+    };
+    Ok(IntoOaConfig {
+        topo: TopoBoConfig {
+            n_init: (topologies / 4).max(2),
+            n_iter: topologies - (topologies / 4).max(2),
+            pool_size: 100,
+            seed,
+            ..TopoBoConfig::default()
+        },
+        sizing: BoConfig {
+            n_init: 10,
+            n_iter: 30,
+            n_candidates: 100,
+            seed,
+        },
+        strategy,
+        ..IntoOaConfig::default()
+    })
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let spec = parse_spec(args)?;
+    let seed = parse_seed(args)?;
+    let config = run_config(args, seed)?;
+    eprintln!("synthesizing for {spec} …");
+    let run = optimize(&spec, &config);
+    eprintln!(
+        "evaluated {} topologies / {} simulations",
+        run.records.len(),
+        run.total_sims
+    );
+    match run.best_design() {
+        Some(d) => {
+            print_design(d, &spec);
+            Ok(())
+        }
+        None => Err("no design found".to_owned()),
+    }
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let spec = parse_spec(args)?;
+    let seed = parse_seed(args)?;
+    let topology = parse_topology(args)?;
+    let evaluator = Evaluator::new(spec);
+    let (design, sims) = evaluator.size(
+        &topology,
+        &BoConfig {
+            n_init: 10,
+            n_iter: 30,
+            n_candidates: 100,
+            seed,
+        },
+    );
+    eprintln!("sized with {sims} simulations");
+    match design {
+        Some(d) => {
+            print_design(&d, &spec);
+            Ok(())
+        }
+        None => Err("every sizing simulation failed".to_owned()),
+    }
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let spec = parse_spec(args)?;
+    let seed = parse_seed(args)?;
+    let config = run_config(args, seed)?;
+    eprintln!("synthesizing for {spec} …");
+    let run = optimize(&spec, &config);
+    let best = run.best_design().cloned().ok_or("no design found")?;
+    print_design(&best, &spec);
+    let models = MetricModels::fit(&run, 4).map_err(|e| e.to_string())?;
+    println!("\nstructure impact (WL-GP gradient, Eq. 5):");
+    for impact in models.structure_report(&best.topology) {
+        println!("  {} [{}]:", impact.edge, impact.ty);
+        for (metric, g) in &impact.gradients {
+            println!("    {metric:<12} {g:>+9.4}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_spice(args: &[String]) -> Result<(), String> {
+    let spec = parse_spec(args)?;
+    let topology = parse_topology(args)?;
+    let space = ParamSpace::for_topology(&topology);
+    let netlist = elaborate(
+        &topology,
+        &space.nominal(),
+        &Process::default(),
+        spec.cl_farads,
+    )
+    .map_err(|e| e.to_string())?;
+    print!(
+        "{}",
+        netlist.to_spice(&format!(
+            "into-oa export: {} under {}",
+            topology.to_compact_string(),
+            spec.name
+        ))
+    );
+    Ok(())
+}
+
+fn cmd_specs() -> Result<(), String> {
+    for s in Spec::all() {
+        println!("{s}");
+    }
+    Ok(())
+}

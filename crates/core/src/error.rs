@@ -1,0 +1,85 @@
+//! Error type for the INTO-OA framework crate.
+
+use oa_circuit::CircuitError;
+use oa_gp::GpError;
+use oa_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the INTO-OA optimizer, interpretability and
+/// refinement APIs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntoOaError {
+    /// A design-space operation failed.
+    Circuit(CircuitError),
+    /// A circuit simulation failed.
+    Sim(SimError),
+    /// A surrogate model could not be trained or queried.
+    Gp(GpError),
+    /// An optimization run produced no usable design.
+    NoDesignFound,
+    /// The requested metric is not modelled.
+    UnknownMetric {
+        /// The requested metric name.
+        name: String,
+    },
+}
+
+impl fmt::Display for IntoOaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntoOaError::Circuit(e) => write!(f, "circuit error: {e}"),
+            IntoOaError::Sim(e) => write!(f, "simulation error: {e}"),
+            IntoOaError::Gp(e) => write!(f, "surrogate error: {e}"),
+            IntoOaError::NoDesignFound => write!(f, "no usable design found"),
+            IntoOaError::UnknownMetric { name } => write!(f, "unknown metric {name}"),
+        }
+    }
+}
+
+impl Error for IntoOaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IntoOaError::Circuit(e) => Some(e),
+            IntoOaError::Sim(e) => Some(e),
+            IntoOaError::Gp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for IntoOaError {
+    fn from(e: CircuitError) -> Self {
+        IntoOaError::Circuit(e)
+    }
+}
+
+impl From<SimError> for IntoOaError {
+    fn from(e: SimError) -> Self {
+        IntoOaError::Sim(e)
+    }
+}
+
+impl From<GpError> for IntoOaError {
+    fn from(e: GpError) -> Self {
+        IntoOaError::Gp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_preserves_source() {
+        let e = IntoOaError::from(SimError::BadFrequencyGrid);
+        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().contains("simulation"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IntoOaError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! **INTO-OA**: Interpretable Topology Optimization for Operational
+//! Amplifiers — a from-scratch Rust reproduction of the DATE 2025 paper.
+//!
+//! This crate assembles the paper's method from the workspace substrates:
+//!
+//! * [`Spec`] — the design-specification sets of Table I and the FoM of
+//!   Eq. 6.
+//! * [`Evaluator`] — the evaluation oracle: automated sizing (constrained
+//!   BO, [1]) against the complex-MNA AC simulator in `oa-sim`.
+//! * [`optimize`] — the full INTO-OA optimizer: Algorithm 1 (WL kernel
+//!   GP-BO with the mutation + random candidate generator) over the
+//!   30 625-topology behavior-level design space, with the `-r`/`-m`
+//!   ablations as [`CandidateStrategy`] variants.
+//! * [`MetricModels`] / [`removal_sensitivity`] — interpretability: the
+//!   gradient of the WL-GP posterior mean with respect to structural
+//!   features (Eq. 5) identifies performance-critical subcircuits, and
+//!   remove-and-resimulate sensitivity validates it (Section IV-B).
+//! * [`refine`] — gradient-guided refinement of trusted designs with
+//!   minimal modification (Section III-C / IV-C), plus the two literature
+//!   topologies C1/C2 in [`literature`].
+//!
+//! # Examples
+//!
+//! Run a reduced-budget optimization and inspect the winner:
+//!
+//! ```no_run
+//! use into_oa::{optimize, IntoOaConfig, Spec};
+//!
+//! let run = optimize(&Spec::s1(), &IntoOaConfig::quick(0));
+//! if let Some(best) = run.best_design() {
+//!     println!(
+//!         "{} → FoM {:.1}, gain {:.1} dB, GBW {:.2} MHz",
+//!         best.topology, best.fom, best.performance.gain_db,
+//!         best.performance.gbw_hz / 1e6,
+//!     );
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod evaluator;
+mod interpret;
+pub mod literature;
+mod optimizer;
+mod refine;
+mod spec;
+
+pub use error::IntoOaError;
+pub use evaluator::{Evaluator, SizedDesign};
+pub use interpret::{
+    removal_sensitivity, MetricModels, RemovalSensitivity, StructureImpact, MODELLED_METRICS,
+};
+pub use optimizer::{
+    optimize, CandidateStrategy, EvaluatedTopology, IntoOaConfig, OptimizationRun,
+};
+pub use refine::{refine, refinement_spec, RefineAttempt, RefineConfig, RefineOutcome};
+pub use spec::Spec;

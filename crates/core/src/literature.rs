@@ -1,0 +1,147 @@
+//! Behavior-level models of the two literature op-amps refined in
+//! Section IV-C.
+//!
+//! * **C1** — the feedforward-compensated three-stage OTA of Thandri &
+//!   Silva-Martínez (JSSC 2003, [19]): no Miller capacitors; a feedforward
+//!   transconductor from the input to the output plus a feedforward stage
+//!   from `v1` to `vout` with a parallel capacitor. The paper's Fig. 7(a)
+//!   highlights the parallel-connected `−gm` and `C` between `v1` and
+//!   `vout` as the subcircuit its refinement replaces with a bare `−gm`.
+//! * **C2** — the impedance-adapting compensated amplifier of Peng &
+//!   Sansen (JSSC 2011, [20]): series-RC Miller compensation between `v1`
+//!   and `vout` plus an impedance-adapting series RC at the second-stage
+//!   output. Fig. 7(b) highlights the `−gm` between `vin` and `v2`, which
+//!   the refinement replaces by a series-connected `+gm` and `C`.
+
+use oa_circuit::{
+    GmComposite, GmDirection, GmPolarity, PassiveKind, SubcircuitType, Topology, VariableEdge,
+};
+
+/// The behavior-level topology of C1 ([19]): feedforward compensation, no
+/// Miller capacitors.
+///
+/// # Examples
+///
+/// ```
+/// use into_oa::literature;
+/// use oa_circuit::VariableEdge;
+///
+/// let c1 = literature::c1();
+/// assert!(c1.type_on(VariableEdge::VinVout).has_gm());
+/// ```
+pub fn c1() -> Topology {
+    Topology::bare_cascade()
+        .with_type(
+            VariableEdge::VinVout,
+            SubcircuitType::Gm {
+                polarity: GmPolarity::Plus,
+                direction: GmDirection::Forward,
+                composite: GmComposite::Bare,
+            },
+        )
+        .expect("legal feedforward type")
+        .with_type(
+            VariableEdge::V1Vout,
+            SubcircuitType::Gm {
+                polarity: GmPolarity::Minus,
+                direction: GmDirection::Forward,
+                composite: GmComposite::ParallelC,
+            },
+        )
+        .expect("legal v1-vout type")
+}
+
+/// The refined topology R1: the parallel `−gm ∥ C` on `v1–vout` becomes a
+/// bare `−gm` (the modification Fig. 7(a) reports).
+pub fn r1() -> Topology {
+    c1().with_type(
+        VariableEdge::V1Vout,
+        SubcircuitType::Gm {
+            polarity: GmPolarity::Minus,
+            direction: GmDirection::Forward,
+            composite: GmComposite::Bare,
+        },
+    )
+    .expect("legal replacement")
+}
+
+/// The behavior-level topology of C2 ([20]): series-RC Miller compensation
+/// with impedance adapting, plus a feedforward `−gm` into `v2`.
+pub fn c2() -> Topology {
+    Topology::bare_cascade()
+        .with_type(
+            VariableEdge::VinV2,
+            SubcircuitType::Gm {
+                polarity: GmPolarity::Minus,
+                direction: GmDirection::Forward,
+                composite: GmComposite::Bare,
+            },
+        )
+        .expect("legal feedforward type")
+        .with_type(
+            VariableEdge::V1Vout,
+            SubcircuitType::Passive(PassiveKind::SeriesRc),
+        )
+        .expect("legal compensation type")
+        .with_type(
+            VariableEdge::V2Gnd,
+            SubcircuitType::Passive(PassiveKind::SeriesRc),
+        )
+        .expect("legal impedance-adapting type")
+}
+
+/// The refined topology R2: the `−gm` on `vin–v2` becomes a
+/// series-connected `+gm` and `C` (the modification Fig. 7(b) reports).
+pub fn r2() -> Topology {
+    c2().with_type(
+        VariableEdge::VinV2,
+        SubcircuitType::Gm {
+            polarity: GmPolarity::Plus,
+            direction: GmDirection::Forward,
+            composite: GmComposite::SeriesC,
+        },
+    )
+    .expect("legal replacement")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1_matches_fig7a_description() {
+        let t = c1();
+        assert_eq!(
+            t.type_on(VariableEdge::V1Vout).mnemonic(),
+            "-gmCp>",
+            "parallel -gm and C between v1 and vout"
+        );
+        assert!(t.type_on(VariableEdge::VinV2).is_no_conn());
+        assert_eq!(t.connected_count(), 2);
+    }
+
+    #[test]
+    fn c2_matches_fig7b_description() {
+        let t = c2();
+        assert_eq!(t.type_on(VariableEdge::VinV2).mnemonic(), "-gm>");
+        assert_eq!(
+            t.type_on(VariableEdge::V1Vout),
+            SubcircuitType::Passive(PassiveKind::SeriesRc)
+        );
+        assert_eq!(t.connected_count(), 3);
+    }
+
+    #[test]
+    fn refinements_change_exactly_one_edge() {
+        assert_eq!(c1().distance(&r1()), 1);
+        assert_eq!(c2().distance(&r2()), 1);
+        assert_eq!(r2().type_on(VariableEdge::VinV2).mnemonic(), "+gmCs>");
+    }
+
+    #[test]
+    fn all_four_topologies_are_legal() {
+        for t in [c1(), r1(), c2(), r2()] {
+            assert!(Topology::new(*t.types()).is_ok());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Design specifications (Table I) and the figure of merit (Eq. 6).
+
+use oa_sim::OpAmpPerformance;
+use std::fmt;
+
+/// One design-specification set: the constraints a feasible op-amp must
+/// meet and the load it must drive.
+///
+/// # Examples
+///
+/// ```
+/// use into_oa::Spec;
+///
+/// let s1 = Spec::s1();
+/// assert_eq!(s1.min_gain_db, 85.0);
+/// assert_eq!(s1.cl_farads, 10e-12);
+/// assert_eq!(Spec::all().len(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spec {
+    /// Short name, e.g. `"S-1"`.
+    pub name: &'static str,
+    /// Minimum open-loop gain in dB.
+    pub min_gain_db: f64,
+    /// Minimum gain–bandwidth product in Hz.
+    pub min_gbw_hz: f64,
+    /// Minimum phase margin in degrees.
+    pub min_pm_deg: f64,
+    /// Maximum static power in watts.
+    pub max_power_w: f64,
+    /// Load capacitance in farads.
+    pub cl_farads: f64,
+}
+
+impl Spec {
+    /// S-1: the baseline specification.
+    pub const fn s1() -> Spec {
+        Spec {
+            name: "S-1",
+            min_gain_db: 85.0,
+            min_gbw_hz: 0.5e6,
+            min_pm_deg: 55.0,
+            max_power_w: 750e-6,
+            cl_farads: 10e-12,
+        }
+    }
+
+    /// S-2: high gain (> 110 dB).
+    pub const fn s2() -> Spec {
+        Spec {
+            name: "S-2",
+            min_gain_db: 110.0,
+            ..Spec::s1()
+        }
+    }
+
+    /// S-3: high bandwidth (> 5 MHz).
+    pub const fn s3() -> Spec {
+        Spec {
+            name: "S-3",
+            min_gbw_hz: 5e6,
+            ..Spec::s1()
+        }
+    }
+
+    /// S-4: low power (< 150 µW).
+    pub const fn s4() -> Spec {
+        Spec {
+            name: "S-4",
+            max_power_w: 150e-6,
+            ..Spec::s1()
+        }
+    }
+
+    /// S-5: large capacitive load (10 nF).
+    pub const fn s5() -> Spec {
+        Spec {
+            name: "S-5",
+            cl_farads: 10_000e-12,
+            ..Spec::s1()
+        }
+    }
+
+    /// All five specification sets of Table I.
+    pub fn all() -> [Spec; 5] {
+        [Spec::s1(), Spec::s2(), Spec::s3(), Spec::s4(), Spec::s5()]
+    }
+
+    /// Normalized constraint values for a measured performance; feasible
+    /// when every entry ≤ 0. The four entries correspond to gain, GBW,
+    /// phase margin and power, each scaled to order one so the GP
+    /// constraint surrogates are well conditioned.
+    pub fn constraints(&self, perf: &OpAmpPerformance) -> Vec<f64> {
+        let c_gain = (self.min_gain_db - perf.gain_db) / 10.0;
+        let gbw_floor = self.min_gbw_hz * 1e-6;
+        let c_gbw = (self.min_gbw_hz / perf.gbw_hz.max(gbw_floor)).log10();
+        let c_pm = (self.min_pm_deg - perf.pm_deg) / 30.0;
+        let c_power = (perf.power_w / self.max_power_w).log10();
+        vec![c_gain, c_gbw, c_pm, c_power]
+    }
+
+    /// Returns `true` if the performance meets every constraint.
+    pub fn is_met_by(&self, perf: &OpAmpPerformance) -> bool {
+        perf.gain_db >= self.min_gain_db
+            && perf.gbw_hz >= self.min_gbw_hz
+            && perf.pm_deg >= self.min_pm_deg
+            && perf.power_w <= self.max_power_w
+    }
+
+    /// The figure of merit (Eq. 6) of a performance under this spec's load.
+    pub fn fom(&self, perf: &OpAmpPerformance) -> f64 {
+        perf.fom(self.cl_farads)
+    }
+
+    /// Names of the four constrained metrics, aligned with
+    /// [`Spec::constraints`].
+    pub const METRIC_NAMES: [&'static str; 4] = ["gain", "gbw", "pm", "power"];
+}
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: gain>{}dB gbw>{}MHz pm>{}° power<{}µW CL={}pF",
+            self.name,
+            self.min_gain_db,
+            self.min_gbw_hz / 1e6,
+            self.min_pm_deg,
+            self.max_power_w / 1e-6,
+            self.cl_farads / 1e-12
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_perf() -> OpAmpPerformance {
+        OpAmpPerformance {
+            gain_db: 95.0,
+            gbw_hz: 2e6,
+            pm_deg: 65.0,
+            power_w: 100e-6,
+        }
+    }
+
+    #[test]
+    fn table1_values_match_paper() {
+        let specs = Spec::all();
+        assert_eq!(specs[1].min_gain_db, 110.0);
+        assert_eq!(specs[2].min_gbw_hz, 5e6);
+        assert_eq!(specs[3].max_power_w, 150e-6);
+        assert_eq!(specs[4].cl_farads, 10_000e-12);
+        // All share the baseline elsewhere.
+        for s in &specs {
+            assert_eq!(s.min_pm_deg, 55.0);
+        }
+    }
+
+    #[test]
+    fn constraints_match_is_met_by() {
+        let perf = good_perf();
+        for s in Spec::all() {
+            let cons = s.constraints(&perf);
+            assert_eq!(cons.len(), 4);
+            let all_neg = cons.iter().all(|&c| c <= 0.0);
+            assert_eq!(all_neg, s.is_met_by(&perf), "{s}");
+        }
+    }
+
+    #[test]
+    fn zero_gbw_is_heavily_violating() {
+        let mut perf = good_perf();
+        perf.gbw_hz = 0.0;
+        let cons = Spec::s1().constraints(&perf);
+        assert!(cons[1] >= 5.0, "gbw violation too soft: {}", cons[1]);
+    }
+
+    #[test]
+    fn s1_feasible_example() {
+        assert!(Spec::s1().is_met_by(&good_perf()));
+        assert!(!Spec::s2().is_met_by(&good_perf())); // needs 110 dB
+        assert!(!Spec::s3().is_met_by(&good_perf())); // needs 5 MHz
+    }
+
+    #[test]
+    fn fom_uses_spec_load() {
+        let perf = good_perf();
+        // 2 MHz · 10 pF / 0.1 mW = 200 for S-1; ×1000 for S-5's load.
+        assert!((Spec::s1().fom(&perf) - 200.0).abs() < 1e-9);
+        assert!((Spec::s5().fom(&perf) - 200_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(Spec::s4().to_string().contains("S-4"));
+    }
+}

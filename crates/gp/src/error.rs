@@ -1,0 +1,84 @@
+//! Error type for Gaussian-process training and prediction.
+
+use oa_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by GP fitting or prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// Training inputs and targets have different lengths, or are empty.
+    BadTrainingSet {
+        /// Number of inputs.
+        inputs: usize,
+        /// Number of targets.
+        targets: usize,
+    },
+    /// A target value is non-finite.
+    NonFiniteTarget {
+        /// Index of the offending target.
+        index: usize,
+    },
+    /// The Gram matrix could not be factorized even with jitter.
+    GramNotPd {
+        /// Underlying linear-algebra error.
+        source: LinalgError,
+    },
+    /// A prediction input has the wrong dimension.
+    DimensionMismatch {
+        /// Expected input dimension.
+        expected: usize,
+        /// Provided input dimension.
+        found: usize,
+    },
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::BadTrainingSet { inputs, targets } => write!(
+                f,
+                "bad training set: {inputs} inputs vs {targets} targets (both must be equal and non-zero)"
+            ),
+            GpError::NonFiniteTarget { index } => {
+                write!(f, "target {index} is not finite")
+            }
+            GpError::GramNotPd { source } => {
+                write!(f, "gram matrix is not positive definite: {source}")
+            }
+            GpError::DimensionMismatch { expected, found } => {
+                write!(f, "input has dimension {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for GpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GpError::GramNotPd { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = GpError::BadTrainingSet {
+            inputs: 3,
+            targets: 5,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpError>();
+    }
+}

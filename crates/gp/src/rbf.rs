@@ -1,0 +1,253 @@
+//! A squared-exponential GP regressor on the unit cube, used by the
+//! continuous sizing optimizer (Section II-A / [1] of the paper).
+
+use oa_linalg::Matrix;
+
+use crate::error::GpError;
+use crate::train::{fit_gram, FittedGram, TargetScaler};
+
+/// Isotropic squared-exponential (RBF) kernel
+/// `k(a, b) = σ_f² · exp(−‖a−b‖² / (2ℓ²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RbfKernel {
+    /// Lengthscale `ℓ` (inputs live in `[0,1]^d`).
+    pub lengthscale: f64,
+    /// Signal variance `σ_f²`.
+    pub signal_var: f64,
+}
+
+impl RbfKernel {
+    /// Evaluates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs have different lengths.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "kernel input dimension mismatch");
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        self.signal_var * (-d2 / (2.0 * self.lengthscale * self.lengthscale)).exp()
+    }
+}
+
+/// Gaussian-process regression with an RBF kernel and grid-search
+/// hyperparameter selection by maximum marginal likelihood.
+///
+/// # Examples
+///
+/// ```
+/// use oa_gp::GpRegressor;
+///
+/// # fn main() -> Result<(), oa_gp::GpError> {
+/// let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+/// let y: Vec<f64> = x.iter().map(|p| (4.0 * p[0]).sin()).collect();
+/// let gp = GpRegressor::fit(x, y)?;
+/// let (mean, var) = gp.predict(&[0.5])?;
+/// assert!((mean - (2.0f64).sin()).abs() < 0.1);
+/// assert!(var >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpRegressor {
+    x: Vec<Vec<f64>>,
+    kernel: RbfKernel,
+    noise_var: f64,
+    scaler: TargetScaler,
+    fitted: FittedGram,
+}
+
+impl GpRegressor {
+    /// Default lengthscale grid for unit-cube inputs.
+    const LENGTHSCALES: [f64; 5] = [0.05, 0.1, 0.2, 0.5, 1.0];
+    /// Default noise grid.
+    const NOISES: [f64; 3] = [1e-6, 1e-4, 1e-2];
+
+    /// Fits the GP, selecting lengthscale and noise by maximum log marginal
+    /// likelihood over a small grid (targets are z-score normalized and
+    /// `σ_f² = 1` is fixed, the standard parameterization once targets are
+    /// normalized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::BadTrainingSet`] for empty or mismatched data,
+    /// [`GpError::NonFiniteTarget`] for NaN/∞ targets, and
+    /// [`GpError::GramNotPd`] if no hyperparameter combination factorizes.
+    pub fn fit(x: Vec<Vec<f64>>, y: Vec<f64>) -> Result<Self, GpError> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(GpError::BadTrainingSet {
+                inputs: x.len(),
+                targets: y.len(),
+            });
+        }
+        let dim = x[0].len();
+        for xi in &x {
+            if xi.len() != dim {
+                return Err(GpError::DimensionMismatch {
+                    expected: dim,
+                    found: xi.len(),
+                });
+            }
+        }
+        let scaler = TargetScaler::fit(&y)?;
+        let y_norm: Vec<f64> = y.iter().map(|&v| scaler.normalize(v)).collect();
+
+        let mut best: Option<(RbfKernel, f64, FittedGram)> = None;
+        for &ls in &Self::LENGTHSCALES {
+            let kernel = RbfKernel {
+                lengthscale: ls,
+                signal_var: 1.0,
+            };
+            let k = Matrix::from_fn(x.len(), x.len(), |i, j| kernel.eval(&x[i], &x[j]));
+            for &noise in &Self::NOISES {
+                match fit_gram(&k, noise, &y_norm) {
+                    Ok(f) => {
+                        if best.as_ref().is_none_or(|(_, _, b)| f.lml > b.lml) {
+                            best = Some((kernel, noise, f));
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }
+        let (kernel, noise_var, fitted) = best.ok_or(GpError::GramNotPd {
+            source: oa_linalg::LinalgError::NotPositiveDefinite { pivot: 0 },
+        })?;
+        Ok(GpRegressor {
+            x,
+            kernel,
+            noise_var,
+            scaler,
+            fitted,
+        })
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Returns `true` if the training set is empty (never true for a fitted
+    /// model; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The selected kernel hyperparameters.
+    pub fn kernel(&self) -> RbfKernel {
+        self.kernel
+    }
+
+    /// The selected noise variance.
+    pub fn noise_var(&self) -> f64 {
+        self.noise_var
+    }
+
+    /// Posterior mean and (non-negative, de-normalized) variance at `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::DimensionMismatch`] on a wrong input dimension.
+    pub fn predict(&self, x: &[f64]) -> Result<(f64, f64), GpError> {
+        let dim = self.x[0].len();
+        if x.len() != dim {
+            return Err(GpError::DimensionMismatch {
+                expected: dim,
+                found: x.len(),
+            });
+        }
+        let k_star: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean_norm: f64 = k_star
+            .iter()
+            .zip(&self.fitted.alpha)
+            .map(|(k, a)| k * a)
+            .sum();
+        // var = k(x,x) − k*ᵀ (K+σ²I)⁻¹ k*, via the triangular solve.
+        let v = self
+            .fitted
+            .chol
+            .solve_lower(&k_star)
+            .map_err(|source| GpError::GramNotPd { source })?;
+        let explained: f64 = v.iter().map(|t| t * t).sum();
+        let var_norm = (self.kernel.eval(x, x) - explained).max(0.0);
+        Ok((
+            self.scaler.denormalize(mean_norm),
+            self.scaler.denormalize_var(var_norm),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let x = grid1d(6);
+        let y: Vec<f64> = x.iter().map(|p| p[0] * p[0]).collect();
+        let gp = GpRegressor::fit(x.clone(), y.clone()).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, _) = gp.predict(xi).unwrap();
+            assert!((m - yi).abs() < 0.05, "pred {m} vs {yi}");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let x = grid1d(5);
+        let y = vec![0.0, 0.2, 0.1, -0.1, 0.3];
+        let gp = GpRegressor::fit(x, y).unwrap();
+        let (_, var_on) = gp.predict(&[0.5]).unwrap();
+        // Far outside [0,1] the prediction reverts to the prior.
+        let (_, var_off) = gp.predict(&[3.0]).unwrap();
+        assert!(var_off > var_on);
+    }
+
+    #[test]
+    fn mean_reverts_to_prior_far_away() {
+        let x = grid1d(5);
+        let y = vec![10.0, 11.0, 9.5, 10.5, 10.0];
+        let gp = GpRegressor::fit(x, y.clone()).unwrap();
+        let (m, _) = gp.predict(&[5.0]).unwrap();
+        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((m - y_mean).abs() < 0.5, "far-field mean {m}");
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert!(GpRegressor::fit(vec![], vec![]).is_err());
+        assert!(GpRegressor::fit(vec![vec![0.0]], vec![1.0, 2.0]).is_err());
+        assert!(GpRegressor::fit(vec![vec![0.0], vec![0.0, 1.0]], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_prediction_dimension() {
+        let gp = GpRegressor::fit(grid1d(4), vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        assert!(matches!(
+            gp.predict(&[0.1, 0.2]),
+            Err(GpError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_inputs_do_not_crash() {
+        let x = vec![vec![0.5], vec![0.5], vec![0.7]];
+        let y = vec![1.0, 1.1, 2.0];
+        let gp = GpRegressor::fit(x, y).unwrap();
+        let (m, v) = gp.predict(&[0.5]).unwrap();
+        assert!(m.is_finite() && v.is_finite());
+    }
+
+    #[test]
+    fn kernel_peaks_at_zero_distance() {
+        let k = RbfKernel {
+            lengthscale: 0.3,
+            signal_var: 2.0,
+        };
+        assert_eq!(k.eval(&[0.2, 0.4], &[0.2, 0.4]), 2.0);
+        assert!(k.eval(&[0.0], &[1.0]) < 2.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared GP training plumbing: target normalization, Gram factorization
+//! and the log marginal likelihood used for hyperparameter selection.
+
+use oa_linalg::{Cholesky, Matrix};
+
+use crate::error::GpError;
+
+/// Z-score normalization of training targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetScaler {
+    /// Mean of the raw targets.
+    pub mean: f64,
+    /// Standard deviation of the raw targets (floored to avoid division by
+    /// zero on constant data).
+    pub std: f64,
+}
+
+impl TargetScaler {
+    /// Fits the scaler to raw targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::NonFiniteTarget`] if any value is not finite and
+    /// [`GpError::BadTrainingSet`] on an empty slice.
+    pub fn fit(y: &[f64]) -> Result<Self, GpError> {
+        if y.is_empty() {
+            return Err(GpError::BadTrainingSet {
+                inputs: 0,
+                targets: 0,
+            });
+        }
+        for (i, v) in y.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(GpError::NonFiniteTarget { index: i });
+            }
+        }
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let var = y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y.len() as f64;
+        Ok(TargetScaler {
+            mean,
+            std: var.sqrt().max(1e-12),
+        })
+    }
+
+    /// Normalizes a raw target.
+    pub fn normalize(&self, y: f64) -> f64 {
+        (y - self.mean) / self.std
+    }
+
+    /// Restores a normalized value.
+    pub fn denormalize(&self, z: f64) -> f64 {
+        z * self.std + self.mean
+    }
+
+    /// Restores a normalized variance.
+    pub fn denormalize_var(&self, var: f64) -> f64 {
+        var * self.std * self.std
+    }
+}
+
+/// A factorized GP system: `α = (K + σ²I)⁻¹ y` plus the quantities needed
+/// for prediction and model selection.
+#[derive(Debug, Clone)]
+pub struct FittedGram {
+    /// Cholesky factor of the noisy Gram matrix.
+    pub chol: Cholesky,
+    /// Weight vector `α`.
+    pub alpha: Vec<f64>,
+    /// Log marginal likelihood of the (normalized) targets.
+    pub lml: f64,
+}
+
+/// Factorizes `K_signal + noise_var·I` and computes `α` and the log
+/// marginal likelihood for the normalized targets `y_norm`.
+///
+/// # Errors
+///
+/// Returns [`GpError::GramNotPd`] when the jittered factorization fails and
+/// [`GpError::BadTrainingSet`] on a size mismatch.
+pub fn fit_gram(k_signal: &Matrix, noise_var: f64, y_norm: &[f64]) -> Result<FittedGram, GpError> {
+    let n = y_norm.len();
+    if k_signal.rows() != n || k_signal.cols() != n || n == 0 {
+        return Err(GpError::BadTrainingSet {
+            inputs: k_signal.rows(),
+            targets: n,
+        });
+    }
+    let mut k = k_signal.clone();
+    k.add_diag(noise_var.max(0.0));
+    let (chol, _jitter) =
+        Cholesky::new_with_jitter(&k, 1e-10, 10).map_err(|source| GpError::GramNotPd { source })?;
+    let alpha = chol.solve(y_norm).map_err(|source| GpError::GramNotPd { source })?;
+    let data_fit: f64 = y_norm.iter().zip(&alpha).map(|(y, a)| y * a).sum();
+    let lml = -0.5 * data_fit
+        - 0.5 * chol.log_det()
+        - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+    Ok(FittedGram { chol, alpha, lml })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaler_roundtrips() {
+        let y = [1.0, 2.0, 3.0, 10.0];
+        let s = TargetScaler::fit(&y).unwrap();
+        for v in y {
+            assert!((s.denormalize(s.normalize(v)) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaler_handles_constant_targets() {
+        let s = TargetScaler::fit(&[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(s.normalize(5.0), 0.0);
+        assert!(s.std > 0.0);
+    }
+
+    #[test]
+    fn scaler_rejects_nan() {
+        assert!(matches!(
+            TargetScaler::fit(&[1.0, f64::NAN]),
+            Err(GpError::NonFiniteTarget { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn fit_gram_interpolates_with_tiny_noise() {
+        // K = I → α = y/(1+σ²).
+        let k = Matrix::identity(3);
+        let y = [1.0, -1.0, 0.5];
+        let fit = fit_gram(&k, 1e-9, &y).unwrap();
+        for (a, v) in fit.alpha.iter().zip(&y) {
+            assert!((a - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn marginal_likelihood_prefers_matching_noise_level() {
+        // Unit-variance, uncorrelated targets under a unit Gram: a small
+        // noise level explains them better than drowning them in noise.
+        let k = Matrix::identity(4);
+        let y = [1.0, -1.0, 1.0, -1.0];
+        let y_norm: Vec<f64> = {
+            let s = TargetScaler::fit(&y).unwrap();
+            y.iter().map(|&v| s.normalize(v)).collect()
+        };
+        let low = fit_gram(&k, 1e-4, &y_norm).unwrap();
+        let high = fit_gram(&k, 10.0, &y_norm).unwrap();
+        assert!(low.lml > high.lml);
+    }
+
+    #[test]
+    fn fit_gram_rejects_mismatched_sizes() {
+        let k = Matrix::identity(2);
+        assert!(matches!(
+            fit_gram(&k, 0.1, &[1.0, 2.0, 3.0]),
+            Err(GpError::BadTrainingSet { .. })
+        ));
+    }
+}

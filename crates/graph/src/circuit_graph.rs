@@ -1,0 +1,309 @@
+//! The circuit-graph representation of Section III-A.
+//!
+//! Both circuit nodes and subcircuits become graph nodes; connections become
+//! undirected edges. Key representation choices from the paper:
+//!
+//! * the graph is **undirected** and may contain loops (feedforward and
+//!   feedback modules close cycles);
+//! * **subcircuits are nodes**, not edge labels, so the WL kernel can
+//!   extract interpretable subcircuit-centred structures;
+//! * "no connection" subcircuits are **elided** rather than given a type,
+//!   keeping the graph aligned with the actual circuit.
+//!
+//! With five circuit nodes, three fixed stages and at most five variable
+//! subcircuits, every graph has `n ≤ 13` nodes and `m ≤ 16` edges, exactly
+//! the bounds the paper quotes for the WL kernel cost analysis.
+
+use oa_circuit::{CircuitNode, Topology, VariableEdge};
+use std::fmt;
+
+/// Where a graph node comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeOrigin {
+    /// One of the five circuit nodes.
+    Circuit(CircuitNode),
+    /// Fixed main amplifier stage `0..3`.
+    FixedStage(usize),
+    /// The variable subcircuit sitting on an edge.
+    Variable(VariableEdge),
+}
+
+/// An undirected, node-labelled circuit graph.
+///
+/// # Examples
+///
+/// ```
+/// use oa_circuit::Topology;
+/// use oa_graph::CircuitGraph;
+///
+/// let g = CircuitGraph::from_topology(&Topology::bare_cascade());
+/// assert_eq!(g.node_count(), 8);  // 5 circuit nodes + 3 stages
+/// assert_eq!(g.edge_count(), 6);  // each stage touches two circuit nodes
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitGraph {
+    labels: Vec<String>,
+    origins: Vec<NodeOrigin>,
+    adj: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl CircuitGraph {
+    /// Builds the circuit graph of a behavior-level topology.
+    pub fn from_topology(topology: &Topology) -> Self {
+        let mut labels = Vec::new();
+        let mut origins = Vec::new();
+
+        // The five circuit nodes, labelled by name.
+        let mut circuit_idx = [0usize; 5];
+        for (i, cn) in CircuitNode::ALL.iter().enumerate() {
+            circuit_idx[i] = labels.len();
+            labels.push(cn.name().to_owned());
+            origins.push(NodeOrigin::Circuit(*cn));
+        }
+        let idx_of = |cn: CircuitNode| -> usize {
+            circuit_idx[CircuitNode::ALL.iter().position(|&c| c == cn).expect("known node")]
+        };
+
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); labels.len()];
+        let mut edge_count = 0usize;
+        let connect = |adj: &mut Vec<Vec<usize>>, a: usize, b: usize, count: &mut usize| {
+            adj[a].push(b);
+            adj[b].push(a);
+            *count += 1;
+        };
+
+        // Fixed main stages: all share the behavioral label "gm"; their
+        // position in the cascade is recovered by the WL neighborhood
+        // aggregation, not by the initial label.
+        let stage_endpoints = [
+            (CircuitNode::Vin, CircuitNode::V1),
+            (CircuitNode::V1, CircuitNode::V2),
+            (CircuitNode::V2, CircuitNode::Vout),
+        ];
+        for (i, (a, b)) in stage_endpoints.iter().enumerate() {
+            let n = labels.len();
+            labels.push("gm".to_owned());
+            origins.push(NodeOrigin::FixedStage(i));
+            adj.push(Vec::new());
+            connect(&mut adj, n, idx_of(*a), &mut edge_count);
+            connect(&mut adj, n, idx_of(*b), &mut edge_count);
+        }
+
+        // Variable subcircuits, eliding NoConn.
+        for edge in VariableEdge::ALL {
+            let ty = topology.type_on(edge);
+            if ty.is_no_conn() {
+                continue;
+            }
+            let (a, b) = edge.endpoints();
+            let n = labels.len();
+            labels.push(ty.mnemonic());
+            origins.push(NodeOrigin::Variable(edge));
+            adj.push(Vec::new());
+            connect(&mut adj, n, idx_of(a), &mut edge_count);
+            connect(&mut adj, n, idx_of(b), &mut edge_count);
+        }
+
+        for neighbors in &mut adj {
+            neighbors.sort_unstable();
+        }
+        CircuitGraph {
+            labels,
+            origins,
+            adj,
+            edge_count,
+        }
+    }
+
+    /// Number of graph nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Label of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn label(&self, i: usize) -> &str {
+        &self.labels[i]
+    }
+
+    /// Origin (provenance) of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn origin(&self, i: usize) -> NodeOrigin {
+        self.origins[i]
+    }
+
+    /// Sorted neighbor list of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Index of the graph node representing the variable subcircuit on
+    /// `edge`, if that edge is connected.
+    pub fn variable_node(&self, edge: VariableEdge) -> Option<usize> {
+        self.origins
+            .iter()
+            .position(|&o| o == NodeOrigin::Variable(edge))
+    }
+}
+
+impl fmt::Display for CircuitGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph: {} nodes, {} edges", self.node_count(), self.edge_count())?;
+        for i in 0..self.node_count() {
+            write!(f, "  [{}] {} ->", i, self.labels[i])?;
+            for &j in &self.adj[i] {
+                write!(f, " {}", self.labels[j])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_circuit::{GmComposite, GmDirection, GmPolarity, PassiveKind, SubcircuitType};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn bare_cascade_graph_shape() {
+        let g = CircuitGraph::from_topology(&Topology::bare_cascade());
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 6);
+        // gnd is present but isolated in the bare cascade.
+        let gnd = (0..g.node_count())
+            .find(|&i| g.label(i) == "gnd")
+            .expect("gnd node exists");
+        assert!(g.neighbors(gnd).is_empty());
+    }
+
+    #[test]
+    fn paper_bounds_hold_over_random_topologies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..500 {
+            let t = Topology::random(&mut rng);
+            let g = CircuitGraph::from_topology(&t);
+            assert!(g.node_count() <= 13, "n = {}", g.node_count());
+            assert!(g.edge_count() <= 16, "m = {}", g.edge_count());
+        }
+    }
+
+    #[test]
+    fn fully_connected_topology_reaches_bounds() {
+        let t = Topology::bare_cascade()
+            .with_type(
+                VariableEdge::VinV2,
+                SubcircuitType::Gm {
+                    polarity: GmPolarity::Plus,
+                    direction: GmDirection::Forward,
+                    composite: GmComposite::Bare,
+                },
+            )
+            .unwrap()
+            .with_type(
+                VariableEdge::VinVout,
+                SubcircuitType::Gm {
+                    polarity: GmPolarity::Minus,
+                    direction: GmDirection::Forward,
+                    composite: GmComposite::Bare,
+                },
+            )
+            .unwrap()
+            .with_type(
+                VariableEdge::V1Vout,
+                SubcircuitType::Passive(PassiveKind::SeriesRc),
+            )
+            .unwrap()
+            .with_type(VariableEdge::V1Gnd, SubcircuitType::Passive(PassiveKind::R))
+            .unwrap()
+            .with_type(VariableEdge::V2Gnd, SubcircuitType::Passive(PassiveKind::C))
+            .unwrap();
+        let g = CircuitGraph::from_topology(&t);
+        assert_eq!(g.node_count(), 13);
+        assert_eq!(g.edge_count(), 16);
+    }
+
+    #[test]
+    fn no_conn_subcircuits_are_elided() {
+        let t = Topology::bare_cascade()
+            .with_type(VariableEdge::V1Gnd, SubcircuitType::Passive(PassiveKind::C))
+            .unwrap();
+        let g = CircuitGraph::from_topology(&t);
+        assert_eq!(g.node_count(), 9);
+        assert!(g.variable_node(VariableEdge::V1Gnd).is_some());
+        assert!(g.variable_node(VariableEdge::V2Gnd).is_none());
+    }
+
+    #[test]
+    fn variable_node_label_is_type_mnemonic() {
+        let ty = SubcircuitType::Passive(PassiveKind::SeriesRc);
+        let t = Topology::bare_cascade()
+            .with_type(VariableEdge::V1Vout, ty)
+            .unwrap();
+        let g = CircuitGraph::from_topology(&t);
+        let n = g.variable_node(VariableEdge::V1Vout).unwrap();
+        assert_eq!(g.label(n), "RCs");
+        // Its neighbors are v1 and vout.
+        let names: Vec<&str> = g.neighbors(n).iter().map(|&j| g.label(j)).collect();
+        assert_eq!(names, vec!["v1", "vout"]);
+    }
+
+    #[test]
+    fn feedback_gm_closes_a_cycle() {
+        // v1 -> gm2 -> v2 -> gm3 -> vout -> fb -> v1 is a loop; undirected
+        // representation keeps it (unlike a DAG embedding).
+        let t = Topology::bare_cascade()
+            .with_type(
+                VariableEdge::V1Vout,
+                SubcircuitType::Gm {
+                    polarity: GmPolarity::Minus,
+                    direction: GmDirection::Reverse,
+                    composite: GmComposite::Bare,
+                },
+            )
+            .unwrap();
+        let g = CircuitGraph::from_topology(&t);
+        // A connected component containing a cycle has edges >= nodes.
+        // Restrict to nodes reachable from v1.
+        let start = (0..g.node_count()).find(|&i| g.label(i) == "v1").unwrap();
+        let mut seen = vec![false; g.node_count()];
+        let mut stack = vec![start];
+        let mut nodes = 0;
+        let mut half_edges = 0;
+        while let Some(i) = stack.pop() {
+            if seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            nodes += 1;
+            half_edges += g.neighbors(i).len();
+            stack.extend(g.neighbors(i).iter().copied());
+        }
+        assert!(half_edges / 2 >= nodes, "component is a tree, loop lost");
+    }
+
+    #[test]
+    fn display_lists_all_nodes() {
+        let g = CircuitGraph::from_topology(&Topology::bare_cascade());
+        let text = g.to_string();
+        assert_eq!(text.lines().count(), 1 + g.node_count());
+    }
+}

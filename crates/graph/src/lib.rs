@@ -1,0 +1,39 @@
+//! Circuit-graph representation and Weisfeiler–Lehman graph kernel
+//! (Sections III-A and III-B of the INTO-OA paper).
+//!
+//! * [`CircuitGraph`] — undirected, node-labelled graphs in which both
+//!   circuit nodes and subcircuits are graph nodes; "no connection"
+//!   subcircuits are elided.
+//! * [`WlFeaturizer`] / [`WlFeatures`] — iterative WL feature extraction
+//!   with a shared label dictionary, the kernel of Eq. 2, and
+//!   human-readable expansion of compressed labels for interpretability.
+//! * [`SparseVec`] — the sparse count vectors the features live in.
+//!
+//! # Examples
+//!
+//! Measure the structural similarity of two topologies:
+//!
+//! ```
+//! use oa_circuit::Topology;
+//! use oa_graph::{CircuitGraph, WlFeaturizer};
+//!
+//! # fn main() -> Result<(), oa_circuit::CircuitError> {
+//! let mut wl = WlFeaturizer::new();
+//! let a = wl.featurize(&CircuitGraph::from_topology(&Topology::from_index(0)?), 2);
+//! let b = wl.featurize(&CircuitGraph::from_topology(&Topology::from_index(1)?), 2);
+//! let k = a.kernel(&b, 2);
+//! assert!(k > 0.0); // shared three-stage backbone
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit_graph;
+mod sparse;
+mod wl;
+
+pub use circuit_graph::{CircuitGraph, NodeOrigin};
+pub use sparse::SparseVec;
+pub use wl::{WlFeaturizer, WlFeatures};

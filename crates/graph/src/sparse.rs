@@ -1,0 +1,143 @@
+//! Sparse feature vectors for WL label counts.
+
+use std::collections::BTreeMap;
+
+/// A sparse vector of `(feature id, count)` pairs, sorted by id.
+///
+/// WL feature maps count label occurrences; with ≤ 13 graph nodes the
+/// vectors are tiny, so a sorted pair list beats any hash structure.
+///
+/// # Examples
+///
+/// ```
+/// use oa_graph::SparseVec;
+///
+/// let a = SparseVec::from_pairs(vec![(1, 2.0), (5, 1.0)]);
+/// let b = SparseVec::from_pairs(vec![(1, 3.0), (4, 7.0)]);
+/// assert_eq!(a.dot(&b), 6.0);
+/// assert_eq!(a.get(5), 1.0);
+/// assert_eq!(a.get(4), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVec {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVec {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        SparseVec::default()
+    }
+
+    /// Builds from arbitrary pairs; duplicate ids are summed and the result
+    /// is sorted. Zero-valued entries are dropped.
+    pub fn from_pairs<I: IntoIterator<Item = (u32, f64)>>(pairs: I) -> Self {
+        let mut map: BTreeMap<u32, f64> = BTreeMap::new();
+        for (id, v) in pairs {
+            *map.entry(id).or_insert(0.0) += v;
+        }
+        SparseVec {
+            entries: map.into_iter().filter(|&(_, v)| v != 0.0).collect(),
+        }
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Value at feature `id` (0 if absent).
+    pub fn get(&self, id: u32) -> f64 {
+        match self.entries.binary_search_by_key(&id, |e| e.0) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Inner product with another sparse vector.
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (ia, va) = self.entries[i];
+            let (ib, vb) = other.entries[j];
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += va * vb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Merges another vector into this one (entry-wise sum).
+    pub fn merge(&self, other: &SparseVec) -> SparseVec {
+        SparseVec::from_pairs(self.iter().chain(other.iter()))
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+}
+
+impl FromIterator<(u32, f64)> for SparseVec {
+    fn from_iter<I: IntoIterator<Item = (u32, f64)>>(iter: I) -> Self {
+        SparseVec::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let v = SparseVec::from_pairs(vec![(3, 1.0), (3, 2.0), (1, 1.0)]);
+        assert_eq!(v.get(3), 3.0);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn zero_entries_are_dropped() {
+        let v = SparseVec::from_pairs(vec![(3, 1.0), (3, -1.0), (1, 2.0)]);
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn dot_is_symmetric() {
+        let a = SparseVec::from_pairs(vec![(0, 1.0), (2, 4.0), (9, -1.0)]);
+        let b = SparseVec::from_pairs(vec![(2, 0.5), (9, 3.0)]);
+        assert_eq!(a.dot(&b), b.dot(&a));
+        assert_eq!(a.dot(&b), 2.0 - 3.0);
+    }
+
+    #[test]
+    fn merge_sums_entrywise() {
+        let a = SparseVec::from_pairs(vec![(1, 1.0)]);
+        let b = SparseVec::from_pairs(vec![(1, 2.0), (2, 5.0)]);
+        let m = a.merge(&b);
+        assert_eq!(m.get(1), 3.0);
+        assert_eq!(m.get(2), 5.0);
+    }
+
+    #[test]
+    fn norm_of_unit_vector() {
+        let v = SparseVec::from_pairs(vec![(7, 1.0)]);
+        assert_eq!(v.norm(), 1.0);
+    }
+
+    #[test]
+    fn empty_dot_is_zero() {
+        assert_eq!(SparseVec::new().dot(&SparseVec::new()), 0.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! The Weisfeiler–Lehman subtree kernel of Section III-B.
+//!
+//! Feature extraction follows Fig. 4 of the paper: at `h = 0` every node is
+//! labelled by its type and label frequencies form the initial feature
+//! vector; each further iteration aggregates every node's label with the
+//! sorted multiset of its neighbors' labels, compresses the aggregate into a
+//! fresh symbol, and appends the new symbol counts to the feature vector.
+//! The kernel between two graphs is the inner product of their feature
+//! vectors (Eq. 2).
+//!
+//! Compressed symbols are interned in a [`WlFeaturizer`] shared by all
+//! graphs of an optimization run, so feature ids are comparable across
+//! graphs and can be traced back to concrete subcircuit structures — the
+//! basis of the paper's interpretability story.
+
+use crate::circuit_graph::CircuitGraph;
+use crate::sparse::SparseVec;
+use std::collections::HashMap;
+
+/// Shared label dictionary and feature extractor.
+///
+/// # Examples
+///
+/// ```
+/// use oa_circuit::Topology;
+/// use oa_graph::{CircuitGraph, WlFeaturizer};
+///
+/// let mut wl = WlFeaturizer::new();
+/// let g = CircuitGraph::from_topology(&Topology::bare_cascade());
+/// let f = wl.featurize(&g, 2);
+/// assert_eq!(f.max_h(), 2);
+/// // Self-similarity is positive.
+/// assert!(f.kernel(&f, 1) > 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WlFeaturizer {
+    labels: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl WlFeaturizer {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        WlFeaturizer::default()
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    fn intern(&mut self, s: String) -> u32 {
+        if let Some(&id) = self.map.get(&s) {
+            return id;
+        }
+        let id = self.labels.len() as u32;
+        self.labels.push(s.clone());
+        self.map.insert(s, id);
+        id
+    }
+
+    /// The id of the `h = 0` feature corresponding to a raw node label
+    /// (e.g. a subcircuit mnemonic), if it has been seen.
+    pub fn initial_label_id(&self, label: &str) -> Option<u32> {
+        self.map.get(&format!("0:{label}")).copied()
+    }
+
+    /// The raw interned string behind a feature id.
+    pub fn raw_label(&self, id: u32) -> Option<&str> {
+        self.labels.get(id as usize).map(String::as_str)
+    }
+
+    /// The WL iteration (`h` level) a feature id belongs to.
+    pub fn level_of(&self, id: u32) -> Option<usize> {
+        self.raw_label(id)
+            .and_then(|s| s.split(':').next())
+            .and_then(|p| p.parse().ok())
+    }
+
+    /// Expands a compressed feature id into a human-readable structure
+    /// description, e.g. `(RCs | v1, vout)` for the `h = 1` neighborhood of
+    /// a series-RC compensation subcircuit.
+    pub fn describe(&self, id: u32) -> String {
+        match self.raw_label(id) {
+            None => format!("?{id}"),
+            Some(raw) => {
+                let Some((level, rest)) = raw.split_once(':') else {
+                    return raw.to_owned();
+                };
+                if level == "0" {
+                    return rest.to_owned();
+                }
+                // Format "h:parent|n1,n2,..." with ids referencing level h-1.
+                let Some((parent, neigh)) = rest.split_once('|') else {
+                    return raw.to_owned();
+                };
+                let parent_desc = parent
+                    .parse::<u32>()
+                    .map(|p| self.describe(p))
+                    .unwrap_or_else(|_| parent.to_owned());
+                let neigh_desc: Vec<String> = neigh
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.parse::<u32>()
+                            .map(|p| self.describe(p))
+                            .unwrap_or_else(|_| s.to_owned())
+                    })
+                    .collect();
+                format!("({} | {})", parent_desc, neigh_desc.join(", "))
+            }
+        }
+    }
+
+    /// Extracts WL features of `graph` for all levels `0..=h_max`.
+    pub fn featurize(&mut self, graph: &CircuitGraph, h_max: usize) -> WlFeatures {
+        let n = graph.node_count();
+        let mut levels = Vec::with_capacity(h_max + 1);
+        let mut node_labels: Vec<Vec<u32>> = Vec::with_capacity(h_max + 1);
+
+        // h = 0: raw type labels.
+        let mut current: Vec<u32> = (0..n)
+            .map(|i| self.intern(format!("0:{}", graph.label(i))))
+            .collect();
+        levels.push(SparseVec::from_pairs(
+            current.iter().map(|&id| (id, 1.0)),
+        ));
+        node_labels.push(current.clone());
+
+        // h ≥ 1: neighborhood aggregation + compression.
+        for h in 1..=h_max {
+            let mut next = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut neigh: Vec<u32> = graph
+                    .neighbors(i)
+                    .iter()
+                    .map(|&j| current[j])
+                    .collect();
+                neigh.sort_unstable();
+                let agg = format!(
+                    "{h}:{}|{}",
+                    current[i],
+                    neigh
+                        .iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+                next.push(self.intern(agg));
+            }
+            levels.push(SparseVec::from_pairs(next.iter().map(|&id| (id, 1.0))));
+            node_labels.push(next.clone());
+            current = next;
+        }
+        WlFeatures { levels, node_labels }
+    }
+}
+
+/// Per-graph WL features: one label-count vector per iteration level, plus
+/// the per-node label ids (used to map subcircuit nodes back to features).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WlFeatures {
+    levels: Vec<SparseVec>,
+    node_labels: Vec<Vec<u32>>,
+}
+
+impl WlFeatures {
+    /// Highest extracted level.
+    pub fn max_h(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// The count vector of a single level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h > self.max_h()`.
+    pub fn level(&self, h: usize) -> &SparseVec {
+        &self.levels[h]
+    }
+
+    /// The label id of node `i` at level `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` or `i` is out of range.
+    pub fn node_label(&self, h: usize, i: usize) -> u32 {
+        self.node_labels[h][i]
+    }
+
+    /// The full feature vector `φ(h)(G)`: all level counts from 0 to `h`
+    /// merged (feature ids never collide across levels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h > self.max_h()`.
+    pub fn vector(&self, h: usize) -> SparseVec {
+        assert!(h <= self.max_h(), "level {h} not extracted");
+        let mut out = SparseVec::new();
+        for lvl in &self.levels[..=h] {
+            out = out.merge(lvl);
+        }
+        out
+    }
+
+    /// The WL kernel of Eq. 2: `k(G, G') = ⟨φ(h)(G), φ(h)(G')⟩`, computed
+    /// level-by-level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature set was extracted with fewer than `h`
+    /// levels.
+    pub fn kernel(&self, other: &WlFeatures, h: usize) -> f64 {
+        assert!(
+            h <= self.max_h() && h <= other.max_h(),
+            "kernel level {h} exceeds extracted levels"
+        );
+        (0..=h).map(|l| self.levels[l].dot(&other.levels[l])).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_circuit::{PassiveKind, SubcircuitType, Topology, VariableEdge};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn graph_of(t: &Topology) -> CircuitGraph {
+        CircuitGraph::from_topology(t)
+    }
+
+    #[test]
+    fn level0_counts_node_labels() {
+        let mut wl = WlFeaturizer::new();
+        let g = graph_of(&Topology::bare_cascade());
+        let f = wl.featurize(&g, 0);
+        // Three stages share the "gm" label.
+        let gm_id = wl.initial_label_id("gm").unwrap();
+        assert_eq!(f.level(0).get(gm_id), 3.0);
+        // Circuit nodes are singletons.
+        let vin_id = wl.initial_label_id("vin").unwrap();
+        assert_eq!(f.level(0).get(vin_id), 1.0);
+    }
+
+    #[test]
+    fn self_kernel_equals_squared_norm() {
+        let mut wl = WlFeaturizer::new();
+        let g = graph_of(&Topology::bare_cascade());
+        let f = wl.featurize(&g, 3);
+        let v = f.vector(3);
+        assert!((f.kernel(&f, 3) - v.dot(&v)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_is_symmetric_and_positive_on_diagonal() {
+        let mut wl = WlFeaturizer::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let graphs: Vec<_> = (0..10)
+            .map(|_| graph_of(&Topology::random(&mut rng)))
+            .collect();
+        let feats: Vec<_> = graphs.iter().map(|g| wl.featurize(g, 2)).collect();
+        for a in &feats {
+            assert!(a.kernel(a, 2) > 0.0);
+            for b in &feats {
+                assert_eq!(a.kernel(b, 2), b.kernel(a, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn identical_topologies_have_identical_features() {
+        let mut wl = WlFeaturizer::new();
+        let t = Topology::from_index(123).unwrap();
+        let f1 = wl.featurize(&graph_of(&t), 4);
+        let f2 = wl.featurize(&graph_of(&t), 4);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn different_compensation_is_distinguished_at_h0() {
+        let mut wl = WlFeaturizer::new();
+        let a = Topology::bare_cascade()
+            .with_type(VariableEdge::V1Vout, SubcircuitType::Passive(PassiveKind::C))
+            .unwrap();
+        let b = Topology::bare_cascade()
+            .with_type(
+                VariableEdge::V1Vout,
+                SubcircuitType::Passive(PassiveKind::SeriesRc),
+            )
+            .unwrap();
+        let fa = wl.featurize(&graph_of(&a), 0);
+        let fb = wl.featurize(&graph_of(&b), 0);
+        assert_ne!(fa.level(0), fb.level(0));
+    }
+
+    #[test]
+    fn same_type_on_different_edges_is_distinguished_at_h1_not_h0() {
+        let mut wl = WlFeaturizer::new();
+        let a = Topology::bare_cascade()
+            .with_type(VariableEdge::V1Gnd, SubcircuitType::Passive(PassiveKind::C))
+            .unwrap();
+        let b = Topology::bare_cascade()
+            .with_type(VariableEdge::V2Gnd, SubcircuitType::Passive(PassiveKind::C))
+            .unwrap();
+        let fa = wl.featurize(&graph_of(&a), 1);
+        let fb = wl.featurize(&graph_of(&b), 1);
+        // Same multiset of node types → identical h = 0 counts…
+        assert_eq!(fa.level(0), fb.level(0));
+        // …but the neighborhood aggregation tells v1 from v2.
+        assert_ne!(fa.level(1), fb.level(1));
+    }
+
+    #[test]
+    fn deeper_levels_only_add_similarity_mass() {
+        let mut wl = WlFeaturizer::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let a = wl.featurize(&graph_of(&Topology::random(&mut rng)), 4);
+        let b = wl.featurize(&graph_of(&Topology::random(&mut rng)), 4);
+        let mut prev = 0.0;
+        for h in 0..=4 {
+            let k = a.kernel(&b, h);
+            assert!(k >= prev, "kernel not monotone in h");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn describe_expands_compressed_labels() {
+        let mut wl = WlFeaturizer::new();
+        let t = Topology::bare_cascade()
+            .with_type(
+                VariableEdge::V1Vout,
+                SubcircuitType::Passive(PassiveKind::SeriesRc),
+            )
+            .unwrap();
+        let g = graph_of(&t);
+        let f = wl.featurize(&g, 1);
+        let sub = g.variable_node(VariableEdge::V1Vout).unwrap();
+        let id1 = f.node_label(1, sub);
+        let desc = wl.describe(id1);
+        assert!(desc.contains("RCs"), "desc = {desc}");
+        assert!(desc.contains("v1") && desc.contains("vout"), "desc = {desc}");
+    }
+
+    #[test]
+    fn featurizer_is_shared_across_graphs() {
+        let mut wl = WlFeaturizer::new();
+        let g1 = graph_of(&Topology::bare_cascade());
+        let f1 = wl.featurize(&g1, 1);
+        let before = wl.len();
+        // Featurizing the same graph again must not grow the dictionary.
+        let f2 = wl.featurize(&g1, 1);
+        assert_eq!(wl.len(), before);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds extracted levels")]
+    fn kernel_panics_beyond_extracted_levels() {
+        let mut wl = WlFeaturizer::new();
+        let g = graph_of(&Topology::bare_cascade());
+        let f = wl.featurize(&g, 1);
+        let _ = f.kernel(&f, 3);
+    }
+}

@@ -1,0 +1,243 @@
+//! Cholesky factorization of real symmetric positive-definite matrices.
+//!
+//! Gaussian-process training reduces to factorizing the (jittered) kernel
+//! Gram matrix `K + σ²I`. Cholesky gives the solve, the log-determinant for
+//! the marginal likelihood, and a cheap positive-definiteness check.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// A lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+///
+/// # Examples
+///
+/// ```
+/// use oa_linalg::{Cholesky, Matrix};
+///
+/// # fn main() -> Result<(), oa_linalg::LinalgError> {
+/// let a = Matrix::from_rows(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+/// let ch = Cholesky::new(&a)?;
+/// let x = ch.solve(&[8.0, 7.0])?;
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read, so callers may pass a matrix
+    /// whose upper triangle is stale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular input and
+    /// [`LinalgError::NotPositiveDefinite`] when a diagonal pivot is not
+    /// strictly positive (the caller should add jitter and retry).
+    // The negated comparison is NaN-aware on purpose: a NaN pivot must be
+    // treated as "not positive definite", which `pivot <= 0.0` would miss.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if !(sum > 0.0) || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorizes `a + jitter·I`, escalating the jitter by ×10 until the
+    /// factorization succeeds or `max_tries` is exhausted.
+    ///
+    /// This is the standard robustification for near-singular GP Gram
+    /// matrices (e.g. duplicate training inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the final [`LinalgError`] if every jitter level fails.
+    pub fn new_with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_tries: usize,
+    ) -> Result<(Self, f64), LinalgError> {
+        let mut jitter = initial_jitter;
+        let mut last_err = LinalgError::NotPositiveDefinite { pivot: 0 };
+        for _ in 0..max_tries.max(1) {
+            let mut m = a.clone();
+            if jitter > 0.0 {
+                m.add_diag(jitter);
+            }
+            match Cholesky::new(&m) {
+                Ok(ch) => return Ok((ch, jitter)),
+                Err(e) => {
+                    last_err = e;
+                    jitter = if jitter == 0.0 { 1e-12 } else { jitter * 10.0 };
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Dimension of the factorized system.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b` via `L·y = b`, `Lᵀ·x = y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let y = self.solve_lower(b)?;
+        Ok(self.solve_upper(&y))
+    }
+
+    /// Forward substitution `L·y = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // dual-indexed triangular loops
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= self.l[(i, j)] * y[j];
+            }
+            y[i] = acc / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Back substitution `Lᵀ·x = y` (input is consumed by value semantics of
+    /// a borrowed slice; result is freshly allocated).
+    #[allow(clippy::needless_range_loop)] // dual-indexed triangular loops
+    fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.l[(j, i)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// `log |A| = 2·Σ log L_ii`, used in the GP marginal likelihood.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ·B + I for a fixed B is SPD.
+        let b = Matrix::from_rows(3, 3, vec![1.0, 2.0, 0.5, -1.0, 0.3, 2.0, 0.7, -0.2, 1.1]);
+        let mut a = b.transpose().mat_mul(&b);
+        a.add_diag(1.0);
+        a
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.factor();
+        let rec = l.mat_mul(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_gives_exact_residual() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = ch.solve(&b).unwrap();
+        let r = a.mat_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        // diag(4, 9) has det 36.
+        let a = Matrix::from_rows(2, 2, vec![4.0, 0.0, 0.0, 9.0]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - 36.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_rank_deficient_matrix() {
+        // Rank-1 Gram matrix (duplicate GP inputs).
+        let a = Matrix::from_rows(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let (ch, jitter) = Cholesky::new_with_jitter(&a, 1e-10, 12).unwrap();
+        assert!(jitter > 0.0);
+        assert_eq!(ch.dim(), 2);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

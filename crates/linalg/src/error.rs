@@ -1,0 +1,86 @@
+//! Error type for the linear-algebra substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by factorizations and solvers in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// A pivot vanished during LU elimination; the matrix is singular to
+    /// working precision.
+    Singular {
+        /// Elimination step at which the zero pivot appeared.
+        pivot: usize,
+    },
+    /// A Cholesky pivot was not strictly positive; the matrix is not
+    /// positive definite.
+    NotPositiveDefinite {
+        /// Elimination step at which the non-positive pivot appeared.
+        pivot: usize,
+    },
+    /// A vector length does not match the matrix dimension.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        found: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at elimination step {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite at pivot {pivot}")
+            }
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            LinalgError::NotSquare { rows: 2, cols: 3 }.to_string(),
+            LinalgError::Singular { pivot: 1 }.to_string(),
+            LinalgError::NotPositiveDefinite { pivot: 0 }.to_string(),
+            LinalgError::DimensionMismatch {
+                expected: 4,
+                found: 2,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,247 @@
+//! Complex LU factorization with partial pivoting.
+//!
+//! The MNA system assembled by the AC simulator is a small (n ≤ ~16), dense,
+//! generally non-symmetric complex matrix. LU with partial pivoting is the
+//! textbook-correct direct solver for it.
+
+use crate::complex::Complex;
+use crate::error::LinalgError;
+use crate::matrix::CMatrix;
+
+/// An LU factorization `P·A = L·U` of a square complex matrix.
+///
+/// # Examples
+///
+/// ```
+/// use oa_linalg::{CMatrix, Complex, CluFactor};
+///
+/// # fn main() -> Result<(), oa_linalg::LinalgError> {
+/// let mut a = CMatrix::zeros(2, 2);
+/// a[(0, 0)] = Complex::new(2.0, 0.0);
+/// a[(1, 1)] = Complex::new(0.0, 4.0);
+/// let lu = CluFactor::new(&a)?;
+/// let x = lu.solve(&[Complex::new(2.0, 0.0), Complex::new(0.0, 4.0)])?;
+/// assert!((x[0] - Complex::ONE).abs() < 1e-12);
+/// assert!((x[1] - Complex::ONE).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CluFactor {
+    /// Packed L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: CMatrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+}
+
+impl CluFactor {
+    /// Factorizes `a` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] if `a` is not square, and
+    /// [`LinalgError::Singular`] if a pivot underflows to (numerical) zero,
+    /// which for MNA systems indicates a floating circuit node.
+    // NaN-aware negated comparison: a NaN pivot must be rejected.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn new(a: &CMatrix) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Pivot: largest magnitude in column k at or below the diagonal.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if !(best > 0.0) || !best.is_finite() {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(CluFactor { lu, perm })
+    }
+
+    /// Dimension of the factorized system.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // dual-indexed triangular loops
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        // Forward substitution with permuted rhs: L·y = P·b.
+        let mut y = vec![Complex::ZERO; n];
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution: U·x = y.
+        let mut x = vec![Complex::ZERO; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+/// Convenience wrapper: factorize and solve `A·x = b` in one call.
+///
+/// # Errors
+///
+/// Propagates the errors of [`CluFactor::new`] and [`CluFactor::solve`].
+///
+/// # Examples
+///
+/// ```
+/// use oa_linalg::{solve_complex, CMatrix, Complex};
+///
+/// # fn main() -> Result<(), oa_linalg::LinalgError> {
+/// let mut a = CMatrix::zeros(1, 1);
+/// a[(0, 0)] = Complex::new(4.0, 0.0);
+/// let x = solve_complex(&a, &[Complex::new(8.0, 0.0)])?;
+/// assert!((x[0].re - 2.0).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_complex(a: &CMatrix, b: &[Complex]) -> Result<Vec<Complex>, LinalgError> {
+    CluFactor::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    fn residual(a: &CMatrix, x: &[Complex], b: &[Complex]) -> f64 {
+        a.mat_vec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bi)| (*ax - *bi).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_dense_complex_system() {
+        let mut a = CMatrix::zeros(3, 3);
+        a[(0, 0)] = c(2.0, 1.0);
+        a[(0, 1)] = c(-1.0, 0.0);
+        a[(0, 2)] = c(0.5, -0.5);
+        a[(1, 0)] = c(0.0, 3.0);
+        a[(1, 1)] = c(1.0, 1.0);
+        a[(1, 2)] = c(-2.0, 0.0);
+        a[(2, 0)] = c(1.0, 0.0);
+        a[(2, 1)] = c(0.0, -1.0);
+        a[(2, 2)] = c(4.0, 2.0);
+        let b = vec![c(1.0, 0.0), c(0.0, 1.0), c(-1.0, 2.0)];
+        let x = solve_complex(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 1)] = c(1.0, 0.0);
+        a[(1, 0)] = c(1.0, 0.0);
+        let b = vec![c(3.0, 0.0), c(5.0, 0.0)];
+        let x = solve_complex(&a, &b).unwrap();
+        assert!((x[0] - c(5.0, 0.0)).abs() < 1e-14);
+        assert!((x[1] - c(3.0, 0.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 0)] = c(1.0, 0.0);
+        a[(0, 1)] = c(2.0, 0.0);
+        a[(1, 0)] = c(2.0, 0.0);
+        a[(1, 1)] = c(4.0, 0.0);
+        let err = CluFactor::new(&a).unwrap_err();
+        assert!(matches!(err, LinalgError::Singular { .. }));
+    }
+
+    #[test]
+    fn rejects_rectangular_input() {
+        let a = CMatrix::zeros(2, 3);
+        assert!(matches!(
+            CluFactor::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_rhs_length() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 0)] = c(1.0, 0.0);
+        a[(1, 1)] = c(1.0, 0.0);
+        let lu = CluFactor::new(&a).unwrap();
+        assert!(matches!(
+            lu.solve(&[Complex::ONE]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn factorization_is_reusable_for_many_rhs() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 0)] = c(3.0, 0.0);
+        a[(0, 1)] = c(1.0, 1.0);
+        a[(1, 0)] = c(-1.0, 2.0);
+        a[(1, 1)] = c(2.0, -1.0);
+        let lu = CluFactor::new(&a).unwrap();
+        for k in 0..5 {
+            let b = vec![c(k as f64, 1.0), c(-1.0, k as f64)];
+            let x = lu.solve(&b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-12);
+        }
+    }
+}

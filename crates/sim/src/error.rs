@@ -1,0 +1,67 @@
+//! Error type for the AC simulator.
+
+use oa_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while analyzing a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The MNA system could not be solved (floating node, singular matrix).
+    SolveFailed {
+        /// Frequency in hertz at which the solve failed.
+        freq_hz: f64,
+        /// Underlying linear-algebra error.
+        source: LinalgError,
+    },
+    /// A device value would produce a meaningless stamp (zero resistance,
+    /// negative capacitance, non-finite transconductance, …).
+    BadElement {
+        /// Description of the offending element.
+        detail: String,
+    },
+    /// The requested frequency grid is empty or not strictly increasing.
+    BadFrequencyGrid,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SolveFailed { freq_hz, source } => {
+                write!(f, "mna solve failed at {freq_hz} Hz: {source}")
+            }
+            SimError::BadElement { detail } => write!(f, "bad element: {detail}"),
+            SimError::BadFrequencyGrid => write!(f, "frequency grid is empty or not increasing"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::SolveFailed { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_failed_exposes_source() {
+        let e = SimError::SolveFailed {
+            freq_hz: 1.0,
+            source: LinalgError::Singular { pivot: 0 },
+        };
+        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().contains("1 Hz"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Small-signal AC circuit simulator — the SPICE substitute of the INTO-OA
+//! reproduction.
+//!
+//! The paper evaluates behavior-level op-amps with Hspice `.AC` analyses.
+//! Behavior-level circuits are linear (VCCS + R + C), so this crate
+//! reproduces those analyses exactly with complex-valued Modified Nodal
+//! Analysis (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`MnaSystem`] — stamps and solves the complex MNA system at one
+//!   frequency, with a `GMIN` leak on every node like production SPICE.
+//! * [`ac_sweep`] / [`measure`] — log-spaced sweeps and extraction of DC
+//!   gain, unity-gain frequency (GBW) and phase margin with bisection
+//!   refinement and phase unwrapping.
+//! * [`evaluate_opamp`] — one-call elaboration + measurement + bias-power
+//!   estimate for a sized [`oa_circuit::Topology`].
+//! * [`step_response`] — `.TRAN`-equivalent time-domain analysis
+//!   (trapezoidal integration) with overshoot/settling extraction.
+//!
+//! # Examples
+//!
+//! ```
+//! use oa_circuit::{ParamSpace, Process, Topology};
+//! use oa_sim::{evaluate_opamp, AcOptions};
+//!
+//! # fn main() -> Result<(), oa_sim::SimError> {
+//! let topology = Topology::bare_cascade();
+//! let space = ParamSpace::for_topology(&topology);
+//! let perf = evaluate_opamp(
+//!     &topology,
+//!     &space.nominal(),
+//!     &Process::default(),
+//!     10e-12,
+//!     &AcOptions::default(),
+//! )?;
+//! println!("gain = {:.1} dB, GBW = {:.2} MHz", perf.gain_db, perf.gbw_hz / 1e6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ac;
+mod error;
+mod mna;
+mod opamp;
+mod transient;
+
+pub use ac::{ac_sweep, measure, AcOptions, AcSweep, Measurement, UnityCrossing};
+pub use error::SimError;
+pub use mna::MnaSystem;
+pub use opamp::{evaluate_opamp, OpAmpPerformance};
+pub use transient::{step_response, StepResponse, TranOptions};

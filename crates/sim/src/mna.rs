@@ -1,0 +1,323 @@
+//! Complex Modified Nodal Analysis.
+//!
+//! At each analysis frequency the netlist is stamped into a complex MNA
+//! system: one KCL row per non-ground node plus one branch row for the ideal
+//! AC test source driving the input node. A `GMIN` leak to ground on every
+//! node (exactly as production SPICE engines do) keeps the matrix
+//! non-singular when capacitor-only paths block DC.
+
+use oa_circuit::{Element, Netlist, NodeId};
+use oa_linalg::{CMatrix, CluFactor, Complex};
+
+use crate::error::SimError;
+
+/// Assembles and solves the MNA system of a netlist at one frequency.
+///
+/// The system unknowns are the non-ground node voltages followed by the
+/// test-source branch current. Ground (node 0) is the reference and is
+/// eliminated.
+#[derive(Debug)]
+pub struct MnaSystem<'a> {
+    netlist: &'a Netlist,
+    gmin: f64,
+}
+
+impl<'a> MnaSystem<'a> {
+    /// Creates an MNA view of `netlist` with the given `GMIN` leak
+    /// conductance (siemens) from every node to ground.
+    pub fn new(netlist: &'a Netlist, gmin: f64) -> Self {
+        MnaSystem { netlist, gmin }
+    }
+
+    /// Number of unknowns: non-ground node voltages + 1 branch current.
+    pub fn dim(&self) -> usize {
+        self.netlist.node_count() - 1 + 1
+    }
+
+    fn var(&self, n: NodeId) -> Option<usize> {
+        if n.is_ground() {
+            None
+        } else {
+            Some(n.0 - 1)
+        }
+    }
+
+    /// Stamps the system matrix at angular frequency `omega` (rad/s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadElement`] for non-finite or non-positive
+    /// element values.
+    pub fn assemble(&self, omega: f64) -> Result<CMatrix, SimError> {
+        let dim = self.dim();
+        let branch = dim - 1;
+        let mut a = CMatrix::zeros(dim, dim);
+
+        let stamp_admittance = |a: &mut CMatrix, p: Option<usize>, q: Option<usize>, y: Complex| {
+            if let Some(i) = p {
+                a[(i, i)] += y;
+            }
+            if let Some(j) = q {
+                a[(j, j)] += y;
+            }
+            if let (Some(i), Some(j)) = (p, q) {
+                a[(i, j)] -= y;
+                a[(j, i)] -= y;
+            }
+        };
+
+        for e in self.netlist.elements() {
+            match *e {
+                Element::Resistor { a: na, b: nb, ohms } => {
+                    if !(ohms.is_finite() && ohms > 0.0) {
+                        return Err(SimError::BadElement {
+                            detail: format!("resistor with {ohms} ohms"),
+                        });
+                    }
+                    let y = Complex::from_re(1.0 / ohms);
+                    stamp_admittance(&mut a, self.var(na), self.var(nb), y);
+                }
+                Element::Capacitor { a: na, b: nb, farads } => {
+                    if !(farads.is_finite() && farads >= 0.0) {
+                        return Err(SimError::BadElement {
+                            detail: format!("capacitor with {farads} farads"),
+                        });
+                    }
+                    let y = Complex::new(0.0, omega * farads);
+                    stamp_admittance(&mut a, self.var(na), self.var(nb), y);
+                }
+                Element::Vccs {
+                    ctrl_p,
+                    ctrl_n,
+                    out_p,
+                    out_n,
+                    gm,
+                    ft_hz,
+                } => {
+                    if !gm.is_finite() {
+                        return Err(SimError::BadElement {
+                            detail: format!("vccs with gm {gm}"),
+                        });
+                    }
+                    if let Some(ft) = ft_hz {
+                        if !(ft.is_finite() && ft > 0.0) {
+                            return Err(SimError::BadElement {
+                                detail: format!("vccs with bandwidth {ft} Hz"),
+                            });
+                        }
+                    }
+                    // Current gm·(v_cp − v_cn) leaves out_p and enters out_n,
+                    // rolled off by the cell's single-pole bandwidth if set.
+                    let g = match ft_hz {
+                        Some(ft) => {
+                            let f = omega / (2.0 * std::f64::consts::PI);
+                            Complex::from_re(gm) / Complex::new(1.0, f / ft)
+                        }
+                        None => Complex::from_re(gm),
+                    };
+                    for (node, sign) in [(out_p, 1.0), (out_n, -1.0)] {
+                        if let Some(row) = self.var(node) {
+                            if let Some(cp) = self.var(ctrl_p) {
+                                a[(row, cp)] += g.scale(sign);
+                            }
+                            if let Some(cn) = self.var(ctrl_n) {
+                                a[(row, cn)] -= g.scale(sign);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // GMIN leak on every non-ground node.
+        for i in 0..(self.netlist.node_count() - 1) {
+            a[(i, i)] += Complex::from_re(self.gmin);
+        }
+
+        // Ideal test source: v(input) = 1, branch current flows into input.
+        let inp = self
+            .var(self.netlist.input())
+            .expect("input node must not be ground");
+        a[(inp, branch)] += Complex::ONE;
+        a[(branch, inp)] += Complex::ONE;
+        Ok(a)
+    }
+
+    /// Solves for the output-node voltage with a unit AC source at the
+    /// input, i.e. the transfer function `H(jω)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SolveFailed`] on a singular system and
+    /// [`SimError::BadElement`] for bad element values.
+    pub fn transfer(&self, freq_hz: f64) -> Result<Complex, SimError> {
+        let omega = 2.0 * std::f64::consts::PI * freq_hz;
+        let a = self.assemble(omega)?;
+        let mut rhs = vec![Complex::ZERO; self.dim()];
+        rhs[self.dim() - 1] = Complex::ONE; // v(input) = 1.
+        let lu = CluFactor::new(&a).map_err(|source| SimError::SolveFailed { freq_hz, source })?;
+        let x = lu
+            .solve(&rhs)
+            .map_err(|source| SimError::SolveFailed { freq_hz, source })?;
+        let out = self
+            .var(self.netlist.output())
+            .expect("output node must not be ground");
+        Ok(x[out])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_circuit::NetlistBuilder;
+
+    /// RC low-pass: H = 1/(1 + jωRC).
+    fn rc_lowpass(r: f64, c: f64) -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.resistor(inp, out, r);
+        b.capacitor(out, NodeId::GROUND, c);
+        b.build(inp, out)
+    }
+
+    #[test]
+    fn rc_lowpass_matches_analytic_response() {
+        let r = 1e3;
+        let c = 1e-9;
+        let n = rc_lowpass(r, c);
+        let sys = MnaSystem::new(&n, 1e-12);
+        for freq in [1e2, 1e5, 1.0 / (2.0 * std::f64::consts::PI * r * c), 1e8] {
+            let h = sys.transfer(freq).unwrap();
+            let omega = 2.0 * std::f64::consts::PI * freq;
+            let expected = Complex::ONE / Complex::new(1.0, omega * r * c);
+            assert!(
+                (h - expected).abs() < 1e-6,
+                "freq {freq}: {h} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_corner_is_minus_3db_and_minus_45_degrees() {
+        let r = 10e3;
+        let c = 100e-12;
+        let n = rc_lowpass(r, c);
+        let sys = MnaSystem::new(&n, 1e-15);
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        let h = sys.transfer(fc).unwrap();
+        assert!((h.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-6);
+        assert!((h.arg().to_degrees() + 45.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inverting_gm_stage_has_negative_dc_gain() {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.inject_gm(inp, out, -1e-3);
+        b.resistor(out, NodeId::GROUND, 50e3);
+        let n = b.build(inp, out);
+        let sys = MnaSystem::new(&n, 1e-12);
+        let h = sys.transfer(1.0).unwrap();
+        // −gm·R = −50 up to the GMIN load on the output node.
+        assert!((h.re + 50.0).abs() < 1e-4, "gain {h}");
+        assert!(h.im.abs() < 1e-6);
+    }
+
+    #[test]
+    fn voltage_divider_is_frequency_independent() {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.resistor(inp, out, 1e3);
+        b.resistor(out, NodeId::GROUND, 3e3);
+        let n = b.build(inp, out);
+        let sys = MnaSystem::new(&n, 1e-15);
+        for f in [1.0, 1e4, 1e9] {
+            let h = sys.transfer(f).unwrap();
+            assert!((h.re - 0.75).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gmin_rescues_capacitor_only_node() {
+        // Series C-C divider: at DC the middle node floats without GMIN.
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.capacitor(inp, out, 1e-12);
+        b.capacitor(out, NodeId::GROUND, 1e-12);
+        let n = b.build(inp, out);
+        let sys = MnaSystem::new(&n, 1e-12);
+        // Equal capacitive divider at high frequency → 0.5.
+        let h = sys.transfer(1e6).unwrap();
+        assert!((h.abs() - 0.5).abs() < 1e-3, "{h}");
+        // And GMIN keeps the near-DC solve alive.
+        assert!(sys.transfer(1e-3).unwrap().is_finite());
+    }
+
+    #[test]
+    fn banded_gm_rolls_off_at_its_pole() {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.inject_gm_banded(inp, out, -1e-3, 1e6);
+        b.resistor(out, NodeId::GROUND, 1e3);
+        let n = b.build(inp, out);
+        let sys = MnaSystem::new(&n, 1e-15);
+        let dc = sys.transfer(1.0).unwrap().abs();
+        let at_pole = sys.transfer(1e6).unwrap().abs();
+        let decade_up = sys.transfer(1e7).unwrap().abs();
+        assert!((dc - 1.0).abs() < 1e-6, "dc gain {dc}");
+        assert!((at_pole - 1.0 / 2f64.sqrt()).abs() < 1e-6, "{at_pole}");
+        assert!((decade_up - dc / 101f64.sqrt()).abs() < 1e-4, "{decade_up}");
+    }
+
+    #[test]
+    fn bad_gm_bandwidth_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.inject_gm_banded(inp, out, 1e-3, 0.0);
+        let n = b.build(inp, out);
+        let sys = MnaSystem::new(&n, 1e-12);
+        assert!(matches!(
+            sys.transfer(1.0),
+            Err(SimError::BadElement { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_resistor_is_rejected() {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.resistor(inp, out, 0.0);
+        let n = b.build(inp, out);
+        let sys = MnaSystem::new(&n, 1e-12);
+        assert!(matches!(
+            sys.transfer(1.0),
+            Err(SimError::BadElement { .. })
+        ));
+    }
+
+    #[test]
+    fn vccs_four_terminal_stamp_is_differential() {
+        // Differential control: i = gm·(v_a − v_b) into out.
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let mid = b.add_node("mid");
+        let out = b.add_node("out");
+        // mid = in/2 via divider.
+        b.resistor(inp, mid, 1e3);
+        b.resistor(mid, NodeId::GROUND, 1e3);
+        // i = 1m·(v_in − v_mid) = 1m·in/2 into out; out load 1k → gain 0.5.
+        b.vccs(inp, mid, NodeId::GROUND, out, 1e-3);
+        b.resistor(out, NodeId::GROUND, 1e3);
+        let n = b.build(inp, out);
+        let sys = MnaSystem::new(&n, 1e-15);
+        let h = sys.transfer(1.0).unwrap();
+        assert!((h.re - 0.5).abs() < 1e-6, "{h}");
+    }
+}

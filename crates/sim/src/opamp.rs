@@ -1,0 +1,199 @@
+//! One-call evaluation of a sized behavior-level op-amp.
+
+use oa_circuit::{elaborate, DeviceValues, Process, Topology};
+
+use crate::ac::{measure, AcOptions};
+use crate::error::SimError;
+
+/// The four measured op-amp metrics the paper's spec sets constrain.
+///
+/// When the circuit never reaches unity gain, `gbw_hz` is reported as `0`
+/// and `pm_deg` as `-180` (the worst possible values), so downstream
+/// optimizers see an unambiguous constraint violation rather than a missing
+/// number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpAmpPerformance {
+    /// Low-frequency open-loop gain in dB.
+    pub gain_db: f64,
+    /// Gain–bandwidth product (unity-gain frequency) in Hz.
+    pub gbw_hz: f64,
+    /// Phase margin in degrees.
+    pub pm_deg: f64,
+    /// Static power in watts.
+    pub power_w: f64,
+}
+
+impl OpAmpPerformance {
+    /// The paper's figure of merit (Eq. 6):
+    /// `FoM = GBW[MHz]·C_L[pF] / Power[mW]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oa_sim::OpAmpPerformance;
+    /// let p = OpAmpPerformance { gain_db: 90.0, gbw_hz: 2e6, pm_deg: 60.0, power_w: 100e-6 };
+    /// // 2 MHz · 10 pF / 0.1 mW = 200.
+    /// assert!((p.fom(10e-12) - 200.0).abs() < 1e-9);
+    /// ```
+    pub fn fom(&self, cl_farads: f64) -> f64 {
+        let gbw_mhz = self.gbw_hz / 1e6;
+        let cl_pf = cl_farads / 1e-12;
+        let power_mw = self.power_w / 1e-3;
+        if power_mw <= 0.0 {
+            return 0.0;
+        }
+        gbw_mhz * cl_pf / power_mw
+    }
+}
+
+/// Elaborates and measures one sized topology: the behavioral equivalent of
+/// a SPICE `.AC` run plus the bias power estimate.
+///
+/// # Errors
+///
+/// Propagates elaboration errors as [`SimError::BadElement`] and solver
+/// errors unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use oa_circuit::{ParamSpace, Process, Topology};
+/// use oa_sim::{evaluate_opamp, AcOptions};
+///
+/// # fn main() -> Result<(), oa_sim::SimError> {
+/// let t = Topology::bare_cascade();
+/// let space = ParamSpace::for_topology(&t);
+/// let perf = evaluate_opamp(&t, &space.nominal(), &Process::default(), 10e-12, &AcOptions::default())?;
+/// assert!(perf.power_w > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate_opamp(
+    topology: &Topology,
+    values: &DeviceValues,
+    process: &Process,
+    cl_farads: f64,
+    opts: &AcOptions,
+) -> Result<OpAmpPerformance, SimError> {
+    let netlist = elaborate(topology, values, process, cl_farads).map_err(|e| {
+        SimError::BadElement {
+            detail: e.to_string(),
+        }
+    })?;
+    let m = measure(&netlist, opts)?;
+    let (gbw_hz, pm_deg) = match m.unity {
+        Some(u) => (u.freq_hz, u.phase_margin_deg),
+        None => (0.0, -180.0),
+    };
+    Ok(OpAmpPerformance {
+        gain_db: m.dc_gain_db,
+        gbw_hz,
+        pm_deg,
+        power_w: netlist.static_power(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_circuit::{ParamSpace, PassiveKind, SubcircuitType, VariableEdge};
+
+    fn eval(t: &Topology, x: &[f64]) -> OpAmpPerformance {
+        let space = ParamSpace::for_topology(t);
+        let v = space.decode(x).unwrap();
+        evaluate_opamp(t, &v, &Process::default(), 10e-12, &AcOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn bare_cascade_has_high_gain() {
+        let t = Topology::bare_cascade();
+        let p = eval(&t, &[0.5, 0.5, 0.5]);
+        // Three stages of intrinsic gain 80 → up to ~114 dB before loading.
+        assert!(p.gain_db > 80.0, "gain {}", p.gain_db);
+        assert!(p.gbw_hz > 0.0);
+        assert!(p.power_w > 0.0);
+    }
+
+    #[test]
+    fn miller_compensation_improves_phase_margin() {
+        let bare = Topology::bare_cascade();
+        let comp = bare
+            .with_type(
+                VariableEdge::V1Vout,
+                SubcircuitType::Passive(PassiveKind::C),
+            )
+            .unwrap();
+        let p_bare = eval(&bare, &[0.5, 0.5, 0.5]);
+        // Large-ish compensation cap (coordinate 0.8 → ~ tens of pF).
+        let p_comp = eval(&comp, &[0.5, 0.5, 0.5, 0.8]);
+        assert!(
+            p_comp.pm_deg > p_bare.pm_deg + 10.0,
+            "bare pm {} comp pm {}",
+            p_bare.pm_deg,
+            p_comp.pm_deg
+        );
+    }
+
+    #[test]
+    fn compensation_lowers_bandwidth() {
+        let bare = Topology::bare_cascade();
+        let comp = bare
+            .with_type(
+                VariableEdge::V1Vout,
+                SubcircuitType::Passive(PassiveKind::C),
+            )
+            .unwrap();
+        let p_bare = eval(&bare, &[0.5, 0.5, 0.5]);
+        let p_comp = eval(&comp, &[0.5, 0.5, 0.5, 0.8]);
+        assert!(p_comp.gbw_hz < p_bare.gbw_hz);
+    }
+
+    #[test]
+    fn larger_stage_gm_costs_more_power() {
+        let t = Topology::bare_cascade();
+        let small = eval(&t, &[0.3, 0.3, 0.3]);
+        let large = eval(&t, &[0.8, 0.8, 0.8]);
+        assert!(large.power_w > small.power_w);
+    }
+
+    #[test]
+    fn heavier_load_slows_the_amplifier() {
+        let t = Topology::bare_cascade()
+            .with_type(
+                VariableEdge::V1Vout,
+                SubcircuitType::Passive(PassiveKind::C),
+            )
+            .unwrap();
+        let space = ParamSpace::for_topology(&t);
+        let v = space.decode(&[0.5, 0.5, 0.5, 0.7]).unwrap();
+        let p10p = evaluate_opamp(&t, &v, &Process::default(), 10e-12, &AcOptions::default())
+            .unwrap();
+        let p10n = evaluate_opamp(&t, &v, &Process::default(), 10e-9, &AcOptions::default())
+            .unwrap();
+        assert!(p10n.gbw_hz < p10p.gbw_hz);
+    }
+
+    #[test]
+    fn fom_matches_hand_computation() {
+        let p = OpAmpPerformance {
+            gain_db: 100.0,
+            gbw_hz: 5e6,
+            pm_deg: 60.0,
+            power_w: 750e-6,
+        };
+        // 5 MHz · 10000 pF / 0.75 mW = 66 666.7
+        let fom = p.fom(10e-9);
+        assert!((fom - 66_666.666).abs() < 1.0, "fom {fom}");
+    }
+
+    #[test]
+    fn fom_handles_zero_power() {
+        let p = OpAmpPerformance {
+            gain_db: 0.0,
+            gbw_hz: 0.0,
+            pm_deg: 0.0,
+            power_w: 0.0,
+        };
+        assert_eq!(p.fom(10e-12), 0.0);
+    }
+}

@@ -1,0 +1,413 @@
+//! Time-domain (`.TRAN`-equivalent) analysis.
+//!
+//! The reproduction's optimization loops only need AC analysis, but a
+//! credible simulator — and a designer checking settling behavior — wants
+//! the time domain too. This module integrates the linear MNA system with
+//! the trapezoidal rule (the standard SPICE default): capacitors become
+//! their companion models (a conductance `2C/h` in parallel with a history
+//! current source), band-limited transconductors are first expanded into
+//! their ideal pole macro via [`Netlist::expand_banded`], and a voltage
+//! step drives the input node.
+
+use oa_circuit::{Element, Netlist, NodeId};
+use oa_linalg::{CluFactor, CMatrix, Complex};
+
+use crate::error::SimError;
+
+/// Options controlling a transient analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranOptions {
+    /// Simulation stop time in seconds.
+    pub t_stop: f64,
+    /// Fixed time step in seconds.
+    pub dt: f64,
+    /// Step amplitude applied to the input node at `t = 0` (volts).
+    pub step_v: f64,
+    /// `GMIN` leak conductance in siemens.
+    pub gmin: f64,
+}
+
+impl TranOptions {
+    /// A step of `step_v` volts observed for `periods` time constants of
+    /// `f_hz` (heuristic helper: `t_stop = periods/f_hz`, 200 points).
+    pub fn for_bandwidth(f_hz: f64, periods: f64, step_v: f64) -> Self {
+        let t_stop = periods / f_hz;
+        TranOptions {
+            t_stop,
+            dt: t_stop / 200.0,
+            step_v,
+            gmin: 1e-12,
+        }
+    }
+}
+
+/// A computed step response: matched time/output-voltage samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResponse {
+    /// Sample times in seconds, starting at 0.
+    pub time: Vec<f64>,
+    /// Output-node voltage at each sample.
+    pub vout: Vec<f64>,
+}
+
+impl StepResponse {
+    /// The final sampled output value.
+    pub fn final_value(&self) -> f64 {
+        *self.vout.last().expect("non-empty response")
+    }
+
+    /// Peak overshoot relative to the final value, as a fraction (0 = no
+    /// overshoot). Meaningless if the response has not settled.
+    pub fn overshoot(&self) -> f64 {
+        let f = self.final_value();
+        if f.abs() < 1e-18 {
+            return 0.0;
+        }
+        let peak = self
+            .vout
+            .iter()
+            .fold(0.0_f64, |m, &v| if f > 0.0 { m.max(v) } else { m.min(v) });
+        ((peak - f) / f).max(0.0)
+    }
+
+    /// First time after which the output stays within `tol` (fractional)
+    /// of the final value, or `None` if it never settles in-window.
+    pub fn settling_time(&self, tol: f64) -> Option<f64> {
+        let f = self.final_value();
+        let band = tol * f.abs().max(1e-18);
+        let mut settled_from = None;
+        for (i, &v) in self.vout.iter().enumerate() {
+            if (v - f).abs() <= band {
+                settled_from.get_or_insert(i);
+            } else {
+                settled_from = None;
+            }
+        }
+        settled_from.map(|i| self.time[i])
+    }
+}
+
+/// Computes the response of `netlist` to a voltage step at its input.
+///
+/// Band-limited transconductors are expanded to ideal pole macros first,
+/// so the time-domain model matches the AC model exactly.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadFrequencyGrid`] for non-positive `t_stop`/`dt`
+/// and [`SimError::SolveFailed`] if the companion system is singular.
+///
+/// # Examples
+///
+/// ```
+/// use oa_circuit::{NetlistBuilder, NodeId};
+/// use oa_sim::{step_response, TranOptions};
+///
+/// # fn main() -> Result<(), oa_sim::SimError> {
+/// let mut b = NetlistBuilder::new();
+/// let inp = b.add_node("in");
+/// let out = b.add_node("out");
+/// b.resistor(inp, out, 1e3);
+/// b.capacitor(out, NodeId::GROUND, 1e-9);
+/// let opts = TranOptions { t_stop: 10e-6, dt: 10e-9, step_v: 1.0, gmin: 1e-12 };
+/// let resp = step_response(&b.build(inp, out), &opts)?;
+/// assert!((resp.final_value() - 1.0).abs() < 1e-3); // RC settles to the step
+/// # Ok(())
+/// # }
+/// ```
+pub fn step_response(netlist: &Netlist, opts: &TranOptions) -> Result<StepResponse, SimError> {
+    if !(opts.t_stop > 0.0 && opts.dt > 0.0 && opts.dt < opts.t_stop) {
+        return Err(SimError::BadFrequencyGrid);
+    }
+    let expanded = netlist.expand_banded();
+    let n_nodes = expanded.node_count() - 1; // ground eliminated
+    let dim = n_nodes + 1; // + source branch current
+    let branch = dim - 1;
+    let var = |n: NodeId| -> Option<usize> {
+        if n.is_ground() {
+            None
+        } else {
+            Some(n.0 - 1)
+        }
+    };
+
+    // Assemble two constant system matrices — backward Euler (G + C/h)
+    // for the first step across the source discontinuity, trapezoidal
+    // (G + 2C/h) for the march — using the real parts of complex matrices
+    // (reusing the complex LU).
+    let h = opts.dt;
+    let mut a = CMatrix::zeros(dim, dim);
+    let mut a_be = CMatrix::zeros(dim, dim);
+    let mut caps: Vec<(Option<usize>, Option<usize>, f64)> = Vec::new();
+    let stamp = |a: &mut CMatrix, p: Option<usize>, q: Option<usize>, g: f64| {
+        if let Some(i) = p {
+            a[(i, i)] += Complex::from_re(g);
+        }
+        if let Some(j) = q {
+            a[(j, j)] += Complex::from_re(g);
+        }
+        if let (Some(i), Some(j)) = (p, q) {
+            a[(i, j)] -= Complex::from_re(g);
+            a[(j, i)] -= Complex::from_re(g);
+        }
+    };
+    for e in expanded.elements() {
+        match *e {
+            Element::Resistor { a: na, b: nb, ohms } => {
+                if !(ohms.is_finite() && ohms > 0.0) {
+                    return Err(SimError::BadElement {
+                        detail: format!("resistor with {ohms} ohms"),
+                    });
+                }
+                stamp(&mut a, var(na), var(nb), 1.0 / ohms);
+                stamp(&mut a_be, var(na), var(nb), 1.0 / ohms);
+            }
+            Element::Capacitor { a: na, b: nb, farads } => {
+                if !(farads.is_finite() && farads >= 0.0) {
+                    return Err(SimError::BadElement {
+                        detail: format!("capacitor with {farads} farads"),
+                    });
+                }
+                let g = 2.0 * farads / h;
+                stamp(&mut a, var(na), var(nb), g);
+                stamp(&mut a_be, var(na), var(nb), g / 2.0);
+                caps.push((var(na), var(nb), g));
+            }
+            Element::Vccs {
+                ctrl_p,
+                ctrl_n,
+                out_p,
+                out_n,
+                gm,
+                ft_hz,
+            } => {
+                debug_assert!(ft_hz.is_none(), "expand_banded removed banded cells");
+                for (node, sign) in [(out_p, 1.0), (out_n, -1.0)] {
+                    if let Some(row) = var(node) {
+                        if let Some(cp) = var(ctrl_p) {
+                            a[(row, cp)] += Complex::from_re(sign * gm);
+                            a_be[(row, cp)] += Complex::from_re(sign * gm);
+                        }
+                        if let Some(cn) = var(ctrl_n) {
+                            a[(row, cn)] -= Complex::from_re(sign * gm);
+                            a_be[(row, cn)] -= Complex::from_re(sign * gm);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..n_nodes {
+        a[(i, i)] += Complex::from_re(opts.gmin);
+        a_be[(i, i)] += Complex::from_re(opts.gmin);
+    }
+    let inp = var(expanded.input()).expect("input node is not ground");
+    let out = var(expanded.output()).expect("output node is not ground");
+    for m in [&mut a, &mut a_be] {
+        m[(inp, branch)] += Complex::ONE;
+        m[(branch, inp)] += Complex::ONE;
+    }
+    let lu = CluFactor::new(&a).map_err(|source| SimError::SolveFailed {
+        freq_hz: 0.0,
+        source,
+    })?;
+    let lu_be = CluFactor::new(&a_be).map_err(|source| SimError::SolveFailed {
+        freq_hz: 0.0,
+        source,
+    })?;
+
+    // March: i_cap_hist carries the trapezoidal history current per cap.
+    let steps = (opts.t_stop / h).ceil() as usize;
+    let mut v = vec![0.0; dim]; // quiescent start (all nodes at 0)
+    let mut cap_hist = vec![0.0; caps.len()]; // i_k + g·v_k per capacitor
+    let mut time = Vec::with_capacity(steps + 1);
+    let mut vout = Vec::with_capacity(steps + 1);
+    time.push(0.0);
+    vout.push(0.0);
+
+    for k in 1..=steps {
+        // The first step crosses the t = 0 source discontinuity: use
+        // backward Euler there (the SPICE convention), trapezoidal after.
+        let first = k == 1;
+        let mut rhs = vec![Complex::ZERO; dim];
+        if !first {
+            for ((p, q, _g), &hist) in caps.iter().zip(&cap_hist) {
+                if let Some(i) = *p {
+                    rhs[i] += Complex::from_re(hist);
+                }
+                if let Some(j) = *q {
+                    rhs[j] -= Complex::from_re(hist);
+                }
+            }
+        }
+        rhs[branch] = Complex::from_re(opts.step_v);
+        let solver = if first { &lu_be } else { &lu };
+        let x = solver.solve(&rhs).map_err(|source| SimError::SolveFailed {
+            freq_hz: 0.0,
+            source,
+        })?;
+        let x_re: Vec<f64> = x.iter().map(|c| c.re).collect();
+
+        // Update capacitor histories for the trapezoidal march:
+        // hist_k = i_k + g·v_k with i_k = g·(v_k − v_{k−1}) − i_{k−1}
+        // (after backward Euler, i_1 = (g/2)·(v_1 − v_0)).
+        for (ci, (p, q, g)) in caps.iter().enumerate() {
+            let vk = p.map_or(0.0, |i| x_re[i]) - q.map_or(0.0, |j| x_re[j]);
+            let vk_prev = p.map_or(0.0, |i| v[i]) - q.map_or(0.0, |j| v[j]);
+            let i_k = if first {
+                (g / 2.0) * (vk - vk_prev)
+            } else {
+                let i_prev = cap_hist[ci] - g * vk_prev;
+                g * (vk - vk_prev) - i_prev
+            };
+            cap_hist[ci] = i_k + g * vk;
+        }
+        v = x_re;
+        time.push(k as f64 * h);
+        vout.push(v[out]);
+    }
+    Ok(StepResponse { time, vout })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_circuit::NetlistBuilder;
+
+    fn rc(r: f64, c: f64) -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.resistor(inp, out, r);
+        b.capacitor(out, NodeId::GROUND, c);
+        b.build(inp, out)
+    }
+
+    #[test]
+    fn rc_step_matches_analytic_exponential() {
+        let r = 1e3;
+        let c = 1e-9;
+        let tau = r * c;
+        let opts = TranOptions {
+            t_stop: 5.0 * tau,
+            dt: tau / 100.0,
+            step_v: 1.0,
+            gmin: 1e-15,
+        };
+        let resp = step_response(&rc(r, c), &opts).unwrap();
+        for (t, v) in resp.time.iter().zip(&resp.vout) {
+            let expected = 1.0 - (-t / tau).exp();
+            assert!(
+                (v - expected).abs() < 2e-3,
+                "t={t:.3e}: {v} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_settling_time_is_about_4_6_tau() {
+        let tau = 1e-6;
+        let opts = TranOptions {
+            t_stop: 10.0 * tau,
+            dt: tau / 200.0,
+            step_v: 1.0,
+            gmin: 1e-15,
+        };
+        let resp = step_response(&rc(1e3, 1e-9), &opts).unwrap();
+        let ts = resp.settling_time(0.01).expect("settles");
+        // 1% settling of a first-order system is at ln(100)·τ ≈ 4.6·τ.
+        assert!((ts / tau - 4.6).abs() < 0.3, "ts = {ts:.3e}");
+        assert!(resp.overshoot() < 1e-6, "first-order never overshoots");
+    }
+
+    #[test]
+    fn inverting_amplifier_settles_to_dc_gain() {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.inject_gm(inp, out, -1e-3);
+        b.resistor(out, NodeId::GROUND, 10e3);
+        b.capacitor(out, NodeId::GROUND, 1e-9);
+        let opts = TranOptions {
+            t_stop: 100e-6,
+            dt: 50e-9,
+            step_v: 0.01,
+        gmin: 1e-15,
+        };
+        let resp = step_response(&b.build(inp, out), &opts).unwrap();
+        // DC gain −10 on a 10 mV step → −100 mV.
+        assert!((resp.final_value() + 0.1).abs() < 1e-3, "{}", resp.final_value());
+    }
+
+    #[test]
+    fn banded_gm_step_shows_pole_delay() {
+        // A band-limited follower stage: the step response must be the
+        // exponential of the cell pole, not an instant jump.
+        let ft = 1e6;
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.inject_gm_banded(inp, out, 1e-3, ft);
+        b.resistor(out, NodeId::GROUND, 1e3);
+        let tau = 1.0 / (2.0 * std::f64::consts::PI * ft);
+        let opts = TranOptions {
+            t_stop: 8.0 * tau,
+            dt: tau / 100.0,
+            step_v: 1.0,
+            gmin: 1e-15,
+        };
+        let resp = step_response(&b.build(inp, out), &opts).unwrap();
+        // Final value = gm·R = 1; value at t = τ ≈ 63%.
+        assert!((resp.final_value() - 1.0).abs() < 5e-3);
+        let idx_tau = resp.time.iter().position(|&t| t >= tau).unwrap();
+        assert!(
+            (resp.vout[idx_tau] - 0.632).abs() < 0.02,
+            "v(τ) = {}",
+            resp.vout[idx_tau]
+        );
+    }
+
+    #[test]
+    fn degenerate_time_grid_is_rejected() {
+        let n = rc(1e3, 1e-9);
+        let bad = TranOptions {
+            t_stop: 0.0,
+            dt: 1e-9,
+            step_v: 1.0,
+            gmin: 1e-12,
+        };
+        assert!(matches!(
+            step_response(&n, &bad),
+            Err(SimError::BadFrequencyGrid)
+        ));
+    }
+
+    #[test]
+    fn two_pole_amp_overshoots() {
+        // An underdamped two-pole system rings; overshoot must be detected.
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let mid = b.add_node("mid");
+        let out = b.add_node("out");
+        // Two cascaded stages closed by strong capacitive coupling create
+        // complex poles; simpler: series RLC-like behavior via gyrator is
+        // overkill — use a known-ringing configuration: negative feedback
+        // around two lagging stages.
+        b.inject_gm(inp, mid, 1e-3);
+        b.vccs(out, NodeId::GROUND, NodeId::GROUND, mid, -8e-4); // feedback
+        b.resistor(mid, NodeId::GROUND, 1e4);
+        b.capacitor(mid, NodeId::GROUND, 1e-9);
+        b.inject_gm(mid, out, 1e-3);
+        b.resistor(out, NodeId::GROUND, 1e4);
+        b.capacitor(out, NodeId::GROUND, 1e-9);
+        let opts = TranOptions {
+            t_stop: 3e-4,
+            dt: 5e-8,
+            step_v: 0.001,
+            gmin: 1e-15,
+        };
+        let resp = step_response(&b.build(inp, out), &opts).unwrap();
+        assert!(resp.overshoot() > 0.05, "overshoot {}", resp.overshoot());
+        assert!(resp.settling_time(0.02).is_some());
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the transistor-level mapping crate.
+
+use oa_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while mapping or measuring transistor-level designs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XtorError {
+    /// A behavioral device value the topology requires is missing or
+    /// invalid.
+    MissingDevice {
+        /// Parameter name.
+        name: String,
+        /// The offending value, if present.
+        value: Option<f64>,
+    },
+    /// The transistor-level simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for XtorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XtorError::MissingDevice { name, value } => match value {
+                Some(v) => write!(f, "device parameter {name} has invalid value {v}"),
+                None => write!(f, "device parameter {name} is missing"),
+            },
+            XtorError::Sim(e) => write!(f, "transistor-level simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for XtorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            XtorError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for XtorError {
+    fn from(e: SimError) -> Self {
+        XtorError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = XtorError::MissingDevice {
+            name: "gm2".to_owned(),
+            value: None,
+        };
+        assert!(e.to_string().contains("gm2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XtorError>();
+    }
+}

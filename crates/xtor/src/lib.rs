@@ -1,0 +1,43 @@
+//! Transistor-level substrate of the INTO-OA reproduction (Section IV-D).
+//!
+//! Behavior-level winners are validated at transistor level through the
+//! `gm/Id`-based mapping of [16]: the input stage becomes a differential
+//! pair with a current-mirror load, every other transconductor a
+//! common-source amplifier, and device geometry follows from synthetic
+//! `gm/Id` lookup tables (see DESIGN.md §2 for the PDK substitution).
+//!
+//! * [`GmIdTables`] — EKV-shaped efficiency/speed/gain/density tables.
+//! * [`map_topology`] — behavioral design → transistor small-signal
+//!   netlist + sized device list.
+//! * [`transistor_performance`] — the Table V pipeline: map, simulate,
+//!   measure.
+//!
+//! # Examples
+//!
+//! ```
+//! use oa_circuit::{ParamSpace, Topology};
+//! use oa_sim::AcOptions;
+//! use oa_xtor::{transistor_performance, XtorOptions};
+//!
+//! # fn main() -> Result<(), oa_xtor::XtorError> {
+//! let t = Topology::bare_cascade();
+//! let space = ParamSpace::for_topology(&t);
+//! let (perf, mapping) = transistor_performance(
+//!     &t, &space.nominal(), &XtorOptions::default(), 10e-12, &AcOptions::default())?;
+//! println!("{} devices, gain {:.1} dB", mapping.devices.len(), perf.gain_db);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod mapping;
+mod tables;
+
+pub use error::XtorError;
+pub use mapping::{
+    map_topology, transistor_performance, TransistorDevice, TransistorMapping, XtorOptions,
+};
+pub use tables::GmIdTables;

@@ -1,0 +1,430 @@
+//! `gm/Id`-based mapping of behavior-level op-amps to transistor level
+//! ([16]'s method, Section II-C / IV-D of the INTO-OA paper).
+//!
+//! The amplifier stage connected to `vin` becomes a differential pair with
+//! a current-mirror load; every other transconductor becomes a
+//! common-source amplifier with a current-source load. Device sizes follow
+//! from the behavioral `gm` values through the `gm/Id` tables, and the
+//! transistor-level small-signal model adds exactly the non-idealities the
+//! paper reports as the cause of the FoM drop in Table V:
+//!
+//! * finite load-device output conductance (≈ halves every stage gain),
+//! * gate-source capacitance `C_gs = gm/(2π·f_T)` loading each input,
+//! * gate-drain overlap capacitance bridging input and output of every
+//!   stage (parasitic Miller feedback, RHP-zero effects),
+//! * tail-current and bias-branch power overheads.
+
+use oa_circuit::{
+    DeviceValues, GmComposite, GmDirection, Netlist, NetlistBuilder, NodeId, PassiveKind,
+    SubcircuitType, Topology, VariableEdge, STAGE_SIGNS,
+};
+use oa_sim::{measure, AcOptions, OpAmpPerformance};
+
+use crate::error::XtorError;
+use crate::tables::GmIdTables;
+
+/// Options controlling the transistor mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XtorOptions {
+    /// Bias point for every device (the tables' sweet spot ≈ 15/V).
+    pub gm_over_id: f64,
+    /// The lookup tables.
+    pub tables: GmIdTables,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Multiplicative power overhead for bias branches and mirrors.
+    pub bias_overhead: f64,
+    /// Gate-drain (overlap) capacitance as a fraction of `C_gs`.
+    pub cgd_ratio: f64,
+    /// Junction/load capacitance at a stage output as a fraction of `C_gs`.
+    pub cj_ratio: f64,
+    /// Fixed wiring/junction capacitance at every stage output in farads.
+    /// The behavioral abstraction books a smaller floor; the physical
+    /// layout's routing and drain junctions add more.
+    pub c_wire: f64,
+}
+
+impl Default for XtorOptions {
+    fn default() -> Self {
+        XtorOptions {
+            gm_over_id: 15.0,
+            tables: GmIdTables,
+            vdd: 1.8,
+            bias_overhead: 1.15,
+            cgd_ratio: 0.3,
+            cj_ratio: 1.0,
+            c_wire: 120e-15,
+        }
+    }
+}
+
+/// One mapped transistor (or matched pair) with its bias and geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransistorDevice {
+    /// Human-readable role, e.g. `"M1 diff pair (stage 1)"`.
+    pub name: String,
+    /// Signal transconductance in siemens.
+    pub gm_s: f64,
+    /// Drain current in amps (per branch).
+    pub id_a: f64,
+    /// Aspect ratio `W/L`.
+    pub w_over_l: f64,
+}
+
+/// A transistor-level realization of a behavior-level design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransistorMapping {
+    /// The transistor-grade small-signal netlist.
+    pub netlist: Netlist,
+    /// Every sized device.
+    pub devices: Vec<TransistorDevice>,
+}
+
+struct Mapper<'a> {
+    opts: &'a XtorOptions,
+    builder: NetlistBuilder,
+    devices: Vec<TransistorDevice>,
+}
+
+impl<'a> Mapper<'a> {
+    /// Adds one transconductor stage realized as a transistor amplifier.
+    ///
+    /// `differential` selects the input diff-pair realization (doubled
+    /// bias current, mirror load); otherwise a common-source stage with a
+    /// current-source load is used.
+    fn add_stage(
+        &mut self,
+        name: &str,
+        ctrl: NodeId,
+        out: NodeId,
+        signed_gm: f64,
+        differential: bool,
+    ) {
+        let gm = signed_gm.abs();
+        let t = &self.opts.tables;
+        let gmid = self.opts.gm_over_id;
+        let id = gm / gmid;
+        let cgs = t.cgs(gmid, gm);
+        let gds_amp = gm / t.intrinsic_gain(gmid);
+        // Load device biased at the same point carries the same current.
+        let gds_load = gds_amp;
+
+        // Signal path, band-limited by the *stage* bandwidth: internal
+        // mirror poles, cascode nodes and source degeneration put the
+        // usable amplifier-cell bandwidth around fT/150 — slightly below
+        // the behavioral abstraction's 20 MHz cells, which is precisely the
+        // "inaccurate estimation of parasitics at the behavior level" that
+        // Table V attributes the transistor-level FoM drop to.
+        self.builder
+            .inject_gm_banded(ctrl, out, signed_gm, t.ft_hz(gmid) / 150.0);
+        // Finite output resistance of amplifier + load devices.
+        self.builder
+            .resistor(out, NodeId::GROUND, 1.0 / (gds_amp + gds_load));
+        // Input loading and parasitic Miller feedback.
+        self.builder.capacitor(ctrl, NodeId::GROUND, cgs);
+        self.builder
+            .capacitor(ctrl, out, self.opts.cgd_ratio * cgs);
+        // Output junction + load-device capacitance.
+        let c_out = self.opts.c_wire
+            + self.opts.cj_ratio * cgs * if differential { 2.0 } else { 1.5 };
+        self.builder.capacitor(out, NodeId::GROUND, c_out);
+
+        // Power: a diff pair burns twice the branch current in the tail.
+        let branches = if differential { 2.0 } else { 1.0 };
+        self.builder
+            .add_static_power(self.opts.vdd * id * branches * self.opts.bias_overhead);
+
+        self.devices.push(TransistorDevice {
+            name: name.to_owned(),
+            gm_s: gm,
+            id_a: id,
+            w_over_l: t.w_over_l(gmid, id),
+        });
+    }
+}
+
+fn require(name: &str, v: Option<f64>) -> Result<f64, XtorError> {
+    match v {
+        Some(x) if x.is_finite() && x > 0.0 => Ok(x),
+        other => Err(XtorError::MissingDevice {
+            name: name.to_owned(),
+            value: other,
+        }),
+    }
+}
+
+/// Maps a sized behavior-level topology to a transistor-level netlist.
+///
+/// # Errors
+///
+/// Returns [`XtorError::MissingDevice`] when `values` lacks a device the
+/// topology requires.
+///
+/// # Examples
+///
+/// ```
+/// use oa_circuit::{ParamSpace, Topology};
+/// use oa_xtor::{map_topology, XtorOptions};
+///
+/// # fn main() -> Result<(), oa_xtor::XtorError> {
+/// let t = Topology::bare_cascade();
+/// let space = ParamSpace::for_topology(&t);
+/// let mapping = map_topology(&t, &space.nominal(), &XtorOptions::default(), 10e-12)?;
+/// assert_eq!(mapping.devices.len(), 3); // one per main stage
+/// # Ok(())
+/// # }
+/// ```
+pub fn map_topology(
+    topology: &Topology,
+    values: &DeviceValues,
+    opts: &XtorOptions,
+    cl_farads: f64,
+) -> Result<TransistorMapping, XtorError> {
+    let mut builder = NetlistBuilder::new();
+    let vin = builder.add_node("vin");
+    let v1 = builder.add_node("v1");
+    let v2 = builder.add_node("v2");
+    let vout = builder.add_node("vout");
+    let node_of = |n: oa_circuit::CircuitNode| match n {
+        oa_circuit::CircuitNode::Vin => vin,
+        oa_circuit::CircuitNode::V1 => v1,
+        oa_circuit::CircuitNode::V2 => v2,
+        oa_circuit::CircuitNode::Gnd => NodeId::GROUND,
+        oa_circuit::CircuitNode::Vout => vout,
+    };
+    let mut mapper = Mapper {
+        opts,
+        builder,
+        devices: Vec::new(),
+    };
+
+    // Main stages: stage 1 is the differential input pair.
+    let stage_io = [(vin, v1), (v1, v2), (v2, vout)];
+    for (i, ((ctrl, out), sign)) in stage_io.iter().zip(STAGE_SIGNS).enumerate() {
+        let gm = require(&format!("gm{}", i + 1), Some(values.stage_gm[i]))?;
+        let name = if i == 0 {
+            "M1 diff pair (stage 1)".to_owned()
+        } else {
+            format!("M{} common source (stage {})", i + 1, i + 1)
+        };
+        mapper.add_stage(&name, *ctrl, *out, sign * gm, i == 0);
+    }
+
+    // Variable subcircuits.
+    for edge in VariableEdge::ALL {
+        let ty = topology.type_on(edge);
+        let ev = values.edges[edge.index()];
+        let (first, second) = edge.endpoints();
+        let (na, nb) = (node_of(first), node_of(second));
+        match ty {
+            SubcircuitType::NoConn => {}
+            SubcircuitType::Passive(p) => match p {
+                PassiveKind::R => mapper
+                    .builder
+                    .resistor(na, nb, require(&format!("R({edge})"), ev.r)?),
+                PassiveKind::C => mapper
+                    .builder
+                    .capacitor(na, nb, require(&format!("C({edge})"), ev.c)?),
+                PassiveKind::ParallelRc => {
+                    mapper
+                        .builder
+                        .resistor(na, nb, require(&format!("R({edge})"), ev.r)?);
+                    mapper
+                        .builder
+                        .capacitor(na, nb, require(&format!("C({edge})"), ev.c)?);
+                }
+                PassiveKind::SeriesRc => {
+                    let mid = mapper.builder.add_node(format!("m_{edge}"));
+                    mapper
+                        .builder
+                        .resistor(na, mid, require(&format!("R({edge})"), ev.r)?);
+                    mapper
+                        .builder
+                        .capacitor(mid, nb, require(&format!("C({edge})"), ev.c)?);
+                }
+            },
+            SubcircuitType::Gm {
+                polarity,
+                direction,
+                composite,
+            } => {
+                let gm = require(&format!("gm({edge})"), ev.gm)?;
+                let signed = polarity.sign() * gm;
+                let (ctrl, out) = match direction {
+                    GmDirection::Forward => (na, nb),
+                    GmDirection::Reverse => (nb, na),
+                };
+                let name = format!("Mff {edge} ({})", ty.mnemonic());
+                match composite {
+                    GmComposite::Bare | GmComposite::ParallelR | GmComposite::ParallelC => {
+                        mapper.add_stage(&name, ctrl, out, signed, false);
+                        if composite == GmComposite::ParallelR {
+                            mapper
+                                .builder
+                                .resistor(na, nb, require(&format!("R({edge})"), ev.r)?);
+                        } else if composite == GmComposite::ParallelC {
+                            mapper
+                                .builder
+                                .capacitor(na, nb, require(&format!("C({edge})"), ev.c)?);
+                        }
+                    }
+                    GmComposite::SeriesR | GmComposite::SeriesC => {
+                        let mid = mapper.builder.add_node(format!("m_{edge}"));
+                        mapper.add_stage(&name, ctrl, mid, signed, false);
+                        if composite == GmComposite::SeriesR {
+                            mapper
+                                .builder
+                                .resistor(mid, out, require(&format!("R({edge})"), ev.r)?);
+                        } else {
+                            mapper
+                                .builder
+                                .capacitor(mid, out, require(&format!("C({edge})"), ev.c)?);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    mapper.builder.capacitor(vout, NodeId::GROUND, cl_farads);
+    Ok(TransistorMapping {
+        netlist: mapper.builder.build(vin, vout),
+        devices: mapper.devices,
+    })
+}
+
+/// Maps and measures a design at transistor level (the Table V pipeline).
+///
+/// # Errors
+///
+/// Propagates mapping and simulation errors.
+pub fn transistor_performance(
+    topology: &Topology,
+    values: &DeviceValues,
+    opts: &XtorOptions,
+    cl_farads: f64,
+    ac: &AcOptions,
+) -> Result<(OpAmpPerformance, TransistorMapping), XtorError> {
+    let mapping = map_topology(topology, values, opts, cl_farads)?;
+    let m = measure(&mapping.netlist, ac)?;
+    let (gbw_hz, pm_deg) = match m.unity {
+        Some(u) => (u.freq_hz, u.phase_margin_deg),
+        None => (0.0, -180.0),
+    };
+    let perf = OpAmpPerformance {
+        gain_db: m.dc_gain_db,
+        gbw_hz,
+        pm_deg,
+        power_w: mapping.netlist.static_power(),
+    };
+    Ok((perf, mapping))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_circuit::{elaborate, ParamSpace, Process};
+
+    fn miller() -> (Topology, DeviceValues) {
+        let t = Topology::bare_cascade()
+            .with_type(
+                VariableEdge::V1Vout,
+                SubcircuitType::Passive(PassiveKind::C),
+            )
+            .unwrap();
+        let space = ParamSpace::for_topology(&t);
+        (t, space.decode(&[0.55, 0.5, 0.6, 0.8]).unwrap())
+    }
+
+    fn behavioral_perf(t: &Topology, v: &DeviceValues) -> OpAmpPerformance {
+        let netlist = elaborate(t, v, &Process::default(), 10e-12).unwrap();
+        let m = measure(&netlist, &AcOptions::default()).unwrap();
+        let u = m.unity.unwrap();
+        OpAmpPerformance {
+            gain_db: m.dc_gain_db,
+            gbw_hz: u.freq_hz,
+            pm_deg: u.phase_margin_deg,
+            power_w: netlist.static_power(),
+        }
+    }
+
+    #[test]
+    fn transistor_level_is_functional() {
+        let (t, v) = miller();
+        let (perf, mapping) =
+            transistor_performance(&t, &v, &XtorOptions::default(), 10e-12, &AcOptions::default())
+                .unwrap();
+        assert!(perf.gain_db > 60.0, "gain {}", perf.gain_db);
+        assert!(perf.gbw_hz > 0.0);
+        assert_eq!(mapping.devices.len(), 3);
+    }
+
+    #[test]
+    fn transistor_level_burns_more_power_than_behavioral() {
+        let (t, v) = miller();
+        let behav = behavioral_perf(&t, &v);
+        let (perf, _) =
+            transistor_performance(&t, &v, &XtorOptions::default(), 10e-12, &AcOptions::default())
+                .unwrap();
+        assert!(
+            perf.power_w > behav.power_w,
+            "tail + bias overheads must cost power: {} vs {}",
+            perf.power_w,
+            behav.power_w
+        );
+    }
+
+    #[test]
+    fn transistor_level_fom_drops_as_in_table5() {
+        let (t, v) = miller();
+        let behav = behavioral_perf(&t, &v);
+        let (perf, _) =
+            transistor_performance(&t, &v, &XtorOptions::default(), 10e-12, &AcOptions::default())
+                .unwrap();
+        assert!(
+            perf.fom(10e-12) < behav.fom(10e-12),
+            "transistor FoM {} should drop below behavioral {}",
+            perf.fom(10e-12),
+            behav.fom(10e-12)
+        );
+    }
+
+    #[test]
+    fn devices_are_sized_from_tables() {
+        let (t, v) = miller();
+        let mapping = map_topology(&t, &v, &XtorOptions::default(), 10e-12).unwrap();
+        for d in &mapping.devices {
+            assert!(d.w_over_l > 0.0);
+            assert!((d.id_a - d.gm_s / 15.0).abs() / d.id_a < 1e-9);
+        }
+    }
+
+    #[test]
+    fn feedforward_gm_becomes_extra_device() {
+        let t = Topology::bare_cascade()
+            .with_type(
+                VariableEdge::VinVout,
+                SubcircuitType::Gm {
+                    polarity: oa_circuit::GmPolarity::Plus,
+                    direction: GmDirection::Forward,
+                    composite: GmComposite::Bare,
+                },
+            )
+            .unwrap();
+        let space = ParamSpace::for_topology(&t);
+        let mapping =
+            map_topology(&t, &space.nominal(), &XtorOptions::default(), 10e-12).unwrap();
+        assert_eq!(mapping.devices.len(), 4);
+        assert!(mapping.devices[3].name.contains("vin-vout"));
+    }
+
+    #[test]
+    fn missing_values_are_reported() {
+        let t = Topology::bare_cascade()
+            .with_type(VariableEdge::V1Gnd, SubcircuitType::Passive(PassiveKind::R))
+            .unwrap();
+        let bare = ParamSpace::for_topology(&Topology::bare_cascade());
+        let err = map_topology(&t, &bare.nominal(), &XtorOptions::default(), 10e-12).unwrap_err();
+        assert!(matches!(err, XtorError::MissingDevice { .. }));
+    }
+}

@@ -1,0 +1,152 @@
+//! Synthetic `gm/Id` lookup tables for a 180 nm-class process.
+//!
+//! The paper maps behavioral stages to transistors with `gm/Id` lookup
+//! tables extracted from a proprietary PDK. This module substitutes
+//! physically-shaped synthetic tables built on the EKV weak/strong
+//! inversion interpolation (DESIGN.md §2): transconductance efficiency,
+//! transit frequency, intrinsic gain and current density are all smooth
+//! functions of the inversion coefficient
+//!
+//! `IC`: `gm/Id = 1 / (n·U_T · (0.5 + √(0.25 + IC)))`.
+//!
+//! The shapes reproduce what matters for Table V: biasing deeper into weak
+//! inversion (higher `gm/Id`) buys efficiency and gain but costs transit
+//! frequency — i.e. parasitic capacitance per transconductance rises.
+
+/// Thermal voltage at room temperature (V).
+const UT: f64 = 0.0258;
+/// Subthreshold slope factor.
+const SLOPE_N: f64 = 1.3;
+/// Peak transit frequency at strong inversion for the synthetic process.
+const FT_MAX_HZ: f64 = 6e9;
+/// Peak intrinsic gain (weak inversion) for the synthetic process.
+const GAIN_MAX: f64 = 160.0;
+/// Technology current `I0 = 2·n·µ·Cox·U_T²·(W/L)` per unit W/L (A).
+const I0: f64 = 0.6e-6;
+
+/// Synthetic `gm/Id` lookup tables.
+///
+/// # Examples
+///
+/// ```
+/// use oa_xtor::GmIdTables;
+///
+/// let t = GmIdTables::default();
+/// // Weak inversion is more efficient but slower.
+/// assert!(t.ft_hz(22.0) < t.ft_hz(8.0));
+/// assert!(t.intrinsic_gain(22.0) > t.intrinsic_gain(8.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GmIdTables;
+
+impl GmIdTables {
+    /// Maximum achievable `gm/Id` for the synthetic process (deep weak
+    /// inversion limit `1/(n·U_T)` ≈ 29.8 /V).
+    pub fn max_gm_over_id(&self) -> f64 {
+        1.0 / (SLOPE_N * UT)
+    }
+
+    /// Inversion coefficient that realizes a target `gm/Id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gm_over_id` is not in `(0, max_gm_over_id)`.
+    pub fn inversion_coefficient(&self, gm_over_id: f64) -> f64 {
+        assert!(
+            gm_over_id > 0.0 && gm_over_id < self.max_gm_over_id(),
+            "gm/Id {gm_over_id} outside the achievable range"
+        );
+        // Invert gm/Id = 1/(n·UT·(0.5+sqrt(0.25+IC))).
+        let s = 1.0 / (gm_over_id * SLOPE_N * UT) - 0.5;
+        (s * s - 0.25).max(1e-9)
+    }
+
+    /// Transit frequency `f_T` at a bias point; strong inversion is fast,
+    /// weak inversion slow (`f_T ∝ IC^(1/2)`-ish saturating shape).
+    pub fn ft_hz(&self, gm_over_id: f64) -> f64 {
+        let ic = self.inversion_coefficient(gm_over_id);
+        FT_MAX_HZ * (ic / (ic + 8.0)).sqrt()
+    }
+
+    /// Intrinsic gain `gm/gds` at a bias point; weak inversion has the
+    /// highest gain.
+    pub fn intrinsic_gain(&self, gm_over_id: f64) -> f64 {
+        let ic = self.inversion_coefficient(gm_over_id);
+        // Gain degrades gently toward strong inversion.
+        GAIN_MAX / (1.0 + 0.35 * ic.sqrt())
+    }
+
+    /// Drain current per unit `W/L` at a bias point (A); used to size the
+    /// device width for a target current.
+    pub fn current_density(&self, gm_over_id: f64) -> f64 {
+        I0 * self.inversion_coefficient(gm_over_id)
+    }
+
+    /// Device `W/L` needed to carry `id` amps at the bias point.
+    pub fn w_over_l(&self, gm_over_id: f64, id: f64) -> f64 {
+        id / self.current_density(gm_over_id)
+    }
+
+    /// Gate-source capacitance of a transistor with transconductance `gm`
+    /// at the bias point: `C_gs = gm / (2π·f_T)`.
+    pub fn cgs(&self, gm_over_id: f64, gm: f64) -> f64 {
+        gm / (2.0 * std::f64::consts::PI * self.ft_hz(gm_over_id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gm_over_id_roundtrips_through_ic() {
+        let t = GmIdTables;
+        for target in [5.0, 10.0, 15.0, 20.0, 25.0] {
+            let ic = t.inversion_coefficient(target);
+            let recovered = 1.0 / (SLOPE_N * UT * (0.5 + (0.25f64 + ic).sqrt()));
+            assert!(
+                (recovered - target).abs() / target < 1e-6,
+                "{target} vs {recovered}"
+            );
+        }
+    }
+
+    #[test]
+    fn weak_inversion_trades_speed_for_gain() {
+        let t = GmIdTables;
+        let mut prev_ft = f64::INFINITY;
+        let mut prev_gain = 0.0;
+        for gmid in [6.0, 10.0, 14.0, 18.0, 22.0, 26.0] {
+            let ft = t.ft_hz(gmid);
+            let gain = t.intrinsic_gain(gmid);
+            assert!(ft < prev_ft, "fT must fall with gm/Id");
+            assert!(gain > prev_gain, "gain must rise with gm/Id");
+            prev_ft = ft;
+            prev_gain = gain;
+        }
+    }
+
+    #[test]
+    fn cgs_scales_with_gm() {
+        let t = GmIdTables;
+        let c1 = t.cgs(15.0, 100e-6);
+        let c2 = t.cgs(15.0, 200e-6);
+        assert!((c2 - 2.0 * c1).abs() < 1e-20);
+        assert!(c1 > 0.0 && c1 < 1e-9, "cgs = {c1}");
+    }
+
+    #[test]
+    fn width_scales_linearly_with_current() {
+        let t = GmIdTables;
+        let w1 = t.w_over_l(12.0, 10e-6);
+        let w2 = t.w_over_l(12.0, 20e-6);
+        assert!((w2 - 2.0 * w1).abs() / w1 < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the achievable range")]
+    fn rejects_unachievable_bias() {
+        let t = GmIdTables;
+        let _ = t.inversion_coefficient(40.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Interpretable refinement of a trusted design (Sections III-C and IV-C).
+//!
+//! A designer has a feedforward-compensated three-stage op-amp (the C1
+//! topology of Thandri & Silva-Martínez, JSSC 2003) that narrowly misses
+//! the phase-margin requirement when driving a 10 nF load. Instead of
+//! synthesizing a new amplifier from scratch, INTO-OA:
+//!
+//! 1. trains WL-GP surrogates on an S-5 optimization history,
+//! 2. uses their analytic gradients to find the subcircuit most
+//!    responsible for the shortfall,
+//! 3. replaces it with the most promising alternative and re-sizes only
+//!    the modified part.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example interpret_and_refine
+//! ```
+
+use into_oa::{
+    literature, optimize, refine, removal_sensitivity, Evaluator, IntoOaConfig, MetricModels,
+    RefineConfig, Spec,
+};
+use oa_bo::BoConfig;
+use oa_circuit::VariableEdge;
+
+fn main() {
+    let spec = Spec::s5();
+    let evaluator = Evaluator::new(spec);
+    let trusted = literature::c1();
+    println!("trusted design (C1, feedforward-compensated OTA): {trusted}");
+    println!("target spec: {spec}\n");
+
+    // Size the trusted design as its original authors would have, with the
+    // phase-margin requirement of a less demanding application.
+    let design_spec = Spec {
+        min_pm_deg: 47.0,
+        ..spec
+    };
+    // Scan a few sizing seeds for a trusted design that *narrowly* misses
+    // S-5 — the realistic starting point for refinement (a hopeless design
+    // would need a redesign, not a touch-up).
+    let mut trusted_design = None;
+    for seed in 71..79 {
+        let sizing = BoConfig {
+            n_init: 8,
+            n_iter: 16,
+            n_candidates: 60,
+            seed,
+        };
+        let (candidate, _) = Evaluator::new(design_spec).size(&trusted, &sizing);
+        let Some(candidate) = candidate else { continue };
+        let Ok(perf) = evaluator.simulate(&trusted, &candidate.values) else {
+            continue;
+        };
+        let violation: f64 = spec.constraints(&perf).iter().map(|c| c.max(0.0)).sum();
+        if violation > 0.0 && violation < 0.35 {
+            trusted_design = Some(candidate);
+            break;
+        }
+        if trusted_design.is_none() {
+            trusted_design = Some(candidate);
+        }
+    }
+    let Some(trusted_design) = trusted_design else {
+        println!("trusted sizing failed");
+        return;
+    };
+    let perf = match evaluator.simulate(&trusted, &trusted_design.values) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("simulation failed: {e}");
+            return;
+        }
+    };
+    println!(
+        "as shipped: gain {:.1} dB, GBW {:.3} MHz, PM {:.1} deg, power {:.1} uW → {}",
+        perf.gain_db,
+        perf.gbw_hz / 1e6,
+        perf.pm_deg,
+        perf.power_w / 1e-6,
+        if spec.is_met_by(&perf) {
+            "meets S-5"
+        } else {
+            "violates S-5"
+        }
+    );
+
+    // Surrogates trained "during optimization".
+    println!("\ntraining WL-GP metric models on an S-5 optimization run…");
+    let run = optimize(&spec, &IntoOaConfig::quick(55));
+    let models = match MetricModels::fit(&run, 4) {
+        Ok(m) => m,
+        Err(e) => {
+            println!("training failed: {e}");
+            return;
+        }
+    };
+
+    // What does the surrogate say about the trusted design's structures?
+    println!("\ngradient report for the trusted topology:");
+    for impact in models.structure_report(&trusted) {
+        let pm = impact
+            .gradients
+            .iter()
+            .find(|(m, _)| m == "pm_deg")
+            .map(|(_, g)| *g)
+            .unwrap_or(0.0);
+        println!("  {} [{}]: d(PM)/d(count) = {:+.3}", impact.edge, impact.ty, pm);
+    }
+
+    // Cross-check one structure with brute-force sensitivity analysis.
+    if let Ok(sens) = removal_sensitivity(
+        &evaluator,
+        &trusted,
+        &trusted_design.values,
+        VariableEdge::V1Vout,
+    ) {
+        println!(
+            "\nremoving the v1-vout subcircuit would change GBW by {:+.3} MHz and PM by {:+.1} deg",
+            sens.delta_gbw_hz() / 1e6,
+            sens.delta_pm_deg()
+        );
+    }
+
+    // The refinement itself.
+    println!("\nrefining…");
+    let refine_cfg = RefineConfig {
+        max_attempts: 8,
+        resize: BoConfig {
+            n_init: 8,
+            n_iter: 16,
+            n_candidates: 80,
+            seed: 5,
+        },
+    };
+    match refine(
+        &evaluator,
+        &trusted,
+        &trusted_design.values,
+        &models,
+        &refine_cfg,
+    ) {
+        Ok(outcome) => {
+            println!(
+                "replaced {} on {} ({} simulations)",
+                outcome.old_ty, outcome.edge, outcome.total_sims
+            );
+            match outcome.refined {
+                Some(d) => println!(
+                    "refined: {} → gain {:.1} dB, GBW {:.3} MHz, PM {:.1} deg, power {:.1} uW → {}",
+                    d.topology,
+                    d.performance.gain_db,
+                    d.performance.gbw_hz / 1e6,
+                    d.performance.pm_deg,
+                    d.performance.power_w / 1e-6,
+                    if d.feasible { "meets S-5" } else { "violates S-5" }
+                ),
+                None => println!("no attempt met the spec — rerun with a larger budget"),
+            }
+        }
+        Err(e) => println!("refinement failed: {e}"),
+    }
+}

@@ -1,0 +1,137 @@
+//! Driving a large capacitive load (the S-5 scenario, C_L = 10 nF) and
+//! comparing INTO-OA head-to-head with the FE-GA baseline at an identical
+//! simulation budget — a miniature of the paper's Table II experiment,
+//! finishing with a transistor-level sanity check of the winner.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example large_load_driver
+//! ```
+
+use into_oa::{optimize, Evaluator, IntoOaConfig, Spec};
+use oa_baselines::{fe_ga, FeGaConfig};
+use oa_bo::{BoConfig, TopoBoConfig, TopoObservation};
+use oa_circuit::Topology;
+use oa_sim::AcOptions;
+use oa_xtor::{transistor_performance, XtorOptions};
+
+fn main() {
+    let spec = Spec::s5();
+    println!("large-load scenario: {spec}\n");
+
+    let sizing = BoConfig {
+        n_init: 6,
+        n_iter: 10,
+        n_candidates: 50,
+        seed: 9,
+    };
+
+    // --- INTO-OA ---
+    let run = optimize(
+        &spec,
+        &IntoOaConfig {
+            topo: TopoBoConfig {
+                n_init: 6,
+                n_iter: 14,
+                pool_size: 60,
+                seed: 9,
+                ..TopoBoConfig::default()
+            },
+            sizing,
+            ..IntoOaConfig::default()
+        },
+    );
+    let into_oa_best = run.best_design().cloned();
+    println!(
+        "INTO-OA:  {} sims, best feasible FoM = {}",
+        run.total_sims,
+        into_oa_best
+            .as_ref()
+            .filter(|d| d.feasible)
+            .map(|d| format!("{:.0}", d.fom))
+            .unwrap_or_else(|| "-".to_owned())
+    );
+
+    // --- FE-GA at the same budget ---
+    let evaluator = Evaluator::new(spec);
+    let mut ga_best: Option<into_oa::SizedDesign> = None;
+    let mut ga_sims = 0usize;
+    let ga = fe_ga(
+        &FeGaConfig {
+            population: 6,
+            n_iter: 14,
+            seed: 9,
+            ..FeGaConfig::default()
+        },
+        |t: &Topology| {
+            let (design, sims) = evaluator.size(t, &sizing);
+            ga_sims += sims;
+            let design = design?;
+            let obs = TopoObservation {
+                objective: design.fom.max(1.0).log10(),
+                constraints: spec.constraints(&design.performance),
+                metrics: vec![],
+            };
+            let better = match &ga_best {
+                None => true,
+                Some(b) => match (design.feasible, b.feasible) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    _ => design.fom > b.fom,
+                },
+            };
+            if better {
+                ga_best = Some(design);
+            }
+            Some(obs)
+        },
+    );
+    println!(
+        "FE-GA:    {} sims, best feasible FoM = {}",
+        ga_sims,
+        ga_best
+            .as_ref()
+            .filter(|d| d.feasible)
+            .map(|d| format!("{:.0}", d.fom))
+            .unwrap_or_else(|| "-".to_owned())
+    );
+    drop(ga);
+
+    // --- Transistor-level check of the INTO-OA winner ---
+    let Some(best) = into_oa_best else {
+        println!("\nno INTO-OA design to map");
+        return;
+    };
+    println!("\nINTO-OA winner: {}", best.topology);
+    match transistor_performance(
+        &best.topology,
+        &best.values,
+        &XtorOptions::default(),
+        spec.cl_farads,
+        &AcOptions::default(),
+    ) {
+        Ok((perf, mapping)) => {
+            println!("transistor-level ({} devices):", mapping.devices.len());
+            for d in &mapping.devices {
+                println!(
+                    "  {:<34} gm {:>8.1} uS, Id {:>7.2} uA, W/L {:>7.1}",
+                    d.name,
+                    d.gm_s / 1e-6,
+                    d.id_a / 1e-6,
+                    d.w_over_l
+                );
+            }
+            println!(
+                "  gain {:.1} dB | GBW {:.3} MHz | PM {:.1} deg | power {:.1} uW | FoM {:.0} (behavioral {:.0})",
+                perf.gain_db,
+                perf.gbw_hz / 1e6,
+                perf.pm_deg,
+                perf.power_w / 1e-6,
+                perf.fom(spec.cl_farads),
+                best.fom
+            );
+        }
+        Err(e) => println!("transistor mapping failed: {e}"),
+    }
+}

@@ -1,0 +1,80 @@
+//! Low-power design scenario: the S-4 specification caps the power budget
+//! at 150 µW, forcing the optimizer toward efficient compensation schemes.
+//! This example runs INTO-OA on S-4 and then *explains* the winner with
+//! the WL-GP gradient analysis — which structures carry the bandwidth,
+//! which guard the phase margin, and what each costs in power.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example low_power_design
+//! ```
+
+use into_oa::{optimize, IntoOaConfig, MetricModels, Spec};
+use oa_bo::{BoConfig, TopoBoConfig};
+
+fn main() {
+    let spec = Spec::s4();
+    println!("low-power scenario: {spec}");
+
+    let config = IntoOaConfig {
+        topo: TopoBoConfig {
+            n_init: 6,
+            n_iter: 14,
+            pool_size: 60,
+            seed: 7,
+            ..TopoBoConfig::default()
+        },
+        sizing: BoConfig {
+            n_init: 6,
+            n_iter: 10,
+            n_candidates: 50,
+            seed: 7,
+        },
+        ..IntoOaConfig::default()
+    };
+    let run = optimize(&spec, &config);
+
+    let Some(best) = run.best_design() else {
+        println!("no design found — increase the budget");
+        return;
+    };
+    println!("\nbest low-power topology: {}", best.topology);
+    println!(
+        "  gain {:.1} dB | GBW {:.3} MHz | PM {:.1} deg | power {:.1} uW | FoM {:.1} | feasible: {}",
+        best.performance.gain_db,
+        best.performance.gbw_hz / 1e6,
+        best.performance.pm_deg,
+        best.performance.power_w / 1e-6,
+        best.fom,
+        best.feasible,
+    );
+
+    // Interpretability: which structures matter for which metric?
+    let models = match MetricModels::fit(&run, 4) {
+        Ok(m) => m,
+        Err(e) => {
+            println!("could not train metric models: {e}");
+            return;
+        }
+    };
+    println!("\nstructure impact (WL-GP gradient, Eq. 5):");
+    for impact in models.structure_report(&best.topology) {
+        println!("  {} [{}]:", impact.edge, impact.ty);
+        for (metric, gradient) in &impact.gradients {
+            let direction = if *gradient > 0.0 { "helps" } else { "hurts" };
+            println!("    {metric:<12} {gradient:>+9.4}  ({direction})");
+        }
+    }
+
+    println!("\npower accounting of the winner:");
+    let total_gm: f64 = best.values.all_gms().iter().sum();
+    for (i, gm) in best.values.stage_gm.iter().enumerate() {
+        println!(
+            "  stage {} gm = {:>8.2} uS ({:>4.1}% of total transconductance)",
+            i + 1,
+            gm / 1e-6,
+            gm / total_gm * 100.0
+        );
+    }
+}

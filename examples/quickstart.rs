@@ -1,0 +1,80 @@
+//! Quickstart: synthesize a three-stage op-amp topology for the baseline
+//! spec S-1 with INTO-OA and inspect the winner.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use into_oa::{optimize, IntoOaConfig, Spec};
+use oa_circuit::{elaborate, Process};
+use oa_sim::{step_response, TranOptions};
+
+fn main() {
+    let spec = Spec::s1();
+    println!("optimizing a three-stage op-amp for {spec}");
+
+    // A reduced budget so the example finishes in seconds; the paper's
+    // setup is 10 initial topologies + 50 BO iterations with a
+    // 40-simulation sizing per topology.
+    let config = IntoOaConfig::quick(42);
+    let run = optimize(&spec, &config);
+
+    println!(
+        "evaluated {} topologies with {} total simulations",
+        run.records.len(),
+        run.total_sims
+    );
+
+    match run.best_design() {
+        Some(best) => {
+            println!("\nbest topology: {}", best.topology);
+            println!("  open-loop gain : {:>8.2} dB", best.performance.gain_db);
+            println!(
+                "  GBW            : {:>8.3} MHz",
+                best.performance.gbw_hz / 1e6
+            );
+            println!("  phase margin   : {:>8.2} deg", best.performance.pm_deg);
+            println!(
+                "  power          : {:>8.2} uW",
+                best.performance.power_w / 1e-6
+            );
+            println!("  FoM (Eq. 6)    : {:>8.2}", best.fom);
+            println!(
+                "  meets spec     : {}",
+                if best.feasible { "yes" } else { "no" }
+            );
+
+            println!("\noptimization curve (cumulative sims → best feasible FoM):");
+            for (sims, fom) in run.curve().iter().step_by(2) {
+                match fom {
+                    Some(f) => println!("  {sims:>5} → {f:.2}"),
+                    None => println!("  {sims:>5} → (no feasible design yet)"),
+                }
+            }
+
+            // Time-domain sanity check of the winner: open-loop small-step
+            // response (a .TRAN run in SPICE terms).
+            if let Ok(netlist) = elaborate(
+                &best.topology,
+                &best.values,
+                &Process::default(),
+                spec.cl_farads,
+            ) {
+                let opts = TranOptions::for_bandwidth(best.performance.gbw_hz.max(1e3), 8.0, 1e-6);
+                if let Ok(resp) = step_response(&netlist, &opts) {
+                    println!(
+                        "\nopen-loop 1 µV step response: final {:.3} mV, overshoot {:.1}%, settles (2%) at {}",
+                        resp.final_value() * 1e3,
+                        resp.overshoot() * 100.0,
+                        resp.settling_time(0.02)
+                            .map(|t| format!("{:.2} µs", t * 1e6))
+                            .unwrap_or_else(|| "(not in window)".to_owned())
+                    );
+                }
+            }
+        }
+        None => println!("no design could be evaluated — try a larger budget"),
+    }
+}

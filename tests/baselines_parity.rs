@@ -1,0 +1,117 @@
+//! Integration tests pitting all methods against the real circuit
+//! evaluation oracle at matched (small) budgets: the miniature of the
+//! paper's comparison protocol.
+
+use into_oa::{Evaluator, Spec};
+use oa_baselines::{fe_ga, vgae_bo, FeGaConfig, VgaeBoConfig};
+use oa_bo::{topology_bo, BoConfig, TopoBoConfig, TopoObservation};
+use oa_circuit::Topology;
+
+fn circuit_oracle(
+    spec: Spec,
+    sizing: BoConfig,
+) -> (
+    impl FnMut(&Topology) -> Option<TopoObservation>,
+    std::rc::Rc<std::cell::Cell<usize>>,
+) {
+    let evaluator = Evaluator::new(spec);
+    let counter = std::rc::Rc::new(std::cell::Cell::new(0usize));
+    let c2 = counter.clone();
+    let oracle = move |t: &Topology| -> Option<TopoObservation> {
+        let (design, sims) = evaluator.size(t, &sizing);
+        c2.set(c2.get() + sims);
+        let design = design?;
+        Some(TopoObservation {
+            objective: design.fom.max(1e-3).log10(),
+            constraints: spec.constraints(&design.performance),
+            metrics: vec![design.fom],
+        })
+    };
+    (oracle, counter)
+}
+
+fn tiny_sizing() -> BoConfig {
+    BoConfig {
+        n_init: 4,
+        n_iter: 4,
+        n_candidates: 20,
+        seed: 1,
+    }
+}
+
+#[test]
+fn all_three_methods_consume_matched_simulation_budgets() {
+    let spec = Spec::s1();
+
+    let (oracle, sims) = circuit_oracle(spec, tiny_sizing());
+    let into = topology_bo(
+        &TopoBoConfig {
+            n_init: 4,
+            n_iter: 4,
+            pool_size: 20,
+            seed: 0,
+            ..TopoBoConfig::default()
+        },
+        oracle,
+    );
+    let into_sims = sims.get();
+
+    let (oracle, sims) = circuit_oracle(spec, tiny_sizing());
+    let ga = fe_ga(
+        &FeGaConfig {
+            population: 4,
+            n_iter: 4,
+            seed: 0,
+            ..FeGaConfig::default()
+        },
+        oracle,
+    );
+    let ga_sims = sims.get();
+
+    let (oracle, sims) = circuit_oracle(spec, tiny_sizing());
+    let vgae = vgae_bo(
+        &VgaeBoConfig {
+            n_init: 4,
+            n_iter: 4,
+            train_samples: 200,
+            acq_candidates: 20,
+            seed: 0,
+            ..VgaeBoConfig::default()
+        },
+        oracle,
+    );
+    let vgae_sims = sims.get();
+
+    // 8 topologies × 8 sims each for every method.
+    assert_eq!(into.history.len(), 8);
+    assert_eq!(ga.history.len(), 8);
+    assert_eq!(vgae.history.len(), 8);
+    assert_eq!(into_sims, 64);
+    assert_eq!(ga_sims, 64);
+    assert_eq!(vgae_sims, 64);
+}
+
+#[test]
+fn every_method_tracks_its_best_record() {
+    let spec = Spec::s1();
+    let (oracle, _) = circuit_oracle(spec, tiny_sizing());
+    let run = fe_ga(
+        &FeGaConfig {
+            population: 4,
+            n_iter: 6,
+            seed: 3,
+            ..FeGaConfig::default()
+        },
+        oracle,
+    );
+    let best = run.best_record().expect("non-empty history");
+    // The best record is at least as good as every feasible record.
+    for r in &run.history {
+        if r.observation.is_feasible() {
+            assert!(
+                best.observation.is_feasible()
+                    && best.observation.objective >= r.observation.objective
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end integration tests: the full INTO-OA pipeline from design
+//! space through simulator, surrogates, optimizer, interpretability and
+//! refinement, at reduced budgets.
+
+use into_oa::{
+    literature, optimize, refine, removal_sensitivity, Evaluator, IntoOaConfig, MetricModels,
+    RefineConfig, Spec,
+};
+use oa_bo::BoConfig;
+use oa_circuit::{ParamSpace, PassiveKind, SubcircuitType, Topology, VariableEdge};
+
+#[test]
+fn optimization_finds_feasible_s1_design() {
+    // S-1 is the easiest spec; a modest budget should find a feasible
+    // design on at least one of two seeds.
+    let found = (0..2).any(|seed| {
+        let run = optimize(&Spec::s1(), &IntoOaConfig::quick(seed));
+        run.succeeded()
+    });
+    assert!(found, "no quick run found a feasible S-1 design");
+}
+
+#[test]
+fn optimizer_records_are_internally_consistent() {
+    let run = optimize(&Spec::s1(), &IntoOaConfig::quick(3));
+    let mut prev = 0;
+    for r in &run.records {
+        assert!(r.cum_sims > prev);
+        assert!(r.sims_used > 0);
+        prev = r.cum_sims;
+        // The recorded FoM matches the spec's formula on the recorded
+        // performance.
+        assert!((r.design.fom - run.spec.fom(&r.design.performance)).abs() < 1e-9);
+        assert_eq!(r.design.feasible, run.spec.is_met_by(&r.design.performance));
+    }
+    assert_eq!(run.total_sims, run.records.last().unwrap().cum_sims);
+}
+
+#[test]
+fn metric_models_fit_and_expose_gradients_for_every_structure() {
+    let run = optimize(&Spec::s1(), &IntoOaConfig::quick(5));
+    let models = MetricModels::fit(&run, 3).expect("models fit");
+    for r in &run.records {
+        let report = models.structure_report(&r.design.topology);
+        assert_eq!(report.len(), r.design.topology.connected_count());
+        for impact in report {
+            assert_eq!(impact.gradients.len(), 4);
+            assert!(impact.gradients.iter().all(|(_, g)| g.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn sensitivity_analysis_agrees_with_compensation_theory() {
+    // For a Miller-compensated amplifier the compensation capacitor
+    // trades bandwidth for phase margin; removing it must move both in the
+    // opposite directions.
+    let evaluator = Evaluator::new(Spec::s1());
+    let t = Topology::bare_cascade()
+        .with_type(
+            VariableEdge::V1Vout,
+            SubcircuitType::Passive(PassiveKind::C),
+        )
+        .unwrap();
+    let space = ParamSpace::for_topology(&t);
+    let values = space.decode(&[0.5, 0.5, 0.5, 0.85]).unwrap();
+    let s = removal_sensitivity(&evaluator, &t, &values, VariableEdge::V1Vout).unwrap();
+    assert!(s.delta_gbw_hz() > 0.0);
+    assert!(s.delta_pm_deg() < 0.0);
+}
+
+#[test]
+fn refinement_of_literature_topology_changes_at_most_one_edge() {
+    let spec = Spec::s5();
+    let evaluator = Evaluator::new(spec);
+    let trusted = literature::c2();
+
+    // Size under a PM-relaxed spec so the design narrowly misses S-5.
+    let relaxed = Spec {
+        min_pm_deg: 40.0,
+        ..spec
+    };
+    let sizing = BoConfig {
+        n_init: 5,
+        n_iter: 8,
+        n_candidates: 40,
+        seed: 2,
+    };
+    let (design, _) = Evaluator::new(relaxed).size(&trusted, &sizing);
+    let Some(design) = design else {
+        panic!("trusted sizing failed outright");
+    };
+
+    let run = optimize(&spec, &IntoOaConfig::quick(11));
+    let models = MetricModels::fit(&run, 3).expect("models fit");
+    let outcome = refine(
+        &evaluator,
+        &trusted,
+        &design.values,
+        &models,
+        &RefineConfig::default(),
+    )
+    .expect("refinement runs");
+    // Whatever happened, every attempted design is a single-edge change of
+    // the trusted topology with everything else untouched.
+    for attempt in &outcome.attempts {
+        if let Some(d) = &attempt.design {
+            assert_eq!(d.topology.distance(&trusted), 1);
+            for i in 0..3 {
+                assert!(
+                    (d.values.stage_gm[i] - design.values.stage_gm[i]).abs()
+                        / design.values.stage_gm[i]
+                        < 1e-9
+                );
+            }
+        }
+    }
+    if let Some(d) = &outcome.refined {
+        assert!(d.feasible);
+    }
+}
+
+#[test]
+fn literature_topologies_simulate_under_all_specs() {
+    for t in [
+        literature::c1(),
+        literature::r1(),
+        literature::c2(),
+        literature::r2(),
+    ] {
+        let space = ParamSpace::for_topology(&t);
+        for spec in Spec::all() {
+            let evaluator = Evaluator::new(spec);
+            let perf = evaluator
+                .simulate(&t, &space.nominal())
+                .expect("literature topology simulates");
+            assert!(perf.gain_db.is_finite());
+            assert!(perf.power_w > 0.0);
+        }
+    }
+}

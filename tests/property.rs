@@ -1,0 +1,121 @@
+//! Cross-crate property-based tests on the core invariants of the
+//! reproduction: encodings round-trip, the design-space rules hold, the WL
+//! kernel produces positive-semidefinite Gram matrices, and the simulator
+//! returns finite measurements for every legal sized topology.
+
+use oa_baselines::{decode_nearest, embed};
+use oa_circuit::{
+    elaborate, ParamSpace, Process, Topology, VariableEdge, DESIGN_SPACE_SIZE,
+};
+use oa_graph::{CircuitGraph, WlFeaturizer};
+use oa_linalg::{Cholesky, Matrix};
+use oa_sim::{evaluate_opamp, AcOptions};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (0..DESIGN_SPACE_SIZE).prop_map(|i| Topology::from_index(i).expect("in range"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topology_index_roundtrips(t in arb_topology()) {
+        prop_assert_eq!(Topology::from_index(t.index()).unwrap(), t);
+    }
+
+    #[test]
+    fn topologies_always_satisfy_rules(t in arb_topology()) {
+        for edge in VariableEdge::ALL {
+            prop_assert!(edge.allows(t.type_on(edge)));
+        }
+    }
+
+    #[test]
+    fn one_hot_embedding_roundtrips(t in arb_topology()) {
+        prop_assert_eq!(decode_nearest(&embed(&t)), t);
+    }
+
+    #[test]
+    fn param_space_decode_encode_roundtrips(
+        t in arb_topology(),
+        xs in proptest::collection::vec(0.001f64..0.999, 13),
+    ) {
+        let space = ParamSpace::for_topology(&t);
+        let x = &xs[..space.dim()];
+        let values = space.decode(x).unwrap();
+        let x2 = space.encode(&values);
+        for (a, b) in x.iter().zip(&x2) {
+            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn mutation_is_legal_and_nontrivial(t in arb_topology(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let m = t.mutate(&mut rng);
+        prop_assert_ne!(m, t);
+        for edge in VariableEdge::ALL {
+            prop_assert!(edge.allows(m.type_on(edge)));
+        }
+    }
+
+    #[test]
+    fn circuit_graph_respects_paper_bounds(t in arb_topology()) {
+        let g = CircuitGraph::from_topology(&t);
+        prop_assert!(g.node_count() <= 13);
+        prop_assert!(g.edge_count() <= 16);
+        prop_assert_eq!(g.node_count(), 8 + t.connected_count());
+        prop_assert_eq!(g.edge_count(), 6 + 2 * t.connected_count());
+    }
+
+    #[test]
+    fn wl_gram_matrix_is_positive_semidefinite(
+        indices in proptest::collection::hash_set(0..DESIGN_SPACE_SIZE, 3..8),
+    ) {
+        let mut wl = WlFeaturizer::new();
+        let feats: Vec<_> = indices
+            .iter()
+            .map(|&i| {
+                let t = Topology::from_index(i).unwrap();
+                wl.featurize(&CircuitGraph::from_topology(&t), 3)
+            })
+            .collect();
+        let n = feats.len();
+        let mut gram = Matrix::from_fn(n, n, |i, j| feats[i].kernel(&feats[j], 3));
+        // PSD up to numerical jitter: the jittered Cholesky must succeed
+        // with a tiny diagonal boost.
+        gram.add_diag(1e-9 * gram.max_abs().max(1.0));
+        prop_assert!(Cholesky::new(&gram).is_ok());
+    }
+
+    #[test]
+    fn simulator_returns_finite_measurements(
+        t in arb_topology(),
+        xs in proptest::collection::vec(0.05f64..0.95, 13),
+    ) {
+        let space = ParamSpace::for_topology(&t);
+        let values = space.decode(&xs[..space.dim()]).unwrap();
+        let perf = evaluate_opamp(
+            &t,
+            &values,
+            &Process::default(),
+            10e-12,
+            &AcOptions::default(),
+        ).expect("legal sized topology simulates");
+        prop_assert!(perf.gain_db.is_finite());
+        prop_assert!(perf.gbw_hz.is_finite() && perf.gbw_hz >= 0.0);
+        prop_assert!(perf.pm_deg.is_finite());
+        prop_assert!(perf.power_w > 0.0);
+    }
+
+    #[test]
+    fn elaboration_is_deterministic(t in arb_topology()) {
+        let space = ParamSpace::for_topology(&t);
+        let values = space.nominal();
+        let a = elaborate(&t, &values, &Process::default(), 10e-12).unwrap();
+        let b = elaborate(&t, &values, &Process::default(), 10e-12).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
