@@ -230,10 +230,7 @@ mod tests {
             .iter()
             .map(|r| r.observation.objective)
             .fold(f64::NEG_INFINITY, f64::max);
-        let final_best = run
-            .best_record()
-            .map(|r| r.observation.objective)
-            .unwrap();
+        let final_best = run.best_record().map(|r| r.observation.objective).unwrap();
         assert!(final_best >= init_best);
         assert!(final_best >= 8.0, "GA did not improve: {final_best}");
     }
@@ -274,13 +271,7 @@ mod tests {
             seed: 5,
             ..FeGaConfig::default()
         };
-        let run = fe_ga(&cfg, |t| {
-            if t.index() % 2 == 0 {
-                None
-            } else {
-                oracle(t)
-            }
-        });
+        let run = fe_ga(&cfg, |t| if t.index() % 2 == 0 { None } else { oracle(t) });
         assert!(run.history.iter().all(|r| r.topology.index() % 2 == 1));
     }
 }

@@ -111,7 +111,12 @@ impl LatentSpace {
         let mut hi = vec![f64::NEG_INFINITY; latent_dim];
         for x in &xs {
             for (k, b) in basis.iter().enumerate() {
-                let z: f64 = b.iter().zip(x).zip(&mean).map(|((bi, xi), mi)| bi * (xi - mi)).sum();
+                let z: f64 = b
+                    .iter()
+                    .zip(x)
+                    .zip(&mean)
+                    .map(|((bi, xi), mi)| bi * (xi - mi))
+                    .sum();
                 lo[k] = lo[k].min(z);
                 hi[k] = hi[k].max(z);
             }
@@ -121,7 +126,12 @@ impl LatentSpace {
                 hi[k] = lo[k] + 1.0;
             }
         }
-        LatentSpace { mean, basis, lo, hi }
+        LatentSpace {
+            mean,
+            basis,
+            lo,
+            hi,
+        }
     }
 
     /// Latent dimensionality.
@@ -187,17 +197,21 @@ where
     F: FnMut(&Topology) -> Option<TopoObservation>,
 {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let space = LatentSpace::train(config.latent_dim, config.train_samples, config.seed ^ 0xABCD);
+    let space = LatentSpace::train(
+        config.latent_dim,
+        config.train_samples,
+        config.seed ^ 0xABCD,
+    );
 
     let mut visited: HashSet<Topology> = HashSet::new();
     let mut history: Vec<TopoRecord> = Vec::new();
     let mut zs: Vec<Vec<f64>> = Vec::new();
 
     let evaluate = |t: Topology,
-                        visited: &mut HashSet<Topology>,
-                        history: &mut Vec<TopoRecord>,
-                        zs: &mut Vec<Vec<f64>>,
-                        oracle: &mut F| {
+                    visited: &mut HashSet<Topology>,
+                    history: &mut Vec<TopoRecord>,
+                    zs: &mut Vec<Vec<f64>>,
+                    oracle: &mut F| {
         visited.insert(t);
         if let Some(obs) = oracle(&t) {
             zs.push(space.encode(&t));
@@ -274,7 +288,9 @@ fn propose(
         .iter()
         .filter(|r| r.observation.is_feasible())
         .map(|r| r.observation.objective)
-        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))));
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        });
     let incumbent_z = history
         .iter()
         .zip(zs)
@@ -300,8 +316,7 @@ fn propose(
                 .map(|&v| {
                     let u1: f64 = rng.gen::<f64>().max(1e-12);
                     let u2: f64 = rng.gen();
-                    let normal =
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     (v + 0.15 * normal).clamp(-0.2, 1.2)
                 })
                 .collect()
@@ -310,7 +325,9 @@ fn propose(
         if visited.contains(&t) {
             continue;
         }
-        let Ok(obj) = obj_gp.predict(&z) else { continue };
+        let Ok(obj) = obj_gp.predict(&z) else {
+            continue;
+        };
         let mut cons = Vec::with_capacity(con_gps.len());
         let mut ok = true;
         for g in &con_gps {
@@ -377,7 +394,10 @@ mod tests {
         // Chance level is ~0.73 matched edges per topology; the trained
         // decoder should do much better while staying lossy overall.
         let mean_edges = matched_edges as f64 / total as f64;
-        assert!(mean_edges >= 1.8, "decoder barely beats chance: {mean_edges}");
+        assert!(
+            mean_edges >= 1.8,
+            "decoder barely beats chance: {mean_edges}"
+        );
         assert!(exact < total, "a lossless 8-dim decoder is suspicious");
     }
 

@@ -1,0 +1,108 @@
+//! Benchmarks the sweep-aware MNA path: one `prepare()` plus per-point
+//! `PreparedSweep::transfer` against the naive per-point re-assembly of
+//! `MnaSystem::transfer`, on a representative elaborated three-stage
+//! netlist at the default AC grid density (~241 log-spaced points over
+//! 12 decades).
+//!
+//! The measured ratio backs the `BENCH_ac_sweep.json` baseline at the
+//! repository root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oa_circuit::{
+    elaborate, GmComposite, GmDirection, GmPolarity, ParamSpace, PassiveKind, Process,
+    SubcircuitType, Topology, VariableEdge,
+};
+use oa_sim::MnaSystem;
+
+const DECADES: usize = 12;
+const POINTS_PER_DECADE: usize = 20;
+const F_START: f64 = 1.0;
+
+fn three_stage_netlist() -> oa_circuit::Netlist {
+    // Three-stage cascade with every variable edge populated (Miller RC
+    // compensation, feedforward gms, load passives) — the dense end of
+    // what Algorithm 1 proposes, 21 elements over a dim-7 MNA system.
+    let gm = |direction| SubcircuitType::Gm {
+        polarity: GmPolarity::Plus,
+        direction,
+        composite: GmComposite::Bare,
+    };
+    let t = Topology::bare_cascade()
+        .with_type(
+            VariableEdge::V1Vout,
+            SubcircuitType::Passive(PassiveKind::SeriesRc),
+        )
+        .and_then(|t| t.with_type(VariableEdge::VinV2, gm(GmDirection::Forward)))
+        .and_then(|t| t.with_type(VariableEdge::VinVout, gm(GmDirection::Forward)))
+        .and_then(|t| t.with_type(VariableEdge::V1Gnd, SubcircuitType::Passive(PassiveKind::C)))
+        .and_then(|t| {
+            t.with_type(
+                VariableEdge::V2Gnd,
+                SubcircuitType::Passive(PassiveKind::SeriesRc),
+            )
+        })
+        .expect("legal");
+    let space = ParamSpace::for_topology(&t);
+    elaborate(&t, &space.nominal(), &Process::default(), 10e-12).expect("elaborates")
+}
+
+fn grid() -> Vec<f64> {
+    let n = DECADES * POINTS_PER_DECADE + 1;
+    (0..n)
+        .map(|i| F_START * 10f64.powf(i as f64 / POINTS_PER_DECADE as f64))
+        .collect()
+}
+
+fn bench_naive_sweep(c: &mut Criterion) {
+    let netlist = three_stage_netlist();
+    let freqs = grid();
+    let sys = MnaSystem::new(&netlist, 1e-12);
+    c.bench_function("ac_sweep_naive_241pts", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &f in &freqs {
+                acc += sys.transfer(f).expect("solves").abs();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_prepared_sweep(c: &mut Criterion) {
+    let netlist = three_stage_netlist();
+    let freqs = grid();
+    let sys = MnaSystem::new(&netlist, 1e-12);
+    c.bench_function("ac_sweep_prepared_241pts", |b| {
+        b.iter(|| {
+            // Includes the one-off G/C stamping, exactly as `ac_sweep` pays it.
+            let mut prepared = sys.prepare().expect("prepares");
+            let mut acc = 0.0;
+            for &f in &freqs {
+                acc += prepared.transfer(f).expect("solves").abs();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_prepared_point(c: &mut Criterion) {
+    let netlist = three_stage_netlist();
+    let sys = MnaSystem::new(&netlist, 1e-12);
+    let mut prepared = sys.prepare().expect("prepares");
+    c.bench_function("ac_transfer_prepared_single_freq", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let f = 1e3 * (1.0 + (k % 100) as f64);
+            std::hint::black_box(prepared.transfer(f).expect("solves"))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_naive_sweep,
+    bench_prepared_sweep,
+    bench_prepared_point
+);
+criterion_main!(benches);

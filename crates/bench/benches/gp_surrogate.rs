@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oa_circuit::Topology;
-use oa_graph::{CircuitGraph, WlFeaturizer, WlFeatures};
 use oa_gp::WlGp;
+use oa_graph::{CircuitGraph, WlFeatures, WlFeaturizer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -13,12 +13,7 @@ fn dataset(n: usize) -> (Vec<WlFeatures>, Vec<f64>) {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let mut wl = WlFeaturizer::new();
     let feats: Vec<WlFeatures> = (0..n)
-        .map(|_| {
-            wl.featurize(
-                &CircuitGraph::from_topology(&Topology::random(&mut rng)),
-                4,
-            )
-        })
+        .map(|_| wl.featurize(&CircuitGraph::from_topology(&Topology::random(&mut rng)), 4))
         .collect();
     let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
     (feats, y)

@@ -3,7 +3,9 @@
 //! "Hspice run" of the reproduction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use oa_circuit::{elaborate, ParamSpace, PassiveKind, Process, SubcircuitType, Topology, VariableEdge};
+use oa_circuit::{
+    elaborate, ParamSpace, PassiveKind, Process, SubcircuitType, Topology, VariableEdge,
+};
 use oa_sim::{measure, AcOptions, MnaSystem};
 
 fn miller_netlist() -> oa_circuit::Netlist {
@@ -53,5 +55,10 @@ fn bench_elaboration(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_single_solve, bench_full_measurement, bench_elaboration);
+criterion_group!(
+    benches,
+    bench_single_solve,
+    bench_full_measurement,
+    bench_elaboration
+);
 criterion_main!(benches);

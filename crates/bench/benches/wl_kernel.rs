@@ -41,16 +41,51 @@ fn bench_featurize(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_featurize_memoized(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let topologies: Vec<Topology> = (0..64).map(|_| Topology::random(&mut rng)).collect();
+    let mut group = c.benchmark_group("wl_featurize_topology");
+    group.bench_with_input(BenchmarkId::new("uncached", 4), &4usize, |b, &h| {
+        let mut wl = WlFeaturizer::new();
+        let mut i = 0;
+        b.iter(|| {
+            let f = wl.featurize(
+                &CircuitGraph::from_topology(&topologies[i % topologies.len()]),
+                h,
+            );
+            i += 1;
+            std::hint::black_box(f.max_h())
+        })
+    });
+    // Warm the cache once; steady-state BO iterations revisit the same
+    // topologies across pools, so the hot path is all hits.
+    let mut wl = WlFeaturizer::new();
+    for t in &topologies {
+        wl.featurize_topology(t, 4);
+    }
+    group.bench_with_input(BenchmarkId::new("memoized", 4), &4usize, |b, &h| {
+        let mut i = 0;
+        b.iter(|| {
+            let f = wl.featurize_topology(&topologies[i % topologies.len()], h);
+            i += 1;
+            std::hint::black_box(f.max_h())
+        })
+    });
+    group.finish();
+    let stats = wl.cache_stats();
+    eprintln!(
+        "wl cache: {} hits / {} misses (hit rate {:.4})",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate()
+    );
+}
+
 fn bench_kernel_eval(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let mut wl = WlFeaturizer::new();
     let feats: Vec<_> = (0..64)
-        .map(|_| {
-            wl.featurize(
-                &CircuitGraph::from_topology(&Topology::random(&mut rng)),
-                4,
-            )
-        })
+        .map(|_| wl.featurize(&CircuitGraph::from_topology(&Topology::random(&mut rng)), 4))
         .collect();
     c.bench_function("wl_kernel_h4_pairwise", |b| {
         let mut i = 0;
@@ -67,6 +102,7 @@ criterion_group!(
     benches,
     bench_graph_construction,
     bench_featurize,
+    bench_featurize_memoized,
     bench_kernel_eval
 );
 criterion_main!(benches);

@@ -10,19 +10,33 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let sizing = BoConfig { n_init: 10, n_iter: 30, n_candidates: 150, seed: 0 };
+    let sizing = BoConfig {
+        n_init: 10,
+        n_iter: 30,
+        n_candidates: 150,
+        seed: 0,
+    };
     for spec in Spec::all() {
         let eval = Evaluator::new(spec);
         let mut rng = ChaCha8Rng::seed_from_u64(11);
-        let mut feas = 0; let mut best: f64 = 0.0; let mut foms = vec![];
+        let mut feas = 0;
+        let mut best: f64 = 0.0;
+        let mut foms = vec![];
         for _ in 0..40 {
             let t = Topology::random(&mut rng);
             if let (Some(d), _) = eval.size(&t, &sizing) {
-                if d.feasible { feas += 1; best = best.max(d.fom); foms.push(d.fom); }
+                if d.feasible {
+                    feas += 1;
+                    best = best.max(d.fom);
+                    foms.push(d.fom);
+                }
             }
         }
-        foms.sort_by(|a,b| a.partial_cmp(b).unwrap());
-        let med = foms.get(foms.len()/2).copied().unwrap_or(0.0);
-        println!("{}: feasible {}/40, median feasible FoM {:.1}, best {:.1}", spec.name, feas, med, best);
+        foms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = foms.get(foms.len() / 2).copied().unwrap_or(0.0);
+        println!(
+            "{}: feasible {}/40, median feasible FoM {:.1}, best {:.1}",
+            spec.name, feas, med, best
+        );
     }
 }

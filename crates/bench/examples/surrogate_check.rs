@@ -7,82 +7,127 @@
 use into_oa::{Evaluator, Spec};
 use oa_bo::BoConfig;
 use oa_circuit::Topology;
-use oa_graph::{CircuitGraph, WlFeaturizer};
 use oa_gp::WlGp;
+use oa_graph::{CircuitGraph, WlFeaturizer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let spec = Spec::s1();
     let eval = Evaluator::new(spec);
-    let sizing = BoConfig { n_init: 8, n_iter: 16, n_candidates: 100, seed: 0 };
+    let sizing = BoConfig {
+        n_init: 8,
+        n_iter: 16,
+        n_candidates: 100,
+        seed: 0,
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let mut data: Vec<(Topology, f64, bool)> = Vec::new();
     while data.len() < 60 {
         let t = Topology::random(&mut rng);
-        if data.iter().any(|(x, _, _)| *x == t) { continue; }
+        if data.iter().any(|(x, _, _)| *x == t) {
+            continue;
+        }
         let (d, _) = eval.size(&t, &sizing);
         if let Some(d) = d {
             data.push((t, d.fom, d.feasible));
         }
     }
-    let feasible = data.iter().filter(|(_,_,f)| *f).count();
+    let feasible = data.iter().filter(|(_, _, f)| *f).count();
     println!("feasible {}/{}", feasible, data.len());
-    let foms: Vec<f64> = data.iter().map(|(_,f,_)| *f).collect();
-    let mut sorted = foms.clone(); sorted.sort_by(|a,b| a.partial_cmp(b).unwrap());
-    println!("FoM quantiles: min {:.2} q25 {:.2} med {:.2} q75 {:.2} max {:.2}",
-        sorted[0], sorted[15], sorted[30], sorted[45], sorted[59]);
+    let foms: Vec<f64> = data.iter().map(|(_, f, _)| *f).collect();
+    let mut sorted = foms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "FoM quantiles: min {:.2} q25 {:.2} med {:.2} q75 {:.2} max {:.2}",
+        sorted[0], sorted[15], sorted[30], sorted[45], sorted[59]
+    );
 
-    for (levels, interleave) in [(0usize, false), (2, false), (4, false), (0, true), (2, true), (4, true)] {
+    for (levels, interleave) in [
+        (0usize, false),
+        (2, false),
+        (4, false),
+        (0, true),
+        (2, true),
+        (4, true),
+    ] {
         let mut wl = WlFeaturizer::new();
-        let feats: Vec<_> = data.iter().map(|(t,_,_)| wl.featurize(&CircuitGraph::from_topology(t), levels)).collect();
-        let train_idx: Vec<usize> = if interleave { (0..60).filter(|i| i % 3 != 0).collect() } else { (0..40).collect() };
-        let test_idx: Vec<usize> = if interleave { (0..60).filter(|i| i % 3 == 0).collect() } else { (40..60).collect() };
-        let ytr: Vec<f64> = train_idx.iter().map(|&i| data[i].1.max(1.0).log10()).collect();
+        let feats: Vec<_> = data
+            .iter()
+            .map(|(t, _, _)| wl.featurize(&CircuitGraph::from_topology(t), levels))
+            .collect();
+        let train_idx: Vec<usize> = if interleave {
+            (0..60).filter(|i| i % 3 != 0).collect()
+        } else {
+            (0..40).collect()
+        };
+        let test_idx: Vec<usize> = if interleave {
+            (0..60).filter(|i| i % 3 == 0).collect()
+        } else {
+            (40..60).collect()
+        };
+        let ytr: Vec<f64> = train_idx
+            .iter()
+            .map(|&i| data[i].1.max(1.0).log10())
+            .collect();
         let ftr: Vec<_> = train_idx.iter().map(|&i| feats[i].clone()).collect();
         let gp = WlGp::fit(ftr, ytr).unwrap();
-        let mut pairs: Vec<(f64,f64)> = Vec::new();
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
         for &i in &test_idx {
-            let (m,_) = gp.predict(&feats[i]).unwrap();
+            let (m, _) = gp.predict(&feats[i]).unwrap();
             pairs.push((m, data[i].1.max(1.0).log10()));
         }
         let n = pairs.len() as f64;
-        let mx = pairs.iter().map(|p| p.0).sum::<f64>()/n;
-        let my = pairs.iter().map(|p| p.1).sum::<f64>()/n;
-        let cov = pairs.iter().map(|p| (p.0-mx)*(p.1-my)).sum::<f64>()/n;
-        let sx = (pairs.iter().map(|p| (p.0-mx).powi(2)).sum::<f64>()/n).sqrt();
-        let sy = (pairs.iter().map(|p| (p.1-my).powi(2)).sum::<f64>()/n).sqrt();
-        println!("levels {levels} interleave {interleave}: holdout corr = {:.3}, h = {}, noise = {:.1e}", cov/(sx*sy), gp.hyperparams().h, gp.hyperparams().noise_var);
+        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+        let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
+        println!(
+            "levels {levels} interleave {interleave}: holdout corr = {:.3}, h = {}, noise = {:.1e}",
+            cov / (sx * sy),
+            gp.hyperparams().h,
+            gp.hyperparams().noise_var
+        );
     }
     // raw structural signal: connected_count vs log FoM
     {
-        let pairs: Vec<(f64,f64)> = data.iter().map(|(t,f,_)| (t.connected_count() as f64, f.max(1.0).log10())).collect();
+        let pairs: Vec<(f64, f64)> = data
+            .iter()
+            .map(|(t, f, _)| (t.connected_count() as f64, f.max(1.0).log10()))
+            .collect();
         let n = pairs.len() as f64;
-        let mx = pairs.iter().map(|p| p.0).sum::<f64>()/n;
-        let my = pairs.iter().map(|p| p.1).sum::<f64>()/n;
-        let cov = pairs.iter().map(|p| (p.0-mx)*(p.1-my)).sum::<f64>()/n;
-        let sx = (pairs.iter().map(|p| (p.0-mx).powi(2)).sum::<f64>()/n).sqrt();
-        let sy = (pairs.iter().map(|p| (p.1-my).powi(2)).sum::<f64>()/n).sqrt();
-        println!("corr(connected_count, log fom) = {:.3}", cov/(sx*sy));
+        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+        let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
+        println!("corr(connected_count, log fom) = {:.3}", cov / (sx * sy));
     }
     // in-sample fit quality at h<=0
     {
         let mut wl = WlFeaturizer::new();
-        let feats: Vec<_> = data.iter().map(|(t,_,_)| wl.featurize(&CircuitGraph::from_topology(t), 0)).collect();
-        let ytr: Vec<f64> = data[..40].iter().map(|(_,f,_)| f.max(1.0).log10()).collect();
+        let feats: Vec<_> = data
+            .iter()
+            .map(|(t, _, _)| wl.featurize(&CircuitGraph::from_topology(t), 0))
+            .collect();
+        let ytr: Vec<f64> = data[..40]
+            .iter()
+            .map(|(_, f, _)| f.max(1.0).log10())
+            .collect();
         let gp = WlGp::fit(feats[..40].to_vec(), ytr.clone()).unwrap();
-        let mut pairs: Vec<(f64,f64)> = Vec::new();
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
         for i in 0..40 {
-            let (m,_) = gp.predict(&feats[i]).unwrap();
+            let (m, _) = gp.predict(&feats[i]).unwrap();
             pairs.push((m, ytr[i]));
         }
         let n = pairs.len() as f64;
-        let mx = pairs.iter().map(|p| p.0).sum::<f64>()/n;
-        let my = pairs.iter().map(|p| p.1).sum::<f64>()/n;
-        let cov = pairs.iter().map(|p| (p.0-mx)*(p.1-my)).sum::<f64>()/n;
-        let sx = (pairs.iter().map(|p| (p.0-mx).powi(2)).sum::<f64>()/n).sqrt();
-        let sy = (pairs.iter().map(|p| (p.1-my).powi(2)).sum::<f64>()/n).sqrt();
-        println!("in-sample corr (h=0) = {:.3}", cov/(sx*sy));
+        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+        let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
+        println!("in-sample corr (h=0) = {:.3}", cov / (sx * sy));
         // per-type weight sanity: gradient for NC-free count proxy
         for ty in ["C", "RCs", "+gm>", "-gm>"] {
             if let Some(id) = wl.initial_label_id(ty) {
@@ -94,8 +139,17 @@ fn main() {
     let t0 = data[0].0;
     let mut vals = Vec::new();
     for s in 0..6 {
-        let (d, _) = eval.size(&t0, &BoConfig { seed: s*1000+7, ..sizing });
+        let (d, _) = eval.size(
+            &t0,
+            &BoConfig {
+                seed: s * 1000 + 7,
+                ..sizing
+            },
+        );
         vals.push(d.map(|d| d.fom).unwrap_or(0.0));
     }
-    println!("same-topology FoM across sizing seeds: {:?}", vals.iter().map(|v| format!("{v:.1}")).collect::<Vec<_>>());
+    println!(
+        "same-topology FoM across sizing seeds: {:?}",
+        vals.iter().map(|v| format!("{v:.1}")).collect::<Vec<_>>()
+    );
 }

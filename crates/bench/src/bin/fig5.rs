@@ -9,27 +9,23 @@ use std::collections::BTreeMap;
 use std::fs;
 
 use into_oa::Spec;
-use oa_bench::{mean_curve, results_dir, run_cached, sim_grid, Method, Profile, RunSummary};
+use oa_bench::{mean_curve, results_dir, run_matrix, sim_grid, Method, Profile, RunSummary};
 
 fn main() {
     let profile = Profile::from_env();
     println!(
-        "Fig. 5 reproduction — profile '{}' ({} runs, {} topologies/run, {} sims/topology)",
+        "Fig. 5 reproduction — profile '{}' ({} runs, {} topologies/run, {} sims/topology, {} jobs)",
         profile.name,
         profile.runs,
         profile.topologies_per_run(),
-        profile.sims_per_topology()
+        profile.sims_per_topology(),
+        oa_par::jobs()
     );
 
     for spec in Spec::all() {
         println!("\n=== {spec} ===");
-        let mut all_runs: BTreeMap<Method, Vec<RunSummary>> = BTreeMap::new();
-        for method in Method::ALL {
-            let runs: Vec<RunSummary> = (0..profile.runs)
-                .map(|seed| run_cached(&spec, method, seed as u64, &profile))
-                .collect();
-            all_runs.insert(method, runs);
-        }
+        let all_runs: BTreeMap<Method, Vec<RunSummary>> =
+            run_matrix(&spec, &Method::ALL, profile.runs, &profile);
 
         // Common simulation grid across methods.
         let flattened: Vec<RunSummary> = all_runs.values().flatten().cloned().collect();

@@ -7,9 +7,7 @@
 //! the paper does for the `-gmRs` (vin–v2) and `RCs` (v1–vout)
 //! subcircuits.
 
-use into_oa::{
-    optimize, removal_sensitivity, Evaluator, IntoOaConfig, MetricModels, Spec,
-};
+use into_oa::{optimize, removal_sensitivity, Evaluator, IntoOaConfig, MetricModels, Spec};
 use oa_bench::Profile;
 
 fn main() {
@@ -95,7 +93,11 @@ fn main() {
             impact.ty.to_string(),
             sens.delta_gbw_hz() / 1e6,
             sens.delta_pm_deg(),
-            if gbw_consistent { "consistent" } else { "mixed" },
+            if gbw_consistent {
+                "consistent"
+            } else {
+                "mixed"
+            },
             if pm_consistent { "consistent" } else { "mixed" },
         );
     }

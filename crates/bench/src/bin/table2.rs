@@ -6,15 +6,15 @@
 use std::collections::BTreeMap;
 
 use into_oa::Spec;
-use oa_bench::{
-    fmt_opt, reference_fom, run_cached, table2_stats, Method, Profile, RunSummary,
-};
+use oa_bench::{fmt_opt, reference_fom, run_matrix, table2_stats, Method, Profile, RunSummary};
 
 fn main() {
     let profile = Profile::from_env();
     println!(
-        "TABLE II reproduction — profile '{}' ({} runs per cell)",
-        profile.name, profile.runs
+        "TABLE II reproduction — profile '{}' ({} runs per cell, {} jobs)",
+        profile.name,
+        profile.runs,
+        oa_par::jobs()
     );
     println!(
         "{:<6} {:<10} {:>9} {:>12} {:>8} {:>9}",
@@ -22,13 +22,8 @@ fn main() {
     );
 
     for spec in Spec::all() {
-        let mut all_runs: BTreeMap<Method, Vec<RunSummary>> = BTreeMap::new();
-        for method in Method::ALL {
-            let runs = (0..profile.runs)
-                .map(|seed| run_cached(&spec, method, seed as u64, &profile))
-                .collect();
-            all_runs.insert(method, runs);
-        }
+        let all_runs: BTreeMap<Method, Vec<RunSummary>> =
+            run_matrix(&spec, &Method::ALL, profile.runs, &profile);
         let stats = table2_stats(&all_runs);
         let reference = reference_fom(&all_runs);
         for method in Method::ALL {

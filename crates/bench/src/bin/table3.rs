@@ -3,13 +3,12 @@
 //! FoM). Uses the cached runs produced for Table II / Fig. 5.
 
 use into_oa::Spec;
-use oa_bench::{run_cached, BestDesign, Method, Profile};
+use oa_bench::{run_matrix, BestDesign, Method, Profile, RunSummary};
 
-fn best_across_runs(spec: &Spec, method: Method, profile: &Profile) -> Option<BestDesign> {
+fn best_across_runs(runs: &[RunSummary]) -> Option<BestDesign> {
     let mut best: Option<BestDesign> = None;
-    for seed in 0..profile.runs {
-        let run = run_cached(spec, method, seed as u64, profile);
-        if let Some(b) = run.best {
+    for run in runs {
+        if let Some(b) = run.best.clone() {
             let replace = match &best {
                 None => true,
                 Some(cur) => match (b.feasible, cur.feasible) {
@@ -29,8 +28,10 @@ fn best_across_runs(spec: &Spec, method: Method, profile: &Profile) -> Option<Be
 fn main() {
     let profile = Profile::from_env();
     println!(
-        "TABLE III reproduction — profile '{}' (best of {} runs)",
-        profile.name, profile.runs
+        "TABLE III reproduction — profile '{}' (best of {} runs, {} jobs)",
+        profile.name,
+        profile.runs,
+        oa_par::jobs()
     );
     println!(
         "{:<6} {:<10} {:>9} {:>9} {:>7} {:>10} {:>12}  feasible",
@@ -39,8 +40,12 @@ fn main() {
     // The paper's Table III compares the three headline methods.
     let methods = [Method::FeGa, Method::VgaeBo, Method::IntoOa];
     for spec in Spec::all() {
+        let all_runs = run_matrix(&spec, &methods, profile.runs, &profile);
         for method in methods {
-            match best_across_runs(&spec, method, &profile) {
+            match all_runs
+                .get(&method)
+                .and_then(|runs| best_across_runs(runs))
+            {
                 Some(b) => println!(
                     "{:<6} {:<10} {:>9.2} {:>9.3} {:>7.2} {:>10.2} {:>12.2}  {}",
                     spec.name,

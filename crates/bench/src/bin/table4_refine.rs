@@ -146,7 +146,13 @@ fn main() {
                 continue;
             }
         };
-        row(name, target.name, &original, target.fom(&original), target.is_met_by(&original));
+        row(
+            name,
+            target.name,
+            &original,
+            target.fom(&original),
+            target.is_met_by(&original),
+        );
 
         let outcome = match refine(
             &evaluator,
@@ -162,8 +168,7 @@ fn main() {
                     seed: 0,
                 },
             },
-        )
-        {
+        ) {
             Ok(o) => o,
             Err(e) => {
                 println!("{name}: refinement failed: {e}");
@@ -200,12 +205,26 @@ fn main() {
                     .iter()
                     .filter_map(|a| a.design.as_ref())
                     .min_by(|a, b| {
-                        let va: f64 = target.constraints(&a.performance).iter().map(|c| c.max(0.0)).sum();
-                        let vb: f64 = target.constraints(&b.performance).iter().map(|c| c.max(0.0)).sum();
+                        let va: f64 = target
+                            .constraints(&a.performance)
+                            .iter()
+                            .map(|c| c.max(0.0))
+                            .sum();
+                        let vb: f64 = target
+                            .constraints(&b.performance)
+                            .iter()
+                            .map(|c| c.max(0.0))
+                            .sum();
                         va.partial_cmp(&vb).expect("finite violations")
                     });
                 if let Some(best) = least_violating {
-                    row(refined_name, target.name, &best.performance, best.fom, best.feasible);
+                    row(
+                        refined_name,
+                        target.name,
+                        &best.performance,
+                        best.fom,
+                        best.feasible,
+                    );
                 }
             }
         }

@@ -50,7 +50,11 @@ fn main() {
             };
             let space = ParamSpace::for_topology(&b.topology);
             let Ok(values) = space.decode(&b.x) else {
-                println!("{:<6} {:<10} (cached sizing corrupt)", spec.name, method.label());
+                println!(
+                    "{:<6} {:<10} (cached sizing corrupt)",
+                    spec.name,
+                    method.label()
+                );
                 continue;
             };
             match transistor_performance(

@@ -5,6 +5,7 @@
 //! `results/cache/` — human-inspectable and free of external
 //! serialization dependencies.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -36,6 +37,15 @@ pub fn save(summary: &RunSummary, profile: &Profile, spec: &Spec) {
     if let Some(dir) = path.parent() {
         let _ = fs::create_dir_all(dir);
     }
+    if let Err(e) = fs::write(&path, render(summary)) {
+        eprintln!("warning: failed to write cache {}: {e}", path.display());
+    }
+}
+
+/// Renders a run summary into the TSV cache format. Floats are written
+/// with 17 significant-plus digits (`{:.17e}`), which round-trips every
+/// finite `f64` exactly, so `parse_text(render(s)) == s`.
+fn render(summary: &RunSummary) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "meta\t{}\t{}\t{}\t{}\n",
@@ -45,9 +55,9 @@ pub fn save(summary: &RunSummary, profile: &Profile, spec: &Spec) {
         summary.total_sims
     ));
     if let Some(b) = &summary.best {
-        let xs: Vec<String> = b.x.iter().map(|v| format!("{v:.12e}")).collect();
+        let xs: Vec<String> = b.x.iter().map(|v| format!("{v:.17e}")).collect();
         out.push_str(&format!(
-            "best\t{}\t{:.10e}\t{:.10e}\t{:.10e}\t{:.10e}\t{:.10e}\t{}\t{}\n",
+            "best\t{}\t{:.17e}\t{:.17e}\t{:.17e}\t{:.17e}\t{:.17e}\t{}\t{}\n",
             b.topology.index(),
             b.perf.gain_db,
             b.perf.gbw_hz,
@@ -60,13 +70,15 @@ pub fn save(summary: &RunSummary, profile: &Profile, spec: &Spec) {
     }
     for p in &summary.points {
         out.push_str(&format!(
-            "point\t{}\t{:.10e}\t{}\n",
+            "point\t{}\t{:.17e}\t{}\n",
             p.cum_sims, p.fom, p.feasible
         ));
     }
-    if let Err(e) = fs::write(&path, out) {
-        eprintln!("warning: failed to write cache {}: {e}", path.display());
-    }
+    // Completion sentinel: a file cut off at any point — even on a clean
+    // line boundary, where every surviving record still parses — must
+    // miss rather than resurrect a partial run.
+    out.push_str("end\n");
+    out
 }
 
 /// Loads a cached run summary if present and parseable.
@@ -76,15 +88,32 @@ pub fn load(spec: &Spec, method: Method, seed: u64, profile: &Profile) -> Option
 }
 
 fn parse(path: &Path, method: Method) -> Option<RunSummary> {
-    let text = fs::read_to_string(path).ok()?;
+    parse_text(&fs::read_to_string(path).ok()?, method)
+}
+
+/// Strict boolean field: anything but the two literals is corruption.
+fn parse_bool(field: &str) -> Option<bool> {
+    match field {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// Parses the TSV cache format; `None` on anything malformed (missing or
+/// truncated `meta` line, unparsable numbers or booleans in recognized
+/// records, or a file truncated before the `end` sentinel).
+fn parse_text(text: &str, method: Method) -> Option<RunSummary> {
     let mut spec_name = String::new();
     let mut seed = 0u64;
     let mut total_sims = 0usize;
     let mut best = None;
     let mut points = Vec::new();
+    let mut complete = false;
     for line in text.lines() {
         let fields: Vec<&str> = line.split('\t').collect();
         match fields.first().copied() {
+            Some("end") => complete = true,
             Some("meta") if fields.len() == 5 => {
                 spec_name = fields[1].to_owned();
                 seed = fields[3].parse().ok()?;
@@ -111,20 +140,20 @@ fn parse(path: &Path, method: Method) -> Option<RunSummary> {
                         power_w: fields[5].parse().ok()?,
                     },
                     fom: fields[6].parse().ok()?,
-                    feasible: fields[7] == "true",
+                    feasible: parse_bool(fields[7])?,
                 });
             }
             Some("point") if fields.len() == 4 => {
                 points.push(RunPoint {
                     cum_sims: fields[1].parse().ok()?,
                     fom: fields[2].parse().ok()?,
-                    feasible: fields[3] == "true",
+                    feasible: parse_bool(fields[3])?,
                 });
             }
             _ => {}
         }
     }
-    if spec_name.is_empty() {
+    if spec_name.is_empty() || !complete {
         return None;
     }
     Some(RunSummary {
@@ -147,9 +176,160 @@ pub fn run_cached(spec: &Spec, method: Method, seed: u64, profile: &Profile) -> 
     summary
 }
 
+/// Executes one spec's (method, seed) experiment matrix on the
+/// [`oa_par`] worker pool, with an arbitrary per-cell runner.
+///
+/// Cells are independent (each owns its seed), and `oa_par::par_map`
+/// returns results in input order, so the output is identical to the
+/// serial double loop for any `jobs` count. Results are keyed by method
+/// with seeds ascending.
+pub fn run_matrix_with<F>(
+    spec: &Spec,
+    methods: &[Method],
+    runs: usize,
+    profile: &Profile,
+    jobs: usize,
+    cell: F,
+) -> BTreeMap<Method, Vec<RunSummary>>
+where
+    F: Fn(&Spec, Method, u64, &Profile) -> RunSummary + Sync,
+{
+    let cells: Vec<(Method, u64)> = methods
+        .iter()
+        .flat_map(|&m| (0..runs as u64).map(move |s| (m, s)))
+        .collect();
+    let summaries = oa_par::par_map(cells, jobs, |&(method, seed)| {
+        cell(spec, method, seed, profile)
+    });
+    let mut out: BTreeMap<Method, Vec<RunSummary>> = BTreeMap::new();
+    for s in summaries {
+        out.entry(s.method).or_default().push(s);
+    }
+    out
+}
+
+/// Executes one spec's (method, seed) matrix concurrently through the
+/// on-disk cache — the parallel equivalent of the serial
+/// `run_cached`-per-cell loop the table/figure binaries used to run.
+/// Degree comes from `OA_JOBS` (default: available parallelism).
+pub fn run_matrix(
+    spec: &Spec,
+    methods: &[Method],
+    runs: usize,
+    profile: &Profile,
+) -> BTreeMap<Method, Vec<RunSummary>> {
+    run_matrix_with(spec, methods, runs, profile, oa_par::jobs(), run_cached)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_method;
+
+    /// A summary exercising every field, with floats chosen to expose any
+    /// lossy formatting (non-terminating binary fractions, subnormal-ish
+    /// magnitudes, negatives).
+    fn gnarly_summary() -> RunSummary {
+        RunSummary {
+            spec_name: "S-1".to_owned(),
+            method: Method::VgaeBo,
+            seed: 123_456_789,
+            points: vec![
+                RunPoint {
+                    cum_sims: 8,
+                    fom: 0.1 + 0.2,
+                    feasible: false,
+                },
+                RunPoint {
+                    cum_sims: 16,
+                    fom: 99.25_f64.next_up(),
+                    feasible: true,
+                },
+            ],
+            best: Some(BestDesign {
+                topology: Topology::from_index(4321).unwrap(),
+                x: vec![
+                    1.0 / 3.0,
+                    0.7_f64.next_down(),
+                    1e-17,
+                    0.999_999_999_999_999_9,
+                ],
+                perf: oa_sim::OpAmpPerformance {
+                    gain_db: 91.234_567_890_123_45,
+                    gbw_hz: 1.5e6 + 0.375,
+                    pm_deg: -61.07,
+                    power_w: 1.2e-4 / 3.0,
+                },
+                fom: 99.25,
+                feasible: true,
+            }),
+            total_sims: 16,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip_is_exact() {
+        let summary = gnarly_summary();
+        let parsed = parse_text(&render(&summary), summary.method).expect("parses");
+        // Full structural equality — in particular `best.x` must
+        // round-trip bit-exactly so rehydration reproduces the design.
+        assert_eq!(parsed, summary);
+        let (a, b) = (parsed.best.unwrap(), summary.best.unwrap());
+        for (pa, pb) in a.x.iter().zip(&b.x) {
+            assert_eq!(pa.to_bits(), pb.to_bits());
+        }
+    }
+
+    #[test]
+    fn roundtrip_without_best_design() {
+        let summary = RunSummary {
+            best: None,
+            ..gnarly_summary()
+        };
+        assert_eq!(parse_text(&render(&summary), summary.method), Some(summary));
+    }
+
+    #[test]
+    fn corrupted_tsv_loads_as_none() {
+        for garbage in [
+            "",
+            "not a cache file at all",
+            "meta\tS-1\tINTO-OA\tseven\t16\npoint\t8\t1.0e0\tfalse\n",
+            "point\t8\t1.0e0\tfalse\n", // no meta line at all
+        ] {
+            assert_eq!(parse_text(garbage, Method::IntoOa), None, "{garbage:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_tsv_loads_as_none() {
+        let full = render(&gnarly_summary());
+        // Cut mid-way through the meta line: the header no longer parses,
+        // so the cache misses cleanly instead of resurrecting a bogus run.
+        let truncated = &full[..10];
+        assert_eq!(parse_text(truncated, Method::VgaeBo), None);
+        // Cut on a clean line boundary after the meta line: every
+        // surviving record parses, but the `end` sentinel is gone — the
+        // file must not resurrect as an empty-but-valid run.
+        let meta_only = format!("{}\n", full.lines().next().unwrap());
+        assert_eq!(parse_text(&meta_only, Method::VgaeBo), None);
+        // A point line with a mangled float is also a clean miss.
+        let mangled = full.replace("true", "tr");
+        assert_eq!(parse_text(&mangled, Method::VgaeBo), None);
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial() {
+        // The (method, seed) matrix must be bit-identical whether it runs
+        // on one worker or four. Budgets are smoke-scale to keep the test
+        // fast; determinism is independent of budget, and the matrix shape
+        // (every method × every seed) is what is being exercised.
+        let profile = Profile::SMOKE;
+        let spec = Spec::s1();
+        let serial = run_matrix_with(&spec, &Method::ALL, profile.runs, &profile, 1, run_method);
+        let parallel = run_matrix_with(&spec, &Method::ALL, profile.runs, &profile, 4, run_method);
+        assert_eq!(serial, parallel);
+    }
 
     #[test]
     fn save_load_roundtrip() {

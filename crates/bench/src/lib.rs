@@ -25,7 +25,7 @@ mod profile;
 mod report;
 mod runner;
 
-pub use cache::{load, results_dir, run_cached, save};
+pub use cache::{load, results_dir, run_cached, run_matrix, run_matrix_with, save};
 pub use profile::Profile;
 pub use report::{fmt_opt, mean_curve, reference_fom, sim_grid, table2_stats, CellStats};
 pub use runner::{rehydrate, run_method, BestDesign, Method, RunPoint, RunSummary};

@@ -6,8 +6,8 @@
 //! regenerates in minutes on one core; `smoke` is for CI-style sanity
 //! runs. Select with the `OA_PROFILE` environment variable.
 
-use oa_bo::{BoConfig, TopoBoConfig};
 use oa_baselines::{FeGaConfig, VgaeBoConfig};
+use oa_bo::{BoConfig, TopoBoConfig};
 
 /// Budget profile for experiment reproduction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -31,7 +31,10 @@ pub fn table2_stats(runs: &BTreeMap<Method, Vec<RunSummary>>) -> BTreeMap<Method
         let succ = rs.iter().filter(|r| r.success()).count();
         let final_fom = mean(rs.iter().filter_map(RunSummary::final_fom));
         let sims_to_ref = reference.and_then(|target| {
-            mean(rs.iter().filter_map(|r| r.sims_to_reach(target).map(|s| s as f64)))
+            mean(
+                rs.iter()
+                    .filter_map(|r| r.sims_to_reach(target).map(|s| s as f64)),
+            )
         });
         cells.insert(
             method,
@@ -47,7 +50,9 @@ pub fn table2_stats(runs: &BTreeMap<Method, Vec<RunSummary>>) -> BTreeMap<Method
     let slowest = cells
         .values()
         .filter_map(|c| c.sims_to_ref)
-        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))));
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        });
     if let Some(slowest) = slowest {
         for c in cells.values_mut() {
             c.speedup = c.sims_to_ref.map(|s| slowest / s);
@@ -60,7 +65,9 @@ pub fn table2_stats(runs: &BTreeMap<Method, Vec<RunSummary>>) -> BTreeMap<Method
 pub fn reference_fom(runs: &BTreeMap<Method, Vec<RunSummary>>) -> Option<f64> {
     runs.values()
         .filter_map(|rs| mean(rs.iter().filter_map(RunSummary::final_fom)))
-        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        })
 }
 
 /// Mean best-so-far feasible FoM across runs, sampled on a cumulative-
@@ -76,7 +83,9 @@ pub fn mean_curve(runs: &[RunSummary], grid: &[usize]) -> Vec<Option<f64>> {
 /// A common simulation grid covering every run.
 pub fn sim_grid(runs: &[RunSummary], points: usize) -> Vec<usize> {
     let max = runs.iter().map(|r| r.total_sims).max().unwrap_or(1);
-    (1..=points.max(1)).map(|i| i * max / points.max(1)).collect()
+    (1..=points.max(1))
+        .map(|i| i * max / points.max(1))
+        .collect()
 }
 
 fn mean<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
@@ -131,7 +140,11 @@ mod tests {
             Method::IntoOa,
             vec![
                 run(Method::IntoOa, 0, vec![(20, 60.0, true), (40, 120.0, true)]),
-                run(Method::IntoOa, 1, vec![(20, 110.0, true), (40, 130.0, true)]),
+                run(
+                    Method::IntoOa,
+                    1,
+                    vec![(20, 110.0, true), (40, 130.0, true)],
+                ),
             ],
         );
         // Slow method: reaches only 100 at 200 sims; one failed run.
@@ -139,7 +152,11 @@ mod tests {
             Method::FeGa,
             vec![
                 run(Method::FeGa, 0, vec![(100, 40.0, true), (200, 100.0, true)]),
-                run(Method::FeGa, 1, vec![(100, 10.0, false), (200, 20.0, false)]),
+                run(
+                    Method::FeGa,
+                    1,
+                    vec![(100, 10.0, false), (200, 20.0, false)],
+                ),
             ],
         );
         m

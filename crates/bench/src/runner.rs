@@ -103,7 +103,9 @@ impl RunSummary {
             .iter()
             .filter(|p| p.feasible)
             .map(|p| p.fom)
-            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
     }
 
     /// Simulations needed to first reach a feasible FoM ≥ `target`.
@@ -250,7 +252,11 @@ mod tests {
         for method in Method::ALL {
             let run = run_method(&Spec::s1(), method, 0, &profile);
             assert_eq!(run.method, method);
-            assert!(!run.points.is_empty(), "{} produced no points", method.label());
+            assert!(
+                !run.points.is_empty(),
+                "{} produced no points",
+                method.label()
+            );
             assert!(run.total_sims > 0);
             // Points are ordered by cumulative simulations.
             for w in run.points.windows(2) {

@@ -68,9 +68,7 @@ pub struct BoResult {
 impl BoResult {
     /// The best *feasible* observation, if any run point was feasible.
     pub fn best_feasible(&self) -> Option<&(Vec<f64>, Observation)> {
-        self.best
-            .as_ref()
-            .filter(|(_, obs)| obs.is_feasible())
+        self.best.as_ref().filter(|(_, obs)| obs.is_feasible())
     }
 }
 
@@ -133,12 +131,11 @@ where
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut history: Vec<(Vec<f64>, Observation)> = Vec::new();
 
-    let evaluate =
-        |x: Vec<f64>, history: &mut Vec<(Vec<f64>, Observation)>, bb: &mut F| {
-            if let Some(obs) = bb(&x) {
-                history.push((x, obs));
-            }
-        };
+    let evaluate = |x: Vec<f64>, history: &mut Vec<(Vec<f64>, Observation)>, bb: &mut F| {
+        if let Some(obs) = bb(&x) {
+            history.push((x, obs));
+        }
+    };
 
     // Latin-hypercube initialization: one stratum per point per dimension,
     // permuted independently — far better coverage than iid sampling in
@@ -191,21 +188,25 @@ fn propose(
     config: &BoConfig,
     rng: &mut ChaCha8Rng,
 ) -> Vec<f64> {
-    let random_point = |rng: &mut ChaCha8Rng| (0..dim).map(|_| rng.gen::<f64>()).collect::<Vec<f64>>();
+    let random_point =
+        |rng: &mut ChaCha8Rng| (0..dim).map(|_| rng.gen::<f64>()).collect::<Vec<f64>>();
     if history.len() < 2 {
         return random_point(rng);
     }
 
-    let xs: Vec<Vec<f64>> = history.iter().map(|(x, _)| x.clone()).collect();
+    // One shared design matrix for the objective GP and every constraint
+    // GP: built once, reference-counted into each model.
+    let xs: std::sync::Arc<Vec<Vec<f64>>> =
+        std::sync::Arc::new(history.iter().map(|(x, _)| x.clone()).collect());
     let n_cons = history[0].1.constraints.len();
 
-    let obj_gp = GpRegressor::fit(
+    let obj_gp = GpRegressor::fit_shared(
         xs.clone(),
         history.iter().map(|(_, o)| o.objective).collect(),
     );
     let con_gps: Vec<_> = (0..n_cons)
         .map(|i| {
-            GpRegressor::fit(
+            GpRegressor::fit_shared(
                 xs.clone(),
                 history.iter().map(|(_, o)| o.constraints[i]).collect(),
             )
@@ -223,7 +224,9 @@ fn propose(
         .iter()
         .filter(|(_, o)| o.is_feasible())
         .map(|(_, o)| o.objective)
-        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))));
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        });
 
     let incumbent = history
         .iter()
@@ -246,13 +249,14 @@ fn propose(
                 .map(|&v| {
                     let u1: f64 = rng.gen::<f64>().max(1e-12);
                     let u2: f64 = rng.gen();
-                    let normal =
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     (v + sigma * normal).clamp(0.0, 1.0)
                 })
                 .collect()
         };
-        let Ok(obj) = obj_gp.predict(&cand) else { continue };
+        let Ok(obj) = obj_gp.predict(&cand) else {
+            continue;
+        };
         let mut cons = Vec::with_capacity(con_gps.len());
         let mut ok = true;
         for g in &con_gps {
@@ -299,10 +303,7 @@ mod tests {
         let res = maximize_constrained(2, &cfg, sphere_with_constraint);
         let (x, obs) = res.best.unwrap();
         assert!(obs.is_feasible());
-        assert!(
-            x.iter().all(|v| (v - 0.6).abs() < 0.25),
-            "best x = {x:?}"
-        );
+        assert!(x.iter().all(|v| (v - 0.6).abs() < 0.25), "best x = {x:?}");
     }
 
     #[test]
@@ -336,10 +337,7 @@ mod tests {
         }
         let bo_mean: f64 = bo_scores.iter().sum::<f64>() / bo_scores.len() as f64;
         let rand_mean: f64 = rand_scores.iter().sum::<f64>() / rand_scores.len() as f64;
-        assert!(
-            bo_mean > rand_mean,
-            "bo {bo_mean} vs random {rand_mean}"
-        );
+        assert!(bo_mean > rand_mean, "bo {bo_mean} vs random {rand_mean}");
     }
 
     #[test]

@@ -37,5 +37,7 @@ mod topology;
 pub use acquisition::{
     expected_improvement, normal_cdf, normal_pdf, probability_feasible, weighted_ei,
 };
-pub use continuous::{maximize_constrained, maximize_constrained_anchored, BoConfig, BoResult, Observation};
+pub use continuous::{
+    maximize_constrained, maximize_constrained_anchored, BoConfig, BoResult, Observation,
+};
 pub use topology::{topology_bo, TopoBoConfig, TopoBoResult, TopoObservation, TopoRecord};

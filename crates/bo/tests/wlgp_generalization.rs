@@ -10,16 +10,28 @@ fn edge_bonus(edge: VariableEdge, ty: SubcircuitType) -> f64 {
             S::Passive(P::SeriesRc) => 5.0,
             S::Passive(P::ParallelRc) => 3.0,
             S::Passive(P::R) => -1.0,
-            S::Gm { direction: GmDirection::Reverse, .. } => 2.0,
+            S::Gm {
+                direction: GmDirection::Reverse,
+                ..
+            } => 2.0,
             S::Gm { .. } => 0.5,
             S::NoConn => 0.0,
         },
         E::VinV2 => match ty {
-            S::Gm { composite: GmComposite::SeriesC, .. } => 2.0,
+            S::Gm {
+                composite: GmComposite::SeriesC,
+                ..
+            } => 2.0,
             S::Gm { .. } => 1.0,
             _ => 0.0,
         },
-        E::VinVout => if ty.has_gm() { 1.0 } else { 0.0 },
+        E::VinVout => {
+            if ty.has_gm() {
+                1.0
+            } else {
+                0.0
+            }
+        }
         E::V1Gnd | E::V2Gnd => match ty {
             S::Passive(P::C) => 1.0,
             S::Passive(P::R) | S::Passive(P::ParallelRc) => -2.0,
@@ -30,20 +42,26 @@ fn edge_bonus(edge: VariableEdge, ty: SubcircuitType) -> f64 {
 }
 
 fn score(t: &Topology) -> f64 {
-    1.0 + VariableEdge::ALL.iter().map(|&e| edge_bonus(e, t.type_on(e))).sum::<f64>()
+    1.0 + VariableEdge::ALL
+        .iter()
+        .map(|&e| edge_bonus(e, t.type_on(e)))
+        .sum::<f64>()
 }
 
 #[test]
 fn wlgp_generalizes_on_additive_landscape() {
-    use oa_graph::{CircuitGraph, WlFeaturizer};
     use oa_gp::WlGp;
+    use oa_graph::{CircuitGraph, WlFeaturizer};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let mut wl = WlFeaturizer::new();
     let train: Vec<Topology> = (0..20).map(|_| Topology::random(&mut rng)).collect();
-    let feats: Vec<_> = train.iter().map(|t| wl.featurize(&CircuitGraph::from_topology(t), 4)).collect();
+    let feats: Vec<_> = train
+        .iter()
+        .map(|t| wl.featurize(&CircuitGraph::from_topology(t), 4))
+        .collect();
     let y: Vec<f64> = train.iter().map(score).collect();
     let gp = WlGp::fit(feats, y.clone()).unwrap();
     let mut pairs: Vec<(f64, f64)> = Vec::new();
@@ -54,11 +72,14 @@ fn wlgp_generalizes_on_additive_landscape() {
         pairs.push((m, score(&t)));
     }
     let n = pairs.len() as f64;
-    let mx = pairs.iter().map(|p| p.0).sum::<f64>()/n;
-    let my = pairs.iter().map(|p| p.1).sum::<f64>()/n;
-    let cov = pairs.iter().map(|p| (p.0-mx)*(p.1-my)).sum::<f64>()/n;
-    let sx = (pairs.iter().map(|p| (p.0-mx).powi(2)).sum::<f64>()/n).sqrt();
-    let sy = (pairs.iter().map(|p| (p.1-my).powi(2)).sum::<f64>()/n).sqrt();
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+    let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
+    let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
     let corr = cov / (sx * sy);
-    assert!(corr > 0.4, "WL-GP generalization correlation too low: {corr}");
+    assert!(
+        corr > 0.4,
+        "WL-GP generalization correlation too low: {corr}"
+    );
 }

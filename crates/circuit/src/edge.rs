@@ -88,8 +88,11 @@ impl VariableEdge {
             VariableEdge::VinV2 | VariableEdge::VinVout => {
                 let mut v = vec![SubcircuitType::NoConn];
                 for polarity in GmPolarity::ALL {
-                    for composite in [GmComposite::Bare, GmComposite::SeriesR, GmComposite::SeriesC]
-                    {
+                    for composite in [
+                        GmComposite::Bare,
+                        GmComposite::SeriesR,
+                        GmComposite::SeriesC,
+                    ] {
                         v.push(SubcircuitType::Gm {
                             polarity,
                             direction: GmDirection::Forward,

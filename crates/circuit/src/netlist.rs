@@ -167,8 +167,8 @@ impl Netlist {
         let mut b = NetlistBuilder::new();
         // Recreate the non-ground nodes with their original names.
         let mut map = vec![NodeId::GROUND; self.node_count()];
-        for i in 1..self.node_count() {
-            map[i] = b.add_node(self.names[i].clone());
+        for (slot, name) in map.iter_mut().zip(&self.names).skip(1) {
+            *slot = b.add_node(name.clone());
         }
         let m = |n: NodeId| map[n.0];
         let mut pole_idx = 0usize;
@@ -221,9 +221,13 @@ impl fmt::Display for Netlist {
         )?;
         for e in &self.elements {
             match e {
-                Element::Resistor { a, b, ohms } => {
-                    writeln!(f, "R {} {} {:.4e}", self.node_name(*a), self.node_name(*b), ohms)?
-                }
+                Element::Resistor { a, b, ohms } => writeln!(
+                    f,
+                    "R {} {} {:.4e}",
+                    self.node_name(*a),
+                    self.node_name(*b),
+                    ohms
+                )?,
                 Element::Capacitor { a, b, farads } => writeln!(
                     f,
                     "C {} {} {:.4e}",
@@ -641,10 +645,10 @@ mod tests {
             .filter(|e| matches!(e, Element::Vccs { .. }))
             .count();
         assert_eq!(vccs, 6);
-        assert!(x.elements().iter().all(|e| !matches!(
-            e,
-            Element::Vccs { ft_hz: Some(_), .. }
-        )));
+        assert!(x
+            .elements()
+            .iter()
+            .all(|e| !matches!(e, Element::Vccs { ft_hz: Some(_), .. })));
         assert_eq!(x.node_name(x.input()), "vin");
         assert_eq!(x.node_name(x.output()), "vout");
         assert!((x.static_power() - n.static_power()).abs() < 1e-18);

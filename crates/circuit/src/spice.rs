@@ -148,10 +148,12 @@ mod tests {
         b.inject_gm(inp, out, -2e-3);
         b.resistor(out, NodeId::GROUND, 1e4);
         let deck = b.build(inp, out).to_spice("one stage");
-        assert!(deck.contains("g1 0 out in 0 -2.000000e-3")
-            || deck.contains("g1 0 out in 0 -2e-3")
-            || deck.contains("g1 0 out in 0 -2.000000e-3".replace("e-3", "e-03").as_str()),
-            "deck was:\n{deck}");
+        assert!(
+            deck.contains("g1 0 out in 0 -2.000000e-3")
+                || deck.contains("g1 0 out in 0 -2e-3")
+                || deck.contains("g1 0 out in 0 -2.000000e-3".replace("e-3", "e-03").as_str()),
+            "deck was:\n{deck}"
+        );
         assert!(!deck.contains("gp1"));
     }
 
@@ -163,6 +165,9 @@ mod tests {
         b.inject_gm_banded(inp, out, 1e-3, 1e6);
         let deck = b.build(inp, out).to_spice("banded");
         // RC = 1/(2π·1e6) ≈ 1.59e-7 with R = 1.
-        assert!(deck.contains("1.591549e-7") || deck.contains("1.591549e-07"), "{deck}");
+        assert!(
+            deck.contains("1.591549e-7") || deck.contains("1.591549e-07"),
+            "{deck}"
+        );
     }
 }

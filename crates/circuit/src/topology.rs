@@ -286,7 +286,11 @@ mod tests {
             t.type_on(VariableEdge::V1Vout),
             SubcircuitType::Passive(PassiveKind::SeriesRc)
         );
-        for edge in [VariableEdge::VinV2, VariableEdge::VinVout, VariableEdge::V1Gnd] {
+        for edge in [
+            VariableEdge::VinV2,
+            VariableEdge::VinVout,
+            VariableEdge::V1Gnd,
+        ] {
             assert_eq!(t.type_on(edge), SubcircuitType::NoConn);
         }
         assert_eq!(t.distance(&base), 1);
@@ -320,7 +324,9 @@ mod tests {
     fn mutation_changes_one_edge_in_expectation() {
         let mut rng = ChaCha8Rng::seed_from_u64(13);
         let base = Topology::bare_cascade();
-        let total: usize = (0..2000).map(|_| base.mutate(&mut rng).distance(&base)).sum();
+        let total: usize = (0..2000)
+            .map(|_| base.mutate(&mut rng).distance(&base))
+            .sum();
         let mean = total as f64 / 2000.0;
         // Expected ≈ 1.0 + correction for the forced mutation; allow slack.
         assert!((0.8..=1.5).contains(&mean), "mean mutated edges = {mean}");
@@ -350,7 +356,9 @@ mod tests {
             .unwrap();
         let s = t.to_string();
         assert!(s.contains("v1-vout"), "display was {s}");
-        assert!(Topology::bare_cascade().to_string().contains("bare cascade"));
+        assert!(Topology::bare_cascade()
+            .to_string()
+            .contains("bare cascade"));
     }
 
     #[test]

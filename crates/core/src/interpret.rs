@@ -3,8 +3,8 @@
 //! analysis.
 
 use oa_circuit::{SubcircuitType, Topology, VariableEdge};
-use oa_graph::{CircuitGraph, WlFeaturizer};
 use oa_gp::WlGp;
+use oa_graph::{CircuitGraph, WlFeaturizer};
 use oa_sim::OpAmpPerformance;
 
 use crate::error::IntoOaError;
@@ -51,12 +51,7 @@ impl MetricModels {
         let feats: Vec<_> = run
             .records
             .iter()
-            .map(|r| {
-                featurizer.featurize(
-                    &CircuitGraph::from_topology(&r.design.topology),
-                    wl_levels,
-                )
-            })
+            .map(|r| featurizer.featurize_topology(&r.design.topology, wl_levels))
             .collect();
 
         let metric_values = |name: &str| -> Vec<f64> {
@@ -75,9 +70,12 @@ impl MetricModels {
                 .collect()
         };
 
+        // All four metric GPs share one reference-counted copy of the
+        // training features.
+        let feats = std::sync::Arc::new(feats);
         let mut models = Vec::new();
         for name in MODELLED_METRICS {
-            let gp = WlGp::fit(feats.clone(), metric_values(name))?;
+            let gp = WlGp::fit_shared(feats.clone(), metric_values(name))?;
             models.push((name.to_owned(), gp));
         }
         Ok(MetricModels {
@@ -122,10 +120,7 @@ impl MetricModels {
     ) -> Result<(f64, f64), IntoOaError> {
         let model = self.model(metric)?;
         let mut featurizer = self.featurizer.clone();
-        let feats = featurizer.featurize(
-            &CircuitGraph::from_topology(topology),
-            self.wl_levels,
-        );
+        let feats = featurizer.featurize_topology(topology, self.wl_levels);
         Ok(model.predict(&feats)?)
     }
 

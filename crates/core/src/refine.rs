@@ -308,8 +308,14 @@ mod tests {
             return;
         }
         let models = models_for(&spec, 31);
-        let out = refine(&evaluator, &d.topology, &d.values, &models, &RefineConfig::default())
-            .unwrap();
+        let out = refine(
+            &evaluator,
+            &d.topology,
+            &d.values,
+            &models,
+            &RefineConfig::default(),
+        )
+        .unwrap();
         assert!(out.succeeded());
         assert!(out.attempts.is_empty(), "no replacement should be tried");
         assert_eq!(out.total_sims, 1);

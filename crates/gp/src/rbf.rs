@@ -1,6 +1,8 @@
 //! A squared-exponential GP regressor on the unit cube, used by the
 //! continuous sizing optimizer (Section II-A / [1] of the paper).
 
+use std::sync::Arc;
+
 use oa_linalg::Matrix;
 
 use crate::error::GpError;
@@ -49,7 +51,9 @@ impl RbfKernel {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GpRegressor {
-    x: Vec<Vec<f64>>,
+    /// Shared training inputs: several GPs over the same design matrix
+    /// (objective + one per constraint) hold one copy between them.
+    x: Arc<Vec<Vec<f64>>>,
     kernel: RbfKernel,
     noise_var: f64,
     scaler: TargetScaler,
@@ -73,6 +77,17 @@ impl GpRegressor {
     /// [`GpError::NonFiniteTarget`] for NaN/∞ targets, and
     /// [`GpError::GramNotPd`] if no hyperparameter combination factorizes.
     pub fn fit(x: Vec<Vec<f64>>, y: Vec<f64>) -> Result<Self, GpError> {
+        Self::fit_shared(Arc::new(x), y)
+    }
+
+    /// Like [`GpRegressor::fit`], but borrows the design matrix through an
+    /// [`Arc`] so that several GPs trained on the same inputs (objective
+    /// plus constraints) share one copy instead of cloning it per model.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GpRegressor::fit`].
+    pub fn fit_shared(x: Arc<Vec<Vec<f64>>>, y: Vec<f64>) -> Result<Self, GpError> {
         if x.is_empty() || x.len() != y.len() {
             return Err(GpError::BadTrainingSet {
                 inputs: x.len(),
@@ -80,7 +95,7 @@ impl GpRegressor {
             });
         }
         let dim = x[0].len();
-        for xi in &x {
+        for xi in x.iter() {
             if xi.len() != dim {
                 return Err(GpError::DimensionMismatch {
                     expected: dim,
@@ -239,6 +254,27 @@ mod tests {
         let gp = GpRegressor::fit(x, y).unwrap();
         let (m, v) = gp.predict(&[0.5]).unwrap();
         assert!(m.is_finite() && v.is_finite());
+    }
+
+    #[test]
+    fn fit_shared_matches_fit_and_shares_storage() {
+        let x = grid1d(6);
+        let y: Vec<f64> = x.iter().map(|p| (3.0 * p[0]).cos()).collect();
+        let owned = GpRegressor::fit(x.clone(), y.clone()).unwrap();
+        let shared_x = Arc::new(x);
+        let obj = GpRegressor::fit_shared(shared_x.clone(), y.clone()).unwrap();
+        let con =
+            GpRegressor::fit_shared(shared_x.clone(), y.iter().map(|v| -v).collect()).unwrap();
+        // Same predictions as the by-value path...
+        for q in [[0.1], [0.55], [0.9]] {
+            let (a, va) = owned.predict(&q).unwrap();
+            let (b, vb) = obj.predict(&q).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(va, vb);
+        }
+        // ...and both models point at the one design matrix.
+        assert!(Arc::ptr_eq(&obj.x, &shared_x));
+        assert!(Arc::ptr_eq(&con.x, &shared_x));
     }
 
     #[test]

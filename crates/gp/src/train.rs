@@ -89,11 +89,12 @@ pub fn fit_gram(k_signal: &Matrix, noise_var: f64, y_norm: &[f64]) -> Result<Fit
     k.add_diag(noise_var.max(0.0));
     let (chol, _jitter) =
         Cholesky::new_with_jitter(&k, 1e-10, 10).map_err(|source| GpError::GramNotPd { source })?;
-    let alpha = chol.solve(y_norm).map_err(|source| GpError::GramNotPd { source })?;
+    let alpha = chol
+        .solve(y_norm)
+        .map_err(|source| GpError::GramNotPd { source })?;
     let data_fit: f64 = y_norm.iter().zip(&alpha).map(|(y, a)| y * a).sum();
-    let lml = -0.5 * data_fit
-        - 0.5 * chol.log_det()
-        - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+    let lml =
+        -0.5 * data_fit - 0.5 * chol.log_det() - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
     Ok(FittedGram { chol, alpha, lml })
 }
 

@@ -2,6 +2,8 @@
 //! including the analytic feature gradient of Eq. 5 that powers the
 //! interpretability analysis.
 
+use std::sync::Arc;
+
 use oa_graph::WlFeatures;
 use oa_linalg::Matrix;
 
@@ -51,7 +53,9 @@ pub struct WlGpHyperparams {
 /// ```
 #[derive(Debug, Clone)]
 pub struct WlGp {
-    feats: Vec<WlFeatures>,
+    /// Shared training features: the objective GP and the per-constraint
+    /// GPs of one BO iteration hold one copy between them.
+    feats: Arc<Vec<WlFeatures>>,
     hyper: WlGpHyperparams,
     scale: f64,
     scaler: TargetScaler,
@@ -78,6 +82,18 @@ impl WlGp {
     /// [`GpError::NonFiniteTarget`] for NaN/∞ targets, and
     /// [`GpError::GramNotPd`] if no hyperparameter combination factorizes.
     pub fn fit(feats: Vec<WlFeatures>, y: Vec<f64>) -> Result<Self, GpError> {
+        Self::fit_shared(Arc::new(feats), y)
+    }
+
+    /// Like [`WlGp::fit`], but borrows the training features through an
+    /// [`Arc`] so that several GPs trained on the same graphs (objective
+    /// plus constraints, or one per interpretability metric) share one
+    /// copy instead of cloning the feature vectors per model.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WlGp::fit`].
+    pub fn fit_shared(feats: Arc<Vec<WlFeatures>>, y: Vec<f64>) -> Result<Self, GpError> {
         if feats.is_empty() || feats.len() != y.len() {
             return Err(GpError::BadTrainingSet {
                 inputs: feats.len(),
@@ -86,7 +102,11 @@ impl WlGp {
         }
         let scaler = TargetScaler::fit(&y)?;
         let y_norm: Vec<f64> = y.iter().map(|&v| scaler.normalize(v)).collect();
-        let h_cap = feats.iter().map(WlFeatures::max_h).min().expect("non-empty");
+        let h_cap = feats
+            .iter()
+            .map(WlFeatures::max_h)
+            .min()
+            .expect("non-empty");
 
         let n = feats.len();
         let mut best: Option<(WlGpHyperparams, f64, FittedGram)> = None;
@@ -337,6 +357,26 @@ mod tests {
     }
 
     #[test]
+    fn fit_shared_matches_fit_and_shares_storage() {
+        let mut wl = WlFeaturizer::new();
+        let train = random_topologies(20, 55);
+        let feats = featurize_all(&mut wl, &train);
+        let y: Vec<f64> = train.iter().map(structural_score).collect();
+        let owned = WlGp::fit(feats.clone(), y.clone()).unwrap();
+        let shared = Arc::new(feats.clone());
+        let obj = WlGp::fit_shared(shared.clone(), y.clone()).unwrap();
+        let con = WlGp::fit_shared(shared.clone(), y.iter().map(|v| -v).collect()).unwrap();
+        for f in &feats[..5] {
+            let (a, va) = owned.predict(f).unwrap();
+            let (b, vb) = obj.predict(f).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(va, vb);
+        }
+        assert!(Arc::ptr_eq(&obj.feats, &shared));
+        assert!(Arc::ptr_eq(&con.feats, &shared));
+    }
+
+    #[test]
     fn rejects_empty_training_set() {
         assert!(matches!(
             WlGp::fit(vec![], vec![]),
@@ -352,10 +392,7 @@ mod tests {
         let y: Vec<f64> = train.iter().map(structural_score).collect();
         let gp = WlGp::fit(feats, y).unwrap();
         if gp.hyperparams().h > 0 {
-            let f0 = wl.featurize(
-                &CircuitGraph::from_topology(&Topology::bare_cascade()),
-                0,
-            );
+            let f0 = wl.featurize(&CircuitGraph::from_topology(&Topology::bare_cascade()), 0);
             assert!(gp.predict(&f0).is_err());
         }
     }

@@ -62,7 +62,10 @@ impl CircuitGraph {
             origins.push(NodeOrigin::Circuit(*cn));
         }
         let idx_of = |cn: CircuitNode| -> usize {
-            circuit_idx[CircuitNode::ALL.iter().position(|&c| c == cn).expect("known node")]
+            circuit_idx[CircuitNode::ALL
+                .iter()
+                .position(|&c| c == cn)
+                .expect("known node")]
         };
 
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); labels.len()];
@@ -164,7 +167,12 @@ impl CircuitGraph {
 
 impl fmt::Display for CircuitGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "graph: {} nodes, {} edges", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "graph: {} nodes, {} edges",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for i in 0..self.node_count() {
             write!(f, "  [{}] {} ->", i, self.labels[i])?;
             for &j in &self.adj[i] {

@@ -36,4 +36,4 @@ mod wl;
 
 pub use circuit_graph::{CircuitGraph, NodeOrigin};
 pub use sparse::SparseVec;
-pub use wl::{WlFeaturizer, WlFeatures};
+pub use wl::{WlCacheStats, WlFeatures, WlFeaturizer};

@@ -15,7 +15,32 @@
 
 use crate::circuit_graph::CircuitGraph;
 use crate::sparse::SparseVec;
+use oa_circuit::Topology;
 use std::collections::HashMap;
+
+/// Hit/miss counters of the per-topology feature cache.
+///
+/// Exposed so benchmarks and long optimization runs can report how much
+/// featurization work the cache is absorbing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WlCacheStats {
+    /// Featurizations served from the cache.
+    pub hits: u64,
+    /// Featurizations computed from scratch (and then cached).
+    pub misses: u64,
+}
+
+impl WlCacheStats {
+    /// Fraction of lookups served from the cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 /// Shared label dictionary and feature extractor.
 ///
@@ -36,6 +61,15 @@ use std::collections::HashMap;
 pub struct WlFeaturizer {
     labels: Vec<String>,
     map: HashMap<String, u32>,
+    /// Memoized features per `(topology index, h_max)`.
+    ///
+    /// Valid because featurization is a pure function of the topology,
+    /// the level count, and the dictionary — and re-featurizing a graph
+    /// whose labels are already interned never mutates the dictionary, so
+    /// serving a hit is observationally identical to recomputing.
+    cache: HashMap<(usize, usize), WlFeatures>,
+    hits: u64,
+    misses: u64,
 }
 
 impl WlFeaturizer {
@@ -127,20 +161,14 @@ impl WlFeaturizer {
         let mut current: Vec<u32> = (0..n)
             .map(|i| self.intern(format!("0:{}", graph.label(i))))
             .collect();
-        levels.push(SparseVec::from_pairs(
-            current.iter().map(|&id| (id, 1.0)),
-        ));
+        levels.push(SparseVec::from_pairs(current.iter().map(|&id| (id, 1.0))));
         node_labels.push(current.clone());
 
         // h ≥ 1: neighborhood aggregation + compression.
         for h in 1..=h_max {
             let mut next = Vec::with_capacity(n);
             for i in 0..n {
-                let mut neigh: Vec<u32> = graph
-                    .neighbors(i)
-                    .iter()
-                    .map(|&j| current[j])
-                    .collect();
+                let mut neigh: Vec<u32> = graph.neighbors(i).iter().map(|&j| current[j]).collect();
                 neigh.sort_unstable();
                 let agg = format!(
                     "{h}:{}|{}",
@@ -157,7 +185,37 @@ impl WlFeaturizer {
             node_labels.push(next.clone());
             current = next;
         }
-        WlFeatures { levels, node_labels }
+        WlFeatures {
+            levels,
+            node_labels,
+        }
+    }
+
+    /// Memoized featurization of a [`Topology`].
+    ///
+    /// The first request for a `(topology, h_max)` pair builds the circuit
+    /// graph and runs the full WL extraction; repeats — across BO
+    /// iterations, candidate pools, and the interpretability pass — are
+    /// served from the cache. Use [`WlFeaturizer::featurize`] directly for
+    /// graphs that do not come from an indexed topology.
+    pub fn featurize_topology(&mut self, topology: &Topology, h_max: usize) -> WlFeatures {
+        let key = (topology.index(), h_max);
+        if let Some(cached) = self.cache.get(&key) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let features = self.featurize(&CircuitGraph::from_topology(topology), h_max);
+        self.cache.insert(key, features.clone());
+        features
+    }
+
+    /// Hit/miss counters of the topology feature cache.
+    pub fn cache_stats(&self) -> WlCacheStats {
+        WlCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 }
 
@@ -286,7 +344,10 @@ mod tests {
     fn different_compensation_is_distinguished_at_h0() {
         let mut wl = WlFeaturizer::new();
         let a = Topology::bare_cascade()
-            .with_type(VariableEdge::V1Vout, SubcircuitType::Passive(PassiveKind::C))
+            .with_type(
+                VariableEdge::V1Vout,
+                SubcircuitType::Passive(PassiveKind::C),
+            )
             .unwrap();
         let b = Topology::bare_cascade()
             .with_type(
@@ -345,7 +406,10 @@ mod tests {
         let id1 = f.node_label(1, sub);
         let desc = wl.describe(id1);
         assert!(desc.contains("RCs"), "desc = {desc}");
-        assert!(desc.contains("v1") && desc.contains("vout"), "desc = {desc}");
+        assert!(
+            desc.contains("v1") && desc.contains("vout"),
+            "desc = {desc}"
+        );
     }
 
     #[test]
@@ -358,6 +422,49 @@ mod tests {
         let f2 = wl.featurize(&g1, 1);
         assert_eq!(wl.len(), before);
         assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn topology_cache_returns_identical_features() {
+        let mut cached = WlFeaturizer::new();
+        let mut fresh = WlFeaturizer::new();
+        let t = Topology::from_index(123).unwrap();
+        let via_cache_miss = cached.featurize_topology(&t, 3);
+        let via_cache_hit = cached.featurize_topology(&t, 3);
+        let uncached = fresh.featurize(&graph_of(&t), 3);
+        assert_eq!(via_cache_miss, via_cache_hit);
+        assert_eq!(via_cache_miss, uncached);
+        assert_eq!(cached.cache_stats(), WlCacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn topology_cache_distinguishes_levels() {
+        let mut wl = WlFeaturizer::new();
+        let t = Topology::from_index(7).unwrap();
+        let shallow = wl.featurize_topology(&t, 1);
+        let deep = wl.featurize_topology(&t, 3);
+        assert_eq!(shallow.max_h(), 1);
+        assert_eq!(deep.max_h(), 3);
+        assert_eq!(wl.cache_stats().misses, 2);
+        // Deep features agree with shallow ones on the shared levels.
+        assert_eq!(shallow.level(1), deep.level(1));
+    }
+
+    #[test]
+    fn topology_cache_survives_clone() {
+        let mut wl = WlFeaturizer::new();
+        let t = Topology::from_index(42).unwrap();
+        let f = wl.featurize_topology(&t, 2);
+        let mut copy = wl.clone();
+        assert_eq!(copy.featurize_topology(&t, 2), f);
+        assert_eq!(copy.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_hit_rate_is_well_defined() {
+        assert_eq!(WlCacheStats::default().hit_rate(), 0.0);
+        let stats = WlCacheStats { hits: 3, misses: 1 };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-15);
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub struct EigenPair {
 pub fn symmetric_top_eigenpairs(a: &Matrix, k: usize, iters: usize) -> Vec<EigenPair> {
     assert!(a.is_square(), "eigendecomposition needs a square matrix");
     let n = a.rows();
-    assert!(k <= n, "cannot extract {k} eigenpairs from a {n}x{n} matrix");
+    assert!(
+        k <= n,
+        "cannot extract {k} eigenpairs from a {n}x{n} matrix"
+    );
 
     let mut deflated = a.clone();
     let mut pairs = Vec::with_capacity(k);
@@ -68,7 +71,13 @@ pub fn symmetric_top_eigenpairs(a: &Matrix, k: usize, iters: usize) -> Vec<Eigen
         }
         // Rayleigh quotient for a clean eigenvalue estimate.
         let av = deflated.mat_vec(&v);
-        value = v.iter().zip(&av).map(|(x, y)| x * y).sum::<f64>().max(0.0).max(value.min(0.0));
+        value = v
+            .iter()
+            .zip(&av)
+            .map(|(x, y)| x * y)
+            .sum::<f64>()
+            .max(0.0)
+            .max(value.min(0.0));
         pairs.push(EigenPair {
             value,
             vector: v.clone(),
@@ -98,7 +107,9 @@ mod tests {
 
     fn spd(n: usize) -> Matrix {
         // B·Bᵀ + small diagonal: symmetric PSD with distinct spectrum.
-        let b = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 5) % 7) as f64 / 7.0 + if i == j { 1.0 } else { 0.0 });
+        let b = Matrix::from_fn(n, n, |i, j| {
+            ((i * 3 + j * 5) % 7) as f64 / 7.0 + if i == j { 1.0 } else { 0.0 }
+        });
         let mut a = b.mat_mul(&b.transpose());
         a.add_diag(0.1);
         a

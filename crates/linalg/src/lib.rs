@@ -35,17 +35,17 @@
 #![warn(missing_docs)]
 
 mod cholesky;
-mod eigen;
 mod complex;
+mod eigen;
 mod error;
 mod lu;
 mod matrix;
 
 pub use cholesky::Cholesky;
-pub use eigen::{symmetric_top_eigenpairs, EigenPair};
 pub use complex::Complex;
+pub use eigen::{symmetric_top_eigenpairs, EigenPair};
 pub use error::LinalgError;
-pub use lu::{solve_complex, CluFactor};
+pub use lu::{factorize_in_place, solve_complex, solve_in_place, CluFactor};
 pub use matrix::{CMatrix, Matrix};
 
 /// Dot product of two equal-length real vectors.

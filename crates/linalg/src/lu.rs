@@ -34,6 +34,143 @@ pub struct CluFactor {
     perm: Vec<usize>,
 }
 
+/// Factorizes `a` in place (`P·A = L·U` packed into `a`), recording the
+/// row permutation in `perm`.
+///
+/// This is the allocation-free core of [`CluFactor::new`], exposed so
+/// sweep-style callers (one factorization per frequency point over the
+/// same-size system) can reuse the matrix and permutation buffers.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] if `a` is not square,
+/// [`LinalgError::DimensionMismatch`] if `perm.len() != a.rows()`, and
+/// [`LinalgError::Singular`] if a pivot underflows to (numerical) zero,
+/// which for MNA systems indicates a floating circuit node. On error the
+/// contents of `a` and `perm` are unspecified but safe to reuse.
+// NaN-aware negated comparison: a NaN pivot must be rejected.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn factorize_in_place(a: &mut CMatrix, perm: &mut [usize]) -> Result<(), LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if perm.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            found: perm.len(),
+        });
+    }
+    for (i, p) in perm.iter_mut().enumerate() {
+        *p = i;
+    }
+
+    let data = a.as_mut_slice();
+    for k in 0..n {
+        // Pivot: largest magnitude in column k at or below the diagonal.
+        // Squared magnitudes order identically to magnitudes (and reject
+        // NaN the same way: `NaN > best` is false, and an all-NaN/zero
+        // column leaves `best == 0`), while avoiding a `hypot` per
+        // candidate — this search is the hottest scalar loop of a sweep.
+        let mut p = k;
+        let mut best = 0.0_f64;
+        for (i, row) in data.chunks_exact(n).enumerate().skip(k) {
+            let v = row[k].norm_sqr();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if !(best > 0.0) || !best.is_finite() {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+        if p != k {
+            for j in 0..n {
+                data.swap(k * n + j, p * n + j);
+            }
+            perm.swap(k, p);
+        }
+        // Split at the end of row k so the pivot row can be read while the
+        // rows below are updated; the zipped tails compile without bounds
+        // checks.
+        let (head, tail) = data.split_at_mut(n * (k + 1));
+        let row_k = &head[n * k + k..];
+        // One reciprocal per pivot instead of one full complex division
+        // per subdiagonal entry: f64 division is the slowest scalar op in
+        // this loop and the pivot is reused by every row below.
+        let pivot_recip = row_k[0].recip();
+        for row_i in tail.chunks_exact_mut(n) {
+            let row_i = &mut row_i[k..];
+            let factor = row_i[0] * pivot_recip;
+            row_i[0] = factor;
+            for (aij, akj) in row_i[1..].iter_mut().zip(&row_k[1..]) {
+                *aij -= factor * *akj;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves `A·x = b` from a packed factorization produced by
+/// [`factorize_in_place`], writing into caller-owned buffers.
+///
+/// `y` is forward-substitution scratch; `x` receives the solution. Both
+/// must have length `lu.rows()`. No allocation is performed.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if any buffer length
+/// disagrees with the system dimension.
+pub fn solve_in_place(
+    lu: &CMatrix,
+    perm: &[usize],
+    b: &[Complex],
+    y: &mut [Complex],
+    x: &mut [Complex],
+) -> Result<(), LinalgError> {
+    let n = lu.rows();
+    for len in [perm.len(), b.len(), y.len(), x.len()] {
+        if len != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: len,
+            });
+        }
+    }
+    let data = lu.as_slice();
+    // Forward substitution with permuted rhs: L·y = P·b. Rows before the
+    // first nonzero of P·b contribute exactly zero, so they are skipped —
+    // MNA right-hand sides are a single unit entry at the source branch
+    // (the last row), which makes this pass almost free in a sweep.
+    let mut first = n;
+    for (i, row) in data.chunks_exact(n).enumerate() {
+        let mut acc = b[perm[i]];
+        if first < i {
+            for (l, yj) in row[first..i].iter().zip(&y[first..i]) {
+                acc -= *l * *yj;
+            }
+        }
+        if first == n && (acc.re != 0.0 || acc.im != 0.0) {
+            first = i;
+        }
+        y[i] = acc;
+    }
+    // Back substitution: U·x = y. The diagonal reciprocal turns the three
+    // divisions of a robust complex division into one per row.
+    for i in (0..n).rev() {
+        let row = &data[n * i..n * (i + 1)];
+        let mut acc = y[i];
+        for (u, xj) in row[i + 1..].iter().zip(&x[i + 1..]) {
+            acc -= *u * *xj;
+        }
+        x[i] = acc * row[i].recip();
+    }
+    Ok(())
+}
+
 impl CluFactor {
     /// Factorizes `a` with partial pivoting.
     ///
@@ -42,51 +179,10 @@ impl CluFactor {
     /// Returns [`LinalgError::NotSquare`] if `a` is not square, and
     /// [`LinalgError::Singular`] if a pivot underflows to (numerical) zero,
     /// which for MNA systems indicates a floating circuit node.
-    // NaN-aware negated comparison: a NaN pivot must be rejected.
-    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn new(a: &CMatrix) -> Result<Self, LinalgError> {
-        if a.rows() != a.cols() {
-            return Err(LinalgError::NotSquare {
-                rows: a.rows(),
-                cols: a.cols(),
-            });
-        }
-        let n = a.rows();
         let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-
-        for k in 0..n {
-            // Pivot: largest magnitude in column k at or below the diagonal.
-            let mut p = k;
-            let mut best = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > best {
-                    best = v;
-                    p = i;
-                }
-            }
-            if !(best > 0.0) || !best.is_finite() {
-                return Err(LinalgError::Singular { pivot: k });
-            }
-            if p != k {
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(p, j)];
-                    lu[(p, j)] = tmp;
-                }
-                perm.swap(k, p);
-            }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                for j in (k + 1)..n {
-                    let delta = factor * lu[(k, j)];
-                    lu[(i, j)] -= delta;
-                }
-            }
-        }
+        let mut perm = vec![0usize; a.rows()];
+        factorize_in_place(&mut lu, &mut perm)?;
         Ok(CluFactor { lu, perm })
     }
 
@@ -100,33 +196,11 @@ impl CluFactor {
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
-    #[allow(clippy::needless_range_loop)] // dual-indexed triangular loops
     pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, LinalgError> {
         let n = self.dim();
-        if b.len() != n {
-            return Err(LinalgError::DimensionMismatch {
-                expected: n,
-                found: b.len(),
-            });
-        }
-        // Forward substitution with permuted rhs: L·y = P·b.
         let mut y = vec![Complex::ZERO; n];
-        for i in 0..n {
-            let mut acc = b[self.perm[i]];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * y[j];
-            }
-            y[i] = acc;
-        }
-        // Back substitution: U·x = y.
         let mut x = vec![Complex::ZERO; n];
-        for i in (0..n).rev() {
-            let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = acc / self.lu[(i, i)];
-        }
+        solve_in_place(&self.lu, &self.perm, b, &mut y, &mut x)?;
         Ok(x)
     }
 }
@@ -226,6 +300,74 @@ mod tests {
         let lu = CluFactor::new(&a).unwrap();
         assert!(matches!(
             lu.solve(&[Complex::ONE]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn in_place_api_matches_allocating_api() {
+        let mut a = CMatrix::zeros(3, 3);
+        a[(0, 0)] = c(2.0, 1.0);
+        a[(0, 1)] = c(-1.0, 0.0);
+        a[(0, 2)] = c(0.5, -0.5);
+        a[(1, 0)] = c(0.0, 3.0);
+        a[(1, 1)] = c(1.0, 1.0);
+        a[(1, 2)] = c(-2.0, 0.0);
+        a[(2, 0)] = c(1.0, 0.0);
+        a[(2, 1)] = c(0.0, -1.0);
+        a[(2, 2)] = c(4.0, 2.0);
+        let b = vec![c(1.0, 0.0), c(0.0, 1.0), c(-1.0, 2.0)];
+        let expected = solve_complex(&a, &b).unwrap();
+
+        let mut lu = a.clone();
+        let mut perm = vec![0usize; 3];
+        let mut y = vec![Complex::ZERO; 3];
+        let mut x = vec![Complex::ZERO; 3];
+        factorize_in_place(&mut lu, &mut perm).unwrap();
+        solve_in_place(&lu, &perm, &b, &mut y, &mut x).unwrap();
+        for (got, want) in x.iter().zip(&expected) {
+            assert!((*got - *want).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn in_place_buffers_are_reusable_across_factorizations() {
+        // Same buffers, two different matrices: the second solve must not
+        // see any state from the first.
+        let mut lu = CMatrix::zeros(2, 2);
+        let mut perm = vec![0usize; 2];
+        let mut y = vec![Complex::ZERO; 2];
+        let mut x = vec![Complex::ZERO; 2];
+        for scale in [1.0, 7.0] {
+            lu[(0, 0)] = c(0.0, 0.0);
+            lu[(0, 1)] = c(scale, 0.0);
+            lu[(1, 0)] = c(scale, 0.0);
+            lu[(1, 1)] = c(0.0, 0.0);
+            factorize_in_place(&mut lu, &mut perm).unwrap();
+            let b = [c(scale * 3.0, 0.0), c(scale * 5.0, 0.0)];
+            solve_in_place(&lu, &perm, &b, &mut y, &mut x).unwrap();
+            assert!((x[0] - c(5.0, 0.0)).abs() < 1e-14, "scale {scale}");
+            assert!((x[1] - c(3.0, 0.0)).abs() < 1e-14, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn in_place_rejects_bad_buffer_lengths() {
+        let mut lu = CMatrix::zeros(2, 2);
+        lu[(0, 0)] = c(1.0, 0.0);
+        lu[(1, 1)] = c(1.0, 0.0);
+        let mut short_perm = vec![0usize; 1];
+        assert!(matches!(
+            factorize_in_place(&mut lu.clone(), &mut short_perm),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        let mut perm = vec![0usize; 2];
+        factorize_in_place(&mut lu, &mut perm).unwrap();
+        let b = [Complex::ONE, Complex::ONE];
+        let mut y = vec![Complex::ZERO; 2];
+        let mut short_x = vec![Complex::ZERO; 1];
+        assert!(matches!(
+            solve_in_place(&lu, &perm, &b, &mut y, &mut short_x),
             Err(LinalgError::DimensionMismatch { .. })
         ));
     }

@@ -129,7 +129,9 @@ impl Matrix {
 
     /// The main diagonal as a vector.
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Matrix transpose.
@@ -266,6 +268,22 @@ impl CMatrix {
     #[inline]
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// Borrows the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major storage.
+    ///
+    /// This is the hot-path entry point for sweep-style workloads that
+    /// refill the same matrix once per frequency point without
+    /// reallocating.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
+        &mut self.data
     }
 
     /// Matrix–vector product `A·x`.

@@ -10,7 +10,7 @@ use oa_circuit::Netlist;
 use oa_linalg::Complex;
 
 use crate::error::SimError;
-use crate::mna::MnaSystem;
+use crate::mna::{MnaSystem, PreparedSweep};
 
 /// Options controlling an AC analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,10 +103,17 @@ impl AcSweep {
 /// # }
 /// ```
 pub fn ac_sweep(netlist: &Netlist, opts: &AcOptions) -> Result<AcSweep, SimError> {
+    let mut prepared = MnaSystem::new(netlist, opts.gmin).prepare()?;
+    sweep_prepared(&mut prepared, opts)
+}
+
+/// The sweep loop over an already-prepared system: stamping, validation,
+/// and allocation happened once in [`MnaSystem::prepare`]; each point here
+/// is a buffer refill, an in-place factorization, and a solve.
+fn sweep_prepared(prepared: &mut PreparedSweep, opts: &AcOptions) -> Result<AcSweep, SimError> {
     if !(opts.f_start > 0.0 && opts.f_stop > opts.f_start && opts.points_per_decade > 0) {
         return Err(SimError::BadFrequencyGrid);
     }
-    let sys = MnaSystem::new(netlist, opts.gmin);
     let decades = (opts.f_stop / opts.f_start).log10();
     let n = (decades * opts.points_per_decade as f64).ceil() as usize + 1;
     let mut freqs = Vec::with_capacity(n);
@@ -114,7 +121,7 @@ pub fn ac_sweep(netlist: &Netlist, opts: &AcOptions) -> Result<AcSweep, SimError
     for k in 0..n {
         let f = opts.f_start * 10f64.powf(decades * k as f64 / (n - 1) as f64);
         freqs.push(f);
-        response.push(sys.transfer(f)?);
+        response.push(prepared.transfer(f)?);
     }
     Ok(AcSweep { freqs, response })
 }
@@ -160,11 +167,14 @@ pub struct Measurement {
 ///
 /// Propagates [`ac_sweep`] errors.
 pub fn measure(netlist: &Netlist, opts: &AcOptions) -> Result<Measurement, SimError> {
-    let sweep = ac_sweep(netlist, opts)?;
-    Ok(extract(netlist, opts, &sweep))
+    // One prepared system serves both the grid sweep and the bisection
+    // refinement of the unity crossing.
+    let mut prepared = MnaSystem::new(netlist, opts.gmin).prepare()?;
+    let sweep = sweep_prepared(&mut prepared, opts)?;
+    Ok(extract(&mut prepared, &sweep))
 }
 
-fn extract(netlist: &Netlist, opts: &AcOptions, sweep: &AcSweep) -> Measurement {
+fn extract(prepared: &mut PreparedSweep, sweep: &AcSweep) -> Measurement {
     let dc_gain_db = sweep.mag_db(0);
     let phases = sweep.unwrapped_phase_deg();
 
@@ -199,13 +209,12 @@ fn extract(netlist: &Netlist, opts: &AcOptions, sweep: &AcSweep) -> Measurement 
     };
 
     // Refine in log-frequency by bisection.
-    let sys = MnaSystem::new(netlist, opts.gmin);
     let mut lo = sweep.freqs[i - 1].ln();
     let mut hi = sweep.freqs[i].ln();
     let mut h_at = sweep.response[i - 1];
     for _ in 0..50 {
         let mid = 0.5 * (lo + hi);
-        match sys.transfer(mid.exp()) {
+        match prepared.transfer(mid.exp()) {
             Ok(h) => {
                 if h.abs() >= 1.0 {
                     lo = mid;
@@ -303,7 +312,11 @@ mod tests {
         }
         let m = measure(&b.build(inp, out), &AcOptions::default()).unwrap();
         let unity = m.unity.expect("crosses unity");
-        assert!(unity.phase_margin_deg < 30.0, "pm {}", unity.phase_margin_deg);
+        assert!(
+            unity.phase_margin_deg < 30.0,
+            "pm {}",
+            unity.phase_margin_deg
+        );
         assert!(unity.phase_margin_deg > -90.0);
     }
 

@@ -48,6 +48,6 @@ mod transient;
 
 pub use ac::{ac_sweep, measure, AcOptions, AcSweep, Measurement, UnityCrossing};
 pub use error::SimError;
-pub use mna::MnaSystem;
+pub use mna::{MnaSystem, PreparedSweep};
 pub use opamp::{evaluate_opamp, OpAmpPerformance};
 pub use transient::{step_response, StepResponse, TranOptions};

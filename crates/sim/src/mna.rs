@@ -7,7 +7,7 @@
 //! non-singular when capacitor-only paths block DC.
 
 use oa_circuit::{Element, Netlist, NodeId};
-use oa_linalg::{CMatrix, CluFactor, Complex};
+use oa_linalg::{factorize_in_place, solve_in_place, CMatrix, CluFactor, Complex};
 
 use crate::error::SimError;
 
@@ -77,7 +77,11 @@ impl<'a> MnaSystem<'a> {
                     let y = Complex::from_re(1.0 / ohms);
                     stamp_admittance(&mut a, self.var(na), self.var(nb), y);
                 }
-                Element::Capacitor { a: na, b: nb, farads } => {
+                Element::Capacitor {
+                    a: na,
+                    b: nb,
+                    farads,
+                } => {
                     if !(farads.is_finite() && farads >= 0.0) {
                         return Err(SimError::BadElement {
                             detail: format!("capacitor with {farads} farads"),
@@ -146,6 +150,10 @@ impl<'a> MnaSystem<'a> {
     /// Solves for the output-node voltage with a unit AC source at the
     /// input, i.e. the transfer function `H(jω)`.
     ///
+    /// This is the naive single-point path: it re-stamps and reallocates
+    /// the full system at every call. Sweeps should go through
+    /// [`MnaSystem::prepare`], which stamps once and reuses buffers.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::SolveFailed`] on a singular system and
@@ -163,6 +171,294 @@ impl<'a> MnaSystem<'a> {
             .var(self.netlist.output())
             .expect("output node must not be ground");
         Ok(x[out])
+    }
+
+    /// Stamps the netlist once into its frequency-independent parts and
+    /// returns a [`PreparedSweep`] that evaluates `H(jω)` at any number of
+    /// frequencies without touching the netlist again.
+    ///
+    /// Every stamp in the MNA system is either purely real and
+    /// frequency-independent (resistors, unbanded VCCS, `GMIN`, the test
+    /// source's ±1 entries), scales linearly with `ω` on the imaginary
+    /// axis (capacitors), or is one of the few band-limited VCCS entries
+    /// `±gm/(1 + jf/f_t)`. So the matrix splits as `A(ω) = G + jωC + B(f)`
+    /// with constant real `G`/`C` and a short list `B` of
+    /// frequency-dependent stamps — the whole netlist walk, element
+    /// validation, and all allocation happen here exactly once.
+    ///
+    /// On top of the split, the two source unknowns are eliminated here
+    /// rather than at every frequency: the branch row pins `v(input) = 1`
+    /// and the input-node KCL row only determines the (unobserved) branch
+    /// current, so both can be folded away with exact ±1 pivots. Columns
+    /// that multiplied the known input voltage move to the right-hand side
+    /// with sign flipped. The per-point factorization then runs on a
+    /// `(dim − 2)`-sized system — the same answers, a much smaller LU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadElement`] for non-finite or non-positive
+    /// element values (the same validation as [`MnaSystem::assemble`]).
+    pub fn prepare(&self) -> Result<PreparedSweep, SimError> {
+        let dim = self.dim();
+        let branch = dim - 1;
+        let mut g = vec![0.0; dim * dim];
+        let mut c = vec![0.0; dim * dim];
+        let mut banded = Vec::new();
+
+        let stamp = |m: &mut [f64], p: Option<usize>, q: Option<usize>, y: f64| {
+            if let Some(i) = p {
+                m[i * dim + i] += y;
+            }
+            if let Some(j) = q {
+                m[j * dim + j] += y;
+            }
+            if let (Some(i), Some(j)) = (p, q) {
+                m[i * dim + j] -= y;
+                m[j * dim + i] -= y;
+            }
+        };
+
+        for e in self.netlist.elements() {
+            match *e {
+                Element::Resistor { a: na, b: nb, ohms } => {
+                    if !(ohms.is_finite() && ohms > 0.0) {
+                        return Err(SimError::BadElement {
+                            detail: format!("resistor with {ohms} ohms"),
+                        });
+                    }
+                    stamp(&mut g, self.var(na), self.var(nb), 1.0 / ohms);
+                }
+                Element::Capacitor {
+                    a: na,
+                    b: nb,
+                    farads,
+                } => {
+                    if !(farads.is_finite() && farads >= 0.0) {
+                        return Err(SimError::BadElement {
+                            detail: format!("capacitor with {farads} farads"),
+                        });
+                    }
+                    stamp(&mut c, self.var(na), self.var(nb), farads);
+                }
+                Element::Vccs {
+                    ctrl_p,
+                    ctrl_n,
+                    out_p,
+                    out_n,
+                    gm,
+                    ft_hz,
+                } => {
+                    if !gm.is_finite() {
+                        return Err(SimError::BadElement {
+                            detail: format!("vccs with gm {gm}"),
+                        });
+                    }
+                    if let Some(ft) = ft_hz {
+                        if !(ft.is_finite() && ft > 0.0) {
+                            return Err(SimError::BadElement {
+                                detail: format!("vccs with bandwidth {ft} Hz"),
+                            });
+                        }
+                    }
+                    for (node, sign) in [(out_p, 1.0), (out_n, -1.0)] {
+                        if let Some(row) = self.var(node) {
+                            for (ctrl, ctrl_sign) in [(ctrl_p, 1.0), (ctrl_n, -1.0)] {
+                                if let Some(col) = self.var(ctrl) {
+                                    match ft_hz {
+                                        Some(ft) => banded.push(BandedStamp {
+                                            row,
+                                            col,
+                                            gm: gm * sign * ctrl_sign,
+                                            ft_hz: ft,
+                                        }),
+                                        None => g[row * dim + col] += gm * sign * ctrl_sign,
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // GMIN leak on every non-ground node.
+        for i in 0..(self.netlist.node_count() - 1) {
+            g[i * dim + i] += self.gmin;
+        }
+
+        // Eliminate the two source unknowns. The branch row is `v(input) =
+        // 1` (pivot exactly 1), and the branch current appears only in the
+        // input-node KCL row, which pivots it out exactly as well — so the
+        // reduction below is the first two elimination steps of the full
+        // system performed without rounding. What remains are the KCL rows
+        // of the other nodes with the known `v(input) = 1` moved to the
+        // right-hand side.
+        let inp = self
+            .var(self.netlist.input())
+            .expect("input node must not be ground");
+        let out = self
+            .var(self.netlist.output())
+            .expect("output node must not be ground");
+        let m = dim - 2;
+        // Reduced index of a full-system variable; `None` for the two
+        // eliminated unknowns (input-node voltage and branch current).
+        let keep = |j: usize| -> Option<usize> {
+            if j == inp || j == branch {
+                None
+            } else {
+                Some(j - usize::from(j > inp))
+            }
+        };
+
+        let mut g_r = vec![0.0; m * m];
+        let mut c_r = vec![0.0; m * m];
+        let mut rhs_g = vec![0.0; m];
+        let mut rhs_c = vec![0.0; m];
+        for i in (0..dim).filter(|&i| i != branch) {
+            if let Some(ir) = keep(i) {
+                rhs_g[ir] = -g[i * dim + inp];
+                rhs_c[ir] = -c[i * dim + inp];
+                for j in (0..dim).filter(|&j| j != branch) {
+                    if let Some(jr) = keep(j) {
+                        g_r[ir * m + jr] = g[i * dim + j];
+                        c_r[ir * m + jr] = c[i * dim + j];
+                    }
+                }
+            }
+        }
+
+        let mut banded_r = Vec::new();
+        let mut banded_rhs = Vec::new();
+        for s in banded {
+            // A stamp into the input-node row only fed the eliminated
+            // branch current; one controlled by the input node sees the
+            // known unit voltage and becomes a right-hand-side term.
+            let Some(row) = keep(s.row) else { continue };
+            match keep(s.col) {
+                Some(col) => banded_r.push(BandedStamp { row, col, ..s }),
+                None => banded_rhs.push(BandedStamp { row, col: 0, ..s }),
+            }
+        }
+
+        Ok(PreparedSweep {
+            dim,
+            m,
+            out: keep(out),
+            g: g_r,
+            c: c_r,
+            rhs_g,
+            rhs_c,
+            banded: banded_r,
+            banded_rhs,
+            work: CMatrix::zeros(m, m),
+            perm: vec![0; m],
+            rhs: vec![Complex::ZERO; m],
+            y: vec![Complex::ZERO; m],
+            x: vec![Complex::ZERO; m],
+        })
+    }
+}
+
+/// One band-limited VCCS matrix entry `gm / (1 + j·f/f_t)` (the signed
+/// `gm` already folds in the output/control orientation).
+#[derive(Debug, Clone, Copy)]
+struct BandedStamp {
+    row: usize,
+    col: usize,
+    gm: f64,
+    ft_hz: f64,
+}
+
+/// A netlist stamped once for repeated `H(jω)` evaluation.
+///
+/// Produced by [`MnaSystem::prepare`]. The two source unknowns are
+/// already eliminated (exactly — both pivots are ±1), so each
+/// [`PreparedSweep::transfer`] call refills a preallocated complex work
+/// matrix of size `dim − 2` from the constant `G`/`C` parts in one pass,
+/// adds the few band-limited stamps, then factors and solves fully in
+/// place — no heap allocation per frequency point.
+#[derive(Debug, Clone)]
+pub struct PreparedSweep {
+    /// Full MNA dimension, as reported by [`MnaSystem::dim`].
+    dim: usize,
+    /// Reduced system size after source elimination: `dim − 2`.
+    m: usize,
+    /// Reduced index of the output-node voltage; `None` when the output
+    /// is the driven input node itself, where `H ≡ 1` exactly.
+    out: Option<usize>,
+    /// Frequency-independent real part, row-major `m × m`.
+    g: Vec<f64>,
+    /// Capacitive susceptance coefficients: imaginary part is `ω·c[k]`.
+    c: Vec<f64>,
+    /// Real right-hand side from the unit input voltage.
+    rhs_g: Vec<f64>,
+    /// Capacitive right-hand side: imaginary part is `ω·rhs_c[k]`.
+    rhs_c: Vec<f64>,
+    /// Band-limited VCCS stamps into the reduced matrix.
+    banded: Vec<BandedStamp>,
+    /// Band-limited VCCS stamps controlled by the input node: their value
+    /// times the unit input voltage is subtracted from `rhs[row]`.
+    banded_rhs: Vec<BandedStamp>,
+    work: CMatrix,
+    perm: Vec<usize>,
+    rhs: Vec<Complex>,
+    y: Vec<Complex>,
+    x: Vec<Complex>,
+}
+
+impl PreparedSweep {
+    /// Number of unknowns in the underlying (unreduced) MNA system.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The transfer function `H(jω)` at `freq_hz`, reusing all buffers.
+    ///
+    /// Produces the same values as [`MnaSystem::transfer`] on the same
+    /// netlist to well below 1e-12 relative error: the stamps agree to at
+    /// most 1 ulp and the source elimination baked in by
+    /// [`MnaSystem::prepare`] is the first two elimination steps of the
+    /// full system carried out without rounding, so the paths differ only
+    /// in LU round-off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SolveFailed`] on a singular system.
+    pub fn transfer(&mut self, freq_hz: f64) -> Result<Complex, SimError> {
+        let Some(out) = self.out else {
+            // The output node is the driven input node: v(out) = 1.
+            return Ok(Complex::ONE);
+        };
+        let omega = 2.0 * std::f64::consts::PI * freq_hz;
+        let n = self.m;
+        let work = self.work.as_mut_slice();
+        for ((w, &g), &c) in work.iter_mut().zip(&self.g).zip(&self.c) {
+            *w = Complex::new(g, omega * c);
+        }
+        for ((r, &g), &c) in self.rhs.iter_mut().zip(&self.rhs_g).zip(&self.rhs_c) {
+            *r = Complex::new(g, omega * c);
+        }
+        // Matches the naive path: it derives f from omega when evaluating
+        // the band-limited pole, so do the same here. The stamp is the
+        // rationalized form of `gm / (1 + j·t)` with `t = f/f_t`
+        // (`gm·(1 − j·t) / (1 + t²)`), which agrees with the naive
+        // division to 1 ulp while avoiding a full complex division.
+        let f = omega / (2.0 * std::f64::consts::PI);
+        for s in &self.banded {
+            let t = f / s.ft_hz;
+            let g = s.gm / (1.0 + t * t);
+            work[s.row * n + s.col] += Complex::new(g, -g * t);
+        }
+        for s in &self.banded_rhs {
+            let t = f / s.ft_hz;
+            let g = s.gm / (1.0 + t * t);
+            self.rhs[s.row] -= Complex::new(g, -g * t);
+        }
+        factorize_in_place(&mut self.work, &mut self.perm)
+            .map_err(|source| SimError::SolveFailed { freq_hz, source })?;
+        solve_in_place(&self.work, &self.perm, &self.rhs, &mut self.y, &mut self.x)
+            .map_err(|source| SimError::SolveFailed { freq_hz, source })?;
+        Ok(self.x[out])
     }
 }
 
@@ -300,6 +596,78 @@ mod tests {
             sys.transfer(1.0),
             Err(SimError::BadElement { .. })
         ));
+    }
+
+    /// Three-stage amplifier exercising every stamp kind: resistors,
+    /// capacitors, plain and band-limited VCCS, a four-terminal VCCS, and
+    /// a feedback (Miller) capacitor between internal nodes.
+    fn three_stage_amp() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let n1 = b.add_node("n1");
+        let n2 = b.add_node("n2");
+        let out = b.add_node("out");
+        b.inject_gm_banded(inp, n1, -2e-3, 5e8);
+        b.resistor(n1, NodeId::GROUND, 2e5);
+        b.capacitor(n1, NodeId::GROUND, 3e-12);
+        b.vccs(n1, NodeId::GROUND, NodeId::GROUND, n2, 1.5e-3);
+        b.resistor(n2, NodeId::GROUND, 1e5);
+        b.capacitor(n2, NodeId::GROUND, 2e-12);
+        b.capacitor(n1, n2, 0.8e-12); // Miller feedback
+        b.inject_gm(n2, out, -4e-3);
+        b.resistor(out, NodeId::GROUND, 5e4);
+        b.capacitor(out, NodeId::GROUND, 10e-12);
+        b.build(inp, out)
+    }
+
+    #[test]
+    fn prepared_sweep_matches_naive_assembly_across_12_decades() {
+        let n = three_stage_amp();
+        let sys = MnaSystem::new(&n, 1e-12);
+        let mut prepared = sys.prepare().unwrap();
+        // 12 decades, several points per decade, deliberately revisiting
+        // frequencies out of order to prove statelessness across calls.
+        let mut freqs: Vec<f64> = (0..=120)
+            .map(|k| 1e-2 * 10f64.powf(k as f64 / 10.0))
+            .collect();
+        let shuffled: Vec<f64> = freqs.iter().rev().copied().collect();
+        freqs.extend(shuffled);
+        for f in freqs {
+            let naive = sys.transfer(f).unwrap();
+            let fast = prepared.transfer(f).unwrap();
+            let rel = (fast - naive).abs() / naive.abs().max(1e-300);
+            assert!(rel <= 1e-12, "f = {f}: {fast} vs {naive} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn prepared_sweep_rejects_bad_elements_at_prepare_time() {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.resistor(inp, out, f64::NAN);
+        let n = b.build(inp, out);
+        let sys = MnaSystem::new(&n, 1e-12);
+        assert!(matches!(sys.prepare(), Err(SimError::BadElement { .. })));
+    }
+
+    #[test]
+    fn prepared_sweep_reports_singular_systems() {
+        // Zero GMIN and a floating capacitor-only node at DC.
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.capacitor(inp, out, 1e-12);
+        b.capacitor(out, NodeId::GROUND, 1e-12);
+        let n = b.build(inp, out);
+        let sys = MnaSystem::new(&n, 0.0);
+        let mut prepared = sys.prepare().unwrap();
+        assert!(matches!(
+            prepared.transfer(0.0),
+            Err(SimError::SolveFailed { .. })
+        ));
+        // The same buffers stay usable after the failed factorization.
+        assert!(prepared.transfer(1e6).unwrap().is_finite());
     }
 
     #[test]

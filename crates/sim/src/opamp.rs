@@ -75,11 +75,10 @@ pub fn evaluate_opamp(
     cl_farads: f64,
     opts: &AcOptions,
 ) -> Result<OpAmpPerformance, SimError> {
-    let netlist = elaborate(topology, values, process, cl_farads).map_err(|e| {
-        SimError::BadElement {
+    let netlist =
+        elaborate(topology, values, process, cl_farads).map_err(|e| SimError::BadElement {
             detail: e.to_string(),
-        }
-    })?;
+        })?;
     let m = measure(&netlist, opts)?;
     let (gbw_hz, pm_deg) = match m.unity {
         Some(u) => (u.freq_hz, u.phase_margin_deg),
@@ -166,10 +165,10 @@ mod tests {
             .unwrap();
         let space = ParamSpace::for_topology(&t);
         let v = space.decode(&[0.5, 0.5, 0.5, 0.7]).unwrap();
-        let p10p = evaluate_opamp(&t, &v, &Process::default(), 10e-12, &AcOptions::default())
-            .unwrap();
-        let p10n = evaluate_opamp(&t, &v, &Process::default(), 10e-9, &AcOptions::default())
-            .unwrap();
+        let p10p =
+            evaluate_opamp(&t, &v, &Process::default(), 10e-12, &AcOptions::default()).unwrap();
+        let p10n =
+            evaluate_opamp(&t, &v, &Process::default(), 10e-9, &AcOptions::default()).unwrap();
         assert!(p10n.gbw_hz < p10p.gbw_hz);
     }
 

@@ -10,7 +10,7 @@
 //! step drives the input node.
 
 use oa_circuit::{Element, Netlist, NodeId};
-use oa_linalg::{CluFactor, CMatrix, Complex};
+use oa_linalg::{CMatrix, CluFactor, Complex};
 
 use crate::error::SimError;
 
@@ -162,7 +162,11 @@ pub fn step_response(netlist: &Netlist, opts: &TranOptions) -> Result<StepRespon
                 stamp(&mut a, var(na), var(nb), 1.0 / ohms);
                 stamp(&mut a_be, var(na), var(nb), 1.0 / ohms);
             }
-            Element::Capacitor { a: na, b: nb, farads } => {
+            Element::Capacitor {
+                a: na,
+                b: nb,
+                farads,
+            } => {
                 if !(farads.is_finite() && farads >= 0.0) {
                     return Err(SimError::BadElement {
                         detail: format!("capacitor with {farads} farads"),
@@ -297,10 +301,7 @@ mod tests {
         let resp = step_response(&rc(r, c), &opts).unwrap();
         for (t, v) in resp.time.iter().zip(&resp.vout) {
             let expected = 1.0 - (-t / tau).exp();
-            assert!(
-                (v - expected).abs() < 2e-3,
-                "t={t:.3e}: {v} vs {expected}"
-            );
+            assert!((v - expected).abs() < 2e-3, "t={t:.3e}: {v} vs {expected}");
         }
     }
 
@@ -332,11 +333,15 @@ mod tests {
             t_stop: 100e-6,
             dt: 50e-9,
             step_v: 0.01,
-        gmin: 1e-15,
+            gmin: 1e-15,
         };
         let resp = step_response(&b.build(inp, out), &opts).unwrap();
         // DC gain −10 on a 10 mV step → −100 mV.
-        assert!((resp.final_value() + 0.1).abs() < 1e-3, "{}", resp.final_value());
+        assert!(
+            (resp.final_value() + 0.1).abs() < 1e-3,
+            "{}",
+            resp.final_value()
+        );
     }
 
     #[test]

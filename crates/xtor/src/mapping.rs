@@ -122,11 +122,10 @@ impl<'a> Mapper<'a> {
             .resistor(out, NodeId::GROUND, 1.0 / (gds_amp + gds_load));
         // Input loading and parasitic Miller feedback.
         self.builder.capacitor(ctrl, NodeId::GROUND, cgs);
-        self.builder
-            .capacitor(ctrl, out, self.opts.cgd_ratio * cgs);
+        self.builder.capacitor(ctrl, out, self.opts.cgd_ratio * cgs);
         // Output junction + load-device capacitance.
-        let c_out = self.opts.c_wire
-            + self.opts.cj_ratio * cgs * if differential { 2.0 } else { 1.5 };
+        let c_out =
+            self.opts.c_wire + self.opts.cj_ratio * cgs * if differential { 2.0 } else { 1.5 };
         self.builder.capacitor(out, NodeId::GROUND, c_out);
 
         // Power: a diff pair burns twice the branch current in the tail.
@@ -219,12 +218,16 @@ pub fn map_topology(
         match ty {
             SubcircuitType::NoConn => {}
             SubcircuitType::Passive(p) => match p {
-                PassiveKind::R => mapper
-                    .builder
-                    .resistor(na, nb, require(&format!("R({edge})"), ev.r)?),
-                PassiveKind::C => mapper
-                    .builder
-                    .capacitor(na, nb, require(&format!("C({edge})"), ev.c)?),
+                PassiveKind::R => {
+                    mapper
+                        .builder
+                        .resistor(na, nb, require(&format!("R({edge})"), ev.r)?)
+                }
+                PassiveKind::C => {
+                    mapper
+                        .builder
+                        .capacitor(na, nb, require(&format!("C({edge})"), ev.c)?)
+                }
                 PassiveKind::ParallelRc => {
                     mapper
                         .builder
@@ -272,13 +275,17 @@ pub fn map_topology(
                         let mid = mapper.builder.add_node(format!("m_{edge}"));
                         mapper.add_stage(&name, ctrl, mid, signed, false);
                         if composite == GmComposite::SeriesR {
-                            mapper
-                                .builder
-                                .resistor(mid, out, require(&format!("R({edge})"), ev.r)?);
+                            mapper.builder.resistor(
+                                mid,
+                                out,
+                                require(&format!("R({edge})"), ev.r)?,
+                            );
                         } else {
-                            mapper
-                                .builder
-                                .capacitor(mid, out, require(&format!("C({edge})"), ev.c)?);
+                            mapper.builder.capacitor(
+                                mid,
+                                out,
+                                require(&format!("C({edge})"), ev.c)?,
+                            );
                         }
                     }
                 }
@@ -351,9 +358,14 @@ mod tests {
     #[test]
     fn transistor_level_is_functional() {
         let (t, v) = miller();
-        let (perf, mapping) =
-            transistor_performance(&t, &v, &XtorOptions::default(), 10e-12, &AcOptions::default())
-                .unwrap();
+        let (perf, mapping) = transistor_performance(
+            &t,
+            &v,
+            &XtorOptions::default(),
+            10e-12,
+            &AcOptions::default(),
+        )
+        .unwrap();
         assert!(perf.gain_db > 60.0, "gain {}", perf.gain_db);
         assert!(perf.gbw_hz > 0.0);
         assert_eq!(mapping.devices.len(), 3);
@@ -363,9 +375,14 @@ mod tests {
     fn transistor_level_burns_more_power_than_behavioral() {
         let (t, v) = miller();
         let behav = behavioral_perf(&t, &v);
-        let (perf, _) =
-            transistor_performance(&t, &v, &XtorOptions::default(), 10e-12, &AcOptions::default())
-                .unwrap();
+        let (perf, _) = transistor_performance(
+            &t,
+            &v,
+            &XtorOptions::default(),
+            10e-12,
+            &AcOptions::default(),
+        )
+        .unwrap();
         assert!(
             perf.power_w > behav.power_w,
             "tail + bias overheads must cost power: {} vs {}",
@@ -378,9 +395,14 @@ mod tests {
     fn transistor_level_fom_drops_as_in_table5() {
         let (t, v) = miller();
         let behav = behavioral_perf(&t, &v);
-        let (perf, _) =
-            transistor_performance(&t, &v, &XtorOptions::default(), 10e-12, &AcOptions::default())
-                .unwrap();
+        let (perf, _) = transistor_performance(
+            &t,
+            &v,
+            &XtorOptions::default(),
+            10e-12,
+            &AcOptions::default(),
+        )
+        .unwrap();
         assert!(
             perf.fom(10e-12) < behav.fom(10e-12),
             "transistor FoM {} should drop below behavioral {}",
@@ -412,8 +434,7 @@ mod tests {
             )
             .unwrap();
         let space = ParamSpace::for_topology(&t);
-        let mapping =
-            map_topology(&t, &space.nominal(), &XtorOptions::default(), 10e-12).unwrap();
+        let mapping = map_topology(&t, &space.nominal(), &XtorOptions::default(), 10e-12).unwrap();
         assert_eq!(mapping.devices.len(), 4);
         assert!(mapping.devices[3].name.contains("vin-vout"));
     }

@@ -106,7 +106,10 @@ fn main() {
             .find(|(m, _)| m == "pm_deg")
             .map(|(_, g)| *g)
             .unwrap_or(0.0);
-        println!("  {} [{}]: d(PM)/d(count) = {:+.3}", impact.edge, impact.ty, pm);
+        println!(
+            "  {} [{}]: d(PM)/d(count) = {:+.3}",
+            impact.edge, impact.ty, pm
+        );
     }
 
     // Cross-check one structure with brute-force sensitivity analysis.
@@ -147,7 +150,8 @@ fn main() {
                 outcome.old_ty, outcome.edge, outcome.total_sims
             );
             match outcome.refined {
-                Some(d) => println!(
+                Some(d) => {
+                    println!(
                     "refined: {} → gain {:.1} dB, GBW {:.3} MHz, PM {:.1} deg, power {:.1} uW → {}",
                     d.topology,
                     d.performance.gain_db,
@@ -155,7 +159,8 @@ fn main() {
                     d.performance.pm_deg,
                     d.performance.power_w / 1e-6,
                     if d.feasible { "meets S-5" } else { "violates S-5" }
-                ),
+                )
+                }
                 None => println!("no attempt met the spec — rerun with a larger budget"),
             }
         }

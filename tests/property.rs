@@ -4,9 +4,7 @@
 //! returns finite measurements for every legal sized topology.
 
 use oa_baselines::{decode_nearest, embed};
-use oa_circuit::{
-    elaborate, ParamSpace, Process, Topology, VariableEdge, DESIGN_SPACE_SIZE,
-};
+use oa_circuit::{elaborate, ParamSpace, Process, Topology, VariableEdge, DESIGN_SPACE_SIZE};
 use oa_graph::{CircuitGraph, WlFeaturizer};
 use oa_linalg::{Cholesky, Matrix};
 use oa_sim::{evaluate_opamp, AcOptions};

@@ -1,0 +1,345 @@
+//! Vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of proptest 1.x that the workspace's property tests use: the
+//! [`Strategy`] trait with [`Strategy::prop_map`], range strategies for
+//! integers and floats, [`collection::vec`] / [`collection::hash_set`],
+//! [`ProptestConfig::with_cases`], and the [`proptest!`] /
+//! [`prop_assert!`] family of macros.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test stream (seeded from the test's module path and name), and
+//! there is no shrinking — a failing case reports its inputs via the
+//! assertion message and its case number, which is enough to reproduce it
+//! by re-running the test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Matches upstream's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic generator driving a single test's cases.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Creates the stream for one `(test, case)` pair. FNV-1a over the
+    /// test's full path keeps streams distinct across tests without any
+    /// global state.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(SmallRng::seed(h ^ ((case as u64) << 1 | 1)))
+    }
+
+    fn rng(&mut self) -> &mut SmallRng {
+        &mut self.0
+    }
+}
+
+/// A recipe for generating values of `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().gen_range(self.start..self.end)
+    }
+}
+
+/// Collection sizes: either an exact `usize` or a `Range<usize>`.
+pub trait SizeRange {
+    /// Picks the size for one generated collection.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.rng().gen_range(self.start..self.end)
+    }
+}
+
+/// Strategies for collections (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Generates `Vec`s of `element` values with a size from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// Generates `HashSet`s of `element` values with a size from `size`.
+    ///
+    /// Like upstream, the generated set reaches the drawn size exactly:
+    /// duplicate draws are retried (bounded, then the test panics — that
+    /// only happens when the element domain is smaller than the set).
+    pub fn hash_set<S, Z>(element: S, size: Z) -> HashSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        Z: SizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S, Z> Strategy for HashSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        Z: SizeRange,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = self.size.pick(rng);
+            let mut set = HashSet::with_capacity(n);
+            let mut attempts = 0usize;
+            while set.len() < n {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+                assert!(
+                    attempts < 100 * (n + 1),
+                    "hash_set strategy could not reach size {n}; element domain too small"
+                );
+            }
+            set
+        }
+    }
+}
+
+/// Everything a property test needs (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless the two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+}
+
+/// Declares a block of property tests.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any number
+/// of `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut runner_rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $pat = $crate::Strategy::sample(&$strategy, &mut runner_rng);)+
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(message) = outcome {
+                        panic!("proptest case {case} failed: {message}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 3usize..9, f in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&v));
+            prop_assert!((-1.0..1.0).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn prop_map_applies(v in (0u64..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!(v < 20);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            xs in collection::vec(0.0f64..1.0, 5),
+            set in collection::hash_set(0usize..1000, 3..8),
+        ) {
+            prop_assert_eq!(xs.len(), 5);
+            prop_assert!(set.len() >= 3 && set.len() < 8);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_case() {
+        let strat = 0u64..1_000_000;
+        let mut a = TestRng::for_case("t", 7);
+        let mut b = TestRng::for_case("t", 7);
+        let mut c = TestRng::for_case("t", 8);
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        assert_ne!(strat.sample(&mut a), strat.sample(&mut c));
+    }
+}

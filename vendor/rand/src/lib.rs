@@ -1,0 +1,276 @@
+//! Vendored, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the small slice of the `rand` 0.8 API it actually uses: [`RngCore`],
+//! [`SeedableRng`] (with the SplitMix64-based `seed_from_u64`), the [`Rng`]
+//! extension trait (`gen`, `gen_range`), and [`seq::SliceRandom::choose`].
+//! Streams are deterministic for a given seed but are NOT guaranteed to be
+//! bit-identical to upstream `rand`; nothing in this workspace depends on
+//! upstream streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level source of random 32/64-bit words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array for every generator in this workspace).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 and instantiates
+    /// the generator — the conventional convenience constructor.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step (public-domain constants).
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            for (b, out) in z.to_le_bytes().iter().zip(chunk.iter_mut()) {
+                *out = *b;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable from the "standard" distribution of their domain
+/// (uniform over `[0,1)` for floats, uniform over all values for integers).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is < 2^-40 for every span in this workspace
+                // (spans are small); determinism is what matters here.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample_standard(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related helpers (`rand::seq`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random selection from slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// A uniformly random element, or `None` for an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Module alias matching `rand::rngs` for code that names it.
+pub mod rngs {
+    /// A tiny SplitMix64 generator, handy for tests.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SmallRng {
+        /// Creates a generator from a seed.
+        pub fn seed(state: u64) -> Self {
+            SmallRng { state }
+        }
+    }
+
+    impl super::RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = rngs::SmallRng::seed(1);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = rngs::SmallRng::seed(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10usize);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(0..=4u64);
+            assert!(w <= 4);
+        }
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        use seq::SliceRandom;
+        let mut rng = rngs::SmallRng::seed(3);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let &v = items.choose(&mut rng).unwrap();
+            seen[v - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct Collector([u8; 16]);
+        impl SeedableRng for Collector {
+            type Seed = [u8; 16];
+            fn from_seed(seed: [u8; 16]) -> Self {
+                Collector(seed)
+            }
+        }
+        let a = Collector::seed_from_u64(42).0;
+        let b = Collector::seed_from_u64(42).0;
+        let c = Collector::seed_from_u64(43).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}
