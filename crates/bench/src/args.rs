@@ -1,0 +1,36 @@
+//! Shared command-line handling for the table/figure binaries.
+//!
+//! None of the reproduction binaries take positional arguments or flags —
+//! all knobs are environment variables — but every binary should still
+//! answer `--help` and reject typos instead of silently ignoring them.
+
+use std::process::exit;
+
+/// Handles `--help`/`-h` (usage on stdout, exit 0) and rejects any other
+/// argument (usage on stderr, exit 2). Call first thing in `main` with
+/// the binary name and a one-line summary.
+pub fn check_args(bin: &str, about: &str) {
+    let usage = format!(
+        "{bin} — {about}
+
+USAGE:
+    {bin}
+
+All configuration is via environment variables:
+    OA_PROFILE       Budget scale: paper | quick | smoke (default quick)
+    OA_JOBS          Worker threads (default: detected cores)
+    OA_RESULTS_DIR   Artifact/cache directory (default: results)
+
+OPTIONS:
+    -h, --help       Print this help
+"
+    );
+    if let Some(arg) = std::env::args().nth(1) {
+        if arg == "--help" || arg == "-h" {
+            print!("{usage}");
+            exit(0);
+        }
+        eprintln!("error: unexpected argument '{arg}'\n\n{usage}");
+        exit(2);
+    }
+}

@@ -23,6 +23,7 @@ struct Ablation {
 }
 
 fn main() {
+    oa_bench::check_args("ablations", "ablation studies over the INTO-OA pipeline");
     let profile = Profile::from_env();
     let spec = Spec::s1();
     println!(

@@ -12,6 +12,7 @@ use into_oa::Spec;
 use oa_bench::{mean_curve, results_dir, run_matrix, sim_grid, Method, Profile, RunSummary};
 
 fn main() {
+    oa_bench::check_args("fig5", "Fig. 5: behavior-level optimization curves");
     let profile = Profile::from_env();
     println!(
         "Fig. 5 reproduction — profile '{}' ({} runs, {} topologies/run, {} sims/topology, {} jobs)",

@@ -11,6 +11,10 @@ use into_oa::{optimize, removal_sensitivity, Evaluator, IntoOaConfig, MetricMode
 use oa_bench::Profile;
 
 fn main() {
+    oa_bench::check_args(
+        "fig6_critical",
+        "Sec. IV-B: WL-GP gradients vs. sensitivity analysis",
+    );
     let profile = Profile::from_env();
     let spec = Spec::s4(); // the paper's example circuit comes from S-4
     println!(

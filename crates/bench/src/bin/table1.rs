@@ -3,6 +3,7 @@
 use into_oa::Spec;
 
 fn main() {
+    oa_bench::check_args("table1", "Table I: the design-specification sets");
     println!("TABLE I: The Design Specification Sets");
     println!(
         "{:<6} {:>9} {:>9} {:>6} {:>10} {:>8}",

@@ -9,6 +9,7 @@ use into_oa::Spec;
 use oa_bench::{fmt_opt, reference_fom, run_matrix, table2_stats, Method, Profile, RunSummary};
 
 fn main() {
+    oa_bench::check_args("table2", "Table II: success rate, final FoM, #sim, speedup");
     let profile = Profile::from_env();
     println!(
         "TABLE II reproduction — profile '{}' ({} runs per cell, {} jobs)",

@@ -26,6 +26,10 @@ fn best_across_runs(runs: &[RunSummary]) -> Option<BestDesign> {
 }
 
 fn main() {
+    oa_bench::check_args(
+        "table3",
+        "Table III: best behavior-level performance per spec",
+    );
     let profile = Profile::from_env();
     println!(
         "TABLE III reproduction — profile '{}' (best of {} runs, {} jobs)",

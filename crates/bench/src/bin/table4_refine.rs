@@ -85,6 +85,7 @@ fn trusted_sizing(
 }
 
 fn main() {
+    oa_bench::check_args("table4_refine", "Fig. 7 + Table IV: topology refinement");
     let profile = Profile::from_env();
     let spec = Spec::s5();
     println!(

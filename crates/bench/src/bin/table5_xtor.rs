@@ -13,6 +13,7 @@ use oa_sim::AcOptions;
 use oa_xtor::{transistor_performance, XtorOptions};
 
 fn main() {
+    oa_bench::check_args("table5_xtor", "Table V: transistor-level validation");
     let profile = Profile::from_env();
     println!(
         "TABLE V reproduction (transistor-level via gm/Id mapping) — profile '{}'",

@@ -1,16 +1,22 @@
 //! On-disk cache of run summaries, so the table/figure binaries can share
 //! one set of experiment runs instead of re-simulating.
 //!
-//! The format is a plain tab-separated text file under
-//! `results/cache/` — human-inspectable and free of external
-//! serialization dependencies.
+//! Each run renders to a plain tab-separated text record (human-readable,
+//! dependency-free); the records live in one crash-safe [`oa_store`]
+//! append-only log at `results/cache/runs.store`, keyed by
+//! `run/{profile}/{spec}/{method}/{seed}`. The log gives the cache the
+//! same guarantees as the serving layer: an append is fsynced before the
+//! run is reported cached, and a crash mid-append costs at most that one
+//! record on reopen.
 
 use std::collections::BTreeMap;
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 
 use into_oa::Spec;
 use oa_circuit::Topology;
+use oa_store::Store;
 
 use crate::profile::Profile;
 use crate::runner::{BestDesign, Method, RunPoint, RunSummary};
@@ -20,25 +26,55 @@ pub fn results_dir() -> PathBuf {
     PathBuf::from(std::env::var("OA_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned()))
 }
 
-fn cache_path(spec: &Spec, method: Method, seed: u64, profile: &Profile) -> PathBuf {
-    results_dir().join("cache").join(format!(
-        "{}_{}_{}_{}.tsv",
+fn store_path() -> PathBuf {
+    results_dir().join("cache").join("runs.store")
+}
+
+/// One open [`Store`] handle per log path, shared process-wide: the run
+/// matrix executes cells concurrently and the log format assumes a single
+/// writer, so every save/load for a given path funnels through the same
+/// handle. Keyed by path (not a singleton) because tests repoint
+/// `OA_RESULTS_DIR` at scratch directories.
+fn with_store<R>(f: impl FnOnce(&mut Store) -> R) -> Option<R> {
+    static STORES: OnceLock<Mutex<HashMap<PathBuf, Store>>> = OnceLock::new();
+    let path = store_path();
+    let mut stores = STORES
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    if !stores.contains_key(&path) {
+        match Store::open(&path) {
+            Ok(store) => {
+                stores.insert(path.clone(), store);
+            }
+            Err(e) => {
+                eprintln!("warning: cannot open run cache {}: {e}", path.display());
+                return None;
+            }
+        }
+    }
+    Some(f(stores.get_mut(&path).expect("just inserted")))
+}
+
+fn cache_key(spec_name: &str, method: Method, seed: u64, profile: &Profile) -> Vec<u8> {
+    format!(
+        "run/{}/{}/{}/{}",
         profile.name,
-        spec.name,
-        method.label().replace('-', "_"),
+        spec_name,
+        method.label(),
         seed
-    ))
+    )
+    .into_bytes()
 }
 
 /// Saves a run summary; errors are reported to stderr but not fatal (the
 /// cache is an optimization, not a requirement).
 pub fn save(summary: &RunSummary, profile: &Profile, spec: &Spec) {
-    let path = cache_path(spec, summary.method, summary.seed, profile);
-    if let Some(dir) = path.parent() {
-        let _ = fs::create_dir_all(dir);
-    }
-    if let Err(e) = fs::write(&path, render(summary)) {
-        eprintln!("warning: failed to write cache {}: {e}", path.display());
+    let key = cache_key(spec.name, summary.method, summary.seed, profile);
+    let value = render(summary).into_bytes();
+    let outcome = with_store(|store| store.put(&key, &value));
+    if let Some(Err(e)) = outcome {
+        eprintln!("warning: failed to write run cache: {e}");
     }
 }
 
@@ -74,21 +110,19 @@ fn render(summary: &RunSummary) -> String {
             p.cum_sims, p.fom, p.feasible
         ));
     }
-    // Completion sentinel: a file cut off at any point — even on a clean
-    // line boundary, where every surviving record still parses — must
-    // miss rather than resurrect a partial run.
+    // Completion sentinel: defense in depth under the store's checksums —
+    // a value cut off at any point, even on a clean line boundary where
+    // every surviving line still parses, must miss rather than resurrect
+    // a partial run.
     out.push_str("end\n");
     out
 }
 
 /// Loads a cached run summary if present and parseable.
 pub fn load(spec: &Spec, method: Method, seed: u64, profile: &Profile) -> Option<RunSummary> {
-    let path = cache_path(spec, method, seed, profile);
-    parse(&path, method)
-}
-
-fn parse(path: &Path, method: Method) -> Option<RunSummary> {
-    parse_text(&fs::read_to_string(path).ok()?, method)
+    let key = cache_key(spec.name, method, seed, profile);
+    let bytes = with_store(|store| store.get(&key))??;
+    parse_text(std::str::from_utf8(&bytes).ok()?, method)
 }
 
 /// Strict boolean field: anything but the two literals is corruption.
@@ -212,13 +246,41 @@ where
 /// on-disk cache — the parallel equivalent of the serial
 /// `run_cached`-per-cell loop the table/figure binaries used to run.
 /// Degree comes from `OA_JOBS` (default: available parallelism).
+///
+/// Cache *reads* happen inside the fan-out, but *writes* are deferred
+/// and applied in input order afterwards: the store is an append-only
+/// log, and saving from inside the workers would make its byte layout
+/// follow completion order — breaking the `OA_JOBS`-independence of the
+/// result tree (`diff -r` equality) that the perf architecture
+/// guarantees. The cost is that a crash mid-matrix re-runs the whole
+/// matrix instead of resuming from partial cells.
 pub fn run_matrix(
     spec: &Spec,
     methods: &[Method],
     runs: usize,
     profile: &Profile,
 ) -> BTreeMap<Method, Vec<RunSummary>> {
-    run_matrix_with(spec, methods, runs, profile, oa_par::jobs(), run_cached)
+    let cells: Vec<(Method, u64)> = methods
+        .iter()
+        .flat_map(|&m| (0..runs as u64).map(move |s| (m, s)))
+        .collect();
+    let summaries = oa_par::par_map(cells, oa_par::jobs(), |&(method, seed)| {
+        match load(spec, method, seed, profile) {
+            Some(cached) => (cached, true),
+            None => (
+                crate::runner::run_method(spec, method, seed, profile),
+                false,
+            ),
+        }
+    });
+    let mut out: BTreeMap<Method, Vec<RunSummary>> = BTreeMap::new();
+    for (summary, was_cached) in summaries {
+        if !was_cached {
+            save(&summary, profile, spec);
+        }
+        out.entry(summary.method).or_default().push(summary);
+    }
+    out
 }
 
 #[cfg(test)]

@@ -20,11 +20,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod args;
 mod cache;
 mod profile;
 mod report;
 mod runner;
 
+pub use args::check_args;
 pub use cache::{load, results_dir, run_cached, run_matrix, run_matrix_with, save};
 pub use profile::Profile;
 pub use report::{fmt_opt, mean_curve, reference_fom, sim_grid, table2_stats, CellStats};

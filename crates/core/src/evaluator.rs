@@ -5,6 +5,8 @@
 //! parameter space `S_G`, maximizing the FoM subject to the spec's
 //! constraints (10 initial points + 30 iterations in the paper's setup).
 
+use std::sync::Arc;
+
 use oa_bo::{maximize_constrained_anchored, BoConfig, Observation};
 use oa_circuit::{DeviceValues, ParamSpace, Process, Topology, VariableEdge};
 use oa_sim::{evaluate_opamp, AcOptions, OpAmpPerformance};
@@ -79,6 +81,37 @@ impl Evaluator {
     /// The process constants in use.
     pub fn process(&self) -> &Process {
         &self.process
+    }
+
+    /// Wraps this evaluator in a shareable [`EvalHandle`] for concurrent
+    /// serving.
+    pub fn into_handle(self) -> EvalHandle {
+        EvalHandle {
+            inner: Arc::new(self),
+        }
+    }
+
+    /// Simulates a topology at a *normalized* sizing vector `x` (unit
+    /// hypercube, one coordinate per parameter of the topology's
+    /// [`ParamSpace`]) and wraps the measurement in a [`SizedDesign`].
+    ///
+    /// This is the serving layer's `eval` primitive: fully deterministic
+    /// — no RNG is involved anywhere on this path — so equal `(topology,
+    /// x, spec, process)` always measure equal.
+    ///
+    /// # Errors
+    ///
+    /// Decode errors (wrong dimension, non-finite coordinates) and
+    /// simulator errors.
+    pub fn simulate_sized(
+        &self,
+        topology: &Topology,
+        x: &[f64],
+    ) -> Result<SizedDesign, IntoOaError> {
+        let space = ParamSpace::for_topology(topology);
+        let values = space.decode(x)?;
+        let perf = self.simulate(topology, &values)?;
+        Ok(self.design_from(*topology, values, perf))
     }
 
     /// Simulates one sized topology (a single "Hspice run").
@@ -253,6 +286,88 @@ impl Evaluator {
     }
 }
 
+/// A cheaply cloneable, `Send + Sync` handle onto an [`Evaluator`] for
+/// concurrent services.
+///
+/// The handle carries **no mutable state and no RNG**: the spec, process
+/// and AC options are frozen at construction, and all randomness enters
+/// through an explicit per-request `seed` argument. That is the serving
+/// determinism contract (DESIGN.md §7): *same request + same seed →
+/// identical result*, regardless of which thread serves it, in what
+/// order, or how many requests ran in between.
+///
+/// # Examples
+///
+/// ```
+/// use into_oa::{Evaluator, Spec};
+/// use oa_circuit::{ParamSpace, Topology};
+///
+/// let handle = Evaluator::new(Spec::s1()).into_handle();
+/// let t = Topology::bare_cascade();
+/// let x = vec![0.5; ParamSpace::for_topology(&t).dim()];
+/// let a = handle.eval(&t, &x).unwrap();
+/// let b = handle.eval(&t, &x).unwrap();
+/// assert_eq!(a, b); // deterministic
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalHandle {
+    inner: Arc<Evaluator>,
+}
+
+// The handle must stay shareable across service worker threads; breaking
+// this is a compile error here rather than in downstream crates.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EvalHandle>();
+};
+
+impl EvalHandle {
+    /// The underlying evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.inner
+    }
+
+    /// The spec this handle evaluates under.
+    pub fn spec(&self) -> &Spec {
+        self.inner.spec()
+    }
+
+    /// Deterministic single evaluation: simulate `topology` at the
+    /// normalized sizing vector `x`. Seed-free by construction.
+    ///
+    /// # Errors
+    ///
+    /// See [`Evaluator::simulate_sized`].
+    pub fn eval(&self, topology: &Topology, x: &[f64]) -> Result<SizedDesign, IntoOaError> {
+        self.inner.simulate_sized(topology, x)
+    }
+
+    /// Runs the sizing BO for `topology` under this handle's spec with
+    /// an explicit per-request seed and budget. Returns the best design
+    /// (feasible-first) and the number of simulations spent.
+    ///
+    /// The seed is the *request's*: two calls with equal `(topology,
+    /// seed, n_init, n_iter)` return identical designs. Internally the
+    /// seed is still decorrelated per topology (see [`Evaluator::size`]),
+    /// so a client sweeping seed 0 over many topologies does not share
+    /// initialization noise between them.
+    pub fn size_opt(
+        &self,
+        topology: &Topology,
+        seed: u64,
+        n_init: usize,
+        n_iter: usize,
+    ) -> (Option<SizedDesign>, usize) {
+        let config = BoConfig {
+            n_init,
+            n_iter,
+            n_candidates: 100,
+            seed,
+        };
+        self.inner.size(topology, &config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +448,37 @@ mod tests {
         for i in 0..3 {
             assert!((d.values.stage_gm[i] - base.stage_gm[i]).abs() / base.stage_gm[i] < 1e-9);
         }
+    }
+
+    #[test]
+    fn handle_matches_direct_evaluator_calls() {
+        let eval = Evaluator::new(Spec::s1());
+        let handle = eval.clone().into_handle();
+        let t = miller_topology();
+        let space = ParamSpace::for_topology(&t);
+        let x = vec![0.5; space.dim()];
+
+        let direct = eval.simulate_sized(&t, &x).unwrap();
+        let served = handle.eval(&t, &x).unwrap();
+        assert_eq!(direct, served);
+
+        // Explicit-seed sizing equals the same budget through Evaluator::size.
+        let cfg = BoConfig {
+            n_init: 4,
+            n_iter: 4,
+            n_candidates: 100,
+            seed: 9,
+        };
+        let (a, sa) = eval.size(&t, &cfg);
+        let (b, sb) = handle.size_opt(&t, 9, 4, 4);
+        assert_eq!((a, sa), (b, sb));
+    }
+
+    #[test]
+    fn simulate_sized_rejects_wrong_dimension() {
+        let eval = Evaluator::new(Spec::s1());
+        let t = miller_topology();
+        assert!(eval.simulate_sized(&t, &[0.5]).is_err());
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod refine;
 mod spec;
 
 pub use error::IntoOaError;
-pub use evaluator::{Evaluator, SizedDesign};
+pub use evaluator::{EvalHandle, Evaluator, SizedDesign};
 pub use interpret::{
     removal_sensitivity, MetricModels, RemovalSensitivity, StructureImpact, MODELLED_METRICS,
 };

@@ -20,6 +20,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod pool;
+
+pub use pool::{Pool, PoolError};
+
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -52,8 +56,12 @@ fn detected_parallelism() -> usize {
 ///
 /// # Panics
 ///
-/// If `f` panics on any item the panic is propagated to the caller after
-/// the scope joins (workers that already claimed items finish or unwind).
+/// If `f` panics on any item, **every** worker is still joined — the
+/// remaining items keep being claimed and computed by the surviving
+/// workers, the shared cursor never wedges — and then the *first*
+/// panic payload (by worker index) is re-raised on the caller's thread.
+/// No result slot is ever silently dropped: either the full, correctly
+/// ordered `Vec<R>` comes back, or the call panics.
 pub fn par_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -84,13 +92,24 @@ where
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(local) => local,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
+        // Join every worker before propagating anything: a panic in one
+        // worker must not short-circuit the joins (the old code called
+        // `resume_unwind` mid-iteration, leaving later workers to be
+        // reaped by the scope's own unwind path instead of ours).
+        let mut locals = Vec::with_capacity(workers);
+        let mut first_panic = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => locals.push(local),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        locals
     });
     // Merge worker-local results back into input order.
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
@@ -160,6 +179,55 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn panicking_item_does_not_wedge_cursor_or_drop_other_items() {
+        // Regression: a panicking worker used to short-circuit the join
+        // loop. The contract is that every *other* item is still claimed
+        // and computed (the cursor keeps advancing past the panicked
+        // index) and the panic reaches the caller only after all workers
+        // joined.
+        let completed = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(items, 3, |&x| {
+                if x == 11 {
+                    panic!("wedge check");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "wedge check");
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            63,
+            "all non-panicking items must still be computed"
+        );
+    }
+
+    #[test]
+    fn first_panic_wins_when_several_workers_panic() {
+        let items: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(items, 4, |&x| {
+                if x % 2 == 0 {
+                    panic!("even {x}");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        // Some worker's payload comes through intact (formatted panics
+        // downcast to String).
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.starts_with("even "), "unexpected payload {msg:?}");
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! `oa-cli` — command-line client for `oa-serve`.
+//!
+//! Submits jobs (single requests, or a newline-delimited JSON file,
+//! pipelined over one connection) and prints results as TSV.
+
+use std::io::Read;
+use std::process::exit;
+
+use oa_serve::{request, Client, Json};
+
+const USAGE: &str = "\
+oa-cli — client for the oa-serve evaluation daemon
+
+USAGE:
+    oa-cli [--addr HOST:PORT] <COMMAND>
+
+COMMANDS:
+    eval --spec S-N --topology CODE --x V1,V2,...   One evaluation, printed as TSV
+    batch FILE                                      Pipeline request lines from FILE
+                                                    ('-' reads stdin); prints TSV rows
+                                                    sorted by request id
+    batch --raw FILE                                Same, but print raw response lines
+                                                    (sorted) instead of TSV
+    stats                                           Print the server's stats JSON
+
+OPTIONS:
+    --addr HOST:PORT   Server address (default 127.0.0.1:7878)
+    -h, --help         Print this help
+
+TSV COLUMNS:
+    id  ok  topology  gain_db  gbw_hz  pm_deg  power_w  fom  feasible  error
+    (floats use the {:.17e} convention; batch responses containing an
+    eval_batch result expand to one row per item, id suffixed /index)
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}\n\n{USAGE}");
+    exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let mut addr = "127.0.0.1:7878".to_owned();
+    if let Some(i) = args.iter().position(|a| a == "--addr") {
+        if i + 1 >= args.len() {
+            fail("--addr needs a value");
+        }
+        addr = args.remove(i + 1);
+        args.remove(i);
+    }
+    let Some(command) = args.first().cloned() else {
+        fail("missing command");
+    };
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            exit(1);
+        }
+    };
+
+    let outcome = match command.as_str() {
+        "eval" => cmd_eval(&mut client, &args[1..]),
+        "batch" => cmd_batch(&mut client, &args[1..]),
+        "stats" => cmd_stats(&mut client),
+        other => fail(&format!("unknown command '{other}'")),
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_eval(client: &mut Client, args: &[String]) -> Result<(), String> {
+    let spec = flag_value(args, "--spec").unwrap_or("S-1");
+    let topology: usize = flag_value(args, "--topology")
+        .ok_or("missing --topology")?
+        .parse()
+        .map_err(|_| "--topology needs an integer".to_owned())?;
+    let x: Vec<f64> = flag_value(args, "--x")
+        .ok_or("missing --x")?
+        .split(',')
+        .map(|v| v.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| "--x needs comma-separated numbers".to_owned())?;
+    let line = request::eval(0, spec, topology, &x);
+    let response = client.request(&line).map_err(|e| e.to_string())?;
+    println!("{}", tsv_header());
+    for row in tsv_rows(&response) {
+        println!("{row}");
+    }
+    Ok(())
+}
+
+fn cmd_batch(client: &mut Client, args: &[String]) -> Result<(), String> {
+    let raw = args.first().map(String::as_str) == Some("--raw");
+    let file = args
+        .get(usize::from(raw))
+        .ok_or("missing request file (or '-')")?;
+    let text = if file == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
+        buf
+    } else {
+        std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?
+    };
+    let lines: Vec<String> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_owned)
+        .collect();
+    let mut responses = client.pipeline(&lines).map_err(|e| e.to_string())?;
+    // Arrival order is nondeterministic under concurrency; sort by the
+    // echoed id (falling back to the raw line) for stable output.
+    responses.sort_by_key(|r| {
+        Json::parse(r)
+            .ok()
+            .and_then(|v| v.get("id").and_then(Json::as_u64))
+            .map_or_else(|| (u64::MAX, r.clone()), |id| (id, String::new()))
+    });
+    if raw {
+        for r in &responses {
+            println!("{r}");
+        }
+    } else {
+        println!("{}", tsv_header());
+        for r in &responses {
+            for row in tsv_rows(r) {
+                println!("{row}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(client: &mut Client) -> Result<(), String> {
+    let response = client
+        .request(&request::stats(0))
+        .map_err(|e| e.to_string())?;
+    println!("{response}");
+    Ok(())
+}
+
+fn tsv_header() -> &'static str {
+    "id\tok\ttopology\tgain_db\tgbw_hz\tpm_deg\tpower_w\tfom\tfeasible\terror"
+}
+
+fn num_cell(obj: &Json, key: &str) -> String {
+    match obj.get(key).and_then(Json::as_f64) {
+        Some(v) if v.fract() == 0.0 && key == "topology" => format!("{v:.0}"),
+        Some(v) => format!("{v:.17e}"),
+        None => "-".to_owned(),
+    }
+}
+
+fn result_row(id: &str, ok: bool, obj: &Json) -> String {
+    let error = obj
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("-")
+        .replace(['\t', '\n'], " ");
+    format!(
+        "{id}\t{ok}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{error}",
+        num_cell(obj, "topology"),
+        num_cell(obj, "gain_db"),
+        num_cell(obj, "gbw_hz"),
+        num_cell(obj, "pm_deg"),
+        num_cell(obj, "power_w"),
+        num_cell(obj, "fom"),
+        obj.get("feasible")
+            .and_then(Json::as_bool)
+            .map_or_else(|| "-".to_owned(), |b| b.to_string()),
+    )
+}
+
+/// Expands one response line into TSV rows (one per eval result;
+/// eval_batch items become `id/index` rows).
+fn tsv_rows(response: &str) -> Vec<String> {
+    let Ok(parsed) = Json::parse(response) else {
+        return vec![format!(
+            "-\tfalse\t-\t-\t-\t-\t-\t-\t-\tunparseable response"
+        )];
+    };
+    let id = parsed
+        .get("id")
+        .map(|v| v.encode().unwrap_or_else(|_| "null".into()))
+        .unwrap_or_else(|| "null".into());
+    let ok = parsed.get("ok").and_then(Json::as_bool).unwrap_or(false);
+    if !ok {
+        return vec![result_row(&id, false, &parsed)];
+    }
+    let Some(result) = parsed.get("result") else {
+        return vec![result_row(&id, ok, &parsed)];
+    };
+    if let Some(items) = result.get("items").and_then(Json::as_arr) {
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| result_row(&format!("{id}/{i}"), item.get("error").is_none(), item))
+            .collect()
+    } else {
+        vec![result_row(&id, ok, result)]
+    }
+}

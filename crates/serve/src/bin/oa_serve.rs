@@ -1,0 +1,91 @@
+//! `oa-serve` — the evaluation daemon.
+//!
+//! Binds a TCP port, serves `eval`/`eval_batch`/`size_opt`/`stats` over
+//! newline-delimited JSON, and persists every result in the crash-safe
+//! store so identical requests are never re-simulated, even across
+//! restarts.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use oa_serve::{serve, ServerConfig};
+
+const USAGE: &str = "\
+oa-serve — concurrent evaluation service for the INTO-OA design space
+
+USAGE:
+    oa-serve [--addr HOST:PORT] [--workers N] [--queue N] [--store PATH]
+
+OPTIONS:
+    --addr HOST:PORT   Bind address (default 127.0.0.1:7878; port 0 picks a free port)
+    --workers N        Evaluation worker threads (default: OA_JOBS or detected cores)
+    --queue N          Bounded request-queue capacity (default 256)
+    --store PATH       Result-store log file
+                       (default: $OA_STORE_DIR/results.log or results/store/results.log)
+    -h, --help         Print this help
+
+PROTOCOL:
+    One JSON object per line; responses echo the request \"id\" and may
+    arrive out of order (pipelining). See DESIGN.md §7.
+
+ENVIRONMENT:
+    OA_STORE_DIR       Store directory when --store is not given
+    OA_JOBS            Default worker count
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}\n\n{USAGE}");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig::loopback();
+    config.addr = "127.0.0.1:7878".to_owned();
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            print!("{USAGE}");
+            return;
+        }
+        let Some(value) = args.get(i + 1) else {
+            fail(&format!("flag '{flag}' needs a value"));
+        };
+        match flag {
+            "--addr" => config.addr = value.clone(),
+            "--workers" => match value.parse::<usize>() {
+                Ok(n) if n >= 1 => config.workers = n,
+                _ => fail("--workers needs a positive integer"),
+            },
+            "--queue" => match value.parse::<usize>() {
+                Ok(n) if n >= 1 => config.queue = n,
+                _ => fail("--queue needs a positive integer"),
+            },
+            "--store" => config.store_path = PathBuf::from(value),
+            other => fail(&format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+
+    let workers = config.workers;
+    let store = config.store_path.clone();
+    match serve(config) {
+        Ok(server) => {
+            // Exact line format is load-bearing: scripts scrape the
+            // address (port 0 resolves here).
+            println!("oa-serve listening on {}", server.addr());
+            println!(
+                "  workers: {workers}, store: {} ({} records)",
+                store.display(),
+                server.service().store_len()
+            );
+            server.join();
+        }
+        Err(e) => {
+            eprintln!("error: failed to start: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! A small synchronous client for the wire protocol, used by `oa-cli`
+//! and the integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::json::Json;
+
+/// A connected client. One TCP connection; requests may be pipelined
+/// (the server replies as jobs finish, tagged by `id`).
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running `oa-serve`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one request line (newline appended).
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Reads one response line (newline stripped).
+    ///
+    /// # Errors
+    ///
+    /// Socket read failures; `UnexpectedEof` on server disconnect.
+    pub fn recv_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// One request, one response.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.send_line(line)?;
+        self.recv_line()
+    }
+
+    /// Pipelines every request line, then collects exactly as many
+    /// responses, **in arrival order** (match them up by `id`).
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn pipeline(&mut self, lines: &[String]) -> std::io::Result<Vec<String>> {
+        for line in lines {
+            self.send_line(line)?;
+        }
+        (0..lines.len()).map(|_| self.recv_line()).collect()
+    }
+}
+
+/// Request-line builders (canonical field order, canonical floats) —
+/// clients that build requests with these get maximal store reuse, since
+/// equal requests are equal bytes.
+pub mod request {
+    use super::Json;
+
+    /// An `eval` request.
+    pub fn eval(id: u64, spec: &str, topology: usize, x: &[f64]) -> String {
+        Json::Obj(vec![
+            ("id".into(), Json::num(id as f64)),
+            ("op".into(), Json::str("eval")),
+            ("spec".into(), Json::str(spec)),
+            ("topology".into(), Json::num(topology as f64)),
+            (
+                "x".into(),
+                Json::Arr(x.iter().map(|&v| Json::num(v)).collect()),
+            ),
+        ])
+        .encode()
+        .expect("finite request")
+    }
+
+    /// An `eval_batch` request over `(topology, x)` items.
+    pub fn eval_batch(id: u64, spec: &str, items: &[(usize, Vec<f64>)]) -> String {
+        Json::Obj(vec![
+            ("id".into(), Json::num(id as f64)),
+            ("op".into(), Json::str("eval_batch")),
+            ("spec".into(), Json::str(spec)),
+            (
+                "items".into(),
+                Json::Arr(
+                    items
+                        .iter()
+                        .map(|(t, x)| {
+                            Json::Obj(vec![
+                                ("topology".into(), Json::num(*t as f64)),
+                                (
+                                    "x".into(),
+                                    Json::Arr(x.iter().map(|&v| Json::num(v)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .encode()
+        .expect("finite request")
+    }
+
+    /// A `size_opt` request.
+    pub fn size_opt(
+        id: u64,
+        spec: &str,
+        topology: usize,
+        seed: u64,
+        n_init: usize,
+        n_iter: usize,
+    ) -> String {
+        Json::Obj(vec![
+            ("id".into(), Json::num(id as f64)),
+            ("op".into(), Json::str("size_opt")),
+            ("spec".into(), Json::str(spec)),
+            ("topology".into(), Json::num(topology as f64)),
+            ("seed".into(), Json::num(seed as f64)),
+            ("n_init".into(), Json::num(n_init as f64)),
+            ("n_iter".into(), Json::num(n_iter as f64)),
+        ])
+        .encode()
+        .expect("finite request")
+    }
+
+    /// A `stats` request.
+    pub fn stats(id: u64) -> String {
+        Json::Obj(vec![
+            ("id".into(), Json::num(id as f64)),
+            ("op".into(), Json::str("stats")),
+        ])
+        .encode()
+        .expect("finite request")
+    }
+}

@@ -1,0 +1,49 @@
+//! **oa-serve** — a concurrent evaluation service for the INTO-OA
+//! design space.
+//!
+//! The ROADMAP's north star is serving heavy traffic; this crate is the
+//! serving layer. It exposes the 30 625-topology op-amp space behind a
+//! uniform network API (in the spirit of circuit-benchmark suites like
+//! CktGNN's OCB) so many optimizers can hit one evaluator concurrently
+//! and share one persistent result store:
+//!
+//! * **Wire protocol** — newline-delimited JSON over TCP ([`json`] is
+//!   hand-rolled and property-tested; the crate is std-only). Requests
+//!   carry an `id` echoed in the response, so clients pipeline; see
+//!   DESIGN.md §7 for the schema.
+//! * **Endpoints** — `eval` (simulate one sized topology), `eval_batch`,
+//!   `size_opt` (sizing BO under an explicit per-request seed), `stats`.
+//! * **Concurrency** — requests flow through a bounded queue into an
+//!   [`oa_par::Pool`]; overload becomes TCP backpressure.
+//! * **Persistence** — results are served from [`oa_store`] when the
+//!   evaluation key matches; only misses simulate. Same request + same
+//!   seed → byte-identical response, across restarts.
+//!
+//! Binaries: `oa-serve` (daemon) and `oa-cli` (submit request files,
+//! print TSV). In-process use:
+//!
+//! ```no_run
+//! use oa_serve::{serve, Client, ServerConfig};
+//!
+//! let server = serve(ServerConfig::loopback()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let line = oa_serve::request::eval(1, "S-1", 0, &[0.5; 4]);
+//! let response = client.request(&line).unwrap();
+//! println!("{response}");
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+pub mod json;
+mod server;
+mod service;
+
+pub use client::{request, Client};
+pub use json::{Json, JsonError};
+pub use server::{default_store_dir, serve, Server, ServerConfig};
+pub use service::{
+    eval_result_json, process_fingerprint, size_opt_result_json, wl_fingerprint, Service,
+};

@@ -1,0 +1,252 @@
+//! The TCP front end: newline-delimited JSON over a bounded worker pool.
+//!
+//! One acceptor thread, one reader thread per connection, and a shared
+//! [`oa_par::Pool`] that runs every request. The reader blocks in
+//! [`oa_par::Pool::submit`] when the queue is full, so overload turns
+//! into TCP backpressure instead of unbounded memory. Responses are
+//! written as each job finishes — **possibly out of request order** —
+//! and carry the request `id`, so clients can pipeline freely.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use oa_par::Pool;
+use oa_store::Store;
+
+use crate::service::Service;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads evaluating requests.
+    pub workers: usize,
+    /// Bounded job-queue capacity (requests decoded but not yet
+    /// evaluating; beyond this, readers block → TCP backpressure).
+    pub queue: usize,
+    /// Path of the persistent result-store log.
+    pub store_path: PathBuf,
+}
+
+impl ServerConfig {
+    /// Loopback defaults: free port, `oa_par::jobs()` workers, queue of
+    /// 256, store under `OA_STORE_DIR` (default `results/store`).
+    pub fn loopback() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: oa_par::jobs(),
+            queue: 256,
+            store_path: default_store_dir().join("results.log"),
+        }
+    }
+}
+
+/// The store directory from `OA_STORE_DIR`, defaulting to
+/// `results/store`.
+pub fn default_store_dir() -> PathBuf {
+    PathBuf::from(std::env::var("OA_STORE_DIR").unwrap_or_else(|_| "results/store".to_owned()))
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops
+/// accepting, drains queued jobs and joins the workers; connection
+/// readers exit when their clients disconnect.
+pub struct Server {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (tests use this to read counters in-process).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Stops accepting and joins the acceptor thread.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    /// Blocks until the acceptor exits (daemon mode: forever).
+    pub fn join(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// Opens the store, binds the listener and starts serving.
+///
+/// # Errors
+///
+/// Store-open or bind failures.
+pub fn serve(config: ServerConfig) -> std::io::Result<Server> {
+    let store = Store::open(&config.store_path)?;
+    let service = Arc::new(Service::new(store));
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let pool = Arc::new(Pool::new(config.workers, config.queue));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let acceptor = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("oa-serve-acceptor".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let service = Arc::clone(&service);
+                    let pool = Arc::clone(&pool);
+                    let _ = std::thread::Builder::new()
+                        .name("oa-serve-conn".to_owned())
+                        .spawn(move || connection_loop(stream, &service, &pool));
+                }
+                // `pool` drops with the acceptor once all connection
+                // threads have released their clones, joining workers.
+            })?
+    };
+
+    Ok(Server {
+        addr,
+        service,
+        stop,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn connection_loop(stream: TcpStream, service: &Arc<Service>, pool: &Arc<Pool>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let service = Arc::clone(service);
+        let writer = Arc::clone(&writer);
+        let submitted = pool.submit(move || {
+            let mut response = service.handle_line(&line);
+            response.push('\n');
+            let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
+            // One locked write per response keeps frames whole even when
+            // jobs for the same connection finish on different workers.
+            let _ = w.write_all(response.as_bytes());
+        });
+        if submitted.is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::json::Json;
+    use oa_circuit::{ParamSpace, Topology};
+
+    fn temp_config(tag: &str) -> (ServerConfig, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "oa_serve_tcp_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue: 8,
+            store_path: dir.join("results.log"),
+        };
+        (config, dir)
+    }
+
+    #[test]
+    fn pipelined_requests_come_back_with_matching_ids() {
+        let (config, dir) = temp_config("pipeline");
+        let server = serve(config).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        let t = Topology::bare_cascade();
+        let dim = ParamSpace::for_topology(&t).dim();
+        let lines: Vec<String> = (0..20)
+            .map(|i| {
+                let x: Vec<String> = (0..dim)
+                    .map(|d| format!("{:.17e}", 0.3 + 0.02 * ((i + d) % 10) as f64))
+                    .collect();
+                format!(
+                    "{{\"id\":{i},\"op\":\"eval\",\"spec\":\"S-1\",\"topology\":{},\"x\":[{}]}}",
+                    t.index(),
+                    x.join(",")
+                )
+            })
+            .collect();
+        let responses = client.pipeline(&lines).unwrap();
+        assert_eq!(responses.len(), 20);
+        let mut seen: Vec<u64> = responses
+            .iter()
+            .map(|r| {
+                let v = Json::parse(r).unwrap();
+                assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{r}");
+                v.get("id").unwrap().as_u64().unwrap()
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<u64>>());
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multiple_connections_share_one_store() {
+        let (config, dir) = temp_config("multi");
+        let server = serve(config).unwrap();
+        let t = Topology::bare_cascade();
+        let dim = ParamSpace::for_topology(&t).dim();
+        let line = format!(
+            "{{\"id\":1,\"op\":\"eval\",\"spec\":\"S-3\",\"topology\":{},\"x\":[{}]}}",
+            t.index(),
+            vec!["0.5"; dim].join(",")
+        );
+        let mut a = Client::connect(server.addr()).unwrap();
+        let mut b = Client::connect(server.addr()).unwrap();
+        let ra = a.request(&line).unwrap();
+        let rb = b.request(&line).unwrap();
+        assert_eq!(ra, rb, "second connection must be served from the store");
+        assert_eq!(server.service().sims(), 1);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,605 @@
+//! Protocol semantics: request decoding, store-backed evaluation,
+//! statistics.
+//!
+//! [`Service`] is transport-agnostic — [`Service::handle_line`] maps one
+//! request line to one response line, and the TCP layer in
+//! [`crate::server`] only shuttles lines. That makes the whole protocol
+//! testable in-process, and is what the integration tests use to prove
+//! the server byte-matches direct evaluator calls.
+//!
+//! ## Determinism contract
+//!
+//! For `eval`, `eval_batch` and `size_opt`, the response `result` is a
+//! pure function of `(request, store contents)`, and the store only ever
+//! holds values that the same pure computation produced — so *same
+//! request + same seed → byte-identical `result`*, whether it was
+//! simulated or served from the store, before or after a daemon restart.
+//! Responses deliberately carry no cached/latency markers; cache
+//! behavior is observable through `stats` only.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use into_oa::{EvalHandle, Evaluator, SizedDesign, Spec};
+use oa_circuit::Topology;
+use oa_graph::WlFeaturizer;
+use oa_store::{hash_f64s, EvalKey, EvalKind, Store};
+
+use crate::json::Json;
+
+/// WL refinement depth used for response fingerprints.
+const WL_FINGERPRINT_H: usize = 2;
+
+/// Default sizing-BO budget for `size_opt` (the paper's setup).
+const DEFAULT_SIZE_OPT_INIT: usize = 10;
+/// Default sizing-BO iterations for `size_opt`.
+const DEFAULT_SIZE_OPT_ITER: usize = 30;
+
+/// Fingerprint of the process constants and AC options baked into an
+/// evaluator — part of every [`EvalKey`], so results measured under
+/// different processes can never alias in the store.
+pub fn process_fingerprint(evaluator: &Evaluator) -> u64 {
+    let p = evaluator.process();
+    hash_f64s([
+        p.vdd,
+        p.gm_over_id,
+        p.intrinsic_gain,
+        p.parasitic_tau,
+        p.co_floor,
+        p.gm_ft_hz,
+        p.gmin,
+    ])
+}
+
+/// Deterministic WL fingerprint of a topology: the self-kernel of its
+/// depth-`2` WL features, mixed with the canonical code. Computing it
+/// through a shared [`WlFeaturizer`] exercises the feature memoization,
+/// whose hit/miss counters the `stats` endpoint reports.
+pub fn wl_fingerprint(wl: &mut WlFeaturizer, topology: &Topology) -> u64 {
+    let features = wl.featurize_topology(topology, WL_FINGERPRINT_H);
+    let self_kernel = features.kernel(&features, WL_FINGERPRINT_H);
+    hash_f64s([self_kernel, topology.index() as f64])
+}
+
+/// Renders an eval result object — the exact bytes stored and served.
+/// Public so tests can state the byte-identity acceptance criterion
+/// against direct [`Evaluator`] calls.
+pub fn eval_result_json(design: &SizedDesign, wl_fingerprint: u64) -> String {
+    Json::Obj(vec![
+        ("topology".into(), Json::num(design.topology.index() as f64)),
+        ("gain_db".into(), Json::num(design.performance.gain_db)),
+        ("gbw_hz".into(), Json::num(design.performance.gbw_hz)),
+        ("pm_deg".into(), Json::num(design.performance.pm_deg)),
+        ("power_w".into(), Json::num(design.performance.power_w)),
+        ("fom".into(), Json::num(design.fom)),
+        ("feasible".into(), Json::Bool(design.feasible)),
+        ("wl".into(), Json::str(format!("{wl_fingerprint:016x}"))),
+    ])
+    .encode()
+    .expect("measured performance is finite")
+}
+
+/// Renders a size_opt result object.
+pub fn size_opt_result_json(design: &Option<SizedDesign>, sims: usize, x: &[f64]) -> String {
+    let mut fields = vec![
+        ("found".into(), Json::Bool(design.is_some())),
+        ("sims".into(), Json::num(sims as f64)),
+    ];
+    if let Some(d) = design {
+        fields.push((
+            "x".into(),
+            Json::Arr(x.iter().map(|&v| Json::num(v)).collect()),
+        ));
+        fields.push(("topology".into(), Json::num(d.topology.index() as f64)));
+        fields.push(("gain_db".into(), Json::num(d.performance.gain_db)));
+        fields.push(("gbw_hz".into(), Json::num(d.performance.gbw_hz)));
+        fields.push(("pm_deg".into(), Json::num(d.performance.pm_deg)));
+        fields.push(("power_w".into(), Json::num(d.performance.power_w)));
+        fields.push(("fom".into(), Json::num(d.fom)));
+        fields.push(("feasible".into(), Json::Bool(d.feasible)));
+    }
+    Json::Obj(fields)
+        .encode()
+        .expect("measured performance is finite")
+}
+
+#[derive(Debug, Default)]
+struct EndpointCounters {
+    count: AtomicU64,
+    errors: AtomicU64,
+    micros: AtomicU64,
+}
+
+impl EndpointCounters {
+    fn record(&self, started: Instant, ok: bool) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.micros
+            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+    }
+
+    fn json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "count".into(),
+                Json::num(self.count.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "errors".into(),
+                Json::num(self.errors.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "micros".into(),
+                Json::num(self.micros.load(Ordering::Relaxed) as f64),
+            ),
+        ])
+    }
+}
+
+/// The evaluation service: one [`EvalHandle`] per spec, a persistent
+/// [`Store`], a shared WL featurizer, and traffic counters. Shared
+/// across worker threads behind an `Arc`.
+pub struct Service {
+    handles: Vec<EvalHandle>,
+    store: Mutex<Store>,
+    wl: Mutex<WlFeaturizer>,
+    process_hash: u64,
+    sims: AtomicU64,
+    eval_counters: EndpointCounters,
+    batch_counters: EndpointCounters,
+    size_opt_counters: EndpointCounters,
+    stats_counters: EndpointCounters,
+}
+
+impl Service {
+    /// Builds a service over an open store, with evaluators for every
+    /// spec in Table I.
+    pub fn new(store: Store) -> Service {
+        let handles: Vec<EvalHandle> = Spec::all()
+            .into_iter()
+            .map(|spec| Evaluator::new(spec).into_handle())
+            .collect();
+        let process_hash = process_fingerprint(handles[0].evaluator());
+        Service {
+            handles,
+            store: Mutex::new(store),
+            wl: Mutex::new(WlFeaturizer::new()),
+            process_hash,
+            sims: AtomicU64::new(0),
+            eval_counters: EndpointCounters::default(),
+            batch_counters: EndpointCounters::default(),
+            size_opt_counters: EndpointCounters::default(),
+            stats_counters: EndpointCounters::default(),
+        }
+    }
+
+    /// Simulations actually run (store misses) since startup.
+    pub fn sims(&self) -> u64 {
+        self.sims.load(Ordering::Relaxed)
+    }
+
+    /// Live records currently in the store.
+    pub fn store_len(&self) -> usize {
+        let store = self.store.lock().unwrap_or_else(|p| p.into_inner());
+        store.len()
+    }
+
+    /// Maps one request line to one response line (no trailing newline).
+    /// Never panics on malformed input — every failure becomes an
+    /// `"ok":false` response carrying the request id when one was
+    /// readable.
+    pub fn handle_line(&self, line: &str) -> String {
+        let request = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return error_response(&Json::Null, &format!("bad request JSON: {e}")),
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        let started = Instant::now();
+        let (outcome, counters) = match request.get("op").and_then(Json::as_str) {
+            Some("eval") => (self.op_eval(&request), &self.eval_counters),
+            Some("eval_batch") => (self.op_eval_batch(&request), &self.batch_counters),
+            Some("size_opt") => (self.op_size_opt(&request), &self.size_opt_counters),
+            Some("stats") => (Ok(self.op_stats()), &self.stats_counters),
+            Some(other) => (
+                Err(format!(
+                    "unknown op '{other}' (expected eval, eval_batch, size_opt or stats)"
+                )),
+                &self.eval_counters,
+            ),
+            None => (
+                Err("missing string field 'op'".to_owned()),
+                &self.eval_counters,
+            ),
+        };
+        counters.record(started, outcome.is_ok());
+        match outcome {
+            Ok(result) => {
+                let id_txt = id.encode().unwrap_or_else(|_| "null".to_owned());
+                format!("{{\"id\":{id_txt},\"ok\":true,\"result\":{result}}}")
+            }
+            Err(message) => error_response(&id, &message),
+        }
+    }
+
+    fn handle_for(&self, request: &Json) -> Result<&EvalHandle, String> {
+        let name = request
+            .get("spec")
+            .and_then(Json::as_str)
+            .ok_or("missing string field 'spec'")?;
+        self.handles
+            .iter()
+            .find(|h| h.spec().name == name)
+            .ok_or_else(|| format!("unknown spec '{name}' (expected S-1..S-5)"))
+    }
+
+    fn topology_from(value: Option<&Json>) -> Result<Topology, String> {
+        let code = value
+            .and_then(Json::as_u64)
+            .ok_or("missing integer field 'topology'")?;
+        Topology::from_index(code as usize).map_err(|e| format!("bad topology code {code}: {e}"))
+    }
+
+    fn x_from(value: Option<&Json>) -> Result<Vec<f64>, String> {
+        let arr = value
+            .and_then(Json::as_arr)
+            .ok_or("missing array field 'x'")?;
+        arr.iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| "non-numeric entry in 'x'".to_owned())
+            })
+            .collect()
+    }
+
+    /// Store-through single evaluation; shared by `eval` and
+    /// `eval_batch`. Returns the result JSON text.
+    fn eval_via_store(
+        &self,
+        handle: &EvalHandle,
+        topology: &Topology,
+        x: &[f64],
+    ) -> Result<String, String> {
+        let key = EvalKey {
+            kind: EvalKind::Eval,
+            topology_code: topology.index() as u64,
+            x_bits: x.iter().map(|v| v.to_bits()).collect(),
+            spec_id: handle.spec().name.to_owned(),
+            process_hash: self.process_hash,
+            seed: 0,
+        }
+        .encode();
+        if let Some(bytes) = self.store_get(&key) {
+            return String::from_utf8(bytes).map_err(|_| "corrupt store value".to_owned());
+        }
+        let design = handle.eval(topology, x).map_err(|e| e.to_string())?;
+        self.sims.fetch_add(1, Ordering::Relaxed);
+        let fingerprint = {
+            let mut wl = self.wl.lock().unwrap_or_else(|p| p.into_inner());
+            wl_fingerprint(&mut wl, topology)
+        };
+        let result = eval_result_json(&design, fingerprint);
+        self.store_put(&key, result.as_bytes());
+        Ok(result)
+    }
+
+    fn op_eval(&self, request: &Json) -> Result<String, String> {
+        let handle = self.handle_for(request)?;
+        let topology = Self::topology_from(request.get("topology"))?;
+        let x = Self::x_from(request.get("x"))?;
+        self.eval_via_store(handle, &topology, &x)
+    }
+
+    fn op_eval_batch(&self, request: &Json) -> Result<String, String> {
+        let handle = self.handle_for(request)?;
+        let items = request
+            .get("items")
+            .and_then(Json::as_arr)
+            .ok_or("missing array field 'items'")?;
+        let mut parts = Vec::with_capacity(items.len());
+        for item in items {
+            let part = Self::topology_from(item.get("topology"))
+                .and_then(|t| Self::x_from(item.get("x")).map(|x| (t, x)))
+                .and_then(|(t, x)| self.eval_via_store(handle, &t, &x));
+            match part {
+                Ok(result) => parts.push(result),
+                // Per-item failures stay inside the batch, keyed like a
+                // top-level error, so one bad item cannot void the rest.
+                Err(message) => parts.push(format!(
+                    "{{\"error\":{}}}",
+                    Json::str(message).encode().expect("strings encode")
+                )),
+            }
+        }
+        Ok(format!(
+            "{{\"n\":{},\"items\":[{}]}}",
+            parts.len(),
+            parts.join(",")
+        ))
+    }
+
+    fn op_size_opt(&self, request: &Json) -> Result<String, String> {
+        let handle = self.handle_for(request)?;
+        let topology = Self::topology_from(request.get("topology"))?;
+        let seed = request.get("seed").and_then(Json::as_u64).unwrap_or(0);
+        let n_init = request
+            .get("n_init")
+            .and_then(Json::as_u64)
+            .unwrap_or(DEFAULT_SIZE_OPT_INIT as u64) as usize;
+        let n_iter = request
+            .get("n_iter")
+            .and_then(Json::as_u64)
+            .unwrap_or(DEFAULT_SIZE_OPT_ITER as u64) as usize;
+        let key = EvalKey {
+            kind: EvalKind::SizeOpt,
+            topology_code: topology.index() as u64,
+            x_bits: vec![n_init as u64, n_iter as u64],
+            spec_id: handle.spec().name.to_owned(),
+            process_hash: self.process_hash,
+            seed,
+        }
+        .encode();
+        if let Some(bytes) = self.store_get(&key) {
+            return String::from_utf8(bytes).map_err(|_| "corrupt store value".to_owned());
+        }
+        let (design, sims) = handle.size_opt(&topology, seed, n_init, n_iter);
+        self.sims.fetch_add(sims as u64, Ordering::Relaxed);
+        let x = design
+            .as_ref()
+            .map(|d| oa_circuit::ParamSpace::for_topology(&d.topology).encode(&d.values))
+            .unwrap_or_default();
+        let result = size_opt_result_json(&design, sims, &x);
+        self.store_put(&key, result.as_bytes());
+        Ok(result)
+    }
+
+    fn op_stats(&self) -> String {
+        let store = {
+            let store = self.store.lock().unwrap_or_else(|p| p.into_inner());
+            store.stats()
+        };
+        let wl = {
+            let wl = self.wl.lock().unwrap_or_else(|p| p.into_inner());
+            wl.cache_stats()
+        };
+        Json::Obj(vec![
+            (
+                "store".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::num(store.hits as f64)),
+                    ("misses".into(), Json::num(store.misses as f64)),
+                    ("live_records".into(), Json::num(store.live_records as f64)),
+                    (
+                        "appended_records".into(),
+                        Json::num(store.appended_records as f64),
+                    ),
+                    ("log_bytes".into(), Json::num(store.log_bytes as f64)),
+                    (
+                        "recovered_tail_bytes".into(),
+                        Json::num(store.recovered_tail_bytes as f64),
+                    ),
+                ]),
+            ),
+            (
+                "wl".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::num(wl.hits as f64)),
+                    ("misses".into(), Json::num(wl.misses as f64)),
+                ]),
+            ),
+            ("sims".into(), Json::num(self.sims() as f64)),
+            (
+                "endpoints".into(),
+                Json::Obj(vec![
+                    ("eval".into(), self.eval_counters.json()),
+                    ("eval_batch".into(), self.batch_counters.json()),
+                    ("size_opt".into(), self.size_opt_counters.json()),
+                    ("stats".into(), self.stats_counters.json()),
+                ]),
+            ),
+        ])
+        .encode()
+        .expect("counters are finite")
+    }
+
+    fn store_get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let store = self.store.lock().unwrap_or_else(|p| p.into_inner());
+        store.get(key)
+    }
+
+    fn store_put(&self, key: &[u8], value: &[u8]) {
+        // The lock covers only the append, never a simulation. Two
+        // concurrent misses on the same key both simulate and both
+        // append; the records are byte-identical, so last-write-wins is
+        // harmless and responses stay deterministic.
+        let mut store = self.store.lock().unwrap_or_else(|p| p.into_inner());
+        if let Err(e) = store.put(key, value) {
+            // The store is an optimization; serving continues without it.
+            eprintln!("oa-serve: store append failed: {e}");
+        }
+    }
+}
+
+fn error_response(id: &Json, message: &str) -> String {
+    let id_txt = id.encode().unwrap_or_else(|_| "null".to_owned());
+    let msg = Json::str(message).encode().expect("strings encode");
+    format!("{{\"id\":{id_txt},\"ok\":false,\"error\":{msg}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_circuit::ParamSpace;
+    use std::path::PathBuf;
+
+    fn temp_store(tag: &str) -> (Service, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "oa_serve_svc_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("results.log");
+        (Service::new(Store::open(&path).unwrap()), dir)
+    }
+
+    fn eval_line(id: u64, topology: usize, x: &[f64]) -> String {
+        let xs: Vec<String> = x.iter().map(|v| format!("{v:.17e}")).collect();
+        format!(
+            "{{\"id\":{id},\"op\":\"eval\",\"spec\":\"S-1\",\"topology\":{topology},\"x\":[{}]}}",
+            xs.join(",")
+        )
+    }
+
+    #[test]
+    fn eval_matches_direct_evaluator_and_hits_store_on_repeat() {
+        let (service, dir) = temp_store("eval");
+        let t = Topology::bare_cascade();
+        let x = vec![0.5; ParamSpace::for_topology(&t).dim()];
+
+        let first = service.handle_line(&eval_line(1, t.index(), &x));
+        assert_eq!(service.sims(), 1);
+        let second = service.handle_line(&eval_line(1, t.index(), &x));
+        assert_eq!(
+            second, first,
+            "store-served response must be byte-identical"
+        );
+        assert_eq!(service.sims(), 1, "repeat must not simulate");
+
+        // The measured numbers equal a direct in-process evaluation.
+        let direct = Evaluator::new(Spec::s1()).simulate_sized(&t, &x).unwrap();
+        let parsed = Json::parse(&first).unwrap();
+        let result = parsed.get("result").unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            result.get("gain_db").unwrap().as_f64().unwrap().to_bits(),
+            direct.performance.gain_db.to_bits()
+        );
+        assert_eq!(
+            result.get("fom").unwrap().as_f64().unwrap().to_bits(),
+            direct.fom.to_bits()
+        );
+        assert_eq!(
+            result.get("feasible").unwrap().as_bool().unwrap(),
+            direct.feasible
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_requests_get_error_responses() {
+        let (service, dir) = temp_store("bad");
+        for (line, expect_id) in [
+            ("not json at all", "null"),
+            ("{\"id\":9}", "9"),
+            ("{\"id\":10,\"op\":\"warp\"}", "10"),
+            ("{\"id\":11,\"op\":\"eval\",\"spec\":\"S-9\"}", "11"),
+            (
+                "{\"id\":12,\"op\":\"eval\",\"spec\":\"S-1\",\"topology\":4,\"x\":[0.5]}",
+                "12", // wrong dimension
+            ),
+            (
+                "{\"id\":13,\"op\":\"eval\",\"spec\":\"S-1\",\"topology\":99999999,\"x\":[]}",
+                "13", // out-of-range topology
+            ),
+        ] {
+            let resp = service.handle_line(line);
+            let parsed = Json::parse(&resp).expect("error responses are valid JSON");
+            assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)), "{line}");
+            assert_eq!(parsed.get("id").unwrap().encode().unwrap(), expect_id);
+            assert!(parsed.get("error").unwrap().as_str().is_some());
+        }
+        assert_eq!(service.sims(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_mixes_results_and_per_item_errors() {
+        let (service, dir) = temp_store("batch");
+        let t = Topology::bare_cascade();
+        let dim = ParamSpace::for_topology(&t).dim();
+        let good = format!(
+            "{{\"topology\":{},\"x\":[{}]}}",
+            t.index(),
+            vec!["0.5"; dim].join(",")
+        );
+        let bad = format!("{{\"topology\":{},\"x\":[0.5]}}", t.index());
+        let line =
+            format!("{{\"id\":1,\"op\":\"eval_batch\",\"spec\":\"S-2\",\"items\":[{good},{bad}]}}");
+        let resp = service.handle_line(&line);
+        let parsed = Json::parse(&resp).unwrap();
+        let items = parsed.get("result").unwrap().get("items").unwrap();
+        let items = items.as_arr().unwrap();
+        assert_eq!(items.len(), 2);
+        assert!(items[0].get("fom").is_some());
+        assert!(items[1].get("error").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_opt_is_seed_deterministic_and_cached() {
+        let (service, dir) = temp_store("sizeopt");
+        let line = |id: u64, seed: u64| {
+            format!(
+                "{{\"id\":{id},\"op\":\"size_opt\",\"spec\":\"S-1\",\"topology\":4,\
+                 \"seed\":{seed},\"n_init\":3,\"n_iter\":2}}"
+            )
+        };
+        let a = service.handle_line(&line(1, 7));
+        let sims_after_first = service.sims();
+        assert!(sims_after_first > 0);
+        let b = service.handle_line(&line(1, 7));
+        assert_eq!(a, b, "same seed must serve from store");
+        assert_eq!(service.sims(), sims_after_first);
+        // A different seed is a different key: it must re-run the
+        // optimizer (a store miss), even if it lands on the same optimum.
+        let _ = service.handle_line(&line(1, 8));
+        assert!(
+            service.sims() > sims_after_first,
+            "different seed must miss the store"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_reports_traffic() {
+        let (service, dir) = temp_store("stats");
+        let t = Topology::bare_cascade();
+        let x = vec![0.5; ParamSpace::for_topology(&t).dim()];
+        let _ = service.handle_line(&eval_line(1, t.index(), &x));
+        let _ = service.handle_line(&eval_line(2, t.index(), &x));
+        let resp = service.handle_line("{\"id\":3,\"op\":\"stats\"}");
+        let parsed = Json::parse(&resp).unwrap();
+        let result = parsed.get("result").unwrap();
+        let store = result.get("store").unwrap();
+        assert_eq!(store.get("hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(store.get("misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(result.get("sims").unwrap().as_f64(), Some(1.0));
+        let wl = result.get("wl").unwrap();
+        assert_eq!(wl.get("misses").unwrap().as_f64(), Some(1.0));
+        let eval = result.get("endpoints").unwrap().get("eval").unwrap();
+        assert_eq!(eval.get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(eval.get("errors").unwrap().as_f64(), Some(0.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn results_survive_service_restart_byte_identically() {
+        let (service, dir) = temp_store("restart");
+        let path = {
+            let store = service.store.lock().unwrap();
+            store.path().to_path_buf()
+        };
+        let t = Topology::bare_cascade();
+        let x = vec![0.25; ParamSpace::for_topology(&t).dim()];
+        let first = service.handle_line(&eval_line(5, t.index(), &x));
+        drop(service);
+
+        let revived = Service::new(Store::open(&path).unwrap());
+        let second = revived.handle_line(&eval_line(5, t.index(), &x));
+        assert_eq!(second, first);
+        assert_eq!(revived.sims(), 0, "restart must serve from the store");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the hand-rolled wire JSON: `parse(encode(v))` is
+//! the identity (bit-exact for numbers, including `-0.0`), escaping
+//! round-trips arbitrary strings, non-finite numbers are rejected on
+//! both sides, and the `{:.17e}` float rendering preserves every bit
+//! pattern of every finite `f64`.
+
+use oa_serve::{Json, JsonError};
+use proptest::prelude::*;
+
+/// Splitmix64 — a tiny deterministic PRNG so we can grow arbitrary JSON
+/// trees from a single seed (the vendored proptest has no recursive
+/// strategies).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A finite f64 drawn from adversarial families: integers around 2^53,
+/// signed zeros, subnormals, extremes, and raw bit patterns.
+fn arb_finite(rng: &mut Rng) -> f64 {
+    match rng.next() % 8 {
+        0 => 0.0,
+        1 => -0.0,
+        2 => (rng.next() % 20_000_000) as f64 - 10_000_000.0,
+        3 => {
+            let near = 9_007_199_254_740_992.0_f64; // 2^53
+            near - (rng.next() % 3) as f64
+        }
+        4 => f64::MIN_POSITIVE * (1 + rng.next() % 5) as f64,
+        5 => f64::from_bits(rng.next() % 4), // subnormals incl. +0
+        6 => f64::MAX / (1 + rng.next() % 1000) as f64,
+        _ => {
+            let v = f64::from_bits(rng.next());
+            if v.is_finite() {
+                v
+            } else {
+                1.25e-300
+            }
+        }
+    }
+}
+
+/// An arbitrary string mixing ASCII, escapes, control chars, and
+/// non-BMP code points (surrogate-pair territory).
+fn arb_string(rng: &mut Rng) -> String {
+    let len = (rng.next() % 12) as usize;
+    (0..len)
+        .map(|_| match rng.next() % 8 {
+            0 => '"',
+            1 => '\\',
+            2 => char::from(u8::try_from(rng.next() % 0x20).unwrap()), // control
+            3 => '🦀',
+            4 => 'é',
+            5 => '\u{2028}',
+            _ => char::from(u8::try_from(0x20 + rng.next() % 0x5f).unwrap()),
+        })
+        .collect()
+}
+
+/// A random JSON tree of bounded depth.
+fn arb_json(rng: &mut Rng, depth: usize) -> Json {
+    let leaf_only = depth == 0;
+    match rng.next() % if leaf_only { 4 } else { 6 } {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next().is_multiple_of(2)),
+        2 => Json::Num(arb_finite(rng)),
+        3 => Json::Str(arb_string(rng)),
+        4 => {
+            let n = (rng.next() % 4) as usize;
+            Json::Arr((0..n).map(|_| arb_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = (rng.next() % 4) as usize;
+            Json::Obj(
+                (0..n)
+                    .map(|i| (format!("{}_{i}", arb_string(rng)), arb_json(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// encode → parse is the identity on arbitrary trees, compared
+    /// bit-exactly (`-0.0` and `0.0` are distinct; NaN never appears).
+    #[test]
+    fn encode_parse_roundtrips_trees(seed in 0u64..u64::MAX) {
+        let mut rng = Rng(seed);
+        let value = arb_json(&mut rng, 4);
+        let text = value.encode().expect("tree is finite");
+        let back = Json::parse(&text).expect("own encoding must parse");
+        prop_assert!(
+            value.bit_eq(&back),
+            "roundtrip mismatch for {text}"
+        );
+        // Re-encoding the parse is byte-stable (canonical form is a
+        // fixed point).
+        prop_assert_eq!(back.encode().unwrap(), text);
+    }
+
+    /// Every finite f64 — drawn from raw bit patterns — survives the
+    /// canonical number rendering with its exact bit pattern.
+    #[test]
+    fn every_finite_f64_roundtrips_bit_exactly(bits in 0u64..u64::MAX) {
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            let text = Json::Num(v).encode().unwrap();
+            let back = Json::parse(&text).unwrap();
+            let got = back.as_f64().unwrap();
+            prop_assert!(
+                got.to_bits() == v.to_bits(),
+                "{v:?} rendered as {text} parsed back as {got:?}"
+            );
+        }
+    }
+
+    /// Arbitrary strings (escapes, control chars, surrogate pairs)
+    /// round-trip exactly.
+    #[test]
+    fn strings_roundtrip(seed in 0u64..u64::MAX) {
+        let mut rng = Rng(seed);
+        let s = arb_string(&mut rng);
+        let text = Json::Str(s.clone()).encode().unwrap();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(back.as_str(), Some(s.as_str()));
+    }
+
+    /// NaN and ±Inf are rejected on encode wherever they hide in the
+    /// tree, and over-range literals are rejected on parse.
+    #[test]
+    fn non_finite_rejected_everywhere(seed in 0u64..u64::MAX) {
+        let mut rng = Rng(seed);
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY]
+            [(rng.next() % 3) as usize];
+        let wrapped = match rng.next() % 3 {
+            0 => Json::Num(bad),
+            1 => Json::Arr(vec![Json::Null, Json::Num(bad)]),
+            _ => Json::Obj(vec![("k".into(), Json::Num(bad))]),
+        };
+        prop_assert_eq!(wrapped.encode(), Err(JsonError::NonFiniteNumber));
+        // A finite-looking literal that overflows f64 must not parse
+        // into Inf.
+        let exp = 400 + rng.next() % 1000;
+        prop_assert!(Json::parse(&format!("1e{exp}")).is_err());
+    }
+}

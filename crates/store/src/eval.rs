@@ -1,0 +1,158 @@
+//! Canonical evaluation keys.
+//!
+//! An evaluation is identified by *what was asked*: the topology's
+//! canonical code, the exact sizing-vector bit pattern, the spec, the
+//! process fingerprint, and — for stochastic endpoints like sizing BO —
+//! the request seed. Two requests with equal keys are guaranteed equal
+//! answers by the determinism contract (DESIGN.md §7), which is what
+//! makes serving from the store sound.
+
+/// The kind of evaluation a key describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvalKind {
+    /// A single simulation of a fixed sized design (`x` is the
+    /// normalized sizing vector). Deterministic; the seed field is 0.
+    Eval,
+    /// A sizing-BO run for a topology (`x_bits` carries the budget
+    /// words); depends on the request seed.
+    SizeOpt,
+}
+
+impl EvalKind {
+    fn tag(self) -> u8 {
+        match self {
+            EvalKind::Eval => 0,
+            EvalKind::SizeOpt => 1,
+        }
+    }
+}
+
+/// A content-addressed evaluation key.
+///
+/// The byte encoding is canonical (length-prefixed, little-endian, no
+/// padding), so equal keys encode to equal bytes and distinct keys to
+/// distinct bytes — the store needs nothing beyond byte equality.
+///
+/// # Examples
+///
+/// ```
+/// use oa_store::{EvalKey, EvalKind};
+///
+/// let key = EvalKey {
+///     kind: EvalKind::Eval,
+///     topology_code: 1234,
+///     x_bits: vec![0.5f64.to_bits(), 0.25f64.to_bits()],
+///     spec_id: "S-1".to_owned(),
+///     process_hash: 0xDEAD_BEEF,
+///     seed: 0,
+/// };
+/// let bytes = key.encode();
+/// assert_eq!(bytes, key.encode()); // canonical
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EvalKey {
+    /// What kind of evaluation this is.
+    pub kind: EvalKind,
+    /// Canonical topology code (the design-space index).
+    pub topology_code: u64,
+    /// Exact bit patterns of the request's continuous inputs — the
+    /// normalized sizing vector for [`EvalKind::Eval`], budget words for
+    /// [`EvalKind::SizeOpt`]. Bit-for-bit: `0.1 + 0.2` and `0.3` are
+    /// different keys, as they are different simulations.
+    pub x_bits: Vec<u64>,
+    /// Spec identifier (e.g. `"S-1"`).
+    pub spec_id: String,
+    /// Fingerprint of the process constants and simulator options (see
+    /// [`crate::hash_f64s`]); results under different processes never
+    /// collide.
+    pub process_hash: u64,
+    /// Request seed for stochastic endpoints; 0 for pure evaluation.
+    pub seed: u64,
+}
+
+impl EvalKey {
+    /// Canonical byte encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let spec = self.spec_id.as_bytes();
+        let mut out = Vec::with_capacity(1 + 8 * (4 + self.x_bits.len()) + 4 + spec.len());
+        out.push(self.kind.tag());
+        out.extend_from_slice(&self.topology_code.to_le_bytes());
+        out.extend_from_slice(&(self.x_bits.len() as u32).to_le_bytes());
+        for &b in &self.x_bits {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out.extend_from_slice(&(spec.len() as u32).to_le_bytes());
+        out.extend_from_slice(spec);
+        out.extend_from_slice(&self.process_hash.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> EvalKey {
+        EvalKey {
+            kind: EvalKind::Eval,
+            topology_code: 42,
+            x_bits: vec![0.5f64.to_bits(), 0.75f64.to_bits()],
+            spec_id: "S-3".to_owned(),
+            process_hash: 7,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn every_field_discriminates() {
+        let k = base();
+        let variants = [
+            EvalKey {
+                kind: EvalKind::SizeOpt,
+                ..base()
+            },
+            EvalKey {
+                topology_code: 43,
+                ..base()
+            },
+            EvalKey {
+                x_bits: vec![0.5f64.to_bits()],
+                ..base()
+            },
+            EvalKey {
+                x_bits: vec![0.5f64.to_bits(), (-0.75f64).to_bits()],
+                ..base()
+            },
+            EvalKey {
+                spec_id: "S-4".to_owned(),
+                ..base()
+            },
+            EvalKey {
+                process_hash: 8,
+                ..base()
+            },
+            EvalKey { seed: 1, ..base() },
+        ];
+        for v in variants {
+            assert_ne!(v.encode(), k.encode(), "{v:?} must not collide");
+        }
+        assert_eq!(base().encode(), k.encode());
+    }
+
+    #[test]
+    fn length_prefixes_prevent_field_bleed() {
+        // Same concatenated content, different field split.
+        let a = EvalKey {
+            x_bits: vec![1, 2],
+            spec_id: String::new(),
+            ..base()
+        };
+        let b = EvalKey {
+            x_bits: vec![1],
+            spec_id: String::from_utf8(2u64.to_le_bytes().to_vec()).unwrap(),
+            ..base()
+        };
+        assert_ne!(a.encode(), b.encode());
+    }
+}

@@ -1,0 +1,48 @@
+//! Spin up the evaluation service in-process, evaluate a few sized
+//! topologies over TCP, and show the store serving repeats for free.
+//!
+//! Run with: `cargo run --release --example eval_service`
+
+use oa_circuit::{ParamSpace, Topology};
+use oa_serve::{request, serve, Client, ServerConfig};
+
+/// Mid-range sizing vector of the right dimension for a topology.
+fn mid_sizing(index: usize) -> Vec<f64> {
+    let t = Topology::from_index(index).expect("in range");
+    vec![0.5; ParamSpace::for_topology(&t).dim()]
+}
+
+fn main() -> std::io::Result<()> {
+    // An ephemeral store so the example is self-contained; a real
+    // deployment points this at a persistent directory (OA_STORE_DIR).
+    let dir = std::env::temp_dir().join(format!("oa_example_store_{}", std::process::id()));
+    let mut config = ServerConfig::loopback();
+    config.store_path = dir.join("results.log");
+
+    let server = serve(config)?;
+    println!("serving on {}", server.addr());
+
+    let mut client = Client::connect(server.addr())?;
+
+    // Pipeline a handful of evaluations; responses arrive as workers
+    // finish and are matched by id.
+    let lines: Vec<String> = (0..5u64)
+        .map(|i| {
+            let index = (i as usize) * 1000;
+            request::eval(i, "S-1", index, &mid_sizing(index))
+        })
+        .collect();
+    for response in client.pipeline(&lines)? {
+        println!("{response}");
+    }
+
+    // The same request again is a store hit: byte-identical, no
+    // simulation.
+    let repeat = client.request(&request::eval(0, "S-1", 0, &mid_sizing(0)))?;
+    println!("repeat (served from store): {repeat}");
+    println!("stats: {}", client.request(&request::stats(99))?);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Smoke test for the serving layer, exercising the full daemon lifecycle:
+#
+#   1. start oa-serve on a loopback port with a fresh store;
+#   2. fire 100 concurrent eval requests through oa-cli;
+#   3. restart the daemon over the same store;
+#   4. re-send the same 100 requests and assert the responses are
+#      byte-identical AND that the second pass ran zero simulations
+#      (served entirely from the persistent store).
+#
+# Usage: scripts/serve_smoke.sh [path-to-target-dir]
+# Binaries are expected at $TARGET/release/{oa-serve,oa-cli} (built by
+# `cargo build --release`).
+set -euo pipefail
+
+TARGET="${1:-target}"
+SERVE="$TARGET/release/oa-serve"
+CLI="$TARGET/release/oa-cli"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_daemon() {
+    "$SERVE" --addr 127.0.0.1:0 --store "$WORK/results.log" >"$WORK/daemon.log" &
+    SERVER_PID=$!
+    # The first stdout line prints the resolved address.
+    for _ in $(seq 100); do
+        ADDR="$(sed -n 's/^oa-serve listening on //p' "$WORK/daemon.log")"
+        [ -n "$ADDR" ] && return 0
+        kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/daemon.log" >&2; exit 1; }
+        sleep 0.1
+    done
+    echo "daemon never reported its address" >&2
+    exit 1
+}
+
+stop_daemon() {
+    kill "$SERVER_PID"
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+}
+
+# 100 eval requests over distinct topologies (4-dim mid-range sizing;
+# error responses are fine — they must be deterministic too).
+for i in $(seq 0 99); do
+    printf '{"id":%d,"op":"eval","spec":"S-1","topology":%d,"x":[0.4,0.5,0.5,0.6]}\n' \
+        "$i" "$((i * 97))"
+done >"$WORK/requests.jsonl"
+
+start_daemon
+echo "pass 1 against $ADDR (cold store)"
+"$CLI" --addr "$ADDR" batch --raw "$WORK/requests.jsonl" >"$WORK/pass1.txt"
+stop_daemon
+
+start_daemon
+echo "pass 2 against $ADDR (restarted daemon, warm store)"
+"$CLI" --addr "$ADDR" batch --raw "$WORK/requests.jsonl" >"$WORK/pass2.txt"
+STATS="$("$CLI" --addr "$ADDR" stats)"
+stop_daemon
+
+if ! cmp -s "$WORK/pass1.txt" "$WORK/pass2.txt"; then
+    echo "FAIL: responses differ across restart" >&2
+    diff "$WORK/pass1.txt" "$WORK/pass2.txt" >&2 || true
+    exit 1
+fi
+
+case "$STATS" in
+    *'"sims":0'*) ;;
+    *)
+        echo "FAIL: second pass was not served entirely from the store: $STATS" >&2
+        exit 1
+        ;;
+esac
+
+echo "OK: 100 responses byte-identical across restart, 0 re-simulations"

@@ -1,0 +1,168 @@
+//! End-to-end acceptance tests for the serving layer, pinning the three
+//! ISSUE-level guarantees:
+//!
+//! 1. server responses are **byte-identical** to direct in-process
+//!    [`Evaluator`] calls;
+//! 2. a kill-9-style truncation of the store log loses at most the torn
+//!    record;
+//! 3. a repeated `eval_batch` over 200 topologies is served entirely
+//!    from the store — zero new simulations, asserted via `stats`.
+
+use std::fs::OpenOptions;
+use std::path::PathBuf;
+
+use into_oa::{Evaluator, Spec};
+use oa_circuit::{ParamSpace, Topology};
+use oa_graph::WlFeaturizer;
+use oa_serve::{eval_result_json, request, serve, wl_fingerprint, Client, Json, ServerConfig};
+use oa_store::Store;
+
+fn temp_store(tag: &str) -> (ServerConfig, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("oa_serve_it_{}_{tag}", std::process::id()));
+    let mut config = ServerConfig::loopback();
+    config.store_path = dir.join("results.log");
+    (config, dir)
+}
+
+/// `n` (topology, x) items spread across the 30 625-point space — each
+/// with a mid-range sizing vector of the right dimension, and each
+/// pre-checked to simulate successfully under `spec` (error responses
+/// are deliberately not persisted, so the store-hit assertions below
+/// need all-success batches).
+fn spread_items(spec: Spec, n: usize) -> Vec<(usize, Vec<f64>)> {
+    let evaluator = Evaluator::new(spec);
+    let mut items = Vec::with_capacity(n);
+    let mut index = 0usize;
+    while items.len() < n {
+        let t = Topology::from_index(index).expect("in range");
+        let dim = ParamSpace::for_topology(&t).dim();
+        let x: Vec<f64> = (0..dim)
+            .map(|j| 0.3 + 0.4 * (j as f64) / dim as f64)
+            .collect();
+        if evaluator.simulate_sized(&t, &x).is_ok() {
+            items.push((index, x));
+        }
+        index = (index + 97) % oa_circuit::DESIGN_SPACE_SIZE;
+    }
+    items
+}
+
+#[test]
+fn server_responses_match_direct_evaluator_byte_for_byte() {
+    let (config, dir) = temp_store("direct");
+    let server = serve(config).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let evaluator = Evaluator::new(Spec::s1());
+    let mut wl = WlFeaturizer::new();
+    for (id, (index, x)) in spread_items(Spec::s1(), 8).into_iter().enumerate() {
+        let response = client
+            .request(&request::eval(id as u64, "S-1", index, &x))
+            .unwrap();
+        let topology = Topology::from_index(index).unwrap();
+        let design = evaluator.simulate_sized(&topology, &x).unwrap();
+        let expected_result = eval_result_json(&design, wl_fingerprint(&mut wl, &topology));
+        let expected = format!("{{\"id\":{id},\"ok\":true,\"result\":{expected_result}}}");
+        assert_eq!(response, expected, "topology {index}");
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_store_loses_at_most_the_torn_record() {
+    let (config, dir) = temp_store("truncate");
+    let store_path = config.store_path.clone();
+    let items = spread_items(Spec::s1(), 6);
+
+    // First daemon lifetime: populate the store.
+    let first: Vec<String> = {
+        let server = serve(config.clone()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let lines: Vec<String> = items
+            .iter()
+            .enumerate()
+            .map(|(id, (t, x))| request::eval(id as u64, "S-1", *t, x))
+            .collect();
+        let mut responses = client.pipeline(&lines).unwrap();
+        responses.sort();
+        server.shutdown();
+        responses
+    };
+
+    // Kill-9 simulation: chop bytes off the final record mid-frame.
+    let full_len = std::fs::metadata(&store_path).unwrap().len();
+    let f = OpenOptions::new().write(true).open(&store_path).unwrap();
+    f.set_len(full_len - 7).unwrap();
+    drop(f);
+
+    // The log must reopen cleanly with at most one record missing.
+    let survivors = Store::open(&store_path).unwrap();
+    assert!(
+        survivors.len() >= items.len() - 1,
+        "lost more than the torn record"
+    );
+    assert!(
+        survivors.len() < items.len(),
+        "truncation must tear exactly one"
+    );
+    drop(survivors);
+
+    // Second daemon lifetime over the truncated log: every response is
+    // byte-identical to the first pass (the torn record just re-simulates).
+    let server = serve(config).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let lines: Vec<String> = items
+        .iter()
+        .enumerate()
+        .map(|(id, (t, x))| request::eval(id as u64, "S-1", *t, x))
+        .collect();
+    let mut second = client.pipeline(&lines).unwrap();
+    second.sort();
+    assert_eq!(first, second);
+    assert_eq!(
+        server.service().sims(),
+        1,
+        "only the torn record re-simulates"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repeated_batch_of_200_topologies_is_served_from_store() {
+    let (config, dir) = temp_store("batch200");
+    let server = serve(config).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let items = spread_items(Spec::s2(), 200);
+
+    let first = client
+        .request(&request::eval_batch(1, "S-2", &items))
+        .unwrap();
+    let sims_after_first = server.service().sims();
+    assert!(sims_after_first > 0);
+
+    let second = client
+        .request(&request::eval_batch(1, "S-2", &items))
+        .unwrap();
+    assert_eq!(first, second, "second pass must be byte-identical");
+    assert_eq!(
+        server.service().sims(),
+        sims_after_first,
+        "second pass must run zero new simulations"
+    );
+
+    // The stats endpoint independently witnesses the hit/miss split.
+    let stats = client.request(&request::stats(2)).unwrap();
+    let parsed = Json::parse(&stats).unwrap();
+    let store = parsed.get("result").unwrap().get("store").unwrap();
+    assert_eq!(store.get("hits").unwrap().as_u64(), Some(200));
+    assert_eq!(
+        parsed.get("result").unwrap().get("sims").unwrap().as_u64(),
+        Some(sims_after_first)
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
