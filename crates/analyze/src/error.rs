@@ -1,0 +1,90 @@
+//! Typed outcomes of the structural verifier.
+
+use std::error::Error;
+use std::fmt;
+
+/// A structural defect that makes a netlist unsolvable (or meaningless)
+/// for *every* assignment of element values — detectable without any
+/// numeric work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructuralError {
+    /// A node is floating: its KCL row or voltage column is structurally
+    /// empty, or it has no conducting path to ground.
+    FloatingNode {
+        /// Name of the offending node.
+        node: String,
+        /// Which of the three floating conditions fired.
+        detail: String,
+    },
+    /// The MNA sparsity pattern admits no perfect row–column matching
+    /// (Hall's condition fails): the determinant is identically zero as
+    /// a polynomial in the element values.
+    StructurallySingular {
+        /// Full MNA dimension (node rows + source branch).
+        dim: usize,
+        /// Maximum bipartite matching size of the pattern.
+        structural_rank: usize,
+    },
+    /// A VCCS whose output or control terminal pair coincides: it
+    /// injects no net current or senses nothing.
+    DegenerateVccs {
+        /// Element index in the netlist.
+        index: usize,
+        /// Which pair coincides.
+        detail: String,
+    },
+    /// An element value violates its sign/finiteness contract, or the
+    /// topology could not be elaborated at a checked parameter point.
+    BadValue {
+        /// Description of the offender.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StructuralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructuralError::FloatingNode { node, detail } => {
+                write!(f, "floating node '{node}': {detail}")
+            }
+            StructuralError::StructurallySingular {
+                dim,
+                structural_rank,
+            } => write!(
+                f,
+                "structurally singular MNA system: structural rank {structural_rank} < dimension {dim}"
+            ),
+            StructuralError::DegenerateVccs { index, detail } => {
+                write!(f, "degenerate vccs (element {index}): {detail}")
+            }
+            StructuralError::BadValue { detail } => write!(f, "bad value: {detail}"),
+        }
+    }
+}
+
+impl Error for StructuralError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StructuralError::StructurallySingular {
+            dim: 5,
+            structural_rank: 4,
+        };
+        assert!(e.to_string().contains("rank 4"));
+        let e = StructuralError::FloatingNode {
+            node: "v1".into(),
+            detail: "no conducting path to gnd".into(),
+        };
+        assert!(e.to_string().contains("'v1'"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StructuralError>();
+    }
+}

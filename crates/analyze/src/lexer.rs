@@ -1,0 +1,474 @@
+//! A std-only, token-level Rust lexer for the workspace lint.
+//!
+//! The lint rules need exactly enough lexical structure to be sound:
+//! identifiers must be whole words (`unwrap_or_else` must not match
+//! `unwrap`), string literals and comments must be recognized so their
+//! *contents* never produce code findings (and so annotations can live
+//! in comments and format strings can be inspected), and `#[cfg(test)]`
+//! items must be skippable by brace tracking. Full parsing is
+//! deliberately out of scope — every rule is expressible over the token
+//! stream.
+//!
+//! The lexer never fails: malformed input (an unterminated string at
+//! end of file) lexes to a final literal token reaching EOF. That
+//! matters for a lint driver — it must report on any file the compiler
+//! would reject, not crash before rustc gets a chance to complain.
+
+/// What a token is, at the granularity the lint rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` comment (annotations live here; `///` doc comments share
+    /// the kind — they cannot carry annotations because the grammar
+    /// requires the comment to start with exactly `//`).
+    LineComment,
+    /// `/* … */` comment (nesting handled).
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token: kind, the exact source slice, and its 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// `true` for comments of either kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// `true` for a punctuation token of exactly `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
+    }
+
+    /// `true` for an identifier token equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// Lexes `src` into tokens. Infallible; see the module docs.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            let start = self.pos;
+            let line = self.line;
+            let kind = match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_while(|c| c != b'\n');
+                    TokenKind::LineComment
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    TokenKind::BlockComment
+                }
+                b'r' | b'b' => {
+                    if let Some(kind) = self.maybe_raw_or_byte_literal() {
+                        kind
+                    } else {
+                        self.ident();
+                        TokenKind::Ident
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    self.quoted(b'"');
+                    TokenKind::Str
+                }
+                b'\'' => self.lifetime_or_char(),
+                b'0'..=b'9' => {
+                    self.number();
+                    TokenKind::Number
+                }
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                    self.ident();
+                    TokenKind::Ident
+                }
+                _ => {
+                    // Multi-byte UTF-8 (only possible in the rare
+                    // non-ASCII identifier or stray char) advances by
+                    // the full scalar so slices stay char-aligned.
+                    let ch_len = self.src[self.pos..]
+                        .chars()
+                        .next()
+                        .map_or(1, char::len_utf8);
+                    self.pos += ch_len;
+                    TokenKind::Punct
+                }
+            };
+            out.push(Token {
+                kind,
+                text: &self.src[start..self.pos],
+                line,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn take_while(&mut self, f: impl Fn(u8) -> bool) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if !f(b) {
+                break;
+            }
+            if b == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(b'\n'), _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`, `rb` does
+    /// not exist. Returns `None` when the `r`/`b` starts a plain
+    /// identifier (including raw identifiers `r#ident`).
+    fn maybe_raw_or_byte_literal(&mut self) -> Option<TokenKind> {
+        let first = self.bytes[self.pos];
+        let mut look = self.pos + 1;
+        if first == b'b' {
+            match self.bytes.get(look) {
+                Some(b'\'') => {
+                    // Byte literal b'…'.
+                    self.pos = look + 1;
+                    self.quoted(b'\'');
+                    return Some(TokenKind::Char);
+                }
+                Some(b'"') => {
+                    self.pos = look + 1;
+                    self.quoted(b'"');
+                    return Some(TokenKind::Str);
+                }
+                Some(b'r') => look += 1,
+                _ => return None,
+            }
+        }
+        // Here a raw string `r…` (possibly after `b`): count hashes.
+        let mut hashes = 0usize;
+        while self.bytes.get(look + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        if self.bytes.get(look + hashes) != Some(&b'"') {
+            // `r#ident` raw identifier or a plain ident starting with r/b.
+            return None;
+        }
+        self.pos = look + hashes + 1;
+        // Consume until `"` followed by `hashes` hashes.
+        loop {
+            match self.bytes.get(self.pos) {
+                None => break,
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b'"') => {
+                    let mut k = 0usize;
+                    while k < hashes && self.bytes.get(self.pos + 1 + k) == Some(&b'#') {
+                        k += 1;
+                    }
+                    self.pos += 1 + k;
+                    if k == hashes {
+                        break;
+                    }
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        Some(TokenKind::Str)
+    }
+
+    /// Consumes a (non-raw) quoted literal body up to the closing
+    /// `quote`, honoring backslash escapes. The opening quote is
+    /// already consumed.
+    fn quoted(&mut self, quote: u8) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => {
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1; // string line-continuation
+                    }
+                    self.pos += 2.min(self.bytes.len() - self.pos);
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => {
+                    self.pos += 1;
+                    if b == quote {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char
+    /// literal): after the quote, an escape or a "short" body closed by
+    /// another quote is a char; an identifier not followed by `'` is a
+    /// lifetime.
+    fn lifetime_or_char(&mut self) -> TokenKind {
+        self.pos += 1;
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.quoted(b'\''); // escape then closing quote
+                TokenKind::Char
+            }
+            Some(b) if b == b'_' || b.is_ascii_alphabetic() => {
+                // `'a'` is a char, `'abc` (no closing quote after the
+                // ident) is a lifetime.
+                let mut look = self.pos;
+                while self
+                    .bytes
+                    .get(look)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                {
+                    look += 1;
+                }
+                if self.bytes.get(look) == Some(&b'\'') {
+                    self.pos = look + 1;
+                    TokenKind::Char
+                } else {
+                    self.pos = look;
+                    TokenKind::Lifetime
+                }
+            }
+            Some(b'\'') => {
+                // Empty char literal `''` — malformed; consume both.
+                self.pos += 1;
+                TokenKind::Char
+            }
+            _ => {
+                self.quoted(b'\'');
+                TokenKind::Char
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        // Digits, underscores, radix prefixes and type suffixes; a `.`
+        // continues the number only when followed by a digit, so range
+        // expressions (`0..n`) lex as Number, Punct, Punct.
+        self.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+            self.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        }
+        // Exponent sign: `1e-9` — the `e` was consumed above, a sign
+        // followed by digits continues the literal.
+        if matches!(self.peek(0), Some(b'+') | Some(b'-'))
+            && matches!(
+                self.bytes.get(self.pos.wrapping_sub(1)),
+                Some(b'e') | Some(b'E')
+            )
+            && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+            self.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        }
+    }
+
+    fn ident(&mut self) {
+        // Raw identifier prefix `r#` is glued to the word.
+        if self.peek(0) == Some(b'r') && self.peek(1) == Some(b'#') {
+            self.pos += 2;
+        }
+        self.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            kinds("foo.bar()"),
+            vec![
+                (TokenKind::Ident, "foo"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "bar"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Punct, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_else_is_one_ident() {
+        let toks = lex("x.unwrap_or_else(|| 0)");
+        assert!(toks.iter().any(|t| t.is_ident("unwrap_or_else")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let toks = lex("a // lint: allow(panic, fine)\nb /* block\nspans */ c");
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert!(toks[1].text.contains("allow(panic"));
+        assert_eq!(toks[3].kind, TokenKind::BlockComment);
+        let c = toks.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(c.line, 3, "block comment newlines advance the line");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].text, "x");
+    }
+
+    #[test]
+    fn string_contents_do_not_leak_tokens() {
+        let toks = lex(r#"let s = "Instant::now() // not code";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("Instant")));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let toks = lex(r#""a\"b" x"#);
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert_eq!(toks[0].text, r#""a\"b""#);
+        assert_eq!(toks[1].text, "x");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r###"r#"has "quotes" inside"# y"###);
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert_eq!(toks[1].text, "y");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = lex(r###"b"bytes" br#"raw"# b'x' z"###);
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert_eq!(toks[1].kind, TokenKind::Str);
+        assert_eq!(toks[2].kind, TokenKind::Char);
+        assert_eq!(toks[3].text, "z");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = lex("r#type x");
+        assert_eq!(toks[0].kind, TokenKind::Ident);
+        assert_eq!(toks[0].text, "r#type");
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = lex("for i in 0..17e2 {}");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, vec!["0", "17e2"]);
+    }
+
+    #[test]
+    fn negative_exponent_floats() {
+        let toks = lex("let x = 1.5e-9;");
+        assert!(toks.iter().any(|t| t.text == "1.5e-9"));
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_string_reaches_eof_without_panic() {
+        let toks = lex("let s = \"never closed");
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Str);
+    }
+}

@@ -1,0 +1,37 @@
+//! Static analysis for the INTO-OA workspace.
+//!
+//! Two independent layers:
+//!
+//! * **Domain layer** ([`structural`]) — a pre-numeric verifier for
+//!   elaborated netlists. It proves, from the sparsity pattern alone,
+//!   that the MNA system a netlist induces is structurally non-singular
+//!   (every node grounded through conducting elements, no empty KCL
+//!   rows or voltage columns, and a perfect row–column matching of the
+//!   pattern — Hall's condition). Degenerate candidates are rejected
+//!   before an LU factorization or an optimizer evaluation slot is
+//!   spent on them.
+//! * **Source layer** ([`lexer`] + [`lint`]) — a std-only token-level
+//!   Rust lexer driving the `oa_lint` binary, which enforces the
+//!   serving-determinism and panic-freedom invariants of DESIGN.md §8
+//!   (no wall-clock in response paths, no unordered collections in
+//!   serialization-adjacent code, exact-round-trip float formatting,
+//!   annotated panics only, `#![forbid(unsafe_code)]` everywhere).
+//!
+//! The `oa_sweep` binary applies the structural verifier exhaustively
+//! to all 30,625 topologies of the design space and exits non-zero if
+//! any fails — the domain layer's CI gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod lexer;
+pub mod lint;
+pub mod structural;
+
+pub use error::StructuralError;
+pub use lint::{lint_source, Finding};
+pub use structural::{
+    is_structurally_valid, structural_rank, sweep_design_space, verify_netlist, verify_structure,
+    verify_topology, SweepReport,
+};

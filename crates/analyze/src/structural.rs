@@ -1,0 +1,606 @@
+//! Pre-numeric structural verification of elaborated netlists.
+//!
+//! A topology that elaborates into a structurally singular MNA system or
+//! a floating internal node cannot produce a meaningful AC response, yet
+//! the numeric pipeline would only discover that deep inside an LU
+//! factorization — after buffers were allocated, stamps assembled, and
+//! an evaluation slot spent. Everything this module checks is decidable
+//! from the netlist *structure* alone (which matrix entries exist, not
+//! what they are), so degenerate candidates can be rejected before any
+//! numeric work:
+//!
+//! * **Ground reachability** — every node must reach `gnd` through the
+//!   conducting-element graph (resistors, capacitors, VCCS output
+//!   branches, and the AC test source). An island of elements with no
+//!   path to the reference has no defined potential.
+//! * **Floating nodes** — a node whose KCL row or voltage column is
+//!   structurally empty (nothing conducts current at it, or nothing
+//!   senses its voltage) makes the MNA matrix singular for *every*
+//!   element value.
+//! * **Structural full rank** — the sparsity pattern of the full MNA
+//!   matrix (node rows plus the test-source branch row, `GMIN`
+//!   excluded) must admit a perfect matching between rows and columns.
+//!   By the Hall/König theorem a perfect matching exists iff no set of
+//!   `k` rows confines its support to fewer than `k` columns, which is
+//!   exactly "the determinant is not identically zero as a polynomial
+//!   in the element values". This subsumes the two checks above but
+//!   reports less specifically, so it runs last.
+//! * **Stamp sanity** — a VCCS whose output terminals coincide injects
+//!   no net current, and one whose control terminals coincide senses
+//!   nothing; both are dead weight the design space should never emit.
+//!   Value-level sanity (R/C positivity, finite `gm`, positive `f_t`)
+//!   is checked separately so structure-only callers (the simulator's
+//!   `prepare()`) keep their existing value diagnostics.
+//!
+//! The check treats resistive and capacitive stamps alike — the pattern
+//! is evaluated "at a generic frequency" `ω > 0` where both contribute.
+//! DC-only singularities (a capacitor-only path at `ω = 0`) are a
+//! numeric property of one frequency point and remain `GMIN`'s job.
+
+use crate::error::StructuralError;
+use oa_circuit::{
+    elaborate, CircuitError, Element, Netlist, NodeId, ParamSpace, Process, Topology,
+    DESIGN_SPACE_SIZE,
+};
+
+/// Load capacitance used when elaborating topologies for verification.
+///
+/// The netlist *structure* does not depend on the load value; any
+/// positive capacitance yields the same sparsity pattern.
+pub const VERIFY_CL_FARADS: f64 = 10e-12;
+
+/// Checks VCCS port distinctness for every element.
+///
+/// # Errors
+///
+/// Returns [`StructuralError::DegenerateVccs`] for the first VCCS whose
+/// output pair or control pair coincides.
+pub fn verify_ports(netlist: &Netlist) -> Result<(), StructuralError> {
+    for (index, e) in netlist.elements().iter().enumerate() {
+        if let Element::Vccs {
+            ctrl_p,
+            ctrl_n,
+            out_p,
+            out_n,
+            ..
+        } = *e
+        {
+            if out_p == out_n {
+                return Err(StructuralError::DegenerateVccs {
+                    index,
+                    detail: format!(
+                        "output terminals coincide ({} == {}): the element injects no net current",
+                        netlist.node_name(out_p),
+                        netlist.node_name(out_n)
+                    ),
+                });
+            }
+            if ctrl_p == ctrl_n {
+                return Err(StructuralError::DegenerateVccs {
+                    index,
+                    detail: format!(
+                        "control terminals coincide ({} == {}): the element senses nothing",
+                        netlist.node_name(ctrl_p),
+                        netlist.node_name(ctrl_n)
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks element values: resistors finite and positive, capacitors
+/// finite and non-negative, transconductances finite and non-zero,
+/// bandwidths finite and positive.
+///
+/// # Errors
+///
+/// Returns [`StructuralError::BadValue`] describing the first offender.
+pub fn verify_values(netlist: &Netlist) -> Result<(), StructuralError> {
+    for (index, e) in netlist.elements().iter().enumerate() {
+        match *e {
+            Element::Resistor { ohms, .. } => {
+                if !(ohms.is_finite() && ohms > 0.0) {
+                    return Err(StructuralError::BadValue {
+                        detail: format!("element {index}: resistor with {ohms} ohms"),
+                    });
+                }
+            }
+            Element::Capacitor { farads, .. } => {
+                if !(farads.is_finite() && farads >= 0.0) {
+                    return Err(StructuralError::BadValue {
+                        detail: format!("element {index}: capacitor with {farads} farads"),
+                    });
+                }
+            }
+            Element::Vccs { gm, ft_hz, .. } => {
+                if !(gm.is_finite() && gm != 0.0) {
+                    return Err(StructuralError::BadValue {
+                        detail: format!("element {index}: vccs with gm {gm}"),
+                    });
+                }
+                if let Some(ft) = ft_hz {
+                    if !(ft.is_finite() && ft > 0.0) {
+                        return Err(StructuralError::BadValue {
+                            detail: format!("element {index}: vccs with bandwidth {ft} Hz"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verifies the netlist's structure: ground reachability, no floating
+/// nodes, structural full rank of the MNA sparsity pattern, and VCCS
+/// port distinctness. Element *values* are not inspected (see
+/// [`verify_values`]).
+///
+/// # Errors
+///
+/// Returns the most specific applicable [`StructuralError`]: degenerate
+/// VCCS ports first, then empty rows/columns and ground reachability as
+/// [`StructuralError::FloatingNode`], then the matching-based
+/// [`StructuralError::StructurallySingular`] for rank deficits no single
+/// node explains.
+pub fn verify_structure(netlist: &Netlist) -> Result<(), StructuralError> {
+    verify_ports(netlist)?;
+
+    let nodes = netlist.node_count();
+    // Full MNA dimensions, mirroring `oa_sim::MnaSystem`: one KCL row per
+    // non-ground node followed by the test-source branch row.
+    let dim = nodes - 1 + 1;
+    let branch = dim - 1;
+    let var = |n: NodeId| -> Option<usize> {
+        if n.is_ground() {
+            None
+        } else {
+            Some(n.0 - 1)
+        }
+    };
+
+    // Conducting-element graph for ground reachability. Control terminals
+    // sense voltage but carry no current, so they are not edges; the VCCS
+    // output branch and the ideal test source are.
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+    let mut connect = |a: NodeId, b: NodeId| {
+        if a != b {
+            adjacency[a.0].push(b.0);
+            adjacency[b.0].push(a.0);
+        }
+    };
+    for e in netlist.elements() {
+        match *e {
+            Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => connect(a, b),
+            Element::Vccs { out_p, out_n, .. } => connect(out_p, out_n),
+        }
+    }
+    connect(netlist.input(), NodeId::GROUND);
+
+    // Sparsity pattern of the full MNA matrix, `GMIN` excluded: rows[i]
+    // holds the columns with a structural nonzero in row i.
+    let mut rows: Vec<Vec<usize>> = vec![Vec::new(); dim];
+    let add = |r: usize, c: usize, rows: &mut Vec<Vec<usize>>| {
+        if !rows[r].contains(&c) {
+            rows[r].push(c);
+        }
+    };
+    for e in netlist.elements() {
+        match *e {
+            Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => {
+                let (p, q) = (var(a), var(b));
+                if let Some(i) = p {
+                    add(i, i, &mut rows);
+                }
+                if let Some(j) = q {
+                    add(j, j, &mut rows);
+                }
+                if let (Some(i), Some(j)) = (p, q) {
+                    add(i, j, &mut rows);
+                    add(j, i, &mut rows);
+                }
+            }
+            Element::Vccs {
+                ctrl_p,
+                ctrl_n,
+                out_p,
+                out_n,
+                ..
+            } => {
+                for out in [out_p, out_n] {
+                    if let Some(row) = var(out) {
+                        for ctrl in [ctrl_p, ctrl_n] {
+                            if let Some(col) = var(ctrl) {
+                                add(row, col, &mut rows);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let inp = var(netlist.input()).ok_or_else(|| StructuralError::BadValue {
+        detail: "input node is ground".to_owned(),
+    })?;
+    add(inp, branch, &mut rows);
+    add(branch, inp, &mut rows);
+
+    // Empty row: no current balance constrains the node. Empty column:
+    // the node's voltage enters no equation. Either makes the matrix
+    // singular for every element value.
+    let mut col_occupied = vec![false; dim];
+    for cols in &rows {
+        for &c in cols {
+            col_occupied[c] = true;
+        }
+    }
+    for n in 1..nodes {
+        let v = n - 1;
+        if rows[v].is_empty() {
+            return Err(StructuralError::FloatingNode {
+                node: netlist.node_name(NodeId(n)).to_owned(),
+                detail: "structurally empty KCL row: no element conducts current at this node"
+                    .to_owned(),
+            });
+        }
+        if !col_occupied[v] {
+            return Err(StructuralError::FloatingNode {
+                node: netlist.node_name(NodeId(n)).to_owned(),
+                detail: "structurally empty column: no equation involves this node's voltage"
+                    .to_owned(),
+            });
+        }
+    }
+
+    // Ground reachability over the conducting graph (BFS from node 0).
+    let mut reached = vec![false; nodes];
+    let mut queue = vec![0usize];
+    reached[0] = true;
+    while let Some(n) = queue.pop() {
+        for &m in &adjacency[n] {
+            if !reached[m] {
+                reached[m] = true;
+                queue.push(m);
+            }
+        }
+    }
+    for (n, ok) in reached.iter().enumerate().skip(1) {
+        if !ok {
+            return Err(StructuralError::FloatingNode {
+                node: netlist.node_name(NodeId(n)).to_owned(),
+                detail: "no conducting path to gnd: the node's potential is undefined".to_owned(),
+            });
+        }
+    }
+
+    // Hall condition via maximum bipartite matching on the pattern.
+    let rank = structural_rank(&rows, dim);
+    if rank < dim {
+        return Err(StructuralError::StructurallySingular {
+            dim,
+            structural_rank: rank,
+        });
+    }
+    Ok(())
+}
+
+/// Full structural + value verification of a netlist.
+///
+/// # Errors
+///
+/// Returns the first failure from [`verify_structure`] or
+/// [`verify_values`].
+pub fn verify_netlist(netlist: &Netlist) -> Result<(), StructuralError> {
+    verify_structure(netlist)?;
+    verify_values(netlist)
+}
+
+/// Maximum bipartite matching (Kuhn's augmenting paths) between rows and
+/// columns of a sparsity pattern; the result is the structural rank.
+///
+/// The systems here are tiny (a dozen unknowns), so the O(V·E) algorithm
+/// is both simplest and fastest in practice.
+pub fn structural_rank(rows: &[Vec<usize>], ncols: usize) -> usize {
+    fn augment(
+        r: usize,
+        rows: &[Vec<usize>],
+        col_row: &mut [Option<usize>],
+        visited: &mut [bool],
+    ) -> bool {
+        for &c in &rows[r] {
+            if visited[c] {
+                continue;
+            }
+            visited[c] = true;
+            let free = match col_row[c] {
+                None => true,
+                Some(other) => augment(other, rows, col_row, visited),
+            };
+            if free {
+                col_row[c] = Some(r);
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut col_row: Vec<Option<usize>> = vec![None; ncols];
+    let mut rank = 0;
+    for r in 0..rows.len() {
+        let mut visited = vec![false; ncols];
+        if augment(r, rows, &mut col_row, &mut visited) {
+            rank += 1;
+        }
+    }
+    rank
+}
+
+/// Verifies one topology across its parameter space: the netlist is
+/// elaborated at the space's nominal point and at both unit-cube
+/// corners (every device at its lower bound, every device at its upper
+/// bound), and each elaboration must pass [`verify_netlist`]. Device
+/// ranges are monotone in the unit coordinate, so positivity at both
+/// corners covers the whole box.
+///
+/// # Errors
+///
+/// Returns the first [`StructuralError`] from any elaboration.
+pub fn verify_topology(topology: &Topology) -> Result<(), StructuralError> {
+    let space = ParamSpace::for_topology(topology);
+    let process = Process::default();
+    let corner = |x: f64| -> Result<(), StructuralError> {
+        let values = space.decode(&vec![x; space.dim()]).map_err(from_circuit)?;
+        let netlist =
+            elaborate(topology, &values, &process, VERIFY_CL_FARADS).map_err(from_circuit)?;
+        verify_netlist(&netlist)
+    };
+    let netlist =
+        elaborate(topology, &space.nominal(), &process, VERIFY_CL_FARADS).map_err(from_circuit)?;
+    verify_netlist(&netlist)?;
+    corner(0.0)?;
+    corner(1.0)
+}
+
+/// `true` when [`verify_topology`] accepts the topology. This is the
+/// predicate the BO candidate generators use to reject degenerate
+/// candidates before an evaluation slot is spent.
+pub fn is_structurally_valid(topology: &Topology) -> bool {
+    verify_topology(topology).is_ok()
+}
+
+fn from_circuit(e: CircuitError) -> StructuralError {
+    StructuralError::BadValue {
+        detail: e.to_string(),
+    }
+}
+
+/// Outcome of sweeping the whole design space through the verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Number of topologies checked (the full space:
+    /// [`DESIGN_SPACE_SIZE`]).
+    pub checked: usize,
+    /// Topologies that failed, as `(index, error)` pairs in index order.
+    pub failures: Vec<(usize, StructuralError)>,
+}
+
+impl SweepReport {
+    /// `true` when every topology passed.
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs [`verify_topology`] over all [`DESIGN_SPACE_SIZE`] enumerated
+/// topologies and collects the failures — the exhaustive design-space
+/// certification the CI `analysis` job enforces.
+pub fn sweep_design_space() -> SweepReport {
+    let mut failures = Vec::new();
+    for (index, topology) in Topology::enumerate().enumerate() {
+        if let Err(e) = verify_topology(&topology) {
+            failures.push((index, e));
+        }
+    }
+    SweepReport {
+        checked: DESIGN_SPACE_SIZE,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_circuit::NetlistBuilder;
+
+    fn rc_lowpass() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.resistor(inp, out, 1e3);
+        b.capacitor(out, NodeId::GROUND, 1e-9);
+        b.build(inp, out)
+    }
+
+    #[test]
+    fn healthy_netlist_passes_all_checks() {
+        let n = rc_lowpass();
+        assert_eq!(verify_netlist(&n), Ok(()));
+    }
+
+    #[test]
+    fn control_only_node_has_empty_row() {
+        // `in` drives a VCCS control and nothing else, but the test
+        // source covers it; a *second* control-only node has a truly
+        // empty KCL row.
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let ghost = b.add_node("ghost");
+        let out = b.add_node("out");
+        b.resistor(inp, out, 1e3);
+        b.inject_gm(ghost, out, 1e-3);
+        b.resistor(out, NodeId::GROUND, 1e3);
+        let n = b.build(inp, out);
+        match verify_structure(&n) {
+            Err(StructuralError::FloatingNode { node, detail }) => {
+                assert_eq!(node, "ghost");
+                assert!(detail.contains("KCL row"), "{detail}");
+            }
+            other => panic!("expected FloatingNode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsensed_driven_node_has_empty_column() {
+        // A VCCS injects into `sink` (through a resistor to ground so
+        // its row is non-empty), but nothing ever reads v(sink).
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        let sink = b.add_node("sink");
+        b.resistor(inp, out, 1e3);
+        b.resistor(out, NodeId::GROUND, 1e3);
+        b.vccs(inp, NodeId::GROUND, NodeId::GROUND, sink, 1e-3);
+        let n = b.build(inp, out);
+        // `sink`'s row contains the control column, its own column is
+        // empty (no R/C diag, no control use).
+        match verify_structure(&n) {
+            Err(StructuralError::FloatingNode { node, detail }) => {
+                assert_eq!(node, "sink");
+                assert!(detail.contains("column"), "{detail}");
+            }
+            other => panic!("expected FloatingNode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn island_is_disconnected_from_ground() {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        let a = b.add_node("isl_a");
+        let c = b.add_node("isl_b");
+        b.resistor(inp, out, 1e3);
+        b.resistor(out, NodeId::GROUND, 1e3);
+        // Island: R + C loop between two nodes, no path to gnd. Rows and
+        // columns are non-empty (diagonals), reachability catches it.
+        b.resistor(a, c, 1e3);
+        b.capacitor(a, c, 1e-12);
+        let n = b.build(inp, out);
+        match verify_structure(&n) {
+            Err(StructuralError::FloatingNode { node, detail }) => {
+                assert_eq!(node, "isl_a");
+                assert!(detail.contains("gnd"), "{detail}");
+            }
+            other => panic!("expected FloatingNode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gm_ring_without_return_path_is_structurally_singular() {
+        // a --R-- gnd; VCCS chain a→x, x→y, y→a, each injecting from
+        // gnd. Every row and column is structurally occupied and every
+        // node reaches gnd through a VCCS output branch, but rows
+        // {x, branch} confine their support to column {a}: Hall's
+        // condition fails and the matrix is singular for all values.
+        let mut b = NetlistBuilder::new();
+        let a = b.add_node("a");
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        b.resistor(a, NodeId::GROUND, 1e3);
+        b.inject_gm(a, x, 1e-3);
+        b.inject_gm(x, y, 1e-3);
+        b.inject_gm(y, a, 1e-3);
+        let n = b.build(a, y);
+        match verify_structure(&n) {
+            Err(StructuralError::StructurallySingular {
+                dim,
+                structural_rank,
+            }) => {
+                assert_eq!(dim, 4);
+                assert_eq!(structural_rank, 3);
+            }
+            other => panic!("expected StructurallySingular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_output_port_vccs_is_degenerate() {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.resistor(inp, out, 1e3);
+        b.resistor(out, NodeId::GROUND, 1e3);
+        b.vccs(inp, NodeId::GROUND, out, out, 1e-3);
+        let n = b.build(inp, out);
+        assert!(matches!(
+            verify_structure(&n),
+            Err(StructuralError::DegenerateVccs { index: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_control_port_vccs_is_degenerate() {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.resistor(inp, out, 1e3);
+        b.resistor(out, NodeId::GROUND, 1e3);
+        b.vccs(inp, inp, NodeId::GROUND, out, 1e-3);
+        let n = b.build(inp, out);
+        match verify_structure(&n) {
+            Err(StructuralError::DegenerateVccs { detail, .. }) => {
+                assert!(detail.contains("control"), "{detail}");
+            }
+            other => panic!("expected DegenerateVccs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_values_are_reported_by_value_pass_only() {
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        b.resistor(inp, out, -5.0);
+        b.capacitor(out, NodeId::GROUND, 1e-9);
+        let n = b.build(inp, out);
+        assert_eq!(verify_structure(&n), Ok(()));
+        assert!(matches!(
+            verify_values(&n),
+            Err(StructuralError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_rank_of_diagonal_pattern_is_full() {
+        let rows = vec![vec![0], vec![1], vec![2]];
+        assert_eq!(structural_rank(&rows, 3), 3);
+    }
+
+    #[test]
+    fn structural_rank_detects_column_sharing() {
+        // Three rows, support {0}, {0}, {0,1,2}: rank 2.
+        let rows = vec![vec![0], vec![0], vec![0, 1, 2]];
+        assert_eq!(structural_rank(&rows, 3), 2);
+    }
+
+    #[test]
+    fn structural_rank_needs_augmenting_paths() {
+        // Greedy left-to-right assignment would stall: row0 takes col0,
+        // row1 needs col0 only via reassigning row0 to col1.
+        let rows = vec![vec![0, 1], vec![0], vec![2]];
+        assert_eq!(structural_rank(&rows, 3), 3);
+    }
+
+    #[test]
+    fn every_paper_topology_is_structurally_valid_sampled() {
+        // The exhaustive sweep runs in release CI (`oa_sweep`); here a
+        // coarse stride keeps the debug-mode test fast while still
+        // crossing every edge-type combination class.
+        for index in (0..DESIGN_SPACE_SIZE).step_by(61) {
+            let t = Topology::from_index(index).unwrap();
+            assert_eq!(verify_topology(&t), Ok(()), "topology #{index}");
+        }
+    }
+}

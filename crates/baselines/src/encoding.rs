@@ -1,4 +1,4 @@
-//! One-hot feature embedding of topologies ([14]'s "feature embedding").
+//! One-hot feature embedding of topologies (\[14\]'s "feature embedding").
 //!
 //! Each of the five variable edges contributes a one-hot block over its
 //! legal type set (7 + 7 + 25 + 5 + 5 = 49 dimensions). Both baselines use

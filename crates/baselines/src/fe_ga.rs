@@ -1,5 +1,5 @@
 //! FE-GA: a genetic algorithm over feature-embedded topology genotypes —
-//! the comparison method built on [14]'s feature embedding.
+//! the comparison method built on \[14\]'s feature embedding.
 //!
 //! A steady-state GA: tournament selection under feasible-first ranking,
 //! uniform crossover over the five embedded genes, per-gene mutation, and

@@ -1,10 +1,10 @@
 //! Baseline topology optimizers for the INTO-OA comparison (Section IV-A).
 //!
 //! * [`fe_ga`] — FE-GA: a genetic algorithm over the feature-embedded
-//!   topology genotype of [14].
+//!   topology genotype of \[14\].
 //! * [`vgae_bo`] — VGAE-BO: Bayesian optimization in a continuous latent
 //!   space learned by a (linear, see DESIGN.md §2) graph autoencoder, after
-//!   [16].
+//!   \[16\].
 //!
 //! Both baselines consume the same evaluation-oracle interface as
 //! [`oa_bo::topology_bo`], so the experiment harness drives all methods

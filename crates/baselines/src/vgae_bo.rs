@@ -1,5 +1,5 @@
 //! VGAE-BO: Bayesian optimization in a continuous latent space learned by
-//! a graph autoencoder ([16]).
+//! a graph autoencoder (\[16\]).
 //!
 //! **Substitution note** (DESIGN.md §2): the original uses a variational
 //! graph autoencoder. Training a GNN is out of scope for this offline

@@ -1,5 +1,5 @@
 //! Reproduces **Fig. 7 + Table IV**: gradient-guided refinement of the two
-//! literature op-amps C1 [19] and C2 [20] toward S-5.
+//! literature op-amps C1 \[19\] and C2 \[20\] toward S-5.
 //!
 //! The trusted designs are sized under a mildly relaxed S-5 (emulating the
 //! published designs' original target) and then held to the full S-5,

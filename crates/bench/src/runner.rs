@@ -12,9 +12,9 @@ use crate::profile::Profile;
 /// One of the five compared methods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Method {
-    /// Genetic algorithm with feature embedding [14].
+    /// Genetic algorithm with feature embedding \[14\].
     FeGa,
-    /// BO with a (linear) graph-autoencoder latent space [16].
+    /// BO with a (linear) graph-autoencoder latent space \[16\].
     VgaeBo,
     /// INTO-OA with random-only candidates (ablation).
     IntoOaR,

@@ -1,5 +1,5 @@
 //! Acquisition functions: Expected Improvement and the weighted EI (wEI)
-//! of [1] used for constrained optimization.
+//! of \[1\] used for constrained optimization.
 
 /// Standard normal probability density.
 pub fn normal_pdf(z: f64) -> f64 {
@@ -59,7 +59,7 @@ pub fn probability_feasible(mean: f64, var: f64) -> f64 {
     normal_cdf(-mean / sigma)
 }
 
-/// The weighted EI acquisition of [1]: `EI(x) · Π_i P(c_i(x) ≤ 0)`.
+/// The weighted EI acquisition of \[1\]: `EI(x) · Π_i P(c_i(x) ≤ 0)`.
 ///
 /// `objective` is the `(mean, var)` posterior of the objective (to be
 /// maximized), `constraints` the posteriors of each constraint value

@@ -1,5 +1,5 @@
 //! Constrained Bayesian optimization on the unit cube — the automated
-//! sizing inner loop of Section II-A (method of [1]).
+//! sizing inner loop of Section II-A (method of \[1\]).
 
 use rand::Rng;
 use rand::SeedableRng;

@@ -3,7 +3,7 @@
 //! Three layers:
 //!
 //! * [`expected_improvement`] / [`probability_feasible`] / [`weighted_ei`] —
-//!   the acquisition functions ([1]'s wEI handles the performance
+//!   the acquisition functions (\[1\]'s wEI handles the performance
 //!   constraints).
 //! * [`maximize_constrained`] — constrained GP-BO on the unit cube: the
 //!   automated **sizing** inner loop every evaluated topology goes through

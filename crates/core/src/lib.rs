@@ -6,7 +6,7 @@
 //! * [`Spec`] — the design-specification sets of Table I and the FoM of
 //!   Eq. 6.
 //! * [`Evaluator`] — the evaluation oracle: automated sizing (constrained
-//!   BO, [1]) against the complex-MNA AC simulator in `oa-sim`.
+//!   BO, \[1\]) against the complex-MNA AC simulator in `oa-sim`.
 //! * [`optimize`] — the full INTO-OA optimizer: Algorithm 1 (WL kernel
 //!   GP-BO with the mutation + random candidate generator) over the
 //!   30 625-topology behavior-level design space, with the `-r`/`-m`

@@ -2,13 +2,13 @@
 //! Section IV-C.
 //!
 //! * **C1** — the feedforward-compensated three-stage OTA of Thandri &
-//!   Silva-Martínez (JSSC 2003, [19]): no Miller capacitors; a feedforward
+//!   Silva-Martínez (JSSC 2003, \[19\]): no Miller capacitors; a feedforward
 //!   transconductor from the input to the output plus a feedforward stage
 //!   from `v1` to `vout` with a parallel capacitor. The paper's Fig. 7(a)
 //!   highlights the parallel-connected `−gm` and `C` between `v1` and
 //!   `vout` as the subcircuit its refinement replaces with a bare `−gm`.
 //! * **C2** — the impedance-adapting compensated amplifier of Peng &
-//!   Sansen (JSSC 2011, [20]): series-RC Miller compensation between `v1`
+//!   Sansen (JSSC 2011, \[20\]): series-RC Miller compensation between `v1`
 //!   and `vout` plus an impedance-adapting series RC at the second-stage
 //!   output. Fig. 7(b) highlights the `−gm` between `vin` and `v2`, which
 //!   the refinement replaces by a series-connected `+gm` and `C`.
@@ -17,7 +17,7 @@ use oa_circuit::{
     GmComposite, GmDirection, GmPolarity, PassiveKind, SubcircuitType, Topology, VariableEdge,
 };
 
-/// The behavior-level topology of C1 ([19]): feedforward compensation, no
+/// The behavior-level topology of C1 (\[19\]): feedforward compensation, no
 /// Miller capacitors.
 ///
 /// # Examples
@@ -65,7 +65,7 @@ pub fn r1() -> Topology {
     .expect("legal replacement")
 }
 
-/// The behavior-level topology of C2 ([20]): series-RC Miller compensation
+/// The behavior-level topology of C2 (\[20\]): series-RC Miller compensation
 /// with impedance adapting, plus a feedforward `−gm` into `v2`.
 pub fn c2() -> Topology {
     Topology::bare_cascade()

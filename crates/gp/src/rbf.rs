@@ -1,5 +1,5 @@
 //! A squared-exponential GP regressor on the unit cube, used by the
-//! continuous sizing optimizer (Section II-A / [1] of the paper).
+//! continuous sizing optimizer (Section II-A / \[1\] of the paper).
 
 use std::sync::Arc;
 

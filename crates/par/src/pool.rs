@@ -80,6 +80,7 @@ impl Pool {
                 std::thread::Builder::new()
                     .name(format!("oa-par-worker-{i}"))
                     .spawn(move || worker_loop(&receiver))
+                    // lint: allow(panic, thread spawn failure at pool construction is unrecoverable; fail fast before serving)
                     .expect("spawn pool worker")
             })
             .collect();

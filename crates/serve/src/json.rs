@@ -290,6 +290,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, lit: &'static [u8], expected: &'static str) -> Result<(), JsonError> {
+        // lint: allow(panic, self.pos <= self.bytes.len() is a parser invariant; range slice cannot overrun)
         if self.bytes[self.pos..].starts_with(lit) {
             self.pos += lit.len();
             Ok(())
@@ -380,6 +381,7 @@ impl<'a> Parser<'a> {
                 // The input is a &str, so slices on char boundaries are
                 // valid UTF-8; '"' and '\\' are boundaries.
                 out.push_str(
+                    // lint: allow(panic, start <= pos <= len by the scan loop above; range slice cannot overrun)
                     std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("valid UTF-8"))?,
                 );
@@ -489,6 +491,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
+        // lint: allow(panic, slice spans only ASCII digit/sign bytes just scanned, so bounds and UTF-8 both hold)
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
         let n: f64 = text.parse().map_err(|_| JsonError::Syntax {
             pos: start,

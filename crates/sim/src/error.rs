@@ -22,6 +22,24 @@ pub enum SimError {
     },
     /// The requested frequency grid is empty or not strictly increasing.
     BadFrequencyGrid,
+    /// A node is floating: its KCL row or voltage column is structurally
+    /// empty, or it has no conducting path to ground. Caught by the
+    /// pre-numeric structural verifier before any stamping happens.
+    FloatingNode {
+        /// Name of the offending node.
+        node: String,
+        /// Which floating condition fired.
+        detail: String,
+    },
+    /// The MNA sparsity pattern admits no perfect row–column matching,
+    /// so the determinant is identically zero for *every* assignment of
+    /// element values — no numeric pivot strategy can save it.
+    StructurallySingular {
+        /// Full MNA dimension (node rows + source branch).
+        dim: usize,
+        /// Maximum bipartite matching size of the pattern.
+        structural_rank: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -32,6 +50,16 @@ impl fmt::Display for SimError {
             }
             SimError::BadElement { detail } => write!(f, "bad element: {detail}"),
             SimError::BadFrequencyGrid => write!(f, "frequency grid is empty or not increasing"),
+            SimError::FloatingNode { node, detail } => {
+                write!(f, "floating node '{node}': {detail}")
+            }
+            SimError::StructurallySingular {
+                dim,
+                structural_rank,
+            } => write!(
+                f,
+                "structurally singular MNA system: structural rank {structural_rank} < dimension {dim}"
+            ),
         }
     }
 }

@@ -6,10 +6,33 @@
 //! node (exactly as production SPICE engines do) keeps the matrix
 //! non-singular when capacitor-only paths block DC.
 
+use oa_analyze::{verify_structure, StructuralError};
 use oa_circuit::{Element, Netlist, NodeId};
 use oa_linalg::{factorize_in_place, solve_in_place, CMatrix, CluFactor, Complex};
 
 use crate::error::SimError;
+
+/// Maps a structural-verifier outcome onto the simulator's error type.
+/// Port degeneracies and elaboration failures fold into [`SimError::BadElement`];
+/// the two floating/singular cases keep their dedicated variants so callers
+/// (the BO candidate filter, the serving layer) can tell "never solvable"
+/// apart from "bad values".
+fn structural_to_sim_error(err: StructuralError) -> SimError {
+    match err {
+        StructuralError::FloatingNode { node, detail } => SimError::FloatingNode { node, detail },
+        StructuralError::StructurallySingular {
+            dim,
+            structural_rank,
+        } => SimError::StructurallySingular {
+            dim,
+            structural_rank,
+        },
+        StructuralError::DegenerateVccs { index, detail } => SimError::BadElement {
+            detail: format!("degenerate vccs (element {index}): {detail}"),
+        },
+        StructuralError::BadValue { detail } => SimError::BadElement { detail },
+    }
+}
 
 /// Assembles and solves the MNA system of a netlist at one frequency.
 ///
@@ -196,9 +219,15 @@ impl<'a> MnaSystem<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::BadElement`] for non-finite or non-positive
-    /// element values (the same validation as [`MnaSystem::assemble`]).
+    /// Returns [`SimError::FloatingNode`] or
+    /// [`SimError::StructurallySingular`] when the pre-numeric structural
+    /// verifier proves the system unsolvable for every element value
+    /// (disconnected node, empty KCL row/column, or a sparsity pattern
+    /// with no perfect row–column matching), and [`SimError::BadElement`]
+    /// for non-finite or non-positive element values (the same validation
+    /// as [`MnaSystem::assemble`]).
     pub fn prepare(&self) -> Result<PreparedSweep, SimError> {
+        verify_structure(self.netlist).map_err(structural_to_sim_error)?;
         let dim = self.dim();
         let branch = dim - 1;
         let mut g = vec![0.0; dim * dim];
@@ -649,6 +678,75 @@ mod tests {
         let n = b.build(inp, out);
         let sys = MnaSystem::new(&n, 1e-12);
         assert!(matches!(sys.prepare(), Err(SimError::BadElement { .. })));
+    }
+
+    #[test]
+    fn prepare_rejects_floating_node_with_typed_error() {
+        // `mid`–`mid2` form a resistive island: both nodes have stamps
+        // (non-empty rows and columns) but no conducting path to ground,
+        // so only the reachability check catches them.
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        let mid = b.add_node("mid");
+        let mid2 = b.add_node("mid2");
+        b.resistor(inp, out, 1e3);
+        b.capacitor(out, NodeId::GROUND, 1e-12);
+        b.resistor(mid, mid2, 1e3);
+        let n = b.build(inp, out);
+        match MnaSystem::new(&n, 1e-12).prepare() {
+            Err(SimError::FloatingNode { node, detail }) => {
+                assert_eq!(node, "mid");
+                assert!(detail.contains("no conducting path to gnd"), "{detail}");
+            }
+            other => panic!("expected FloatingNode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prepare_rejects_control_only_node_with_typed_error() {
+        // `ghost` is referenced only as a VCCS control terminal: its KCL
+        // row is structurally empty (the zero-row fixture).
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let out = b.add_node("out");
+        let ghost = b.add_node("ghost");
+        b.resistor(inp, NodeId::GROUND, 1e3);
+        b.resistor(out, NodeId::GROUND, 1e3);
+        b.vccs(ghost, NodeId::GROUND, out, NodeId::GROUND, 1e-3);
+        let n = b.build(inp, out);
+        match MnaSystem::new(&n, 1e-12).prepare() {
+            Err(SimError::FloatingNode { node, detail }) => {
+                assert_eq!(node, "ghost");
+                assert!(detail.contains("empty KCL row"), "{detail}");
+            }
+            other => panic!("expected FloatingNode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prepare_rejects_structurally_singular_gm_ring() {
+        // Every node conducts and reaches ground, yet the pattern has no
+        // perfect matching: only the Hall-condition layer rejects it.
+        let mut b = NetlistBuilder::new();
+        let inp = b.add_node("in");
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        b.resistor(inp, NodeId::GROUND, 1e3);
+        b.vccs(inp, NodeId::GROUND, x, NodeId::GROUND, 1e-3);
+        b.vccs(x, NodeId::GROUND, y, NodeId::GROUND, 1e-3);
+        b.vccs(y, NodeId::GROUND, inp, NodeId::GROUND, 1e-3);
+        let n = b.build(inp, x);
+        match MnaSystem::new(&n, 1e-12).prepare() {
+            Err(SimError::StructurallySingular {
+                dim,
+                structural_rank,
+            }) => {
+                assert_eq!(dim, 4);
+                assert_eq!(structural_rank, 3);
+            }
+            other => panic!("expected StructurallySingular, got {other:?}"),
+        }
     }
 
     #[test]

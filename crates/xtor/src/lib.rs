@@ -1,7 +1,7 @@
 //! Transistor-level substrate of the INTO-OA reproduction (Section IV-D).
 //!
 //! Behavior-level winners are validated at transistor level through the
-//! `gm/Id`-based mapping of [16]: the input stage becomes a differential
+//! `gm/Id`-based mapping of \[16\]: the input stage becomes a differential
 //! pair with a current-mirror load, every other transconductor a
 //! common-source amplifier, and device geometry follows from synthetic
 //! `gm/Id` lookup tables (see DESIGN.md §2 for the PDK substitution).

@@ -1,5 +1,5 @@
 //! `gm/Id`-based mapping of behavior-level op-amps to transistor level
-//! ([16]'s method, Section II-C / IV-D of the INTO-OA paper).
+//! (\[16\]'s method, Section II-C / IV-D of the INTO-OA paper).
 //!
 //! The amplifier stage connected to `vin` becomes a differential pair with
 //! a current-mirror load; every other transconductor becomes a

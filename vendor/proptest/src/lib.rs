@@ -161,7 +161,7 @@ pub mod collection {
         HashSetStrategy { element, size }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, Z> {
         element: S,
