@@ -9,7 +9,7 @@
 //! | `wall_clock` | all workspace code | no `SystemTime` / `Instant::now` — wall-clock must never reach response bytes |
 //! | `unordered_collections` | `oa-serve`, `oa-store` | no `HashMap`/`HashSet` where iteration order could feed serialized output — use `BTreeMap` or sorted vectors |
 //! | `float_format` | `oa-serve`, `oa-store`, `oa-bench` | exponent-format floats in caches/stores/wire encodings only via the exact `{:.17e}` round-trip form |
-//! | `panic` | `oa-serve` request path, `oa-par` pool | no `unwrap`/`expect`/slice-indexing without an annotation |
+//! | `panic` | `oa-serve` request path, `oa-par` pool, `oa-fault` | no `unwrap`/`expect`/slice-indexing without an annotation |
 //! | `forbid_unsafe` | every crate root | `#![forbid(unsafe_code)]` must be present |
 //!
 //! ## Annotation grammar
@@ -135,7 +135,9 @@ pub fn scope_of(path: &str) -> Scope {
         wall_clock: true,
         unordered_collections: serialization,
         float_format: serialization || in_crate("bench"),
-        panic: request_path || in_crate("par"),
+        // The fault layer sits inside both the store and the serving hot
+        // path, so it inherits the same panic-freedom bar as oa-par.
+        panic: request_path || in_crate("par") || in_crate("fault"),
         forbid_unsafe: path.ends_with("src/lib.rs"),
     }
 }
@@ -613,6 +615,8 @@ mod tests {
         assert!(!s.panic, "CLI binaries are not the request path");
         let s = scope_of("crates/par/src/pool.rs");
         assert!(s.panic && !s.unordered_collections);
+        let s = scope_of("crates/fault/src/plan.rs");
+        assert!(s.panic, "the fault layer runs on the request path");
         let s = scope_of("crates/sim/src/lib.rs");
         assert!(s.forbid_unsafe && s.wall_clock && !s.panic);
         let s = scope_of("crates/bench/src/cache.rs");

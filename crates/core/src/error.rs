@@ -66,6 +66,129 @@ impl From<GpError> for IntoOaError {
     }
 }
 
+/// Machine-readable class of a per-item evaluation failure.
+///
+/// Batch endpoints (`eval_batch` in `oa-serve`) evaluate items
+/// independently and degrade gracefully: a failed item carries an
+/// [`EvalError`] while its siblings still return results. The kind is
+/// the stable wire contract — clients branch on [`EvalErrorKind::code`],
+/// never on the human-readable detail text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalErrorKind {
+    /// The item itself is malformed: unknown topology code, sizing
+    /// vector of the wrong dimension, unknown metric, out-of-range
+    /// parameter.
+    BadRequest,
+    /// The circuit elaborated but simulation failed (singular MNA
+    /// system, bad frequency grid, non-finite result).
+    Sim,
+    /// A deterministic fault-injection plan failed this item on
+    /// purpose. Only ever produced under a chaos harness; retrying the
+    /// item without the plan succeeds.
+    Injected,
+    /// An unexpected server-side failure (surrogate error, lost worker,
+    /// store corruption). Safe to retry.
+    Internal,
+}
+
+impl EvalErrorKind {
+    /// The stable wire code for this kind.
+    pub fn code(self) -> &'static str {
+        match self {
+            EvalErrorKind::BadRequest => "bad_request",
+            EvalErrorKind::Sim => "sim",
+            EvalErrorKind::Injected => "injected",
+            EvalErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire code back into a kind.
+    pub fn from_code(code: &str) -> Option<EvalErrorKind> {
+        match code {
+            "bad_request" => Some(EvalErrorKind::BadRequest),
+            "sim" => Some(EvalErrorKind::Sim),
+            "injected" => Some(EvalErrorKind::Injected),
+            "internal" => Some(EvalErrorKind::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EvalErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A typed per-item evaluation error: a stable [`EvalErrorKind`] plus a
+/// human-readable detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Stable machine-readable class.
+    pub kind: EvalErrorKind,
+    /// Human-readable context; not part of the wire contract.
+    pub detail: String,
+}
+
+impl EvalError {
+    /// A [`EvalErrorKind::BadRequest`] error.
+    pub fn bad_request(detail: impl Into<String>) -> EvalError {
+        EvalError {
+            kind: EvalErrorKind::BadRequest,
+            detail: detail.into(),
+        }
+    }
+
+    /// A [`EvalErrorKind::Sim`] error.
+    pub fn sim(detail: impl Into<String>) -> EvalError {
+        EvalError {
+            kind: EvalErrorKind::Sim,
+            detail: detail.into(),
+        }
+    }
+
+    /// An [`EvalErrorKind::Injected`] error.
+    pub fn injected(detail: impl Into<String>) -> EvalError {
+        EvalError {
+            kind: EvalErrorKind::Injected,
+            detail: detail.into(),
+        }
+    }
+
+    /// An [`EvalErrorKind::Internal`] error.
+    pub fn internal(detail: impl Into<String>) -> EvalError {
+        EvalError {
+            kind: EvalErrorKind::Internal,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+impl Error for EvalError {}
+
+impl From<IntoOaError> for EvalError {
+    fn from(e: IntoOaError) -> Self {
+        let kind = match &e {
+            // Malformed inputs: the caller sent something undecodable.
+            IntoOaError::Circuit(_) | IntoOaError::UnknownMetric { .. } => {
+                EvalErrorKind::BadRequest
+            }
+            IntoOaError::Sim(_) => EvalErrorKind::Sim,
+            IntoOaError::Gp(_) | IntoOaError::NoDesignFound => EvalErrorKind::Internal,
+        };
+        EvalError {
+            kind,
+            detail: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +204,32 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<IntoOaError>();
+        assert_send_sync::<EvalError>();
+    }
+
+    #[test]
+    fn eval_error_kinds_round_trip_their_codes() {
+        for kind in [
+            EvalErrorKind::BadRequest,
+            EvalErrorKind::Sim,
+            EvalErrorKind::Injected,
+            EvalErrorKind::Internal,
+        ] {
+            assert_eq!(EvalErrorKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(EvalErrorKind::from_code("nonsense"), None);
+    }
+
+    #[test]
+    fn into_oa_error_maps_to_stable_kinds() {
+        let sim = EvalError::from(IntoOaError::from(SimError::BadFrequencyGrid));
+        assert_eq!(sim.kind, EvalErrorKind::Sim);
+        let bad = EvalError::from(IntoOaError::UnknownMetric {
+            name: "qfactor".into(),
+        });
+        assert_eq!(bad.kind, EvalErrorKind::BadRequest);
+        assert!(bad.to_string().starts_with("bad_request: "));
+        let internal = EvalError::from(IntoOaError::NoDesignFound);
+        assert_eq!(internal.kind, EvalErrorKind::Internal);
     }
 }

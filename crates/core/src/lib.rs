@@ -47,7 +47,7 @@ mod optimizer;
 mod refine;
 mod spec;
 
-pub use error::IntoOaError;
+pub use error::{EvalError, EvalErrorKind, IntoOaError};
 pub use evaluator::{EvalHandle, Evaluator, SizedDesign};
 pub use interpret::{
     removal_sensitivity, MetricModels, RemovalSensitivity, StructureImpact, MODELLED_METRICS,

@@ -1,0 +1,59 @@
+//! **oa-fault** — a seeded, deterministic fault-injection layer for the
+//! INTO-OA serving stack.
+//!
+//! The store (`oa-store`) and the evaluation service (`oa-serve`) promise
+//! crash safety and byte-identical recovery; this crate makes those
+//! promises *testable* by injecting the failures they claim to survive —
+//! torn writes, failed fsyncs, dropped and stalled connections, worker
+//! panics, per-item evaluation errors — from a seeded schedule that is a
+//! pure function of the seed and the call sequence. No wall clock, no
+//! global state, no environment reads.
+//!
+//! # Determinism contract
+//!
+//! A [`FaultPlan`] owns an xorshift64\*-seeded stream. Every
+//! [`Faults::decide`] call consumes a deterministic number of draws, so
+//! *same seed + same sequence of `decide` calls ⇒ same decisions*, and
+//! the recorded trace (and its [`Faults::trace_hash`]) is replayable.
+//! Under concurrency the interleaving of `decide` calls across threads is
+//! the caller's responsibility: the chaos harness serializes requests so
+//! the global call sequence — and therefore the whole fault schedule — is
+//! reproducible from the seed alone.
+//!
+//! # Zero cost when disabled
+//!
+//! The [`Faults`] handle threaded through the hot paths is a newtype over
+//! `Option<Arc<..>>`. [`Faults::none`] (the default) short-circuits every
+//! [`Faults::decide`] to [`Decision::Pass`] on a single `None` check —
+//! no lock, no rng, no allocation — so production builds pay one
+//! predictable branch per injection point.
+//!
+//! # Example
+//!
+//! ```
+//! use oa_fault::{Decision, FaultConfig, Faults, Site};
+//!
+//! let faults = Faults::seeded(42, FaultConfig::store_storm());
+//! let mut injected = 0;
+//! for _ in 0..100 {
+//!     if faults.decide(Site::StoreWrite, 64) != Decision::Pass {
+//!         injected += 1;
+//!     }
+//! }
+//! assert!(injected > 0, "a storm profile injects");
+//! // Replaying the same seed reproduces the same schedule exactly.
+//! let replay = Faults::seeded(42, FaultConfig::store_storm());
+//! for _ in 0..100 {
+//!     let _ = replay.decide(Site::StoreWrite, 64);
+//! }
+//! assert_eq!(faults.trace_hash(), replay.trace_hash());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+mod retry;
+
+pub use plan::{Decision, FaultConfig, FaultPlan, FaultStats, Faults, Site, TraceEvent};
+pub use retry::RetryPolicy;

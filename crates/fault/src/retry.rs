@@ -1,0 +1,143 @@
+//! Deterministic bounded retry with exponential backoff.
+//!
+//! The serving clients retry transient transport failures (dropped
+//! connections, timeouts, mid-frame disconnects) against a store-backed
+//! server, where a retried request is served byte-identically — so
+//! retries are safe by construction and the only question is pacing.
+//! The schedule here is *deterministic*: no jitter, no clock reads.
+//! Reproducibility of a chaos run beats thundering-herd smoothing at
+//! this scale, and the fault layer's own stalls already decorrelate
+//! concurrent clients in tests.
+
+/// A bounded exponential-backoff schedule.
+///
+/// Attempt `k` (0-based) sleeps `min(cap_millis, base_millis << k)`
+/// before retrying; after `max_attempts` total attempts the last error
+/// is returned to the caller.
+///
+/// # Examples
+///
+/// ```
+/// let policy = oa_fault::RetryPolicy {
+///     max_attempts: 4,
+///     base_millis: 10,
+///     cap_millis: 40,
+/// };
+/// let delays: Vec<u64> = policy.delays().collect();
+/// assert_eq!(delays, vec![10, 20, 40]); // one fewer than attempts
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). 0 is treated as 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, milliseconds.
+    pub base_millis: u64,
+    /// Upper bound on any single backoff, milliseconds.
+    pub cap_millis: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, immediate failure propagation.
+    pub const fn disabled() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_millis: 0,
+            cap_millis: 0,
+        }
+    }
+
+    /// The serving clients' default: 4 attempts, 10 ms doubling to a
+    /// 100 ms cap — bounded worst-case wait of 170 ms per request.
+    pub const fn default_client() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_millis: 10,
+            cap_millis: 100,
+        }
+    }
+
+    /// Total attempts, never less than 1.
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// The backoff (milliseconds) after failed attempt `attempt`
+    /// (0-based), or `None` when the budget is exhausted and the error
+    /// should propagate.
+    pub fn backoff_millis(&self, attempt: u32) -> Option<u64> {
+        if attempt + 1 >= self.attempts() {
+            return None;
+        }
+        let shifted = match attempt {
+            a if a >= 63 => u64::MAX,
+            a => self.base_millis.saturating_mul(1u64 << a),
+        };
+        Some(shifted.min(self.cap_millis))
+    }
+
+    /// The full backoff schedule: one delay per retry, in order.
+    pub fn delays(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..).map_while(|attempt| self.backoff_millis(attempt))
+    }
+
+    /// Worst-case total backoff across every retry, milliseconds.
+    pub fn total_backoff_millis(&self) -> u64 {
+        self.delays().fold(0u64, u64::saturating_add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_exponential_then_capped() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_millis: 5,
+            cap_millis: 33,
+        };
+        let delays: Vec<u64> = p.delays().collect();
+        assert_eq!(delays, vec![5, 10, 20, 33, 33]);
+        assert_eq!(p.total_backoff_millis(), 101);
+    }
+
+    #[test]
+    fn disabled_policy_never_sleeps() {
+        let p = RetryPolicy::disabled();
+        assert_eq!(p.attempts(), 1);
+        assert_eq!(p.backoff_millis(0), None);
+        assert_eq!(p.delays().count(), 0);
+    }
+
+    #[test]
+    fn zero_attempts_is_clamped_to_one() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            base_millis: 10,
+            cap_millis: 100,
+        };
+        assert_eq!(p.attempts(), 1);
+        assert_eq!(p.backoff_millis(0), None);
+    }
+
+    #[test]
+    fn huge_attempt_numbers_saturate_instead_of_overflowing() {
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_millis: u64::MAX / 2,
+            cap_millis: u64::MAX,
+        };
+        assert_eq!(p.backoff_millis(80), Some(u64::MAX));
+        assert_eq!(p.backoff_millis(2), Some(u64::MAX));
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let p = RetryPolicy::default_client();
+        let a: Vec<u64> = p.delays().collect();
+        let b: Vec<u64> = p.delays().collect();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![10, 20, 40]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Serve chaos trials: under the full serve storm (dropped/stalled
+//! connections, mid-frame disconnects, worker panics, per-item batch
+//! errors) a retrying client must end up with responses byte-identical
+//! to a fault-free server, and the schedule must replay exactly.
+//!
+//! Serve trials pay real timeouts for injected worker panics, so only a
+//! slice of the corpus runs here; the full corpus runs in the `oa-chaos`
+//! binary (CI `chaos` job).
+
+use std::fs;
+use std::path::PathBuf;
+
+use oa_serve::chaos::{load_seed_corpus, serve_trial};
+
+fn corpus_head(n: usize) -> Vec<u64> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/seeds/chaos.txt");
+    let mut seeds = load_seed_corpus(&path).expect("pinned seed corpus must parse");
+    seeds.truncate(n);
+    seeds
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("oa_fault_it_serve_{tag}_{}", std::process::id()))
+}
+
+#[test]
+fn responses_survive_the_serve_storm_byte_identically() {
+    let dir = temp_dir("bytes");
+    for seed in corpus_head(2) {
+        let trial = serve_trial(&dir.join(format!("s{seed}")), seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: trial failed to run: {e}"));
+        assert!(
+            trial.matches_baseline,
+            "seed {seed}: responses diverge from the fault-free baseline \
+             (trace {:016x}):\n{}",
+            trial.trace_hash,
+            trial.responses.join("\n")
+        );
+        assert!(
+            trial.stats.injected > 0,
+            "seed {seed}: the storm must inject for the invariant to mean anything"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_schedule_replays_the_same_trace() {
+    let dir = temp_dir("trace");
+    let seed = corpus_head(1)[0];
+    let a = serve_trial(&dir.join("a"), seed).unwrap();
+    let b = serve_trial(&dir.join("b"), seed).unwrap();
+    assert_eq!(
+        a.trace_hash, b.trace_hash,
+        "seed {seed}: two runs of the same serve schedule diverged"
+    );
+    assert_eq!(a.responses, b.responses, "seed {seed}");
+    let _ = fs::remove_dir_all(&dir);
+}

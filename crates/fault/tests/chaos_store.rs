@@ -1,0 +1,80 @@
+//! Store chaos matrix over the pinned seed corpus: every seed's
+//! crash/recovery sequence must end byte-identical to a fault-free
+//! baseline, and every schedule must replay exactly (same seed, same
+//! trace hash).
+
+use std::fs;
+use std::path::PathBuf;
+
+use oa_serve::chaos::{load_seed_corpus, store_trial};
+
+fn corpus() -> Vec<u64> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/seeds/chaos.txt");
+    let seeds = load_seed_corpus(&path).expect("pinned seed corpus must parse");
+    assert!(!seeds.is_empty(), "seed corpus must not be empty");
+    seeds
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("oa_fault_it_store_{tag}_{}", std::process::id()))
+}
+
+#[test]
+fn every_corpus_seed_recovers_byte_identically() {
+    let dir = temp_dir("bytes");
+    let mut total_injected = 0u64;
+    for seed in corpus() {
+        let trial = store_trial(&dir.join(format!("s{seed}")), seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: trial failed to run: {e}"));
+        assert!(
+            trial.matches_baseline,
+            "seed {seed}: post-recovery store diverges from fault-free baseline \
+             (trace {:016x})",
+            trial.trace_hash
+        );
+        total_injected += trial.stats.injected;
+    }
+    assert!(
+        total_injected > 0,
+        "the corpus must actually inject faults for the invariant to mean anything"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_corpus_seed_replays_the_same_trace() {
+    let dir = temp_dir("trace");
+    for seed in corpus() {
+        let a = store_trial(&dir.join(format!("a{seed}")), seed).unwrap();
+        let b = store_trial(&dir.join(format!("b{seed}")), seed).unwrap();
+        assert_eq!(
+            a.trace_hash, b.trace_hash,
+            "seed {seed}: two runs of the same schedule diverged"
+        );
+        assert_eq!(a.retried_puts, b.retried_puts, "seed {seed}");
+        assert_eq!(a.failed_compactions, b.failed_compactions, "seed {seed}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn distinct_seeds_produce_distinct_schedules() {
+    let dir = temp_dir("distinct");
+    let seeds = corpus();
+    let mut hashes: Vec<u64> = seeds
+        .iter()
+        .map(|&seed| {
+            store_trial(&dir.join(format!("d{seed}")), seed)
+                .unwrap()
+                .trace_hash
+        })
+        .collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    assert_eq!(
+        hashes.len(),
+        seeds.len(),
+        "two corpus seeds collapsed onto one schedule"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

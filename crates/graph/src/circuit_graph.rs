@@ -163,6 +163,42 @@ impl CircuitGraph {
             .iter()
             .position(|&o| o == NodeOrigin::Variable(edge))
     }
+
+    /// The same graph with node `i` renumbered to `perm[i]` — a pure
+    /// relabelling of node indices. Labels, origins and adjacency move
+    /// with their node, so the result is isomorphic to `self`, and any
+    /// node-order-invariant quantity (WL features, kernels) must agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..node_count()`.
+    pub fn permuted(&self, perm: &[usize]) -> CircuitGraph {
+        let n = self.node_count();
+        assert_eq!(perm.len(), n, "permutation length must match node count");
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(p < n, "permutation entry {p} out of range");
+            assert!(!seen[p], "permutation repeats entry {p}");
+            seen[p] = true;
+        }
+
+        let mut labels = vec![String::new(); n];
+        let mut origins = self.origins.clone();
+        let mut adj = vec![Vec::new(); n];
+        for (i, &p) in perm.iter().enumerate() {
+            labels[p] = self.labels[i].clone();
+            origins[p] = self.origins[i];
+            let mut neighbors: Vec<usize> = self.adj[i].iter().map(|&j| perm[j]).collect();
+            neighbors.sort_unstable();
+            adj[p] = neighbors;
+        }
+        CircuitGraph {
+            labels,
+            origins,
+            adj,
+            edge_count: self.edge_count,
+        }
+    }
 }
 
 impl fmt::Display for CircuitGraph {

@@ -1,0 +1,156 @@
+//! Property tests for the WL featurizer, pinned to the three invariants
+//! a graph kernel must satisfy to be usable inside a GP surrogate:
+//!
+//! 1. **Permutation invariance** — renumbering graph nodes changes
+//!    nothing observable: per-level count vectors, kernel values, and
+//!    (pointwise, through the permutation) the node label sequences.
+//! 2. **Memoized = naive** — `featurize_topology` (the per-topology
+//!    cache used on the optimizer hot path) agrees exactly with a fresh
+//!    `featurize` of the elaborated graph, on both miss and hit.
+//! 3. **PSD-ness** — the Gram matrix over a random topology batch is
+//!    symmetric positive-semidefinite (Cholesky with tiny jitter
+//!    succeeds, and random quadratic forms are non-negative).
+
+use oa_circuit::{Topology, DESIGN_SPACE_SIZE};
+use oa_graph::{CircuitGraph, WlFeaturizer};
+use oa_linalg::{Cholesky, Matrix};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (0..DESIGN_SPACE_SIZE).prop_map(|i| Topology::from_index(i).expect("in range"))
+}
+
+/// Deterministic permutation of `0..n` from a seed (xorshift64* driven
+/// Fisher-Yates), so failures replay from the proptest seed alone.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut draw = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (draw() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn permuted_graph_is_the_same_graph(t in arb_topology(), seed in 0u64..u64::MAX) {
+        let g = CircuitGraph::from_topology(&t);
+        let perm = permutation(g.node_count(), seed);
+        let p = g.permuted(&perm);
+
+        prop_assert_eq!(p.node_count(), g.node_count());
+        prop_assert_eq!(p.edge_count(), g.edge_count());
+        for i in 0..g.node_count() {
+            prop_assert_eq!(p.label(perm[i]), g.label(i));
+            prop_assert_eq!(p.origin(perm[i]), g.origin(i));
+            let mut mapped: Vec<usize> = g.neighbors(i).iter().map(|&j| perm[j]).collect();
+            mapped.sort_unstable();
+            prop_assert_eq!(p.neighbors(perm[i]), &mapped[..]);
+        }
+    }
+
+    #[test]
+    fn wl_features_are_permutation_invariant(
+        t in arb_topology(),
+        seed in 0u64..u64::MAX,
+        h in 0usize..4,
+    ) {
+        let g = CircuitGraph::from_topology(&t);
+        let perm = permutation(g.node_count(), seed);
+        let p = g.permuted(&perm);
+
+        let mut wl = WlFeaturizer::new();
+        let fg = wl.featurize(&g, h);
+        let fp = wl.featurize(&p, h);
+
+        // Count vectors are order-free, so they must match level by level.
+        for level in 0..=h {
+            prop_assert!(
+                fg.level(level) == fp.level(level),
+                "level {} count vectors diverge under a node permutation",
+                level
+            );
+        }
+        // Per-node labels follow their node through the permutation.
+        for level in 0..=h {
+            for (i, &pi) in perm.iter().enumerate() {
+                prop_assert_eq!(fg.node_label(level, i), fp.node_label(level, pi));
+            }
+        }
+        // And so does every kernel value that involves the graph.
+        let self_k = fg.kernel(&fg, h);
+        prop_assert!(
+            fg.kernel(&fp, h) == self_k && fp.kernel(&fp, h) == self_k,
+            "kernel values diverge under a node permutation"
+        );
+    }
+
+    #[test]
+    fn memoized_features_equal_naive_features(t in arb_topology(), h in 0usize..4) {
+        let mut wl = WlFeaturizer::new();
+        let miss = wl.featurize_topology(&t, h);
+        let hit = wl.featurize_topology(&t, h);
+        let naive = wl.featurize(&CircuitGraph::from_topology(&t), h);
+        prop_assert!(miss == naive, "cache miss diverged from a direct featurize");
+        prop_assert!(hit == naive, "cache hit diverged from a direct featurize");
+    }
+
+    #[test]
+    fn kernel_gram_matrices_are_psd(
+        indices in proptest::collection::vec(0..DESIGN_SPACE_SIZE, 3..10),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut wl = WlFeaturizer::new();
+        let feats: Vec<_> = indices
+            .iter()
+            .map(|&i| wl.featurize_topology(&Topology::from_index(i).expect("in range"), 2))
+            .collect();
+        let n = feats.len();
+        let k = Matrix::from_fn(n, n, |i, j| feats[i].kernel(&feats[j], 2));
+
+        let scale = (0..n).map(|i| k[(i, i)]).fold(1.0f64, f64::max);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(
+                    (k[(i, j)] - k[(j, i)]).abs() <= 1e-12 * scale,
+                    "Gram matrix is not symmetric at ({}, {})", i, j
+                );
+            }
+        }
+
+        // PSD up to numerical noise: a hair of jitter must make the
+        // factorization go through (duplicate topologies make the exact
+        // matrix singular, which is still PSD).
+        prop_assert!(
+            Cholesky::new_with_jitter(&k, 1e-9 * scale, 8).is_ok(),
+            "Gram matrix is not positive-semidefinite"
+        );
+
+        // Independent check: random quadratic forms stay non-negative.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for _ in 0..8 {
+            let z: Vec<f64> = (0..n)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
+                        / (1u64 << 53) as f64
+                        - 0.5
+                })
+                .collect();
+            let kz = k.mat_vec(&z);
+            let quad: f64 = z.iter().zip(&kz).map(|(a, b)| a * b).sum();
+            prop_assert!(quad >= -1e-9 * scale, "quadratic form went negative: {}", quad);
+        }
+    }
+}

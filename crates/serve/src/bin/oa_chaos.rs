@@ -1,0 +1,225 @@
+//! `oa-chaos` — seeded chaos harness for the store and serving stack.
+//!
+//! Replays deterministic fault schedules (torn writes, failed syncs,
+//! compaction tears, dropped/stalled connections, mid-frame disconnects,
+//! worker panics, per-item batch errors) against the production recovery
+//! paths, and checks two invariants per seed:
+//!
+//! 1. after every injected crash/recovery sequence, the compacted store
+//!    log and the client-visible responses are **byte-identical** to a
+//!    fault-free baseline;
+//! 2. running the same seed twice yields the **same decision trace**
+//!    (trace-hash equality), so any failure reproduces from its seed.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use oa_serve::chaos::{load_seed_corpus, serve_trial, store_trial};
+
+const USAGE: &str = "\
+oa-chaos — seeded fault-injection harness for oa-store and oa-serve
+
+USAGE:
+    oa-chaos [--seeds FILE] [--seed N]... [--store-only | --serve-only]
+             [--keep DIR]
+
+OPTIONS:
+    --seeds FILE   Seed corpus: one decimal seed per line, '#' comments
+                   (default: tests/seeds/chaos.txt when present,
+                   otherwise a built-in trio)
+    --seed N       Add one seed (repeatable; suppresses the corpus file)
+    --store-only   Run only the store trials
+    --serve-only   Run only the serve trials
+    --keep DIR     Keep trial artifacts under DIR instead of a scratch
+                   directory that is removed on exit
+    -h, --help     Print this help
+
+OUTPUT:
+    One line per trial:
+      <kind>\\tseed=<N>\\tinjected=<k>/<n>\\ttrace=<hash>\\t<PASS|FAIL>
+    Exit status 0 iff every trial passed both invariants.
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}\n\n{USAGE}");
+    exit(2);
+}
+
+struct Args {
+    seeds: Vec<u64>,
+    run_store: bool,
+    run_serve: bool,
+    keep: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds_file: Option<PathBuf> = None;
+    let mut explicit_seeds: Vec<u64> = Vec::new();
+    let mut run_store = true;
+    let mut run_serve = true;
+    let mut keep = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                exit(0);
+            }
+            "--store-only" => {
+                run_serve = false;
+                i += 1;
+            }
+            "--serve-only" => {
+                run_store = false;
+                i += 1;
+            }
+            flag @ ("--seeds" | "--seed" | "--keep") => {
+                let Some(value) = argv.get(i + 1) else {
+                    fail(&format!("flag '{flag}' needs a value"));
+                };
+                match flag {
+                    "--seeds" => seeds_file = Some(PathBuf::from(value)),
+                    "--seed" => match value.parse::<u64>() {
+                        Ok(seed) => explicit_seeds.push(seed),
+                        Err(_) => fail("--seed needs an unsigned integer"),
+                    },
+                    _ => keep = Some(PathBuf::from(value)),
+                }
+                i += 2;
+            }
+            other => fail(&format!("unknown flag '{other}'")),
+        }
+    }
+
+    let seeds = if !explicit_seeds.is_empty() {
+        explicit_seeds
+    } else {
+        let path = seeds_file.unwrap_or_else(|| PathBuf::from("tests/seeds/chaos.txt"));
+        if path.exists() {
+            match load_seed_corpus(&path) {
+                Ok(seeds) if !seeds.is_empty() => seeds,
+                Ok(_) => fail(&format!("seed corpus {} is empty", path.display())),
+                Err(e) => fail(&format!("cannot read seed corpus: {e}")),
+            }
+        } else {
+            vec![7, 42, 1003]
+        }
+    };
+
+    Args {
+        seeds,
+        run_store,
+        run_serve,
+        keep,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    // Injected worker panics are expected traffic here; keep them out of
+    // stderr so real failures stand out. Anything else still prints.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected worker panic"))
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected worker panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let (root, scratch) = match &args.keep {
+        Some(dir) => (dir.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!("oa_chaos_{}", std::process::id())),
+            true,
+        ),
+    };
+
+    let mut failures = 0usize;
+    for &seed in &args.seeds {
+        if args.run_store {
+            // Two runs per seed: byte-identity per run, plus trace
+            // equality across runs (the determinism invariant).
+            let dir_a = root.join(format!("store_{seed}_a"));
+            let dir_b = root.join(format!("store_{seed}_b"));
+            match (store_trial(&dir_a, seed), store_trial(&dir_b, seed)) {
+                (Ok(a), Ok(b)) => {
+                    let ok =
+                        a.matches_baseline && b.matches_baseline && a.trace_hash == b.trace_hash;
+                    if !ok {
+                        failures += 1;
+                    }
+                    println!(
+                        "store\tseed={seed}\tinjected={}/{}\tretried_puts={}\ttrace={:016x}\t{}",
+                        a.stats.injected,
+                        a.stats.decisions,
+                        a.retried_puts,
+                        a.trace_hash,
+                        verdict(
+                            a.matches_baseline,
+                            b.matches_baseline,
+                            a.trace_hash == b.trace_hash
+                        ),
+                    );
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    failures += 1;
+                    println!("store\tseed={seed}\tFAIL (trial error: {e})");
+                }
+            }
+        }
+        if args.run_serve {
+            let dir_a = root.join(format!("serve_{seed}_a"));
+            let dir_b = root.join(format!("serve_{seed}_b"));
+            match (serve_trial(&dir_a, seed), serve_trial(&dir_b, seed)) {
+                (Ok(a), Ok(b)) => {
+                    let ok =
+                        a.matches_baseline && b.matches_baseline && a.trace_hash == b.trace_hash;
+                    if !ok {
+                        failures += 1;
+                    }
+                    println!(
+                        "serve\tseed={seed}\tinjected={}/{}\ttrace={:016x}\t{}",
+                        a.stats.injected,
+                        a.stats.decisions,
+                        a.trace_hash,
+                        verdict(
+                            a.matches_baseline,
+                            b.matches_baseline,
+                            a.trace_hash == b.trace_hash
+                        ),
+                    );
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    failures += 1;
+                    println!("serve\tseed={seed}\tFAIL (trial error: {e})");
+                }
+            }
+        }
+    }
+
+    if scratch {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    if failures > 0 {
+        eprintln!("oa-chaos: {failures} trial(s) FAILED");
+        exit(1);
+    }
+    println!("oa-chaos: all trials passed");
+}
+
+fn verdict(a_ok: bool, b_ok: bool, trace_ok: bool) -> &'static str {
+    match (a_ok && b_ok, trace_ok) {
+        (true, true) => "PASS",
+        (false, true) => "FAIL (bytes diverge from baseline)",
+        (true, false) => "FAIL (trace not reproducible)",
+        (false, false) => "FAIL (bytes and trace)",
+    }
+}

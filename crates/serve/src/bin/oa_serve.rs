@@ -8,6 +8,7 @@
 use std::path::PathBuf;
 use std::process::exit;
 
+use oa_fault::{FaultConfig, Faults};
 use oa_serve::{serve, ServerConfig};
 
 const USAGE: &str = "\
@@ -15,6 +16,7 @@ oa-serve — concurrent evaluation service for the INTO-OA design space
 
 USAGE:
     oa-serve [--addr HOST:PORT] [--workers N] [--queue N] [--store PATH]
+             [--fault-seed N]
 
 OPTIONS:
     --addr HOST:PORT   Bind address (default 127.0.0.1:7878; port 0 picks a free port)
@@ -22,6 +24,11 @@ OPTIONS:
     --queue N          Bounded request-queue capacity (default 256)
     --store PATH       Result-store log file
                        (default: $OA_STORE_DIR/results.log or results/store/results.log)
+    --fault-seed N     CHAOS TESTING ONLY: inject deterministic faults
+                       (torn writes, failed syncs, dropped/stalled
+                       connections, worker panics, per-item batch errors)
+                       from the seeded storm plan. Same seed, same
+                       decision sequence. Never use in production.
     -h, --help         Print this help
 
 PROTOCOL:
@@ -64,6 +71,10 @@ fn main() {
                 _ => fail("--queue needs a positive integer"),
             },
             "--store" => config.store_path = PathBuf::from(value),
+            "--fault-seed" => match value.parse::<u64>() {
+                Ok(seed) => config.faults = Faults::seeded(seed, FaultConfig::storm()),
+                _ => fail("--fault-seed needs an unsigned integer"),
+            },
             other => fail(&format!("unknown flag '{other}'")),
         }
         i += 2;

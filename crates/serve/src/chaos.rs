@@ -1,0 +1,333 @@
+//! Seeded chaos trials: replay a deterministic fault schedule against
+//! the store and the server, and check the recovery invariants.
+//!
+//! A trial runs the same workload twice — once fault-free (the
+//! baseline) and once under a seeded [`Faults`] plan with every injected
+//! failure handled by the production recovery paths (put retry, client
+//! reconnect/backoff, batch re-request). The invariants checked:
+//!
+//! 1. **Byte-identity** — after any injected crash/recovery sequence,
+//!    the compacted store log and the client-visible responses are
+//!    byte-identical to the fault-free baseline.
+//! 2. **Determinism** — the same seed replays the same decision trace
+//!    ([`Faults::trace_hash`]), so every chaos failure is reproducible
+//!    from its seed alone.
+//!
+//! The `oa-chaos` binary drives these over the pinned corpus in
+//! `tests/seeds/`; the `oa-fault` integration tests assert the same
+//! invariants per seed.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use oa_circuit::{ParamSpace, Topology};
+use oa_fault::{FaultConfig, FaultStats, Faults, RetryPolicy};
+use oa_store::Store;
+
+use crate::client::{request, Client, ClientConfig};
+use crate::server::{serve, ServerConfig};
+
+/// Put attempts per record before a store trial gives up (the schedule
+/// advances every attempt, so consecutive injected failures decay
+/// geometrically and this bound is never reached in practice).
+const MAX_PUT_ATTEMPTS: usize = 64;
+
+/// Re-requests of a batch line before a serve trial accepts injected
+/// item errors as final.
+const MAX_BATCH_ATTEMPTS: usize = 64;
+
+/// The client profile every serve trial uses: patient enough for an
+/// injected worker panic (which produces no response at all) to surface
+/// as a read timeout, aggressive enough to keep trials fast.
+fn trial_client_config() -> ClientConfig {
+    ClientConfig {
+        retry: RetryPolicy {
+            max_attempts: 12,
+            base_millis: 2,
+            cap_millis: 20,
+        },
+        timeout_millis: Some(500),
+    }
+}
+
+/// Parses a seed-corpus file: one decimal seed per line, `#` comments
+/// and blank lines ignored.
+///
+/// # Errors
+///
+/// Read failures, or a line that is neither a seed, a comment nor blank.
+pub fn load_seed_corpus(path: &Path) -> io::Result<Vec<u64>> {
+    let text = fs::read_to_string(path)?;
+    let mut seeds = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let seed = line.parse::<u64>().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}:{}: bad seed '{line}'", path.display(), lineno + 1),
+            )
+        })?;
+        seeds.push(seed);
+    }
+    Ok(seeds)
+}
+
+/// The outcome of one seeded store trial.
+#[derive(Debug, Clone)]
+pub struct StoreTrial {
+    /// The seed the fault plan ran under.
+    pub seed: u64,
+    /// Records in the workload.
+    pub records: usize,
+    /// Injected put failures that were retried to success.
+    pub retried_puts: u64,
+    /// Mid-trial compactions failed by the plan (log left untouched).
+    pub failed_compactions: u64,
+    /// Whether the post-recovery compacted log byte-matches the
+    /// fault-free baseline — the trial's pass/fail verdict.
+    pub matches_baseline: bool,
+    /// Hash of the recorded decision trace (replay fingerprint).
+    pub trace_hash: u64,
+    /// Decision counters.
+    pub stats: FaultStats,
+}
+
+/// Deterministic workload derived from the seed: distinct keys,
+/// variable-length pseudorandom values (zeros and 0xFF runs included).
+fn store_workload(seed: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut draw = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..40)
+        .map(|i| {
+            let key = format!("chaos/{seed}/{i}").into_bytes();
+            let len = (draw() % 64) as usize;
+            let value: Vec<u8> = (0..len).map(|_| draw() as u8).collect();
+            (key, value)
+        })
+        .collect()
+}
+
+/// Runs one seeded store trial under `dir` (created; caller removes).
+///
+/// The faulty run appends the workload with per-put retry, attempts a
+/// compaction mid-way, then "crashes" (drops the handle), recovers by
+/// reopening fault-free, and compacts. The baseline run does the same
+/// workload with no faults.
+///
+/// # Errors
+///
+/// I/O failures outside the injected schedule (environment problems),
+/// or a put still failing after `MAX_PUT_ATTEMPTS` retries.
+pub fn store_trial(dir: &Path, seed: u64) -> io::Result<StoreTrial> {
+    let records = store_workload(seed);
+    let faults = Faults::seeded(seed, FaultConfig::store_storm());
+
+    // Baseline: same workload, no faults, one final compaction.
+    let base_path = dir.join("baseline").join("log");
+    let mut base = Store::open(&base_path)?;
+    for (k, v) in &records {
+        base.put(k, v)?;
+    }
+    base.compact()?;
+    drop(base);
+    let baseline = fs::read(&base_path)?;
+
+    // Faulty run: every failure handled by the production paths.
+    let chaos_path = dir.join("chaos").join("log");
+    let mut store = Store::open_with_faults(&chaos_path, faults.clone())?;
+    let mut retried_puts = 0u64;
+    let mut failed_compactions = 0u64;
+    for (i, (k, v)) in records.iter().enumerate() {
+        let mut attempts = 0usize;
+        while let Err(e) = store.put(k, v) {
+            attempts += 1;
+            retried_puts += 1;
+            if attempts >= MAX_PUT_ATTEMPTS {
+                return Err(io::Error::other(format!(
+                    "seed {seed}: put of record {i} still failing after {attempts} attempts: {e}"
+                )));
+            }
+        }
+        // A compaction attempt mid-workload; an injected tear leaves the
+        // log untouched and the torn temp file behind.
+        if i == records.len() / 2 && store.compact().is_err() {
+            failed_compactions += 1;
+        }
+    }
+    // Crash: drop the handle with whatever torn bytes the schedule left.
+    drop(store);
+
+    // Recovery: reopen fault-free (scan + torn-tail truncation + stale
+    // compaction-temp cleanup), then compact.
+    let mut recovered = Store::open(&chaos_path)?;
+    let complete = records
+        .iter()
+        .all(|(k, v)| recovered.get(k).as_deref() == Some(v.as_slice()));
+    recovered.compact()?;
+    drop(recovered);
+    let final_bytes = fs::read(&chaos_path)?;
+
+    Ok(StoreTrial {
+        seed,
+        records: records.len(),
+        retried_puts,
+        failed_compactions,
+        matches_baseline: complete && final_bytes == baseline,
+        trace_hash: faults.trace_hash(),
+        stats: faults.stats(),
+    })
+}
+
+/// The outcome of one seeded serve trial.
+#[derive(Debug, Clone)]
+pub struct ServeTrial {
+    /// The seed the fault plan ran under.
+    pub seed: u64,
+    /// Responses from the faulty server, in request order.
+    pub responses: Vec<String>,
+    /// Whether every response byte-matches the fault-free baseline —
+    /// the trial's pass/fail verdict.
+    pub matches_baseline: bool,
+    /// Hash of the recorded decision trace (replay fingerprint).
+    pub trace_hash: u64,
+    /// Decision counters.
+    pub stats: FaultStats,
+}
+
+/// The serve-trial request set: a handful of `eval`s across distinct
+/// topologies plus one `eval_batch`. Returns `(line, is_batch)`.
+fn serve_requests() -> Vec<(String, bool)> {
+    let mut lines = Vec::new();
+    let mut items = Vec::new();
+    for (id, index) in [0usize, 97, 1031, 4_444, 17_001].into_iter().enumerate() {
+        let t = Topology::from_index(index % oa_circuit::DESIGN_SPACE_SIZE)
+            .unwrap_or_else(|_| Topology::bare_cascade());
+        let dim = ParamSpace::for_topology(&t).dim();
+        let x: Vec<f64> = (0..dim)
+            .map(|j| 0.25 + 0.5 * (j as f64) / dim.max(1) as f64)
+            .collect();
+        lines.push((request::eval(id as u64, "S-1", t.index(), &x), false));
+        if items.len() < 3 {
+            items.push((t.index(), x));
+        }
+    }
+    lines.push((request::eval_batch(99, "S-1", &items), true));
+    lines
+}
+
+/// Runs one seeded serve trial under `dir` (created; caller removes).
+///
+/// The faulty server runs the full serve storm — dropped and stalled
+/// connections, mid-frame disconnects, worker panics, per-item batch
+/// errors — against a retrying client. `eval` responses must survive
+/// retries byte-identically; the batch line is re-requested until the
+/// schedule stops failing its items, at which point it too must
+/// byte-match the baseline.
+///
+/// # Errors
+///
+/// Bind/store failures, or a request still failing after the bounded
+/// retry/re-request budget.
+pub fn serve_trial(dir: &Path, seed: u64) -> io::Result<ServeTrial> {
+    let requests = serve_requests();
+
+    // Baseline: fault-free server, plain client.
+    let mut base_config = ServerConfig::loopback();
+    base_config.store_path = dir.join("baseline.log");
+    let base_server = serve(base_config)?;
+    let mut base_client = Client::connect(base_server.addr())?;
+    let mut baseline = Vec::with_capacity(requests.len());
+    for (line, _) in &requests {
+        baseline.push(base_client.request(line)?);
+    }
+    drop(base_client);
+    base_server.shutdown();
+
+    // Faulty run: serve storm vs the resilient client.
+    let faults = Faults::seeded(seed, FaultConfig::serve_storm());
+    let mut config = ServerConfig::loopback();
+    config.store_path = dir.join("chaos.log");
+    config.workers = 2;
+    config.faults = faults.clone();
+    let server = serve(config)?;
+    let mut client = Client::connect_with(server.addr(), trial_client_config())?;
+    let mut responses = Vec::with_capacity(requests.len());
+    for (line, is_batch) in &requests {
+        let mut response = client.request_with_retry(line)?;
+        if *is_batch {
+            // Injected per-item errors are correct degraded behavior,
+            // not the final answer: re-request until the schedule lets
+            // the batch through clean, then demand byte-identity.
+            let mut attempts = 1usize;
+            while response.contains("\"kind\":\"injected\"") && attempts < MAX_BATCH_ATTEMPTS {
+                attempts += 1;
+                response = client.request_with_retry(line)?;
+            }
+        }
+        responses.push(response);
+    }
+    drop(client);
+    server.shutdown();
+
+    let matches_baseline = responses == baseline;
+    Ok(ServeTrial {
+        seed,
+        responses,
+        matches_baseline,
+        trace_hash: faults.trace_hash(),
+        stats: faults.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "oa_chaos_mod_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn seed_corpus_parses_comments_and_blanks() {
+        let dir = temp_dir("corpus");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seeds.txt");
+        fs::write(&path, "# corpus\n7\n\n21 # inline\n9000\n").unwrap();
+        assert_eq!(load_seed_corpus(&path).unwrap(), vec![7, 21, 9000]);
+        fs::write(&path, "7\nnot-a-seed\n").unwrap();
+        assert!(load_seed_corpus(&path).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_workload_is_seed_deterministic() {
+        assert_eq!(store_workload(5), store_workload(5));
+        assert_ne!(store_workload(5), store_workload(6));
+    }
+
+    #[test]
+    fn store_trial_recovers_byte_identically_and_replays() {
+        let dir = temp_dir("store");
+        let a = store_trial(&dir.join("a"), 42).unwrap();
+        let b = store_trial(&dir.join("b"), 42).unwrap();
+        assert!(a.matches_baseline, "recovery must byte-match baseline");
+        assert!(b.matches_baseline);
+        assert_eq!(a.trace_hash, b.trace_hash, "same seed, same schedule");
+        assert_eq!(a.retried_puts, b.retried_puts);
+        assert!(a.stats.injected > 0, "storm must inject");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

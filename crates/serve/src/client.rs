@@ -1,10 +1,54 @@
 //! A small synchronous client for the wire protocol, used by `oa-cli`
 //! and the integration tests.
+//!
+//! [`Client::connect_with`] adds the resilience layer the chaos harness
+//! exercises: a per-read timeout and bounded, deterministic
+//! exponential-backoff retry ([`oa_fault::RetryPolicy`]). Retrying a
+//! request blindly is safe because every endpoint is store-backed and
+//! deterministic — resending the same line yields the same bytes, and a
+//! half-applied request cannot exist ([`oa_store::Store::put`] either
+//! lands a record or leaves no trace).
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use oa_fault::RetryPolicy;
 
 use crate::json::Json;
+
+/// Client resilience parameters.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Retry schedule for [`Client::request_with_retry`].
+    pub retry: RetryPolicy,
+    /// Per-read timeout in milliseconds; `None` blocks forever. A
+    /// timeout surfaces as an `io::Error` (`WouldBlock`/`TimedOut`),
+    /// which the retry path treats like any other failure: backoff,
+    /// reconnect, resend.
+    pub timeout_millis: Option<u64>,
+}
+
+impl Default for ClientConfig {
+    /// No retry, no timeout — the behavior of [`Client::connect`].
+    fn default() -> ClientConfig {
+        ClientConfig {
+            retry: RetryPolicy::disabled(),
+            timeout_millis: None,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The recommended resilient profile: 4 attempts with 10 ms → 100 ms
+    /// capped backoff, 2 s read timeout.
+    pub fn resilient() -> ClientConfig {
+        ClientConfig {
+            retry: RetryPolicy::default_client(),
+            timeout_millis: Some(2_000),
+        }
+    }
+}
 
 /// A connected client. One TCP connection; requests may be pipelined
 /// (the server replies as jobs finish, tagged by `id`).
@@ -12,19 +56,63 @@ use crate::json::Json;
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connects to a running `oa-serve`.
+    /// Connects to a running `oa-serve` with no timeout and no retry.
     ///
     /// # Errors
     ///
     /// Connection failures.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit resilience parameters.
+    ///
+    /// # Errors
+    ///
+    /// Address resolution or connection failures.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        config: ClientConfig,
+    ) -> std::io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let (writer, reader) = Self::open(&addrs, config.timeout_millis)?;
+        Ok(Client {
+            writer,
+            reader,
+            addrs,
+            config,
+        })
+    }
+
+    fn open(
+        addrs: &[SocketAddr],
+        timeout_millis: Option<u64>,
+    ) -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
+        let writer = TcpStream::connect(addrs)?;
         writer.set_nodelay(true)?;
+        if let Some(millis) = timeout_millis {
+            writer.set_read_timeout(Some(Duration::from_millis(millis.max(1))))?;
+        }
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { writer, reader })
+        Ok((writer, reader))
+    }
+
+    /// Drops the current connection and dials again (same address,
+    /// same timeout). Any buffered partial frame is discarded.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let (writer, reader) = Self::open(&self.addrs, self.config.timeout_millis)?;
+        self.writer = writer;
+        self.reader = reader;
+        Ok(())
     }
 
     /// Sends one request line (newline appended).
@@ -41,7 +129,10 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Socket read failures; `UnexpectedEof` on server disconnect.
+    /// Socket read failures; `UnexpectedEof` on server disconnect —
+    /// including a *mid-frame* disconnect, where bytes arrived but the
+    /// terminating newline never did. A torn frame is never returned as
+    /// if it were a response.
     pub fn recv_line(&mut self) -> std::io::Result<String> {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;
@@ -49,6 +140,12 @@ impl Client {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
+            ));
+        }
+        if !line.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-frame",
             ));
         }
         while line.ends_with('\n') || line.ends_with('\r') {
@@ -65,6 +162,33 @@ impl Client {
     pub fn request(&mut self, line: &str) -> std::io::Result<String> {
         self.send_line(line)?;
         self.recv_line()
+    }
+
+    /// One request, one response, with the configured retry schedule:
+    /// on any socket failure (including a read timeout or a mid-frame
+    /// disconnect) sleep the deterministic backoff delay, reconnect and
+    /// resend. Blind resends are safe — see the module docs.
+    ///
+    /// # Errors
+    ///
+    /// The last socket failure once the retry budget is exhausted.
+    pub fn request_with_retry(&mut self, line: &str) -> std::io::Result<String> {
+        let mut attempt = 0u32;
+        loop {
+            match self.send_line(line).and_then(|()| self.recv_line()) {
+                Ok(response) => return Ok(response),
+                Err(e) => match self.config.retry.backoff_millis(attempt) {
+                    Some(delay) => {
+                        std::thread::sleep(Duration::from_millis(delay));
+                        attempt += 1;
+                        // A failed reconnect is not fatal here: the next
+                        // send fails fast and consumes the next attempt.
+                        let _ = self.reconnect();
+                    }
+                    None => return Err(e),
+                },
+            }
+        }
     }
 
     /// Pipelines every request line, then collects exactly as many

@@ -18,6 +18,11 @@
 //! * **Persistence** — results are served from [`oa_store`] when the
 //!   evaluation key matches; only misses simulate. Same request + same
 //!   seed → byte-identical response, across restarts.
+//! * **Failure model** — a seeded [`oa_fault::Faults`] plan
+//!   ([`ServerConfig::faults`], `oa-serve --fault-seed`) injects dropped
+//!   and stalled connections, mid-frame disconnects, worker panics and
+//!   per-item batch errors; clients harden with [`ClientConfig`]
+//!   (timeouts + deterministic bounded retry). See DESIGN.md §9.
 //!
 //! Binaries: `oa-serve` (daemon) and `oa-cli` (submit request files,
 //! print TSV). In-process use:
@@ -36,14 +41,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod client;
 pub mod json;
 mod server;
 mod service;
 
-pub use client::{request, Client};
+pub use client::{request, Client, ClientConfig};
 pub use json::{Json, JsonError};
 pub use server::{default_store_dir, serve, Server, ServerConfig};
 pub use service::{
-    eval_result_json, process_fingerprint, size_opt_result_json, wl_fingerprint, Service,
+    eval_error_json, eval_result_json, process_fingerprint, size_opt_result_json, wl_fingerprint,
+    Service,
 };

@@ -8,13 +8,15 @@
 //! and carry the request `id`, so clients can pipeline freely.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use oa_par::Pool;
+use oa_fault::{Decision, Faults, Site};
+use oa_par::{JobHook, Pool};
 use oa_store::Store;
 
 use crate::service::Service;
@@ -31,17 +33,23 @@ pub struct ServerConfig {
     pub queue: usize,
     /// Path of the persistent result-store log.
     pub store_path: PathBuf,
+    /// Fault-injection plan shared by the store, the connection loops,
+    /// the worker pool and the per-item batch path. [`Faults::none`]
+    /// (the default) disables every site at the cost of one branch.
+    pub faults: Faults,
 }
 
 impl ServerConfig {
     /// Loopback defaults: free port, `oa_par::jobs()` workers, queue of
-    /// 256, store under `OA_STORE_DIR` (default `results/store`).
+    /// 256, store under `OA_STORE_DIR` (default `results/store`), no
+    /// fault injection.
     pub fn loopback() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: oa_par::jobs(),
             queue: 256,
             store_path: default_store_dir().join("results.log"),
+            faults: Faults::none(),
         }
     }
 }
@@ -107,11 +115,26 @@ impl Drop for Server {
 ///
 /// Store-open or bind failures.
 pub fn serve(config: ServerConfig) -> std::io::Result<Server> {
-    let store = Store::open(&config.store_path)?;
-    let service = Arc::new(Service::new(store));
+    let faults = config.faults.clone();
+    let store = Store::open_with_faults(&config.store_path, faults.clone())?;
+    let service = Arc::new(Service::with_faults(store, faults.clone()));
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let pool = Arc::new(Pool::new(config.workers, config.queue));
+    // The worker-panic site is a pool hook: an injected panic fires
+    // before the job runs, so the response for that request is simply
+    // never produced — the client sees a timeout, exactly like a real
+    // panic between dequeue and reply. The pool contains it.
+    let hook: Option<JobHook> = if faults.is_active() {
+        let plan = faults.clone();
+        Some(Arc::new(move || {
+            if let Decision::Panic = plan.decide(Site::WorkerJob, 0) {
+                panic!("injected worker panic");
+            }
+        }))
+    } else {
+        None
+    };
+    let pool = Arc::new(Pool::with_hook(config.workers, config.queue, hook));
     let stop = Arc::new(AtomicBool::new(false));
 
     let acceptor = {
@@ -127,9 +150,10 @@ pub fn serve(config: ServerConfig) -> std::io::Result<Server> {
                     let Ok(stream) = stream else { continue };
                     let service = Arc::clone(&service);
                     let pool = Arc::clone(&pool);
+                    let faults = faults.clone();
                     let _ = std::thread::Builder::new()
                         .name("oa-serve-conn".to_owned())
-                        .spawn(move || connection_loop(stream, &service, &pool));
+                        .spawn(move || connection_loop(stream, &service, &pool, &faults));
                 }
                 // `pool` drops with the acceptor once all connection
                 // threads have released their clones, joining workers.
@@ -144,7 +168,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<Server> {
     })
 }
 
-fn connection_loop(stream: TcpStream, service: &Arc<Service>, pool: &Arc<Pool>) {
+fn connection_loop(stream: TcpStream, service: &Arc<Service>, pool: &Arc<Pool>, faults: &Faults) {
     let writer = match stream.try_clone() {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
@@ -155,12 +179,31 @@ fn connection_loop(stream: TcpStream, service: &Arc<Service>, pool: &Arc<Pool>) 
         if line.trim().is_empty() {
             continue;
         }
+        // Read-side faults: a dropped connection closes the socket with
+        // the request unanswered; a stall delays it (latency, not bytes).
+        match faults.decide(Site::ConnRead, line.len() as u64) {
+            Decision::DropConn => break,
+            Decision::Stall { millis } => std::thread::sleep(Duration::from_millis(millis)),
+            _ => {}
+        }
         let service = Arc::clone(service);
         let writer = Arc::clone(&writer);
+        let faults = faults.clone();
         let submitted = pool.submit(move || {
             let mut response = service.handle_line(&line);
             response.push('\n');
             let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
+            // Write-side fault: a mid-frame disconnect sends a torn
+            // prefix (no newline) and shuts the socket down, so the
+            // client sees a half frame followed by EOF — the worst
+            // failure a real peer can observe.
+            if let Decision::DropConn = faults.decide(Site::ConnWrite, response.len() as u64) {
+                let torn = response.len() / 2;
+                // lint: allow(panic, len/2 is always within the response)
+                let _ = w.write_all(&response.as_bytes()[..torn]);
+                let _ = w.shutdown(Shutdown::Both);
+                return;
+            }
             // One locked write per response keeps frames whole even when
             // jobs for the same connection finish on different workers.
             let _ = w.write_all(response.as_bytes());
@@ -189,6 +232,7 @@ mod tests {
             workers: 4,
             queue: 8,
             store_path: dir.join("results.log"),
+            faults: Faults::none(),
         };
         (config, dir)
     }

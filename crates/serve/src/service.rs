@@ -21,8 +21,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use into_oa::{EvalHandle, Evaluator, SizedDesign, Spec};
+use into_oa::{EvalError, EvalHandle, Evaluator, SizedDesign, Spec};
 use oa_circuit::Topology;
+use oa_fault::{Decision, Faults, Site};
 use oa_graph::WlFeaturizer;
 use oa_store::{hash_f64s, EvalKey, EvalKind, Store};
 
@@ -79,6 +80,23 @@ pub fn eval_result_json(design: &SizedDesign, wl_fingerprint: u64) -> String {
     .encode()
     // lint: allow(panic, encode fails only on non-finite floats; Performance fields are finite by construction)
     .expect("measured performance is finite")
+}
+
+/// Renders a typed per-item error frame for `eval_batch`:
+/// `{"error":{"kind":"...","detail":"..."}}`. The `kind` is the stable
+/// wire contract ([`into_oa::EvalErrorKind::code`]); `detail` is
+/// human-readable context.
+pub fn eval_error_json(err: &EvalError) -> String {
+    Json::Obj(vec![(
+        "error".into(),
+        Json::Obj(vec![
+            ("kind".into(), Json::str(err.kind.code())),
+            ("detail".into(), Json::str(err.detail.clone())),
+        ]),
+    )])
+    .encode()
+    // lint: allow(panic, an error frame holds only strings so encode cannot fail)
+    .expect("strings encode")
 }
 
 /// Renders a size_opt result object.
@@ -148,6 +166,7 @@ pub struct Service {
     handles: Vec<EvalHandle>,
     store: Mutex<Store>,
     wl: Mutex<WlFeaturizer>,
+    faults: Faults,
     process_hash: u64,
     sims: AtomicU64,
     eval_counters: EndpointCounters,
@@ -158,8 +177,17 @@ pub struct Service {
 
 impl Service {
     /// Builds a service over an open store, with evaluators for every
-    /// spec in Table I.
+    /// spec in Table I and fault injection disabled.
     pub fn new(store: Store) -> Service {
+        Self::with_faults(store, Faults::none())
+    }
+
+    /// Like [`Service::new`], threading a fault plan through the
+    /// per-item `eval_batch` path ([`oa_fault::Site::EvalItem`]). The
+    /// store's own fault sites are configured when the store is opened
+    /// ([`oa_store::Store::open_with_faults`]); pass the same handle for
+    /// one shared schedule.
+    pub fn with_faults(store: Store, faults: Faults) -> Service {
         let handles: Vec<EvalHandle> = Spec::all()
             .into_iter()
             .map(|spec| Evaluator::new(spec).into_handle())
@@ -170,6 +198,7 @@ impl Service {
             handles,
             store: Mutex::new(store),
             wl: Mutex::new(WlFeaturizer::new()),
+            faults,
             process_hash,
             sims: AtomicU64::new(0),
             eval_counters: EndpointCounters::default(),
@@ -270,7 +299,7 @@ impl Service {
         handle: &EvalHandle,
         topology: &Topology,
         x: &[f64],
-    ) -> Result<String, String> {
+    ) -> Result<String, EvalError> {
         let key = EvalKey {
             kind: EvalKind::Eval,
             topology_code: topology.index() as u64,
@@ -281,9 +310,10 @@ impl Service {
         }
         .encode();
         if let Some(bytes) = self.store_get(&key) {
-            return String::from_utf8(bytes).map_err(|_| "corrupt store value".to_owned());
+            return String::from_utf8(bytes)
+                .map_err(|_| EvalError::internal("corrupt store value"));
         }
-        let design = handle.eval(topology, x).map_err(|e| e.to_string())?;
+        let design = handle.eval(topology, x).map_err(EvalError::from)?;
         self.sims.fetch_add(1, Ordering::Relaxed);
         let fingerprint = {
             let mut wl = self.wl.lock().unwrap_or_else(|p| p.into_inner());
@@ -298,7 +328,10 @@ impl Service {
         let handle = self.handle_for(request)?;
         let topology = Self::topology_from(request.get("topology"))?;
         let x = Self::x_from(request.get("x"))?;
+        // The top-level `eval` error is the plain detail text; typed
+        // kinds are a per-item concern of `eval_batch`.
         self.eval_via_store(handle, &topology, &x)
+            .map_err(|e| e.detail)
     }
 
     fn op_eval_batch(&self, request: &Json) -> Result<String, String> {
@@ -308,19 +341,24 @@ impl Service {
             .and_then(Json::as_arr)
             .ok_or("missing array field 'items'")?;
         let mut parts = Vec::with_capacity(items.len());
-        for item in items {
-            let part = Self::topology_from(item.get("topology"))
-                .and_then(|t| Self::x_from(item.get("x")).map(|x| (t, x)))
-                .and_then(|(t, x)| self.eval_via_store(handle, &t, &x));
+        for (i, item) in items.iter().enumerate() {
+            // Graceful degradation: items evaluate independently, and a
+            // failed item — malformed, unsimulatable, or failed on
+            // purpose by the fault plan — becomes a typed error frame
+            // while its siblings still return results.
+            let part = if let Decision::FailItem = self.faults.decide(Site::EvalItem, i as u64) {
+                Err(EvalError::injected(format!(
+                    "batch item {i} failed by the fault plan"
+                )))
+            } else {
+                Self::topology_from(item.get("topology"))
+                    .and_then(|t| Self::x_from(item.get("x")).map(|x| (t, x)))
+                    .map_err(EvalError::bad_request)
+                    .and_then(|(t, x)| self.eval_via_store(handle, &t, &x))
+            };
             match part {
                 Ok(result) => parts.push(result),
-                // Per-item failures stay inside the batch, keyed like a
-                // top-level error, so one bad item cannot void the rest.
-                Err(message) => parts.push(format!(
-                    "{{\"error\":{}}}",
-                    // lint: allow(panic, Json::str never contains floats so encode cannot fail)
-                    Json::str(message).encode().expect("strings encode")
-                )),
+                Err(err) => parts.push(eval_error_json(&err)),
             }
         }
         Ok(format!(
@@ -545,7 +583,49 @@ mod tests {
         let items = items.as_arr().unwrap();
         assert_eq!(items.len(), 2);
         assert!(items[0].get("fom").is_some());
-        assert!(items[1].get("error").is_some());
+        let error = items[1].get("error").unwrap();
+        assert_eq!(error.get("kind").unwrap().as_str(), Some("bad_request"));
+        assert!(error.get("detail").unwrap().as_str().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_item_faults_degrade_batches_gracefully() {
+        use oa_fault::{FaultConfig, Faults};
+        let dir = std::env::temp_dir().join(format!(
+            "oa_serve_svc_inject_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        // Every item fails by plan: the batch still succeeds at the
+        // protocol level, each item carrying a typed `injected` error.
+        let config = FaultConfig {
+            item_error_per_mille: 1000,
+            ..FaultConfig::default()
+        };
+        let service = Service::with_faults(
+            Store::open(dir.join("results.log")).unwrap(),
+            Faults::seeded(7, config),
+        );
+        let t = Topology::bare_cascade();
+        let dim = ParamSpace::for_topology(&t).dim();
+        let item = format!(
+            "{{\"topology\":{},\"x\":[{}]}}",
+            t.index(),
+            vec!["0.5"; dim].join(",")
+        );
+        let line = format!(
+            "{{\"id\":4,\"op\":\"eval_batch\",\"spec\":\"S-1\",\"items\":[{item},{item}]}}"
+        );
+        let resp = service.handle_line(&line);
+        let parsed = Json::parse(&resp).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)));
+        let items = parsed.get("result").unwrap().get("items").unwrap();
+        for item in items.as_arr().unwrap() {
+            let error = item.get("error").unwrap();
+            assert_eq!(error.get("kind").unwrap().as_str(), Some("injected"));
+        }
+        assert_eq!(service.sims(), 0, "failed-by-plan items must not simulate");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,207 @@
+//! Golden-file tests for the NDJSON protocol.
+//!
+//! A fixed request script replays against a fresh [`Service`]; every
+//! response must match the checked-in fixture byte for byte. The
+//! fixture is the wire contract: success envelopes, top-level error
+//! frames, typed per-item `eval_batch` errors, `size_opt` and `stats`
+//! shapes all live in one reviewable file, so any accidental protocol
+//! change shows up as a fixture diff.
+//!
+//! The only canonicalization is zeroing `"micros"` counters in `stats`
+//! responses — the one field that legitimately depends on wall clock.
+//!
+//! To regenerate after an intentional protocol change:
+//!
+//! ```text
+//! OA_REGEN_GOLDEN=1 cargo test -p oa-serve --test golden_protocol
+//! ```
+//!
+//! then review the diff of `tests/golden/protocol.txt`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use oa_circuit::{ParamSpace, Topology};
+use oa_serve::Service;
+use oa_store::Store;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/protocol.txt")
+}
+
+/// An `x` vector literal of the right dimension for `topology`, spread
+/// over the open unit interval so every parameter is distinct.
+fn x_literal(topology: usize) -> String {
+    let t = Topology::from_index(topology).expect("fixture topology in range");
+    let dim = ParamSpace::for_topology(&t).dim();
+    let xs: Vec<String> = (0..dim)
+        .map(|j| format!("{:.3}", 0.25 + 0.5 * j as f64 / dim.max(1) as f64))
+        .collect();
+    format!("[{}]", xs.join(","))
+}
+
+/// The request script. Every protocol surface appears at least once:
+/// eval (miss, then store hit), per-spec routing, every top-level error
+/// shape, typed per-item batch errors, size_opt, and stats.
+fn script() -> Vec<String> {
+    let x0 = x_literal(0);
+    let x1031 = x_literal(1031);
+    vec![
+        // eval: store miss, then byte-identical store hit.
+        format!(r#"{{"id":1,"op":"eval","spec":"S-1","topology":0,"x":{x0}}}"#),
+        format!(r#"{{"id":2,"op":"eval","spec":"S-1","topology":0,"x":{x0}}}"#),
+        format!(r#"{{"id":3,"op":"eval","spec":"S-2","topology":1031,"x":{x1031}}}"#),
+        // Top-level error frames.
+        r#"{oops"#.to_owned(),
+        r#"{"id":4,"op":"warp","spec":"S-1"}"#.to_owned(),
+        r#"{"id":5,"spec":"S-1"}"#.to_owned(),
+        r#"{"id":6,"op":"eval","spec":"S-9","topology":0,"x":[0.5]}"#.to_owned(),
+        format!(r#"{{"id":7,"op":"eval","spec":"S-1","topology":999999,"x":{x0}}}"#),
+        r#"{"id":8,"op":"eval","spec":"S-1","topology":0}"#.to_owned(),
+        // eval_batch: good item + typed per-item error frames.
+        format!(
+            r#"{{"id":9,"op":"eval_batch","spec":"S-1","items":[{{"topology":0,"x":{x0}}},{{"topology":999999,"x":{x0}}},{{"topology":0}}]}}"#
+        ),
+        // size_opt: seeded, tiny budget, deterministic.
+        r#"{"id":10,"op":"size_opt","spec":"S-1","topology":0,"seed":7,"n_init":2,"n_iter":1}"#
+            .to_owned(),
+        // stats: shape-stable modulo the zeroed micros counters.
+        r#"{"id":11,"op":"stats"}"#.to_owned(),
+    ]
+}
+
+/// Zeroes every `"micros":<number>` payload — elapsed wall-clock time is
+/// the one legitimately nondeterministic byte sequence in the protocol.
+fn canonicalize(line: &str) -> String {
+    let marker = "\"micros\":";
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(at) = rest.find(marker) {
+        let (head, tail) = rest.split_at(at + marker.len());
+        out.push_str(head);
+        out.push('0');
+        let digits = tail
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(tail.len());
+        rest = &tail[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn run_script() -> Vec<(String, String)> {
+    let dir = std::env::temp_dir().join(format!(
+        "oa_serve_golden_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    let service = Service::new(Store::open(dir.join("results.log")).expect("fresh store opens"));
+    let pairs = script()
+        .into_iter()
+        .map(|request| {
+            let response = canonicalize(&service.handle_line(&request));
+            (request, response)
+        })
+        .collect();
+    drop(service);
+    let _ = fs::remove_dir_all(&dir);
+    pairs
+}
+
+fn render(pairs: &[(String, String)]) -> String {
+    let mut out = String::from(
+        "# Golden NDJSON protocol fixture. One `>` request line followed by its\n\
+         # `<` response line (micros counters canonicalized to 0).\n\
+         # Regenerate: OA_REGEN_GOLDEN=1 cargo test -p oa-serve --test golden_protocol\n",
+    );
+    for (request, response) in pairs {
+        out.push_str("> ");
+        out.push_str(request);
+        out.push('\n');
+        out.push_str("< ");
+        out.push_str(response);
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_fixture(text: &str) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    let mut pending: Option<String> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(request) = line.strip_prefix("> ") {
+            assert!(
+                pending.is_none(),
+                "fixture line {}: request without a response before it",
+                lineno + 1
+            );
+            pending = Some(request.to_owned());
+        } else if let Some(response) = line.strip_prefix("< ") {
+            let request = pending.take().unwrap_or_else(|| {
+                panic!("fixture line {}: response without a request", lineno + 1)
+            });
+            pairs.push((request, response.to_owned()));
+        } else {
+            panic!("fixture line {}: expected '>', '<' or '#'", lineno + 1);
+        }
+    }
+    assert!(pending.is_none(), "fixture ends with an unanswered request");
+    pairs
+}
+
+#[test]
+fn protocol_responses_match_the_golden_fixture() {
+    let path = golden_path();
+    let actual = run_script();
+
+    if std::env::var_os("OA_REGEN_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("fixture has a parent dir")).unwrap();
+        fs::write(&path, render(&actual)).expect("write golden fixture");
+        return;
+    }
+
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with \
+             OA_REGEN_GOLDEN=1 cargo test -p oa-serve --test golden_protocol",
+            path.display()
+        )
+    });
+    let expected = parse_fixture(&text);
+
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "fixture has {} request/response pairs, the script produced {}",
+        expected.len(),
+        actual.len()
+    );
+    for (i, ((exp_req, exp_resp), (act_req, act_resp))) in expected.iter().zip(&actual).enumerate()
+    {
+        assert_eq!(
+            exp_req, act_req,
+            "pair {i}: the in-code script drifted from the checked-in requests; \
+             regenerate the fixture if the change is intentional"
+        );
+        assert_eq!(
+            exp_resp, act_resp,
+            "pair {i}: response for {act_req} diverged from the golden fixture; \
+             if the protocol change is intentional, regenerate and review the diff"
+        );
+    }
+}
+
+#[test]
+fn canonicalization_touches_only_micros() {
+    let line = r#"{"count":3,"errors":1,"micros":18123},"x":[1.5e-3],"micros":7"#;
+    assert_eq!(
+        canonicalize(line),
+        r#"{"count":3,"errors":1,"micros":0},"x":[1.5e-3],"micros":0"#
+    );
+    let untouched = r#"{"id":1,"ok":true,"result":{"gain_db":52.1}}"#;
+    assert_eq!(canonicalize(untouched), untouched);
+}

@@ -1,0 +1,126 @@
+//! Differential test for the prepared MNA fast path.
+//!
+//! [`MnaSystem::prepare`] splits the system into `G + jωC + B(f)`,
+//! eliminates the two source unknowns with exact ±1 pivots, and reuses
+//! one workspace across the sweep. All of that is supposed to be
+//! algebraically invisible: on any (topology, sizing, frequency) triple
+//! the prepared path must reproduce the naive assemble-and-solve
+//! transfer function to near machine precision.
+//!
+//! 200 seeded random triples, fixed seed, no external RNG — failures
+//! reproduce from the case number alone.
+
+use oa_circuit::{elaborate, ParamSpace, Process, Topology, DESIGN_SPACE_SIZE};
+use oa_sim::MnaSystem;
+
+const CASES: usize = 200;
+const FREQS_PER_CASE: usize = 4;
+const GMIN: f64 = 1e-12;
+const REL_TOL: f64 = 1e-12;
+
+/// xorshift64* — the same generator the fault plan and chaos harness
+/// use, so every suite in the repo replays from a bare u64.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[test]
+fn prepared_sweep_matches_naive_mna_on_random_triples() {
+    let mut rng = Rng::new(0x0A5E_EDED_CA5C_ADE5);
+    let process = Process::default();
+    let mut worst_rel = 0.0f64;
+
+    for case in 0..CASES {
+        let index = (rng.next() as usize) % DESIGN_SPACE_SIZE;
+        let topology = Topology::from_index(index).expect("in range");
+        let space = ParamSpace::for_topology(&topology);
+
+        // Sizing point in the safe interior of the unit cube, away from
+        // the clamped edges where decode saturates.
+        let x: Vec<f64> = (0..space.dim()).map(|_| 0.05 + 0.9 * rng.unit()).collect();
+        let values = space
+            .decode(&x)
+            .unwrap_or_else(|e| panic!("case {case}: decode failed: {e}"));
+        let netlist = elaborate(&topology, &values, &process, 10e-12)
+            .unwrap_or_else(|e| panic!("case {case}: elaborate failed: {e}"));
+
+        let mna = MnaSystem::new(&netlist, GMIN);
+        let mut prepared = mna
+            .prepare()
+            .unwrap_or_else(|e| panic!("case {case} (topology {index}): prepare failed: {e}"));
+
+        for fi in 0..FREQS_PER_CASE {
+            // Log-uniform over 1 Hz .. 10 GHz — the band every AC sweep
+            // in the repo lives in.
+            let freq_hz = 10f64.powf(10.0 * rng.unit());
+            let naive = mna
+                .transfer(freq_hz)
+                .unwrap_or_else(|e| panic!("case {case}.{fi}: naive transfer failed: {e}"));
+            let fast = prepared
+                .transfer(freq_hz)
+                .unwrap_or_else(|e| panic!("case {case}.{fi}: prepared transfer failed: {e}"));
+
+            let diff = ((naive.re - fast.re).powi(2) + (naive.im - fast.im).powi(2)).sqrt();
+            let scale = (naive.re * naive.re + naive.im * naive.im)
+                .sqrt()
+                .max((fast.re * fast.re + fast.im * fast.im).sqrt())
+                .max(f64::MIN_POSITIVE);
+            let rel = diff / scale;
+            worst_rel = worst_rel.max(rel);
+            assert!(
+                rel <= REL_TOL,
+                "case {case}.{fi} (topology {index}, f = {freq_hz:.3e} Hz): \
+                 prepared path deviates from naive MNA by {rel:.3e} relative \
+                 (naive = {:.17e}+{:.17e}j, prepared = {:.17e}+{:.17e}j)",
+                naive.re,
+                naive.im,
+                fast.re,
+                fast.im,
+            );
+        }
+    }
+
+    assert!(
+        worst_rel.is_finite(),
+        "worst relative deviation must be finite, got {worst_rel}"
+    );
+}
+
+#[test]
+fn prepared_sweep_is_deterministic_across_instances() {
+    // Two independently prepared sweeps over the same netlist must give
+    // bit-identical answers — the workspace reuse must not leak state.
+    let topology = Topology::bare_cascade();
+    let space = ParamSpace::for_topology(&topology);
+    let values = space.nominal();
+    let netlist = elaborate(&topology, &values, &Process::default(), 10e-12).unwrap();
+    let mna = MnaSystem::new(&netlist, GMIN);
+
+    let mut a = mna.prepare().unwrap();
+    let mut b = mna.prepare().unwrap();
+    for decade in 0..=10 {
+        let f = 10f64.powi(decade);
+        // Evaluate `a` twice to exercise workspace reuse at one point.
+        let first = a.transfer(f).unwrap();
+        let again = a.transfer(f).unwrap();
+        let fresh = b.transfer(f).unwrap();
+        assert!(first.re == again.re && first.im == again.im, "f = {f}");
+        assert!(first.re == fresh.re && first.im == fresh.im, "f = {f}");
+    }
+}

@@ -21,8 +21,11 @@
 //!
 //! [`EvalKey`] is the canonical key for simulator results: topology code,
 //! sizing-vector bits, spec id, process hash, and the per-request seed
-//! for stochastic endpoints. The crate is std-only and dependency-free;
-//! values are opaque bytes (callers serialize — `oa-serve` stores the
+//! for stochastic endpoints. The crate is std-only; its one dependency
+//! is the workspace's `oa-fault` injection layer ([`Store::open_with_faults`]
+//! threads a seeded fault plan through appends and compactions — the
+//! default [`Store::open`] handle is disabled and costs one branch).
+//! Values are opaque bytes (callers serialize — `oa-serve` stores the
 //! response JSON, `oa-bench` stores the TSV run summary).
 
 #![forbid(unsafe_code)]

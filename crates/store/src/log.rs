@@ -24,6 +24,8 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use oa_fault::{Decision, Faults, Site};
+
 use crate::fnv1a64;
 
 const MAGIC: u32 = 0x4F41_5245;
@@ -82,6 +84,18 @@ pub struct Store {
     recovered_tail_bytes: u64,
     hits: AtomicU64,
     misses: AtomicU64,
+    faults: Faults,
+    /// Set when a failed append may have left bytes past `log_bytes`
+    /// (torn write, write error, or unsynced tail). The next append
+    /// truncates back to the last durable record before writing, so a
+    /// garbage tail can never poison later records.
+    tail_dirty: bool,
+}
+
+/// Wraps an injected fault as the `io::Error` the instrumented
+/// operation would have surfaced.
+fn injected(detail: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {detail}"))
 }
 
 /// Parses one record starting at `buf[at..]`. Returns the key/value
@@ -106,6 +120,11 @@ fn parse_record(buf: &[u8], at: usize) -> Option<(&[u8], &[u8], usize)> {
     }
     let (key, val) = body.split_at(key_len);
     Some((key, val, body_start + key_len + val_len))
+}
+
+/// The temporary file a compaction writes before its atomic rename.
+fn compact_tmp_path(path: &Path) -> PathBuf {
+    path.with_extension("compact.tmp")
 }
 
 fn encode_record(key: &[u8], value: &[u8]) -> Vec<u8> {
@@ -135,9 +154,30 @@ impl Store {
     ///
     /// I/O errors opening, reading or truncating the file.
     pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Store> {
+        Store::open_with_faults(path, Faults::none())
+    }
+
+    /// [`Store::open`] with a fault-injection handle threaded into every
+    /// subsequent append and compaction. Production callers use
+    /// [`Store::open`] (equivalently, a [`Faults::none`] handle, whose
+    /// per-operation cost is a single `None` check); the chaos harness
+    /// passes a seeded plan.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening, reading or truncating the file.
+    pub fn open_with_faults<P: AsRef<Path>>(path: P, faults: Faults) -> io::Result<Store> {
         let path = path.as_ref().to_path_buf();
         if let Some(dir) = path.parent() {
             fs::create_dir_all(dir)?;
+        }
+        // A crash during a previous compaction can leave a stale
+        // temporary image next to the log. It was never renamed into
+        // place, so it holds no live data — drop it at open, exactly
+        // like the torn tail below, or it leaks disk forever.
+        let tmp_path = compact_tmp_path(&path);
+        if tmp_path.exists() {
+            fs::remove_file(&tmp_path)?;
         }
         let mut file = OpenOptions::new()
             .read(true)
@@ -171,6 +211,8 @@ impl Store {
             recovered_tail_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            faults,
+            tail_dirty: false,
         })
     }
 
@@ -200,7 +242,11 @@ impl Store {
     }
 
     /// Appends a record and fsyncs it before returning: once `put`
-    /// succeeds the record survives a crash.
+    /// succeeds the record survives a crash. The converse also holds —
+    /// a `put` that returns an error leaves **no trace**: any partially
+    /// written bytes are rolled back before the next append, and a
+    /// crash before that rollback loses them to the torn-tail scan at
+    /// reopen. Callers may therefore retry failed appends blindly.
     ///
     /// # Errors
     ///
@@ -213,12 +259,57 @@ impl Store {
                 "store key/value exceeds format length bound",
             ));
         }
+        if self.tail_dirty {
+            self.repair_tail()?;
+        }
         let rec = encode_record(key, value);
-        self.file.write_all(&rec)?;
-        self.file.sync_data()?;
+        if let Decision::TornWrite { keep } = self.faults.decide(Site::StoreWrite, rec.len() as u64)
+        {
+            // Model a crash mid-append: the torn prefix reaches the
+            // file (so reopening exercises torn-tail recovery), the
+            // caller sees a failed put, and this handle self-heals
+            // on its next append.
+            let _ = self.file.write_all(&rec[..keep as usize]);
+            let _ = self.file.sync_data();
+            self.tail_dirty = true;
+            return Err(injected("torn append"));
+        }
+        if let Err(e) = self.file.write_all(&rec) {
+            // Unknown how much landed; truncate before the next append.
+            self.tail_dirty = true;
+            return Err(e);
+        }
+        let sync_result = match self.faults.decide(Site::StoreSync, 0) {
+            Decision::FailSync => Err(injected("fsync after append")),
+            _ => self.file.sync_data(),
+        };
+        if let Err(e) = sync_result {
+            // The bytes are written but not durable. Reporting success
+            // would break the put-implies-durable contract, so fail the
+            // put and roll the record back *now* — unlike a torn write,
+            // the unsynced record is complete, so the reopen-time scan
+            // would resurrect it if it reached disk anyway. If the
+            // rollback itself fails, the next append retries it, and a
+            // crash before then leaves the one ambiguity real fsync
+            // semantics always leave: a failed put that survived.
+            self.tail_dirty = true;
+            let _ = self.repair_tail();
+            return Err(e);
+        }
         self.log_bytes += rec.len() as u64;
         self.appended += 1;
         self.index.insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    /// Truncates the file back to the last durable record after a
+    /// failed append. Keeps `tail_dirty` set if the truncation itself
+    /// fails, so the repair is retried before any later append.
+    fn repair_tail(&mut self) -> io::Result<()> {
+        self.file.set_len(self.log_bytes)?;
+        self.file.seek(SeekFrom::Start(self.log_bytes))?;
+        self.file.sync_data()?;
+        self.tail_dirty = false;
         Ok(())
     }
 
@@ -252,20 +343,34 @@ impl Store {
     /// Rewrites the log with only the live records (in key order, so the
     /// result is deterministic), via a temp file + fsync + atomic rename.
     /// A crash during compaction leaves either the old or the new log —
-    /// never a mix.
+    /// never a mix — plus possibly a stale `.compact.tmp`, which the
+    /// next [`Store::open`] removes.
     ///
     /// # Errors
     ///
     /// I/O errors; the original log is untouched on failure.
     pub fn compact(&mut self) -> io::Result<()> {
-        let tmp_path = self.path.with_extension("compact.tmp");
-        let mut tmp = File::create(&tmp_path)?;
-        let mut bytes = 0u64;
-        for (key, value) in &self.index {
-            let rec = encode_record(key, value);
-            tmp.write_all(&rec)?;
-            bytes += rec.len() as u64;
+        if self.tail_dirty {
+            self.repair_tail()?;
         }
+        let tmp_path = compact_tmp_path(&self.path);
+        let mut image = Vec::new();
+        for (key, value) in &self.index {
+            image.extend_from_slice(&encode_record(key, value));
+        }
+        let bytes = image.len() as u64;
+        if let Decision::TornWrite { keep } = self.faults.decide(Site::StoreCompact, bytes) {
+            // Model a crash mid-rewrite: a torn image lands in the temp
+            // file, the rename never happens, and the stale temp is
+            // left behind for reopen-time cleanup. The original log is
+            // untouched, so the store stays fully usable.
+            let mut tmp = File::create(&tmp_path)?;
+            let _ = tmp.write_all(&image[..keep as usize]);
+            let _ = tmp.sync_data();
+            return Err(injected("compaction crashed mid-rewrite"));
+        }
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(&image)?;
         tmp.sync_data()?;
         drop(tmp);
         fs::rename(&tmp_path, &self.path)?;
@@ -398,6 +503,125 @@ mod tests {
         // read side bound is exercised by the recovery proptest.
         let err = s.put(b"k", &vec![0u8; MAX_FIELD_LEN + 1]);
         assert!(err.is_err());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn stale_compaction_tmp_is_removed_at_open() {
+        let path = temp_log("staletmp");
+        let mut s = Store::open(&path).unwrap();
+        s.put(b"live", b"record").unwrap();
+        drop(s);
+        // A crash between writing the temp image and the rename leaves
+        // this file behind; it holds no live data.
+        let tmp = compact_tmp_path(&path);
+        fs::write(&tmp, b"half-written compaction image").unwrap();
+        let before = fs::read(&path).unwrap();
+
+        let s = Store::open(&path).unwrap();
+        assert!(!tmp.exists(), "stale temp must be cleaned up");
+        assert_eq!(s.get(b"live").as_deref(), Some(&b"record"[..]));
+        drop(s);
+        assert_eq!(fs::read(&path).unwrap(), before, "log must be untouched");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn injected_torn_append_fails_then_self_heals() {
+        use oa_fault::FaultConfig;
+        let path = temp_log("inj_torn");
+        let config = FaultConfig {
+            torn_write_per_mille: 1000,
+            ..FaultConfig::default()
+        };
+        let mut s = Store::open_with_faults(&path, Faults::seeded(1, config)).unwrap();
+        s.put(b"base", b"durable").unwrap_err(); // every write tears
+        drop(s);
+        // Crash path: reopening drops the torn prefix.
+        let s = Store::open(&path).unwrap();
+        assert!(s.is_empty());
+        assert!(s.stats().recovered_tail_bytes > 0 || s.stats().log_bytes == 0);
+        drop(s);
+
+        // Continued-use path: the same handle heals on the next append.
+        let mut s = Store::open_with_faults(
+            &path,
+            Faults::seeded(
+                2,
+                FaultConfig {
+                    torn_write_per_mille: 500,
+                    ..FaultConfig::default()
+                },
+            ),
+        )
+        .unwrap();
+        let mut ok = 0;
+        for i in 0..40u8 {
+            if s.put(&[i], &[i, i]).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok > 0, "half-rate tearing must let some puts through");
+        assert_eq!(s.len(), ok);
+        drop(s);
+        // Reopen: only successful puts survive. (A torn *final* put is
+        // healed by the reopen scan instead of the next-append repair.)
+        let s = Store::open(&path).unwrap();
+        assert_eq!(s.len(), ok, "failed puts must leave no trace");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn injected_sync_failure_rolls_back_the_record() {
+        use oa_fault::FaultConfig;
+        let path = temp_log("inj_sync");
+        let config = FaultConfig {
+            fail_sync_per_mille: 1000,
+            ..FaultConfig::default()
+        };
+        let mut s = Store::open_with_faults(&path, Faults::seeded(3, config)).unwrap();
+        s.put(b"k", b"v").unwrap_err();
+        assert_eq!(s.get(b"k"), None, "failed put must not be visible");
+        drop(s);
+        let s = Store::open(&path).unwrap();
+        assert_eq!(s.get(b"k"), None, "unsynced record must not survive");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn injected_compaction_crash_preserves_the_log_byte_identically() {
+        use oa_fault::FaultConfig;
+        let path = temp_log("inj_compact");
+        let mut s = Store::open(&path).unwrap();
+        for round in 0..3u8 {
+            for k in 0..8u8 {
+                s.put(&[k], &[round, k]).unwrap();
+            }
+        }
+        drop(s);
+        let before = fs::read(&path).unwrap();
+
+        let config = FaultConfig {
+            compact_tear_per_mille: 1000,
+            ..FaultConfig::default()
+        };
+        let mut s = Store::open_with_faults(&path, Faults::seeded(4, config)).unwrap();
+        s.compact().unwrap_err();
+        // The crash left a torn temp image but the log itself is whole.
+        assert!(compact_tmp_path(&path).exists());
+        assert_eq!(s.len(), 8, "store stays fully usable after the crash");
+        drop(s);
+        assert_eq!(fs::read(&path).unwrap(), before, "log must be untouched");
+
+        // Recovery: reopen cleans the temp; a fault-free compaction then
+        // produces the canonical image.
+        let mut s = Store::open(&path).unwrap();
+        assert!(!compact_tmp_path(&path).exists());
+        s.compact().unwrap();
+        assert_eq!(s.len(), 8);
+        for k in 0..8u8 {
+            assert_eq!(s.get(&[k]).as_deref(), Some(&[2u8, k][..]));
+        }
         cleanup(&path);
     }
 

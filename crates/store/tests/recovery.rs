@@ -88,6 +88,55 @@ proptest! {
         cleanup(&path);
     }
 
+    /// Regression: a crash *during* compaction — modelled as a torn
+    /// prefix of the compacted image left in the `.compact.tmp` file,
+    /// rename never reached — must lose nothing. Reopening recovers a
+    /// store whose contents, and whose subsequent fault-free compaction
+    /// bytes, are identical to a run where the crash never happened.
+    #[test]
+    fn crash_during_compaction_is_invisible_after_recovery(
+        records in arb_records(),
+        tear_per_mille in 1u64..1000,
+    ) {
+        let path = temp_log("compact_crash");
+        let mut store = Store::open(&path).unwrap();
+        for (k, v) in &records {
+            store.put(k, v).unwrap();
+        }
+        drop(store);
+        let log_before = fs::read(&path).unwrap();
+
+        // Plant the torn compaction image a crash would leave behind.
+        let tmp = path.with_extension("compact.tmp");
+        let tear_at = (log_before.len() as u64 * tear_per_mille / 1000) as usize;
+        fs::write(&tmp, &log_before[..tear_at.min(log_before.len())]).unwrap();
+
+        // Recovery: reopen, then compact fault-free.
+        let mut recovered = Store::open(&path).unwrap();
+        prop_assert!(!tmp.exists(), "stale compaction temp must be removed");
+        prop_assert_eq!(recovered.len(), records.len());
+        recovered.compact().unwrap();
+        drop(recovered);
+        let compacted_after_crash = fs::read(&path).unwrap();
+
+        // Baseline: the same records, never crashed, compacted once.
+        let base_path = temp_log("compact_base");
+        let mut base = Store::open(&base_path).unwrap();
+        for (k, v) in &records {
+            base.put(k, v).unwrap();
+        }
+        base.compact().unwrap();
+        drop(base);
+        let baseline = fs::read(&base_path).unwrap();
+
+        prop_assert!(
+            compacted_after_crash == baseline,
+            "compaction after a compaction crash must be byte-identical to fault-free"
+        );
+        cleanup(&path);
+        cleanup(&base_path);
+    }
+
     /// After recovery, the store accepts new appends and a reopen sees
     /// both the survivors and the new record (recovery truncates the
     /// torn bytes rather than leaving garbage mid-log).
