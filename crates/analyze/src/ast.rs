@@ -1,0 +1,302 @@
+//! The item-level AST the interprocedural engine analyzes.
+//!
+//! The [`parser`](crate::parser) produces one [`SourceFile`] per `.rs`
+//! file: its `use` imports, struct definitions (field names and type
+//! text — the lock and taint analyses key on declared types), and every
+//! function with a *body event tree*. Bodies are not full expression
+//! trees: each statement records what the whole-program analyses need —
+//! call sites, indexing sites, lock-method calls, the identifiers it
+//! binds and reads — plus nested blocks, which carry lock-guard scope.
+//!
+//! Everything here is deliberately plain data with no interner or
+//! arena: the workspace is ~100 files and the engine runs in
+//! milliseconds, so clarity wins over allocation counts.
+
+/// One parsed `.rs` file.
+#[derive(Debug, Clone, Default)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The lib name of the owning crate (`oa_serve`, `into_oa`, …).
+    pub crate_name: String,
+    /// Flattened `use` imports (one per leaf of a use tree).
+    pub uses: Vec<UseImport>,
+    /// Struct definitions with field types (lock/taint type evidence).
+    pub structs: Vec<StructDef>,
+    /// Every `fn`, including impl/trait methods and nested-module fns.
+    pub fns: Vec<FnDef>,
+}
+
+/// One leaf of a `use` tree: `use a::b::{c, d as e};` yields two
+/// imports with aliases `c` and `e`.
+#[derive(Debug, Clone)]
+pub struct UseImport {
+    /// The name the import binds locally.
+    pub alias: String,
+    /// Full path segments (`["a", "b", "c"]`).
+    pub path: Vec<String>,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A struct definition: field names with their declared type text.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// `(field, type-text)` pairs; type text is the raw token join
+    /// (e.g. `Mutex < Store >`), matched with [`type_head`]/
+    /// [`mutex_inner`] rather than re-parsed.
+    pub fields: Vec<(String, String)>,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One function (free, impl method, or trait default method).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare name.
+    pub name: String,
+    /// Qualified name: `Type::name` for methods, `name` for free fns.
+    pub qual: String,
+    /// The impl/trait type this is a method of, if any.
+    pub self_ty: Option<String>,
+    /// Parameters (pattern idents joined) with declared type text.
+    pub params: Vec<Param>,
+    /// Locals with type evidence: `let x: T`, `let x = T::new(..)`,
+    /// and lock guards (`let g = field.lock()…` records the mutex's
+    /// inner type). Later bindings shadow earlier ones at lookup.
+    pub locals: Vec<(String, String)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Inside `#[cfg(test)]` / `#[test]` — excluded from all analyses.
+    pub is_test: bool,
+    /// Body block; `None` for trait methods without a default body.
+    pub body: Option<Block>,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Pattern identifier(s); tuple patterns join with `.`-free names.
+    pub name: String,
+    /// Declared type text (raw token join).
+    pub ty: String,
+}
+
+/// A `{ … }` block: the unit of lock-guard scope.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement (split at `;`/`,` at depth zero inside a block).
+#[derive(Debug, Clone, Default)]
+pub struct Stmt {
+    /// 1-based line of the first token.
+    pub line: u32,
+    /// Identifiers bound by a `let`/`for` pattern in this statement.
+    pub binds: Vec<String>,
+    /// If this statement is `let g = <recv>.lock()…;` (optionally
+    /// chained through `unwrap`/`expect`/`unwrap_or_else`), the guard
+    /// name — the guard then lives to the end of the enclosing block
+    /// instead of the end of the statement.
+    pub guard_bind: Option<String>,
+    /// Every identifier token read in the statement (coarse: includes
+    /// call names; the taint analysis only tests membership of known
+    /// local/param names).
+    pub reads: Vec<String>,
+    /// Ordered events and nested blocks.
+    pub parts: Vec<StmtPart>,
+    /// Contains `return`, or is the trailing expression of the fn body.
+    pub is_return: bool,
+}
+
+/// Ordered content of a statement.
+#[derive(Debug, Clone)]
+pub enum StmtPart {
+    /// An analysis-relevant event.
+    Event(Event),
+    /// A nested `{ … }` block (control flow, closure body, or — as a
+    /// harmless over-approximation — a struct literal).
+    Block(Block),
+}
+
+/// One analysis-relevant event inside a statement.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A call site.
+    Call(CallSite),
+    /// A slice/array index expression (`x[i]`) — a potential panic.
+    Index {
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `drop(name)` — ends a lock guard's life early.
+    DropVar {
+        /// The dropped identifier.
+        name: String,
+        /// 1-based source line.
+        line: u32,
+    },
+}
+
+/// A call site: free path call, method call, or macro invocation.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// What is being called.
+    pub target: CallTarget,
+}
+
+/// The syntactic shape of a call.
+#[derive(Debug, Clone)]
+pub enum CallTarget {
+    /// `a::b::f(…)` — path segments as written.
+    Free {
+        /// Path segments (`["a", "b", "f"]`; a bare call has one).
+        path: Vec<String>,
+    },
+    /// `recv.name(…)`.
+    Method {
+        /// Method name.
+        name: String,
+        /// Receiver text when it is a simple `ident(.ident)*` chain
+        /// (e.g. `self.store`), or `""` when the receiver is a compound
+        /// expression the walk-back gave up on.
+        recv: String,
+    },
+    /// `name!(…)` / `name![…]` / `name!{…}`.
+    Macro {
+        /// Macro name (no `!`).
+        name: String,
+    },
+}
+
+/// First path segment of a type text: `&mut Mutex < Store >` → `Mutex`;
+/// strips leading `&`, `mut`, `dyn`, and `'lifetime` tokens.
+pub fn type_head(ty: &str) -> &str {
+    ty.split_whitespace()
+        .find(|w| {
+            !matches!(*w, "&" | "mut" | "dyn" | "impl") && !w.starts_with('\'') && *w != "("
+        })
+        .unwrap_or("")
+}
+
+/// The argument of the *first* `<…>` group in a type text: `Arc < Mutex
+/// < u32 > >` → `Mutex < u32 >`. `None` when the type has no generics.
+pub fn generic_inner(ty: &str) -> Option<String> {
+    let words: Vec<&str> = ty.split_whitespace().collect();
+    let open = words.iter().position(|w| *w == "<")?;
+    let mut depth = 0usize;
+    let mut inner = Vec::new();
+    for w in &words[open..] {
+        match *w {
+            "<" => {
+                depth += 1;
+                if depth == 1 {
+                    continue;
+                }
+            }
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        inner.push(*w);
+    }
+    Some(inner.join(" "))
+}
+
+/// The `T` of `Mutex<T>` / `RwLock<T>` type text (token-joined form),
+/// if the type is a lock wrapper. Used to type lock guards.
+pub fn mutex_inner(ty: &str) -> Option<String> {
+    let head = type_head(ty);
+    if head != "Mutex" && head != "RwLock" {
+        return None;
+    }
+    generic_inner(ty)
+}
+
+/// The head type after peeling smart-pointer wrappers: `& Arc < Mutex <
+/// Store > >` → `Mutex`. Follows `Arc`/`Rc`/`Box` one generic level at
+/// a time (method calls auto-deref through them).
+pub fn deref_head(ty: &str) -> String {
+    let mut cur = ty.to_owned();
+    for _ in 0..4 {
+        let head = type_head(&cur).to_owned();
+        if !matches!(head.as_str(), "Arc" | "Rc" | "Box") {
+            return head;
+        }
+        match generic_inner(&cur) {
+            Some(inner) => cur = inner,
+            None => return head,
+        }
+    }
+    type_head(&cur).to_owned()
+}
+
+impl Block {
+    /// Visits every statement in this block and its nested blocks, in
+    /// source order, passing each statement's analysis events.
+    pub fn walk(&self, f: &mut impl FnMut(&Stmt, &Event)) {
+        for stmt in &self.stmts {
+            for part in &stmt.parts {
+                match part {
+                    StmtPart::Event(ev) => f(stmt, ev),
+                    StmtPart::Block(b) => b.walk(f),
+                }
+            }
+        }
+    }
+}
+
+/// Whether a type text names an unordered standard collection.
+pub fn is_unordered_collection(ty: &str) -> bool {
+    matches!(type_head(ty), "HashMap" | "HashSet")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_head_strips_modifiers() {
+        assert_eq!(type_head("& mut Mutex < Store >"), "Mutex");
+        assert_eq!(type_head("& 'a str"), "str");
+        assert_eq!(type_head("dyn Fn ( )"), "Fn");
+        assert_eq!(type_head("HashMap < String , u32 >"), "HashMap");
+    }
+
+    #[test]
+    fn mutex_inner_extracts_the_guarded_type() {
+        assert_eq!(mutex_inner("Mutex < Store >").as_deref(), Some("Store"));
+        assert_eq!(
+            mutex_inner("& Mutex < Receiver < Job > >").as_deref(),
+            Some("Receiver < Job >")
+        );
+        assert_eq!(mutex_inner("RwLock < u32 >").as_deref(), Some("u32"));
+        assert_eq!(mutex_inner("Arc < Mutex < u32 > >"), None);
+        assert_eq!(mutex_inner("BTreeMap < K , V >"), None);
+    }
+
+    #[test]
+    fn deref_head_peels_smart_pointers() {
+        assert_eq!(deref_head("Arc < Mutex < Store > >"), "Mutex");
+        assert_eq!(deref_head("& Arc < Service >"), "Service");
+        assert_eq!(deref_head("Box < dyn Fn ( ) >"), "Fn");
+        assert_eq!(deref_head("Store"), "Store");
+    }
+
+    #[test]
+    fn unordered_collections_are_recognized() {
+        assert!(is_unordered_collection("HashMap < String , u32 >"));
+        assert!(is_unordered_collection("& HashSet < Topology >"));
+        assert!(!is_unordered_collection("BTreeMap < K , V >"));
+    }
+}

@@ -1,42 +1,172 @@
-//! Workspace lint driver: lexes every first-party `.rs` file and
-//! applies the rules in [`oa_analyze::lint`].
+//! Workspace lint driver, v2: two engines plus a call-graph dump.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run -p oa-analyze --bin oa_lint [-- <workspace-root>] [--list-rules]
+//! oa_lint [--engine=ast|token] [--list-rules] [<workspace-root>]
+//! oa_lint callgraph [--dot] [--check] [<workspace-root>]
 //! ```
 //!
+//! The default `--engine=ast` parses every first-party file, builds the
+//! workspace call graph, and runs the interprocedural analyses (panic
+//! reachability, lock-order cycles, determinism taint) alongside the
+//! token-shaped rules. `--engine=token` is the original per-file
+//! scanner, kept as a fallback and for A/B comparison.
+//!
+//! `callgraph` prints the workspace call graph as TSV (or DOT with
+//! `--dot`). `--check` instead diffs the TSV against the committed
+//! snapshot (`crates/analyze/tests/snapshots/callgraph.tsv`) and
+//! verifies the lock-acquisition graph is acyclic — the CI gate.
+//!
 //! Scans `crates/*/src/**` under the workspace root (default: the
-//! current directory), skipping `vendor/`, `target/`, and per-crate
-//! `tests/`/`benches/`/`examples/` trees. Findings print one per line
-//! in deterministic path/line order; the exit status is 1 if any rule
-//! fired and 0 otherwise.
+//! current directory). Findings print one per line in deterministic
+//! path/line order; exit status is 1 if any rule fired and 0 otherwise.
 
+use oa_analyze::callgraph::{CallGraph, Workspace};
+use oa_analyze::engine::{self, Engine};
+use oa_analyze::locks;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+const SNAPSHOT: &str = "crates/analyze/tests/snapshots/callgraph.tsv";
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut engine = Engine::Ast;
     let mut root = PathBuf::from(".");
-    for arg in std::env::args().skip(1) {
-        if arg == "--list-rules" {
-            for rule in oa_analyze::lint::RULES {
-                println!("{:<22} {}", rule.name, rule.description);
+    let mut callgraph = false;
+    let mut dot = false;
+    let mut check = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in oa_analyze::lint::RULES {
+                    println!("{:<22} {}", rule.name, rule.description);
+                }
+                return ExitCode::SUCCESS;
             }
-            return ExitCode::SUCCESS;
+            "callgraph" => callgraph = true,
+            "--dot" => dot = true,
+            "--check" => check = true,
+            other => {
+                if let Some(name) = other.strip_prefix("--engine=") {
+                    match Engine::parse(name) {
+                        Some(e) => engine = e,
+                        None => {
+                            eprintln!("oa_lint: unknown engine {name:?} (ast|token)");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else if other.starts_with("--") {
+                    eprintln!("oa_lint: unknown flag {other:?}");
+                    return ExitCode::FAILURE;
+                } else {
+                    root = PathBuf::from(other);
+                }
+            }
         }
-        root = PathBuf::from(arg);
     }
 
+    let inputs = match read_workspace(&root) {
+        Ok(inputs) => inputs,
+        Err(msg) => {
+            eprintln!("oa_lint: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if callgraph {
+        return run_callgraph(&root, &inputs, dot, check);
+    }
+
+    // lint: allow(wall_clock, CLI timing line, not a response path)
+    let started = std::time::Instant::now();
+    let report = engine::run(engine, &inputs);
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    let label = match engine {
+        Engine::Ast => "ast",
+        Engine::Token => "token",
+    };
+    let timing = format!(
+        "engine={label} files={} fns={} edges={} elapsed_ms={}",
+        report.files,
+        report.fns,
+        report.edges,
+        started.elapsed().as_millis()
+    );
+    if report.findings.is_empty() {
+        eprintln!("oa_lint: clean ({timing})");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("oa_lint: {} finding(s) ({timing})", report.findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The `callgraph` subcommand: dump TSV/DOT, or `--check` against the
+/// snapshot + lock-graph acyclicity.
+fn run_callgraph(root: &Path, inputs: &[(String, String)], dot: bool, check: bool) -> ExitCode {
+    let ws = Workspace::parse(inputs);
+    let graph = CallGraph::build(&ws);
+    if check {
+        let tsv = graph.to_tsv();
+        let snap_path = root.join(SNAPSHOT);
+        let mut ok = true;
+        match std::fs::read_to_string(&snap_path) {
+            Ok(snap) if snap == tsv => {
+                eprintln!("oa_lint: callgraph matches snapshot ({} lines)", tsv.lines().count());
+            }
+            Ok(snap) => {
+                ok = false;
+                eprintln!(
+                    "oa_lint: callgraph drifted from snapshot ({} lines now, {} in snapshot);\n\
+                     regenerate with `oa_lint callgraph > {SNAPSHOT}` and review the diff",
+                    tsv.lines().count(),
+                    snap.lines().count()
+                );
+            }
+            Err(err) => {
+                ok = false;
+                eprintln!("oa_lint: cannot read {}: {err}", snap_path.display());
+            }
+        }
+        let lock_graph = locks::lock_graph(&graph);
+        let cycles = lock_graph.cycles();
+        if cycles.is_empty() {
+            eprintln!(
+                "oa_lint: lock graph acyclic ({} ordered pair(s))",
+                lock_graph.edges.len()
+            );
+        } else {
+            ok = false;
+            for cycle in &cycles {
+                let names: Vec<&str> = cycle.iter().map(|(a, _)| a.as_str()).collect();
+                eprintln!("oa_lint: lock cycle: {}", names.join(" -> "));
+            }
+        }
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    if dot {
+        print!("{}", graph.to_dot());
+    } else {
+        print!("{}", graph.to_tsv());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Reads every first-party `.rs` file under `<root>/crates/*/src/`
+/// into `(workspace-relative path, source)` pairs.
+fn read_workspace(root: &Path) -> Result<Vec<(String, String)>, String> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
-        eprintln!(
-            "oa_lint: no crates/ directory under {}; run from the workspace root",
+        return Err(format!(
+            "no crates/ directory under {}; run from the workspace root",
             root.display()
-        );
-        return ExitCode::FAILURE;
+        ));
     }
-
     let mut files = Vec::new();
     for krate in sorted_dirs(&crates_dir) {
         let src = krate.join("src");
@@ -45,36 +175,13 @@ fn main() -> ExitCode {
         }
     }
     files.sort();
-
-    let mut findings = Vec::new();
-    let mut scanned = 0usize;
+    let mut inputs = Vec::new();
     for path in &files {
-        let source = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(err) => {
-                eprintln!("oa_lint: cannot read {}: {err}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let rel = relative_to(path, &root);
-        findings.extend(oa_analyze::lint_source(&rel, &source));
-        scanned += 1;
+        let source = std::fs::read_to_string(path)
+            .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+        inputs.push((relative_to(path, root), source));
     }
-
-    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    for finding in &findings {
-        println!("{finding}");
-    }
-    if findings.is_empty() {
-        eprintln!("oa_lint: {scanned} files clean");
-        ExitCode::SUCCESS
-    } else {
-        eprintln!(
-            "oa_lint: {} finding(s) across {scanned} files",
-            findings.len()
-        );
-        ExitCode::FAILURE
-    }
+    Ok(inputs)
 }
 
 /// Immediate subdirectories of `dir`, sorted by name for deterministic

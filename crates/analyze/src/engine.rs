@@ -1,0 +1,194 @@
+//! Engine orchestration: runs a full workspace analysis under either
+//! engine and merges the findings.
+//!
+//! The **token engine** is the original per-file scanner — every rule
+//! in [`crate::lint`] applied file by file, no cross-file knowledge.
+//! The **ast engine** parses every file ([`crate::parser`]), builds the
+//! workspace call graph ([`crate::callgraph`]), and replaces the two
+//! rules whose token forms over- or under-approximate:
+//!
+//! * `panic` — token form flags every site in a fixed file list; the
+//!   ast form reports only sites *reachable from a serving entry
+//!   point*, with the call chain ([`crate::reachability`]).
+//! * `unordered_collections` — token form bans `HashMap` mentions in
+//!   serialization crates; the ast form tracks iteration-order taint
+//!   to actual serialization sinks ([`crate::taint`], rule
+//!   `determinism`).
+//!
+//! All other token rules (`wall_clock`, `float_format`,
+//! `forbid_unsafe`, annotation hygiene) still run under the ast
+//! engine — they are token-shaped properties and the token scanner is
+//! the right tool for them. The ast engine adds `lock_order`
+//! ([`crate::locks`]), which has no token-level counterpart.
+
+use crate::callgraph::{CallGraph, Workspace};
+use crate::lint::{annotations_of, lint_source, lint_source_scoped, scope_of, Finding};
+use crate::reachability::Allowed;
+use crate::{locks, reachability, taint};
+
+/// Which analysis engine to run. Parsed from `--engine=` by the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Syntax-driven interprocedural engine (default).
+    #[default]
+    Ast,
+    /// Original token-level per-file scanner (fallback).
+    Token,
+}
+
+impl Engine {
+    /// Parses an `--engine=` value.
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "ast" => Some(Engine::Ast),
+            "token" => Some(Engine::Token),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of a workspace analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Files analyzed.
+    pub files: usize,
+    /// Functions in the call graph (ast engine only; 0 under token).
+    pub fns: usize,
+    /// Call edges resolved (ast engine only; 0 under token).
+    pub edges: usize,
+}
+
+/// Runs the chosen engine over `(path, source)` pairs for the whole
+/// workspace. Paths are workspace-relative with forward slashes.
+pub fn run(engine: Engine, inputs: &[(String, String)]) -> Report {
+    match engine {
+        Engine::Token => run_token(inputs),
+        Engine::Ast => run_ast(inputs),
+    }
+}
+
+fn run_token(inputs: &[(String, String)]) -> Report {
+    let mut findings = Vec::new();
+    for (path, source) in inputs {
+        findings.extend(lint_source(path, source));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    Report {
+        findings,
+        files: inputs.len(),
+        fns: 0,
+        edges: 0,
+    }
+}
+
+fn run_ast(inputs: &[(String, String)]) -> Report {
+    let ws = Workspace::parse(inputs);
+    let graph = CallGraph::build(&ws);
+
+    // Token rules minus the two the interprocedural analyses replace.
+    // Annotation-hygiene findings (`bad_annotation`) come from this
+    // pass; `annotations_of` below is used only for its line map.
+    let mut findings = Vec::new();
+    let mut allowed = Allowed::new();
+    for (path, source) in inputs {
+        let mut scope = scope_of(path);
+        scope.panic = false;
+        scope.unordered_collections = false;
+        findings.extend(lint_source_scoped(path, source, scope));
+        let (rules, _) = annotations_of(path, source);
+        allowed.insert(path.clone(), rules);
+    }
+
+    findings.extend(reachability::check(&graph, &allowed));
+    findings.extend(locks::check(&graph, &allowed));
+    findings.extend(taint::check(&graph, &allowed));
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    findings.dedup();
+
+    let edges = graph.edges.iter().map(Vec::len).sum();
+    Report {
+        findings,
+        files: inputs.len(),
+        fns: graph.nodes.len(),
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(files: &[(&str, &str)]) -> Vec<(String, String)> {
+        files
+            .iter()
+            .map(|(p, s)| ((*p).to_owned(), (*s).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn ast_engine_skips_unreachable_panic_the_token_engine_flags() {
+        // An unwrap in a request-path file, but in a function no entry
+        // point reaches: token engine flags it, ast engine does not.
+        let files = inputs(&[(
+            "crates/serve/src/service.rs",
+            "fn offline_tool(v: Option<u8>) -> u8 { v.unwrap() }",
+        )]);
+        let token = run(Engine::Token, &files);
+        assert!(
+            token.findings.iter().any(|f| f.rule == "panic"),
+            "{:?}",
+            token.findings
+        );
+        let ast = run(Engine::Ast, &files);
+        assert!(
+            !ast.findings.iter().any(|f| f.rule == "panic"),
+            "{:?}",
+            ast.findings
+        );
+    }
+
+    #[test]
+    fn ast_engine_still_runs_the_token_shaped_rules() {
+        let files = inputs(&[(
+            "crates/serve/src/service.rs",
+            "fn f() { let t = std::time::Instant::now(); }",
+        )]);
+        let ast = run(Engine::Ast, &files);
+        assert!(
+            ast.findings.iter().any(|f| f.rule == "wall_clock"),
+            "{:?}",
+            ast.findings
+        );
+    }
+
+    #[test]
+    fn ast_engine_finds_reachable_panics_with_chain() {
+        let files = inputs(&[(
+            "crates/serve/src/service.rs",
+            "pub struct Service;\n\
+             impl Service { pub fn handle_line(&self, v: Option<u8>) -> u8 { v.unwrap() } }",
+        )]);
+        let ast = run(Engine::Ast, &files);
+        let panics: Vec<_> = ast.findings.iter().filter(|f| f.rule == "panic").collect();
+        assert_eq!(panics.len(), 1, "{:?}", ast.findings);
+        assert!(panics[0].message.contains("reachable from Service::handle_line"));
+    }
+
+    #[test]
+    fn report_counts_are_populated_under_ast() {
+        let files = inputs(&[("crates/core/src/lib.rs", "pub fn a() { b(); }\nfn b() {}")]);
+        let r = run(Engine::Ast, &files);
+        assert_eq!(r.files, 1);
+        assert_eq!(r.fns, 2);
+        assert_eq!(r.edges, 1);
+    }
+
+    #[test]
+    fn engine_parse_round_trips() {
+        assert_eq!(Engine::parse("ast"), Some(Engine::Ast));
+        assert_eq!(Engine::parse("token"), Some(Engine::Token));
+        assert_eq!(Engine::parse("bogus"), None);
+    }
+}

@@ -10,12 +10,19 @@
 //!   pattern — Hall's condition). Degenerate candidates are rejected
 //!   before an LU factorization or an optimizer evaluation slot is
 //!   spent on them.
-//! * **Source layer** ([`lexer`] + [`lint`]) — a std-only token-level
-//!   Rust lexer driving the `oa_lint` binary, which enforces the
-//!   serving-determinism and panic-freedom invariants of DESIGN.md §8
-//!   (no wall-clock in response paths, no unordered collections in
-//!   serialization-adjacent code, exact-round-trip float formatting,
-//!   annotated panics only, `#![forbid(unsafe_code)]` everywhere).
+//! * **Source layer** ([`lexer`] + [`lint`] + the interprocedural
+//!   engine) — a std-only token-level Rust lexer feeding two analysis
+//!   engines behind the `oa_lint` binary. The *token engine* ([`lint`])
+//!   enforces local invariants of DESIGN.md §8 (no wall-clock in
+//!   response paths, exact-round-trip float formatting, `#![forbid(unsafe_code)]`
+//!   everywhere). The *ast engine* ([`parser`] → [`ast`] →
+//!   [`callgraph`] → [`reachability`]/[`locks`]/[`taint`], orchestrated
+//!   by [`engine`]) upgrades the panic and unordered-collection rules
+//!   to whole-program analyses: panic *reachability* from service entry
+//!   points with printed call chains, lock-order cycle detection over
+//!   an interprocedural lock-acquisition graph, and HashMap-iteration
+//!   determinism taint from sources to serialization sinks. DESIGN.md
+//!   §10 documents the architecture and the soundness envelope.
 //!
 //! The `oa_sweep` binary applies the structural verifier exhaustively
 //! to all 30,625 topologies of the design space and exits non-zero if
@@ -24,10 +31,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
+pub mod callgraph;
+pub mod engine;
 pub mod error;
 pub mod lexer;
 pub mod lint;
+pub mod locks;
+pub mod parser;
+pub mod reachability;
 pub mod structural;
+pub mod taint;
 
 pub use error::StructuralError;
 pub use lint::{lint_source, Finding};

@@ -32,12 +32,16 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifiers of the lint rules (stable names used in annotations).
+/// `lock_order` and `determinism` only fire in the ast engine; their
+/// annotations are legal everywhere so both engines accept one source.
 pub const RULE_NAMES: &[&str] = &[
     "wall_clock",
     "unordered_collections",
     "float_format",
     "panic",
     "forbid_unsafe",
+    "lock_order",
+    "determinism",
 ];
 
 /// Catalogue entry describing one rule for `--list-rules`.
@@ -74,6 +78,16 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "forbid_unsafe",
         description: "#![forbid(unsafe_code)] must be present in every crate root",
+    },
+    RuleInfo {
+        name: "lock_order",
+        description: "the interprocedural lock-acquisition graph must be acyclic \
+                      (ast engine; annotation waives one edge of a cycle)",
+    },
+    RuleInfo {
+        name: "determinism",
+        description: "no dataflow from HashMap/HashSet iteration to serialization \
+                      sinks (ast engine; annotation at source or sink waives the flow)",
     },
 ];
 
@@ -136,8 +150,12 @@ pub fn scope_of(path: &str) -> Scope {
         unordered_collections: serialization,
         float_format: serialization || in_crate("bench"),
         // The fault layer sits inside both the store and the serving hot
-        // path, so it inherits the same panic-freedom bar as oa-par.
-        panic: request_path || in_crate("par") || in_crate("fault"),
+        // path, so it inherits the same panic-freedom bar as the pool.
+        // Within oa-par only pool.rs is in scope: `par_map` is offline
+        // bench tooling with a deliberately panic-propagating contract,
+        // so forcing annotations on its index arithmetic was noise —
+        // the ast engine reaches the same conclusion via reachability.
+        panic: request_path || path == "crates/par/src/pool.rs" || in_crate("fault"),
         forbid_unsafe: path.ends_with("src/lib.rs"),
     }
 }
@@ -289,6 +307,16 @@ pub fn lint_source_scoped(path: &str, source: &str, scope: Scope) -> Vec<Finding
 
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
+}
+
+/// Public entry for the ast engine: parses a file's `lint: allow(...)`
+/// annotations. Returns rule → covered lines, plus `bad_annotation`
+/// findings for malformed ones.
+pub fn annotations_of(
+    path: &str,
+    source: &str,
+) -> (BTreeMap<&'static str, Vec<u32>>, Vec<Finding>) {
+    collect_annotations(path, &lex(source))
 }
 
 /// Parses `lint: allow(rule, reason)` annotations out of line comments.

@@ -1,0 +1,1266 @@
+//! A std-only recursive-descent parser over the [`lexer`](crate::lexer)
+//! token stream, producing the item-level AST in [`ast`](crate::ast).
+//!
+//! The parser is *syntax-driven and total*: it never fails, never
+//! panics, and degrades gracefully — an unrecognized construct skips
+//! one token and resynchronizes at the next item keyword. It parses
+//! exactly the structure the interprocedural analyses need:
+//!
+//! * items — `fn` (free, impl, trait-default, and nested-in-body),
+//!   `impl`/`trait` blocks (method ownership), `use` trees (call
+//!   resolution), `struct` fields (lock/taint type evidence), with
+//!   `#[cfg(test)]`/`#[test]` items marked so analyses skip them;
+//! * bodies — a block tree (lock-guard scope) of statements, each
+//!   carrying call sites, index sites, `drop` events, `let`/`for`
+//!   pattern binds, read identifiers, and lock-guard bindings.
+//!
+//! What it deliberately does **not** build: expression trees, operator
+//! precedence, or type checking. Every approximation this forces on
+//! the analyses is catalogued in DESIGN.md §10 (soundness envelope).
+
+use crate::ast::{
+    Block, CallSite, CallTarget, Event, FnDef, Param, SourceFile, Stmt, StmtPart, StructDef,
+    UseImport,
+};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Item-level keywords the statement scanner must not treat as
+/// expression identifiers.
+const STMT_KEYWORDS: &[&str] = &[
+    "let", "for", "return", "match", "if", "else", "while", "loop", "in", "move", "mut", "ref",
+    "as", "break", "continue", "where", "dyn", "unsafe", "async", "await", "yield", "box", "pub",
+];
+
+/// Parses one file into its [`SourceFile`] AST. Infallible: malformed
+/// source produces a partial AST, never an error.
+pub fn parse_file(path: &str, crate_name: &str, src: &str) -> SourceFile {
+    let tokens: Vec<Token<'_>> = lex(src).into_iter().filter(|t| !t.is_comment()).collect();
+    let mut file = SourceFile {
+        path: path.to_owned(),
+        crate_name: crate_name.to_owned(),
+        ..SourceFile::default()
+    };
+    let mut parser = Parser {
+        toks: &tokens,
+        pos: 0,
+    };
+    parser.items(&mut file, None, false, false);
+    file
+}
+
+/// Maps a workspace-relative path to the owning crate's lib name.
+pub fn crate_name_of(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let dir = rest.split('/').next().unwrap_or("");
+        return match dir {
+            "core" => "into_oa".to_owned(),
+            other => format!("oa_{}", other.replace('-', "_")),
+        };
+    }
+    if path.starts_with("src/") {
+        return "into_oa_suite".to_owned();
+    }
+    "unknown".to_owned()
+}
+
+struct Parser<'a, 'src> {
+    toks: &'a [Token<'src>],
+    pos: usize,
+}
+
+impl<'src> Parser<'_, 'src> {
+    fn peek(&self) -> Option<&Token<'src>> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<&Token<'src>> {
+        self.toks.get(self.pos + ahead)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek().is_some_and(|t| t.is_punct(c)) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident_text(&self) -> Option<&'src str> {
+        self.peek().and_then(|t| {
+            (t.kind == TokenKind::Ident).then_some(t.text.strip_prefix("r#").unwrap_or(t.text))
+        })
+    }
+
+    /// Skips a balanced `<…>` generics group (the opening `<` is at the
+    /// cursor). `->` arrows inside (`Fn(&T) -> R` bounds) are not
+    /// closers.
+    fn skip_generics(&mut self) {
+        let mut depth = 0i32;
+        let mut prev_minus = false;
+        while let Some(t) = self.peek() {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') && !prev_minus {
+                depth -= 1;
+                if depth <= 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            prev_minus = t.is_punct('-');
+            self.bump();
+        }
+    }
+
+    /// Skips a balanced bracket group whose opener is at the cursor.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth <= 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips to the next `;` at delimiter depth zero (consuming it) —
+    /// `const`/`static`/`type` items, whose initializers may contain
+    /// braces and brackets.
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+                if depth < 0 {
+                    return; // unbalanced: let the caller resynchronize
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                self.bump();
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Collects type text up to (not consuming) a terminator punct at
+    /// delimiter depth zero. Tokens join with single spaces — the form
+    /// [`crate::ast::type_head`] and friends expect.
+    fn type_text(&mut self, stop: &[char]) -> String {
+        let mut depth = 0i32;
+        let mut prev_minus = false;
+        let mut words: Vec<&str> = Vec::new();
+        while let Some(t) = self.peek() {
+            let c = t.text.chars().next().unwrap_or(' ');
+            if depth == 0 && stop.contains(&c) && !(c == '>' && prev_minus) {
+                break;
+            }
+            match c {
+                '<' if t.is_punct('<') => depth += 1,
+                '(' | '[' if t.kind == TokenKind::Punct => depth += 1,
+                '>' if t.is_punct('>') && !prev_minus => depth -= 1,
+                ')' | ']' if t.kind == TokenKind::Punct => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                break;
+            }
+            prev_minus = t.is_punct('-');
+            words.push(t.text);
+            self.bump();
+        }
+        words.join(" ")
+    }
+
+    /// Parses items until EOF or — when `closing` — the matching `}`.
+    fn items(
+        &mut self,
+        file: &mut SourceFile,
+        self_ty: Option<&str>,
+        in_test: bool,
+        closing: bool,
+    ) {
+        while let Some(t) = self.peek() {
+            if t.is_punct('}') {
+                if closing {
+                    self.bump();
+                }
+                return;
+            }
+            let item_test = in_test | self.skip_attrs();
+            self.skip_modifiers();
+            let Some(word) = self.ident_text() else {
+                self.bump(); // recovery: unexpected punctuation
+                continue;
+            };
+            match word {
+                "use" => {
+                    self.bump();
+                    self.parse_use(file);
+                }
+                "mod" => {
+                    self.bump();
+                    self.bump(); // name
+                    if self.eat_punct('{') {
+                        self.items(file, None, item_test, true);
+                    } else {
+                        self.eat_punct(';');
+                    }
+                }
+                "fn" => {
+                    self.bump();
+                    let fndef = self.parse_fn(file, self_ty, item_test);
+                    file.fns.push(fndef);
+                }
+                "impl" => {
+                    self.bump();
+                    self.parse_impl(file, item_test);
+                }
+                "trait" => {
+                    self.bump();
+                    let name = self.ident_text().unwrap_or("").to_owned();
+                    self.bump();
+                    // Generics, supertrait bounds, where clause.
+                    while let Some(t) = self.peek() {
+                        if t.is_punct('{') {
+                            break;
+                        }
+                        if t.is_punct('<') {
+                            self.skip_generics();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    if self.eat_punct('{') {
+                        self.items(file, Some(name.as_str()), item_test, true);
+                    }
+                }
+                "struct" => {
+                    self.bump();
+                    self.parse_struct(file);
+                }
+                "enum" | "union" => {
+                    self.bump();
+                    self.bump(); // name
+                    while let Some(t) = self.peek() {
+                        if t.is_punct('{') {
+                            self.skip_balanced('{', '}');
+                            break;
+                        }
+                        if t.is_punct(';') {
+                            self.bump();
+                            break;
+                        }
+                        if t.is_punct('<') {
+                            self.skip_generics();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                }
+                "const" | "static" | "type" => {
+                    // `const fn` is a fn; a const item ends at `;`.
+                    if self.peek_at(1).is_some_and(|t| t.is_ident("fn")) {
+                        self.bump(); // `const`
+                        self.bump(); // `fn`
+                        let fndef = self.parse_fn(file, self_ty, item_test);
+                        file.fns.push(fndef);
+                    } else {
+                        self.bump();
+                        self.skip_to_semi();
+                    }
+                }
+                "macro_rules" => {
+                    self.bump();
+                    self.eat_punct('!');
+                    self.bump(); // macro name
+                    match self.peek() {
+                        Some(t) if t.is_punct('{') => self.skip_balanced('{', '}'),
+                        Some(t) if t.is_punct('(') => {
+                            self.skip_balanced('(', ')');
+                            self.eat_punct(';');
+                        }
+                        _ => {}
+                    }
+                }
+                "extern" => {
+                    self.bump();
+                    match self.peek() {
+                        Some(t) if t.is_ident("crate") => self.skip_to_semi(),
+                        Some(t) if t.kind == TokenKind::Str => {
+                            self.bump();
+                            if self.peek().is_some_and(|t| t.is_punct('{')) {
+                                self.skip_balanced('{', '}');
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                _ => self.bump(), // recovery: stray identifier
+            }
+        }
+    }
+
+    /// Skips leading attributes, returning `true` if any marks test
+    /// code (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`).
+    fn skip_attrs(&mut self) -> bool {
+        let mut is_test = false;
+        while self.peek().is_some_and(|t| t.is_punct('#')) {
+            self.bump();
+            self.eat_punct('!');
+            if !self.peek().is_some_and(|t| t.is_punct('[')) {
+                break;
+            }
+            let start = self.pos;
+            self.skip_balanced('[', ']');
+            let attr = &self.toks[start..self.pos];
+            let head = attr
+                .iter()
+                .find(|t| t.kind == TokenKind::Ident)
+                .map_or("", |t| t.text);
+            if head == "test" || (head == "cfg" && attr.iter().any(|t| t.is_ident("test"))) {
+                is_test = true;
+            }
+        }
+        is_test
+    }
+
+    /// Skips visibility and `default`/`async`/`unsafe` modifiers ahead
+    /// of an item keyword.
+    fn skip_modifiers(&mut self) {
+        loop {
+            match self.ident_text() {
+                Some("pub") => {
+                    self.bump();
+                    if self.peek().is_some_and(|t| t.is_punct('(')) {
+                        self.skip_balanced('(', ')');
+                    }
+                }
+                Some("default" | "async" | "unsafe")
+                    if self
+                        .peek_at(1)
+                        .is_some_and(|t| matches!(t.text, "fn" | "impl" | "trait")) =>
+                {
+                    self.bump();
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn parse_use(&mut self, file: &mut SourceFile) {
+        let line = self.peek().map_or(0, |t| t.line);
+        let prefix = Vec::new();
+        self.use_tree(&prefix, file, line);
+        self.eat_punct(';');
+    }
+
+    fn use_tree(&mut self, prefix: &[String], file: &mut SourceFile, line: u32) {
+        let mut segs: Vec<String> = prefix.to_vec();
+        loop {
+            match self.peek() {
+                Some(t) if t.is_ident("as") => {
+                    self.bump();
+                    if let Some(alias) = self.ident_text() {
+                        let alias = alias.to_owned();
+                        self.bump();
+                        file.uses.push(UseImport {
+                            alias,
+                            path: segs,
+                            line,
+                        });
+                    }
+                    return;
+                }
+                Some(t) if t.kind == TokenKind::Ident => {
+                    segs.push(t.text.strip_prefix("r#").unwrap_or(t.text).to_owned());
+                    self.bump();
+                }
+                Some(t) if t.is_punct(':') => self.bump(),
+                Some(t) if t.is_punct('{') => {
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(t) if t.is_punct('}') => {
+                                self.bump();
+                                return;
+                            }
+                            Some(t) if t.is_punct(',') => self.bump(),
+                            Some(_) => self.use_tree(&segs, file, line),
+                            None => return,
+                        }
+                    }
+                }
+                Some(t) if t.is_punct('*') => {
+                    self.bump();
+                    return; // glob: binds no stable alias
+                }
+                _ => {
+                    // `,`, `;`, `}` or EOF ends this leaf.
+                    if segs.len() > prefix.len() {
+                        let alias = if segs.last().is_some_and(|s| s == "self") {
+                            segs.pop();
+                            segs.last().cloned().unwrap_or_default()
+                        } else {
+                            segs.last().cloned().unwrap_or_default()
+                        };
+                        if !alias.is_empty() {
+                            file.uses.push(UseImport {
+                                alias,
+                                path: segs,
+                                line,
+                            });
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn parse_struct(&mut self, file: &mut SourceFile) {
+        let line = self.peek().map_or(0, |t| t.line);
+        let name = self.ident_text().unwrap_or("").to_owned();
+        self.bump();
+        // Generics / where clause.
+        while let Some(t) = self.peek() {
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_generics();
+            } else {
+                self.bump();
+            }
+        }
+        let mut fields = Vec::new();
+        match self.peek() {
+            Some(t) if t.is_punct('(') => {
+                self.skip_balanced('(', ')');
+                self.eat_punct(';');
+            }
+            Some(t) if t.is_punct(';') => {
+                self.bump();
+            }
+            Some(t) if t.is_punct('{') => {
+                self.bump();
+                loop {
+                    self.skip_attrs();
+                    self.skip_modifiers();
+                    match self.peek() {
+                        Some(t) if t.is_punct('}') => {
+                            self.bump();
+                            break;
+                        }
+                        Some(t) if t.is_punct(',') => {
+                            self.bump();
+                        }
+                        Some(t) if t.kind == TokenKind::Ident => {
+                            let fname = t.text.to_owned();
+                            self.bump();
+                            if self.eat_punct(':') {
+                                let ty = self.type_text(&[',', '}']);
+                                fields.push((fname, ty));
+                            }
+                        }
+                        Some(_) => self.bump(),
+                        None => break,
+                    }
+                }
+            }
+            _ => {}
+        }
+        file.structs.push(StructDef { name, fields, line });
+    }
+
+    fn parse_impl(&mut self, file: &mut SourceFile, in_test: bool) {
+        if self.peek().is_some_and(|t| t.is_punct('<')) {
+            self.skip_generics();
+        }
+        // First path: either the implemented type or, with `for`, the
+        // trait. The impl target is whatever precedes the `{`.
+        let first = self.type_text(&['{']);
+        let target = match first.split_once(" for ") {
+            Some((_, ty)) => ty.to_owned(),
+            None => first,
+        };
+        // Strip trailing where clause and take the head type name.
+        let target = target.split(" where ").next().unwrap_or("").trim().to_owned();
+        let self_ty = crate::ast::type_head(&target).to_owned();
+        if self.eat_punct('{') {
+            self.items(file, Some(self_ty.as_str()), in_test, true);
+        }
+    }
+
+    fn parse_fn(
+        &mut self,
+        file: &mut SourceFile,
+        self_ty: Option<&str>,
+        is_test: bool,
+    ) -> FnDef {
+        let line = self.peek().map_or(0, |t| t.line);
+        let name = self.ident_text().unwrap_or("").to_owned();
+        self.bump();
+        if self.peek().is_some_and(|t| t.is_punct('<')) {
+            self.skip_generics();
+        }
+        let mut params = Vec::new();
+        if self.eat_punct('(') {
+            self.parse_params(&mut params, self_ty);
+        }
+        // Return type and where clause: skip to the body or `;`.
+        // Depth-tracked so `-> [u8; 8]` does not end at its inner `;`.
+        let mut sig_depth = 0i32;
+        while let Some(t) = self.peek() {
+            if sig_depth == 0 && (t.is_punct('{') || t.is_punct(';')) {
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_generics();
+                continue;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                sig_depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                sig_depth = (sig_depth - 1).max(0);
+            }
+            self.bump();
+        }
+        let mut locals = Vec::new();
+        let body = if self.eat_punct('{') {
+            let mut block = self.parse_block(file, &mut locals, is_test);
+            if let Some(last) = block.stmts.last_mut() {
+                last.is_return = true; // trailing expression position
+            }
+            Some(block)
+        } else {
+            self.eat_punct(';');
+            None
+        };
+        let qual = match self_ty {
+            Some(ty) => format!("{ty}::{name}"),
+            None => name.clone(),
+        };
+        FnDef {
+            name,
+            qual,
+            self_ty: self_ty.map(str::to_owned),
+            params,
+            locals,
+            line,
+            is_test,
+            body,
+        }
+    }
+
+    fn parse_params(&mut self, params: &mut Vec<Param>, self_ty: Option<&str>) {
+        loop {
+            self.skip_attrs();
+            match self.peek() {
+                None => return,
+                Some(t) if t.is_punct(')') => {
+                    self.bump();
+                    return;
+                }
+                Some(t) if t.is_punct(',') => {
+                    self.bump();
+                }
+                _ => {
+                    // Pattern: idents (and `&`/`mut`/parens) up to `:`.
+                    let mut names = Vec::new();
+                    let mut saw_self = false;
+                    while let Some(t) = self.peek() {
+                        if t.is_punct(':') || t.is_punct(',') || t.is_punct(')') {
+                            break;
+                        }
+                        if t.kind == TokenKind::Ident && t.text != "mut" && t.text != "ref" {
+                            if t.text == "self" {
+                                saw_self = true;
+                            } else {
+                                names.push(t.text.to_owned());
+                            }
+                        }
+                        self.bump();
+                    }
+                    if saw_self {
+                        params.push(Param {
+                            name: "self".to_owned(),
+                            ty: self_ty.unwrap_or("Self").to_owned(),
+                        });
+                    }
+                    let ty = if self.eat_punct(':') {
+                        self.type_text(&[',', ')'])
+                    } else {
+                        String::new()
+                    };
+                    for n in names {
+                        params.push(Param {
+                            name: n,
+                            ty: ty.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses one `{ … }` body block (the opening brace is consumed).
+    /// Nested items (`fn` in a body) go to `file`; local type evidence
+    /// accumulates in `locals`.
+    fn parse_block(
+        &mut self,
+        file: &mut SourceFile,
+        locals: &mut Vec<(String, String)>,
+        is_test: bool,
+    ) -> Block {
+        let mut block = Block::default();
+        let mut sc = StmtScan::default();
+        loop {
+            let Some(t) = self.peek() else {
+                sc.finish(&mut block);
+                return block;
+            };
+            let (line, text_first) = (t.line, t.text.chars().next().unwrap_or(' '));
+            if sc.stmt.line == 0 && !t.is_punct('}') {
+                sc.stmt.line = line;
+            }
+            match t.kind {
+                TokenKind::Punct => match text_first {
+                    '}' => {
+                        self.bump();
+                        sc.finish(&mut block);
+                        return block;
+                    }
+                    '{' => {
+                        self.bump();
+                        let child = self.parse_block(file, locals, is_test);
+                        sc.enter_block(child);
+                        if sc.depth == 0 && !self.continues_statement() {
+                            sc.finish(&mut block);
+                        }
+                    }
+                    ';' | ',' if sc.depth == 0 => {
+                        self.bump();
+                        sc.finish(&mut block);
+                    }
+                    '(' => {
+                        self.on_open_paren(&mut sc, line);
+                        sc.depth += 1;
+                        self.bump();
+                    }
+                    '[' => {
+                        if self.prev_is_indexable() {
+                            sc.push_event(Event::Index { line });
+                        }
+                        sc.depth += 1;
+                        self.bump();
+                    }
+                    ')' | ']' => {
+                        sc.depth = (sc.depth - 1).max(0);
+                        self.bump();
+                    }
+                    '=' => {
+                        // `=` (not `==`, `=>`, `<=`…): leaving a let
+                        // pattern. `==`/`=>` don't begin pattern exits.
+                        if sc.let_mode == LetMode::Pattern
+                            && t.text == "="
+                            && !self.peek_at(1).is_some_and(|n| n.is_punct('='))
+                            && !self.prev_is_cmp()
+                        {
+                            sc.let_mode = LetMode::Init;
+                            self.bump();
+                            self.record_init_type(&mut sc, locals);
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    ':' if sc.let_mode == LetMode::Pattern && sc.depth == 0 => {
+                        // Type ascription: `let x: T = …`.
+                        self.bump();
+                        let ty = self.type_text(&['=', ';', ',']);
+                        if let Some(first) = sc.stmt.binds.first() {
+                            locals.push((first.clone(), ty));
+                        }
+                    }
+                    _ => self.bump(),
+                },
+                TokenKind::Ident => self.scan_ident(file, &mut sc, is_test),
+                TokenKind::Str => {
+                    format_captures(t.text, &mut sc.stmt.reads);
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// After a depth-zero block: does the next token continue the same
+    /// statement (`else`, method call on the block's value, `?`)?
+    fn continues_statement(&self) -> bool {
+        self.peek()
+            .is_some_and(|t| t.is_ident("else") || t.is_punct('.') || t.is_punct('?'))
+    }
+
+    /// Previous code token makes a following `[` an index expression.
+    fn prev_is_indexable(&self) -> bool {
+        self.pos > 0
+            && self.toks.get(self.pos - 1).is_some_and(|p| {
+                (p.kind == TokenKind::Ident && !STMT_KEYWORDS.contains(&p.text))
+                    || p.is_punct(')')
+                    || p.is_punct(']')
+            })
+    }
+
+    /// Previous token is `<` or `>` (so a following `=` is `<=`/`>=`).
+    fn prev_is_cmp(&self) -> bool {
+        self.pos > 0
+            && self
+                .toks
+                .get(self.pos - 1)
+                .is_some_and(|p| p.is_punct('<') || p.is_punct('>') || p.is_punct('!'))
+    }
+
+    /// Call-site recognition at an opening paren: looks back at the
+    /// consumed tokens to classify method, free, or macro call.
+    fn on_open_paren(&mut self, sc: &mut StmtScan, line: u32) {
+        let Some(prev) = self.pos.checked_sub(1).and_then(|i| self.toks.get(i)) else {
+            return;
+        };
+        if prev.kind != TokenKind::Ident || STMT_KEYWORDS.contains(&prev.text) {
+            return;
+        }
+        let name = prev.text.strip_prefix("r#").unwrap_or(prev.text).to_owned();
+        let before = self.pos.checked_sub(2).and_then(|i| self.toks.get(i));
+        if before.is_some_and(|t| t.is_punct('!')) {
+            return; // `name!(` was emitted as a macro event at the `!`
+        }
+        if before.is_some_and(|t| t.is_punct('.')) {
+            let recv = self.receiver_text(self.pos - 2);
+            sc.push_event(Event::Call(CallSite {
+                line,
+                target: CallTarget::Method { name, recv },
+            }));
+            return;
+        }
+        // `drop(x)` ends a guard's life.
+        if name == "drop"
+            && self.peek_at(1).is_some_and(|t| t.kind == TokenKind::Ident)
+            && self.peek_at(2).is_some_and(|t| t.is_punct(')'))
+        {
+            let victim = self.peek_at(1).map_or("", |t| t.text).to_owned();
+            sc.push_event(Event::DropVar { name: victim, line });
+            return;
+        }
+        // Free path call: walk `seg :: seg :: name` backwards.
+        let mut path = vec![name];
+        let mut i = self.pos - 1;
+        while i >= 3
+            && self.toks[i - 1].is_punct(':')
+            && self.toks[i - 2].is_punct(':')
+            && self.toks[i - 3].kind == TokenKind::Ident
+        {
+            let seg = self.toks[i - 3].text;
+            path.insert(0, seg.strip_prefix("r#").unwrap_or(seg).to_owned());
+            i -= 3;
+        }
+        // A path immediately after `.` is a method-call chain we
+        // already handled; after `fn` it is a signature, not a call.
+        if i >= 1 && (self.toks[i - 1].is_punct('.') || self.toks[i - 1].is_ident("fn")) {
+            return;
+        }
+        sc.push_event(Event::Call(CallSite {
+            line,
+            target: CallTarget::Free { path },
+        }));
+    }
+
+    /// Reconstructs a simple `ident(.ident)*` receiver chain ending at
+    /// the `.` token index `dot`. Compound receivers return `""`.
+    fn receiver_text(&self, dot: usize) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        let mut i = dot;
+        loop {
+            if i == 0 {
+                break;
+            }
+            let Some(t) = self.toks.get(i - 1) else { break };
+            if t.kind != TokenKind::Ident {
+                return String::new(); // `)`/`]`/literal receiver: give up
+            }
+            parts.insert(0, t.text);
+            match i.checked_sub(2).and_then(|k| self.toks.get(k)) {
+                Some(d) if d.is_punct('.') => i -= 2,
+                _ => break,
+            }
+        }
+        parts.join(".")
+    }
+
+    /// At the start of a `let` initializer: records `let x = Type::…` /
+    /// `let x = Type { …` type evidence.
+    fn record_init_type(&mut self, sc: &mut StmtScan, locals: &mut Vec<(String, String)>) {
+        let Some(bind) = sc.stmt.binds.first().cloned() else {
+            return;
+        };
+        let Some(t) = self.peek() else { return };
+        if t.kind != TokenKind::Ident {
+            return;
+        }
+        let head = t.text.strip_prefix("r#").unwrap_or(t.text);
+        if !head.chars().next().is_some_and(char::is_uppercase) {
+            return;
+        }
+        let next = self.peek_at(1);
+        let is_path = next.is_some_and(|n| n.is_punct(':'))
+            && self.peek_at(2).is_some_and(|n| n.is_punct(':'));
+        let is_literal = next.is_some_and(|n| n.is_punct('{'));
+        if is_path || is_literal {
+            locals.push((bind, head.to_owned()));
+        }
+    }
+
+    /// Handles one identifier token inside a statement scan.
+    fn scan_ident(&mut self, file: &mut SourceFile, sc: &mut StmtScan, is_test: bool) {
+        let t = self.toks[self.pos];
+        let line = t.line;
+        let word = t.text.strip_prefix("r#").unwrap_or(t.text);
+        match word {
+            "let" => {
+                sc.let_mode = LetMode::Pattern;
+                sc.saw_control_in_init = false;
+                self.bump();
+            }
+            "for" if !self.prev_is_impl_or_lt() => {
+                self.bump();
+                self.scan_for_header(sc);
+            }
+            "return" => {
+                sc.stmt.is_return = true;
+                self.bump();
+            }
+            "match" | "if" | "while" | "loop" => {
+                if sc.let_mode == LetMode::Init {
+                    sc.saw_control_in_init = true;
+                }
+                self.bump();
+            }
+            "fn" => {
+                // Nested function item inside a body.
+                self.bump();
+                let nested = self.parse_fn(file, None, is_test);
+                file.fns.push(nested);
+            }
+            _ if STMT_KEYWORDS.contains(&word) => self.bump(),
+            "self" | "Self" | "crate" | "super" => self.bump(),
+            _ => {
+                if sc.let_mode == LetMode::Pattern {
+                    sc.stmt.binds.push(word.to_owned());
+                } else {
+                    sc.stmt.reads.push(word.to_owned());
+                }
+                // Macro invocation: `name!` + delimiter.
+                if self.peek_at(1).is_some_and(|n| n.is_punct('!'))
+                    && self.peek_at(2).is_some_and(|n| {
+                        n.is_punct('(') || n.is_punct('[') || n.is_punct('{')
+                    })
+                {
+                    sc.push_event(Event::Call(CallSite {
+                        line,
+                        target: CallTarget::Macro {
+                            name: word.to_owned(),
+                        },
+                    }));
+                    self.bump(); // name
+                    self.bump(); // `!`
+                    return;
+                }
+                // Lock-guard binding heuristic: `let g = recv.lock()…;`
+                // — a lock call at depth zero of the initializer with no
+                // intervening control-flow keyword.
+                self.bump();
+                if sc.let_mode == LetMode::Init
+                    && sc.depth == 0
+                    && !sc.saw_control_in_init
+                    && matches!(word, "lock" | "read" | "write")
+                    && self.pos >= 2
+                    && self.toks.get(self.pos - 2).is_some_and(|d| d.is_punct('.'))
+                    && self.peek().is_some_and(|n| n.is_punct('('))
+                    && sc.stmt.binds.len() == 1
+                {
+                    sc.stmt.guard_bind = sc.stmt.binds.first().cloned();
+                }
+            }
+        }
+    }
+
+    /// `for` directly after `impl`/`<` is a trait bound (`impl Trait
+    /// for`, `F: for<'a>…`), not a loop.
+    fn prev_is_impl_or_lt(&self) -> bool {
+        self.pos > 0
+            && self
+                .toks
+                .get(self.pos - 1)
+                .is_some_and(|p| p.is_ident("impl") || p.is_punct('<'))
+    }
+
+    /// After `for`: binds the loop pattern, then — when the iterated
+    /// expression is a bare `ident(.ident)*` chain — consumes it and
+    /// synthesizes an `into_iter` method event so the taint analysis
+    /// sees `for x in &map` exactly like `map.iter()`. A compound
+    /// expression (`map.iter()`, `0..n`) is left to the main scanner,
+    /// which records its real call events.
+    fn scan_for_header(&mut self, sc: &mut StmtScan) {
+        // Pattern up to `in`.
+        while let Some(t) = self.peek() {
+            if t.is_ident("in") {
+                self.bump();
+                break;
+            }
+            if t.is_punct('{') || t.is_punct(';') {
+                return; // malformed; bail
+            }
+            if t.kind == TokenKind::Ident && !STMT_KEYWORDS.contains(&t.text) {
+                sc.stmt.binds.push(t.text.to_owned());
+            }
+            self.bump();
+        }
+        // Lookahead (non-consuming) to the body `{`.
+        let mut look = self.pos;
+        while let Some(t) = self.toks.get(look) {
+            if t.is_punct('{') || t.is_punct(';') || t.is_punct('}') {
+                break;
+            }
+            look += 1;
+        }
+        let header = &self.toks[self.pos..look];
+        let simple = !header.is_empty()
+            && header.iter().all(|t| {
+                (t.kind == TokenKind::Ident && !STMT_KEYWORDS.contains(&t.text))
+                    || t.is_punct('.')
+                    || t.is_punct('&')
+            });
+        if !simple {
+            return; // main scanner records the header's real calls
+        }
+        let line = header.first().map_or(0, |t| t.line);
+        let recv: Vec<&str> = header
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        for seg in &recv {
+            sc.stmt.reads.push((*seg).to_owned());
+        }
+        sc.push_event(Event::Call(CallSite {
+            line,
+            target: CallTarget::Method {
+                name: "into_iter".to_owned(),
+                recv: recv.join("."),
+            },
+        }));
+        self.pos = look;
+    }
+}
+
+/// Inline format captures: `"{name}"` / `"{name:?}"` in a string
+/// literal read `name` (Rust 2021 implicit captures). `{{` escapes are
+/// skipped; positional and expression arguments are ignored. Strings
+/// that merely *look* like format strings can add spurious reads — the
+/// only consumer is taint propagation, where an extra read is a benign
+/// over-approximation.
+fn format_captures(text: &str, reads: &mut Vec<String>) {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'{' {
+            i += 1;
+            continue;
+        }
+        if bytes.get(i + 1) == Some(&b'{') {
+            i += 2; // `{{` literal brace
+            continue;
+        }
+        let Some(rel) = text[i + 1..].find(['}', ':']) else {
+            return;
+        };
+        let name = &text[i + 1..i + 1 + rel];
+        if !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            reads.push(name.to_owned());
+        }
+        i += 2 + rel;
+    }
+}
+
+/// Per-statement scanning state.
+#[derive(Default)]
+struct StmtScan {
+    stmt: Stmt,
+    depth: i32,
+    let_mode: LetMode,
+    saw_control_in_init: bool,
+}
+
+#[derive(Default, PartialEq, Clone, Copy)]
+enum LetMode {
+    #[default]
+    None,
+    Pattern,
+    Init,
+}
+
+impl StmtScan {
+    fn push_event(&mut self, ev: Event) {
+        self.stmt.parts.push(StmtPart::Event(ev));
+    }
+
+    fn enter_block(&mut self, child: Block) {
+        self.stmt.parts.push(StmtPart::Block(child));
+    }
+
+    fn finish(&mut self, block: &mut Block) {
+        let done = std::mem::take(&mut self.stmt);
+        self.let_mode = LetMode::None;
+        self.saw_control_in_init = false;
+        self.depth = 0;
+        if done.line != 0
+            && (!done.parts.is_empty()
+                || !done.binds.is_empty()
+                || !done.reads.is_empty()
+                || done.is_return)
+        {
+            block.stmts.push(done);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CallTarget, Event, StmtPart};
+
+    fn calls_of(file: &SourceFile, fn_name: &str) -> Vec<String> {
+        let f = file.fns.iter().find(|f| f.name == fn_name).unwrap();
+        let mut out = Vec::new();
+        collect_calls(f.body.as_ref().unwrap(), &mut out);
+        out
+    }
+
+    fn collect_calls(block: &Block, out: &mut Vec<String>) {
+        for stmt in &block.stmts {
+            for part in &stmt.parts {
+                match part {
+                    StmtPart::Event(Event::Call(c)) => out.push(match &c.target {
+                        CallTarget::Free { path } => path.join("::"),
+                        CallTarget::Method { name, recv } => format!("{recv}.{name}"),
+                        CallTarget::Macro { name } => format!("{name}!"),
+                    }),
+                    StmtPart::Event(_) => {}
+                    StmtPart::Block(b) => collect_calls(b, out),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parses_free_method_and_macro_calls() {
+        let src = r#"
+            fn handler(&self, line: &str) -> String {
+                let v = Json::parse(line);
+                let x = self.store.get(key);
+                helper(v, x);
+                format!("{x}")
+            }
+        "#;
+        let file = parse_file("f.rs", "c", src);
+        assert_eq!(
+            calls_of(&file, "handler"),
+            vec!["Json::parse", "self.store.get", "helper", "format!"]
+        );
+    }
+
+    #[test]
+    fn impl_methods_get_qualified_names() {
+        let src = "impl Service { fn handle(&self) {} }\nimpl Display for Finding { fn fmt(&self, f: &mut Formatter) {} }";
+        let file = parse_file("f.rs", "c", src);
+        let quals: Vec<&str> = file.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, vec!["Service::handle", "Finding::fmt"]);
+        assert_eq!(file.fns[0].params[0].name, "self");
+        assert_eq!(file.fns[0].params[0].ty, "Service");
+    }
+
+    #[test]
+    fn use_trees_flatten_with_aliases() {
+        let src = "use std::sync::{Arc, Mutex};\nuse crate::json::Json as J;\nuse std::io::{self, Read};";
+        let file = parse_file("f.rs", "c", src);
+        let mapped: Vec<(String, String)> = file
+            .uses
+            .iter()
+            .map(|u| (u.alias.clone(), u.path.join("::")))
+            .collect();
+        assert!(mapped.contains(&("Arc".into(), "std::sync::Arc".into())));
+        assert!(mapped.contains(&("Mutex".into(), "std::sync::Mutex".into())));
+        assert!(mapped.contains(&("J".into(), "crate::json::Json".into())));
+        assert!(mapped.contains(&("io".into(), "std::io".into())));
+        assert!(mapped.contains(&("Read".into(), "std::io::Read".into())));
+    }
+
+    #[test]
+    fn struct_fields_record_type_text() {
+        let src = "pub struct Service { store: Mutex<Store>, wl: Mutex<WlFeaturizer>, n: u64 }";
+        let file = parse_file("f.rs", "c", src);
+        let s = &file.structs[0];
+        assert_eq!(s.name, "Service");
+        assert_eq!(s.fields[0], ("store".into(), "Mutex < Store >".into()));
+        assert_eq!(s.fields[2], ("n".into(), "u64".into()));
+    }
+
+    #[test]
+    fn guard_binding_is_detected_and_match_temporaries_are_not() {
+        let src = r#"
+            fn a(&self) {
+                let store = self.store.lock().unwrap_or_else(|p| p.into_inner());
+                store.get(k);
+            }
+            fn b(rx: &Mutex<Receiver<Job>>) {
+                let job = match rx.lock() { Ok(g) => g.recv(), Err(p) => p.into_inner().recv() };
+            }
+        "#;
+        let file = parse_file("f.rs", "c", src);
+        let a = file.fns.iter().find(|f| f.name == "a").unwrap();
+        let guard = a.body.as_ref().unwrap().stmts[0].guard_bind.clone();
+        assert_eq!(guard.as_deref(), Some("store"));
+        let b = file.fns.iter().find(|f| f.name == "b").unwrap();
+        assert!(b.body.as_ref().unwrap().stmts.iter().all(|s| s.guard_bind.is_none()));
+    }
+
+    #[test]
+    fn index_sites_are_events_but_attrs_and_macros_are_not() {
+        let src = r#"
+            fn f(v: &[u8]) -> u8 {
+                let a = vec![1, 2];
+                #[allow(dead_code)]
+                let b = v[0];
+                items[i].run()
+            }
+        "#;
+        let file = parse_file("f.rs", "c", src);
+        let f = file.fns.iter().find(|f| f.name == "f").unwrap();
+        let mut indexes = 0;
+        count_indexes(f.body.as_ref().unwrap(), &mut indexes);
+        assert_eq!(indexes, 2, "v[0] and items[i], not vec![ or #[");
+    }
+
+    fn count_indexes(block: &Block, n: &mut usize) {
+        for stmt in &block.stmts {
+            for part in &stmt.parts {
+                match part {
+                    StmtPart::Event(Event::Index { .. }) => *n += 1,
+                    StmtPart::Block(b) => count_indexes(b, n),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "#[cfg(test)]\nmod tests { fn helper() {} #[test] fn t() {} }\nfn live() {}";
+        let file = parse_file("f.rs", "c", src);
+        let by_name = |n: &str| file.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("helper").is_test);
+        assert!(by_name("t").is_test);
+        assert!(!by_name("live").is_test);
+    }
+
+    #[test]
+    fn for_loops_over_maps_synthesize_iteration() {
+        let src = "fn f(m: &HashMap<String, u32>) { for (k, v) in &m { use_it(k, v); } }";
+        let file = parse_file("f.rs", "c", src);
+        let calls = calls_of(&file, "f");
+        assert!(calls.contains(&"m.into_iter".to_owned()), "{calls:?}");
+    }
+
+    #[test]
+    fn nested_fns_and_closures_attribute_to_parents() {
+        let src = r#"
+            fn outer() {
+                fn inner(x: u8) -> u8 { x }
+                let c = |p| p.into_inner();
+                submit(move || service.handle_line(&line));
+            }
+        "#;
+        let file = parse_file("f.rs", "c", src);
+        assert!(file.fns.iter().any(|f| f.name == "inner"));
+        let calls = calls_of(&file, "outer");
+        assert!(calls.contains(&"p.into_inner".to_owned()));
+        assert!(calls.contains(&"service.handle_line".to_owned()));
+    }
+
+    #[test]
+    fn locals_record_type_evidence() {
+        let src = r#"
+            fn f() {
+                let x: HashMap<String, u32> = HashMap::new();
+                let s = Store::open(path);
+                let lit = EvalKey { kind };
+            }
+        "#;
+        let file = parse_file("f.rs", "c", src);
+        let f = file.fns.iter().find(|f| f.name == "f").unwrap();
+        assert!(f
+            .locals
+            .iter()
+            .any(|(n, t)| n == "x" && t.starts_with("HashMap")));
+        assert!(f.locals.iter().any(|(n, t)| n == "s" && t == "Store"));
+        assert!(f.locals.iter().any(|(n, t)| n == "lit" && t == "EvalKey"));
+    }
+
+    #[test]
+    fn crate_names_resolve_from_paths() {
+        assert_eq!(crate_name_of("crates/serve/src/service.rs"), "oa_serve");
+        assert_eq!(crate_name_of("crates/core/src/lib.rs"), "into_oa");
+        assert_eq!(crate_name_of("src/lib.rs"), "into_oa_suite");
+    }
+
+    #[test]
+    fn trait_default_methods_belong_to_the_trait() {
+        let src = "trait Greet { fn hi(&self) { wave(); } fn bye(&self); }";
+        let file = parse_file("f.rs", "c", src);
+        assert_eq!(file.fns[0].qual, "Greet::hi");
+        assert!(file.fns[0].body.is_some());
+        assert_eq!(file.fns[1].qual, "Greet::bye");
+        assert!(file.fns[1].body.is_none());
+    }
+
+    #[test]
+    fn parser_never_panics_on_malformed_input() {
+        for src in [
+            "fn broken( {",
+            "impl {}{}{}",
+            "use ;;; fn f() { let = ; }",
+            "struct S { x: }",
+            "fn f() { a[ }",
+            "",
+        ] {
+            let _ = parse_file("f.rs", "c", src);
+        }
+    }
+}

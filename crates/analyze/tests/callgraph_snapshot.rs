@@ -1,0 +1,104 @@
+//! Pins the workspace call graph: the TSV dump of every function and
+//! resolved call edge is committed at `tests/snapshots/callgraph.tsv`
+//! and must match what `CallGraph::build` produces from the sources on
+//! disk. Drift means a resolver behavior change (or a real code
+//! change) — either way it must be reviewed, not silent. Regenerate
+//! with:
+//!
+//! ```text
+//! OA_REGEN_SNAPSHOT=1 cargo test -p oa-analyze --test callgraph_snapshot
+//! ```
+//!
+//! or `oa_lint callgraph > crates/analyze/tests/snapshots/callgraph.tsv`.
+
+use oa_analyze::callgraph::{CallGraph, Workspace};
+use std::path::{Path, PathBuf};
+
+const SNAPSHOT: &str = "tests/snapshots/callgraph.tsv";
+
+#[test]
+fn workspace_callgraph_matches_snapshot() {
+    let root = workspace_root();
+    // Same file set as `oa_lint`: crates/*/src/** only.
+    let mut files = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for krate in crate_dirs {
+        collect_rs(&krate.join("src"), &mut files);
+    }
+    files.sort();
+    let inputs: Vec<(String, String)> = files
+        .iter()
+        .map(|p| (relative_to(p, &root), std::fs::read_to_string(p).unwrap()))
+        .collect();
+    let ws = Workspace::parse(&inputs);
+    let graph = CallGraph::build(&ws);
+    let tsv = graph.to_tsv();
+
+    let snap_path = Path::new(env!("CARGO_MANIFEST_DIR")).join(SNAPSHOT);
+    if std::env::var_os("OA_REGEN_SNAPSHOT").is_some() {
+        std::fs::write(&snap_path, &tsv).unwrap();
+        return;
+    }
+    let snapshot = std::fs::read_to_string(&snap_path).unwrap_or_default();
+    if snapshot != tsv {
+        let diff: Vec<String> = diff_lines(&snapshot, &tsv);
+        panic!(
+            "call graph drifted from snapshot ({} line(s) differ); \
+             review and regenerate with OA_REGEN_SNAPSHOT=1\n{}",
+            diff.len(),
+            diff.join("\n")
+        );
+    }
+}
+
+/// First 20 differing lines, unified-diff flavored, so the failure
+/// message shows *what* moved without dumping 2000 lines.
+fn diff_lines(old: &str, new: &str) -> Vec<String> {
+    let old_set: std::collections::BTreeSet<&str> = old.lines().collect();
+    let new_set: std::collections::BTreeSet<&str> = new.lines().collect();
+    let mut out = Vec::new();
+    for l in new_set.difference(&old_set).take(10) {
+        out.push(format!("+ {l}"));
+    }
+    for l in old_set.difference(&new_set).take(10) {
+        out.push(format!("- {l}"));
+    }
+    out
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn relative_to(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,103 @@
+//! Fixture corpus for the interprocedural engine: each analysis has a
+//! `*_bad.rs` fixture it must fire on (with the expected diagnostic
+//! shape — the call chain or flow is part of the contract, not just
+//! the fact of a finding) and a `*_good.rs` twin it must stay silent
+//! on. The twins are the regression net against over-approximation:
+//! an engine change that starts flagging the good twins is rejecting
+//! correct code.
+
+use oa_analyze::engine::{run, Engine};
+use oa_analyze::lint::Finding;
+
+/// Loads a fixture under a virtual request-path file name so entry
+/// points and rule scopes engage exactly as they do for the real
+/// workspace, and returns only the findings for `rule`.
+fn findings(rule: &str, fixture: &str) -> Vec<Finding> {
+    let inputs = vec![("crates/serve/src/service.rs".to_owned(), fixture.to_owned())];
+    run(Engine::Ast, &inputs)
+        .findings
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .collect()
+}
+
+const PANIC_BAD: &str = include_str!("fixtures/panic_bad.rs");
+const PANIC_GOOD: &str = include_str!("fixtures/panic_good.rs");
+const LOCKS_BAD: &str = include_str!("fixtures/locks_bad.rs");
+const LOCKS_GOOD: &str = include_str!("fixtures/locks_good.rs");
+const TAINT_BAD: &str = include_str!("fixtures/taint_bad.rs");
+const TAINT_GOOD: &str = include_str!("fixtures/taint_good.rs");
+
+#[test]
+fn panic_fixture_fires_on_all_three_reachable_sites() {
+    let f = findings("panic", PANIC_BAD);
+    assert_eq!(f.len(), 3, "{f:#?}");
+    assert!(f.iter().any(|x| x.message.contains("indexing")));
+    assert!(f.iter().any(|x| x.message.contains(".unwrap() can panic")));
+    assert!(f.iter().any(|x| x.message.contains("panic! panics")));
+}
+
+#[test]
+fn panic_fixture_chains_run_entry_to_site() {
+    let f = findings("panic", PANIC_BAD);
+    let indexing = f.iter().find(|x| x.message.contains("indexing")).unwrap();
+    assert!(
+        indexing.message.contains(
+            "Service::handle_line -> decode_frame (at service.rs:10) -> read_header"
+        ),
+        "{}",
+        indexing.message
+    );
+}
+
+#[test]
+fn panic_fixture_skips_the_unreachable_function() {
+    // offline_debug_dump indexes too, but nothing reaches it.
+    let f = findings("panic", PANIC_BAD);
+    assert!(
+        f.iter().all(|x| x.line < 35),
+        "unreachable site reported: {f:#?}"
+    );
+}
+
+#[test]
+fn panic_good_twin_is_silent() {
+    let f = findings("panic", PANIC_GOOD);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn lock_fixture_fires_on_the_ab_ba_cycle() {
+    let f = findings("lock_order", LOCKS_BAD);
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(
+        f[0].message.contains("Service.stats") && f[0].message.contains("Service.store"),
+        "{}",
+        f[0].message
+    );
+}
+
+#[test]
+fn lock_good_twin_is_silent() {
+    let f = findings("lock_order", LOCKS_GOOD);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn taint_fixture_fires_with_the_source_line() {
+    let f = findings("determinism", TAINT_BAD);
+    assert!(!f.is_empty(), "expected a determinism flow");
+    assert!(
+        f[0].message.contains("iteration order"),
+        "{}",
+        f[0].message
+    );
+    // The source is the `counters.keys()` loop in collect_rows.
+    assert!(f[0].message.contains("service.rs:15"), "{}", f[0].message);
+}
+
+#[test]
+fn taint_good_twin_is_silent() {
+    let f = findings("determinism", TAINT_GOOD);
+    assert!(f.is_empty(), "{f:#?}");
+}

@@ -1,0 +1,29 @@
+// Fixture: two handlers acquire the same two field locks in opposite
+// orders — the classic AB/BA deadlock. The lock-order analysis must
+// report the cycle naming both lock classes.
+pub struct Service {
+    stats: Mutex<Stats>,
+    store: Mutex<Store>,
+}
+
+impl Service {
+    pub fn handle_line(&self, line: &str) -> String {
+        if line.starts_with('s') {
+            self.put_path()
+        } else {
+            self.stat_path()
+        }
+    }
+
+    fn put_path(&self) -> String {
+        let st = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let db = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        format_reply(&st, &db)
+    }
+
+    fn stat_path(&self) -> String {
+        let db = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        let st = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        format_reply(&st, &db)
+    }
+}

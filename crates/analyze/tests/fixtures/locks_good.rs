@@ -1,0 +1,29 @@
+// Fixture twin of locks_bad.rs: both handlers acquire stats before
+// store — a single consistent order, so the lock graph is acyclic and
+// the analysis must stay silent.
+pub struct Service {
+    stats: Mutex<Stats>,
+    store: Mutex<Store>,
+}
+
+impl Service {
+    pub fn handle_line(&self, line: &str) -> String {
+        if line.starts_with('s') {
+            self.put_path()
+        } else {
+            self.stat_path()
+        }
+    }
+
+    fn put_path(&self) -> String {
+        let st = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let db = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        format_reply(&st, &db)
+    }
+
+    fn stat_path(&self) -> String {
+        let st = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let db = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        format_reply(&st, &db)
+    }
+}

@@ -1,0 +1,40 @@
+// Fixture: a request handler that transitively reaches un-annotated
+// panic sites three calls deep. The panic-reachability analysis must
+// fire on every site and print the full entry -> site chain.
+pub struct Service {
+    store: Store,
+}
+
+impl Service {
+    pub fn handle_line(&self, line: &str) -> String {
+        let parsed = decode_frame(line.as_bytes());
+        render(parsed)
+    }
+}
+
+fn decode_frame(bytes: &[u8]) -> u32 {
+    let header = read_header(bytes);
+    header + 1
+}
+
+fn read_header(bytes: &[u8]) -> u32 {
+    // Un-annotated indexing, reachable: must be reported.
+    let hi = bytes[0];
+    // Un-annotated unwrap, reachable: must be reported.
+    let lo = bytes.get(1).copied().unwrap();
+    u32::from(hi) << 8 | u32::from(lo)
+}
+
+fn render(value: u32) -> String {
+    if value == 0 {
+        // Un-annotated panic macro, reachable: must be reported.
+        panic!("zero frame");
+    }
+    value.to_string()
+}
+
+fn offline_debug_dump(bytes: &[u8]) -> u8 {
+    // Same shape as read_header, but nothing reaches this function:
+    // must NOT be reported.
+    bytes[7]
+}

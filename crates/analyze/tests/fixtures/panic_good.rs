@@ -1,0 +1,32 @@
+// Fixture twin of panic_bad.rs: the same call shape with every panic
+// site either annotated (with the mandatory reason) or rewritten to a
+// non-panicking form. The analysis must stay silent.
+pub struct Service {
+    store: Store,
+}
+
+impl Service {
+    pub fn handle_line(&self, line: &str) -> String {
+        let parsed = decode_frame(line.as_bytes());
+        render(parsed)
+    }
+}
+
+fn decode_frame(bytes: &[u8]) -> u32 {
+    let header = read_header(bytes);
+    header + 1
+}
+
+fn read_header(bytes: &[u8]) -> u32 {
+    // lint: allow(panic, framing layer guarantees at least two bytes)
+    let hi = bytes[0];
+    let lo = bytes.get(1).copied().unwrap_or(0);
+    u32::from(hi) << 8 | u32::from(lo)
+}
+
+fn render(value: u32) -> String {
+    if value == 0 {
+        return String::from("empty");
+    }
+    value.to_string()
+}

@@ -1,0 +1,19 @@
+// Fixture: HashMap iteration order flows into response bytes through a
+// local helper. The determinism-taint analysis must report the flow
+// with the source line in the message.
+fn op_stats(counters: &HashMap<String, u64>) -> String {
+    let rows = collect_rows(counters);
+    let mut out = String::new();
+    for row in &rows {
+        out.push_str(row);
+    }
+    out
+}
+
+fn collect_rows(counters: &HashMap<String, u64>) -> Vec<String> {
+    let mut rows = Vec::new();
+    for name in counters.keys() {
+        rows.push(format!("{name}\n"));
+    }
+    rows
+}

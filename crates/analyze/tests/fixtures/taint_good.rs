@@ -1,0 +1,21 @@
+// Fixture twin of taint_bad.rs: the key list is sorted *before* any
+// value derived from it reaches a serialization sink, which sanitizes
+// the order dependence. The analysis must stay silent.
+fn op_stats(counters: &HashMap<String, u64>) -> String {
+    let rows = collect_rows(counters);
+    let mut out = String::new();
+    for row in &rows {
+        out.push_str(row);
+    }
+    out
+}
+
+fn collect_rows(counters: &HashMap<String, u64>) -> Vec<String> {
+    let mut names: Vec<&String> = counters.keys().collect();
+    names.sort();
+    let mut rows = Vec::new();
+    for name in &names {
+        rows.push(format!("{name}\n"));
+    }
+    rows
+}

@@ -1,0 +1,144 @@
+//! Regression tests for lexer corner cases that once mis-tokenized (or
+//! plausibly could): raw strings with hash fences, deeply nested block
+//! comments, char-literal escapes, and lifetime/char disambiguation.
+//! Ends with a whole-workspace coverage sweep: every first-party file
+//! must lex with sane line numbers — the lexer is the foundation both
+//! engines stand on, so "lexes everything we actually ship" is a tested
+//! property, not an assumption.
+
+use oa_analyze::lexer::{lex, TokenKind};
+use std::path::{Path, PathBuf};
+
+fn kinds(src: &str) -> Vec<TokenKind> {
+    lex(src).iter().map(|t| t.kind).collect()
+}
+
+#[test]
+fn raw_string_with_two_hash_fences() {
+    let toks = lex(r####"let s = r##"quote " and fence "# inside"## ; after"####);
+    let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].text.contains(r##""# inside"##));
+    assert!(toks.iter().any(|t| t.is_ident("after")));
+}
+
+#[test]
+fn raw_string_hash_mismatch_does_not_end_early() {
+    // `"#` inside an `r##` string is content, not a terminator.
+    let toks = lex(r####"r##"a"#b"## x"####);
+    assert_eq!(toks[0].kind, TokenKind::Str);
+    assert!(toks[0].text.contains(r##"a"#b"##));
+    assert!(toks[1].is_ident("x"));
+}
+
+#[test]
+fn block_comments_nest_three_deep() {
+    let toks = lex("/* 1 /* 2 /* 3 */ 2 */ 1 */ code");
+    assert_eq!(toks.len(), 2);
+    assert_eq!(toks[0].kind, TokenKind::BlockComment);
+    assert!(toks[1].is_ident("code"));
+}
+
+#[test]
+fn char_escapes_do_not_confuse_the_quote_scan() {
+    // Escaped quote, escaped backslash, unicode escape: each is one
+    // Char token and the following ident is still found.
+    for src in [r"'\'' x", r"'\\' x", r"'\u{1F600}' x", r"b'\'' x"] {
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Char, "{src}");
+        assert!(toks[1].is_ident("x"), "{src}: {toks:?}");
+    }
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let toks = lex("fn f<'a>(x: &'a str) -> &'static str");
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text)
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    assert!(!kinds("fn f<'a>()").contains(&TokenKind::Char));
+}
+
+#[test]
+fn labeled_loops_lex_as_lifetimes() {
+    let toks = lex("'outer: loop { break 'outer; }");
+    assert_eq!(toks[0].kind, TokenKind::Lifetime);
+    assert_eq!(toks[0].text, "'outer");
+}
+
+#[test]
+fn raw_identifiers_are_single_idents() {
+    let toks = lex("let r#type = r#match;");
+    assert!(toks.iter().any(|t| t.is_ident("r#type")));
+    assert!(toks.iter().any(|t| t.is_ident("r#match")));
+}
+
+#[test]
+fn unterminated_literals_lex_to_eof_without_panicking() {
+    for src in ["\"never closed", "r#\"never closed", "'", "/* never closed"] {
+        let toks = lex(src);
+        assert!(!toks.is_empty(), "{src:?} must still produce a token");
+    }
+}
+
+#[test]
+fn line_numbers_survive_multiline_literals() {
+    let src = "a\n\"two\nline string\"\nb";
+    let toks = lex(src);
+    let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+    assert_eq!(b.line, 4, "newlines inside strings advance the counter");
+}
+
+/// Every `.rs` file in the workspace lexes with non-empty token texts
+/// and non-decreasing line numbers bounded by the file's line count.
+#[test]
+fn whole_workspace_lexes_cleanly() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    assert!(files.len() >= 50, "expected a real workspace, found {}", files.len());
+    for path in files {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let line_count = src.lines().count() as u32 + 1;
+        let mut prev = 1u32;
+        for t in lex(&src) {
+            assert!(!t.text.is_empty(), "{}: empty token text", path.display());
+            assert!(
+                t.line >= prev && t.line <= line_count,
+                "{}: token line {} out of order (prev {prev}, max {line_count})",
+                path.display(),
+                t.line
+            );
+            prev = t.line;
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = path.file_name().unwrap_or_default();
+            if name != "target" && name != "vendor" {
+                collect_rs(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -86,7 +86,6 @@ where
                         if idx >= items_ref.len() {
                             break;
                         }
-                        // lint: allow(panic, idx bounds-checked against items_ref.len() two lines up)
                         local.push((idx, f_ref(&items_ref[idx])));
                     }
                     local
@@ -116,14 +115,12 @@ where
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     for local in collected.drain(..) {
         for (idx, value) in local {
-            // lint: allow(panic, idx < items.len() enforced at claim time; slots has items.len() entries)
             debug_assert!(slots[idx].is_none(), "index {idx} produced twice");
-            slots[idx] = Some(value); // lint: allow(panic, same bound as the debug_assert above)
+            slots[idx] = Some(value);
         }
     }
     slots
         .into_iter()
-        // lint: allow(panic, the cursor hands out each index exactly once and every worker joins before this point)
         .map(|slot| slot.expect("every index claimed exactly once"))
         .collect()
 }

@@ -103,15 +103,19 @@ fn injected(detail: &str) -> io::Error {
 /// `at` do not form a complete, checksum-valid record.
 fn parse_record(buf: &[u8], at: usize) -> Option<(&[u8], &[u8], usize)> {
     let header = buf.get(at..at + HEADER_LEN)?;
+    // lint: allow(panic, fixed-width subslice of the bounds-checked header)
     let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
     if magic != MAGIC {
         return None;
     }
+    // lint: allow(panic, fixed-width subslice of the bounds-checked header)
     let key_len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    // lint: allow(panic, fixed-width subslice of the bounds-checked header)
     let val_len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
     if key_len > MAX_FIELD_LEN || val_len > MAX_FIELD_LEN {
         return None;
     }
+    // lint: allow(panic, fixed-width subslice of the bounds-checked header)
     let checksum = u64::from_le_bytes(header[12..20].try_into().unwrap());
     let body_start = at + HEADER_LEN;
     let body = buf.get(body_start..body_start + key_len + val_len)?;
@@ -269,6 +273,7 @@ impl Store {
             // file (so reopening exercises torn-tail recovery), the
             // caller sees a failed put, and this handle self-heals
             // on its next append.
+            // lint: allow(panic, Faults guarantees keep < rec.len() for TornWrite)
             let _ = self.file.write_all(&rec[..keep as usize]);
             let _ = self.file.sync_data();
             self.tail_dirty = true;
