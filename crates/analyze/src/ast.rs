@@ -179,9 +179,7 @@ pub enum CallTarget {
 /// strips leading `&`, `mut`, `dyn`, and `'lifetime` tokens.
 pub fn type_head(ty: &str) -> &str {
     ty.split_whitespace()
-        .find(|w| {
-            !matches!(*w, "&" | "mut" | "dyn" | "impl") && !w.starts_with('\'') && *w != "("
-        })
+        .find(|w| !matches!(*w, "&" | "mut" | "dyn" | "impl") && !w.starts_with('\'') && *w != "(")
         .unwrap_or("")
 }
 

@@ -37,8 +37,7 @@ fn main() -> ExitCode {
     let mut callgraph = false;
     let mut dot = false;
     let mut check = false;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
+    for arg in args.iter() {
         match arg.as_str() {
             "--list-rules" => {
                 for rule in oa_analyze::lint::RULES {
@@ -117,7 +116,10 @@ fn run_callgraph(root: &Path, inputs: &[(String, String)], dot: bool, check: boo
         let mut ok = true;
         match std::fs::read_to_string(&snap_path) {
             Ok(snap) if snap == tsv => {
-                eprintln!("oa_lint: callgraph matches snapshot ({} lines)", tsv.lines().count());
+                eprintln!(
+                    "oa_lint: callgraph matches snapshot ({} lines)",
+                    tsv.lines().count()
+                );
             }
             Ok(snap) => {
                 ok = false;
@@ -147,7 +149,11 @@ fn run_callgraph(root: &Path, inputs: &[(String, String)], dot: bool, check: boo
                 eprintln!("oa_lint: lock cycle: {}", names.join(" -> "));
             }
         }
-        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     if dot {
         print!("{}", graph.to_dot());

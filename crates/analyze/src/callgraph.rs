@@ -159,7 +159,9 @@ impl<'w> CallGraph<'w> {
         // so a guard can name another guard's field.
         if let Some(body) = &def.body {
             body.walk(&mut |stmt: &Stmt, ev: &Event| {
-                let Some(guard) = &stmt.guard_bind else { return };
+                let Some(guard) = &stmt.guard_bind else {
+                    return;
+                };
                 if let Event::Call(call) = ev {
                     if let CallTarget::Method { name, recv } = &call.target {
                         if matches!(name.as_str(), "lock" | "read" | "write") {
@@ -321,7 +323,7 @@ impl<'w> CallGraph<'w> {
     }
 
     /// Deterministic TSV dump: one edge per line, sorted —
-    /// `caller_path	caller_qual	line	callee_path	callee_qual`.
+    /// `caller_path\tcaller_qual\tline\tcallee_path\tcallee_qual`.
     /// Nodes without edges still appear, with `-` callee columns, so
     /// the snapshot pins the full node set.
     pub fn to_tsv(&self) -> String {

@@ -173,7 +173,9 @@ mod tests {
         let ast = run(Engine::Ast, &files);
         let panics: Vec<_> = ast.findings.iter().filter(|f| f.rule == "panic").collect();
         assert_eq!(panics.len(), 1, "{:?}", ast.findings);
-        assert!(panics[0].message.contains("reachable from Service::handle_line"));
+        assert!(panics[0]
+            .message
+            .contains("reachable from Service::handle_line"));
     }
 
     #[test]

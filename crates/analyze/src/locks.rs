@@ -120,9 +120,7 @@ pub fn lock_graph(graph: &CallGraph<'_>) -> LockGraph {
             body.walk(&mut |_s, ev| {
                 if let Event::Call(call) = ev {
                     if let CallTarget::Method { name, recv } = &call.target {
-                        if let Some(class) =
-                            acquisition_class(graph, &env, &def.qual, name, recv)
-                        {
+                        if let Some(class) = acquisition_class(graph, &env, &def.qual, name, recv) {
                             set.insert(class);
                         }
                     }
@@ -190,13 +188,9 @@ fn walk_block(
                 StmtPart::Event(Event::Index { .. }) => {}
                 StmtPart::Event(Event::Call(call)) => match &call.target {
                     CallTarget::Method { name, recv } => {
-                        if let Some(class) = acquisition_class(
-                            ctx.graph,
-                            &ctx.env,
-                            &ctx.fn_qual,
-                            name,
-                            recv,
-                        ) {
+                        if let Some(class) =
+                            acquisition_class(ctx.graph, &ctx.env, &ctx.fn_qual, name, recv)
+                        {
                             for h in held.iter() {
                                 if h.class != class {
                                     record_edge(ctx, &h.class, &class, call.line, None);
@@ -319,7 +313,11 @@ fn dfs<'a>(
                 .enumerate()
                 .min_by_key(|(_, n)| **n)
                 .map_or(0, |(i, _)| i);
-            let rotated: Vec<&str> = cyc[min..].iter().chain(cyc[..min].iter()).copied().collect();
+            let rotated: Vec<&str> = cyc[min..]
+                .iter()
+                .chain(cyc[..min].iter())
+                .copied()
+                .collect();
             let edges: Vec<(String, String)> = rotated
                 .iter()
                 .zip(rotated.iter().cycle().skip(1))
@@ -342,10 +340,7 @@ pub fn check(graph: &CallGraph<'_>, allowed: &Allowed) -> Vec<Finding> {
     let lg = lock_graph(graph);
     let mut findings = Vec::new();
     for cycle in lg.cycles() {
-        let origins: Vec<&EdgeOrigin> = cycle
-            .iter()
-            .filter_map(|key| lg.edges.get(key))
-            .collect();
+        let origins: Vec<&EdgeOrigin> = cycle.iter().filter_map(|key| lg.edges.get(key)).collect();
         let waived = origins.iter().any(|o| {
             allowed
                 .get(&o.file)
@@ -422,8 +417,16 @@ mod tests {
         assert!(lg.edges.contains_key(&("Pair.a".into(), "Pair.b".into())));
         assert!(lg.edges.contains_key(&("Pair.b".into(), "Pair.a".into())));
         assert_eq!(f.len(), 1, "{f:?}");
-        assert!(f[0].message.contains("Pair.a -> Pair.b"), "{}", f[0].message);
-        assert!(f[0].message.contains("Pair.b -> Pair.a"), "{}", f[0].message);
+        assert!(
+            f[0].message.contains("Pair.a -> Pair.b"),
+            "{}",
+            f[0].message
+        );
+        assert!(
+            f[0].message.contains("Pair.b -> Pair.a"),
+            "{}",
+            f[0].message
+        );
     }
 
     #[test]

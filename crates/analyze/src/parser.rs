@@ -497,19 +497,19 @@ impl<'src> Parser<'_, 'src> {
             None => first,
         };
         // Strip trailing where clause and take the head type name.
-        let target = target.split(" where ").next().unwrap_or("").trim().to_owned();
+        let target = target
+            .split(" where ")
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_owned();
         let self_ty = crate::ast::type_head(&target).to_owned();
         if self.eat_punct('{') {
             self.items(file, Some(self_ty.as_str()), in_test, true);
         }
     }
 
-    fn parse_fn(
-        &mut self,
-        file: &mut SourceFile,
-        self_ty: Option<&str>,
-        is_test: bool,
-    ) -> FnDef {
+    fn parse_fn(&mut self, file: &mut SourceFile, self_ty: Option<&str>, is_test: bool) -> FnDef {
         let line = self.peek().map_or(0, |t| t.line);
         let name = self.ident_text().unwrap_or("").to_owned();
         self.bump();
@@ -872,9 +872,9 @@ impl<'src> Parser<'_, 'src> {
                 }
                 // Macro invocation: `name!` + delimiter.
                 if self.peek_at(1).is_some_and(|n| n.is_punct('!'))
-                    && self.peek_at(2).is_some_and(|n| {
-                        n.is_punct('(') || n.is_punct('[') || n.is_punct('{')
-                    })
+                    && self
+                        .peek_at(2)
+                        .is_some_and(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{'))
                 {
                     sc.push_event(Event::Call(CallSite {
                         line,
@@ -1108,7 +1108,8 @@ mod tests {
 
     #[test]
     fn use_trees_flatten_with_aliases() {
-        let src = "use std::sync::{Arc, Mutex};\nuse crate::json::Json as J;\nuse std::io::{self, Read};";
+        let src =
+            "use std::sync::{Arc, Mutex};\nuse crate::json::Json as J;\nuse std::io::{self, Read};";
         let file = parse_file("f.rs", "c", src);
         let mapped: Vec<(String, String)> = file
             .uses
@@ -1148,7 +1149,13 @@ mod tests {
         let guard = a.body.as_ref().unwrap().stmts[0].guard_bind.clone();
         assert_eq!(guard.as_deref(), Some("store"));
         let b = file.fns.iter().find(|f| f.name == "b").unwrap();
-        assert!(b.body.as_ref().unwrap().stmts.iter().all(|s| s.guard_bind.is_none()));
+        assert!(b
+            .body
+            .as_ref()
+            .unwrap()
+            .stmts
+            .iter()
+            .all(|s| s.guard_bind.is_none()));
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //! are bugs caught by the sweep tests", not "panics are annotated".
 //! DESIGN.md §10 records this boundary.
 
-use crate::callgraph::CallGraph;
 use crate::ast::{CallTarget, Event, Stmt};
+use crate::callgraph::CallGraph;
 use crate::lint::Finding;
 use std::collections::BTreeMap;
 
@@ -75,8 +75,8 @@ pub fn check(graph: &CallGraph<'_>, allowed: &Allowed) -> Vec<Finding> {
     }
 
     let mut findings = Vec::new();
-    for id in 0..graph.nodes.len() {
-        if !reached[id] {
+    for (id, &is_reached) in reached.iter().enumerate() {
+        if !is_reached {
             continue;
         }
         let file = graph.file(id);
@@ -237,7 +237,10 @@ mod tests {
                 "pub fn solve(a: &[f64]) -> f64 { a[0] }",
             ),
         ]);
-        assert!(f.is_empty(), "domain-layer indexing is not collected: {f:?}");
+        assert!(
+            f.is_empty(),
+            "domain-layer indexing is not collected: {f:?}"
+        );
     }
 
     #[test]

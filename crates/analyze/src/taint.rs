@@ -42,13 +42,7 @@ const SOURCE_METHODS: &[&str] = &[
 
 /// Formatting/serialization macro sinks.
 const SINK_MACROS: &[&str] = &[
-    "format",
-    "write",
-    "writeln",
-    "print",
-    "println",
-    "eprint",
-    "eprintln",
+    "format", "write", "writeln", "print", "println", "eprint", "eprintln",
 ];
 
 /// Byte/string-building method sinks.
@@ -58,10 +52,7 @@ const SINK_METHODS: &[&str] = &["push_str", "write_all", "write_fmt", "extend_fr
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Origin {
     /// Iteration of an unordered collection at a concrete site.
-    Internal {
-        file: String,
-        line: u32,
-    },
+    Internal { file: String, line: u32 },
     /// A caller's argument (used while computing summaries).
     Param,
 }
@@ -175,11 +166,7 @@ struct FnScan<'g, 'w> {
     summary: Summary,
 }
 
-fn analyze_fn(
-    graph: &CallGraph<'_>,
-    id: usize,
-    summaries: &[Summary],
-) -> (Summary, Vec<Flow>) {
+fn analyze_fn(graph: &CallGraph<'_>, id: usize, summaries: &[Summary]) -> (Summary, Vec<Flow>) {
     let def = graph.def(id);
     let Some(body) = &def.body else {
         return (Summary::default(), Vec::new());
@@ -469,7 +456,11 @@ mod tests {
             "#,
         )]);
         assert_eq!(f.len(), 1, "{f:?}");
-        assert!(f[0].message.contains("a.rs:3"), "source site: {}", f[0].message);
+        assert!(
+            f[0].message.contains("a.rs:3"),
+            "source site: {}",
+            f[0].message
+        );
     }
 
     #[test]

@@ -42,9 +42,9 @@ fn panic_fixture_chains_run_entry_to_site() {
     let f = findings("panic", PANIC_BAD);
     let indexing = f.iter().find(|x| x.message.contains("indexing")).unwrap();
     assert!(
-        indexing.message.contains(
-            "Service::handle_line -> decode_frame (at service.rs:10) -> read_header"
-        ),
+        indexing
+            .message
+            .contains("Service::handle_line -> decode_frame (at service.rs:10) -> read_header"),
         "{}",
         indexing.message
     );
@@ -87,11 +87,7 @@ fn lock_good_twin_is_silent() {
 fn taint_fixture_fires_with_the_source_line() {
     let f = findings("determinism", TAINT_BAD);
     assert!(!f.is_empty(), "expected a determinism flow");
-    assert!(
-        f[0].message.contains("iteration order"),
-        "{}",
-        f[0].message
-    );
+    assert!(f[0].message.contains("iteration order"), "{}", f[0].message);
     // The source is the `counters.keys()` loop in collect_rows.
     assert!(f[0].message.contains("service.rs:15"), "{}", f[0].message);
 }

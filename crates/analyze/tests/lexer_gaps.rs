@@ -99,7 +99,11 @@ fn whole_workspace_lexes_cleanly() {
     let root = workspace_root();
     let mut files = Vec::new();
     collect_rs(&root.join("crates"), &mut files);
-    assert!(files.len() >= 50, "expected a real workspace, found {}", files.len());
+    assert!(
+        files.len() >= 50,
+        "expected a real workspace, found {}",
+        files.len()
+    );
     for path in files {
         let src = std::fs::read_to_string(&path).unwrap();
         let line_count = src.lines().count() as u32 + 1;

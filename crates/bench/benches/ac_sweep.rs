@@ -1,10 +1,15 @@
-//! Benchmarks the sweep-aware MNA path: one `prepare()` plus per-point
-//! `PreparedSweep::transfer` against the naive per-point re-assembly of
-//! `MnaSystem::transfer`, on a representative elaborated three-stage
-//! netlist at the default AC grid density (~241 log-spaced points over
-//! 12 decades).
+//! Benchmarks the three MNA solver tiers on one representative
+//! elaborated three-stage netlist at the default AC grid density
+//! (~241 log-spaced points over 12 decades):
 //!
-//! The measured ratio backs the `BENCH_ac_sweep.json` baseline at the
+//! * naive — per-point netlist re-walk and dense assembly
+//!   (`MnaSystem::transfer`);
+//! * prepared — one `prepare()`, then per-point dense refactoring
+//!   (`PreparedSweep::transfer_dense`);
+//! * symbolic — cached symbolic factorization plan plus the SoA-batched
+//!   sweep (`PreparedSweep::sweep`), the production `ac_sweep` path.
+//!
+//! The measured ratios back the `BENCH_ac_sweep.json` baseline at the
 //! repository root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -12,7 +17,7 @@ use oa_circuit::{
     elaborate, GmComposite, GmDirection, GmPolarity, ParamSpace, PassiveKind, Process,
     SubcircuitType, Topology, VariableEdge,
 };
-use oa_sim::MnaSystem;
+use oa_sim::{MnaSystem, PlanCache};
 
 const DECADES: usize = 12;
 const POINTS_PER_DECADE: usize = 20;
@@ -78,8 +83,29 @@ fn bench_prepared_sweep(c: &mut Criterion) {
             let mut prepared = sys.prepare().expect("prepares");
             let mut acc = 0.0;
             for &f in &freqs {
-                acc += prepared.transfer(f).expect("solves").abs();
+                acc += prepared.transfer_dense(f).expect("solves").abs();
             }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_symbolic_sweep(c: &mut Criterion) {
+    let netlist = three_stage_netlist();
+    let freqs = grid();
+    let sys = MnaSystem::new(&netlist, 1e-12);
+    // Steady-state sizing-BO shape: the pattern was analyzed on some
+    // earlier evaluation, so the per-iteration cost is one cache probe,
+    // stamping, and the SoA-batched factor/solve over the grid.
+    let cache = PlanCache::new();
+    let _ = sys
+        .prepare_with_cache(Some(&cache))
+        .expect("warms the cache");
+    c.bench_function("ac_sweep_symbolic_241pts", |b| {
+        b.iter(|| {
+            let mut prepared = sys.prepare_with_cache(Some(&cache)).expect("prepares");
+            let response = prepared.sweep(&freqs).expect("solves");
+            let acc: f64 = response.iter().map(|h| h.abs()).sum();
             std::hint::black_box(acc)
         })
     });
@@ -103,6 +129,7 @@ criterion_group!(
     benches,
     bench_naive_sweep,
     bench_prepared_sweep,
+    bench_symbolic_sweep,
     bench_prepared_point
 );
 criterion_main!(benches);

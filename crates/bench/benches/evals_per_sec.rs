@@ -1,0 +1,113 @@
+//! Aggregate evaluation throughput — the capacity number of the whole
+//! reproduction.
+//!
+//! One "eval" is everything a sizing-BO iteration or an `oa-serve`
+//! request pays per design point: elaboration of a sized topology, the
+//! full 241-point AC sweep, unity-crossing bisection, and metric
+//! extraction (`evaluate_opamp`). Two rows:
+//!
+//! * `eval_full_cached` — the production path, sharing one symbolic
+//!   [`PlanCache`] across iterations exactly as `into_oa::Evaluator`
+//!   does. `evals/sec = 1e9 / (ns per iter)` is the number recorded in
+//!   `BENCH_evals_per_sec.json`.
+//! * `eval_full_uncached` — the same work with a cold plan every time,
+//!   isolating what the cache is worth at this workload's scale.
+//!
+//! Sizing points rotate through a fixed wheel so device values vary
+//! between iterations the way BO proposals do; the sparsity pattern (and
+//! therefore the cached plan) stays put, which is exactly the reuse the
+//! cache is built around.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oa_circuit::{
+    DeviceValues, GmComposite, GmDirection, GmPolarity, ParamSpace, PassiveKind, Process,
+    SubcircuitType, Topology, VariableEdge,
+};
+use oa_sim::{evaluate_opamp_cached, AcOptions, PlanCache};
+
+/// Load capacitance of the paper's S-1 spec.
+const CL_FARADS: f64 = 10e-12;
+/// Number of distinct sizing points rotated through per benchmark.
+const WHEEL: usize = 16;
+
+fn dense_three_stage() -> Topology {
+    // Same dense three-stage cascade as the ac_sweep bench: all five
+    // variable edges populated, 21 elements, dim-7 MNA.
+    let gm = |direction| SubcircuitType::Gm {
+        polarity: GmPolarity::Plus,
+        direction,
+        composite: GmComposite::Bare,
+    };
+    Topology::bare_cascade()
+        .with_type(
+            VariableEdge::V1Vout,
+            SubcircuitType::Passive(PassiveKind::SeriesRc),
+        )
+        .and_then(|t| t.with_type(VariableEdge::VinV2, gm(GmDirection::Forward)))
+        .and_then(|t| t.with_type(VariableEdge::VinVout, gm(GmDirection::Forward)))
+        .and_then(|t| t.with_type(VariableEdge::V1Gnd, SubcircuitType::Passive(PassiveKind::C)))
+        .and_then(|t| {
+            t.with_type(
+                VariableEdge::V2Gnd,
+                SubcircuitType::Passive(PassiveKind::SeriesRc),
+            )
+        })
+        .expect("legal")
+}
+
+/// A deterministic wheel of interior sizing points (no RNG: the k-th
+/// point spreads each coordinate over the middle of the unit cube).
+fn sizing_wheel(topology: &Topology) -> Vec<DeviceValues> {
+    let space = ParamSpace::for_topology(topology);
+    let dim = space.dim();
+    (0..WHEEL)
+        .map(|k| {
+            let x: Vec<f64> = (0..dim)
+                .map(|j| {
+                    let spread = (k * dim + j) as f64 / (WHEEL * dim) as f64;
+                    0.2 + 0.6 * spread
+                })
+                .collect();
+            space.decode(&x).expect("interior points decode")
+        })
+        .collect()
+}
+
+fn bench_eval_full_cached(c: &mut Criterion) {
+    let topology = dense_three_stage();
+    let wheel = sizing_wheel(&topology);
+    let process = Process::default();
+    let opts = AcOptions::default();
+    let cache = PlanCache::new();
+    c.bench_function("eval_full_cached", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let values = &wheel[k % WHEEL];
+            let perf =
+                evaluate_opamp_cached(&topology, values, &process, CL_FARADS, &opts, Some(&cache))
+                    .expect("evaluates");
+            std::hint::black_box(perf.gbw_hz)
+        })
+    });
+}
+
+fn bench_eval_full_uncached(c: &mut Criterion) {
+    let topology = dense_three_stage();
+    let wheel = sizing_wheel(&topology);
+    let process = Process::default();
+    let opts = AcOptions::default();
+    c.bench_function("eval_full_uncached", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let values = &wheel[k % WHEEL];
+            let perf = evaluate_opamp_cached(&topology, values, &process, CL_FARADS, &opts, None)
+                .expect("evaluates");
+            std::hint::black_box(perf.gbw_hz)
+        })
+    });
+}
+
+criterion_group!(benches, bench_eval_full_cached, bench_eval_full_uncached);
+criterion_main!(benches);

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use oa_bo::{maximize_constrained_anchored, BoConfig, Observation};
 use oa_circuit::{DeviceValues, ParamSpace, Process, Topology, VariableEdge};
-use oa_sim::{evaluate_opamp, AcOptions, OpAmpPerformance};
+use oa_sim::{evaluate_opamp_cached, AcOptions, OpAmpPerformance, PlanCache, PlanCacheStats};
 
 use crate::error::IntoOaError;
 use crate::spec::Spec;
@@ -56,6 +56,12 @@ pub struct Evaluator {
     spec: Spec,
     process: Process,
     ac: AcOptions,
+    /// Symbolic-factorization plan cache shared by every simulation this
+    /// evaluator (and its clones / [`EvalHandle`]s) runs: one analyzed
+    /// elimination plan per reduced MNA sparsity pattern, amortized
+    /// across all sizing points and frequencies. Purely a performance
+    /// artifact — results are bit-identical with a cold cache.
+    plans: Arc<PlanCache>,
 }
 
 impl Evaluator {
@@ -65,12 +71,23 @@ impl Evaluator {
             spec,
             process: Process::default(),
             ac: AcOptions::default(),
+            plans: Arc::new(PlanCache::new()),
         }
     }
 
     /// Creates an evaluator with explicit process/AC settings.
     pub fn with_options(spec: Spec, process: Process, ac: AcOptions) -> Self {
-        Evaluator { spec, process, ac }
+        Evaluator {
+            spec,
+            process,
+            ac,
+            plans: Arc::new(PlanCache::new()),
+        }
+    }
+
+    /// Hit/miss counters of the shared symbolic-plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
     }
 
     /// The spec this evaluator enforces.
@@ -124,12 +141,13 @@ impl Evaluator {
         topology: &Topology,
         values: &DeviceValues,
     ) -> Result<OpAmpPerformance, IntoOaError> {
-        Ok(evaluate_opamp(
+        Ok(evaluate_opamp_cached(
             topology,
             values,
             &self.process,
             self.spec.cl_farads,
             &self.ac,
+            Some(&self.plans),
         )?)
     }
 
@@ -332,6 +350,11 @@ impl EvalHandle {
         self.inner.spec()
     }
 
+    /// Hit/miss counters of the evaluator's shared symbolic-plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.inner.plan_cache_stats()
+    }
+
     /// Deterministic single evaluation: simulate `topology` at the
     /// normalized sizing vector `x`. Seed-free by construction.
     ///
@@ -479,6 +502,30 @@ mod tests {
         let eval = Evaluator::new(Spec::s1());
         let t = miller_topology();
         assert!(eval.simulate_sized(&t, &[0.5]).is_err());
+    }
+
+    #[test]
+    fn repeated_simulations_share_one_symbolic_plan() {
+        let eval = Evaluator::new(Spec::s1());
+        let t = miller_topology();
+        let space = ParamSpace::for_topology(&t);
+        assert_eq!(eval.plan_cache_stats(), PlanCacheStats::default());
+
+        // Different sizings of one topology reduce to one sparsity
+        // pattern: the first analysis is the only miss.
+        eval.simulate_sized(&t, &vec![0.4; space.dim()]).unwrap();
+        eval.simulate_sized(&t, &vec![0.6; space.dim()]).unwrap();
+        let stats = eval.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "one analysis per pattern: {stats:?}");
+        assert!(stats.hits >= 1, "second sizing must reuse it: {stats:?}");
+
+        // Handles share the evaluator, hence the cache.
+        let before = stats.hits;
+        let handle = eval.clone().into_handle();
+        handle.eval(&t, &vec![0.5; space.dim()]).unwrap();
+        let after = handle.plan_cache_stats();
+        assert_eq!(after.misses, 1);
+        assert!(after.hits > before);
     }
 
     #[test]

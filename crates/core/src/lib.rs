@@ -52,6 +52,7 @@ pub use evaluator::{EvalHandle, Evaluator, SizedDesign};
 pub use interpret::{
     removal_sensitivity, MetricModels, RemovalSensitivity, StructureImpact, MODELLED_METRICS,
 };
+pub use oa_sim::PlanCacheStats;
 pub use optimizer::{
     optimize, CandidateStrategy, EvaluatedTopology, IntoOaConfig, OptimizationRun,
 };

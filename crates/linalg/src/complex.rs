@@ -72,7 +72,7 @@ impl Complex {
     }
 
     /// Squared magnitude `re² + im²`.
-    #[inline]
+    #[inline(always)]
     pub fn norm_sqr(self) -> f64 {
         self.re * self.re + self.im * self.im
     }
@@ -87,7 +87,7 @@ impl Complex {
     ///
     /// Returns non-finite components when `self` is zero, mirroring `1.0/0.0`
     /// semantics for `f64`.
-    #[inline]
+    #[inline(always)]
     pub fn recip(self) -> Self {
         let d = self.norm_sqr();
         Complex::new(self.re / d, -self.im / d)
@@ -124,7 +124,7 @@ impl fmt::Display for Complex {
 
 impl Add for Complex {
     type Output = Complex;
-    #[inline]
+    #[inline(always)]
     fn add(self, rhs: Complex) -> Complex {
         Complex::new(self.re + rhs.re, self.im + rhs.im)
     }
@@ -132,7 +132,7 @@ impl Add for Complex {
 
 impl Sub for Complex {
     type Output = Complex;
-    #[inline]
+    #[inline(always)]
     fn sub(self, rhs: Complex) -> Complex {
         Complex::new(self.re - rhs.re, self.im - rhs.im)
     }
@@ -140,7 +140,7 @@ impl Sub for Complex {
 
 impl Mul for Complex {
     type Output = Complex;
-    #[inline]
+    #[inline(always)]
     fn mul(self, rhs: Complex) -> Complex {
         Complex::new(
             self.re * rhs.re - self.im * rhs.im,
@@ -175,14 +175,14 @@ impl Neg for Complex {
 }
 
 impl AddAssign for Complex {
-    #[inline]
+    #[inline(always)]
     fn add_assign(&mut self, rhs: Complex) {
         *self = *self + rhs;
     }
 }
 
 impl SubAssign for Complex {
-    #[inline]
+    #[inline(always)]
     fn sub_assign(&mut self, rhs: Complex) {
         *self = *self - rhs;
     }

@@ -40,6 +40,7 @@ mod eigen;
 mod error;
 mod lu;
 mod matrix;
+mod sparse;
 
 pub use cholesky::Cholesky;
 pub use complex::Complex;
@@ -47,6 +48,7 @@ pub use eigen::{symmetric_top_eigenpairs, EigenPair};
 pub use error::LinalgError;
 pub use lu::{factorize_in_place, solve_complex, solve_in_place, CluFactor};
 pub use matrix::{CMatrix, Matrix};
+pub use sparse::{BatchBuffers, SparsityPattern, SymbolicPlan, LANES, REFINE_GATE};
 
 /// Dot product of two equal-length real vectors.
 ///

@@ -78,7 +78,13 @@ pub fn factorize_in_place(a: &mut CMatrix, perm: &mut [usize]) -> Result<(), Lin
         let mut p = k;
         let mut best = 0.0_f64;
         for (i, row) in data.chunks_exact(n).enumerate().skip(k) {
-            let v = row[k].norm_sqr();
+            // Exact structural zeros (common in MNA columns) can never
+            // win the pivot race: skip them before the two multiplies.
+            let z = row[k];
+            if z.re == 0.0 && z.im == 0.0 {
+                continue;
+            }
+            let v = z.norm_sqr();
             if v > best {
                 best = v;
                 p = i;

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use into_oa::{EvalError, EvalHandle, Evaluator, SizedDesign, Spec};
+use into_oa::{EvalError, EvalHandle, Evaluator, PlanCacheStats, SizedDesign, Spec};
 use oa_circuit::Topology;
 use oa_fault::{Decision, Faults, Site};
 use oa_graph::WlFeaturizer;
@@ -403,6 +403,18 @@ impl Service {
         Ok(result)
     }
 
+    /// Symbolic-plan cache counters summed over every spec's evaluator
+    /// (the caches are per-evaluator; the capacity story is their total).
+    fn plan_cache_totals(&self) -> PlanCacheStats {
+        self.handles.iter().map(|h| h.plan_cache_stats()).fold(
+            PlanCacheStats::default(),
+            |acc, s| PlanCacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+            },
+        )
+    }
+
     fn op_stats(&self) -> String {
         let store = {
             let store = self.store.lock().unwrap_or_else(|p| p.into_inner());
@@ -412,6 +424,7 @@ impl Service {
             let wl = self.wl.lock().unwrap_or_else(|p| p.into_inner());
             wl.cache_stats()
         };
+        let plan = self.plan_cache_totals();
         Json::Obj(vec![
             (
                 "store".into(),
@@ -435,6 +448,13 @@ impl Service {
                 Json::Obj(vec![
                     ("hits".into(), Json::num(wl.hits as f64)),
                     ("misses".into(), Json::num(wl.misses as f64)),
+                ]),
+            ),
+            (
+                "plan".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::num(plan.hits as f64)),
+                    ("misses".into(), Json::num(plan.misses as f64)),
                 ]),
             ),
             ("sims".into(), Json::num(self.sims() as f64)),
@@ -670,6 +690,11 @@ mod tests {
         assert_eq!(result.get("sims").unwrap().as_f64(), Some(1.0));
         let wl = result.get("wl").unwrap();
         assert_eq!(wl.get("misses").unwrap().as_f64(), Some(1.0));
+        // One simulation → one symbolic analysis; the store-served repeat
+        // never touches the simulator, so the plan counters stay put.
+        let plan = result.get("plan").unwrap();
+        assert_eq!(plan.get("misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(plan.get("hits").unwrap().as_f64(), Some(0.0));
         let eval = result.get("endpoints").unwrap().get("eval").unwrap();
         assert_eq!(eval.get("count").unwrap().as_f64(), Some(2.0));
         assert_eq!(eval.get("errors").unwrap().as_f64(), Some(0.0));

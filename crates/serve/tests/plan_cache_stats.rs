@@ -1,0 +1,80 @@
+//! Integration test for the symbolic-plan cache counters in the `stats`
+//! op.
+//!
+//! Two evals of the *same topology at different sizing points* are
+//! distinct store keys, so both reach the simulator — but they reduce to
+//! one MNA sparsity pattern, so the second must reuse the first's
+//! symbolic factorization plan. The `stats` op has to show exactly that:
+//! the miss counter moves once per pattern, the hit counter moves on
+//! every structurally-repeated simulation.
+
+use std::fs;
+use std::path::PathBuf;
+
+use oa_circuit::{ParamSpace, Topology};
+use oa_serve::{Json, Service};
+use oa_store::Store;
+
+fn temp_service(tag: &str) -> (Service, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "oa_serve_plan_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    let service = Service::new(Store::open(dir.join("results.log")).expect("fresh store opens"));
+    (service, dir)
+}
+
+fn eval_line(id: u64, topology: usize, x: &[f64]) -> String {
+    let xs: Vec<String> = x.iter().map(|v| format!("{v:.17e}")).collect();
+    format!(
+        "{{\"id\":{id},\"op\":\"eval\",\"spec\":\"S-1\",\"topology\":{topology},\"x\":[{}]}}",
+        xs.join(",")
+    )
+}
+
+fn plan_counters(service: &Service) -> (u64, u64) {
+    let resp = service.handle_line("{\"id\":99,\"op\":\"stats\"}");
+    let parsed = Json::parse(&resp).expect("stats response is valid JSON");
+    let plan = parsed
+        .get("result")
+        .and_then(|r| r.get("plan"))
+        .expect("stats carries a 'plan' object");
+    let read = |k: &str| plan.get(k).and_then(Json::as_f64).expect("counter") as u64;
+    (read("hits"), read("misses"))
+}
+
+#[test]
+fn plan_cache_counters_move_across_same_topology_sizings() {
+    let (service, dir) = temp_service("move");
+    let t = Topology::bare_cascade();
+    let dim = ParamSpace::for_topology(&t).dim();
+
+    assert_eq!(plan_counters(&service), (0, 0), "cold cache reads zero");
+
+    // First sizing: a fresh pattern — one symbolic analysis, no reuse.
+    let r1 = service.handle_line(&eval_line(1, t.index(), &vec![0.4; dim]));
+    assert!(r1.contains("\"ok\":true"), "{r1}");
+    let (hits_1, misses_1) = plan_counters(&service);
+    assert_eq!(misses_1, 1, "first simulation analyzes the pattern");
+    assert_eq!(hits_1, 0);
+
+    // Second sizing, same topology, different x: a store miss (distinct
+    // key, so the result cache cannot mask the simulator), but the same
+    // sparsity pattern — the plan must be served from the cache.
+    let r2 = service.handle_line(&eval_line(2, t.index(), &vec![0.6; dim]));
+    assert!(r2.contains("\"ok\":true"), "{r2}");
+    assert_eq!(service.sims(), 2, "different x must re-simulate");
+    let (hits_2, misses_2) = plan_counters(&service);
+    assert_eq!(misses_2, 1, "no second analysis for the same pattern");
+    assert_eq!(hits_2, 1, "repeat pattern must hit the plan cache");
+
+    // Store-served repeat: no simulation, so no plan-cache traffic.
+    let r3 = service.handle_line(&eval_line(3, t.index(), &vec![0.4; dim]));
+    assert_eq!(r3.replace("\"id\":3", "\"id\":1"), r1);
+    assert_eq!(service.sims(), 2);
+    assert_eq!(plan_counters(&service), (1, 1));
+
+    let _ = fs::remove_dir_all(&dir);
+}

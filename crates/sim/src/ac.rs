@@ -11,6 +11,7 @@ use oa_linalg::Complex;
 
 use crate::error::SimError;
 use crate::mna::{MnaSystem, PreparedSweep};
+use crate::plan::PlanCache;
 
 /// Options controlling an AC analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,13 +104,33 @@ impl AcSweep {
 /// # }
 /// ```
 pub fn ac_sweep(netlist: &Netlist, opts: &AcOptions) -> Result<AcSweep, SimError> {
-    let mut prepared = MnaSystem::new(netlist, opts.gmin).prepare()?;
+    ac_sweep_cached(netlist, opts, None)
+}
+
+/// [`ac_sweep`] with an optional symbolic-factorization [`PlanCache`].
+///
+/// With a cache, the fill-reducing pivot order and elimination program of
+/// the netlist's sparsity pattern are looked up instead of re-analyzed —
+/// the win that makes repeated sweeps of one topology (sizing loops,
+/// serving traffic) cheap. Results are identical either way.
+///
+/// # Errors
+///
+/// Exactly those of [`ac_sweep`].
+pub fn ac_sweep_cached(
+    netlist: &Netlist,
+    opts: &AcOptions,
+    cache: Option<&PlanCache>,
+) -> Result<AcSweep, SimError> {
+    let mut prepared = MnaSystem::new(netlist, opts.gmin).prepare_with_cache(cache)?;
     sweep_prepared(&mut prepared, opts)
 }
 
 /// The sweep loop over an already-prepared system: stamping, validation,
-/// and allocation happened once in [`MnaSystem::prepare`]; each point here
-/// is a buffer refill, an in-place factorization, and a solve.
+/// and allocation happened once in [`MnaSystem::prepare`]; the grid is
+/// then solved in structure-of-arrays batches through the prepared
+/// system's symbolic-sparse plan (dense per-point solves where no plan
+/// exists or the accuracy gate rejects a point).
 fn sweep_prepared(prepared: &mut PreparedSweep, opts: &AcOptions) -> Result<AcSweep, SimError> {
     if !(opts.f_start > 0.0 && opts.f_stop > opts.f_start && opts.points_per_decade > 0) {
         return Err(SimError::BadFrequencyGrid);
@@ -117,12 +138,10 @@ fn sweep_prepared(prepared: &mut PreparedSweep, opts: &AcOptions) -> Result<AcSw
     let decades = (opts.f_stop / opts.f_start).log10();
     let n = (decades * opts.points_per_decade as f64).ceil() as usize + 1;
     let mut freqs = Vec::with_capacity(n);
-    let mut response = Vec::with_capacity(n);
     for k in 0..n {
-        let f = opts.f_start * 10f64.powf(decades * k as f64 / (n - 1) as f64);
-        freqs.push(f);
-        response.push(prepared.transfer(f)?);
+        freqs.push(opts.f_start * 10f64.powf(decades * k as f64 / (n - 1) as f64));
     }
+    let response = prepared.sweep(&freqs)?;
     Ok(AcSweep { freqs, response })
 }
 
@@ -167,9 +186,22 @@ pub struct Measurement {
 ///
 /// Propagates [`ac_sweep`] errors.
 pub fn measure(netlist: &Netlist, opts: &AcOptions) -> Result<Measurement, SimError> {
+    measure_cached(netlist, opts, None)
+}
+
+/// [`measure`] with an optional symbolic-factorization [`PlanCache`].
+///
+/// # Errors
+///
+/// Exactly those of [`measure`].
+pub fn measure_cached(
+    netlist: &Netlist,
+    opts: &AcOptions,
+    cache: Option<&PlanCache>,
+) -> Result<Measurement, SimError> {
     // One prepared system serves both the grid sweep and the bisection
     // refinement of the unity crossing.
-    let mut prepared = MnaSystem::new(netlist, opts.gmin).prepare()?;
+    let mut prepared = MnaSystem::new(netlist, opts.gmin).prepare_with_cache(cache)?;
     let sweep = sweep_prepared(&mut prepared, opts)?;
     Ok(extract(&mut prepared, &sweep))
 }

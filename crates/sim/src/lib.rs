@@ -44,10 +44,15 @@ mod ac;
 mod error;
 mod mna;
 mod opamp;
+mod plan;
 mod transient;
 
-pub use ac::{ac_sweep, measure, AcOptions, AcSweep, Measurement, UnityCrossing};
+pub use ac::{
+    ac_sweep, ac_sweep_cached, measure, measure_cached, AcOptions, AcSweep, Measurement,
+    UnityCrossing,
+};
 pub use error::SimError;
 pub use mna::{MnaSystem, PreparedSweep};
-pub use opamp::{evaluate_opamp, OpAmpPerformance};
+pub use opamp::{evaluate_opamp, evaluate_opamp_cached, OpAmpPerformance};
+pub use plan::{PlanCache, PlanCacheStats};
 pub use transient::{step_response, StepResponse, TranOptions};

@@ -6,11 +6,24 @@
 //! node (exactly as production SPICE engines do) keeps the matrix
 //! non-singular when capacitor-only paths block DC.
 
+use std::sync::Arc;
+
 use oa_analyze::{verify_structure, StructuralError};
 use oa_circuit::{Element, Netlist, NodeId};
-use oa_linalg::{factorize_in_place, solve_in_place, CMatrix, CluFactor, Complex};
+use oa_linalg::{
+    factorize_in_place, solve_in_place, BatchBuffers, CMatrix, CluFactor, Complex, SparsityPattern,
+    SymbolicPlan,
+};
 
 use crate::error::SimError;
+use crate::plan::PlanCache;
+
+/// Frequency points solved together per symbolic-sparse kernel pass. The
+/// structure-of-arrays slabs put this many lanes contiguous in memory, so
+/// the inner loops of factor/solve vectorize over the batch. Pinned to
+/// the kernel's preferred width so every full chunk takes the
+/// constant-trip-count specialization in `oa-linalg`.
+const BATCH: usize = oa_linalg::LANES;
 
 /// Maps a structural-verifier outcome onto the simulator's error type.
 /// Port degeneracies and elaboration failures fold into [`SimError::BadElement`];
@@ -227,6 +240,27 @@ impl<'a> MnaSystem<'a> {
     /// for non-finite or non-positive element values (the same validation
     /// as [`MnaSystem::assemble`]).
     pub fn prepare(&self) -> Result<PreparedSweep, SimError> {
+        self.prepare_with_cache(None)
+    }
+
+    /// [`MnaSystem::prepare`] with an optional [`PlanCache`] supplying the
+    /// symbolic sparse-factorization plan.
+    ///
+    /// On top of the `G`/`C`/`B` split, this computes the sparsity pattern
+    /// of the reduced system and attaches a [`oa_linalg::SymbolicPlan`]
+    /// for it: a fill-reducing pivot order and elimination program that
+    /// every frequency point of every sweep replays instead of running
+    /// dense LU with pivot search. With a cache, structurally-identical
+    /// systems (all sizings of a topology, and any other topology sharing
+    /// the pattern) reuse one analyzed plan; without one, analysis runs
+    /// privately here. Either way the prepared sweep falls back to the
+    /// dense path per point whenever the accuracy gate rejects a solution,
+    /// so results are independent of whether a cache was supplied.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`MnaSystem::prepare`].
+    pub fn prepare_with_cache(&self, cache: Option<&PlanCache>) -> Result<PreparedSweep, SimError> {
         verify_structure(self.netlist).map_err(structural_to_sim_error)?;
         let dim = self.dim();
         let branch = dim - 1;
@@ -369,6 +403,8 @@ impl<'a> MnaSystem<'a> {
             }
         }
 
+        let sparse = SparseState::build(m, &g_r, &c_r, &banded_r, cache);
+
         Ok(PreparedSweep {
             dim,
             m,
@@ -384,6 +420,79 @@ impl<'a> MnaSystem<'a> {
             rhs: vec![Complex::ZERO; m],
             y: vec![Complex::ZERO; m],
             x: vec![Complex::ZERO; m],
+            sparse,
+        })
+    }
+}
+
+/// The symbolic-sparse half of a [`PreparedSweep`]: the shared plan, its
+/// SoA numeric buffers, and the scatter maps from the `G`/`C`/`B` split
+/// into pattern-entry order.
+#[derive(Debug, Clone)]
+struct SparseState {
+    plan: Arc<SymbolicPlan>,
+    buf: BatchBuffers,
+    /// Row-major `i·m + j` source index in `g`/`c` per pattern entry.
+    src: Vec<u32>,
+    /// Pattern-entry index of each band-limited stamp (aligned with
+    /// `PreparedSweep::banded`).
+    banded_entry: Vec<u32>,
+    /// Frequency points re-solved densely after failing the accuracy gate.
+    fallbacks: u64,
+}
+
+impl SparseState {
+    /// Derives the reduced-system sparsity pattern and resolves its plan,
+    /// from `cache` when given, else by private analysis. `None` disables
+    /// the sparse path (empty system or unanalyzable pattern) — the
+    /// prepared sweep then stays on dense LU throughout.
+    fn build(
+        m: usize,
+        g_r: &[f64],
+        c_r: &[f64],
+        banded_r: &[BandedStamp],
+        cache: Option<&PlanCache>,
+    ) -> Option<SparseState> {
+        if m == 0 {
+            return None;
+        }
+        let mut positions = Vec::new();
+        for i in 0..m {
+            for j in 0..m {
+                if g_r[i * m + j] != 0.0 || c_r[i * m + j] != 0.0 {
+                    positions.push((i, j));
+                }
+            }
+        }
+        for s in banded_r {
+            positions.push((s.row, s.col));
+        }
+        let pattern = SparsityPattern::new(m, positions).ok()?;
+        let plan = match cache {
+            Some(cache) => cache.plan_for(&pattern)?,
+            None => Arc::new(SymbolicPlan::analyze(&pattern).ok()?),
+        };
+        let src = pattern
+            .entries()
+            .iter()
+            .map(|&(r, c)| r * m as u32 + c)
+            .collect();
+        let mut banded_entry = Vec::with_capacity(banded_r.len());
+        for s in banded_r {
+            // Present by construction (pushed into `positions` above).
+            let e = pattern
+                .entries()
+                .binary_search(&(s.row as u32, s.col as u32))
+                .ok()?;
+            banded_entry.push(e as u32);
+        }
+        let buf = plan.buffers();
+        Some(SparseState {
+            plan,
+            buf,
+            src,
+            banded_entry,
+            fallbacks: 0,
         })
     }
 }
@@ -433,6 +542,8 @@ pub struct PreparedSweep {
     rhs: Vec<Complex>,
     y: Vec<Complex>,
     x: Vec<Complex>,
+    /// Symbolic-sparse fast path; `None` keeps every solve on dense LU.
+    sparse: Option<SparseState>,
 }
 
 impl PreparedSweep {
@@ -441,19 +552,173 @@ impl PreparedSweep {
         self.dim
     }
 
+    /// `true` when the symbolic-sparse fast path is active for this
+    /// system (a plan was analyzed or found in the supplied cache).
+    pub fn sparse_enabled(&self) -> bool {
+        self.sparse.is_some()
+    }
+
+    /// Number of frequency points the accuracy gate sent back to the
+    /// dense partial-pivoted solver since this sweep was prepared.
+    pub fn dense_fallback_count(&self) -> u64 {
+        self.sparse.as_ref().map_or(0, |s| s.fallbacks)
+    }
+
     /// The transfer function `H(jω)` at `freq_hz`, reusing all buffers.
     ///
     /// Produces the same values as [`MnaSystem::transfer`] on the same
-    /// netlist to well below 1e-12 relative error: the stamps agree to at
-    /// most 1 ulp and the source elimination baked in by
-    /// [`MnaSystem::prepare`] is the first two elimination steps of the
-    /// full system carried out without rounding, so the paths differ only
-    /// in LU round-off.
+    /// netlist to well below 1e-12 relative error (see
+    /// [`PreparedSweep::sweep_into`] for the argument, which covers both
+    /// the sparse fast path and the dense one).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::SolveFailed`] on a singular system.
     pub fn transfer(&mut self, freq_hz: f64) -> Result<Complex, SimError> {
+        if self.out.is_none() {
+            return Ok(Complex::ONE);
+        }
+        // Below the batching threshold the SoA kernels have nothing to
+        // amortize over and the per-point dense refactor wins outright
+        // (it is also the gate's fallback solver), so single-point
+        // probes — unity-crossing bisection, phase interpolation — take
+        // the dense path directly.
+        self.transfer_dense(freq_hz)
+    }
+
+    /// Evaluates `H(jω)` at every frequency of `freqs` through the
+    /// symbolic-sparse batch kernels, allocating only the output vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SolveFailed`] when a point is singular for the
+    /// dense path too.
+    pub fn sweep(&mut self, freqs: &[f64]) -> Result<Vec<Complex>, SimError> {
+        let mut out = vec![Complex::ZERO; freqs.len()];
+        self.sweep_into(freqs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`PreparedSweep::sweep`] into a caller-owned buffer.
+    ///
+    /// Points are processed in structure-of-arrays batches of up to 32
+    /// lanes: one scatter of the `G + jωC + B(f)` split into the plan's
+    /// slot storage, one replay of the elimination program, one gated
+    /// solve. Lanes rejected by the accuracy gate (numerically singular or
+    /// growth-dominated at that frequency) are re-solved on the dense
+    /// partial-pivoted path, so the result matches [`MnaSystem::transfer`]
+    /// to well below 1e-12 relative error at every point: gated lanes are
+    /// refined until the correction is under `1e-13·‖x‖∞`, and fallback
+    /// lanes run the exact dense algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SolveFailed`] when a point is singular for the
+    /// dense path too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != freqs.len()`.
+    pub fn sweep_into(&mut self, freqs: &[f64], out: &mut [Complex]) -> Result<(), SimError> {
+        assert_eq!(freqs.len(), out.len(), "sweep output length mismatch");
+        if self.out.is_none() {
+            out.fill(Complex::ONE);
+            return Ok(());
+        }
+        if self.sparse.is_none() {
+            for (&f, o) in freqs.iter().zip(out.iter_mut()) {
+                *o = self.transfer_dense(f)?;
+            }
+            return Ok(());
+        }
+        for (fs, os) in freqs.chunks(BATCH).zip(out.chunks_mut(BATCH)) {
+            self.sweep_chunk(fs, os)?;
+        }
+        Ok(())
+    }
+
+    /// One SoA batch: scatter, factor, gated solve, dense fallback.
+    fn sweep_chunk(&mut self, freqs: &[f64], out: &mut [Complex]) -> Result<(), SimError> {
+        let out_idx = match self.out {
+            Some(i) => i,
+            None => return Ok(()), // unreachable: sweep_into handled it
+        };
+        let nf = freqs.len();
+        // Take the sparse state so the dense members of `self` stay
+        // borrowable; restored before any fallback solve.
+        let mut st = match self.sparse.take() {
+            Some(st) => st,
+            None => return Ok(()),
+        };
+        st.plan.ensure_batch(&mut st.buf, BATCH);
+
+        // Scatter A(ω) = G + jωC + B(f) into the value slabs, frequency
+        // lanes contiguous. Matches the dense path stamp-for-stamp: same
+        // ω = 2πf, same rationalized band-limited form.
+        const TWO_PI: f64 = 2.0 * std::f64::consts::PI;
+        for (e, &src) in st.src.iter().enumerate() {
+            let g = self.g[src as usize];
+            let c = self.c[src as usize];
+            let base = e * nf;
+            st.buf.a_re[base..base + nf].fill(g);
+            for (v, &f) in st.buf.a_im[base..base + nf].iter_mut().zip(freqs) {
+                *v = TWO_PI * f * c;
+            }
+        }
+        for (s, &e) in self.banded.iter().zip(&st.banded_entry) {
+            let base = e as usize * nf;
+            for (i, &f) in freqs.iter().enumerate() {
+                let t = f / s.ft_hz;
+                let g = s.gm / (1.0 + t * t);
+                st.buf.a_re[base + i] += g;
+                st.buf.a_im[base + i] -= g * t;
+            }
+        }
+        for r in 0..self.m {
+            let base = r * nf;
+            st.buf.rhs_re[base..base + nf].fill(self.rhs_g[r]);
+            for (v, &f) in st.buf.rhs_im[base..base + nf].iter_mut().zip(freqs) {
+                *v = TWO_PI * f * self.rhs_c[r];
+            }
+        }
+        for s in &self.banded_rhs {
+            let base = s.row * nf;
+            for (i, &f) in freqs.iter().enumerate() {
+                let t = f / s.ft_hz;
+                let g = s.gm / (1.0 + t * t);
+                st.buf.rhs_re[base + i] -= g;
+                st.buf.rhs_im[base + i] += g * t;
+            }
+        }
+
+        st.plan.factor(&mut st.buf, nf);
+        st.plan.solve_gated(&mut st.buf, nf);
+
+        let mut retry = Vec::new();
+        for (i, o) in out.iter_mut().enumerate() {
+            if st.buf.bad[i] {
+                retry.push(i);
+            } else {
+                *o = st.plan.solution(&st.buf, nf, out_idx, i);
+            }
+        }
+        st.fallbacks += retry.len() as u64;
+        self.sparse = Some(st);
+        for i in retry {
+            out[i] = self.transfer_dense(freqs[i])?;
+        }
+        Ok(())
+    }
+
+    /// The dense partial-pivoted single-point path: refill the complex
+    /// work matrix, factorize in place, solve. Used directly when no
+    /// sparse plan exists and as the per-point fallback when the sparse
+    /// accuracy gate rejects a lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SolveFailed`] on a singular system.
+    pub fn transfer_dense(&mut self, freq_hz: f64) -> Result<Complex, SimError> {
         let Some(out) = self.out else {
             // The output node is the driven input node: v(out) = 1.
             return Ok(Complex::ONE);

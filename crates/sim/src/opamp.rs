@@ -2,8 +2,9 @@
 
 use oa_circuit::{elaborate, DeviceValues, Process, Topology};
 
-use crate::ac::{measure, AcOptions};
+use crate::ac::{measure_cached, AcOptions};
 use crate::error::SimError;
+use crate::plan::PlanCache;
 
 /// The four measured op-amp metrics the paper's spec sets constrain.
 ///
@@ -75,11 +76,32 @@ pub fn evaluate_opamp(
     cl_farads: f64,
     opts: &AcOptions,
 ) -> Result<OpAmpPerformance, SimError> {
+    evaluate_opamp_cached(topology, values, process, cl_farads, opts, None)
+}
+
+/// [`evaluate_opamp`] with an optional symbolic-factorization
+/// [`PlanCache`]: every sizing of the same topology (and any topology
+/// elaborating to the same reduced sparsity pattern) reuses one analyzed
+/// elimination plan instead of re-deriving it, which is what a
+/// sizing-BO loop or a serving worker wants. Results are identical with
+/// or without a cache.
+///
+/// # Errors
+///
+/// Exactly those of [`evaluate_opamp`].
+pub fn evaluate_opamp_cached(
+    topology: &Topology,
+    values: &DeviceValues,
+    process: &Process,
+    cl_farads: f64,
+    opts: &AcOptions,
+    cache: Option<&PlanCache>,
+) -> Result<OpAmpPerformance, SimError> {
     let netlist =
         elaborate(topology, values, process, cl_farads).map_err(|e| SimError::BadElement {
             detail: e.to_string(),
         })?;
-    let m = measure(&netlist, opts)?;
+    let m = measure_cached(&netlist, opts, cache)?;
     let (gbw_hz, pm_deg) = match m.unity {
         Some(u) => (u.freq_hz, u.phase_margin_deg),
         None => (0.0, -180.0),

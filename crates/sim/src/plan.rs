@@ -1,0 +1,182 @@
+//! Shared cache of symbolic sparse-factorization plans.
+//!
+//! A [`oa_linalg::SymbolicPlan`] depends only on the *sparsity pattern* of
+//! the reduced MNA system — not on element values, not on the frequency
+//! grid, not even on which topology produced it. Analysis is therefore paid
+//! once per distinct pattern and the resulting plan is shared (via `Arc`)
+//! across every sweep, every sizing-BO evaluation, and every worker thread
+//! touching a structurally-identical system. The cache mirrors the WL
+//! feature cache in `oa-graph`: a keyed store plus hit/miss counters that
+//! the serving layer surfaces through its `stats` op.
+//!
+//! Keying on the pattern itself (rather than a `(topology, grid)` label) is
+//! strictly stronger reuse: two different topologies that elaborate to the
+//! same reduced pattern — common among the paper's 30,625 variants, which
+//! share the three-stage skeleton — resolve to one plan.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use oa_linalg::{SparsityPattern, SymbolicPlan};
+
+/// Hit/miss counters of a [`PlanCache`], mirroring the WL feature-cache
+/// counters so both caches read the same way in `oa-serve`'s `stats` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run symbolic analysis.
+    pub misses: u64,
+}
+
+impl PlanCacheStats {
+    /// Fraction of lookups served from the cache (`0.0` when empty).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oa_sim::PlanCacheStats;
+    /// assert_eq!(PlanCacheStats::default().hit_rate(), 0.0);
+    /// let s = PlanCacheStats { hits: 3, misses: 1 };
+    /// assert!((s.hit_rate() - 0.75).abs() < 1e-15);
+    /// ```
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe, pattern-keyed store of symbolic factorization plans.
+///
+/// Patterns order totally (`SparsityPattern` derives `Ord` over its sorted
+/// entry list), so the store is a `BTreeMap` — deterministic iteration, no
+/// hashing, no collisions. Lookups clone an `Arc`, so the lock is held only
+/// for the map probe; symbolic analysis on a miss runs outside the lock.
+///
+/// # Examples
+///
+/// ```
+/// use oa_circuit::{NetlistBuilder, NodeId};
+/// use oa_sim::{MnaSystem, PlanCache};
+///
+/// let mut b = NetlistBuilder::new();
+/// let inp = b.add_node("in");
+/// let out = b.add_node("out");
+/// b.resistor(inp, out, 1e3);
+/// b.capacitor(out, NodeId::GROUND, 1e-9);
+/// let netlist = b.build(inp, out);
+///
+/// let cache = PlanCache::new();
+/// let _first = MnaSystem::new(&netlist, 1e-12).prepare_with_cache(Some(&cache)).unwrap();
+/// let _second = MnaSystem::new(&netlist, 1e-12).prepare_with_cache(Some(&cache)).unwrap();
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<BTreeMap<SparsityPattern, Arc<SymbolicPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The plan for `pattern`, analyzed on first sight and shared after.
+    ///
+    /// Returns `None` when symbolic analysis rejects the pattern (empty
+    /// system); callers treat that as "no sparse path" and stay dense.
+    pub fn plan_for(&self, pattern: &SparsityPattern) -> Option<Arc<SymbolicPlan>> {
+        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(pattern) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(plan));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Analyze outside the lock; a racing duplicate analysis is
+        // harmless (same deterministic plan) and the first insert wins.
+        let plan = Arc::new(SymbolicPlan::analyze(pattern).ok()?);
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        Some(Arc::clone(plans.entry(pattern.clone()).or_insert(plan)))
+    }
+
+    /// Number of distinct patterns analyzed so far.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// `true` when no pattern has been analyzed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_pattern(n: usize) -> SparsityPattern {
+        SparsityPattern::new(n, (0..n).map(|d| (d, d)).collect()).unwrap()
+    }
+
+    #[test]
+    fn repeated_lookups_share_one_plan() {
+        let cache = PlanCache::new();
+        let p = diag_pattern(3);
+        let a = cache.plan_for(&p).unwrap();
+        let b = cache.plan_for(&p).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), PlanCacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_patterns_get_distinct_plans() {
+        let cache = PlanCache::new();
+        let a = cache.plan_for(&diag_pattern(2)).unwrap();
+        let b = cache.plan_for(&diag_pattern(3)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn unanalyzable_pattern_is_not_cached() {
+        let cache = PlanCache::new();
+        let empty = SparsityPattern::new(0, vec![]).unwrap();
+        assert!(cache.plan_for(&empty).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = Arc::new(PlanCache::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || cache.plan_for(&diag_pattern(4)).unwrap().nslots())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 4);
+        }
+        assert_eq!(cache.len(), 1);
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 4);
+    }
+}

@@ -1,16 +1,21 @@
-//! Differential test for the prepared MNA fast path.
+//! Differential test for the prepared MNA fast paths.
 //!
 //! [`MnaSystem::prepare`] splits the system into `G + jωC + B(f)`,
 //! eliminates the two source unknowns with exact ±1 pivots, and reuses
-//! one workspace across the sweep. All of that is supposed to be
-//! algebraically invisible: on any (topology, sizing, frequency) triple
-//! the prepared path must reproduce the naive assemble-and-solve
-//! transfer function to near machine precision.
+//! one workspace across the sweep; on top of that sits the
+//! symbolic-sparse path (fill-reducing static pivot order, SoA-batched
+//! refactoring, accuracy-gated iterative refinement). All of it is
+//! supposed to be algebraically invisible: on any (topology, sizing,
+//! frequency) triple all three solvers — naive assemble-and-solve, the
+//! prepared dense path, and the symbolic-sparse batch path — must agree
+//! to near machine precision.
 //!
 //! 200 seeded random triples, fixed seed, no external RNG — failures
 //! reproduce from the case number alone.
 
-use oa_circuit::{elaborate, ParamSpace, Process, Topology, DESIGN_SPACE_SIZE};
+use oa_circuit::{
+    elaborate, NetlistBuilder, NodeId, ParamSpace, Process, Topology, DESIGN_SPACE_SIZE,
+};
 use oa_sim::MnaSystem;
 
 const CASES: usize = 200;
@@ -40,8 +45,19 @@ impl Rng {
     }
 }
 
+/// Relative distance between two complex responses, scaled by the larger
+/// magnitude (floored to avoid 0/0 on exact zeros).
+fn rel_diff(a: oa_linalg::Complex, b: oa_linalg::Complex) -> f64 {
+    let diff = ((a.re - b.re).powi(2) + (a.im - b.im).powi(2)).sqrt();
+    let scale = (a.re * a.re + a.im * a.im)
+        .sqrt()
+        .max((b.re * b.re + b.im * b.im).sqrt())
+        .max(f64::MIN_POSITIVE);
+    diff / scale
+}
+
 #[test]
-fn prepared_sweep_matches_naive_mna_on_random_triples() {
+fn three_solver_paths_agree_on_random_triples() {
     let mut rng = Rng::new(0x0A5E_EDED_CA5C_ADE5);
     let process = Process::default();
     let mut worst_rel = 0.0f64;
@@ -64,35 +80,48 @@ fn prepared_sweep_matches_naive_mna_on_random_triples() {
         let mut prepared = mna
             .prepare()
             .unwrap_or_else(|e| panic!("case {case} (topology {index}): prepare failed: {e}"));
+        assert!(
+            prepared.sparse_enabled(),
+            "case {case} (topology {index}): expected a symbolic plan"
+        );
 
-        for fi in 0..FREQS_PER_CASE {
-            // Log-uniform over 1 Hz .. 10 GHz — the band every AC sweep
-            // in the repo lives in.
-            let freq_hz = 10f64.powf(10.0 * rng.unit());
+        // Log-uniform over 1 Hz .. 10 GHz — the band every AC sweep in
+        // the repo lives in. Solved as one batch so the SoA lanes of the
+        // symbolic path are exercised alongside the scalar paths.
+        let freqs: Vec<f64> = (0..FREQS_PER_CASE)
+            .map(|_| 10f64.powf(10.0 * rng.unit()))
+            .collect();
+        let symbolic = prepared
+            .sweep(&freqs)
+            .unwrap_or_else(|e| panic!("case {case}: symbolic sweep failed: {e}"));
+
+        for (fi, &freq_hz) in freqs.iter().enumerate() {
             let naive = mna
                 .transfer(freq_hz)
                 .unwrap_or_else(|e| panic!("case {case}.{fi}: naive transfer failed: {e}"));
-            let fast = prepared
-                .transfer(freq_hz)
-                .unwrap_or_else(|e| panic!("case {case}.{fi}: prepared transfer failed: {e}"));
+            let dense = prepared
+                .transfer_dense(freq_hz)
+                .unwrap_or_else(|e| panic!("case {case}.{fi}: dense transfer failed: {e}"));
+            let sparse = symbolic[fi];
 
-            let diff = ((naive.re - fast.re).powi(2) + (naive.im - fast.im).powi(2)).sqrt();
-            let scale = (naive.re * naive.re + naive.im * naive.im)
-                .sqrt()
-                .max((fast.re * fast.re + fast.im * fast.im).sqrt())
-                .max(f64::MIN_POSITIVE);
-            let rel = diff / scale;
-            worst_rel = worst_rel.max(rel);
-            assert!(
-                rel <= REL_TOL,
-                "case {case}.{fi} (topology {index}, f = {freq_hz:.3e} Hz): \
-                 prepared path deviates from naive MNA by {rel:.3e} relative \
-                 (naive = {:.17e}+{:.17e}j, prepared = {:.17e}+{:.17e}j)",
-                naive.re,
-                naive.im,
-                fast.re,
-                fast.im,
-            );
+            for (label, a, b) in [
+                ("naive vs dense", naive, dense),
+                ("naive vs symbolic", naive, sparse),
+                ("dense vs symbolic", dense, sparse),
+            ] {
+                let rel = rel_diff(a, b);
+                worst_rel = worst_rel.max(rel);
+                assert!(
+                    rel <= REL_TOL,
+                    "case {case}.{fi} (topology {index}, f = {freq_hz:.3e} Hz): \
+                     {label} deviates by {rel:.3e} relative \
+                     ({:.17e}+{:.17e}j vs {:.17e}+{:.17e}j)",
+                    a.re,
+                    a.im,
+                    b.re,
+                    b.im,
+                );
+            }
         }
     }
 
@@ -100,6 +129,51 @@ fn prepared_sweep_matches_naive_mna_on_random_triples() {
         worst_rel.is_finite(),
         "worst relative deviation must be finite, got {worst_rel}"
     );
+}
+
+#[test]
+fn degenerate_pattern_falls_back_to_dense() {
+    // A structurally-sound topology whose symbolic pivot order hits an
+    // exact numeric zero: node `a`'s diagonal conductance is cancelled by
+    // a self-referencing VCCS (gm = −(g1 + g2)) and no capacitor touches
+    // the node, so with GMIN = 0 the reduced matrix is
+    //   [[0, −g2], [−g2, g2 + g3]]
+    // — solvable by row exchange (det = −g2²), provably full structural
+    // rank, but fatal for any static diagonal pivot order. The accuracy
+    // gate must reject every point and the dense partial-pivoted fallback
+    // must deliver the answers.
+    // Exact binary fractions so the diagonal cancellation is bit-exact
+    // (resistor stamps round-trip through 1/r without rounding).
+    let g1 = 1.0 / 1024.0;
+    let g2 = 1.0 / 2048.0;
+    let g3 = 1.0 / 4096.0;
+    let mut b = NetlistBuilder::new();
+    let inp = b.add_node("in");
+    let a = b.add_node("a");
+    let out = b.add_node("out");
+    b.resistor(inp, a, 1.0 / g1);
+    b.resistor(a, out, 1.0 / g2);
+    b.resistor(out, NodeId::GROUND, 1.0 / g3);
+    b.vccs(a, NodeId::GROUND, NodeId::GROUND, a, g1 + g2); // cancels diag(a)
+    let netlist = b.build(inp, out);
+
+    let mna = MnaSystem::new(&netlist, 0.0);
+    let mut prepared = mna.prepare().expect("structurally sound");
+    assert!(prepared.sparse_enabled(), "plan must exist for the pattern");
+
+    let freqs: Vec<f64> = (0..8).map(|k| 10f64.powi(k)).collect();
+    let swept = prepared.sweep(&freqs).expect("dense fallback must solve");
+    assert_eq!(
+        prepared.dense_fallback_count(),
+        freqs.len() as u64,
+        "every point must have been re-solved densely"
+    );
+    for (i, &f) in freqs.iter().enumerate() {
+        let naive = mna.transfer(f).unwrap();
+        assert!(swept[i].is_finite(), "f = {f}");
+        let rel = rel_diff(naive, swept[i]);
+        assert!(rel <= REL_TOL, "f = {f}: fallback deviates by {rel:.3e}");
+    }
 }
 
 #[test]

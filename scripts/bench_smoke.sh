@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Smoke test for the performance benches that back the tracked snapshot
+# files at the repository root:
+#
+#   1. run the `ac_sweep` and `evals_per_sec` benches in quick mode
+#      (CRITERION_QUICK=1, ~10x shorter measurement windows) and assert
+#      every expected row is present — a panic or a silently dropped
+#      bench function fails the step;
+#   2. check the committed BENCH_ac_sweep.json / BENCH_evals_per_sec.json
+#      snapshots still carry the keys the benches emit, so a bench rename
+#      cannot drift away from the recorded numbers unnoticed.
+#
+# This is a schema/liveness gate, not a perf gate: CI machines are too
+# noisy to compare nanoseconds against the snapshots.
+#
+# Usage: scripts/bench_smoke.sh
+set -euo pipefail
+
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+run_bench() {
+    local bench="$1"
+    shift
+    echo "running $bench (quick mode)"
+    CRITERION_QUICK=1 cargo bench -p oa-bench --bench "$bench" >"$OUT/$bench.txt" 2>&1 || {
+        cat "$OUT/$bench.txt" >&2
+        echo "FAIL: bench $bench did not run to completion" >&2
+        exit 1
+    }
+    for row in "$@"; do
+        if ! grep -q "^bench: $row " "$OUT/$bench.txt"; then
+            cat "$OUT/$bench.txt" >&2
+            echo "FAIL: bench $bench did not report row '$row'" >&2
+            exit 1
+        fi
+    done
+}
+
+check_snapshot() {
+    local file="$1"
+    shift
+    [ -f "$file" ] || { echo "FAIL: missing snapshot $file" >&2; exit 1; }
+    for key in results_ns_per_iter "$@"; do
+        if ! grep -q "\"$key\"" "$file"; then
+            echo "FAIL: snapshot $file lost key '$key'" >&2
+            exit 1
+        fi
+    done
+}
+
+run_bench ac_sweep \
+    ac_sweep_naive_241pts \
+    ac_sweep_prepared_241pts \
+    ac_sweep_symbolic_241pts \
+    ac_transfer_prepared_single_freq
+run_bench evals_per_sec \
+    eval_full_cached \
+    eval_full_uncached
+
+check_snapshot BENCH_ac_sweep.json \
+    ac_sweep_naive_241pts \
+    ac_sweep_prepared_241pts \
+    ac_sweep_symbolic_241pts \
+    speedup_symbolic_over_naive \
+    speedup_symbolic_over_prepared
+check_snapshot BENCH_evals_per_sec.json \
+    eval_full_cached \
+    eval_full_uncached \
+    evals_per_sec
+
+echo "OK: both benches ran all rows in quick mode, snapshots carry the expected schema"
