@@ -134,7 +134,9 @@ pub struct Scope {
 /// slashes). See the module table for the policy.
 pub fn scope_of(path: &str) -> Scope {
     let in_crate = |name: &str| path.starts_with(&format!("crates/{name}/src/"));
-    let serialization = in_crate("serve") || in_crate("store");
+    // The router splices response bytes and renders merged stats, so it
+    // sits on the same serialization bar as serve and the store.
+    let serialization = in_crate("serve") || in_crate("store") || in_crate("router");
     // The request path: everything a client request flows through. The
     // CLI/daemon binaries and the test-only client are excluded — they
     // are invocation tools, not the serving hot path.
@@ -143,6 +145,11 @@ pub fn scope_of(path: &str) -> Scope {
         "crates/serve/src/server.rs",
         "crates/serve/src/json.rs",
         "crates/serve/src/lib.rs",
+        "crates/router/src/router.rs",
+        "crates/router/src/frame.rs",
+        "crates/router/src/net.rs",
+        "crates/router/src/ring.rs",
+        "crates/router/src/lib.rs",
     ]
     .contains(&path);
     Scope {

@@ -29,11 +29,12 @@ pub const ENTRY_POINTS: &[&str] = &[
     "connection_loop",
     "worker_loop",
     "Store::open_with_faults",
+    "event_loop",
 ];
 
 /// Lib names of the crates whose panic sites must be annotated when
 /// reachable.
-pub const HARDENED_CRATES: &[&str] = &["oa_serve", "oa_par", "oa_store", "oa_fault"];
+pub const HARDENED_CRATES: &[&str] = &["oa_serve", "oa_par", "oa_store", "oa_fault", "oa_router"];
 
 /// Macros that unconditionally (or assertion-conditionally) panic.
 const PANIC_MACROS: &[&str] = &[

@@ -2,12 +2,14 @@
 //! INTO-OA serving stack.
 //!
 //! The store (`oa-store`) and the evaluation service (`oa-serve`) promise
-//! crash safety and byte-identical recovery; this crate makes those
+//! crash safety and byte-identical recovery, and the router (`oa-router`)
+//! promises failover around dead shards; this crate makes those
 //! promises *testable* by injecting the failures they claim to survive —
 //! torn writes, failed fsyncs, dropped and stalled connections, worker
-//! panics, per-item evaluation errors — from a seeded schedule that is a
-//! pure function of the seed and the call sequence. No wall clock, no
-//! global state, no environment reads.
+//! panics, per-item evaluation errors, dropped shard links, stalled
+//! router writes — from a seeded schedule that is a pure function of the
+//! seed and the call sequence. No wall clock, no global state, no
+//! environment reads.
 //!
 //! # Determinism contract
 //!

@@ -30,6 +30,13 @@ pub enum Site {
     /// `oa-serve` `eval_batch` — one item of a batch (typed per-item
     /// evaluation error).
     EvalItem,
+    /// `oa-router` backend forward — the router's connection to a shard,
+    /// decided immediately before a sub-request is written (dropping it
+    /// forces the failover path: mark down, re-dispatch, reconnect).
+    ShardDrop,
+    /// `oa-router` response writer — one response frame to a client
+    /// (stalled write; the event loop pays the latency).
+    RouterWrite,
 }
 
 impl Site {
@@ -43,6 +50,8 @@ impl Site {
             Site::ConnWrite => "conn_write",
             Site::WorkerJob => "worker_job",
             Site::EvalItem => "eval_item",
+            Site::ShardDrop => "shard_drop",
+            Site::RouterWrite => "router_write",
         }
     }
 }
@@ -123,6 +132,12 @@ pub struct FaultConfig {
     pub worker_panic_per_mille: u16,
     /// Probability of failing one `eval_batch` item with a typed error.
     pub item_error_per_mille: u16,
+    /// Probability of the router dropping a shard connection right
+    /// before forwarding a sub-request.
+    pub shard_drop_per_mille: u16,
+    /// Probability of stalling a router response write (bounded by
+    /// `stall_max_millis`).
+    pub router_stall_per_mille: u16,
 }
 
 impl FaultConfig {
@@ -152,6 +167,18 @@ impl FaultConfig {
         }
     }
 
+    /// Router-side profile: frequent shard-connection drops (failover
+    /// exercise) and stalled response writes. Shard backends stay
+    /// fault-free so the router invariants are isolated.
+    pub fn router_storm() -> FaultConfig {
+        FaultConfig {
+            shard_drop_per_mille: 120,
+            router_stall_per_mille: 80,
+            stall_max_millis: 3,
+            ..FaultConfig::default()
+        }
+    }
+
     /// Everything at once — the full chaos matrix profile.
     pub fn storm() -> FaultConfig {
         FaultConfig {
@@ -164,6 +191,8 @@ impl FaultConfig {
             stall_max_millis: 5,
             worker_panic_per_mille: 100,
             item_error_per_mille: 150,
+            shard_drop_per_mille: 120,
+            router_stall_per_mille: 80,
         }
     }
 }
@@ -319,6 +348,22 @@ impl FaultPlan {
             Site::EvalItem => {
                 if self.roll(self.config.item_error_per_mille) {
                     Decision::FailItem
+                } else {
+                    Decision::Pass
+                }
+            }
+            Site::ShardDrop => {
+                if self.roll(self.config.shard_drop_per_mille) {
+                    Decision::DropConn
+                } else {
+                    Decision::Pass
+                }
+            }
+            Site::RouterWrite => {
+                let stalled = self.roll(self.config.router_stall_per_mille);
+                let millis = 1 + self.draw() % self.config.stall_max_millis.max(1);
+                if stalled {
+                    Decision::Stall { millis }
                 } else {
                     Decision::Pass
                 }
@@ -557,6 +602,29 @@ mod tests {
             without_items.push(without.decide(Site::EvalItem, 0));
         }
         assert_eq!(with_items, without_items);
+    }
+
+    #[test]
+    fn router_storm_drops_shards_and_stalls_writes_within_bounds() {
+        let faults = Faults::seeded(17, FaultConfig::router_storm());
+        let (mut drops, mut stalls) = (0, 0);
+        for i in 0..2000 {
+            match faults.decide(Site::ShardDrop, i % 4) {
+                Decision::DropConn => drops += 1,
+                Decision::Pass => {}
+                other => panic!("shard_drop produced {other}"),
+            }
+            match faults.decide(Site::RouterWrite, 128) {
+                Decision::Stall { millis } => {
+                    assert!((1..=3).contains(&millis));
+                    stalls += 1;
+                }
+                Decision::Pass => {}
+                other => panic!("router_write produced {other}"),
+            }
+        }
+        assert!(drops > 100, "router storm must drop shard links ({drops})");
+        assert!(stalls > 50, "router storm must stall writes ({stalls})");
     }
 
     #[test]

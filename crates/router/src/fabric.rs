@@ -1,0 +1,84 @@
+//! An in-process fabric: N `oa-serve` shards plus the router, spawned
+//! together. Backs `oa-router --spawn N`, the integration tests and the
+//! chaos harness — everything that wants a whole fabric in one process.
+
+use std::path::Path;
+
+use oa_fault::Faults;
+use oa_serve::{serve, Server, ServerConfig, ShardIdentity};
+
+use crate::router::{start, Router, RouterConfig};
+
+/// A router plus the in-process shard backends it fronts.
+pub struct Fabric {
+    /// The coordinator.
+    pub router: Router,
+    /// The shard backends, index-aligned with the router's shard list.
+    pub shards: Vec<Server>,
+    /// Shard addresses (texts the router dials).
+    pub shard_addrs: Vec<String>,
+}
+
+impl Fabric {
+    /// Spawns `n` shards (stores under `store_dir/shard<I>/results.log`)
+    /// and a router over them. `configure` tweaks the router config
+    /// after the defaults (fault plan, inflight bound, …).
+    ///
+    /// # Errors
+    ///
+    /// Store, bind or spawn failures.
+    pub fn spawn(
+        n: u32,
+        store_dir: &Path,
+        configure: impl FnOnce(&mut RouterConfig),
+    ) -> std::io::Result<Fabric> {
+        let mut shards = Vec::with_capacity(n as usize);
+        let mut shard_addrs = Vec::with_capacity(n as usize);
+        for index in 0..n {
+            let server = serve(shard_config(
+                "127.0.0.1:0",
+                store_dir,
+                index,
+                n,
+                Faults::none(),
+            ))?;
+            shard_addrs.push(server.addr().to_string());
+            shards.push(server);
+        }
+        let mut config = RouterConfig::loopback(shard_addrs.clone());
+        configure(&mut config);
+        let router = start(config)?;
+        Ok(Fabric {
+            router,
+            shards,
+            shard_addrs,
+        })
+    }
+
+    /// Tears the whole fabric down (router first, then shards).
+    pub fn shutdown(self) {
+        self.router.shutdown();
+        for shard in self.shards {
+            shard.shutdown();
+        }
+    }
+}
+
+/// The canonical shard config: bounded queue, per-shard store file,
+/// shard identity for `stats` introspection.
+pub fn shard_config(
+    addr: &str,
+    store_dir: &Path,
+    index: u32,
+    count: u32,
+    faults: Faults,
+) -> ServerConfig {
+    ServerConfig {
+        addr: addr.to_owned(),
+        workers: 2,
+        queue: 64,
+        store_path: store_dir.join(format!("shard{index}")).join("results.log"),
+        faults,
+        shard: Some(ShardIdentity { index, count }),
+    }
+}

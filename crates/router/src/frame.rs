@@ -1,0 +1,277 @@
+//! Byte-level surgery on NDJSON frames.
+//!
+//! The router's byte-identity contract forbids a parse→re-encode round
+//! trip on payloads it forwards: re-encoding could normalize float text
+//! and change response bytes. Instead, frames are edited *in place* with
+//! a small string-and-depth-aware scanner: the `id` field is spliced to
+//! an internal sub-request id on the way to a shard and spliced back on
+//! the way out, and batch `items` are split/merged as raw substrings.
+//! Everything outside the edited span keeps its exact bytes.
+//!
+//! Responses from `oa-serve` have a fixed shape (`{"id":…,"ok":…,…}`,
+//! no whitespace) which [`split_response`] relies on; client *requests*
+//! are scanned with full whitespace tolerance.
+
+use std::ops::Range;
+
+/// Returns the end (exclusive) of the JSON value starting at `start`,
+/// or `None` on malformed input. String-aware (escapes honored),
+/// depth-counting for objects/arrays; numbers and literals end at the
+/// first structural byte.
+pub fn scan_value(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut i = start;
+    match *bytes.get(i)? {
+        b'"' => {
+            i += 1;
+            while let Some(&b) = bytes.get(i) {
+                match b {
+                    b'\\' => i += 2,
+                    b'"' => return Some(i + 1),
+                    _ => i += 1,
+                }
+            }
+            None
+        }
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            while let Some(&b) = bytes.get(i) {
+                match b {
+                    b'"' => i = scan_value(bytes, i)?.wrapping_sub(1),
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(i + 1);
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            None
+        }
+        _ => {
+            // Number / true / false / null: ends at a structural byte.
+            while !matches!(bytes.get(i), None | Some(b',' | b'}' | b']' | b' ' | b'\t')) {
+                i += 1;
+            }
+            (i > start).then_some(i)
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while matches!(bytes.get(i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+        i += 1;
+    }
+    i
+}
+
+/// The byte range of the value of top-level key `key` in an object
+/// `line`, or `None` if absent or malformed. Whitespace-tolerant.
+pub fn top_level_value(line: &str, key: &str) -> Option<Range<usize>> {
+    let bytes = line.as_bytes();
+    let mut i = skip_ws(bytes, 0);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i = skip_ws(bytes, i + 1);
+    if bytes.get(i) == Some(&b'}') {
+        return None;
+    }
+    loop {
+        // Key string.
+        if bytes.get(i) != Some(&b'"') {
+            return None;
+        }
+        let key_end = scan_value(bytes, i)?;
+        let this_key = line.get(i + 1..key_end.checked_sub(1)?)?;
+        i = skip_ws(bytes, key_end);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i = skip_ws(bytes, i + 1);
+        let value_end = scan_value(bytes, i)?;
+        if this_key == key {
+            return Some(i..value_end);
+        }
+        i = skip_ws(bytes, value_end);
+        match bytes.get(i) {
+            Some(&b',') => i = skip_ws(bytes, i + 1),
+            Some(&b'}') => return None,
+            _ => return None,
+        }
+    }
+}
+
+/// Rewrites the top-level `id` of a request object to `sub_id`,
+/// inserting the field when absent. Returns `None` when `line` is not a
+/// JSON object (such lines never reach a shard — the router answers
+/// parse errors locally).
+pub fn rewrite_request_id(line: &str, sub_id: u64) -> Option<String> {
+    let bytes = line.as_bytes();
+    if bytes.get(skip_ws(bytes, 0)) != Some(&b'{') {
+        return None;
+    }
+    if let Some(range) = top_level_value(line, "id") {
+        let mut out = String::with_capacity(line.len() + 8);
+        out.push_str(line.get(..range.start)?);
+        out.push_str(&sub_id.to_string());
+        out.push_str(line.get(range.end..)?);
+        Some(out)
+    } else {
+        let brace = skip_ws(bytes, 0);
+        let after = skip_ws(bytes, brace + 1);
+        let empty = bytes.get(after) == Some(&b'}');
+        let mut out = String::with_capacity(line.len() + 12);
+        out.push_str(line.get(..=brace)?);
+        out.push_str("\"id\":");
+        out.push_str(&sub_id.to_string());
+        if !empty {
+            out.push(',');
+        }
+        out.push_str(line.get(brace + 1..)?);
+        Some(out)
+    }
+}
+
+/// A shard response split into its envelope parts, payload kept as raw
+/// bytes of the original frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitResponse<'a> {
+    /// The echoed id text (raw bytes, e.g. `17`).
+    pub id: &'a str,
+    /// The `ok` flag.
+    pub ok: bool,
+    /// Raw payload text: the `result` value when `ok`, the `error`
+    /// value otherwise.
+    pub payload: &'a str,
+}
+
+/// Splits an `oa-serve` response frame — exactly
+/// `{"id":ID,"ok":true,"result":R}` or `{"id":ID,"ok":false,"error":E}`
+/// — into its parts without copying. Returns `None` for anything else;
+/// the caller treats that as a shard protocol violation.
+pub fn split_response(frame: &str) -> Option<SplitResponse<'_>> {
+    let bytes = frame.as_bytes();
+    let rest = frame.strip_prefix("{\"id\":")?;
+    let id_start = frame.len() - rest.len();
+    let id_end = scan_value(bytes, id_start)?;
+    let id = frame.get(id_start..id_end)?;
+    let tail = frame.get(id_end..)?;
+    let (ok, marker) = if let Some(t) = tail.strip_prefix(",\"ok\":true,\"result\":") {
+        (true, t)
+    } else if let Some(t) = tail.strip_prefix(",\"ok\":false,\"error\":") {
+        (false, t)
+    } else {
+        return None;
+    };
+    let payload = marker.strip_suffix('}')?;
+    let payload_start = frame.len() - marker.len();
+    // The payload must be exactly one value (guards truncated frames).
+    if scan_value(bytes, payload_start)? != payload_start + payload.len() {
+        return None;
+    }
+    Some(SplitResponse { id, ok, payload })
+}
+
+/// Splits the raw elements of the top-level array `key` of `line` (a
+/// request's `"items"`, a result's `"items"`). Returns `None` when the
+/// key is absent or not an array.
+pub fn split_array(line: &str, key: &str) -> Option<Vec<Range<usize>>> {
+    let range = top_level_value(line, key)?;
+    let bytes = line.as_bytes();
+    if bytes.get(range.start) != Some(&b'[') {
+        return None;
+    }
+    let mut elements = Vec::new();
+    let mut i = skip_ws(bytes, range.start + 1);
+    if bytes.get(i) == Some(&b']') {
+        return Some(elements);
+    }
+    loop {
+        let end = scan_value(bytes, i)?;
+        elements.push(i..end);
+        i = skip_ws(bytes, end);
+        match bytes.get(i) {
+            Some(&b',') => i = skip_ws(bytes, i + 1),
+            Some(&b']') => return Some(elements),
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_value_handles_nesting_and_escapes() {
+        let s = br#"{"a":[1,{"b":"x\"y"}],"c":null}"#;
+        assert_eq!(scan_value(s, 0), Some(s.len()));
+        let s = b"123,rest";
+        assert_eq!(scan_value(s, 0), Some(3));
+        let s = b"\"unterminated";
+        assert_eq!(scan_value(s, 0), None);
+    }
+
+    #[test]
+    fn top_level_value_finds_keys_at_depth_one_only() {
+        let line = r#"{ "op" : "eval" , "x":[1,2], "id" : 42 }"#;
+        let r = top_level_value(line, "id").unwrap();
+        assert_eq!(&line[r], "42");
+        let r = top_level_value(line, "x").unwrap();
+        assert_eq!(&line[r], "[1,2]");
+        // A nested "id" must not match.
+        let line = r#"{"outer":{"id":9},"op":"eval"}"#;
+        assert_eq!(top_level_value(line, "id"), None);
+    }
+
+    #[test]
+    fn rewrite_request_id_replaces_and_inserts() {
+        assert_eq!(
+            rewrite_request_id(r#"{"id":7,"op":"stats"}"#, 99).unwrap(),
+            r#"{"id":99,"op":"stats"}"#
+        );
+        assert_eq!(
+            rewrite_request_id(r#"{"op":"stats"}"#, 5).unwrap(),
+            r#"{"id":5,"op":"stats"}"#
+        );
+        assert_eq!(rewrite_request_id("{}", 1).unwrap(), r#"{"id":1}"#);
+        assert_eq!(rewrite_request_id("[1,2]", 1), None);
+        // Only the id bytes change; float text elsewhere is untouched.
+        let line = r#"{"x":[2.50000000000000000e-1],"id":3}"#;
+        assert_eq!(
+            rewrite_request_id(line, 8).unwrap(),
+            r#"{"x":[2.50000000000000000e-1],"id":8}"#
+        );
+    }
+
+    #[test]
+    fn split_response_extracts_raw_payloads() {
+        let ok = r#"{"id":12,"ok":true,"result":{"n":1,"items":[{"fom":1.0e0}]}}"#;
+        let s = split_response(ok).unwrap();
+        assert_eq!(s.id, "12");
+        assert!(s.ok);
+        assert_eq!(s.payload, r#"{"n":1,"items":[{"fom":1.0e0}]}"#);
+
+        let err = r#"{"id":null,"ok":false,"error":"missing string field 'op'"}"#;
+        let s = split_response(err).unwrap();
+        assert_eq!(s.id, "null");
+        assert!(!s.ok);
+        assert_eq!(s.payload, r#""missing string field 'op'""#);
+
+        assert_eq!(split_response(r#"{"ok":true}"#), None);
+        assert_eq!(split_response(r#"{"id":1,"ok":true,"result":{"#), None);
+    }
+
+    #[test]
+    fn split_array_yields_raw_elements() {
+        let line = r#"{"id":9,"items":[{"topology":0,"x":[1.0e0]}, 7 ,"s"],"op":"eval_batch"}"#;
+        let parts = split_array(line, "items").unwrap();
+        let texts: Vec<&str> = parts.into_iter().map(|r| &line[r]).collect();
+        assert_eq!(texts, vec![r#"{"topology":0,"x":[1.0e0]}"#, "7", r#""s""#]);
+        assert_eq!(split_array(r#"{"items":[]}"#, "items").unwrap(), vec![]);
+        assert_eq!(split_array(r#"{"items":3}"#, "items"), None);
+    }
+}

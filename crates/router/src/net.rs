@@ -1,0 +1,325 @@
+//! `oa_net`: std-only nonblocking sockets for the router's event loop.
+//!
+//! The workspace forbids `unsafe` in every crate, which rules out raw
+//! `epoll`/`kqueue` FFI; instead the event loop runs a *sweep poller*:
+//! every socket is `set_nonblocking(true)` and each iteration drains
+//! reads and flushes writes until `WouldBlock`, then an [`IdleBackoff`]
+//! sleeps the loop when nothing moved (100 µs escalating to 5 ms). Idle
+//! connections therefore cost one failed `read` per sweep and no thread
+//! — the "~100k idle clients, no threads" budget — at the price of sweep
+//! latency instead of kernel wakeups. The `Conn` buffer discipline
+//! (frame reassembly, bounded buffers) is poller-agnostic, so swapping
+//! in a readiness syscall later only touches the loop, not the framing.
+//!
+//! Frames are newline-delimited; a partial frame stays in `rbuf` until
+//! its newline arrives. Read frames are capped at [`MAX_FRAME`] and the
+//! pending write buffer at [`MAX_WRITE_BUFFER`]; a peer exceeding either
+//! is dropped (slow-consumer / oversized-frame protection).
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Hard cap on one request/response frame (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Hard cap on unflushed response bytes per connection (8 MiB); beyond
+/// it the peer is considered a non-consuming client and dropped.
+pub const MAX_WRITE_BUFFER: usize = 8 << 20;
+
+/// Read chunk size per `read` call.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// What a sweep over one connection produced.
+#[derive(Debug, Default)]
+pub struct SweepOutcome {
+    /// Complete frames (newline stripped) read this sweep.
+    pub frames: Vec<String>,
+    /// The connection is finished (EOF, error, or protocol violation)
+    /// and must be discarded by the caller.
+    pub closed: bool,
+    /// Any bytes moved in either direction (drives the idle backoff).
+    pub progressed: bool,
+}
+
+/// One nonblocking connection: the stream plus read-reassembly and
+/// write-spool buffers.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: VecDeque<u8>,
+}
+
+impl Conn {
+    /// Wraps an accepted or dialed stream, switching it to nonblocking.
+    ///
+    /// # Errors
+    ///
+    /// Socket option failures.
+    pub fn new(stream: TcpStream) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: VecDeque::new(),
+        })
+    }
+
+    /// Dials `addr` (fresh resolution via [`oa_serve::resolve`]) and
+    /// wraps the stream. The connect itself is blocking — shard dials
+    /// are loopback/LAN and paced by the caller's reconnect backoff —
+    /// but the returned connection is nonblocking.
+    ///
+    /// # Errors
+    ///
+    /// Resolution or connection failures.
+    pub fn dial(addr_text: &str) -> std::io::Result<Conn> {
+        let addrs = oa_serve::resolve(addr_text)?;
+        Conn::new(TcpStream::connect(addrs.as_slice())?)
+    }
+
+    /// Queues response bytes (the caller appends the newline).
+    pub fn queue(&mut self, bytes: &[u8]) {
+        self.wbuf.extend(bytes);
+    }
+
+    /// Unflushed write bytes.
+    pub fn queued(&self) -> usize {
+        self.wbuf.len()
+    }
+
+    /// Drains reads into complete frames and flushes queued writes,
+    /// each until `WouldBlock`.
+    pub fn sweep(&mut self) -> SweepOutcome {
+        let mut outcome = SweepOutcome::default();
+        self.sweep_read(&mut outcome);
+        self.sweep_write(&mut outcome);
+        if self.wbuf.len() > MAX_WRITE_BUFFER {
+            outcome.closed = true;
+        }
+        outcome
+    }
+
+    fn sweep_read(&mut self, outcome: &mut SweepOutcome) {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    outcome.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    outcome.progressed = true;
+                    self.rbuf
+                        .extend_from_slice(chunk.get(..n).unwrap_or_default());
+                    self.extract_frames(outcome);
+                    if outcome.closed {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    outcome.closed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn extract_frames(&mut self, outcome: &mut SweepOutcome) {
+        let mut start = 0usize;
+        loop {
+            let rest = self.rbuf.get(start..).unwrap_or_default();
+            let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+                break;
+            };
+            let frame = rest.get(..nl).unwrap_or_default();
+            let mut text = String::from_utf8_lossy(frame).into_owned();
+            while text.ends_with('\r') {
+                text.pop();
+            }
+            if !text.trim().is_empty() {
+                outcome.frames.push(text);
+            }
+            start += nl + 1;
+        }
+        self.rbuf.drain(..start);
+        if self.rbuf.len() > MAX_FRAME {
+            // A frame longer than the cap can never complete; the
+            // stream cannot be resynchronized, so the peer goes away.
+            outcome.closed = true;
+        }
+    }
+
+    fn sweep_write(&mut self, outcome: &mut SweepOutcome) {
+        while !self.wbuf.is_empty() {
+            let (front, _) = self.wbuf.as_slices();
+            match self.stream.write(front) {
+                Ok(0) => {
+                    outcome.closed = true;
+                    return;
+                }
+                Ok(n) => {
+                    outcome.progressed = true;
+                    self.wbuf.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    outcome.closed = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A nonblocking acceptor.
+#[derive(Debug)]
+pub struct Acceptor {
+    listener: TcpListener,
+}
+
+impl Acceptor {
+    /// Binds `addr` nonblocking.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn bind(addr: &str) -> std::io::Result<Acceptor> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Acceptor { listener })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Socket introspection failures.
+    pub fn addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts every pending connection (until `WouldBlock`).
+    pub fn accept_all(&self) -> Vec<Conn> {
+        let mut accepted = Vec::new();
+        while let Ok((stream, _)) = self.listener.accept() {
+            if let Ok(conn) = Conn::new(stream) {
+                accepted.push(conn);
+            }
+        }
+        accepted
+    }
+}
+
+/// Adaptive sleep for idle sweeps: nothing moved → sleep, escalating
+/// 100 µs → 5 ms; any progress resets to busy. Pure counter state — no
+/// wall-clock reads, so the loop stays within the determinism lint.
+#[derive(Debug, Default)]
+pub struct IdleBackoff {
+    idle_sweeps: u32,
+}
+
+impl IdleBackoff {
+    /// Reports whether the last sweep made progress; sleeps when idle.
+    pub fn pace(&mut self, progressed: bool) {
+        if progressed {
+            self.idle_sweeps = 0;
+            return;
+        }
+        self.idle_sweeps = self.idle_sweeps.saturating_add(1);
+        let micros = (100u64 << self.idle_sweeps.min(6)).min(5_000);
+        std::thread::sleep(Duration::from_micros(micros));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_reassemble_across_chunk_boundaries() {
+        let acceptor = Acceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.addr().unwrap();
+        let mut sender = TcpStream::connect(addr).unwrap();
+        let mut conns = Vec::new();
+        for _ in 0..100 {
+            conns = acceptor.accept_all();
+            if !conns.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let conn = &mut conns[0];
+
+        sender.write_all(b"{\"id\":1}\n{\"id\"").unwrap();
+        sender.flush().unwrap();
+        let mut frames = Vec::new();
+        for _ in 0..200 {
+            frames.extend(conn.sweep().frames);
+            if !frames.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(frames, vec!["{\"id\":1}".to_owned()]);
+
+        // The tail half-frame completes on the next bytes.
+        sender.write_all(b":2}\r\n").unwrap();
+        sender.flush().unwrap();
+        let mut frames = Vec::new();
+        for _ in 0..200 {
+            frames.extend(conn.sweep().frames);
+            if !frames.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(frames, vec!["{\"id\":2}".to_owned()]);
+
+        // Peer disconnect surfaces as closed.
+        drop(sender);
+        let mut closed = false;
+        for _ in 0..200 {
+            closed = conn.sweep().closed;
+            if closed {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(closed);
+    }
+
+    #[test]
+    fn oversized_frames_close_the_connection() {
+        let acceptor = Acceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.addr().unwrap();
+        let mut sender = TcpStream::connect(addr).unwrap();
+        let mut conns = Vec::new();
+        for _ in 0..100 {
+            conns = acceptor.accept_all();
+            if !conns.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let conn = &mut conns[0];
+        let big = vec![b'x'; MAX_FRAME + 2];
+        sender.write_all(&big).unwrap();
+        sender.flush().unwrap();
+        let mut closed = false;
+        for _ in 0..500 {
+            closed = conn.sweep().closed;
+            if closed {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(closed, "a frame beyond MAX_FRAME must close the conn");
+    }
+}

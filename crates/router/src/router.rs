@@ -1,0 +1,998 @@
+//! The coordinator: request routing, scatter/gather bookkeeping, shard
+//! failover, backpressure, and the event loop that drives it all.
+//!
+//! ## Byte-identity contract
+//!
+//! For any request the router forwards, the response bytes delivered to
+//! the client are exactly the bytes a single `oa-serve` would have
+//! produced for the same request line: forwarding rewrites only the `id`
+//! field (to an internal sub-request id, spliced back on the way out),
+//! payloads are merged as raw substrings ([`crate::frame`]), and
+//! protocol-level failures the router answers locally (unparseable JSON)
+//! reuse `oa-serve`'s own renderer ([`oa_serve::error_response`]).
+//! Router-originated failures — load shedding, no shard reachable — use
+//! typed frames (`{"error":{"kind":"overloaded"}}`) that a single node
+//! never emits, so clients can tell fabric pushback from eval errors.
+//!
+//! ## Placement
+//!
+//! Requests route by topology id over the [`HashRing`]; requests with no
+//! usable topology (malformed, unknown op — anything a shard must still
+//! count and answer) route by a hash of the raw line. `eval_batch`
+//! splits per shard only when its items actually straddle shards;
+//! single-shard batches forward whole, byte-for-byte. `stats` broadcasts
+//! and sums; `shard_map` answers locally from the ring.
+//!
+//! ## Failover
+//!
+//! A dead shard link (EOF, write failure, injected [`Site::ShardDrop`])
+//! orphans its in-flight sub-requests; each is re-dispatched to the next
+//! live shard on the ring walk. Blind resends are safe because every
+//! endpoint is deterministic and store-backed — the stand-in computes
+//! the byte-identical response the dead shard would have produced.
+//! Down links redial on a sweep-counted backoff (no wall clock).
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use oa_fault::{Decision, Faults, Site};
+use oa_serve::{error_response, Json};
+
+use crate::frame;
+use crate::net::{Acceptor, Conn, IdleBackoff};
+use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// Router construction parameters.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Shard backend addresses (texts, re-resolved on every dial).
+    pub shards: Vec<String>,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: u32,
+    /// Maximum client requests in flight; beyond it new requests are
+    /// shed with `{"error":{"kind":"overloaded"}}`.
+    pub max_inflight: usize,
+    /// Failover re-dispatches per sub-request before it fails with
+    /// `{"error":{"kind":"unavailable"}}`.
+    pub max_resend: u32,
+    /// Sweeps between redial attempts to a down shard.
+    pub reconnect_sweeps: u32,
+    /// Fault plan ([`Site::ShardDrop`], [`Site::RouterWrite`]).
+    pub faults: Faults,
+}
+
+impl RouterConfig {
+    /// Loopback defaults over the given shard addresses.
+    pub fn loopback(shards: Vec<String>) -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            shards,
+            vnodes: DEFAULT_VNODES,
+            max_inflight: 1024,
+            max_resend: 8,
+            reconnect_sweeps: 64,
+            faults: Faults::none(),
+        }
+    }
+}
+
+/// One shard link: address text plus the (re)dialable connection.
+#[derive(Debug)]
+struct ShardLink {
+    addr: String,
+    conn: Option<Conn>,
+    /// Sweeps since the link went down (paces redials).
+    down_sweeps: u32,
+    /// True once a dial ever succeeded *or* never attempted — controls
+    /// whether `shard_map` reports the backend as up.
+    up: bool,
+}
+
+/// What a sub-request's completion feeds.
+#[derive(Debug)]
+enum PendingKind {
+    /// One forwarded line; the response passes through id-rewritten.
+    Single,
+    /// A split batch: part `p` covers original item indices
+    /// `item_of_part[p]`; answered when every slot is filled.
+    Batch {
+        item_of_part: Vec<Vec<usize>>,
+        slots: Vec<Option<String>>,
+    },
+    /// A stats broadcast: one part per shard, summed when complete.
+    Stats {
+        parts: Vec<Option<String>>,
+        breakdown: bool,
+    },
+}
+
+/// One in-flight client request.
+#[derive(Debug)]
+struct Pending {
+    client: u64,
+    /// Canonical id text to echo (the `Json` re-encoding a shard would
+    /// itself produce).
+    id_txt: String,
+    kind: PendingKind,
+    outstanding: usize,
+    /// Answered early (failure path); late parts are discarded.
+    done: bool,
+}
+
+/// One forwarded wire line awaiting its shard response.
+#[derive(Debug)]
+struct SubRequest {
+    req: u64,
+    part: usize,
+    /// The forwarded line (sub-id already baked in) — kept for blind
+    /// resend on failover.
+    line: String,
+    /// Ring key; `None` pins the part to its shard (stats broadcast).
+    key: Option<u64>,
+    shard: u32,
+    resends: u32,
+}
+
+/// Everything the event loop owns.
+pub struct RouterState {
+    acceptor: Acceptor,
+    ring: HashRing,
+    faults: Faults,
+    max_inflight: usize,
+    max_resend: u32,
+    reconnect_sweeps: u32,
+    shards: Vec<ShardLink>,
+    clients: BTreeMap<u64, Conn>,
+    pending: BTreeMap<u64, Pending>,
+    subs: BTreeMap<u64, SubRequest>,
+    next_client: u64,
+    next_req: u64,
+    next_sub: u64,
+    /// Pre-computed keys-per-shard census for `shard_map`.
+    census: Vec<u64>,
+}
+
+/// A running router. Dropping it (or [`Router::shutdown`]) stops the
+/// event loop; established connections are closed with it.
+pub struct Router {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    driver: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the event loop and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_loop();
+    }
+
+    /// Blocks until the event loop exits (daemon mode: forever).
+    pub fn join(mut self) {
+        if let Some(handle) = self.driver.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop_loop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.driver.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.stop_loop();
+    }
+}
+
+/// Binds the listener, builds the ring, and starts the event loop on
+/// its own thread. Shard links dial lazily — a backend may come up
+/// after the router.
+///
+/// # Errors
+///
+/// Bind failures, an empty shard list, or thread-spawn failures.
+pub fn start(config: RouterConfig) -> std::io::Result<Router> {
+    if config.shards.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "a router needs at least one shard backend",
+        ));
+    }
+    let acceptor = Acceptor::bind(&config.addr)?;
+    let addr = acceptor.addr()?;
+    let ring = HashRing::new(config.shards.len() as u32, config.vnodes);
+    let census = ring.census(oa_circuit::DESIGN_SPACE_SIZE as u64);
+    let mut state = RouterState {
+        acceptor,
+        ring,
+        faults: config.faults,
+        max_inflight: config.max_inflight,
+        max_resend: config.max_resend,
+        reconnect_sweeps: config.reconnect_sweeps.max(1),
+        shards: config
+            .shards
+            .into_iter()
+            .map(|addr| ShardLink {
+                addr,
+                conn: None,
+                down_sweeps: u32::MAX, // first use dials immediately
+                up: false,
+            })
+            .collect(),
+        clients: BTreeMap::new(),
+        pending: BTreeMap::new(),
+        subs: BTreeMap::new(),
+        next_client: 0,
+        next_req: 0,
+        next_sub: 0,
+        census,
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let driver = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("oa-router-loop".to_owned())
+            .spawn(move || event_loop(&mut state, &stop))?
+    };
+    Ok(Router {
+        addr,
+        stop,
+        driver: Some(driver),
+    })
+}
+
+/// The router's single-threaded nonblocking event loop: accept, sweep
+/// clients, dispatch, sweep shards, merge, pace. Runs until `stop`.
+/// Registered as a panic-reachability entry point in `oa-analyze`.
+pub fn event_loop(state: &mut RouterState, stop: &AtomicBool) {
+    let mut backoff = IdleBackoff::default();
+    while !stop.load(Ordering::SeqCst) {
+        let mut progressed = false;
+
+        // New clients.
+        for conn in state.acceptor.accept_all() {
+            let id = state.next_client;
+            state.next_client += 1;
+            state.clients.insert(id, conn);
+            progressed = true;
+        }
+
+        // Client reads → requests.
+        let client_ids: Vec<u64> = state.clients.keys().copied().collect();
+        for client in client_ids {
+            let Some(conn) = state.clients.get_mut(&client) else {
+                continue;
+            };
+            let outcome = conn.sweep();
+            progressed |= outcome.progressed;
+            for line in outcome.frames {
+                progressed = true;
+                state.handle_client_line(client, &line);
+            }
+            if outcome.closed {
+                state.clients.remove(&client);
+            }
+        }
+
+        // Shard reads → responses; closed links fail over.
+        for shard in 0..state.shards.len() as u32 {
+            let Some(conn) = state
+                .shards
+                .get_mut(shard as usize)
+                .and_then(|link| link.conn.as_mut())
+            else {
+                continue;
+            };
+            let outcome = conn.sweep();
+            progressed |= outcome.progressed;
+            for frame_text in outcome.frames {
+                progressed = true;
+                state.handle_shard_frame(&frame_text);
+            }
+            if outcome.closed {
+                state.shard_down(shard);
+            }
+        }
+
+        // Redial pacing for down links.
+        for link in state.shards.iter_mut() {
+            if link.conn.is_some() {
+                continue;
+            }
+            link.down_sweeps = link.down_sweeps.saturating_add(1);
+            if link.down_sweeps >= state.reconnect_sweeps {
+                link.down_sweeps = 0;
+                if let Ok(conn) = Conn::dial(&link.addr) {
+                    link.conn = Some(conn);
+                    link.up = true;
+                    progressed = true;
+                }
+            }
+        }
+
+        backoff.pace(progressed);
+    }
+}
+
+impl RouterState {
+    /// The health view the ring-walk excludes: a shard is down when it
+    /// has no live connection.
+    fn down_view(&self) -> Vec<bool> {
+        self.shards.iter().map(|s| s.conn.is_none()).collect()
+    }
+
+    /// Ensures a live connection to `shard`, dialing on demand. The
+    /// sweep-paced redial governs only idle background reconnects; a
+    /// dispatch that needs the link dials immediately (loopback/LAN
+    /// refusals are fast, and a healthy backend that just lost its link
+    /// to an injected drop must be reusable at once).
+    fn ensure_link(&mut self, shard: u32) -> bool {
+        let Some(link) = self.shards.get_mut(shard as usize) else {
+            return false;
+        };
+        if link.conn.is_some() {
+            return true;
+        }
+        link.down_sweeps = 0;
+        match Conn::dial(&link.addr) {
+            Ok(conn) => {
+                link.conn = Some(conn);
+                link.up = true;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Queues a response frame to a client (newline appended), through
+    /// the [`Site::RouterWrite`] fault point.
+    fn respond(&mut self, client: u64, frame: &str) {
+        if let Decision::Stall { millis } =
+            self.faults.decide(Site::RouterWrite, frame.len() as u64)
+        {
+            std::thread::sleep(Duration::from_millis(millis));
+        }
+        if let Some(conn) = self.clients.get_mut(&client) {
+            conn.queue(frame.as_bytes());
+            conn.queue(b"\n");
+        }
+    }
+
+    /// A router-originated typed failure frame (never produced by a
+    /// shard): `{"id":ID,"ok":false,"error":{"kind":KIND}}`.
+    fn typed_failure(id_txt: &str, kind: &str) -> String {
+        format!("{{\"id\":{id_txt},\"ok\":false,\"error\":{{\"kind\":\"{kind}\"}}}}")
+    }
+
+    /// Deterministic fallback ring key for requests without a routable
+    /// topology: FNV-1a over the raw line.
+    fn line_key(line: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in line.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    fn topology_key(value: Option<&Json>) -> Option<u64> {
+        let code = value?.as_u64()?;
+        (code < oa_circuit::DESIGN_SPACE_SIZE as u64).then_some(code)
+    }
+
+    /// One client request line → local answer, single forward, batch
+    /// scatter, or stats broadcast.
+    fn handle_client_line(&mut self, client: u64, line: &str) {
+        let request = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                // Same renderer, same message, same bytes as a shard.
+                let frame = error_response(&Json::Null, &format!("bad request JSON: {e}"));
+                self.respond(client, &frame);
+                return;
+            }
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        let id_txt = id.encode().unwrap_or_else(|_| "null".to_owned());
+
+        if self.pending.len() >= self.max_inflight {
+            let frame = Self::typed_failure(&id_txt, "overloaded");
+            self.respond(client, &frame);
+            return;
+        }
+
+        match request.get("op").and_then(Json::as_str) {
+            Some("shard_map") => {
+                let frame = self.shard_map_response(&id_txt);
+                self.respond(client, &frame);
+            }
+            Some("stats") => self.broadcast_stats(client, line, &request, id_txt),
+            Some("eval_batch") => self.scatter_batch(client, line, &request, id_txt),
+            _ => {
+                // eval, size_opt, and every malformed-but-parseable
+                // request a shard must count and answer.
+                let key = Self::topology_key(request.get("topology"))
+                    .unwrap_or_else(|| Self::line_key(line));
+                self.forward_single(client, line, key, id_txt);
+            }
+        }
+    }
+
+    /// Forwards one whole line (id rewritten) to the key's shard.
+    fn forward_single(&mut self, client: u64, line: &str, key: u64, id_txt: String) {
+        let sub_id = self.next_sub;
+        let Some(wire) = frame::rewrite_request_id(line, sub_id) else {
+            // Parsed JSON but not an object: answer as a shard would.
+            let frame = error_response(&Json::Null, "missing string field 'op'");
+            self.respond(client, &frame);
+            return;
+        };
+        self.next_sub += 1;
+        let req = self.next_req;
+        self.next_req += 1;
+        self.pending.insert(
+            req,
+            Pending {
+                client,
+                id_txt,
+                kind: PendingKind::Single,
+                outstanding: 1,
+                done: false,
+            },
+        );
+        self.subs.insert(
+            sub_id,
+            SubRequest {
+                req,
+                part: 0,
+                line: wire,
+                key: Some(key),
+                shard: 0, // assigned by dispatch
+                resends: 0,
+            },
+        );
+        self.dispatch(sub_id);
+    }
+
+    /// Splits an `eval_batch` across the shards its items live on. A
+    /// batch whose items share one shard forwards whole (byte-identical
+    /// passthrough, counted once like a single node would).
+    fn scatter_batch(&mut self, client: u64, line: &str, request: &Json, id_txt: String) {
+        let ranges = frame::split_array(line, "items");
+        let spec = frame::top_level_value(line, "spec");
+        let items = request.get("items").and_then(Json::as_arr);
+        let (Some(ranges), Some(spec), Some(items)) = (ranges, spec, items) else {
+            // Structurally off: a shard produces the canonical error.
+            let key = Self::line_key(line);
+            self.forward_single(client, line, key, id_txt);
+            return;
+        };
+        let down = self.down_view();
+        let keys: Vec<Option<u32>> = items
+            .iter()
+            .map(|item| {
+                Self::topology_key(item.get("topology"))
+                    .and_then(|k| self.ring.route_excluding(k, &down))
+            })
+            .collect();
+        // Unroutable items (bad topology — the shard answers them with
+        // a typed per-item error) attach to the batch's default shard.
+        let default_shard = keys
+            .iter()
+            .flatten()
+            .copied()
+            .next()
+            .or_else(|| self.ring.route_excluding(Self::line_key(line), &down));
+        let Some(default_shard) = default_shard else {
+            let frame = Self::typed_failure(&id_txt, "unavailable");
+            self.respond(client, &frame);
+            return;
+        };
+        let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            groups
+                .entry(key.unwrap_or(default_shard))
+                .or_default()
+                .push(i);
+        }
+        if groups.len() <= 1 {
+            // One shard owns every item: whole-line passthrough keeps
+            // the response — and the shard's endpoint counters —
+            // byte-identical to a single node.
+            let key = items
+                .iter()
+                .find_map(|item| Self::topology_key(item.get("topology")))
+                .unwrap_or_else(|| Self::line_key(line));
+            self.forward_single(client, line, key, id_txt);
+            return;
+        }
+
+        let req = self.next_req;
+        self.next_req += 1;
+        // The range came from the scanner, so it is always in bounds.
+        let spec_raw = line.get(spec).unwrap_or_default();
+        let mut item_of_part = Vec::with_capacity(groups.len());
+        let mut sub_ids = Vec::with_capacity(groups.len());
+        for (part, (_shard, indices)) in groups.into_iter().enumerate() {
+            let sub_id = self.next_sub;
+            self.next_sub += 1;
+            let joined: Vec<&str> = indices
+                .iter()
+                .filter_map(|&i| ranges.get(i).and_then(|r| line.get(r.clone())))
+                .collect();
+            let wire = format!(
+                "{{\"id\":{sub_id},\"op\":\"eval_batch\",\"spec\":{spec_raw},\"items\":[{}]}}",
+                joined.join(",")
+            );
+            // Route the sub-batch by its first item's key so failover
+            // re-walks the same ring neighborhood.
+            let key = indices
+                .iter()
+                .find_map(|&i| Self::topology_key(items.get(i)?.get("topology")))
+                .unwrap_or_else(|| Self::line_key(&wire));
+            self.subs.insert(
+                sub_id,
+                SubRequest {
+                    req,
+                    part,
+                    line: wire,
+                    key: Some(key),
+                    shard: 0,
+                    resends: 0,
+                },
+            );
+            item_of_part.push(indices);
+            sub_ids.push(sub_id);
+        }
+        self.pending.insert(
+            req,
+            Pending {
+                client,
+                id_txt,
+                kind: PendingKind::Batch {
+                    item_of_part,
+                    slots: vec![None; items.len()],
+                },
+                outstanding: sub_ids.len(),
+                done: false,
+            },
+        );
+        for sub_id in sub_ids {
+            self.dispatch(sub_id);
+        }
+    }
+
+    /// Broadcasts a stats request to every shard; parts sum on arrival.
+    fn broadcast_stats(&mut self, client: u64, line: &str, request: &Json, id_txt: String) {
+        let breakdown = request.get("shards") == Some(&Json::Bool(true));
+        let shard_count = self.shards.len();
+        let req = self.next_req;
+        self.next_req += 1;
+        let mut sub_ids = Vec::with_capacity(shard_count);
+        for part in 0..shard_count {
+            let sub_id = self.next_sub;
+            self.next_sub += 1;
+            let Some(wire) = frame::rewrite_request_id(line, sub_id) else {
+                let frame = error_response(&Json::Null, "missing string field 'op'");
+                self.respond(client, &frame);
+                return;
+            };
+            self.subs.insert(
+                sub_id,
+                SubRequest {
+                    req,
+                    part,
+                    line: wire,
+                    key: None, // pinned: a shard's stats are its own
+                    shard: part as u32,
+                    resends: 0,
+                },
+            );
+            sub_ids.push(sub_id);
+        }
+        self.pending.insert(
+            req,
+            Pending {
+                client,
+                id_txt,
+                kind: PendingKind::Stats {
+                    parts: vec![None; shard_count],
+                    breakdown,
+                },
+                outstanding: shard_count,
+                done: false,
+            },
+        );
+        for sub_id in sub_ids {
+            self.dispatch(sub_id);
+        }
+    }
+
+    /// Sends one sub-request to its shard, walking the ring past down
+    /// links (pinned parts fail instead). Consumes the resend budget.
+    fn dispatch(&mut self, sub_id: u64) {
+        loop {
+            let Some(sub) = self.subs.get(&sub_id) else {
+                return;
+            };
+            // Injected shard-link loss right before forwarding: the
+            // link goes down and every sub on it (this one included)
+            // re-routes — the chaos harness's failover storm.
+            let target = match sub.key {
+                None => sub.shard,
+                Some(key) => {
+                    let down = self.down_view();
+                    match self.ring.route_excluding(key, &down) {
+                        Some(s) => s,
+                        None => {
+                            // Every link down: try the home shard once
+                            // through ensure_link (it may just need a
+                            // dial), else fail.
+                            match self.ring.route(key) {
+                                Some(s) => s,
+                                None => {
+                                    self.fail_sub(sub_id, "unavailable");
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            if let Decision::DropConn = self.faults.decide(Site::ShardDrop, sub_id) {
+                if self
+                    .shards
+                    .get(target as usize)
+                    .is_some_and(|link| link.conn.is_some())
+                {
+                    self.shard_down(target);
+                    // shard_down re-queued this sub via dispatch unless
+                    // budget ran out; either way this call is done.
+                    return;
+                }
+            }
+            if !self.ensure_link(target) {
+                if !self.consume_resend(sub_id) {
+                    return;
+                }
+                // Pinned parts cannot move; fail now.
+                if self.subs.get(&sub_id).is_some_and(|s| s.key.is_none()) {
+                    self.fail_sub(sub_id, "unavailable");
+                    return;
+                }
+                // Routable parts re-walk the ring next iteration; if
+                // no other shard is up either, the budget bounds us.
+                continue;
+            }
+            let Some(sub) = self.subs.get_mut(&sub_id) else {
+                return;
+            };
+            sub.shard = target;
+            let line = sub.line.clone();
+            if let Some(conn) = self
+                .shards
+                .get_mut(target as usize)
+                .and_then(|link| link.conn.as_mut())
+            {
+                conn.queue(line.as_bytes());
+                conn.queue(b"\n");
+            }
+            return;
+        }
+    }
+
+    /// Burns one resend; fails the sub with `unavailable` when the
+    /// budget is gone. Returns whether the sub may be retried.
+    fn consume_resend(&mut self, sub_id: u64) -> bool {
+        let Some(sub) = self.subs.get_mut(&sub_id) else {
+            return false;
+        };
+        sub.resends += 1;
+        if sub.resends > self.max_resend {
+            self.fail_sub(sub_id, "unavailable");
+            return false;
+        }
+        true
+    }
+
+    /// Fails one sub-request's whole client request with a typed frame.
+    fn fail_sub(&mut self, sub_id: u64, kind: &str) {
+        let Some(sub) = self.subs.remove(&sub_id) else {
+            return;
+        };
+        let Some(pending) = self.pending.get_mut(&sub.req) else {
+            return;
+        };
+        pending.outstanding = pending.outstanding.saturating_sub(1);
+        let finished = pending.outstanding == 0;
+        let was_done = pending.done;
+        pending.done = true;
+        let client = pending.client;
+        let id_txt = pending.id_txt.clone();
+        if finished {
+            self.pending.remove(&sub.req);
+        }
+        if !was_done {
+            let frame = Self::typed_failure(&id_txt, kind);
+            self.respond(client, &frame);
+        }
+    }
+
+    /// Tears a shard link down and re-dispatches everything in flight
+    /// on it.
+    fn shard_down(&mut self, shard: u32) {
+        if let Some(link) = self.shards.get_mut(shard as usize) {
+            link.conn = None;
+            link.down_sweeps = 0;
+        }
+        let orphans: Vec<u64> = self
+            .subs
+            .iter()
+            .filter(|(_, s)| s.shard == shard)
+            .map(|(&id, _)| id)
+            .collect();
+        for sub_id in orphans {
+            let pinned = self.subs.get(&sub_id).is_some_and(|s| s.key.is_none());
+            if pinned {
+                // A stats part is this shard's own state; no stand-in
+                // can answer for it.
+                self.fail_sub(sub_id, "unavailable");
+            } else if self.consume_resend(sub_id) {
+                self.dispatch(sub_id);
+            }
+        }
+    }
+
+    /// One frame from a shard: match it to its sub-request and feed the
+    /// pending scatter/gather state.
+    fn handle_shard_frame(&mut self, text: &str) {
+        let Some(split) = frame::split_response(text) else {
+            return; // protocol violation from a backend; drop the frame
+        };
+        let Ok(sub_id) = split.id.parse::<u64>() else {
+            return;
+        };
+        let Some(sub) = self.subs.remove(&sub_id) else {
+            return; // late duplicate after a failover resend
+        };
+        // Splices the original request id over the shard's sub-id;
+        // every other byte stays the shard's own.
+        let splice = |id_txt: &str| {
+            // split_response verified the prefix, so the offset holds.
+            let tail = text
+                .get("{\"id\":".len() + split.id.len()..)
+                .unwrap_or_default();
+            format!("{{\"id\":{id_txt}{tail}")
+        };
+        let (client, response, finished) = {
+            let Some(pending) = self.pending.get_mut(&sub.req) else {
+                return;
+            };
+            pending.outstanding = pending.outstanding.saturating_sub(1);
+            let finished = pending.outstanding == 0;
+            let client = pending.client;
+            if pending.done {
+                (client, None, finished)
+            } else {
+                let id_txt = pending.id_txt.clone();
+                match &mut pending.kind {
+                    PendingKind::Single => (client, Some(splice(&id_txt)), finished),
+                    PendingKind::Batch {
+                        item_of_part,
+                        slots,
+                    } => {
+                        if !split.ok {
+                            // A batch-level shard error (single-node
+                            // shape): propagate it for the whole batch.
+                            pending.done = true;
+                            (client, Some(splice(&id_txt)), finished)
+                        } else {
+                            let indices = item_of_part.get(sub.part).cloned().unwrap_or_default();
+                            let parts =
+                                frame::split_array(split.payload, "items").unwrap_or_default();
+                            if parts.len() != indices.len() {
+                                pending.done = true;
+                                let frame = format!(
+                                    "{{\"id\":{id_txt},\"ok\":false,\"error\":\
+                                     \"shard returned a short batch (fabric protocol violation)\"}}"
+                                );
+                                (client, Some(frame), finished)
+                            } else {
+                                for (slot, range) in indices.into_iter().zip(parts) {
+                                    if let (Some(out), Some(part)) =
+                                        (slots.get_mut(slot), split.payload.get(range))
+                                    {
+                                        *out = Some(part.to_owned());
+                                    }
+                                }
+                                if finished {
+                                    let items: Vec<String> = slots
+                                        .iter()
+                                        .map(|s| s.clone().unwrap_or_else(|| "null".to_owned()))
+                                        .collect();
+                                    let frame = format!(
+                                        "{{\"id\":{id_txt},\"ok\":true,\"result\":\
+                                         {{\"n\":{},\"items\":[{}]}}}}",
+                                        items.len(),
+                                        items.join(",")
+                                    );
+                                    (client, Some(frame), true)
+                                } else {
+                                    (client, None, false)
+                                }
+                            }
+                        }
+                    }
+                    PendingKind::Stats { parts, breakdown } => {
+                        if !split.ok {
+                            pending.done = true;
+                            (client, Some(splice(&id_txt)), finished)
+                        } else {
+                            if let Some(slot) = parts.get_mut(sub.part) {
+                                *slot = Some(split.payload.to_owned());
+                            }
+                            if finished {
+                                let texts: Vec<String> = parts.iter().flatten().cloned().collect();
+                                let frame = merge_stats(&id_txt, &texts, *breakdown)
+                                    .unwrap_or_else(|| Self::typed_failure(&id_txt, "unavailable"));
+                                (client, Some(frame), true)
+                            } else {
+                                (client, None, false)
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        if finished {
+            self.pending.remove(&sub.req);
+        }
+        if let Some(frame) = response {
+            self.respond(client, &frame);
+        }
+    }
+
+    /// The local `shard_map` answer: ring parameters, per-backend
+    /// ownership census, and link health.
+    fn shard_map_response(&self, id_txt: &str) -> String {
+        let backends: Vec<Json> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, link)| {
+                Json::Obj(vec![
+                    ("addr".into(), Json::str(link.addr.clone())),
+                    (
+                        "owned".into(),
+                        Json::num(self.census.get(i).copied().unwrap_or(0) as f64),
+                    ),
+                    ("up".into(), Json::Bool(link.conn.is_some())),
+                ])
+            })
+            .collect();
+        let result = Json::Obj(vec![
+            ("shards".into(), Json::num(self.shards.len() as f64)),
+            ("vnodes".into(), Json::num(self.ring.vnodes() as f64)),
+            (
+                "space".into(),
+                Json::num(oa_circuit::DESIGN_SPACE_SIZE as f64),
+            ),
+            ("backends".into(), Json::Arr(backends)),
+        ]);
+        let result = result
+            .encode()
+            // lint: allow(panic, the shard map holds counts and strings; never non-finite)
+            .expect("shard map encodes");
+        format!("{{\"id\":{id_txt},\"ok\":true,\"result\":{result}}}")
+    }
+}
+
+/// Sums per-shard stats objects into the single-fabric view: numbers
+/// add field-wise (recursively, shapes being identical by protocol),
+/// the per-shard `shard` identity field is dropped, and with
+/// `breakdown` the raw per-shard objects ride along under `"shards"`.
+/// Returns `None` when a part fails to parse.
+fn merge_stats(id_txt: &str, parts: &[String], breakdown: bool) -> Option<String> {
+    let parsed: Vec<Json> = parts
+        .iter()
+        .map(|p| Json::parse(p).ok())
+        .collect::<Option<_>>()?;
+    let mut merged = sum_json(&parsed)?;
+    if breakdown {
+        if let Json::Obj(fields) = &mut merged {
+            fields.push(("shards".into(), Json::Arr(parsed.clone())));
+        }
+    }
+    let text = merged.encode().ok()?;
+    Some(format!("{{\"id\":{id_txt},\"ok\":true,\"result\":{text}}}"))
+}
+
+/// Field-wise recursive sum over same-shaped JSON values. Objects merge
+/// by the first part's key order (`shard` skipped), numbers add, and
+/// anything else keeps the first part's value.
+fn sum_json(parts: &[Json]) -> Option<Json> {
+    let first = parts.first()?;
+    match first {
+        Json::Num(_) => {
+            let mut total = 0.0;
+            for p in parts {
+                total += p.as_f64()?;
+            }
+            Some(Json::Num(total))
+        }
+        Json::Obj(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (key, _) in fields {
+                if key == "shard" {
+                    continue;
+                }
+                let slice: Vec<Json> = parts.iter().filter_map(|p| p.get(key).cloned()).collect();
+                out.push((key.clone(), sum_json(&slice)?));
+            }
+            Some(Json::Obj(out))
+        }
+        other => Some(other.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_failure_frames_have_the_documented_shape() {
+        assert_eq!(
+            RouterState::typed_failure("7", "overloaded"),
+            r#"{"id":7,"ok":false,"error":{"kind":"overloaded"}}"#
+        );
+        assert_eq!(
+            RouterState::typed_failure("null", "unavailable"),
+            r#"{"id":null,"ok":false,"error":{"kind":"unavailable"}}"#
+        );
+    }
+
+    #[test]
+    fn line_key_is_deterministic_and_spreads() {
+        let a = RouterState::line_key("{\"op\":\"stats\"}");
+        let b = RouterState::line_key("{\"op\":\"stats\"}");
+        let c = RouterState::line_key("{\"op\":\"stats\" }");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sum_json_adds_numbers_and_drops_shard_identity() {
+        let a =
+            Json::parse(r#"{"sims":2,"store":{"hits":1},"shard":{"index":0,"count":2}}"#).unwrap();
+        let b =
+            Json::parse(r#"{"sims":3,"store":{"hits":4},"shard":{"index":1,"count":2}}"#).unwrap();
+        let merged = sum_json(&[a, b]).unwrap();
+        assert_eq!(merged.encode().unwrap(), r#"{"sims":5,"store":{"hits":5}}"#);
+    }
+
+    #[test]
+    fn merge_stats_appends_breakdown_when_asked() {
+        let parts = vec![r#"{"sims":1}"#.to_owned(), r#"{"sims":2}"#.to_owned()];
+        let plain = merge_stats("9", &parts, false).unwrap();
+        assert_eq!(plain, r#"{"id":9,"ok":true,"result":{"sims":3}}"#);
+        let detailed = merge_stats("9", &parts, true).unwrap();
+        assert_eq!(
+            detailed,
+            r#"{"id":9,"ok":true,"result":{"sims":3,"shards":[{"sims":1},{"sims":2}]}}"#
+        );
+    }
+}

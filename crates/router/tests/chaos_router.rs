@@ -1,0 +1,57 @@
+//! Router chaos trials over the pinned seed corpus.
+//!
+//! Each trial runs the fabric workload against a two-shard router under
+//! a seeded storm of injected shard-link drops and response write
+//! stalls, kills and restarts shard 0 outright mid-workload, and
+//! demands client-visible byte-identity with a fault-free fabric.
+//!
+//! Trials pay real kill/restart latency, so only the corpus head runs
+//! by default; set `OA_CHAOS_FULL=1` for the whole corpus (the CI chaos
+//! job does), or `OA_CHAOS_SEED=<N>` to replay one seed.
+
+use std::fs;
+use std::path::PathBuf;
+
+use oa_router::chaos::router_trial;
+use oa_serve::chaos::load_seed_corpus;
+
+fn corpus() -> Vec<u64> {
+    if let Some(seed) = std::env::var("OA_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        return vec![seed];
+    }
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/seeds/chaos_router.txt");
+    let mut seeds = load_seed_corpus(&path).expect("pinned router seed corpus must parse");
+    if std::env::var_os("OA_CHAOS_FULL").is_none() {
+        seeds.truncate(2);
+    }
+    seeds
+}
+
+fn temp_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("oa_router_chaos_corpus_{}", std::process::id()))
+}
+
+#[test]
+fn corpus_seeds_recover_byte_identically_through_shard_kill() {
+    let dir = temp_dir();
+    let _ = fs::remove_dir_all(&dir);
+    for seed in corpus() {
+        let trial = router_trial(&dir.join(format!("s{seed}")), seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: trial failed to run: {e}"));
+        assert!(
+            trial.matches_baseline,
+            "seed {seed}: fabric responses diverge from the fault-free baseline \
+             (trace {:016x}):\n{}",
+            trial.trace_hash,
+            trial.responses.join("\n")
+        );
+        assert!(
+            trial.stats.injected > 0,
+            "seed {seed}: the storm must inject for the invariant to mean anything"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

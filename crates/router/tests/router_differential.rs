@@ -1,0 +1,114 @@
+//! Differential test: a one-shard router must be byte-transparent.
+//!
+//! The same request script runs against a direct `oa-serve` and against
+//! a router fronting a single shard; every response must match byte for
+//! byte (`stats` modulo the canonicalized `micros` counters, the one
+//! wall-clock field in the protocol). This pins the fabric's central
+//! contract — forwarding rewrites only the `id` field in flight — on
+//! every protocol surface: evals, store hits, all top-level error
+//! shapes, typed per-item batch errors, `size_opt`, and `stats`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use oa_circuit::{ParamSpace, Topology};
+use oa_router::Fabric;
+use oa_serve::{serve, Client, ServerConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "oa_router_diff_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+fn x_literal(topology: usize) -> String {
+    let t = Topology::from_index(topology).expect("test topology in range");
+    let dim = ParamSpace::for_topology(&t).dim();
+    let xs: Vec<String> = (0..dim)
+        .map(|j| format!("{:.3}", 0.3 + 0.4 * j as f64 / dim.max(1) as f64))
+        .collect();
+    format!("[{}]", xs.join(","))
+}
+
+/// Every protocol surface at least once, in one serial script.
+fn script() -> Vec<String> {
+    let x0 = x_literal(0);
+    let x2048 = x_literal(2048);
+    vec![
+        format!(r#"{{"id":1,"op":"eval","spec":"S-1","topology":0,"x":{x0}}}"#),
+        // Store hit: byte-identical replay of the first eval.
+        format!(r#"{{"id":2,"op":"eval","spec":"S-1","topology":0,"x":{x0}}}"#),
+        format!(r#"{{"id":3,"op":"eval","spec":"S-2","topology":2048,"x":{x2048}}}"#),
+        // Unparseable JSON: the router must answer with the shard's bytes.
+        "{nope".to_owned(),
+        r#"{"id":4,"op":"warp"}"#.to_owned(),
+        r#"{"id":5,"spec":"S-1"}"#.to_owned(),
+        format!(r#"{{"id":6,"op":"eval","spec":"S-1","topology":999999,"x":{x0}}}"#),
+        r#"{"id":7,"op":"eval","spec":"S-1","topology":0}"#.to_owned(),
+        format!(
+            r#"{{"id":8,"op":"eval_batch","spec":"S-1","items":[{{"topology":0,"x":{x0}}},{{"topology":2048,"x":{x2048}}},{{"topology":999999}}]}}"#
+        ),
+        r#"{"id":9,"op":"size_opt","spec":"S-1","topology":0,"seed":11,"n_init":2,"n_iter":1}"#
+            .to_owned(),
+        r#"{"id":10,"op":"stats"}"#.to_owned(),
+    ]
+}
+
+/// Zeroes every `"micros":<number>` — same canonicalization as the
+/// golden protocol fixture.
+fn canonicalize(line: &str) -> String {
+    let marker = "\"micros\":";
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(at) = rest.find(marker) {
+        let (head, tail) = rest.split_at(at + marker.len());
+        out.push_str(head);
+        out.push('0');
+        let digits = tail
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(tail.len());
+        rest = &tail[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn one_shard_router_is_byte_transparent() {
+    let dir = temp_dir("transparent");
+    let _ = fs::remove_dir_all(&dir);
+
+    // Direct: a plain single oa-serve.
+    let mut direct_config = ServerConfig::loopback();
+    direct_config.store_path = dir.join("direct").join("results.log");
+    let direct_server = serve(direct_config).expect("direct server starts");
+    let mut direct_client = Client::connect(direct_server.addr()).expect("direct connect");
+    let direct: Vec<String> = script()
+        .iter()
+        .map(|line| canonicalize(&direct_client.request(line).expect("direct request")))
+        .collect();
+    drop(direct_client);
+    direct_server.shutdown();
+
+    // Fabric: the same script through a one-shard router.
+    let fabric = Fabric::spawn(1, &dir.join("fabric"), |_| {}).expect("fabric starts");
+    let mut client = Client::connect(fabric.router.addr()).expect("router connect");
+    let routed: Vec<String> = script()
+        .iter()
+        .map(|line| canonicalize(&client.request(line).expect("routed request")))
+        .collect();
+    drop(client);
+    fabric.shutdown();
+
+    for (i, (d, r)) in direct.iter().zip(&routed).enumerate() {
+        assert_eq!(
+            d,
+            r,
+            "request {i} ({}): routed response diverged from direct oa-serve",
+            script()[i]
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

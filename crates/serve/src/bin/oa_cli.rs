@@ -3,7 +3,7 @@
 //! Submits jobs (single requests, or a newline-delimited JSON file,
 //! pipelined over one connection) and prints results as TSV.
 
-use std::io::Read;
+use std::io::{BufRead, BufReader, Read};
 use std::process::exit;
 
 use oa_serve::{request, Client, Json};
@@ -12,7 +12,7 @@ const USAGE: &str = "\
 oa-cli — client for the oa-serve evaluation daemon
 
 USAGE:
-    oa-cli [--addr HOST:PORT] <COMMAND>
+    oa-cli [--addr HOST:PORT | --router N] <COMMAND>
 
 COMMANDS:
     eval --spec S-N --topology CODE --x V1,V2,...   One evaluation, printed as TSV
@@ -21,10 +21,16 @@ COMMANDS:
                                                     sorted by request id
     batch --raw FILE                                Same, but print raw response lines
                                                     (sorted) instead of TSV
+    batch --serial FILE                             Same, but one request in flight at
+                                                    a time (deterministic server-side
+                                                    ordering; combines with --raw)
     stats                                           Print the server's stats JSON
 
 OPTIONS:
     --addr HOST:PORT   Server address (default 127.0.0.1:7878)
+    --router N         Spawn an ephemeral N-shard fabric (the sibling oa-router
+                       binary with --spawn N), run the command against it, then
+                       tear it down. Mutually exclusive with --addr.
     -h, --help         Print this help
 
 TSV COLUMNS:
@@ -36,6 +42,47 @@ TSV COLUMNS:
 fn fail(message: &str) -> ! {
     eprintln!("error: {message}\n\n{USAGE}");
     exit(2);
+}
+
+/// An ephemeral `oa-router --spawn N` child (started by `--router N`),
+/// killed on drop so a failing command still tears the fabric down.
+struct SpawnedRouter {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl SpawnedRouter {
+    /// Spawns the sibling `oa-router` binary with N in-process shards on
+    /// a free port and scrapes the advertised address from its banner.
+    fn start(shards: u32) -> Result<SpawnedRouter, String> {
+        let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+        let dir = exe.parent().ok_or("cannot locate sibling binaries")?;
+        let router = dir.join(format!("oa-router{}", std::env::consts::EXE_SUFFIX));
+        let mut child = std::process::Command::new(&router)
+            .args(["--spawn", &shards.to_string(), "--addr", "127.0.0.1:0"])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("cannot spawn {}: {e}", router.display()))?;
+        let stdout = child.stdout.take().ok_or("no router stdout")?;
+        for line in BufReader::new(stdout).lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            if let Some(addr) = line.strip_prefix("oa-router listening on ") {
+                return Ok(SpawnedRouter {
+                    child,
+                    addr: addr.trim().to_owned(),
+                });
+            }
+        }
+        let _ = child.kill();
+        Err("oa-router exited without advertising an address".to_owned())
+    }
+}
+
+impl Drop for SpawnedRouter {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
 }
 
 fn main() {
@@ -51,6 +98,27 @@ fn main() {
         }
         addr = args.remove(i + 1);
         args.remove(i);
+    }
+    let mut router: Option<SpawnedRouter> = None;
+    if let Some(i) = args.iter().position(|a| a == "--router") {
+        if i + 1 >= args.len() {
+            fail("--router needs a shard count");
+        }
+        let shards: u32 = match args.remove(i + 1).parse() {
+            Ok(n) if n >= 1 => n,
+            _ => fail("--router needs a positive shard count"),
+        };
+        args.remove(i);
+        match SpawnedRouter::start(shards) {
+            Ok(spawned) => {
+                addr = spawned.addr.clone();
+                router = Some(spawned);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(1);
+            }
+        }
     }
     let Some(command) = args.first().cloned() else {
         fail("missing command");
@@ -70,6 +138,7 @@ fn main() {
         "stats" => cmd_stats(&mut client),
         other => fail(&format!("unknown command '{other}'")),
     };
+    drop(router); // tear the ephemeral fabric down before exiting
     if let Err(e) = outcome {
         eprintln!("error: {e}");
         exit(1);
@@ -105,9 +174,11 @@ fn cmd_eval(client: &mut Client, args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_batch(client: &mut Client, args: &[String]) -> Result<(), String> {
-    let raw = args.first().map(String::as_str) == Some("--raw");
+    let raw = args.iter().any(|a| a == "--raw");
+    let serial = args.iter().any(|a| a == "--serial");
     let file = args
-        .get(usize::from(raw))
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .ok_or("missing request file (or '-')")?;
     let text = if file == "-" {
         let mut buf = String::new();
@@ -124,7 +195,18 @@ fn cmd_batch(client: &mut Client, args: &[String]) -> Result<(), String> {
         .filter(|l| !l.is_empty())
         .map(str::to_owned)
         .collect();
-    let mut responses = client.pipeline(&lines).map_err(|e| e.to_string())?;
+    // Serial mode keeps one request in flight, so the server processes
+    // (and counts) requests in file order — what the golden-fixture
+    // replay needs for deterministic stats.
+    let mut responses = if serial {
+        lines
+            .iter()
+            .map(|l| client.request(l))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| e.to_string())?
+    } else {
+        client.pipeline(&lines).map_err(|e| e.to_string())?
+    };
     // Arrival order is nondeterministic under concurrency; sort by the
     // echoed id (falling back to the raw line) for stable output.
     responses.sort_by_key(|r| {

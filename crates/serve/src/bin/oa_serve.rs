@@ -9,14 +9,14 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use oa_fault::{FaultConfig, Faults};
-use oa_serve::{serve, ServerConfig};
+use oa_serve::{serve, ServerConfig, ShardIdentity};
 
 const USAGE: &str = "\
 oa-serve — concurrent evaluation service for the INTO-OA design space
 
 USAGE:
     oa-serve [--addr HOST:PORT] [--workers N] [--queue N] [--store PATH]
-             [--fault-seed N]
+             [--shard I/N] [--fault-seed N]
 
 OPTIONS:
     --addr HOST:PORT   Bind address (default 127.0.0.1:7878; port 0 picks a free port)
@@ -24,6 +24,9 @@ OPTIONS:
     --queue N          Bounded request-queue capacity (default 256)
     --store PATH       Result-store log file
                        (default: $OA_STORE_DIR/results.log or results/store/results.log)
+    --shard I/N        Mark this instance as shard I (zero-based) of N behind an
+                       oa-router front-end. Introspective only: reported in the
+                       startup banner and as a trailing \"shard\" field in stats.
     --fault-seed N     CHAOS TESTING ONLY: inject deterministic faults
                        (torn writes, failed syncs, dropped/stalled
                        connections, worker panics, per-item batch errors)
@@ -71,6 +74,15 @@ fn main() {
                 _ => fail("--queue needs a positive integer"),
             },
             "--store" => config.store_path = PathBuf::from(value),
+            "--shard" => match value.split_once('/') {
+                Some((i, n)) => match (i.parse::<u32>(), n.parse::<u32>()) {
+                    (Ok(index), Ok(count)) if count >= 1 && index < count => {
+                        config.shard = Some(ShardIdentity { index, count });
+                    }
+                    _ => fail("--shard needs I/N with 0 <= I < N"),
+                },
+                None => fail("--shard needs the form I/N, e.g. 0/2"),
+            },
             "--fault-seed" => match value.parse::<u64>() {
                 Ok(seed) => config.faults = Faults::seeded(seed, FaultConfig::storm()),
                 _ => fail("--fault-seed needs an unsigned integer"),
@@ -82,6 +94,7 @@ fn main() {
 
     let workers = config.workers;
     let store = config.store_path.clone();
+    let shard = config.shard;
     match serve(config) {
         Ok(server) => {
             // Exact line format is load-bearing: scripts scrape the
@@ -92,6 +105,9 @@ fn main() {
                 store.display(),
                 server.service().store_len()
             );
+            if let Some(s) = shard {
+                println!("  shard: {}/{}", s.index, s.count);
+            }
             server.join();
         }
         Err(e) => {

@@ -9,6 +9,7 @@
 //! half-applied request cannot exist ([`oa_store::Store::put`] either
 //! lands a record or leaves no trace).
 
+use std::fmt::Display;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -50,13 +51,33 @@ impl ClientConfig {
     }
 }
 
+/// Resolves an address *text* freshly — the helper behind every dial and
+/// re-dial in this crate and in `oa-router`. Resolution happens on every
+/// call on purpose: a shard restarted behind a DNS name (service
+/// discovery, failover to a standby on a different address) must be
+/// picked up by the next reconnect, not pinned to the first lookup.
+///
+/// # Errors
+///
+/// Resolution failures, or a name that resolves to nothing.
+pub fn resolve(addr_text: &str) -> std::io::Result<Vec<SocketAddr>> {
+    let addrs: Vec<SocketAddr> = addr_text.to_socket_addrs()?.collect();
+    if addrs.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::AddrNotAvailable,
+            format!("'{addr_text}' resolved to no addresses"),
+        ));
+    }
+    Ok(addrs)
+}
+
 /// A connected client. One TCP connection; requests may be pipelined
 /// (the server replies as jobs finish, tagged by `id`).
 #[derive(Debug)]
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
-    addrs: Vec<SocketAddr>,
+    addr_text: String,
     config: ClientConfig,
 }
 
@@ -66,34 +87,46 @@ impl Client {
     /// # Errors
     ///
     /// Connection failures.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+    pub fn connect<A: ToSocketAddrs + Display>(addr: A) -> std::io::Result<Client> {
         Self::connect_with(addr, ClientConfig::default())
     }
 
     /// Connects with explicit resilience parameters.
     ///
+    /// The address is kept as *text*, not as its first resolution:
+    /// every [`Client::reconnect`] re-resolves it, so retrying against a
+    /// shard that was restarted behind the same name (possibly on a new
+    /// address) dials the fresh target instead of the stale one.
+    ///
     /// # Errors
     ///
     /// Address resolution or connection failures.
-    pub fn connect_with<A: ToSocketAddrs>(
+    pub fn connect_with<A: ToSocketAddrs + Display>(
         addr: A,
         config: ClientConfig,
     ) -> std::io::Result<Client> {
-        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
-        let (writer, reader) = Self::open(&addrs, config.timeout_millis)?;
+        let addr_text = addr.to_string();
+        let (writer, reader) = Self::open(&addr_text, config.timeout_millis)?;
         Ok(Client {
             writer,
             reader,
-            addrs,
+            addr_text,
             config,
         })
     }
 
+    /// The address text this client dials (and re-resolves) on every
+    /// connect.
+    pub fn addr_text(&self) -> &str {
+        &self.addr_text
+    }
+
     fn open(
-        addrs: &[SocketAddr],
+        addr_text: &str,
         timeout_millis: Option<u64>,
     ) -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
-        let writer = TcpStream::connect(addrs)?;
+        let addrs = resolve(addr_text)?;
+        let writer = TcpStream::connect(addrs.as_slice())?;
         writer.set_nodelay(true)?;
         if let Some(millis) = timeout_millis {
             writer.set_read_timeout(Some(Duration::from_millis(millis.max(1))))?;
@@ -102,14 +135,17 @@ impl Client {
         Ok((writer, reader))
     }
 
-    /// Drops the current connection and dials again (same address,
-    /// same timeout). Any buffered partial frame is discarded.
+    /// Drops the current connection, **re-resolves the address text**
+    /// and dials again (same timeout). Any buffered partial frame is
+    /// discarded. Re-resolution is the point: the previous behavior
+    /// cached the first resolved `SocketAddr` forever, which broke
+    /// failover to a shard restarted behind the same name.
     ///
     /// # Errors
     ///
-    /// Connection failures.
+    /// Resolution or connection failures.
     pub fn reconnect(&mut self) -> std::io::Result<()> {
-        let (writer, reader) = Self::open(&self.addrs, self.config.timeout_millis)?;
+        let (writer, reader) = Self::open(&self.addr_text, self.config.timeout_millis)?;
         self.writer = writer;
         self.reader = reader;
         Ok(())

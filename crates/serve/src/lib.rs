@@ -47,10 +47,10 @@ pub mod json;
 mod server;
 mod service;
 
-pub use client::{request, Client, ClientConfig};
+pub use client::{request, resolve, Client, ClientConfig};
 pub use json::{Json, JsonError};
 pub use server::{default_store_dir, serve, Server, ServerConfig};
 pub use service::{
-    eval_error_json, eval_result_json, process_fingerprint, size_opt_result_json, wl_fingerprint,
-    Service,
+    error_response, eval_error_json, eval_result_json, process_fingerprint, size_opt_result_json,
+    wl_fingerprint, Service, ShardIdentity,
 };

@@ -7,10 +7,11 @@
 //! written as each job finishes — **possibly out of request order** —
 //! and carry the request `id`, so clients can pipeline freely.
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -19,7 +20,12 @@ use oa_fault::{Decision, Faults, Site};
 use oa_par::{JobHook, Pool};
 use oa_store::Store;
 
-use crate::service::Service;
+use crate::service::{Service, ShardIdentity};
+
+/// Live connection registry: stream clones keyed by a connection id, so
+/// [`Server::kill`] can sever every peer. Connection threads remove
+/// their own entry on exit, keeping the map bounded by live connections.
+type ConnRegistry = Arc<Mutex<BTreeMap<u64, TcpStream>>>;
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -37,6 +43,12 @@ pub struct ServerConfig {
     /// the worker pool and the per-item batch path. [`Faults::none`]
     /// (the default) disables every site at the cost of one branch.
     pub faults: Faults,
+    /// Shard identity when this instance is one backend of an
+    /// `oa-router` fabric (`oa-serve --shard I/N`). Purely
+    /// introspective: it is reported in `stats` (and the startup banner)
+    /// so operators and the router's per-shard breakdown can tell
+    /// instances apart. `None` (the default) changes nothing.
+    pub shard: Option<ShardIdentity>,
 }
 
 impl ServerConfig {
@@ -50,6 +62,7 @@ impl ServerConfig {
             queue: 256,
             store_path: default_store_dir().join("results.log"),
             faults: Faults::none(),
+            shard: None,
         }
     }
 }
@@ -68,6 +81,7 @@ pub struct Server {
     service: Arc<Service>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    conns: ConnRegistry,
 }
 
 impl Server {
@@ -81,9 +95,24 @@ impl Server {
         &self.service
     }
 
-    /// Stops accepting and joins the acceptor thread.
+    /// Stops accepting and joins the acceptor thread. Established
+    /// connections keep being served until their clients disconnect —
+    /// the graceful drain.
     pub fn shutdown(mut self) {
         self.stop_accepting();
+    }
+
+    /// Hard kill: stops accepting **and severs every live connection**,
+    /// so connected peers observe EOF immediately. This is what "the
+    /// shard died" means to an `oa-router` front-end — the chaos harness
+    /// uses it to take shards down mid-storm, and a restarted instance
+    /// over the same store then serves byte-identical responses.
+    pub fn kill(mut self) {
+        self.stop_accepting();
+        let conns = self.conns.lock().unwrap_or_else(|p| p.into_inner());
+        for stream in conns.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
     }
 
     /// Blocks until the acceptor exits (daemon mode: forever).
@@ -117,7 +146,7 @@ impl Drop for Server {
 pub fn serve(config: ServerConfig) -> std::io::Result<Server> {
     let faults = config.faults.clone();
     let store = Store::open_with_faults(&config.store_path, faults.clone())?;
-    let service = Arc::new(Service::with_faults(store, faults.clone()));
+    let service = Arc::new(Service::with_faults(store, faults.clone()).with_shard(config.shard));
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     // The worker-panic site is a pool hook: an injected panic fires
@@ -136,10 +165,13 @@ pub fn serve(config: ServerConfig) -> std::io::Result<Server> {
     };
     let pool = Arc::new(Pool::with_hook(config.workers, config.queue, hook));
     let stop = Arc::new(AtomicBool::new(false));
+    let conns: ConnRegistry = Arc::new(Mutex::new(BTreeMap::new()));
 
     let acceptor = {
         let service = Arc::clone(&service);
         let stop = Arc::clone(&stop);
+        let conns = Arc::clone(&conns);
+        let next_conn_id = AtomicU64::new(0);
         std::thread::Builder::new()
             .name("oa-serve-acceptor".to_owned())
             .spawn(move || {
@@ -148,12 +180,22 @@ pub fn serve(config: ServerConfig) -> std::io::Result<Server> {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(clone) = stream.try_clone() {
+                        let mut map = conns.lock().unwrap_or_else(|p| p.into_inner());
+                        map.insert(conn_id, clone);
+                    }
                     let service = Arc::clone(&service);
                     let pool = Arc::clone(&pool);
                     let faults = faults.clone();
+                    let conns = Arc::clone(&conns);
                     let _ = std::thread::Builder::new()
                         .name("oa-serve-conn".to_owned())
-                        .spawn(move || connection_loop(stream, &service, &pool, &faults));
+                        .spawn(move || {
+                            connection_loop(stream, &service, &pool, &faults);
+                            let mut map = conns.lock().unwrap_or_else(|p| p.into_inner());
+                            map.remove(&conn_id);
+                        });
                 }
                 // `pool` drops with the acceptor once all connection
                 // threads have released their clones, joining workers.
@@ -165,6 +207,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<Server> {
         service,
         stop,
         acceptor: Some(acceptor),
+        conns,
     })
 }
 
@@ -233,6 +276,7 @@ mod tests {
             queue: 8,
             store_path: dir.join("results.log"),
             faults: Faults::none(),
+            shard: None,
         };
         (config, dir)
     }

@@ -37,6 +37,18 @@ const DEFAULT_SIZE_OPT_INIT: usize = 10;
 /// Default sizing-BO iterations for `size_opt`.
 const DEFAULT_SIZE_OPT_ITER: usize = 30;
 
+/// Identity of one shard in an `oa-router` fabric: `index` of `count`
+/// backends. Reported verbatim in `stats` (appended at the end of the
+/// object, so single-node response bytes are unchanged when absent) and
+/// in the daemon startup banner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardIdentity {
+    /// Zero-based shard index.
+    pub index: u32,
+    /// Total shard count in the fabric.
+    pub count: u32,
+}
+
 /// Fingerprint of the process constants and AC options baked into an
 /// evaluator — part of every [`EvalKey`], so results measured under
 /// different processes can never alias in the store.
@@ -167,6 +179,7 @@ pub struct Service {
     store: Mutex<Store>,
     wl: Mutex<WlFeaturizer>,
     faults: Faults,
+    shard: Option<ShardIdentity>,
     process_hash: u64,
     sims: AtomicU64,
     eval_counters: EndpointCounters,
@@ -199,6 +212,7 @@ impl Service {
             store: Mutex::new(store),
             wl: Mutex::new(WlFeaturizer::new()),
             faults,
+            shard: None,
             process_hash,
             sims: AtomicU64::new(0),
             eval_counters: EndpointCounters::default(),
@@ -206,6 +220,13 @@ impl Service {
             size_opt_counters: EndpointCounters::default(),
             stats_counters: EndpointCounters::default(),
         }
+    }
+
+    /// Tags this service with a shard identity (builder style). `stats`
+    /// then reports a trailing `"shard":{"index":I,"count":N}` field.
+    pub fn with_shard(mut self, shard: Option<ShardIdentity>) -> Service {
+        self.shard = shard;
+        self
     }
 
     /// Simulations actually run (store misses) since startup.
@@ -425,7 +446,7 @@ impl Service {
             wl.cache_stats()
         };
         let plan = self.plan_cache_totals();
-        Json::Obj(vec![
+        let mut fields = vec![
             (
                 "store".into(),
                 Json::Obj(vec![
@@ -467,10 +488,23 @@ impl Service {
                     ("stats".into(), self.stats_counters.json()),
                 ]),
             ),
-        ])
-        .encode()
-        // lint: allow(panic, counters are u64/f64 means of finite samples; never NaN or infinite)
-        .expect("counters are finite")
+        ];
+        // Appended last so an un-sharded instance's stats bytes are
+        // exactly the pre-shard-era shape (the golden fixture relies on
+        // this, and the router strips it before summing).
+        if let Some(shard) = self.shard {
+            fields.push((
+                "shard".into(),
+                Json::Obj(vec![
+                    ("index".into(), Json::num(shard.index as f64)),
+                    ("count".into(), Json::num(shard.count as f64)),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
+            .encode()
+            // lint: allow(panic, counters are u64/f64 means of finite samples; never NaN or infinite)
+            .expect("counters are finite")
     }
 
     fn store_get(&self, key: &[u8]) -> Option<Vec<u8>> {
@@ -491,7 +525,11 @@ impl Service {
     }
 }
 
-fn error_response(id: &Json, message: &str) -> String {
+/// Renders the canonical `{"id":ID,"ok":false,"error":"msg"}` frame.
+/// Public because `oa-router` answers protocol-level failures (a line
+/// that doesn't parse, load shedding) locally and must produce the
+/// byte-exact shape a shard would.
+pub fn error_response(id: &Json, message: &str) -> String {
     let id_txt = id.encode().unwrap_or_else(|_| "null".to_owned());
     // lint: allow(panic, Json::str never contains floats so encode cannot fail)
     let msg = Json::str(message).encode().expect("strings encode");

@@ -1,0 +1,88 @@
+//! Failover regression: a client must survive its server being killed
+//! and restarted on the same port, and the restarted instance must serve
+//! byte-identical responses from the shared store.
+//!
+//! This is the bug the address-text fix targets: `Client` used to cache
+//! the first resolved `SocketAddr` forever, so a reconnect after a
+//! restart could dial a stale resolution. `Client::reconnect` now
+//! re-resolves the address text on every call.
+
+use oa_circuit::{ParamSpace, Topology};
+use oa_fault::Faults;
+use oa_serve::{request, resolve, serve, Client, Server, ServerConfig};
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "oa_serve_failover_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+fn config_on(addr: &str, store: &Path) -> ServerConfig {
+    ServerConfig {
+        addr: addr.to_owned(),
+        workers: 2,
+        queue: 8,
+        store_path: store.to_path_buf(),
+        faults: Faults::none(),
+        shard: None,
+    }
+}
+
+/// Binding the same port again races the kernel releasing it; retry a
+/// bounded number of times instead of sleeping a fixed guess.
+fn serve_with_retry(addr: &str, store: &Path) -> Server {
+    let mut last = None;
+    for _ in 0..50 {
+        match serve(config_on(addr, store)) {
+            Ok(server) => return server,
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        }
+    }
+    panic!("could not rebind {addr}: {last:?}");
+}
+
+#[test]
+fn resolve_is_fresh_and_rejects_garbage() {
+    let addrs = resolve("127.0.0.1:7878").unwrap();
+    assert_eq!(addrs.len(), 1);
+    assert_eq!(addrs[0].port(), 7878);
+    assert!(resolve("definitely-not-a-host-name-xyz:1").is_err());
+    assert!(resolve("no-port-at-all").is_err());
+}
+
+#[test]
+fn client_reconnects_to_a_restarted_server_byte_identically() {
+    let dir = temp_dir("restart");
+    let store = dir.join("results.log");
+    let first = serve(config_on("127.0.0.1:0", &store)).unwrap();
+    let addr_text = first.addr().to_string();
+
+    let t = Topology::bare_cascade();
+    let x = vec![0.5; ParamSpace::for_topology(&t).dim()];
+    let line = request::eval(1, "S-1", t.index(), &x);
+
+    let mut client = Client::connect(addr_text.as_str()).unwrap();
+    let before = client.request(&line).unwrap();
+
+    // Hard-kill the server: the client's connection is severed, and the
+    // next request observes EOF rather than hanging.
+    first.kill();
+    assert!(client.request(&line).is_err(), "killed server must EOF");
+
+    // Restart on the very same port over the same store. The client
+    // re-resolves the address text and dials the fresh instance.
+    let second = serve_with_retry(&addr_text, &store);
+    client.reconnect().unwrap();
+    let after = client.request(&line).unwrap();
+    assert_eq!(after, before, "restarted server must serve the store copy");
+    assert_eq!(second.service().sims(), 0, "no re-simulation after restart");
+
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,21 +6,31 @@
 #   3. restart the daemon over the same store;
 #   4. re-send the same 100 requests and assert the responses are
 #      byte-identical AND that the second pass ran zero simulations
-#      (served entirely from the persistent store).
+#      (served entirely from the persistent store);
+#   5. start two oa-serve shards plus an oa-router front-end, replay the
+#      golden protocol fixture through the fabric (responses must match
+#      the fixture byte for byte, micros canonicalized), then re-send
+#      the same 100 requests and assert byte-identity with pass 1.
 #
 # Usage: scripts/serve_smoke.sh [path-to-target-dir]
-# Binaries are expected at $TARGET/release/{oa-serve,oa-cli} (built by
-# `cargo build --release`).
+# Binaries are expected at $TARGET/release/{oa-serve,oa-cli,oa-router}
+# (built by `cargo build --release`).
 set -euo pipefail
 
 TARGET="${1:-target}"
 SERVE="$TARGET/release/oa-serve"
 CLI="$TARGET/release/oa-cli"
+ROUTER="$TARGET/release/oa-router"
+GOLDEN="crates/serve/tests/golden/protocol.txt"
 WORK="$(mktemp -d)"
 SERVER_PID=""
+SHARD_PIDS=""
+ROUTER_PID=""
 
 cleanup() {
     [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    [ -n "$ROUTER_PID" ] && kill "$ROUTER_PID" 2>/dev/null || true
+    for pid in $SHARD_PIDS; do kill "$pid" 2>/dev/null || true; done
     rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -78,3 +88,56 @@ case "$STATS" in
 esac
 
 echo "OK: 100 responses byte-identical across restart, 0 re-simulations"
+
+# --- Sharded fabric: two shards behind an oa-router front-end. -------------
+
+# scrape_addr LOGFILE PREFIX — waits for a daemon banner line.
+scrape_addr() {
+    local log="$1" prefix="$2" addr=""
+    for _ in $(seq 100); do
+        addr="$(sed -n "s/^$prefix//p" "$log")"
+        if [ -n "$addr" ]; then printf '%s' "$addr"; return 0; fi
+        sleep 0.1
+    done
+    echo "daemon never reported its address ($log)" >&2
+    cat "$log" >&2
+    exit 1
+}
+
+"$SERVE" --addr 127.0.0.1:0 --store "$WORK/shard0/results.log" --shard 0/2 \
+    >"$WORK/shard0.log" &
+SHARD_PIDS="$!"
+"$SERVE" --addr 127.0.0.1:0 --store "$WORK/shard1/results.log" --shard 1/2 \
+    >"$WORK/shard1.log" &
+SHARD_PIDS="$SHARD_PIDS $!"
+S0="$(scrape_addr "$WORK/shard0.log" 'oa-serve listening on ')"
+S1="$(scrape_addr "$WORK/shard1.log" 'oa-serve listening on ')"
+
+"$ROUTER" --addr 127.0.0.1:0 --shards "$S0,$S1" >"$WORK/router.log" &
+ROUTER_PID=$!
+RADDR="$(scrape_addr "$WORK/router.log" 'oa-router listening on ')"
+echo "fabric: router $RADDR over shards $S0, $S1"
+
+# Golden fixture through the fabric: serial replay (deterministic
+# per-shard counters), micros canonicalized, order-insensitive compare
+# (oa-cli sorts responses by id; the fixture is in request order).
+sed -n 's/^> //p' "$GOLDEN" >"$WORK/golden_requests.jsonl"
+sed -n 's/^< //p' "$GOLDEN" | sort >"$WORK/golden_expected.txt"
+"$CLI" --addr "$RADDR" batch --raw --serial "$WORK/golden_requests.jsonl" \
+    | sed -E 's/"micros":[0-9]+/"micros":0/g' | sort >"$WORK/golden_actual.txt"
+if ! cmp -s "$WORK/golden_expected.txt" "$WORK/golden_actual.txt"; then
+    echo "FAIL: golden fixture diverged through the 2-shard fabric" >&2
+    diff "$WORK/golden_expected.txt" "$WORK/golden_actual.txt" >&2 || true
+    exit 1
+fi
+
+# The same 100-request storm through the router must reproduce pass 1
+# byte for byte — routing must never change response bytes.
+"$CLI" --addr "$RADDR" batch --raw "$WORK/requests.jsonl" >"$WORK/pass3.txt"
+if ! cmp -s "$WORK/pass1.txt" "$WORK/pass3.txt"; then
+    echo "FAIL: routed responses differ from direct oa-serve" >&2
+    diff "$WORK/pass1.txt" "$WORK/pass3.txt" >&2 || true
+    exit 1
+fi
+
+echo "OK: golden fixture and 100-request storm byte-identical through the fabric"
