@@ -111,6 +111,15 @@ pub struct Stmt {
     pub parts: Vec<StmtPart>,
     /// Contains `return`, or is the trailing expression of the fn body.
     pub is_return: bool,
+    /// Contains `break` or `continue` — exits the enclosing block
+    /// early even though it does not return from the function.
+    pub is_exit: bool,
+    /// Identifiers assigned at statement start (`x = …`, `x += …`) —
+    /// the value-range analysis kills guards on reassignment.
+    pub assigns: Vec<String>,
+    /// `let x = base.len() / k` style upper-bound evidence for the
+    /// single variable this statement binds.
+    pub len_fact: Option<LenFact>,
 }
 
 /// Ordered content of a statement.
@@ -132,6 +141,24 @@ pub enum Event {
     Index {
         /// 1-based source line.
         line: u32,
+        /// Receiver chain text when it is a simple `ident(.ident)*`
+        /// chain, with one trailing length-preserving call
+        /// (`.as_bytes()`, `.as_slice()`, …) stripped; `""` when the
+        /// walk-back gave up on a compound expression.
+        base: String,
+        /// Index expression text when short and bracket-free; `""`
+        /// when compound. Tokens join with spaces except around `.`:
+        /// `xs[i]` → `"i"`, `xs[..n]` → `"..n"`, `h[0..4]` → `"0..4"`.
+        index: String,
+    },
+    /// A bounds-establishing comparison recognized in an `if`/`while`
+    /// condition or a `for … in a..b.len()` header. Consumed by the
+    /// value-range analysis; all other analyses ignore it.
+    Guard {
+        /// 1-based source line.
+        line: u32,
+        /// The recognized comparison.
+        cond: GuardCond,
     },
     /// `drop(name)` — ends a lock guard's life early.
     DropVar {
@@ -139,6 +166,50 @@ pub enum Event {
         name: String,
         /// 1-based source line.
         line: u32,
+    },
+}
+
+/// A recognized bounds comparison (see [`Event::Guard`]). `var` and
+/// `base` are receiver-chain texts (`i`, `self.bytes`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardCond {
+    /// `var < base.len()` (or `base.len() > var`).
+    LtLen {
+        /// The index variable.
+        var: String,
+        /// The indexed collection.
+        base: String,
+    },
+    /// `var >= base.len()` (or `base.len() <= var`) — discharges
+    /// following statements when the guarded block exits.
+    GeLen {
+        /// The index variable.
+        var: String,
+        /// The indexed collection.
+        base: String,
+    },
+    /// `!base.is_empty()` or `base.len() > 0` / `base.len() != 0`.
+    NotEmpty {
+        /// The indexed collection.
+        base: String,
+    },
+    /// `base.is_empty()` or `base.len() == 0` — discharges following
+    /// statements when the guarded block exits.
+    Empty {
+        /// The indexed collection.
+        base: String,
+    },
+}
+
+/// Upper-bound evidence carried by a `let` statement (see
+/// [`Stmt::len_fact`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LenFact {
+    /// The bound variable is at most `base.len()`: the initializer is
+    /// `base.len()` or `base.len() / k` with a nonzero literal `k`.
+    AtMostLen {
+        /// The measured collection.
+        base: String,
     },
 }
 

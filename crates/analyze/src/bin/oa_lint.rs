@@ -1,17 +1,33 @@
-//! Workspace lint driver, v2: two engines plus a call-graph dump.
+//! Workspace lint driver, v3: two engines, SARIF output, and
+//! diff-aware baseline gating.
 //!
 //! Usage:
 //!
 //! ```text
-//! oa_lint [--engine=ast|token] [--list-rules] [<workspace-root>]
+//! oa_lint [--engine=ast|token] [--list-rules] [--timings]
+//!         [--sarif=<path>] [--baseline=<path>] [--write-baseline=<path>]
+//!         [--explain-discharges] [<workspace-root>]
 //! oa_lint callgraph [--dot] [--check] [<workspace-root>]
 //! ```
 //!
 //! The default `--engine=ast` parses every first-party file, builds the
 //! workspace call graph, and runs the interprocedural analyses (panic
-//! reachability, lock-order cycles, determinism taint) alongside the
+//! reachability with value-range discharge, lock-order cycles,
+//! determinism taint, and the effect rules `nonblocking_event_loop` /
+//! `alloc_free_kernel` / `lock_across_blocking`) alongside the
 //! token-shaped rules. `--engine=token` is the original per-file
 //! scanner, kept as a fallback and for A/B comparison.
+//!
+//! * `--sarif=<path>` additionally writes the run as a SARIF 2.1.0 log.
+//! * `--baseline=<path>` switches to diff-aware mode: only findings
+//!   whose fingerprint is absent from the committed snapshot print and
+//!   gate the exit code; pre-existing debt is counted but suppressed.
+//! * `--write-baseline=<path>` writes the current fingerprints as the
+//!   new snapshot (review the diff before committing it).
+//! * `--timings` appends `engine=… files=… fns=… edges=… discharged=…
+//!   elapsed_ms=…` to the stderr summary, for `scripts/bench_smoke.sh`.
+//! * `--explain-discharges` prints each indexing site the value-range
+//!   analysis proved in-bounds, with its evidence.
 //!
 //! `callgraph` prints the workspace call graph as TSV (or DOT with
 //! `--dot`). `--check` instead diffs the TSV against the committed
@@ -20,11 +36,12 @@
 //!
 //! Scans `crates/*/src/**` under the workspace root (default: the
 //! current directory). Findings print one per line in deterministic
-//! path/line order; exit status is 1 if any rule fired and 0 otherwise.
+//! path/line order; exit status is 1 if any gating rule fired and 0
+//! otherwise.
 
 use oa_analyze::callgraph::{CallGraph, Workspace};
 use oa_analyze::engine::{self, Engine};
-use oa_analyze::locks;
+use oa_analyze::{locks, sarif};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -37,6 +54,11 @@ fn main() -> ExitCode {
     let mut callgraph = false;
     let mut dot = false;
     let mut check = false;
+    let mut timings = false;
+    let mut explain_discharges = false;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline_path: Option<PathBuf> = None;
     for arg in args.iter() {
         match arg.as_str() {
             "--list-rules" => {
@@ -48,6 +70,8 @@ fn main() -> ExitCode {
             "callgraph" => callgraph = true,
             "--dot" => dot = true,
             "--check" => check = true,
+            "--timings" => timings = true,
+            "--explain-discharges" => explain_discharges = true,
             other => {
                 if let Some(name) = other.strip_prefix("--engine=") {
                     match Engine::parse(name) {
@@ -57,6 +81,12 @@ fn main() -> ExitCode {
                             return ExitCode::FAILURE;
                         }
                     }
+                } else if let Some(path) = other.strip_prefix("--sarif=") {
+                    sarif_path = Some(PathBuf::from(path));
+                } else if let Some(path) = other.strip_prefix("--baseline=") {
+                    baseline_path = Some(PathBuf::from(path));
+                } else if let Some(path) = other.strip_prefix("--write-baseline=") {
+                    write_baseline_path = Some(PathBuf::from(path));
                 } else if other.starts_with("--") {
                     eprintln!("oa_lint: unknown flag {other:?}");
                     return ExitCode::FAILURE;
@@ -82,25 +112,83 @@ fn main() -> ExitCode {
     // lint: allow(wall_clock, CLI timing line, not a response path)
     let started = std::time::Instant::now();
     let report = engine::run(engine, &inputs);
-    for finding in &report.findings {
+
+    if let Some(path) = &sarif_path {
+        if let Err(err) = std::fs::write(path, sarif::to_sarif(&report)) {
+            eprintln!("oa_lint: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("oa_lint: wrote SARIF log to {}", path.display());
+    }
+    if let Some(path) = &write_baseline_path {
+        if let Err(err) = std::fs::write(path, sarif::write_baseline(&report.findings)) {
+            eprintln!("oa_lint: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "oa_lint: wrote baseline ({} fingerprint(s)) to {}",
+            report.findings.len(),
+            path.display()
+        );
+    }
+    if explain_discharges {
+        for d in &report.discharged {
+            println!(
+                "{}:{}: [discharged] in {}: {}",
+                d.path, d.line, d.fn_qual, d.evidence
+            );
+        }
+    }
+
+    // Diff-aware mode: only findings new relative to the baseline
+    // print and gate; pre-existing debt is counted but suppressed.
+    let gating: Vec<&oa_analyze::Finding> = match &baseline_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => sarif::diff(&report.findings, &sarif::parse_baseline(&text)),
+            Err(err) => {
+                eprintln!("oa_lint: cannot read baseline {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => report.findings.iter().collect(),
+    };
+    for finding in &gating {
         println!("{finding}");
     }
+
     let label = match engine {
         Engine::Ast => "ast",
         Engine::Token => "token",
     };
-    let timing = format!(
-        "engine={label} files={} fns={} edges={} elapsed_ms={}",
-        report.files,
-        report.fns,
-        report.edges,
-        started.elapsed().as_millis()
-    );
-    if report.findings.is_empty() {
-        eprintln!("oa_lint: clean ({timing})");
-        ExitCode::SUCCESS
+    let timing = if timings {
+        format!(
+            " (engine={label} files={} fns={} edges={} discharged={} elapsed_ms={})",
+            report.files,
+            report.fns,
+            report.edges,
+            report.discharged.len(),
+            started.elapsed().as_millis()
+        )
     } else {
-        eprintln!("oa_lint: {} finding(s) ({timing})", report.findings.len());
+        String::new()
+    };
+    if gating.is_empty() {
+        let suppressed = report.findings.len();
+        if baseline_path.is_some() && suppressed > 0 {
+            eprintln!("oa_lint: clean vs baseline ({suppressed} pre-existing suppressed){timing}");
+        } else {
+            eprintln!("oa_lint: clean{timing}");
+        }
+        ExitCode::SUCCESS
+    } else if baseline_path.is_some() {
+        let suppressed = report.findings.len() - gating.len();
+        eprintln!(
+            "oa_lint: {} new finding(s) vs baseline ({suppressed} pre-existing suppressed){timing}",
+            gating.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!("oa_lint: {} finding(s){timing}", gating.len());
         ExitCode::FAILURE
     }
 }

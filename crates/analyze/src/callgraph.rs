@@ -254,7 +254,15 @@ impl<'w> CallGraph<'w> {
                     }
                 }
                 // Untyped receiver: a workspace-unique method name is
-                // an unambiguous target.
+                // an unambiguous target — but only for a plain
+                // identifier-chain receiver. Compound receivers
+                // (iterator adaptors, builder chains: `xs.iter()
+                // .enumerate()`) are overwhelmingly std methods, and
+                // claiming the workspace-unique name manufactured
+                // edges like `factor_impl -> Topology::enumerate`.
+                if recv.is_empty() {
+                    return Vec::new();
+                }
                 match self.methods_by_name.get(name) {
                     Some(ids) if ids.len() == 1 => ids.clone(),
                     _ => Vec::new(),
@@ -306,8 +314,19 @@ impl<'w> CallGraph<'w> {
                 return ids.clone();
             }
         }
-        // UFCS `Type::method(x)` of an inherent method.
-        if path.len() >= 2 {
+        // UFCS of an inherent method: `Self::method(x)` rewrites `Self`
+        // to the caller's own type; any other qualifier already had its
+        // chance at the exact `by_qual` lookup above. Falling back to a
+        // workspace-unique method name for *foreign* qualifiers
+        // manufactured edges like `TcpStream::connect` →
+        // `Client::connect`.
+        if path.len() >= 2 && path[path.len() - 2] == "Self" {
+            let caller_qual = &self.def(caller).qual;
+            if let Some((owner, _)) = caller_qual.rsplit_once("::") {
+                if let Some(ids) = self.by_qual.get(&format!("{owner}::{name}")) {
+                    return ids.clone();
+                }
+            }
             if let Some(ids) = self.methods_by_name.get(name) {
                 if ids.len() == 1 {
                     return ids.clone();
@@ -322,30 +341,54 @@ impl<'w> CallGraph<'w> {
         self.by_qual.get(qual).cloned().unwrap_or_default()
     }
 
-    /// Deterministic TSV dump: one edge per line, sorted —
+    /// Deterministic TSV dump: one edge per line —
     /// `caller_path\tcaller_qual\tline\tcallee_path\tcallee_qual`.
     /// Nodes without edges still appear, with `-` callee columns, so
     /// the snapshot pins the full node set.
+    ///
+    /// Rows sort by `(caller path, caller qual, callee path, callee
+    /// qual, numeric line)` — the line number last and compared as a
+    /// number, not lexically by the rendered row. Pure code motion (an
+    /// edge's call site shifting down a file) keeps a caller's rows
+    /// together instead of reshuffling them, so snapshot regenerations
+    /// diff append-mostly.
     pub fn to_tsv(&self) -> String {
-        let mut lines = Vec::new();
+        let mut rows: Vec<(String, String, String, String, u32)> = Vec::new();
         for (id, edges) in self.edges.iter().enumerate() {
-            let caller = format!("{}\t{}", self.file(id).path, self.def(id).qual);
+            let path = self.file(id).path.clone();
+            let qual = self.def(id).qual.clone();
             if edges.is_empty() {
-                lines.push(format!("{caller}\t-\t-\t-"));
+                rows.push((
+                    path.clone(),
+                    qual.clone(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    0,
+                ));
             }
             for e in edges {
-                lines.push(format!(
-                    "{caller}\t{}\t{}\t{}",
+                rows.push((
+                    path.clone(),
+                    qual.clone(),
+                    self.file(e.callee).path.clone(),
+                    self.def(e.callee).qual.clone(),
                     e.line,
-                    self.file(e.callee).path,
-                    self.def(e.callee).qual,
                 ));
             }
         }
-        lines.sort();
-        lines.dedup();
-        let mut out = lines.join("\n");
-        out.push('\n');
+        rows.sort();
+        rows.dedup();
+        let mut out = String::new();
+        for (path, qual, callee_path, callee_qual, line) in rows {
+            let line_text = if callee_path == "-" {
+                "-".to_owned()
+            } else {
+                line.to_string()
+            };
+            out.push_str(&format!(
+                "{path}\t{qual}\t{line_text}\t{callee_path}\t{callee_qual}\n"
+            ));
+        }
         out
     }
 
@@ -474,6 +517,36 @@ mod tests {
              crates/serve/src/a.rs\tb\t1\tcrates/serve/src/a.rs\ta\n"
         );
         assert!(g.to_dot().contains("\"oa_serve::b\" -> \"oa_serve::a\""));
+    }
+
+    #[test]
+    fn tsv_sorts_by_callee_then_numeric_line() {
+        // Twelve call sites so two-digit lines appear: numeric order
+        // keeps line 7 before line 10 (lexical row sorting would not),
+        // and the single z edge (line 6) sorts after every y edge —
+        // callee-major, line number last.
+        let mut src = String::from("fn z() {}\nfn y() {}\nfn c() {\n");
+        for line in 4..=12 {
+            src.push_str(if line == 6 { "z();\n" } else { "y();\n" });
+        }
+        src.push_str("}\n");
+        let w = ws(&[("crates/serve/src/a.rs", src.as_str())]);
+        let g = CallGraph::build(&w);
+        let tsv = g.to_tsv();
+        let c_rows: Vec<(String, String)> = tsv
+            .lines()
+            .filter(|l| l.starts_with("crates/serve/src/a.rs\tc\t"))
+            .map(|row| {
+                let cols: Vec<&str> = row.split('\t').collect();
+                (cols[2].to_owned(), cols[4].to_owned())
+            })
+            .collect();
+        let expect: Vec<(String, String)> = [4, 5, 7, 8, 9, 10, 11, 12]
+            .iter()
+            .map(|n| (n.to_string(), "y".to_owned()))
+            .chain(std::iter::once(("6".to_owned(), "z".to_owned())))
+            .collect();
+        assert_eq!(c_rows, expect, "{tsv}");
     }
 
     #[test]

@@ -23,8 +23,10 @@
 
 use crate::callgraph::{CallGraph, Workspace};
 use crate::lint::{annotations_of, lint_source, lint_source_scoped, scope_of, Finding};
+use crate::ranges::Discharge;
 use crate::reachability::Allowed;
-use crate::{locks, reachability, taint};
+use crate::{effects, locks, ranges, reachability, taint};
+use std::collections::BTreeSet;
 
 /// Which analysis engine to run. Parsed from `--engine=` by the CLI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,6 +60,9 @@ pub struct Report {
     pub fns: usize,
     /// Call edges resolved (ast engine only; 0 under token).
     pub edges: usize,
+    /// Indexing sites the value-range analysis proved in-bounds
+    /// (ast engine only) — printed under `--explain-discharges`.
+    pub discharged: Vec<Discharge>,
 }
 
 /// Runs the chosen engine over `(path, source)` pairs for the whole
@@ -80,6 +85,7 @@ fn run_token(inputs: &[(String, String)]) -> Report {
         files: inputs.len(),
         fns: 0,
         edges: 0,
+        discharged: Vec::new(),
     }
 }
 
@@ -101,9 +107,18 @@ fn run_ast(inputs: &[(String, String)]) -> Report {
         allowed.insert(path.clone(), rules);
     }
 
-    findings.extend(reachability::check(&graph, &allowed));
+    // Value-range analysis first: its proven sites are subtracted from
+    // the panic-reachability findings (and need no annotation).
+    let discharged = ranges::discharges(&graph);
+    let discharged_lines: BTreeSet<(String, u32)> = discharged
+        .iter()
+        .map(|d| (d.path.clone(), d.line))
+        .collect();
+
+    findings.extend(reachability::check(&graph, &allowed, &discharged_lines));
     findings.extend(locks::check(&graph, &allowed));
     findings.extend(taint::check(&graph, &allowed));
+    findings.extend(effects::check(&graph, &allowed));
     findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
     findings.dedup();
 
@@ -113,6 +128,7 @@ fn run_ast(inputs: &[(String, String)]) -> Report {
         files: inputs.len(),
         fns: graph.nodes.len(),
         edges,
+        discharged,
     }
 }
 

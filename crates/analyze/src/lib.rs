@@ -33,13 +33,16 @@
 
 pub mod ast;
 pub mod callgraph;
+pub mod effects;
 pub mod engine;
 pub mod error;
 pub mod lexer;
 pub mod lint;
 pub mod locks;
 pub mod parser;
+pub mod ranges;
 pub mod reachability;
+pub mod sarif;
 pub mod structural;
 pub mod taint;
 

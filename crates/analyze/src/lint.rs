@@ -42,6 +42,9 @@ pub const RULE_NAMES: &[&str] = &[
     "forbid_unsafe",
     "lock_order",
     "determinism",
+    "nonblocking_event_loop",
+    "alloc_free_kernel",
+    "lock_across_blocking",
 ];
 
 /// Catalogue entry describing one rule for `--list-rules`.
@@ -88,6 +91,21 @@ pub const RULES: &[RuleInfo] = &[
         name: "determinism",
         description: "no dataflow from HashMap/HashSet iteration to serialization \
                       sinks (ast engine; annotation at source or sink waives the flow)",
+    },
+    RuleInfo {
+        name: "nonblocking_event_loop",
+        description: "no Blocks-effect site reachable from the oa-router event loop \
+                      (ast engine, effect inference; annotation whitelists one site)",
+    },
+    RuleInfo {
+        name: "alloc_free_kernel",
+        description: "no Allocates-effect site reachable from the oa-linalg LANES \
+                      factor/solve kernels (ast engine, effect inference)",
+    },
+    RuleInfo {
+        name: "lock_across_blocking",
+        description: "no Blocks-effect call while a lock guard is live (ast engine, \
+                      effect inference over the held-guard walk)",
     },
 ];
 

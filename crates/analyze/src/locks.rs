@@ -70,8 +70,10 @@ struct FnCtx<'g, 'w> {
 /// Classifies a method event as a lock acquisition, returning the lock
 /// class. `read`/`write` require a receiver that provably resolves to
 /// `RwLock` (they are common io method names); `lock` also accepts an
-/// unresolvable receiver, classed per-function (opaque).
-fn acquisition_class(
+/// unresolvable receiver, classed per-function (opaque). Shared with
+/// the effect inference (`AcquiresLock` seeding and the
+/// `lock_across_blocking` held-set walk).
+pub(crate) fn acquisition_class(
     graph: &CallGraph<'_>,
     env: &TypeEnv,
     fn_qual: &str,
@@ -185,7 +187,7 @@ fn walk_block(
                 StmtPart::Event(Event::DropVar { name, .. }) => {
                     held.retain(|h| h.guard_var.as_deref() != Some(name));
                 }
-                StmtPart::Event(Event::Index { .. }) => {}
+                StmtPart::Event(Event::Index { .. } | Event::Guard { .. }) => {}
                 StmtPart::Event(Event::Call(call)) => match &call.target {
                     CallTarget::Method { name, recv } => {
                         if let Some(class) =

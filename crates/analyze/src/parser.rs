@@ -19,8 +19,8 @@
 //! the analyses is catalogued in DESIGN.md §10 (soundness envelope).
 
 use crate::ast::{
-    Block, CallSite, CallTarget, Event, FnDef, Param, SourceFile, Stmt, StmtPart, StructDef,
-    UseImport,
+    Block, CallSite, CallTarget, Event, FnDef, GuardCond, LenFact, Param, SourceFile, Stmt,
+    StmtPart, StructDef, UseImport,
 };
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -662,7 +662,9 @@ impl<'src> Parser<'_, 'src> {
                     }
                     '[' => {
                         if self.prev_is_indexable() {
-                            sc.push_event(Event::Index { line });
+                            let base = self.index_base_text();
+                            let index = self.index_expr_text();
+                            sc.push_event(Event::Index { line, base, index });
                         }
                         sc.depth += 1;
                         self.bump();
@@ -682,6 +684,7 @@ impl<'src> Parser<'_, 'src> {
                             sc.let_mode = LetMode::Init;
                             self.bump();
                             self.record_init_type(&mut sc, locals);
+                            self.record_len_fact(&mut sc);
                         } else {
                             self.bump();
                         }
@@ -721,6 +724,86 @@ impl<'src> Parser<'_, 'src> {
                     || p.is_punct(')')
                     || p.is_punct(']')
             })
+    }
+
+    /// The tokens after the cursor form an assignment operator: `=`
+    /// (not `==`), `+=`-style compound, or `<<=`/`>>=` shifts.
+    fn next_is_assignment_op(&self) -> bool {
+        let at = |k: usize| self.peek_at(k).map(|t| (t.kind, t.text));
+        match at(1) {
+            Some((TokenKind::Punct, "=")) => !matches!(at(2), Some((TokenKind::Punct, "="))),
+            Some((TokenKind::Punct, "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^")) => {
+                matches!(at(2), Some((TokenKind::Punct, "=")))
+            }
+            Some((TokenKind::Punct, s @ ("<" | ">"))) => {
+                matches!(at(2), Some((TokenKind::Punct, s2)) if s2 == s)
+                    && matches!(at(3), Some((TokenKind::Punct, "=")))
+            }
+            _ => false,
+        }
+    }
+
+    /// After an `if`/`while` keyword: looks ahead (non-consuming) to
+    /// the body `{` and emits a [`Event::Guard`] for every recognized
+    /// bounds comparison. Conjunctions (`&&`) match each conjunct;
+    /// any `||` at depth zero abandons the whole condition (a
+    /// disjunction guarantees neither side). `if let` never guards.
+    fn scan_condition_guards(&mut self, sc: &mut StmtScan) {
+        if self.peek().is_some_and(|t| t.is_ident("let")) {
+            return;
+        }
+        let line = self.peek().map_or(0, |t| t.line);
+        let mut end = self.pos;
+        let mut depth = 0i32;
+        while let Some(t) = self.toks.get(end) {
+            if t.kind == TokenKind::Punct {
+                match t.text.chars().next().unwrap_or(' ') {
+                    '{' | ';' | '}' if depth == 0 => break,
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => depth -= 1,
+                    _ => {}
+                }
+                if depth < 0 {
+                    break;
+                }
+            }
+            end += 1;
+            if end - self.pos > 48 {
+                return; // long condition: give up, stay sound
+            }
+        }
+        let cond = &self.toks[self.pos..end];
+        // Split into `&&`-conjuncts at depth zero; bail on `||`.
+        let mut conjuncts: Vec<&[Token<'src>]> = Vec::new();
+        let mut depth = 0i32;
+        let mut start = 0usize;
+        let mut i = 0usize;
+        while i < cond.len() {
+            let t = &cond[i];
+            if t.kind == TokenKind::Punct {
+                match t.text.chars().next().unwrap_or(' ') {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => depth -= 1,
+                    '|' if depth == 0 && cond.get(i + 1).is_some_and(|n| n.is_punct('|')) => {
+                        return;
+                    }
+                    '&' if depth == 0 && cond.get(i + 1).is_some_and(|n| n.is_punct('&')) => {
+                        conjuncts.push(&cond[start..i]);
+                        i += 2;
+                        start = i;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        conjuncts.push(&cond[start..]);
+        for conj in conjuncts {
+            if let Some(cond) = guard_of(conj) {
+                sc.push_event(Event::Guard { line, cond });
+            }
+        }
     }
 
     /// Previous token is `<` or `>` (so a following `=` is `<=`/`>=`).
@@ -786,6 +869,56 @@ impl<'src> Parser<'_, 'src> {
         }));
     }
 
+    /// The indexed receiver chain for an `[` at the cursor: walks back
+    /// `ident(.ident)*`, first stripping one trailing length-preserving
+    /// call (`.as_bytes()`, `.as_slice()`, `.as_mut_slice()`,
+    /// `.as_str()` — all with no arguments). Compound bases return `""`.
+    fn index_base_text(&self) -> String {
+        let mut end = self.pos;
+        if self
+            .toks
+            .get(end.wrapping_sub(1))
+            .is_some_and(|t| t.is_punct(')'))
+        {
+            // `chain . as_bytes ( ) [` — the call's value has the same
+            // length as `chain`, so the chain is the effective base.
+            let preserving = end >= 5
+                && self.toks[end - 2].is_punct('(')
+                && matches!(
+                    self.toks[end - 3].text,
+                    "as_bytes" | "as_slice" | "as_mut_slice" | "as_str"
+                )
+                && self.toks[end - 4].is_punct('.');
+            if !preserving {
+                return String::new();
+            }
+            end -= 4;
+        }
+        self.receiver_text(end)
+    }
+
+    /// The bracket-group text for an `[` at the cursor (non-consuming):
+    /// tokens joined with spaces, `""` when longer than eight tokens or
+    /// containing a nested bracket group. `..` joins as `".."`.
+    fn index_expr_text(&self) -> String {
+        let mut words: Vec<&str> = Vec::new();
+        let mut i = self.pos + 1;
+        while let Some(t) = self.toks.get(i) {
+            if t.is_punct(']') {
+                break;
+            }
+            if t.kind == TokenKind::Punct && "([{".contains(t.text) {
+                return String::new();
+            }
+            if words.len() >= 8 {
+                return String::new();
+            }
+            words.push(t.text);
+            i += 1;
+        }
+        join_expr(&words)
+    }
+
     /// Reconstructs a simple `ident(.ident)*` receiver chain ending at
     /// the `.` token index `dot`. Compound receivers return `""`.
     fn receiver_text(&self, dot: usize) -> String {
@@ -831,6 +964,41 @@ impl<'src> Parser<'_, 'src> {
         }
     }
 
+    /// At the start of a `let` initializer: records `let n = base.len()`
+    /// / `let n = base.len() / k` (nonzero literal `k`) upper-bound
+    /// evidence (`n ≤ base.len()`) for the value-range analysis. The
+    /// whole initializer must match — a longer expression could exceed
+    /// the bound, so anything unrecognized records nothing.
+    fn record_len_fact(&mut self, sc: &mut StmtScan) {
+        if sc.stmt.binds.len() != 1 {
+            return;
+        }
+        let mut end = self.pos;
+        loop {
+            let Some(t) = self.toks.get(end) else { return };
+            if t.is_punct(';') || t.is_punct(',') || t.is_punct('}') {
+                break;
+            }
+            if end - self.pos > 12 {
+                return;
+            }
+            end += 1;
+        }
+        let init = &self.toks[self.pos..end];
+        let n = init.len();
+        let base = len_call_of(init).or_else(|| {
+            (n >= 7
+                && init[n - 1].kind == TokenKind::Number
+                && init[n - 1].text != "0"
+                && init[n - 2].is_punct('/'))
+            .then(|| len_call_of(&init[..n - 2]))
+            .flatten()
+        });
+        if let Some(base) = base {
+            sc.stmt.len_fact = Some(LenFact::AtMostLen { base });
+        }
+    }
+
     /// Handles one identifier token inside a statement scan.
     fn scan_ident(&mut self, file: &mut SourceFile, sc: &mut StmtScan, is_test: bool) {
         let t = self.toks[self.pos];
@@ -850,7 +1018,18 @@ impl<'src> Parser<'_, 'src> {
                 sc.stmt.is_return = true;
                 self.bump();
             }
-            "match" | "if" | "while" | "loop" => {
+            "break" | "continue" => {
+                sc.stmt.is_exit = true;
+                self.bump();
+            }
+            "if" | "while" => {
+                if sc.let_mode == LetMode::Init {
+                    sc.saw_control_in_init = true;
+                }
+                self.bump();
+                self.scan_condition_guards(sc);
+            }
+            "match" | "loop" => {
                 if sc.let_mode == LetMode::Init {
                     sc.saw_control_in_init = true;
                 }
@@ -868,6 +1047,17 @@ impl<'src> Parser<'_, 'src> {
                 if sc.let_mode == LetMode::Pattern {
                     sc.stmt.binds.push(word.to_owned());
                 } else {
+                    // `x = …` / `x += …` / `x <<= …` at statement start
+                    // reassigns `x` (guard-kill evidence for ranges).
+                    if sc.let_mode == LetMode::None
+                        && sc.depth == 0
+                        && sc.stmt.reads.is_empty()
+                        && sc.stmt.binds.is_empty()
+                        && sc.stmt.parts.is_empty()
+                        && self.next_is_assignment_op()
+                    {
+                        sc.stmt.assigns.push(word.to_owned());
+                    }
                     sc.stmt.reads.push(word.to_owned());
                 }
                 // Macro invocation: `name!` + delimiter.
@@ -922,6 +1112,7 @@ impl<'src> Parser<'_, 'src> {
     /// expression (`map.iter()`, `0..n`) is left to the main scanner,
     /// which records its real call events.
     fn scan_for_header(&mut self, sc: &mut StmtScan) {
+        let bind_start = sc.stmt.binds.len();
         // Pattern up to `in`.
         while let Some(t) = self.peek() {
             if t.is_ident("in") {
@@ -945,6 +1136,35 @@ impl<'src> Parser<'_, 'src> {
             look += 1;
         }
         let header = &self.toks[self.pos..look];
+        // `for i in a..base.len()` (exclusive range): `i < base.len()`
+        // holds throughout the body — emitted before the body block so
+        // the value-range analysis scopes it to the loop.
+        if sc.stmt.binds.len() == bind_start + 1 {
+            let mut depth = 0i32;
+            for (j, t) in header.iter().enumerate() {
+                if t.kind != TokenKind::Punct {
+                    continue;
+                }
+                match t.text.chars().next().unwrap_or(' ') {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => depth -= 1,
+                    '.' if depth == 0 && header.get(j + 1).is_some_and(|n| n.is_punct('.')) => {
+                        let inclusive = header.get(j + 2).is_some_and(|n| n.is_punct('='));
+                        if !inclusive {
+                            if let Some(base) = len_call_of(&header[j + 2..]) {
+                                let var = sc.stmt.binds.last().cloned().unwrap_or_default();
+                                sc.push_event(Event::Guard {
+                                    line: header.first().map_or(0, |h| h.line),
+                                    cond: GuardCond::LtLen { var, base },
+                                });
+                            }
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
         let simple = !header.is_empty()
             && header.iter().all(|t| {
                 (t.kind == TokenKind::Ident && !STMT_KEYWORDS.contains(&t.text))
@@ -972,6 +1192,127 @@ impl<'src> Parser<'_, 'src> {
         }));
         self.pos = look;
     }
+}
+
+/// An operand of a recognized guard comparison.
+enum Operand {
+    /// A bare `ident(.ident)*` chain.
+    Var(String),
+    /// `chain.len()`.
+    Len(String),
+    /// The integer literal `0`.
+    Zero,
+}
+
+/// The chain text of a pure `ident(.ident)*` token run, or `None`.
+fn chain_of(toks: &[Token<'_>]) -> Option<String> {
+    if toks.is_empty() || toks.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut parts: Vec<&str> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if i % 2 == 0 {
+            if t.kind != TokenKind::Ident || STMT_KEYWORDS.contains(&t.text) {
+                return None;
+            }
+            parts.push(t.text.strip_prefix("r#").unwrap_or(t.text));
+        } else if !t.is_punct('.') {
+            return None;
+        }
+    }
+    Some(parts.join("."))
+}
+
+/// The chain of a `chain.name()` no-argument call run, or `None`.
+fn no_arg_call_of(toks: &[Token<'_>], name: &str) -> Option<String> {
+    let n = toks.len();
+    if n >= 5
+        && toks[n - 1].is_punct(')')
+        && toks[n - 2].is_punct('(')
+        && toks[n - 3].is_ident(name)
+        && toks[n - 4].is_punct('.')
+    {
+        chain_of(&toks[..n - 4])
+    } else {
+        None
+    }
+}
+
+/// The chain of a `chain.len()` token run, or `None`.
+fn len_call_of(toks: &[Token<'_>]) -> Option<String> {
+    no_arg_call_of(toks, "len")
+}
+
+/// Classifies one side of a guard comparison.
+fn operand_of(toks: &[Token<'_>]) -> Option<Operand> {
+    if toks.len() == 1 && toks[0].kind == TokenKind::Number {
+        return (toks[0].text == "0").then_some(Operand::Zero);
+    }
+    if let Some(base) = len_call_of(toks) {
+        return Some(Operand::Len(base));
+    }
+    chain_of(toks).map(Operand::Var)
+}
+
+/// Matches one `&&`-conjunct against the recognized guard forms.
+fn guard_of(toks: &[Token<'_>]) -> Option<GuardCond> {
+    if toks.first().is_some_and(|t| t.is_punct('!')) {
+        return no_arg_call_of(&toks[1..], "is_empty").map(|base| GuardCond::NotEmpty { base });
+    }
+    if let Some(base) = no_arg_call_of(toks, "is_empty") {
+        return Some(GuardCond::Empty { base });
+    }
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        let c = t.text.chars().next().unwrap_or(' ');
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            '<' | '>' | '=' | '!' if depth == 0 => {
+                let eq = toks.get(i + 1).is_some_and(|n| n.is_punct('='));
+                if matches!(c, '=' | '!') && !eq {
+                    return None; // lone `=` / `!` mid-condition
+                }
+                let lhs = operand_of(&toks[..i])?;
+                let rhs = operand_of(&toks[i + 1 + usize::from(eq)..])?;
+                use Operand::{Len, Var, Zero};
+                return Some(match (lhs, c, eq, rhs) {
+                    (Var(var), '<', false, Len(base)) => GuardCond::LtLen { var, base },
+                    (Len(base), '>', false, Var(var)) => GuardCond::LtLen { var, base },
+                    (Var(var), '>', _, Len(base)) => GuardCond::GeLen { var, base },
+                    (Len(base), '<', _, Var(var)) => GuardCond::GeLen { var, base },
+                    (Len(base), '>', false, Zero) | (Zero, '<', false, Len(base)) => {
+                        GuardCond::NotEmpty { base }
+                    }
+                    (Len(base), '!', true, Zero) | (Zero, '!', true, Len(base)) => {
+                        GuardCond::NotEmpty { base }
+                    }
+                    (Len(base), '=', true, Zero) | (Zero, '=', true, Len(base)) => {
+                        GuardCond::Empty { base }
+                    }
+                    _ => return None,
+                });
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Joins expression tokens with spaces, except around `.` — so a range
+/// reads `"..torn"` / `"0..4"` and a chain reads `"self.k"`.
+fn join_expr(words: &[&str]) -> String {
+    let mut out = String::new();
+    for w in words {
+        if !out.is_empty() && *w != "." && !out.ends_with('.') {
+            out.push(' ');
+        }
+        out.push_str(w);
+    }
+    out
 }
 
 /// Inline format captures: `"{name}"` / `"{name:?}"` in a string

@@ -1,0 +1,426 @@
+//! Value-range analysis: intraprocedural guard propagation that
+//! *discharges* indexing-panic sites instead of flagging them.
+//!
+//! The panic-reachability analysis treats every `xs[i]` as a potential
+//! panic. Most real sites are dominated by a bounds guard; this pass
+//! recognizes the common forms and proves them in-bounds with printed
+//! evidence, so they need neither a finding nor a `// lint: allow`
+//! annotation:
+//!
+//! * `if i < xs.len() { … xs[i] … }` (also `while`, and the
+//!   conjunction `a && i < xs.len()`);
+//! * `if i >= xs.len() { return/break/continue; } … xs[i]`
+//!   (early-exit inversion);
+//! * `if !xs.is_empty() { … xs[0] … }` and the `is_empty` early-exit;
+//! * `for i in a..xs.len() { … xs[i] … }` (exclusive ranges only);
+//! * `let k = xs.len() / 2; … xs[..k]` (`k ≤ len` upper-bound facts,
+//!   division by a nonzero literal);
+//! * `xs[..]` (full-range slices are always in bounds).
+//!
+//! Facts die on rebinding or reassignment of the index variable or
+//! base, on a recognized mutating call (`push`, `pop`, `clear`,
+//! `truncate`, `drain`, …) whose receiver overlaps the base, and at
+//! the end of their guard's scope. A line is discharged only when
+//! *every* index event on it is proven — the reachability analysis
+//! skips whole lines. What the pass cannot see (mutation through
+//! `&mut` parameters, aliasing, closure captures rebinding a name) is
+//! catalogued in DESIGN.md §12's soundness envelope.
+
+use crate::ast::{Block, CallTarget, Event, GuardCond, LenFact, StmtPart};
+use crate::callgraph::CallGraph;
+use std::collections::BTreeMap;
+
+/// One indexing site proven in-bounds, with printable evidence.
+#[derive(Debug, Clone)]
+pub struct Discharge {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line of the index expression.
+    pub line: u32,
+    /// Qualified name of the containing function.
+    pub fn_qual: String,
+    /// Human-readable proof sketch.
+    pub evidence: String,
+}
+
+/// Methods that may change a collection's length.
+const MUTATORS: &[&str] = &[
+    "push",
+    "push_str",
+    "push_back",
+    "push_front",
+    "pop",
+    "pop_back",
+    "pop_front",
+    "insert",
+    "remove",
+    "swap_remove",
+    "clear",
+    "truncate",
+    "resize",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "drain",
+    "retain",
+    "split_off",
+    "take",
+    "dedup",
+];
+
+/// One live bounds fact.
+#[derive(Debug, Clone)]
+struct Fact {
+    kind: FactKind,
+    /// Block depth the fact is scoped to (dies when that block ends).
+    scope: usize,
+    /// Evidence text: where and how the bound was established.
+    src: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum FactKind {
+    /// `var < base.len()`.
+    IdxLt { var: String, base: String },
+    /// `var <= base.len()`.
+    IdxLe { var: String, base: String },
+    /// `base.len() > 0`.
+    NonEmpty { base: String },
+}
+
+/// Runs the analysis over every function, returning the proven sites.
+pub fn discharges(graph: &CallGraph<'_>) -> Vec<Discharge> {
+    let mut out = Vec::new();
+    for id in 0..graph.nodes.len() {
+        let def = graph.def(id);
+        let Some(body) = &def.body else { continue };
+        let file = graph.file(id);
+        // line → (total index events, proven index events, evidence).
+        let mut lines: BTreeMap<u32, (usize, usize, String)> = BTreeMap::new();
+        let mut facts: Vec<Fact> = Vec::new();
+        walk(body, 0, &mut facts, &mut lines);
+        for (line, (total, proven, evidence)) in lines {
+            if total == proven {
+                out.push(Discharge {
+                    path: file.path.clone(),
+                    line,
+                    fn_qual: def.qual.clone(),
+                    evidence,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// Two chains overlap when either is a prefix path of the other
+/// (`self.rbuf` vs `self` — a mutation through the shorter chain may
+/// reach the longer one).
+fn chains_overlap(a: &str, b: &str) -> bool {
+    a == b
+        || (a.len() > b.len() && a.starts_with(b) && a.as_bytes()[b.len()] == b'.')
+        || (b.len() > a.len() && b.starts_with(a) && b.as_bytes()[a.len()] == b'.')
+}
+
+fn kills_name(kind: &FactKind, name: &str) -> bool {
+    match kind {
+        FactKind::IdxLt { var, base } | FactKind::IdxLe { var, base } => {
+            chains_overlap(var, name) || chains_overlap(base, name)
+        }
+        FactKind::NonEmpty { base } => chains_overlap(base, name),
+    }
+}
+
+fn kills_mutation(kind: &FactKind, recv: &str) -> bool {
+    match kind {
+        FactKind::IdxLt { base, .. }
+        | FactKind::IdxLe { base, .. }
+        | FactKind::NonEmpty { base } => chains_overlap(base, recv),
+    }
+}
+
+/// Does executing this block always leave the enclosing block early
+/// (return, break, continue, or an unconditional panic)?
+fn block_exits(block: &Block) -> bool {
+    block.stmts.iter().any(|s| {
+        s.is_return
+            || s.is_exit
+            || s.parts.iter().any(|p| {
+                matches!(
+                    p,
+                    StmtPart::Event(Event::Call(c))
+                        if matches!(&c.target, CallTarget::Macro { name }
+                            if matches!(name.as_str(), "panic" | "unreachable" | "todo" | "unimplemented"))
+                )
+            })
+    })
+}
+
+fn walk(
+    block: &Block,
+    depth: usize,
+    facts: &mut Vec<Fact>,
+    lines: &mut BTreeMap<u32, (usize, usize, String)>,
+) {
+    for stmt in &block.stmts {
+        // Rebindings, reassignments, and mutating calls kill facts
+        // before anything in the statement is judged (within-statement
+        // order is not tracked; killing first is the sound direction).
+        for name in stmt.binds.iter().chain(stmt.assigns.iter()) {
+            facts.retain(|f| !kills_name(&f.kind, name));
+        }
+        for part in &stmt.parts {
+            if let StmtPart::Event(Event::Call(c)) = part {
+                if let CallTarget::Method { name, recv } = &c.target {
+                    if MUTATORS.contains(&name.as_str()) && !recv.is_empty() {
+                        facts.retain(|f| !kills_mutation(&f.kind, recv));
+                    }
+                }
+            }
+        }
+        // `let k = xs.len() / 2` introduces `k <= xs.len()`.
+        if let (Some(LenFact::AtMostLen { base }), Some(var)) = (&stmt.len_fact, stmt.binds.first())
+        {
+            facts.push(Fact {
+                kind: FactKind::IdxLe {
+                    var: var.clone(),
+                    base: base.clone(),
+                },
+                scope: depth,
+                src: format!(
+                    "`let {var} = {base}.len() …` upper bound at line {}",
+                    stmt.line
+                ),
+            });
+        }
+        let mut pending: Vec<(u32, GuardCond)> = Vec::new();
+        for part in &stmt.parts {
+            match part {
+                StmtPart::Event(Event::Guard { line, cond }) => {
+                    pending.push((*line, cond.clone()));
+                }
+                StmtPart::Event(Event::Index { line, base, index }) => {
+                    judge_index(*line, base, index, facts, lines);
+                }
+                StmtPart::Event(_) => {}
+                StmtPart::Block(b) => {
+                    let taken: Vec<(u32, GuardCond)> = std::mem::take(&mut pending);
+                    let before = facts.len();
+                    for (gline, cond) in &taken {
+                        if let Some(fact) = positive_fact(cond, *gline, depth + 1) {
+                            facts.push(fact);
+                        }
+                    }
+                    walk(b, depth + 1, facts, lines);
+                    let _ = before;
+                    facts.retain(|f| f.scope <= depth);
+                    if block_exits(b) {
+                        for (gline, cond) in &taken {
+                            if let Some(fact) = inverted_fact(cond, *gline, depth) {
+                                facts.push(fact);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    facts.retain(|f| f.scope < depth || depth == 0);
+}
+
+/// The fact a guard establishes *inside* its block.
+fn positive_fact(cond: &GuardCond, line: u32, scope: usize) -> Option<Fact> {
+    match cond {
+        GuardCond::LtLen { var, base } => Some(Fact {
+            kind: FactKind::IdxLt {
+                var: var.clone(),
+                base: base.clone(),
+            },
+            scope,
+            src: format!("`{var} < {base}.len()` guard at line {line}"),
+        }),
+        GuardCond::NotEmpty { base } => Some(Fact {
+            kind: FactKind::NonEmpty { base: base.clone() },
+            scope,
+            src: format!("`!{base}.is_empty()` guard at line {line}"),
+        }),
+        GuardCond::GeLen { .. } | GuardCond::Empty { .. } => None,
+    }
+}
+
+/// The fact a *negative* guard establishes after its block, when the
+/// block always exits early.
+fn inverted_fact(cond: &GuardCond, line: u32, scope: usize) -> Option<Fact> {
+    match cond {
+        GuardCond::GeLen { var, base } => Some(Fact {
+            kind: FactKind::IdxLt {
+                var: var.clone(),
+                base: base.clone(),
+            },
+            scope,
+            src: format!("`{var} >= {base}.len()` early-exit guard at line {line}"),
+        }),
+        GuardCond::Empty { base } => Some(Fact {
+            kind: FactKind::NonEmpty { base: base.clone() },
+            scope,
+            src: format!("`{base}.is_empty()` early-exit guard at line {line}"),
+        }),
+        GuardCond::LtLen { .. } | GuardCond::NotEmpty { .. } => None,
+    }
+}
+
+/// Records one index event at `line`, marking it proven when a live
+/// fact covers it.
+fn judge_index(
+    line: u32,
+    base: &str,
+    index: &str,
+    facts: &[Fact],
+    lines: &mut BTreeMap<u32, (usize, usize, String)>,
+) {
+    let entry = lines.entry(line).or_default();
+    entry.0 += 1;
+    let Some(evidence) = prove(base, index, facts) else {
+        return;
+    };
+    entry.1 += 1;
+    if entry.2.is_empty() {
+        entry.2 = evidence;
+    }
+}
+
+/// The proof for `base[index]` under `facts`, or `None`.
+fn prove(base: &str, index: &str, facts: &[Fact]) -> Option<String> {
+    if base.is_empty() || index.is_empty() {
+        return None;
+    }
+    if index == ".." {
+        return Some(format!("{base}[..] full-range slice is always in bounds"));
+    }
+    if let Some((lhs, rhs)) = index.split_once("..") {
+        // `base[a..b]`: the end bound must be ≤ len (strict or not);
+        // a nonempty start bound additionally needs start ≤ end, which
+        // only the plain-variable end forms guarantee via `a ≤ b`…
+        // so only empty-start (`..k`) and empty-end (`k..`) forms are
+        // provable here.
+        if !lhs.is_empty() && !rhs.is_empty() {
+            return None;
+        }
+        let var = if rhs.is_empty() { lhs } else { rhs };
+        return facts.iter().find_map(|f| match &f.kind {
+            FactKind::IdxLt { var: v, base: b } | FactKind::IdxLe { var: v, base: b }
+                if v == var && b == base =>
+            {
+                Some(format!("{base}[{index}] in bounds: {}", f.src))
+            }
+            _ => None,
+        });
+    }
+    if index == "0" {
+        return facts.iter().find_map(|f| match &f.kind {
+            FactKind::NonEmpty { base: b } if b == base => {
+                Some(format!("{base}[0] in bounds: {}", f.src))
+            }
+            _ => None,
+        });
+    }
+    facts.iter().find_map(|f| match &f.kind {
+        FactKind::IdxLt { var: v, base: b } if v == index && b == base => {
+            Some(format!("{base}[{index}] in bounds: {}", f.src))
+        }
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::Workspace;
+
+    fn run(src: &str) -> Vec<Discharge> {
+        let inputs = vec![("crates/serve/src/service.rs".to_owned(), src.to_owned())];
+        let ws = Workspace::parse(&inputs);
+        let graph = CallGraph::build(&ws);
+        discharges(&graph)
+    }
+
+    #[test]
+    fn lt_len_guard_discharges_the_index() {
+        let d = run("fn f(xs: &[u8], i: usize) -> u8 { if i < xs.len() { xs[i] } else { 0 } }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].evidence.contains("`i < xs.len()` guard"), "{d:?}");
+    }
+
+    #[test]
+    fn unguarded_index_is_not_discharged() {
+        let d = run("fn f(xs: &[u8], i: usize) -> u8 { xs[i] }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn early_exit_inversion_discharges_later_statements() {
+        let d = run(
+            "fn f(xs: &[u8], i: usize) -> u8 { if i >= xs.len() { return 0; } let v = xs[i]; v }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].evidence.contains("early-exit guard"), "{d:?}");
+    }
+
+    #[test]
+    fn for_range_over_len_discharges_the_body_index() {
+        let d = run("fn f(xs: &[u8]) { for i in 0..xs.len() { use_it(xs[i]); } }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn mutation_between_guard_and_index_kills_the_fact() {
+        let d = run("fn f(xs: &mut Vec<u8>, i: usize) { if i < xs.len() { xs.push(0); xs[i]; } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn reassignment_of_the_index_var_kills_the_fact() {
+        let d = run("fn f(xs: &[u8], mut i: usize) { if i < xs.len() { i += 1; xs[i]; } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn len_division_fact_discharges_prefix_slice() {
+        let d = run("fn f(xs: &[u8]) { let half = xs.len() / 2; use_it(&xs[..half]); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].evidence.contains("upper bound"), "{d:?}");
+    }
+
+    #[test]
+    fn not_empty_guard_discharges_index_zero() {
+        let d = run("fn f(xs: &[u8]) -> u8 { if !xs.is_empty() { xs[0] } else { 0 } }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn guard_does_not_leak_into_the_else_branch() {
+        let d = run("fn f(xs: &[u8], i: usize) -> u8 { if i < xs.len() { 0 } else { xs[i] } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn disjunction_is_never_a_guard() {
+        let d = run("fn f(xs: &[u8], i: usize, b: bool) { if i < xs.len() || b { xs[i]; } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn partially_proven_lines_are_not_discharged() {
+        let d = run(
+            "fn f(xs: &[u8], ys: &[u8], i: usize) { if i < xs.len() { let v = xs[i] + ys[i]; } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn as_bytes_preserves_the_base_length() {
+        let d = run("fn f(s: &str) { let half = s.len() / 2; use_it(&s.as_bytes()[..half]); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+}

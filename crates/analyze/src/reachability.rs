@@ -21,7 +21,7 @@
 use crate::ast::{CallTarget, Event, Stmt};
 use crate::callgraph::CallGraph;
 use crate::lint::Finding;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Qualified names of the functions client work enters through.
 pub const ENTRY_POINTS: &[&str] = &[
@@ -52,8 +52,14 @@ const PANIC_MACROS: &[&str] = &[
 pub type Allowed = BTreeMap<String, BTreeMap<&'static str, Vec<u32>>>;
 
 /// Runs the analysis. `allowed` maps file path → rule → annotated
-/// lines.
-pub fn check(graph: &CallGraph<'_>, allowed: &Allowed) -> Vec<Finding> {
+/// lines; `discharged` holds `(path, line)` indexing sites the
+/// value-range analysis proved in-bounds (see [`crate::ranges`]) —
+/// those report nothing and need no annotation.
+pub fn check(
+    graph: &CallGraph<'_>,
+    allowed: &Allowed,
+    discharged: &BTreeSet<(String, u32)>,
+) -> Vec<Finding> {
     let mut parent: Vec<Option<(usize, u32)>> = vec![None; graph.nodes.len()];
     let mut reached: Vec<bool> = vec![false; graph.nodes.len()];
     let mut queue = std::collections::VecDeque::new();
@@ -104,8 +110,13 @@ pub fn check(graph: &CallGraph<'_>, allowed: &Allowed) -> Vec<Finding> {
                     }
                     _ => return,
                 },
-                Event::Index { line } => (*line, "slice/array indexing can panic".to_owned()),
-                Event::DropVar { .. } => return,
+                Event::Index { line, .. } => {
+                    if discharged.contains(&(file.path.clone(), *line)) {
+                        return; // proven in-bounds by the range analysis
+                    }
+                    (*line, "slice/array indexing can panic".to_owned())
+                }
+                Event::DropVar { .. } | Event::Guard { .. } => return,
             };
             if allowed_lines.contains(&line) {
                 return;
@@ -124,8 +135,13 @@ pub fn check(graph: &CallGraph<'_>, allowed: &Allowed) -> Vec<Finding> {
 
 /// Formats the entry→site call chain from the BFS parent pointers:
 /// `reachable from Service::handle_line: Service::handle_line ->
-/// Store::put (service.rs:88) -> parse_record (log.rs:102)`.
-fn chain_text(graph: &CallGraph<'_>, parent: &[Option<(usize, u32)>], id: usize) -> String {
+/// Store::put (service.rs:88) -> parse_record (log.rs:102)`. Shared
+/// with the effect rules, which BFS from their own entry points.
+pub(crate) fn chain_text(
+    graph: &CallGraph<'_>,
+    parent: &[Option<(usize, u32)>],
+    id: usize,
+) -> String {
     // hops[i] = (node, line of the call in node's body that reaches
     // hops[i+1]); the last hop carries no outgoing line.
     let mut hops: Vec<(usize, Option<u32>)> = Vec::new();
@@ -173,7 +189,7 @@ mod tests {
             let (rules, _) = crate::lint::annotations_of(path, src);
             allowed.insert(path.clone(), rules);
         }
-        check(&graph, &allowed)
+        check(&graph, &allowed, &BTreeSet::new())
     }
 
     #[test]

@@ -6,19 +6,30 @@
 //! an engine change that starts flagging the good twins is rejecting
 //! correct code.
 
-use oa_analyze::engine::{run, Engine};
+use oa_analyze::engine::{run, Engine, Report};
 use oa_analyze::lint::Finding;
 
-/// Loads a fixture under a virtual request-path file name so entry
-/// points and rule scopes engage exactly as they do for the real
-/// workspace, and returns only the findings for `rule`.
-fn findings(rule: &str, fixture: &str) -> Vec<Finding> {
-    let inputs = vec![("crates/serve/src/service.rs".to_owned(), fixture.to_owned())];
+/// Runs the ast engine on one fixture under a virtual file name, so
+/// entry points and rule scopes engage exactly as they do for the
+/// real workspace.
+fn report_at(path: &str, fixture: &str) -> Report {
+    let inputs = vec![(path.to_owned(), fixture.to_owned())];
     run(Engine::Ast, &inputs)
+}
+
+/// [`report_at`], keeping only the findings for `rule`.
+fn findings_at(rule: &str, path: &str, fixture: &str) -> Vec<Finding> {
+    report_at(path, fixture)
         .findings
         .into_iter()
         .filter(|f| f.rule == rule)
         .collect()
+}
+
+/// The original request-path helper: fixtures that model `oa-serve`
+/// handlers load under the service file name.
+fn findings(rule: &str, fixture: &str) -> Vec<Finding> {
+    findings_at(rule, "crates/serve/src/service.rs", fixture)
 }
 
 const PANIC_BAD: &str = include_str!("fixtures/panic_bad.rs");
@@ -27,6 +38,12 @@ const LOCKS_BAD: &str = include_str!("fixtures/locks_bad.rs");
 const LOCKS_GOOD: &str = include_str!("fixtures/locks_good.rs");
 const TAINT_BAD: &str = include_str!("fixtures/taint_bad.rs");
 const TAINT_GOOD: &str = include_str!("fixtures/taint_good.rs");
+const BLOCKING_BAD: &str = include_str!("fixtures/blocking_bad.rs");
+const BLOCKING_GOOD: &str = include_str!("fixtures/blocking_good.rs");
+const ALLOC_BAD: &str = include_str!("fixtures/alloc_bad.rs");
+const ALLOC_GOOD: &str = include_str!("fixtures/alloc_good.rs");
+const RANGE_BAD: &str = include_str!("fixtures/range_bad.rs");
+const RANGE_GOOD: &str = include_str!("fixtures/range_good.rs");
 
 #[test]
 fn panic_fixture_fires_on_all_three_reachable_sites() {
@@ -96,4 +113,120 @@ fn taint_fixture_fires_with_the_source_line() {
 fn taint_good_twin_is_silent() {
     let f = findings("determinism", TAINT_GOOD);
     assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn blocking_fixture_fires_on_both_blocking_sites_with_chains() {
+    let f = findings_at(
+        "nonblocking_event_loop",
+        "crates/router/src/router.rs",
+        BLOCKING_BAD,
+    );
+    assert_eq!(f.len(), 2, "{f:#?}");
+    let recv = f
+        .iter()
+        .find(|x| x.message.contains(".recv() parks"))
+        .unwrap();
+    assert_eq!(recv.line, 12, "{recv:#?}");
+    assert!(
+        recv.message
+            .contains("stalls the nonblocking event loop; reachable from event_loop: event_loop"),
+        "{}",
+        recv.message
+    );
+    let sleep = f
+        .iter()
+        .find(|x| x.message.contains("thread::sleep parks the thread"))
+        .unwrap();
+    assert_eq!(sleep.line, 23, "{sleep:#?}");
+    assert!(
+        sleep
+            .message
+            .contains("event_loop -> dispatch (at router.rs:13) -> settle (at router.rs:18)"),
+        "{}",
+        sleep.message
+    );
+    // offline_reconnect sleeps too (line 28), but nothing reaches it.
+    assert!(f.iter().all(|x| x.line != 28), "{f:#?}");
+}
+
+#[test]
+fn blocking_good_twin_is_silent() {
+    let f = findings_at(
+        "nonblocking_event_loop",
+        "crates/router/src/router.rs",
+        BLOCKING_GOOD,
+    );
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn alloc_fixture_fires_with_the_kernel_chain() {
+    let f = findings_at(
+        "alloc_free_kernel",
+        "crates/linalg/src/sparse.rs",
+        ALLOC_BAD,
+    );
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert_eq!(f[0].line, 17, "{f:#?}");
+    assert!(
+        f[0].message.contains(
+            ".push() allocates — allocates in the LANES hot path; reachable from \
+             SymbolicPlan::factor: SymbolicPlan::factor -> scale_rows (at sparse.rs:11)"
+        ),
+        "{}",
+        f[0].message
+    );
+}
+
+#[test]
+fn alloc_good_twin_is_silent() {
+    let f = findings_at(
+        "alloc_free_kernel",
+        "crates/linalg/src/sparse.rs",
+        ALLOC_GOOD,
+    );
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn range_fixture_reports_only_the_unguarded_site() {
+    let r = report_at("crates/serve/src/service.rs", RANGE_BAD);
+    let panics: Vec<&Finding> = r.findings.iter().filter(|f| f.rule == "panic").collect();
+    assert_eq!(panics.len(), 1, "{panics:#?}");
+    assert_eq!(panics[0].line, 19, "{panics:#?}");
+    assert!(
+        panics[0].message.contains(
+            "slice/array indexing can panic; reachable from Service::handle_line: \
+             Service::handle_line -> checksum (at service.rs:13)"
+        ),
+        "{}",
+        panics[0].message
+    );
+    // The guarded twin on line 23 is discharged, not reported.
+    let d = r.discharged.iter().find(|d| d.line == 23).unwrap();
+    assert!(
+        d.evidence.contains("`k < bytes.len()` guard"),
+        "{}",
+        d.evidence
+    );
+}
+
+#[test]
+fn range_good_twin_is_silent_with_every_site_discharged() {
+    let r = report_at("crates/serve/src/service.rs", RANGE_GOOD);
+    assert!(
+        r.findings.iter().all(|f| f.rule != "panic"),
+        "{:#?}",
+        r.findings
+    );
+    let lines: Vec<u32> = r.discharged.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![16, 19, 22], "{:#?}", r.discharged);
+    let evidence: Vec<&str> = r.discharged.iter().map(|d| d.evidence.as_str()).collect();
+    assert!(evidence[0].contains("early-exit guard"), "{evidence:#?}");
+    assert!(evidence[1].contains("upper bound"), "{evidence:#?}");
+    assert!(
+        evidence[2].contains("`k < head.len()` guard"),
+        "{evidence:#?}"
+    );
 }

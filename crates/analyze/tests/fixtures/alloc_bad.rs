@@ -1,0 +1,24 @@
+// Fixture: a LANES factor kernel that allocates one call deep. The
+// alloc_free_kernel rule must flag the allocation site with the
+// entry -> site chain, and skip the allocating helper nothing in the
+// kernel reaches.
+pub struct SymbolicPlan {
+    perm: Vec<usize>,
+}
+
+impl SymbolicPlan {
+    pub fn factor(&self, vals: &mut Vec<f64>) {
+        scale_rows(&self.perm, vals);
+    }
+}
+
+fn scale_rows(perm: &[usize], vals: &mut Vec<f64>) {
+    // Heap growth inside the hot path: must be reported.
+    vals.push(0.0);
+}
+
+fn offline_report(rows: usize) -> String {
+    // Allocates, but nothing in the kernel reaches it: must NOT be
+    // reported.
+    format!("plan with {rows} rows")
+}

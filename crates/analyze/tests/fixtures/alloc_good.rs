@@ -1,0 +1,30 @@
+// Fixture twin of alloc_bad.rs: both kernel entry points write only
+// into caller-provided slices — in-place scaling, no heap growth — so
+// alloc_free_kernel must stay silent. The allocating reporter exists
+// but is unreachable from the kernels.
+pub struct SymbolicPlan {
+    perm: Vec<usize>,
+}
+
+impl SymbolicPlan {
+    pub fn factor(&self, vals: &mut [f64], out: &mut [f64]) {
+        scale_rows(vals, out);
+    }
+
+    pub fn solve_gated(&self, x: &mut [f64]) {
+        for i in 0..x.len() {
+            x[i] = x[i] * 2.0;
+        }
+    }
+}
+
+fn scale_rows(vals: &[f64], out: &mut [f64]) {
+    for i in 0..vals.len() {
+        out[i] = vals[i];
+    }
+}
+
+fn offline_report(rows: usize) -> String {
+    // Allocates, but unreachable from the kernels: must NOT be reported.
+    format!("plan with {rows} rows")
+}

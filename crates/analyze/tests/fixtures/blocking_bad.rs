@@ -1,0 +1,29 @@
+// Fixture: a router event loop that reaches blocking operations —
+// one directly in the loop body, one two calls deep. The effect
+// inference must flag both with the full entry -> site chain, and
+// skip the helper nothing reaches.
+pub struct Shard {
+    backlog: Vec<String>,
+}
+
+pub fn event_loop(shards: &mut Vec<Shard>, rx: Receiver<String>) {
+    loop {
+        // Direct blocking dequeue in the loop itself: must be reported.
+        let frame = rx.recv();
+        dispatch(shards, frame);
+    }
+}
+
+fn dispatch(shards: &mut Vec<Shard>, frame: Result<String, RecvError>) {
+    settle(shards);
+}
+
+fn settle(shards: &mut Vec<Shard>) {
+    // Blocking sleep two calls deep: must be reported with the chain.
+    std::thread::sleep(Duration::from_millis(50));
+}
+
+fn offline_reconnect() {
+    // Same blocking shape, but nothing reaches it: must NOT be reported.
+    std::thread::sleep(Duration::from_millis(500));
+}

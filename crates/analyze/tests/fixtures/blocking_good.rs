@@ -1,0 +1,36 @@
+// Fixture twin of blocking_bad.rs: the loop body is pure sweep-poller
+// discipline — single-shot nonblocking reads/writes/accepts (PerformsIo,
+// not Blocks) and bounded local work — so the nonblocking_event_loop
+// rule must stay silent. The blocking helper exists but is unreachable.
+pub struct Shard {
+    stream: TcpStream,
+    wbuf: Vec<u8>,
+}
+
+pub fn event_loop(shards: &mut Vec<Shard>, acceptor: &TcpListener) {
+    loop {
+        let mut chunk = [0u8; 4096];
+        for shard in shards.iter_mut() {
+            // Single-shot io on a nonblocking socket: io, not blocking.
+            let got = shard.stream.read(&mut chunk);
+            let sent = shard.stream.write(shard.wbuf.as_slice());
+            note_progress(got, sent);
+        }
+        let incoming = acceptor.accept();
+        note_accept(incoming);
+    }
+}
+
+fn note_progress(got: Result<usize, Error>, sent: Result<usize, Error>) {
+    let _ = got;
+    let _ = sent;
+}
+
+fn note_accept(incoming: Result<(TcpStream, SocketAddr), Error>) {
+    let _ = incoming;
+}
+
+fn offline_reconnect() {
+    // Blocking, but unreachable from the loop: must NOT be reported.
+    std::thread::sleep(Duration::from_millis(500));
+}

@@ -1,0 +1,30 @@
+// Fixture: a request handler reaching one unguarded indexing site and
+// one guarded twin in the same function. The panic-reachability rule
+// must report the unguarded site with the entry -> site chain; the
+// value-range analysis must discharge the guarded one so only a single
+// finding remains.
+pub struct Service {
+    store: Store,
+}
+
+impl Service {
+    pub fn handle_line(&self, line: &str) -> String {
+        let bytes = line.as_bytes();
+        checksum(bytes).to_string()
+    }
+}
+
+fn checksum(bytes: &[u8]) -> u8 {
+    // Unguarded indexing, reachable: must be reported.
+    let mut sum = bytes[0];
+    let k = cut_point(bytes);
+    if k < bytes.len() {
+        // Guarded twin: discharged by the range analysis, NOT reported.
+        sum = sum.wrapping_add(bytes[k]);
+    }
+    sum
+}
+
+fn cut_point(bytes: &[u8]) -> usize {
+    bytes.len() / 2
+}

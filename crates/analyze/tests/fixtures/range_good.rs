@@ -1,0 +1,33 @@
+// Fixture twin of range_bad.rs: every indexing site on the request
+// path is dominated by a recognized guard form, so the value-range
+// analysis discharges them all and the panic rule stays silent —
+// with zero `// lint: allow` annotations.
+pub struct Service {
+    store: Store,
+}
+
+impl Service {
+    pub fn handle_line(&self, line: &str) -> String {
+        let bytes = line.as_bytes();
+        if bytes.is_empty() {
+            return String::new();
+        }
+        // `is_empty` early-exit inversion proves bytes[0].
+        let tag = bytes[0];
+        // `half <= bytes.len()` upper-bound fact proves the prefix slice.
+        let half = bytes.len() / 2;
+        let head = &bytes[..half];
+        let k = cut_point(head);
+        // `k < head.len()` guard proves head[k].
+        let cut = if k < head.len() { head[k] } else { tag };
+        render(tag, cut)
+    }
+}
+
+fn cut_point(head: &[u8]) -> usize {
+    head.len() / 2
+}
+
+fn render(tag: u8, cut: u8) -> String {
+    format!("{tag}:{cut}")
+}

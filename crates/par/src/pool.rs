@@ -159,7 +159,9 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>, hook: Option<&(dyn Fn() + Send +
     loop {
         // Hold the lock only for the dequeue, never while running a job.
         let job = match receiver.lock() {
+            // lint: allow(lock_across_blocking, the queue mutex IS the dequeue handoff; exactly one idle worker parks in recv while holding it)
             Ok(guard) => guard.recv(),
+            // lint: allow(lock_across_blocking, same handoff on the poisoned-lock recovery path)
             Err(poisoned) => poisoned.into_inner().recv(),
         };
         match job {

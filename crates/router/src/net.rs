@@ -78,6 +78,7 @@ impl Conn {
     /// Resolution or connection failures.
     pub fn dial(addr_text: &str) -> std::io::Result<Conn> {
         let addrs = oa_serve::resolve(addr_text)?;
+        // lint: allow(nonblocking_event_loop, the one whitelisted blocking site: shard dials are loopback/LAN and paced by the reconnect backoff (DESIGN.md §11))
         Conn::new(TcpStream::connect(addrs.as_slice())?)
     }
 
@@ -234,6 +235,7 @@ impl IdleBackoff {
         }
         self.idle_sweeps = self.idle_sweeps.saturating_add(1);
         let micros = (100u64 << self.idle_sweeps.min(6)).min(5_000);
+        // lint: allow(nonblocking_event_loop, bounded idle backoff (≤5ms) when no connection made progress; trades latency for CPU by design)
         std::thread::sleep(Duration::from_micros(micros));
     }
 }

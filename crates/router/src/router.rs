@@ -364,6 +364,7 @@ impl RouterState {
         if let Decision::Stall { millis } =
             self.faults.decide(Site::RouterWrite, frame.len() as u64)
         {
+            // lint: allow(nonblocking_event_loop, deliberate fault-injected stall; inert unless a chaos plan arms Site::RouterWrite)
             std::thread::sleep(Duration::from_millis(millis));
         }
         if let Some(conn) = self.clients.get_mut(&client) {

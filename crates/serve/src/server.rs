@@ -242,7 +242,6 @@ fn connection_loop(stream: TcpStream, service: &Arc<Service>, pool: &Arc<Pool>, 
             // failure a real peer can observe.
             if let Decision::DropConn = faults.decide(Site::ConnWrite, response.len() as u64) {
                 let torn = response.len() / 2;
-                // lint: allow(panic, len/2 is always within the response)
                 let _ = w.write_all(&response.as_bytes()[..torn]);
                 let _ = w.shutdown(Shutdown::Both);
                 return;

@@ -8,7 +8,11 @@
 #      bench function fails the step;
 #   2. check the committed BENCH_ac_sweep.json / BENCH_evals_per_sec.json
 #      snapshots still carry the keys the benches emit, so a bench rename
-#      cannot drift away from the recorded numbers unnoticed.
+#      cannot drift away from the recorded numbers unnoticed;
+#   3. run `oa_lint --engine=ast --timings` and assert the stderr timing
+#      line still parses (engine/files/fns/edges/discharged/elapsed_ms),
+#      and that the committed BENCH_lint.json snapshot carries the same
+#      fields.
 #
 # This is a schema/liveness gate, not a perf gate: CI machines are too
 # noisy to compare nanoseconds against the snapshots.
@@ -69,4 +73,25 @@ check_snapshot BENCH_evals_per_sec.json \
     eval_full_uncached \
     evals_per_sec
 
-echo "OK: both benches ran all rows in quick mode, snapshots carry the expected schema"
+echo "running oa_lint --engine=ast --timings (timing-line schema)"
+cargo run -q -p oa-analyze --bin oa_lint -- --engine=ast --timings \
+    >"$OUT/lint.out" 2>"$OUT/lint.err" || {
+    cat "$OUT/lint.out" "$OUT/lint.err" >&2
+    echo "FAIL: oa_lint --engine=ast reported findings or did not run" >&2
+    exit 1
+}
+if ! grep -Eq 'engine=ast files=[0-9]+ fns=[0-9]+ edges=[0-9]+ discharged=[0-9]+ elapsed_ms=[0-9]+' "$OUT/lint.err"; then
+    cat "$OUT/lint.err" >&2
+    echo "FAIL: oa_lint --timings stderr line lost its schema" >&2
+    exit 1
+fi
+
+[ -f BENCH_lint.json ] || { echo "FAIL: missing snapshot BENCH_lint.json" >&2; exit 1; }
+for key in files fns edges discharged elapsed_ms timing_line; do
+    if ! grep -q "\"$key\"" BENCH_lint.json; then
+        echo "FAIL: snapshot BENCH_lint.json lost key '$key'" >&2
+        exit 1
+    fi
+done
+
+echo "OK: benches ran all rows in quick mode, the lint timing line parses, snapshots carry the expected schema"
