@@ -33,8 +33,19 @@ pub const ENTRY_POINTS: &[&str] = &[
 ];
 
 /// Lib names of the crates whose panic sites must be annotated when
-/// reachable.
-pub const HARDENED_CRATES: &[&str] = &["oa_serve", "oa_par", "oa_store", "oa_fault", "oa_router"];
+/// reachable. `oa_bo`, `oa_gp` and `oa_graph` joined when the session
+/// ops put the BO propose/observe loop and the WL-GP fit on the
+/// `Service::handle_line` request path (DESIGN.md §13).
+pub const HARDENED_CRATES: &[&str] = &[
+    "oa_serve",
+    "oa_par",
+    "oa_store",
+    "oa_fault",
+    "oa_router",
+    "oa_bo",
+    "oa_gp",
+    "oa_graph",
+];
 
 /// Macros that unconditionally (or assertion-conditionally) panic.
 const PANIC_MACROS: &[&str] = &[

@@ -161,6 +161,7 @@ where
     #[allow(clippy::needless_range_loop)] // k indexes every dimension's permutation
     for k in 0..n_init {
         let x: Vec<f64> = (0..dim)
+            // lint: allow(panic, strata holds dim permutations of length n_init; d < dim and k < n_init by the loop bounds)
             .map(|d| (strata[d][k] as f64 + rng.gen::<f64>()) / n_init.max(1) as f64)
             .collect();
         evaluate(x, &mut history, &mut black_box);
@@ -198,6 +199,7 @@ fn propose(
     // GP: built once, reference-counted into each model.
     let xs: std::sync::Arc<Vec<Vec<f64>>> =
         std::sync::Arc::new(history.iter().map(|(x, _)| x.clone()).collect());
+    // lint: allow(panic, history.len() >= 2 by the early return above)
     let n_cons = history[0].1.constraints.len();
 
     let obj_gp = GpRegressor::fit_shared(
@@ -208,6 +210,7 @@ fn propose(
         .map(|i| {
             GpRegressor::fit_shared(
                 xs.clone(),
+                // lint: allow(panic, i < n_cons and every observation carries n_cons constraints by construction)
                 history.iter().map(|(_, o)| o.constraints[i]).collect(),
             )
         })
@@ -218,6 +221,7 @@ fn propose(
     if con_gps.iter().any(Result::is_err) {
         return random_point(rng);
     }
+    // lint: allow(panic, the is_err scan on the line above returned early, so every element is Ok)
     let con_gps: Vec<GpRegressor> = con_gps.into_iter().map(|g| g.expect("checked")).collect();
 
     let best_feasible = history

@@ -32,6 +32,7 @@
 
 mod acquisition;
 mod continuous;
+mod session;
 mod topology;
 
 pub use acquisition::{
@@ -40,4 +41,5 @@ pub use acquisition::{
 pub use continuous::{
     maximize_constrained, maximize_constrained_anchored, BoConfig, BoResult, Observation,
 };
+pub use session::BoSession;
 pub use topology::{topology_bo, TopoBoConfig, TopoBoResult, TopoObservation, TopoRecord};

@@ -1,0 +1,402 @@
+//! Resumable topology-BO sessions: Algorithm 1 decomposed into explicit
+//! `propose` / `observe` half-steps.
+//!
+//! [`crate::topology_bo_filtered`] runs the whole optimization in one
+//! call; a *session* exposes the same state machine one iterate at a
+//! time, so a serving layer can interleave many concurrent
+//! optimizations, evaluate proposals on its own worker pool, and replay
+//! a session deterministically from `(config, seed, observations)`.
+//!
+//! ## Determinism contract
+//!
+//! A session is a pure function of its construction config (which
+//! includes the RNG seed), the warm-start observations seeded before
+//! the first proposal, and the observation fed back for each proposal.
+//! Two sessions driven with identical inputs produce identical proposal
+//! sequences — the batch driver [`crate::topology_bo_filtered`] is
+//! itself implemented as a session loop, so the equivalence is pinned
+//! by the whole existing `topology_bo` test suite.
+//!
+//! ## Warm starts
+//!
+//! [`BoSession::seed_observation`] injects observations measured under
+//! *related* specs (the function-family transfer of the warm-start
+//! literature): they join the GP training set and the elite pool, but
+//! are never counted in [`BoSession::history`] and never marked
+//! visited — the session may legitimately re-evaluate the same
+//! topology under its own spec. All seeded observations must carry the
+//! same number of constraints as the session's own observations.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use oa_circuit::Topology;
+use oa_gp::WlGp;
+use oa_graph::{WlFeatures, WlFeaturizer};
+
+use crate::topology::{
+    generate_candidates, rank_better, select_candidate, TopoBoConfig, TopoBoResult,
+    TopoObservation, TopoRecord,
+};
+
+/// One in-flight topology optimization, stepped explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use oa_bo::{BoSession, TopoBoConfig, TopoObservation};
+///
+/// let cfg = TopoBoConfig { n_init: 3, n_iter: 4, pool_size: 20, ..TopoBoConfig::default() };
+/// let mut session = BoSession::new(cfg);
+/// for _ in 0..5 {
+///     let Some(t) = session.propose_default() else { continue };
+///     session.observe(t, Some(TopoObservation {
+///         objective: t.connected_count() as f64,
+///         constraints: vec![],
+///         metrics: vec![],
+///     }));
+/// }
+/// assert_eq!(session.history().len(), 5);
+/// assert!(session.best().is_some());
+/// ```
+#[derive(Debug)]
+pub struct BoSession {
+    config: TopoBoConfig,
+    rng: ChaCha8Rng,
+    featurizer: WlFeaturizer,
+    visited: HashSet<Topology>,
+    history: Vec<TopoRecord>,
+    feats: Vec<WlFeatures>,
+    warm: Vec<TopoRecord>,
+    warm_feats: Vec<WlFeatures>,
+    rejected: usize,
+    init_attempts: usize,
+}
+
+impl BoSession {
+    /// Opens a session. The RNG is seeded from `config.seed`; nothing is
+    /// drawn until the first proposal.
+    pub fn new(config: TopoBoConfig) -> BoSession {
+        BoSession {
+            config,
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            featurizer: WlFeaturizer::new(),
+            visited: HashSet::new(),
+            history: Vec::new(),
+            feats: Vec::new(),
+            warm: Vec::new(),
+            warm_feats: Vec::new(),
+            rejected: 0,
+            init_attempts: 0,
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &TopoBoConfig {
+        &self.config
+    }
+
+    /// Seeds one warm-start observation (see the module docs). Must be
+    /// called before the first [`BoSession::propose`] for the replay
+    /// contract to hold.
+    pub fn seed_observation(&mut self, topology: Topology, observation: TopoObservation) {
+        self.warm_feats.push(
+            self.featurizer
+                .featurize_topology(&topology, self.config.wl_levels),
+        );
+        self.warm.push(TopoRecord {
+            topology,
+            observation,
+        });
+    }
+
+    /// `true` while the session is still drawing its random initial
+    /// dataset (line 1 of Algorithm 1) — i.e. fewer than `n_init`
+    /// successful observations and the draw budget is not exhausted.
+    pub fn in_init_phase(&self) -> bool {
+        self.history.len() < self.config.n_init && self.init_attempts < self.config.n_init * 50
+    }
+
+    /// Proposes the next topology to evaluate, or `None` when the
+    /// current phase has nothing to offer (initial-draw budget exhausted,
+    /// or an empty candidate pool). The proposal is marked visited
+    /// immediately; every proposal must be answered by exactly one
+    /// [`BoSession::observe`] before the next `propose`.
+    pub fn propose<V>(&mut self, is_valid: &mut V) -> Option<Topology>
+    where
+        V: FnMut(&Topology) -> bool,
+    {
+        if self.in_init_phase() {
+            return self.propose_init(is_valid);
+        }
+        self.propose_bo(is_valid)
+    }
+
+    /// [`BoSession::propose`] with the default structural-validity
+    /// filter ([`oa_analyze::is_structurally_valid`]).
+    pub fn propose_default(&mut self) -> Option<Topology> {
+        let mut is_valid = oa_analyze::is_structurally_valid;
+        self.propose(&mut is_valid)
+    }
+
+    fn propose_init<V>(&mut self, is_valid: &mut V) -> Option<Topology>
+    where
+        V: FnMut(&Topology) -> bool,
+    {
+        while self.history.len() < self.config.n_init
+            && self.init_attempts < self.config.n_init * 50
+        {
+            self.init_attempts += 1;
+            let t = Topology::random(&mut self.rng);
+            if self.visited.contains(&t) {
+                continue;
+            }
+            if !is_valid(&t) {
+                self.visited.insert(t);
+                self.rejected += 1;
+                continue;
+            }
+            self.visited.insert(t);
+            return Some(t);
+        }
+        None
+    }
+
+    fn propose_bo<V>(&mut self, is_valid: &mut V) -> Option<Topology>
+    where
+        V: FnMut(&Topology) -> bool,
+    {
+        // The GP trains on warm-start records first, then the session's
+        // own history, in seeding order — with no warm records this is
+        // exactly the batch optimizer's training set.
+        let (records_buf, feats_buf);
+        let (records, feats): (&[TopoRecord], &[WlFeatures]) = if self.warm.is_empty() {
+            (&self.history, &self.feats)
+        } else {
+            records_buf = self
+                .warm
+                .iter()
+                .chain(&self.history)
+                .cloned()
+                .collect::<Vec<_>>();
+            feats_buf = self
+                .warm_feats
+                .iter()
+                .chain(&self.feats)
+                .cloned()
+                .collect::<Vec<_>>();
+            (&records_buf, &feats_buf)
+        };
+        let pool = generate_candidates(
+            &self.config,
+            records,
+            &mut self.visited,
+            &mut self.rng,
+            is_valid,
+            &mut self.rejected,
+        );
+        if pool.is_empty() {
+            return None;
+        }
+        let chosen = select_candidate(&self.config, records, feats, &pool, &mut self.featurizer)
+            // lint: allow(panic, pool is non-empty by the early return above and gen_range yields an index below pool.len())
+            .unwrap_or_else(|| pool[self.rng.gen_range(0..pool.len())]);
+        self.visited.insert(chosen);
+        Some(chosen)
+    }
+
+    /// Records the outcome of evaluating a proposal. `None` means the
+    /// evaluation failed (no sized design found); the topology stays
+    /// visited and the history does not grow — exactly the batch
+    /// optimizer's treatment of a failed oracle call.
+    pub fn observe(&mut self, topology: Topology, observation: Option<TopoObservation>) {
+        if let Some(obs) = observation {
+            self.feats.push(
+                self.featurizer
+                    .featurize_topology(&topology, self.config.wl_levels),
+            );
+            self.history.push(TopoRecord {
+                topology,
+                observation: obs,
+            });
+        }
+    }
+
+    /// Successfully evaluated records, in evaluation order (warm-start
+    /// records excluded).
+    pub fn history(&self) -> &[TopoRecord] {
+        &self.history
+    }
+
+    /// Warm-start records seeded at open time.
+    pub fn warm(&self) -> &[TopoRecord] {
+        &self.warm
+    }
+
+    /// Structurally degenerate candidates burned by the validity filter.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Index into [`BoSession::history`] of the incumbent under
+    /// feasible-first ranking, or `None` for an empty history. Warm-start
+    /// records never become the incumbent: the incumbent is a result
+    /// *under this session's spec*.
+    pub fn best(&self) -> Option<usize> {
+        (0..self.history.len()).reduce(|a, b| {
+            // lint: allow(panic, a and b both come from 0..history.len())
+            if rank_better(&self.history[b].observation, &self.history[a].observation) {
+                b
+            } else {
+                a
+            }
+        })
+    }
+
+    /// The WL label dictionary accumulated so far.
+    pub fn featurizer(&self) -> &WlFeaturizer {
+        &self.featurizer
+    }
+
+    /// Posterior mean and variance of the *objective* GP at each probe
+    /// topology, trained exactly as the next [`BoSession::propose`]
+    /// would train it (warm records first, then history). Probes are
+    /// featurized through a clone of the session featurizer, so calling
+    /// this never perturbs the session's label dictionary or its replay.
+    /// Returns `None` when the GP cannot be fitted (e.g. no
+    /// observations). Pins the warm-start seeding path against a
+    /// reference [`WlGp::fit`] in the differential tests.
+    pub fn objective_posterior(&self, probes: &[Topology]) -> Option<Vec<(f64, f64)>> {
+        let feats: Vec<WlFeatures> = self.warm_feats.iter().chain(&self.feats).cloned().collect();
+        let y: Vec<f64> = self
+            .warm
+            .iter()
+            .chain(&self.history)
+            .map(|r| r.observation.objective)
+            .collect();
+        let gp = WlGp::fit(feats, y).ok()?;
+        let mut featurizer = self.featurizer.clone();
+        probes
+            .iter()
+            .map(|t| {
+                gp.predict(&featurizer.featurize_topology(t, self.config.wl_levels))
+                    .ok()
+            })
+            .collect()
+    }
+
+    /// Consumes the session into the batch-result shape.
+    pub fn into_result(self) -> TopoBoResult {
+        let best = self.best();
+        TopoBoResult {
+            history: self.history,
+            best,
+            featurizer: self.featurizer,
+            rejected: self.rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_oracle(t: &Topology) -> Option<TopoObservation> {
+        Some(TopoObservation {
+            objective: t.connected_count() as f64,
+            constraints: vec![-1.0],
+            metrics: vec![],
+        })
+    }
+
+    fn cfg(seed: u64) -> TopoBoConfig {
+        TopoBoConfig {
+            n_init: 4,
+            n_iter: 6,
+            pool_size: 24,
+            seed,
+            ..TopoBoConfig::default()
+        }
+    }
+
+    #[test]
+    fn session_loop_matches_batch_optimizer_exactly() {
+        let config = cfg(11);
+        let batch = crate::topology_bo(&config, toy_oracle);
+        let mut session = BoSession::new(config);
+        let mut is_valid = oa_analyze::is_structurally_valid;
+        while session.in_init_phase() {
+            let Some(t) = session.propose(&mut is_valid) else {
+                break;
+            };
+            session.observe(t, toy_oracle(&t));
+        }
+        for _ in 0..config.n_iter {
+            let Some(t) = session.propose(&mut is_valid) else {
+                continue;
+            };
+            session.observe(t, toy_oracle(&t));
+        }
+        let stepped = session.into_result();
+        let a: Vec<_> = batch.history.iter().map(|r| r.topology).collect();
+        let b: Vec<_> = stepped.history.iter().map(|r| r.topology).collect();
+        assert_eq!(a, b, "stepped session must replay the batch run");
+        assert_eq!(batch.best, stepped.best);
+        assert_eq!(batch.rejected, stepped.rejected);
+    }
+
+    #[test]
+    fn warm_records_train_the_gp_but_stay_out_of_history() {
+        let config = cfg(3);
+        let mut session = BoSession::new(config);
+        let t = Topology::bare_cascade();
+        session.seed_observation(
+            t,
+            TopoObservation {
+                objective: 2.5,
+                constraints: vec![-1.0],
+                metrics: vec![],
+            },
+        );
+        assert_eq!(session.warm().len(), 1);
+        assert!(session.history().is_empty());
+        assert!(session.best().is_none(), "warm records are not incumbents");
+        let posterior = session
+            .objective_posterior(&[t])
+            .expect("one warm record fits a GP");
+        assert_eq!(posterior.len(), 1);
+        // A seeded topology may still be proposed by this session.
+        let mut proposed = Vec::new();
+        for _ in 0..config.n_init {
+            if let Some(p) = session.propose_default() {
+                proposed.push(p);
+                session.observe(p, toy_oracle(&p));
+            }
+        }
+        assert_eq!(session.history().len(), proposed.len());
+    }
+
+    #[test]
+    fn posterior_probe_does_not_perturb_the_replay() {
+        let config = cfg(5);
+        let drive = |probe: bool| {
+            let mut session = BoSession::new(config);
+            let mut out = Vec::new();
+            for _ in 0..(config.n_init + config.n_iter) {
+                if probe {
+                    let _ = session.objective_posterior(&[Topology::bare_cascade()]);
+                }
+                let Some(t) = session.propose_default() else {
+                    continue;
+                };
+                session.observe(t, toy_oracle(&t));
+                out.push(t);
+            }
+            out
+        };
+        assert_eq!(drive(false), drive(true));
+    }
+}

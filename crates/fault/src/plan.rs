@@ -37,6 +37,11 @@ pub enum Site {
     /// `oa-router` response writer — one response frame to a client
     /// (stalled write; the event loop pays the latency).
     RouterWrite,
+    /// `oa-serve` session `step` — decided at the top of the handler,
+    /// before any session state mutates, so a failed step is
+    /// state-preserving: the client re-requests and receives exactly
+    /// the step the fault displaced.
+    SessionStep,
 }
 
 impl Site {
@@ -52,6 +57,7 @@ impl Site {
             Site::EvalItem => "eval_item",
             Site::ShardDrop => "shard_drop",
             Site::RouterWrite => "router_write",
+            Site::SessionStep => "session_step",
         }
     }
 }
@@ -138,6 +144,9 @@ pub struct FaultConfig {
     /// Probability of stalling a router response write (bounded by
     /// `stall_max_millis`).
     pub router_stall_per_mille: u16,
+    /// Probability of failing one session `step` with a typed injected
+    /// error before any state mutates.
+    pub session_step_per_mille: u16,
 }
 
 impl FaultConfig {
@@ -179,6 +188,18 @@ impl FaultConfig {
         }
     }
 
+    /// Session-trial profile: frequent mid-step failures on the shard
+    /// side. Everything else stays off so session chaos trials compose
+    /// it with [`FaultConfig::router_storm`] on the router — the step
+    /// failures exercise the client's retry path while the router storm
+    /// and the trial's shard kill exercise failover and replay.
+    pub fn session_storm() -> FaultConfig {
+        FaultConfig {
+            session_step_per_mille: 200,
+            ..FaultConfig::default()
+        }
+    }
+
     /// Everything at once — the full chaos matrix profile.
     pub fn storm() -> FaultConfig {
         FaultConfig {
@@ -193,6 +214,7 @@ impl FaultConfig {
             item_error_per_mille: 150,
             shard_drop_per_mille: 120,
             router_stall_per_mille: 80,
+            session_step_per_mille: 150,
         }
     }
 }
@@ -364,6 +386,13 @@ impl FaultPlan {
                 let millis = 1 + self.draw() % self.config.stall_max_millis.max(1);
                 if stalled {
                     Decision::Stall { millis }
+                } else {
+                    Decision::Pass
+                }
+            }
+            Site::SessionStep => {
+                if self.roll(self.config.session_step_per_mille) {
+                    Decision::FailItem
                 } else {
                     Decision::Pass
                 }
@@ -625,6 +654,21 @@ mod tests {
         }
         assert!(drops > 100, "router storm must drop shard links ({drops})");
         assert!(stalls > 50, "router storm must stall writes ({stalls})");
+    }
+
+    #[test]
+    fn session_storm_fails_steps_without_other_sites() {
+        let faults = Faults::seeded(19, FaultConfig::session_storm());
+        let mut failed = 0;
+        for _ in 0..1000 {
+            match faults.decide(Site::SessionStep, 0) {
+                Decision::FailItem => failed += 1,
+                Decision::Pass => {}
+                other => panic!("session_step produced {other}"),
+            }
+            assert_eq!(faults.decide(Site::StoreWrite, 64), Decision::Pass);
+        }
+        assert!(failed > 100, "session storm must fail steps ({failed})");
     }
 
     #[test]

@@ -25,6 +25,7 @@ impl RbfKernel {
     ///
     /// Panics if the inputs have different lengths.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        // lint: allow(panic, documented contract; fit validates every row against dim and predict rejects mismatched inputs before calling)
         assert_eq!(a.len(), b.len(), "kernel input dimension mismatch");
         let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
         self.signal_var * (-d2 / (2.0 * self.lengthscale * self.lengthscale)).exp()
@@ -94,6 +95,7 @@ impl GpRegressor {
                 targets: y.len(),
             });
         }
+        // lint: allow(panic, x is non-empty by the BadTrainingSet return above)
         let dim = x[0].len();
         for xi in x.iter() {
             if xi.len() != dim {
@@ -112,6 +114,7 @@ impl GpRegressor {
                 lengthscale: ls,
                 signal_var: 1.0,
             };
+            // lint: allow(panic, Matrix::from_fn passes i and j below x.len())
             let k = Matrix::from_fn(x.len(), x.len(), |i, j| kernel.eval(&x[i], &x[j]));
             for &noise in &Self::NOISES {
                 match fit_gram(&k, noise, &y_norm) {
@@ -163,6 +166,7 @@ impl GpRegressor {
     ///
     /// Returns [`GpError::DimensionMismatch`] on a wrong input dimension.
     pub fn predict(&self, x: &[f64]) -> Result<(f64, f64), GpError> {
+        // lint: allow(panic, fit rejects an empty training set, so self.x is non-empty by construction)
         let dim = self.x[0].len();
         if x.len() != dim {
             return Err(GpError::DimensionMismatch {

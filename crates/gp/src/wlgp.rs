@@ -106,15 +106,19 @@ impl WlGp {
             .iter()
             .map(WlFeatures::max_h)
             .min()
+            // lint: allow(panic, feats is non-empty by the BadTrainingSet return above)
             .expect("non-empty");
 
         let n = feats.len();
         let mut best: Option<(WlGpHyperparams, f64, FittedGram)> = None;
         for h in 0..=h_cap {
+            // lint: allow(panic, Matrix::from_fn passes i and j below n = feats.len())
             let raw = Matrix::from_fn(n, n, |i, j| feats[i].kernel(&feats[j], h));
+            // lint: allow(panic, i < n and the Gram matrix is n-by-n)
             let scale = (0..n).map(|i| raw[(i, i)]).sum::<f64>() / n as f64;
             let scale = if scale > 0.0 { scale } else { 1.0 };
             for &sig in &Self::SIGNALS {
+                // lint: allow(panic, i and j are below n and raw is n-by-n)
                 let k = Matrix::from_fn(n, n, |i, j| sig * raw[(i, j)] / scale);
                 for &noise in &Self::NOISES {
                     if let Ok(f) = fit_gram(&k, noise, &y_norm) {
@@ -159,6 +163,15 @@ impl WlGp {
     /// The selected hyperparameters.
     pub fn hyperparams(&self) -> WlGpHyperparams {
         self.hyper
+    }
+
+    /// Log marginal likelihood of the selected fit — the model-selection
+    /// score that chose `h`, `σ_f²` and `σ_n²`. Two models trained on
+    /// the same data select the same fit, so equal `lml` is a cheap
+    /// necessary condition for posterior equality (the warm-start
+    /// differential tests assert it alongside the posterior itself).
+    pub fn lml(&self) -> f64 {
+        self.fitted.lml
     }
 
     fn kernel_to_training(&self, f: &WlFeatures) -> Vec<f64> {

@@ -168,10 +168,12 @@ impl WlFeaturizer {
         for h in 1..=h_max {
             let mut next = Vec::with_capacity(n);
             for i in 0..n {
+                // lint: allow(panic, adjacency indices are below node_count by CircuitGraph construction, and current has node_count entries)
                 let mut neigh: Vec<u32> = graph.neighbors(i).iter().map(|&j| current[j]).collect();
                 neigh.sort_unstable();
                 let agg = format!(
                     "{h}:{}|{}",
+                    // lint: allow(panic, i < n = node_count and current has n entries)
                     current[i],
                     neigh
                         .iter()
@@ -274,10 +276,12 @@ impl WlFeatures {
     /// Panics if either feature set was extracted with fewer than `h`
     /// levels.
     pub fn kernel(&self, other: &WlFeatures, h: usize) -> f64 {
+        // lint: allow(panic, documented contract; WlGp::fit caps h at the minimum extracted max_h and WlFeatures::kernel callers honor it)
         assert!(
             h <= self.max_h() && h <= other.max_h(),
             "kernel level {h} exceeds extracted levels"
         );
+        // lint: allow(panic, l <= h <= max_h and levels holds max_h + 1 histograms)
         (0..=h).map(|l| self.levels[l].dot(&other.levels[l])).sum()
     }
 }

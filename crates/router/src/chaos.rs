@@ -31,9 +31,10 @@ use std::time::Duration;
 
 use oa_circuit::{ParamSpace, Topology};
 use oa_fault::{FaultConfig, FaultStats, Faults, RetryPolicy};
-use oa_serve::{request, serve, Client, ClientConfig, Server};
+use oa_serve::{request, serve, Client, ClientConfig, Server, SessionDriver};
 
 use crate::fabric::{shard_config, Fabric};
+use crate::ring::{HashRing, DEFAULT_VNODES};
 
 /// Shards in every trial fabric.
 const TRIAL_SHARDS: u32 = 2;
@@ -177,6 +178,127 @@ pub fn router_trial(dir: &Path, seed: u64) -> io::Result<RouterTrial> {
         matches_baseline,
         trace_hash: faults.trace_hash(),
         stats: faults.stats(),
+    })
+}
+
+/// Steps in the session trial workload.
+const SESSION_STEPS: usize = 5;
+
+/// The outcome of one seeded session chaos trial.
+#[derive(Debug, Clone)]
+pub struct SessionTrial {
+    /// The seed the fault plans ran under.
+    pub seed: u64,
+    /// The session's logical response stream from the faulty fabric
+    /// (open, steps, stats, close — after driver-side retries/replays).
+    pub responses: Vec<String>,
+    /// Whether every response byte-matches the fault-free baseline.
+    pub matches_baseline: bool,
+    /// Decision counters of the router-side storm.
+    pub router_stats: FaultStats,
+    /// Decision counters of the shard-side session storm.
+    pub shard_stats: FaultStats,
+}
+
+/// The session workload: open, `SESSION_STEPS` steps, a `session_stats`
+/// probe, close. Single-spec on purpose — warm-start scans the *local*
+/// shard store, and a failover moves the session to a shard with a
+/// different store, so only a warm-free session is shard-independent
+/// (the documented deployment rule for sessions behind a fabric; see
+/// DESIGN.md §13).
+fn session_requests(session: u64, seed: u64) -> (String, Vec<String>, String, String) {
+    let open = request::open_session(100, session, &["S-1"], seed, 2, 8, 2, 1);
+    let steps = (0..SESSION_STEPS)
+        .map(|i| request::step(101 + i as u64, session))
+        .collect();
+    let stats = request::session_stats(120, session);
+    let close = request::close_session(121, session);
+    (open, steps, stats, close)
+}
+
+/// Runs one seeded session chaos trial under `dir` (created; caller
+/// removes): the same session workload runs on a fault-free fabric and
+/// on a fabric whose router runs [`FaultConfig::router_storm`] and whose
+/// shards run [`FaultConfig::session_storm`] (injected step failures),
+/// while the shard that *owns* the session — computed from the same
+/// consistent-hash ring the router routes by — is killed outright and
+/// restarted mid-workload. The [`SessionDriver`] rides it out: injected
+/// errors are resent, and the restarted (state-less) owner's
+/// `unknown_session` answer triggers a replay of the recorded request
+/// prefix, which the driver verifies frame-by-frame. The trial's verdict
+/// is byte-identity of the logical response stream.
+///
+/// # Errors
+///
+/// Bind/store failures outside the injected schedule, an exhausted
+/// driver budget, or a divergent replay.
+pub fn session_trial(dir: &Path, seed: u64) -> io::Result<SessionTrial> {
+    let session = 0x5E55_0000 ^ seed;
+    let (open, steps, stats, close) = session_requests(session, seed);
+
+    // Baseline: fault-free fabric, plain driver (no faults to absorb).
+    let baseline_fabric = Fabric::spawn(TRIAL_SHARDS, &dir.join("baseline"), |_| {})?;
+    let mut base_client = Client::connect(baseline_fabric.router.addr())?;
+    let mut base_driver = SessionDriver::new();
+    let mut baseline = Vec::new();
+    baseline.push(base_driver.open(&mut base_client, &open)?);
+    for line in &steps {
+        baseline.push(base_driver.step(&mut base_client, line)?);
+    }
+    baseline.push(base_driver.call(&mut base_client, &stats)?);
+    baseline.push(base_driver.call(&mut base_client, &close)?);
+    drop(base_client);
+    baseline_fabric.shutdown();
+
+    // Faulty run: router storm + shard session storms + owner kill.
+    let router_faults = Faults::seeded(seed, FaultConfig::router_storm());
+    let shard_faults = Faults::seeded(seed ^ 0xF00D, FaultConfig::session_storm());
+    let store_dir = dir.join("chaos");
+    let mut fabric = {
+        let shard_faults = shard_faults.clone();
+        Fabric::spawn_with(
+            TRIAL_SHARDS,
+            &store_dir,
+            |config| config.faults = router_faults.clone(),
+            move |config| config.faults = shard_faults.clone(),
+        )?
+    };
+    // The owner is where the router pins the session: ring-route of the
+    // session id under the fabric's (default) ring parameters.
+    let owner = HashRing::new(TRIAL_SHARDS, DEFAULT_VNODES)
+        .route(session)
+        .unwrap_or(0) as usize;
+
+    let mut client = Client::connect_with(fabric.router.addr(), trial_client_config())?;
+    let mut driver = SessionDriver::new();
+    let mut responses = Vec::new();
+    responses.push(driver.open(&mut client, &open)?);
+    let kill_at = steps.len() / 2;
+    for (i, line) in steps.iter().enumerate() {
+        if i == kill_at {
+            // Kill the session's owner between steps: its BO state dies
+            // with it. The restarted instance answers `unknown_session`
+            // and the driver replays the recorded prefix.
+            let victim = fabric.shards.remove(owner);
+            let addr = fabric.shard_addrs[owner].clone();
+            victim.kill();
+            let restarted = restart_shard(&addr, &store_dir, owner as u32)?;
+            fabric.shards.insert(owner, restarted);
+        }
+        responses.push(driver.step(&mut client, line)?);
+    }
+    responses.push(driver.call(&mut client, &stats)?);
+    responses.push(driver.call(&mut client, &close)?);
+    drop(client);
+    fabric.shutdown();
+
+    let matches_baseline = responses == baseline;
+    Ok(SessionTrial {
+        seed,
+        responses,
+        matches_baseline,
+        router_stats: router_faults.stats(),
+        shard_stats: shard_faults.stats(),
     })
 }
 

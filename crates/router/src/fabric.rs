@@ -32,16 +32,29 @@ impl Fabric {
         store_dir: &Path,
         configure: impl FnOnce(&mut RouterConfig),
     ) -> std::io::Result<Fabric> {
+        Self::spawn_with(n, store_dir, configure, |_| {})
+    }
+
+    /// Like [`Fabric::spawn`], additionally tweaking every shard's
+    /// [`ServerConfig`] after the defaults (fault plan, session limit,
+    /// …) — the golden-fixture replay uses this to pin the same session
+    /// limit on every shard that the direct harness uses.
+    ///
+    /// # Errors
+    ///
+    /// Store, bind or spawn failures.
+    pub fn spawn_with(
+        n: u32,
+        store_dir: &Path,
+        configure: impl FnOnce(&mut RouterConfig),
+        configure_shard: impl Fn(&mut ServerConfig),
+    ) -> std::io::Result<Fabric> {
         let mut shards = Vec::with_capacity(n as usize);
         let mut shard_addrs = Vec::with_capacity(n as usize);
         for index in 0..n {
-            let server = serve(shard_config(
-                "127.0.0.1:0",
-                store_dir,
-                index,
-                n,
-                Faults::none(),
-            ))?;
+            let mut config = shard_config("127.0.0.1:0", store_dir, index, n, Faults::none());
+            configure_shard(&mut config);
+            let server = serve(config)?;
             shard_addrs.push(server.addr().to_string());
             shards.push(server);
         }
@@ -80,5 +93,6 @@ pub fn shard_config(
         store_path: store_dir.join(format!("shard{index}")).join("results.log"),
         faults,
         shard: Some(ShardIdentity { index, count }),
+        session_limit: oa_serve::DEFAULT_SESSION_LIMIT,
     }
 }

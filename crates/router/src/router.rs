@@ -423,6 +423,18 @@ impl RouterState {
             }
             Some("stats") => self.broadcast_stats(client, line, &request, id_txt),
             Some("eval_batch") => self.scatter_batch(client, line, &request, id_txt),
+            Some("open_session" | "step" | "session_stats" | "close_session") => {
+                // Sticky session pinning: the session id is the ring
+                // key, so every op of one session lands on the same
+                // shard — the one holding its BO state. The fallback
+                // (no usable `session` field) routes by line so the
+                // shard can answer with its canonical error bytes.
+                let key = request
+                    .get("session")
+                    .and_then(Json::as_u64)
+                    .unwrap_or_else(|| Self::line_key(line));
+                self.forward_single(client, line, key, id_txt);
+            }
             _ => {
                 // eval, size_opt, and every malformed-but-parseable
                 // request a shard must count and answer.

@@ -1,0 +1,59 @@
+//! Session chaos trials over the pinned seed corpus.
+//!
+//! Each trial runs a BO session (open → steps → stats → close) against a
+//! two-shard fabric whose router runs a seeded link storm and whose
+//! shards inject `session_step` failures — while the shard that owns the
+//! session is killed outright and restarted mid-workload. The
+//! [`oa_serve::SessionDriver`] resends injected steps and replays the
+//! recorded prefix into the restarted owner; the trial demands the
+//! logical response stream byte-match a fault-free fabric.
+//!
+//! Trials pay real kill/restart latency, so only the corpus head runs
+//! by default; set `OA_CHAOS_FULL=1` for the whole corpus (the CI chaos
+//! job does), or `OA_CHAOS_SEED=<N>` to replay one seed.
+
+use std::fs;
+use std::path::PathBuf;
+
+use oa_router::chaos::session_trial;
+use oa_serve::chaos::load_seed_corpus;
+
+fn corpus() -> Vec<u64> {
+    if let Some(seed) = std::env::var("OA_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        return vec![seed];
+    }
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/seeds/chaos_session.txt");
+    let mut seeds = load_seed_corpus(&path).expect("pinned session seed corpus must parse");
+    if std::env::var_os("OA_CHAOS_FULL").is_none() {
+        seeds.truncate(2);
+    }
+    seeds
+}
+
+fn temp_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("oa_session_chaos_corpus_{}", std::process::id()))
+}
+
+#[test]
+fn corpus_sessions_replay_byte_identically_through_owner_kill() {
+    let dir = temp_dir();
+    let _ = fs::remove_dir_all(&dir);
+    for seed in corpus() {
+        let trial = session_trial(&dir.join(format!("s{seed}")), seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: session trial failed to run: {e}"));
+        assert!(
+            trial.matches_baseline,
+            "seed {seed}: session iterate stream diverged from the fault-free baseline:\n{}",
+            trial.responses.join("\n")
+        );
+        assert!(
+            trial.router_stats.injected + trial.shard_stats.injected > 0,
+            "seed {seed}: the storms must inject for the invariant to mean anything"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

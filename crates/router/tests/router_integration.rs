@@ -82,7 +82,11 @@ fn golden_pairs() -> Vec<(String, String)> {
 fn golden_fixture_passes_unchanged_through_a_two_shard_fabric() {
     let dir = temp_dir("golden");
     let _ = fs::remove_dir_all(&dir);
-    let fabric = Fabric::spawn(2, &dir, |_| {}).expect("fabric starts");
+    // Same session limit as the fixture's direct harness
+    // (GOLDEN_SESSION_LIMIT in oa-serve's golden_protocol test), so the
+    // scripted `session_limit` overflow reproduces on every shard.
+    let fabric = Fabric::spawn_with(2, &dir, |_| {}, |shard| shard.session_limit = 3)
+        .expect("fabric starts");
     let mut client = Client::connect(fabric.router.addr()).expect("connect");
     for (i, (req, expected)) in golden_pairs().into_iter().enumerate() {
         let actual = canonicalize(&client.request(&req).expect("request"));

@@ -16,7 +16,7 @@ oa-serve — concurrent evaluation service for the INTO-OA design space
 
 USAGE:
     oa-serve [--addr HOST:PORT] [--workers N] [--queue N] [--store PATH]
-             [--shard I/N] [--fault-seed N]
+             [--shard I/N] [--session-limit N] [--fault-seed N]
 
 OPTIONS:
     --addr HOST:PORT   Bind address (default 127.0.0.1:7878; port 0 picks a free port)
@@ -24,6 +24,10 @@ OPTIONS:
     --queue N          Bounded request-queue capacity (default 256)
     --store PATH       Result-store log file
                        (default: $OA_STORE_DIR/results.log or results/store/results.log)
+    --session-limit N  Max concurrently open BO sessions (default 64);
+                       an open_session beyond it answers the typed
+                       \"session_limit\" error. Reopening a held id never
+                       counts against the limit.
     --shard I/N        Mark this instance as shard I (zero-based) of N behind an
                        oa-router front-end. Introspective only: reported in the
                        startup banner and as a trailing \"shard\" field in stats.
@@ -82,6 +86,10 @@ fn main() {
                     _ => fail("--shard needs I/N with 0 <= I < N"),
                 },
                 None => fail("--shard needs the form I/N, e.g. 0/2"),
+            },
+            "--session-limit" => match value.parse::<usize>() {
+                Ok(n) if n >= 1 => config.session_limit = n,
+                _ => fail("--session-limit needs a positive integer"),
             },
             "--fault-seed" => match value.parse::<u64>() {
                 Ok(seed) => config.faults = Faults::seeded(seed, FaultConfig::storm()),

@@ -241,6 +241,244 @@ impl Client {
     }
 }
 
+/// Replay bound for [`SessionDriver`] calls: injected-fault retries and
+/// failover replays both consume from this budget, so a hostile plan
+/// cannot loop a client forever.
+const SESSION_DRIVER_ATTEMPTS: u32 = 64;
+
+/// A session-aware request recorder implementing the client half of the
+/// session failure model (DESIGN.md §13).
+///
+/// Session state lives on one shard, so a shard loss loses the state —
+/// but never the *result*, because a session's response stream is a pure
+/// function of its request prefix and the shared store. The driver
+/// records that prefix (`open_session` plus every acknowledged `step`)
+/// and, when a request comes back `unknown_session` (the stand-in shard
+/// after a failover), replays it: re-open, re-step, and verify each
+/// replayed response is **byte-identical** to the recorded one — any
+/// divergence is reported as an error rather than papered over. Typed
+/// `injected` errors (the fault plan failing a step before state
+/// mutates) and `unavailable` frames (the router out of failover
+/// budget mid-storm) are simply resent.
+///
+/// Failover replays can themselves bounce between shards, which *forks*
+/// the session: more than one shard holds a live copy, and a stale copy
+/// answers steps with an `ok` frame carrying the wrong step counter
+/// instead of `unknown_session`. The driver detects the fork from the
+/// counters it already knows — a `step` result must carry
+/// `recorded + 1`, a `session_stats`/`close_session` result must carry
+/// `recorded` — and heals it the same way as a failover: replay the
+/// prefix (the idempotent re-open resets whichever copy answers) and
+/// resend. A frame with the *right* counter but different bytes is the
+/// one case that stays a hard error: that is a determinism bug, not a
+/// routing artifact.
+#[derive(Debug, Default)]
+pub struct SessionDriver {
+    open_line: Option<String>,
+    open_response: Option<String>,
+    steps: Vec<(String, String)>,
+}
+
+impl SessionDriver {
+    /// A driver with no recorded prefix.
+    pub fn new() -> SessionDriver {
+        SessionDriver::default()
+    }
+
+    /// Steps recorded (and replayed on failover) so far.
+    pub fn recorded_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The typed error kind of an `"ok":false` response, if any.
+    fn error_kind(response: &str) -> Option<String> {
+        let parsed = Json::parse(response).ok()?;
+        if parsed.get("ok").and_then(Json::as_bool) != Some(false) {
+            return None;
+        }
+        parsed
+            .get("error")?
+            .get("kind")?
+            .as_str()
+            .map(str::to_owned)
+    }
+
+    fn diverged(what: &str) -> std::io::Error {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("session replay diverged: {what}"),
+        )
+    }
+
+    /// Sends one line, resending on `injected` errors (state-preserving
+    /// fault-plan rejections) and `unavailable` frames (router failover
+    /// budget exhausted mid-storm), drawing from the shared attempt
+    /// budget.
+    fn send_past_faults(
+        client: &mut Client,
+        line: &str,
+        attempts: &mut u32,
+    ) -> std::io::Result<String> {
+        loop {
+            if *attempts == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "session driver attempt budget exhausted",
+                ));
+            }
+            *attempts -= 1;
+            let response = client.request_with_retry(line)?;
+            if !matches!(
+                Self::error_kind(&response).as_deref(),
+                Some("injected" | "unavailable")
+            ) {
+                return Ok(response);
+            }
+        }
+    }
+
+    /// The step counter an `ok` response carries, when it is a session
+    /// op that carries one: `"step"` on a `step` result, `"steps"` on a
+    /// `session_stats`/`close_session` result.
+    fn response_counter(response: &str) -> Option<(bool, u64)> {
+        let parsed = Json::parse(response).ok()?;
+        if parsed.get("ok").and_then(Json::as_bool) != Some(true) {
+            return None;
+        }
+        let result = parsed.get("result")?;
+        if let Some(step) = result.get("step").and_then(Json::as_u64) {
+            return Some((true, step));
+        }
+        result
+            .get("steps")
+            .and_then(Json::as_u64)
+            .map(|s| (false, s))
+    }
+
+    /// Whether an `ok` response came from a *stale fork* of the session:
+    /// a shard left holding an out-of-date copy after replays bounced
+    /// across a flaky fabric. Detected purely from the recorded prefix —
+    /// a `step` must answer `recorded + 1`, a stats/close must answer
+    /// `recorded`.
+    fn is_stale(&self, response: &str) -> bool {
+        match Self::response_counter(response) {
+            Some((true, step)) => step != self.steps.len() as u64 + 1,
+            Some((false, steps)) => steps != self.steps.len() as u64,
+            None => false,
+        }
+    }
+
+    /// Replays the recorded prefix against (whatever now answers as) the
+    /// session's shard, verifying byte-identity of every replayed frame.
+    ///
+    /// A replay is not atomic: its frames can themselves land on
+    /// different shards mid-storm, so a frame may come back
+    /// `unknown_session` or with a forked step counter. Those are
+    /// routing artifacts, and the replay restarts from the (idempotent,
+    /// state-resetting) re-open, bounded by the attempt budget. A frame
+    /// with the *correct* step counter but different bytes is a genuine
+    /// determinism violation and fails hard.
+    fn replay(&self, client: &mut Client, attempts: &mut u32) -> std::io::Result<()> {
+        let (Some(open_line), Some(open_response)) = (&self.open_line, &self.open_response) else {
+            return Err(Self::diverged("no recorded open_session to replay"));
+        };
+        'attempt: loop {
+            let reopened = Self::send_past_faults(client, open_line, attempts)?;
+            if Self::error_kind(&reopened).is_some() {
+                continue 'attempt;
+            }
+            if reopened != *open_response {
+                return Err(Self::diverged("open_session response changed"));
+            }
+            for (i, (line, recorded)) in self.steps.iter().enumerate() {
+                let replayed = Self::send_past_faults(client, line, attempts)?;
+                if replayed == *recorded {
+                    continue;
+                }
+                let expected = i as u64 + 1;
+                match Self::response_counter(&replayed) {
+                    // Right step, different bytes: a determinism bug,
+                    // exactly what this harness exists to catch.
+                    Some((true, step)) if step == expected => {
+                        return Err(Self::diverged(&format!("step {expected} response changed")));
+                    }
+                    // A stale fork or a state-less stand-in answered;
+                    // restart the replay from the resetting re-open.
+                    _ => continue 'attempt,
+                }
+            }
+            return Ok(());
+        }
+    }
+
+    /// One session-op request with the full resilience policy: resend on
+    /// `injected`/`unavailable`, replay the recorded prefix on
+    /// `unknown_session` *and* on an `ok` frame whose step counter shows
+    /// a stale fork answered.
+    fn call_with_budget(
+        &mut self,
+        client: &mut Client,
+        line: &str,
+        attempts: &mut u32,
+    ) -> std::io::Result<String> {
+        loop {
+            let response = Self::send_past_faults(client, line, attempts)?;
+            if self.open_line.is_some()
+                && (Self::error_kind(&response).as_deref() == Some("unknown_session")
+                    || self.is_stale(&response))
+            {
+                self.replay(client, attempts)?;
+                continue;
+            }
+            return Ok(response);
+        }
+    }
+
+    /// Opens (or re-opens) the session, recording the request as the
+    /// replay prefix root. Clears any previously recorded steps.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures or an exhausted attempt budget.
+    pub fn open(&mut self, client: &mut Client, line: &str) -> std::io::Result<String> {
+        let mut attempts = SESSION_DRIVER_ATTEMPTS;
+        let response = Self::send_past_faults(client, line, &mut attempts)?;
+        if Self::error_kind(&response).is_none() {
+            self.open_line = Some(line.to_owned());
+            self.open_response = Some(response.clone());
+            self.steps.clear();
+        }
+        Ok(response)
+    }
+
+    /// One `step`, recorded into the replay prefix on success.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, an exhausted attempt budget, or a replay whose
+    /// frames diverge from the recorded ones.
+    pub fn step(&mut self, client: &mut Client, line: &str) -> std::io::Result<String> {
+        let mut attempts = SESSION_DRIVER_ATTEMPTS;
+        let response = self.call_with_budget(client, line, &mut attempts)?;
+        if Self::error_kind(&response).is_none() {
+            self.steps.push((line.to_owned(), response.clone()));
+        }
+        Ok(response)
+    }
+
+    /// A non-recording session op (`session_stats`, `close_session`)
+    /// under the same resilience policy.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, an exhausted attempt budget, or a divergent
+    /// replay.
+    pub fn call(&mut self, client: &mut Client, line: &str) -> std::io::Result<String> {
+        let mut attempts = SESSION_DRIVER_ATTEMPTS;
+        self.call_with_budget(client, line, &mut attempts)
+    }
+}
+
 /// Request-line builders (canonical field order, canonical floats) —
 /// clients that build requests with these get maximal store reuse, since
 /// equal requests are equal bytes.
@@ -318,6 +556,71 @@ pub mod request {
         Json::Obj(vec![
             ("id".into(), Json::num(id as f64)),
             ("op".into(), Json::str("stats")),
+        ])
+        .encode()
+        .expect("finite request")
+    }
+
+    /// An `open_session` request. The first spec is the optimization
+    /// target; the rest declare the warm-start family. Serving defaults
+    /// apply to every parameter not in the builder's signature.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_session(
+        id: u64,
+        session: u64,
+        specs: &[&str],
+        seed: u64,
+        n_init: usize,
+        pool_size: usize,
+        size_init: usize,
+        size_iter: usize,
+    ) -> String {
+        Json::Obj(vec![
+            ("id".into(), Json::num(id as f64)),
+            ("op".into(), Json::str("open_session")),
+            ("session".into(), Json::num(session as f64)),
+            (
+                "specs".into(),
+                Json::Arr(specs.iter().map(|s| Json::str(*s)).collect()),
+            ),
+            ("seed".into(), Json::num(seed as f64)),
+            ("n_init".into(), Json::num(n_init as f64)),
+            ("pool_size".into(), Json::num(pool_size as f64)),
+            ("size_init".into(), Json::num(size_init as f64)),
+            ("size_iter".into(), Json::num(size_iter as f64)),
+        ])
+        .encode()
+        .expect("finite request")
+    }
+
+    /// A `step` request.
+    pub fn step(id: u64, session: u64) -> String {
+        Json::Obj(vec![
+            ("id".into(), Json::num(id as f64)),
+            ("op".into(), Json::str("step")),
+            ("session".into(), Json::num(session as f64)),
+        ])
+        .encode()
+        .expect("finite request")
+    }
+
+    /// A `session_stats` request.
+    pub fn session_stats(id: u64, session: u64) -> String {
+        Json::Obj(vec![
+            ("id".into(), Json::num(id as f64)),
+            ("op".into(), Json::str("session_stats")),
+            ("session".into(), Json::num(session as f64)),
+        ])
+        .encode()
+        .expect("finite request")
+    }
+
+    /// A `close_session` request.
+    pub fn close_session(id: u64, session: u64) -> String {
+        Json::Obj(vec![
+            ("id".into(), Json::num(id as f64)),
+            ("op".into(), Json::str("close_session")),
+            ("session".into(), Json::num(session as f64)),
         ])
         .encode()
         .expect("finite request")

@@ -12,7 +12,9 @@
 //!   carry an `id` echoed in the response, so clients pipeline; see
 //!   DESIGN.md §7 for the schema.
 //! * **Endpoints** — `eval` (simulate one sized topology), `eval_batch`,
-//!   `size_opt` (sizing BO under an explicit per-request seed), `stats`.
+//!   `size_opt` (sizing BO under an explicit per-request seed), `stats`,
+//!   and the session family `open_session` / `step` / `session_stats` /
+//!   `close_session` (multi-tenant topology-BO sessions; DESIGN.md §13).
 //! * **Concurrency** — requests flow through a bounded queue into an
 //!   [`oa_par::Pool`]; overload becomes TCP backpressure.
 //! * **Persistence** — results are served from [`oa_store`] when the
@@ -46,11 +48,13 @@ mod client;
 pub mod json;
 mod server;
 mod service;
+mod session;
 
-pub use client::{request, resolve, Client, ClientConfig};
+pub use client::{request, resolve, Client, ClientConfig, SessionDriver};
 pub use json::{Json, JsonError};
 pub use server::{default_store_dir, serve, Server, ServerConfig};
 pub use service::{
     error_response, eval_error_json, eval_result_json, process_fingerprint, size_opt_result_json,
-    wl_fingerprint, Service, ShardIdentity,
+    typed_error_response, wl_fingerprint, Service, ShardIdentity,
 };
+pub use session::{observation_from_perf, DEFAULT_SESSION_LIMIT};

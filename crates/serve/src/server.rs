@@ -49,6 +49,11 @@ pub struct ServerConfig {
     /// so operators and the router's per-shard breakdown can tell
     /// instances apart. `None` (the default) changes nothing.
     pub shard: Option<ShardIdentity>,
+    /// Cap on concurrently open optimization sessions
+    /// ([`crate::DEFAULT_SESSION_LIMIT`] by default); `open_session`
+    /// requests for new ids beyond it fail with a typed `session_limit`
+    /// error.
+    pub session_limit: usize,
 }
 
 impl ServerConfig {
@@ -63,6 +68,7 @@ impl ServerConfig {
             store_path: default_store_dir().join("results.log"),
             faults: Faults::none(),
             shard: None,
+            session_limit: crate::DEFAULT_SESSION_LIMIT,
         }
     }
 }
@@ -146,7 +152,11 @@ impl Drop for Server {
 pub fn serve(config: ServerConfig) -> std::io::Result<Server> {
     let faults = config.faults.clone();
     let store = Store::open_with_faults(&config.store_path, faults.clone())?;
-    let service = Arc::new(Service::with_faults(store, faults.clone()).with_shard(config.shard));
+    let service = Arc::new(
+        Service::with_faults(store, faults.clone())
+            .with_shard(config.shard)
+            .with_session_limit(config.session_limit),
+    );
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     // The worker-panic site is a pool hook: an injected panic fires
@@ -276,6 +286,7 @@ mod tests {
             store_path: dir.join("results.log"),
             faults: Faults::none(),
             shard: None,
+            session_limit: crate::DEFAULT_SESSION_LIMIT,
         };
         (config, dir)
     }

@@ -22,12 +22,17 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use into_oa::{EvalError, EvalHandle, Evaluator, PlanCacheStats, SizedDesign, Spec};
+use oa_bo::{BoSession, TopoBoConfig, TopoObservation};
 use oa_circuit::Topology;
 use oa_fault::{Decision, Faults, Site};
 use oa_graph::WlFeaturizer;
 use oa_store::{hash_f64s, EvalKey, EvalKind, Store};
 
 use crate::json::Json;
+use crate::session::{
+    close_result_json, observation_from_size_opt, open_result_json, session_id, session_stats_json,
+    step_result_json, OpError, OpenParams, SessionCore, SessionManager, DEFAULT_SESSION_LIMIT,
+};
 
 /// WL refinement depth used for response fingerprints.
 const WL_FINGERPRINT_H: usize = 2;
@@ -182,10 +187,12 @@ pub struct Service {
     shard: Option<ShardIdentity>,
     process_hash: u64,
     sims: AtomicU64,
+    sessions: SessionManager,
     eval_counters: EndpointCounters,
     batch_counters: EndpointCounters,
     size_opt_counters: EndpointCounters,
     stats_counters: EndpointCounters,
+    session_counters: EndpointCounters,
 }
 
 impl Service {
@@ -215,10 +222,12 @@ impl Service {
             shard: None,
             process_hash,
             sims: AtomicU64::new(0),
+            sessions: SessionManager::new(DEFAULT_SESSION_LIMIT),
             eval_counters: EndpointCounters::default(),
             batch_counters: EndpointCounters::default(),
             size_opt_counters: EndpointCounters::default(),
             stats_counters: EndpointCounters::default(),
+            session_counters: EndpointCounters::default(),
         }
     }
 
@@ -226,6 +235,14 @@ impl Service {
     /// then reports a trailing `"shard":{"index":I,"count":N}` field.
     pub fn with_shard(mut self, shard: Option<ShardIdentity>) -> Service {
         self.shard = shard;
+        self
+    }
+
+    /// Caps concurrently open sessions (builder style). New
+    /// `open_session` requests beyond the cap fail with a typed
+    /// `session_limit` error; re-opening an existing id never counts.
+    pub fn with_session_limit(mut self, limit: usize) -> Service {
+        self.sessions.set_limit(limit);
         self
     }
 
@@ -257,29 +274,45 @@ impl Service {
         // eval_batch or size_opt response byte depends on it.
         // lint: allow(wall_clock, elapsed time feeds stats counters only, never response bytes)
         let started = Instant::now();
-        let (outcome, counters) = match request.get("op").and_then(Json::as_str) {
-            Some("eval") => (self.op_eval(&request), &self.eval_counters),
-            Some("eval_batch") => (self.op_eval_batch(&request), &self.batch_counters),
-            Some("size_opt") => (self.op_size_opt(&request), &self.size_opt_counters),
-            Some("stats") => (Ok(self.op_stats()), &self.stats_counters),
-            Some(other) => (
-                Err(format!(
-                    "unknown op '{other}' (expected eval, eval_batch, size_opt or stats)"
-                )),
-                &self.eval_counters,
-            ),
-            None => (
-                Err("missing string field 'op'".to_owned()),
-                &self.eval_counters,
-            ),
-        };
+        let (outcome, counters): (Result<String, OpError>, _) =
+            match request.get("op").and_then(Json::as_str) {
+                Some("eval") => (
+                    self.op_eval(&request).map_err(OpError::Plain),
+                    &self.eval_counters,
+                ),
+                Some("eval_batch") => (
+                    self.op_eval_batch(&request).map_err(OpError::Plain),
+                    &self.batch_counters,
+                ),
+                Some("size_opt") => (
+                    self.op_size_opt(&request).map_err(OpError::Plain),
+                    &self.size_opt_counters,
+                ),
+                Some("stats") => (Ok(self.op_stats()), &self.stats_counters),
+                Some("open_session") => (self.op_open_session(&request), &self.session_counters),
+                Some("step") => (self.op_step(&request), &self.session_counters),
+                Some("session_stats") => (self.op_session_stats(&request), &self.session_counters),
+                Some("close_session") => (self.op_close_session(&request), &self.session_counters),
+                Some(other) => (
+                    Err(OpError::plain(format!(
+                        "unknown op '{other}' (expected eval, eval_batch, size_opt, stats, \
+                         open_session, step, session_stats or close_session)"
+                    ))),
+                    &self.eval_counters,
+                ),
+                None => (
+                    Err(OpError::plain("missing string field 'op'")),
+                    &self.eval_counters,
+                ),
+            };
         counters.record(started, outcome.is_ok());
         match outcome {
             Ok(result) => {
                 let id_txt = id.encode().unwrap_or_else(|_| "null".to_owned());
                 format!("{{\"id\":{id_txt},\"ok\":true,\"result\":{result}}}")
             }
-            Err(message) => error_response(&id, &message),
+            Err(OpError::Plain(message)) => error_response(&id, &message),
+            Err(OpError::Typed { kind, detail }) => typed_error_response(&id, kind, &detail),
         }
     }
 
@@ -401,6 +434,21 @@ impl Service {
             .get("n_iter")
             .and_then(Json::as_u64)
             .unwrap_or(DEFAULT_SIZE_OPT_ITER as u64) as usize;
+        self.size_opt_via_store(handle, &topology, seed, n_init, n_iter)
+    }
+
+    /// Store-through sizing-BO run; shared by `size_opt` and the
+    /// session `step` evaluation. Returns the result JSON text — the
+    /// exact bytes stored, so a step replayed over its own records
+    /// reconstructs identical observations.
+    fn size_opt_via_store(
+        &self,
+        handle: &EvalHandle,
+        topology: &Topology,
+        seed: u64,
+        n_init: usize,
+        n_iter: usize,
+    ) -> Result<String, String> {
         let key = EvalKey {
             kind: EvalKind::SizeOpt,
             topology_code: topology.index() as u64,
@@ -413,7 +461,7 @@ impl Service {
         if let Some(bytes) = self.store_get(&key) {
             return String::from_utf8(bytes).map_err(|_| "corrupt store value".to_owned());
         }
-        let (design, sims) = handle.size_opt(&topology, seed, n_init, n_iter);
+        let (design, sims) = handle.size_opt(topology, seed, n_init, n_iter);
         self.sims.fetch_add(sims as u64, Ordering::Relaxed);
         let x = design
             .as_ref()
@@ -422,6 +470,173 @@ impl Service {
         let result = size_opt_result_json(&design, sims, &x);
         self.store_put(&key, result.as_bytes());
         Ok(result)
+    }
+
+    /// Warm-start observations for a session targeting `target`: every
+    /// well-formed `size_opt` record in the store whose spec is in
+    /// `family` (and is **not** the target — a session's own appends
+    /// must never change its replay), re-scored under the target spec.
+    /// Order follows store key order, so the scan is deterministic for
+    /// a given store snapshot. Public so the warm-start differential
+    /// test can state its claim against the exact serving scan.
+    pub fn warm_observations(
+        &self,
+        target: &str,
+        family: &[String],
+    ) -> Vec<(Topology, TopoObservation)> {
+        let Some(spec) = self
+            .handles
+            .iter()
+            .find(|h| h.spec().name == target)
+            .map(|h| *h.spec())
+        else {
+            return Vec::new();
+        };
+        let store = self.store.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = Vec::new();
+        for (key_bytes, value) in store.iter() {
+            let Some(key) = EvalKey::decode(key_bytes) else {
+                continue;
+            };
+            if key.kind != EvalKind::SizeOpt
+                || key.process_hash != self.process_hash
+                || key.spec_id == target
+                || !family.contains(&key.spec_id)
+            {
+                continue;
+            }
+            let Ok(text) = std::str::from_utf8(value) else {
+                continue;
+            };
+            let Ok(record) = Json::parse(text) else {
+                continue;
+            };
+            let (Some(observation), _) = observation_from_size_opt(&spec, &record) else {
+                continue;
+            };
+            let Ok(topology) = Topology::from_index(key.topology_code as usize) else {
+                continue;
+            };
+            out.push((topology, observation));
+        }
+        out
+    }
+
+    fn op_open_session(&self, request: &Json) -> Result<String, OpError> {
+        let params = OpenParams::parse(request)?;
+        for name in &params.spec_names {
+            if !self.handles.iter().any(|h| h.spec().name == name) {
+                return Err(OpError::spec_invalid(format!(
+                    "unknown spec '{name}' (expected S-1..S-5)"
+                )));
+            }
+        }
+        let Some(target) = params.spec_names.first().cloned() else {
+            return Err(OpError::spec_invalid("'specs' must be non-empty"));
+        };
+        let config = TopoBoConfig {
+            n_init: params.n_init,
+            n_iter: 0, // sessions are open-ended; the driver budget is unused
+            pool_size: params.pool_size,
+            mutation_fraction: params.mutation_fraction,
+            elite_count: params.elite_count,
+            wl_levels: params.wl_levels,
+            seed: params.seed,
+        };
+        let mut bo = BoSession::new(config);
+        let mut warm = 0usize;
+        let family = params.spec_names.get(1..).unwrap_or(&[]);
+        if params.warm_start && !family.is_empty() {
+            for (topology, observation) in self.warm_observations(&target, family) {
+                bo.seed_observation(topology, observation);
+                warm += 1;
+            }
+        }
+        let target_idx = self
+            .handles
+            .iter()
+            .position(|h| h.spec().name == target)
+            .ok_or_else(|| OpError::plain("internal: target spec vanished"))?;
+        let core = SessionCore {
+            spec_names: params.spec_names,
+            target: target_idx,
+            seed: params.seed,
+            size_init: params.size_init,
+            size_iter: params.size_iter,
+            warm,
+            steps: 0,
+            bo,
+        };
+        let result = open_result_json(params.session, &core);
+        self.sessions.open(params.session, core)?;
+        Ok(result)
+    }
+
+    fn op_step(&self, request: &Json) -> Result<String, OpError> {
+        let session = session_id(request)?;
+        let slot = self
+            .sessions
+            .get(session)
+            .ok_or_else(|| OpError::unknown_session(session))?;
+        // The fault decision comes before any state mutation: a failed
+        // step leaves the session exactly as it was, so the client's
+        // retry re-runs the same iterate and the transcript stays
+        // byte-identical to an uninjected run.
+        if let Decision::FailItem = self.faults.decide(Site::SessionStep, session) {
+            return Err(OpError::injected(format!(
+                "session {session} step failed by the fault plan"
+            )));
+        }
+        let mut core = slot.lock().unwrap_or_else(|p| p.into_inner());
+        let phase = if core.bo.in_init_phase() {
+            "init"
+        } else {
+            "bo"
+        };
+        core.steps += 1;
+        let step = core.steps;
+        self.sessions.record_step();
+        let Some(topology) = core.bo.propose_default() else {
+            return Ok(step_result_json(session, step, phase, None, &core));
+        };
+        let handle = self
+            .handles
+            .get(core.target)
+            .ok_or_else(|| OpError::plain("internal: session spec handle missing"))?;
+        let result = self
+            .size_opt_via_store(handle, &topology, core.seed, core.size_init, core.size_iter)
+            .map_err(OpError::Plain)?;
+        let record = Json::parse(&result)
+            .map_err(|e| OpError::plain(format!("corrupt store value: {e}")))?;
+        let (observation, sims) = observation_from_size_opt(handle.spec(), &record);
+        core.bo.observe(topology, observation.clone());
+        Ok(step_result_json(
+            session,
+            step,
+            phase,
+            Some((topology, observation.as_ref(), sims)),
+            &core,
+        ))
+    }
+
+    fn op_session_stats(&self, request: &Json) -> Result<String, OpError> {
+        let session = session_id(request)?;
+        let slot = self
+            .sessions
+            .get(session)
+            .ok_or_else(|| OpError::unknown_session(session))?;
+        let core = slot.lock().unwrap_or_else(|p| p.into_inner());
+        Ok(session_stats_json(session, &core))
+    }
+
+    fn op_close_session(&self, request: &Json) -> Result<String, OpError> {
+        let session = session_id(request)?;
+        let slot = self
+            .sessions
+            .close(session)
+            .ok_or_else(|| OpError::unknown_session(session))?;
+        let core = slot.lock().unwrap_or_else(|p| p.into_inner());
+        Ok(close_result_json(session, &core))
     }
 
     /// Symbolic-plan cache counters summed over every spec's evaluator
@@ -486,8 +701,10 @@ impl Service {
                     ("eval_batch".into(), self.batch_counters.json()),
                     ("size_opt".into(), self.size_opt_counters.json()),
                     ("stats".into(), self.stats_counters.json()),
+                    ("session".into(), self.session_counters.json()),
                 ]),
             ),
+            ("sessions".into(), self.sessions.stats_json()),
         ];
         // Appended last so an un-sharded instance's stats bytes are
         // exactly the pre-shard-era shape (the golden fixture relies on
@@ -534,6 +751,23 @@ pub fn error_response(id: &Json, message: &str) -> String {
     // lint: allow(panic, Json::str never contains floats so encode cannot fail)
     let msg = Json::str(message).encode().expect("strings encode");
     format!("{{\"id\":{id_txt},\"ok\":false,\"error\":{msg}}}")
+}
+
+/// Renders a typed `{"id":ID,"ok":false,"error":{"kind":K,"detail":D}}`
+/// frame — the session-op failure shape (`unknown_session`,
+/// `session_limit`, `spec_invalid`, `injected`). Public for the same
+/// reason as [`error_response`]: clients and the router match on the
+/// exact bytes a shard would produce.
+pub fn typed_error_response(id: &Json, kind: &str, detail: &str) -> String {
+    let id_txt = id.encode().unwrap_or_else(|_| "null".to_owned());
+    let err = Json::Obj(vec![
+        ("kind".into(), Json::str(kind)),
+        ("detail".into(), Json::str(detail)),
+    ])
+    .encode()
+    // lint: allow(panic, an error object holds only strings so encode cannot fail)
+    .expect("strings encode");
+    format!("{{\"id\":{id_txt},\"ok\":false,\"error\":{err}}}")
 }
 
 #[cfg(test)]

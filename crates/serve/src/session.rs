@@ -1,0 +1,527 @@
+//! Session-scoped BO state: registry, per-session cores, and the
+//! request/response shapes of the four session ops.
+//!
+//! A session is one in-flight topology optimization
+//! ([`oa_bo::BoSession`]) owned by the node that opened it. The
+//! [`SessionManager`] maps client-chosen session ids to cores; each
+//! core sits behind **its own** mutex, so one session's `step`
+//! (propose → eval → GP update, potentially seconds) never blocks
+//! another session or the registry. The registry lock is held only for
+//! map lookups, never across an evaluation.
+//!
+//! ## Determinism contract
+//!
+//! A session's response stream is a pure function of the `open_session`
+//! request and the store prefix visible at open time: the BO state is
+//! seeded from the request, evaluations go through the store-backed
+//! `size_opt` path, and the warm-start scan excludes the target spec's
+//! own records — so a session replayed over the store its own steps
+//! appended to reproduces byte-identical frames. This is what lets a
+//! client resume a session on another shard (or a restarted one) by
+//! replaying its request prefix.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use into_oa::Spec;
+use oa_bo::{BoSession, TopoObservation};
+use oa_circuit::Topology;
+use oa_sim::OpAmpPerformance;
+
+use crate::json::Json;
+
+/// Default cap on concurrently open sessions per node. Each session
+/// holds GP training data and a WL label dictionary; the cap bounds
+/// memory and exists so a runaway client cannot exhaust the node.
+pub const DEFAULT_SESSION_LIMIT: usize = 64;
+/// Serving default for the session's random-init draw count.
+pub(crate) const DEFAULT_SESSION_N_INIT: usize = 4;
+/// Serving default for the per-iteration candidate pool.
+pub(crate) const DEFAULT_SESSION_POOL: usize = 64;
+/// Serving default sizing-BO init draws per step (cheaper than the
+/// paper's offline budget — a session pays it on every step).
+pub(crate) const DEFAULT_SESSION_SIZE_INIT: usize = 4;
+/// Serving default sizing-BO iterations per step.
+pub(crate) const DEFAULT_SESSION_SIZE_ITER: usize = 8;
+/// Hard cap on the declared spec family (5 real specs exist; the cap
+/// bounds open-time work on hostile input).
+const MAX_SESSION_SPECS: usize = 8;
+
+/// A failed session (or classic) op: either the legacy plain-string
+/// error or a typed `{"kind":...,"detail":...}` error object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum OpError {
+    /// Rendered as `"error":"<message>"` — the pre-session wire shape.
+    Plain(String),
+    /// Rendered as `"error":{"kind":K,"detail":D}`.
+    Typed {
+        /// Stable machine-readable kind (`unknown_session`,
+        /// `session_limit`, `spec_invalid`, `injected`).
+        kind: &'static str,
+        /// Human-readable context.
+        detail: String,
+    },
+}
+
+impl OpError {
+    pub(crate) fn plain(message: impl Into<String>) -> OpError {
+        OpError::Plain(message.into())
+    }
+
+    pub(crate) fn unknown_session(session: u64) -> OpError {
+        OpError::Typed {
+            kind: "unknown_session",
+            detail: format!("session {session} is not open on this node"),
+        }
+    }
+
+    pub(crate) fn session_limit(limit: usize) -> OpError {
+        OpError::Typed {
+            kind: "session_limit",
+            detail: format!("session limit reached ({limit} open)"),
+        }
+    }
+
+    pub(crate) fn spec_invalid(detail: impl Into<String>) -> OpError {
+        OpError::Typed {
+            kind: "spec_invalid",
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn injected(detail: impl Into<String>) -> OpError {
+        OpError::Typed {
+            kind: "injected",
+            detail: detail.into(),
+        }
+    }
+}
+
+impl From<String> for OpError {
+    fn from(message: String) -> OpError {
+        OpError::Plain(message)
+    }
+}
+
+impl From<&str> for OpError {
+    fn from(message: &str) -> OpError {
+        OpError::Plain(message.to_owned())
+    }
+}
+
+/// Decoded `open_session` parameters (spec names not yet validated
+/// against the node's evaluators — the service does that).
+#[derive(Debug, Clone)]
+pub(crate) struct OpenParams {
+    pub session: u64,
+    pub spec_names: Vec<String>,
+    pub seed: u64,
+    pub n_init: usize,
+    pub pool_size: usize,
+    pub mutation_fraction: f64,
+    pub elite_count: usize,
+    pub wl_levels: usize,
+    pub size_init: usize,
+    pub size_iter: usize,
+    pub warm_start: bool,
+}
+
+impl OpenParams {
+    /// Parses an `open_session` request. Spec-set shape errors are
+    /// typed `spec_invalid`; everything else is a plain error.
+    pub(crate) fn parse(request: &Json) -> Result<OpenParams, OpError> {
+        let session = session_id(request)?;
+        let specs = request
+            .get("specs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| OpError::spec_invalid("missing array field 'specs'"))?;
+        if specs.is_empty() {
+            return Err(OpError::spec_invalid("'specs' must be non-empty"));
+        }
+        if specs.len() > MAX_SESSION_SPECS {
+            return Err(OpError::spec_invalid(format!(
+                "'specs' lists {} entries (max {MAX_SESSION_SPECS})",
+                specs.len()
+            )));
+        }
+        let mut spec_names = Vec::with_capacity(specs.len());
+        for entry in specs {
+            let name = entry
+                .as_str()
+                .ok_or_else(|| OpError::spec_invalid("non-string entry in 'specs'"))?;
+            if spec_names.iter().any(|n| n == name) {
+                return Err(OpError::spec_invalid(format!(
+                    "duplicate spec '{name}' in 'specs'"
+                )));
+            }
+            spec_names.push(name.to_owned());
+        }
+        let usize_field = |field: &str, default: usize| -> usize {
+            request
+                .get(field)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .unwrap_or(default)
+        };
+        let mutation_fraction = request
+            .get("mutation_fraction")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.5);
+        if !(0.0..=1.0).contains(&mutation_fraction) {
+            return Err(OpError::plain("'mutation_fraction' must be within [0, 1]"));
+        }
+        Ok(OpenParams {
+            session,
+            spec_names,
+            seed: request.get("seed").and_then(Json::as_u64).unwrap_or(0),
+            n_init: usize_field("n_init", DEFAULT_SESSION_N_INIT),
+            pool_size: usize_field("pool_size", DEFAULT_SESSION_POOL).max(1),
+            mutation_fraction,
+            elite_count: usize_field("elite_count", 5),
+            wl_levels: usize_field("wl_levels", 4).min(6),
+            size_init: usize_field("size_init", DEFAULT_SESSION_SIZE_INIT),
+            size_iter: usize_field("size_iter", DEFAULT_SESSION_SIZE_ITER),
+            warm_start: request
+                .get("warm_start")
+                .and_then(Json::as_bool)
+                .unwrap_or(true),
+        })
+    }
+}
+
+/// The required integer `session` field.
+pub(crate) fn session_id(request: &Json) -> Result<u64, OpError> {
+    request
+        .get("session")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| OpError::plain("missing integer field 'session'"))
+}
+
+/// One open session: the BO state machine plus the serving parameters
+/// fixed at open time.
+#[derive(Debug)]
+pub(crate) struct SessionCore {
+    /// Declared spec family; the first entry is the optimization target.
+    pub spec_names: Vec<String>,
+    /// Handle index of the target spec.
+    pub target: usize,
+    /// Per-session seed (also the sizing seed of every step's eval).
+    pub seed: u64,
+    /// Sizing-BO init draws per step.
+    pub size_init: usize,
+    /// Sizing-BO iterations per step.
+    pub size_iter: usize,
+    /// Warm-start observations seeded at open time.
+    pub warm: usize,
+    /// Steps served so far (including unevaluated ones).
+    pub steps: u64,
+    /// The stepped optimizer.
+    pub bo: BoSession,
+}
+
+/// The per-node session registry. The map lock guards only insert,
+/// lookup and remove; every core has its own lock.
+#[derive(Debug)]
+pub(crate) struct SessionManager {
+    slots: Mutex<BTreeMap<u64, Arc<Mutex<SessionCore>>>>,
+    limit: usize,
+    opened: AtomicU64,
+    steps: AtomicU64,
+}
+
+impl SessionManager {
+    pub(crate) fn new(limit: usize) -> SessionManager {
+        SessionManager {
+            slots: Mutex::new(BTreeMap::new()),
+            limit,
+            opened: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn set_limit(&mut self, limit: usize) {
+        self.limit = limit;
+    }
+
+    /// Opens (or deterministically resets) a session. Re-opening an
+    /// existing id replaces its state — that idempotence is what makes
+    /// open+steps replay byte-identical after a failover, so the
+    /// response deliberately carries no created-vs-reset marker. The
+    /// limit applies to genuinely new ids only.
+    pub(crate) fn open(&self, session: u64, core: SessionCore) -> Result<(), OpError> {
+        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        if !slots.contains_key(&session) && slots.len() >= self.limit {
+            return Err(OpError::session_limit(self.limit));
+        }
+        slots.insert(session, Arc::new(Mutex::new(core)));
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The session's slot, if open. Callers clone the `Arc` out and
+    /// release the map lock before locking the core.
+    pub(crate) fn get(&self, session: u64) -> Option<Arc<Mutex<SessionCore>>> {
+        let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        slots.get(&session).cloned()
+    }
+
+    /// Removes and returns the session's slot.
+    pub(crate) fn close(&self, session: u64) -> Option<Arc<Mutex<SessionCore>>> {
+        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        slots.remove(&session)
+    }
+
+    pub(crate) fn record_step(&self) {
+        self.steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `stats` block: open/opened/steps counters.
+    pub(crate) fn stats_json(&self) -> Json {
+        let open = {
+            let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+            slots.len()
+        };
+        Json::Obj(vec![
+            ("open".into(), Json::num(open as f64)),
+            (
+                "opened".into(),
+                Json::num(self.opened.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "steps".into(),
+                Json::num(self.steps.load(Ordering::Relaxed) as f64),
+            ),
+        ])
+    }
+}
+
+/// The canonical topology observation for a measured performance under
+/// a spec — exactly the outer-loop oracle of `into_oa::optimize`
+/// (objective `log10(max(FoM, 1))`, the spec's normalized constraints,
+/// and the raw metrics payload). Warm-start records re-score a
+/// performance measured under a *family* spec with the session's own
+/// target spec through this same function.
+pub fn observation_from_perf(spec: &Spec, perf: &OpAmpPerformance) -> TopoObservation {
+    let fom = spec.fom(perf);
+    TopoObservation {
+        objective: fom.max(1.0).log10(),
+        constraints: spec.constraints(perf),
+        metrics: vec![perf.gain_db, perf.gbw_hz, perf.pm_deg, perf.power_w, fom],
+    }
+}
+
+/// Decodes a stored/served `size_opt` result into the step observation:
+/// `(None, sims)` when the sizing run found nothing.
+pub(crate) fn observation_from_size_opt(
+    spec: &Spec,
+    result: &Json,
+) -> (Option<TopoObservation>, u64) {
+    let sims = result.get("sims").and_then(Json::as_u64).unwrap_or(0);
+    if result.get("found").and_then(Json::as_bool) != Some(true) {
+        return (None, sims);
+    }
+    let field = |name: &str| result.get(name).and_then(Json::as_f64);
+    let (Some(gain_db), Some(gbw_hz), Some(pm_deg), Some(power_w)) = (
+        field("gain_db"),
+        field("gbw_hz"),
+        field("pm_deg"),
+        field("power_w"),
+    ) else {
+        return (None, sims);
+    };
+    let perf = OpAmpPerformance {
+        gain_db,
+        gbw_hz,
+        pm_deg,
+        power_w,
+    };
+    (Some(observation_from_perf(spec, &perf)), sims)
+}
+
+/// The incumbent object: best session record under feasible-first
+/// ranking, or `Null` before the first successful evaluation.
+pub(crate) fn incumbent_json(core: &SessionCore) -> Json {
+    let record = core.bo.best().and_then(|i| core.bo.history().get(i));
+    match record {
+        None => Json::Null,
+        Some(r) => {
+            let mut fields = vec![
+                ("topology".into(), Json::num(r.topology.index() as f64)),
+                ("objective".into(), Json::num(r.observation.objective)),
+                ("feasible".into(), Json::Bool(r.observation.is_feasible())),
+            ];
+            if let Some(&fom) = r.observation.metrics.get(4) {
+                fields.push(("fom".into(), Json::num(fom)));
+            }
+            Json::Obj(fields)
+        }
+    }
+}
+
+fn specs_json(core: &SessionCore) -> Json {
+    Json::Arr(core.spec_names.iter().map(Json::str).collect())
+}
+
+/// `open_session` result bytes.
+pub(crate) fn open_result_json(session: u64, core: &SessionCore) -> String {
+    Json::Obj(vec![
+        ("session".into(), Json::num(session as f64)),
+        ("specs".into(), specs_json(core)),
+        ("seed".into(), Json::num(core.seed as f64)),
+        ("n_init".into(), Json::num(core.bo.config().n_init as f64)),
+        ("warm".into(), Json::num(core.warm as f64)),
+    ])
+    .encode()
+    // lint: allow(panic, every field is a counter or short string; encode cannot fail)
+    .expect("session fields are finite")
+}
+
+/// `step` result bytes. `outcome` is `None` when nothing could be
+/// proposed (candidate space exhausted); the observation inside is
+/// `None` when the proposal's sizing run found no design.
+pub(crate) fn step_result_json(
+    session: u64,
+    step: u64,
+    phase: &str,
+    outcome: Option<(Topology, Option<&TopoObservation>, u64)>,
+    core: &SessionCore,
+) -> String {
+    let mut fields = vec![
+        ("session".into(), Json::num(session as f64)),
+        ("step".into(), Json::num(step as f64)),
+        ("phase".into(), Json::str(phase)),
+        ("proposed".into(), Json::Bool(outcome.is_some())),
+    ];
+    if let Some((topology, observation, sims)) = outcome {
+        fields.push(("topology".into(), Json::num(topology.index() as f64)));
+        fields.push(("evaluated".into(), Json::Bool(observation.is_some())));
+        if let Some(obs) = observation {
+            fields.push(("objective".into(), Json::num(obs.objective)));
+            if let Some(&fom) = obs.metrics.get(4) {
+                fields.push(("fom".into(), Json::num(fom)));
+            }
+            fields.push(("feasible".into(), Json::Bool(obs.is_feasible())));
+        }
+        fields.push(("sims".into(), Json::num(sims as f64)));
+    }
+    fields.push(("rejected".into(), Json::num(core.bo.rejected() as f64)));
+    fields.push(("incumbent".into(), incumbent_json(core)));
+    Json::Obj(fields)
+        .encode()
+        // lint: allow(panic, objectives and metrics are finite by construction; encode cannot fail)
+        .expect("step fields are finite")
+}
+
+/// `session_stats` result bytes.
+pub(crate) fn session_stats_json(session: u64, core: &SessionCore) -> String {
+    Json::Obj(vec![
+        ("session".into(), Json::num(session as f64)),
+        ("specs".into(), specs_json(core)),
+        ("seed".into(), Json::num(core.seed as f64)),
+        ("steps".into(), Json::num(core.steps as f64)),
+        ("history".into(), Json::num(core.bo.history().len() as f64)),
+        ("warm".into(), Json::num(core.warm as f64)),
+        ("rejected".into(), Json::num(core.bo.rejected() as f64)),
+        ("incumbent".into(), incumbent_json(core)),
+    ])
+    .encode()
+    // lint: allow(panic, counters and finite metrics only; encode cannot fail)
+    .expect("session stats are finite")
+}
+
+/// `close_session` result bytes — the session's final summary.
+pub(crate) fn close_result_json(session: u64, core: &SessionCore) -> String {
+    Json::Obj(vec![
+        ("session".into(), Json::num(session as f64)),
+        ("steps".into(), Json::num(core.steps as f64)),
+        ("history".into(), Json::num(core.bo.history().len() as f64)),
+        ("incumbent".into(), incumbent_json(core)),
+    ])
+    .encode()
+    // lint: allow(panic, counters and finite metrics only; encode cannot fail)
+    .expect("session summary is finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_bo::TopoBoConfig;
+
+    fn core() -> SessionCore {
+        SessionCore {
+            spec_names: vec!["S-1".into()],
+            target: 0,
+            seed: 3,
+            size_init: 2,
+            size_iter: 1,
+            warm: 0,
+            steps: 0,
+            bo: BoSession::new(TopoBoConfig {
+                n_init: 2,
+                n_iter: 0,
+                pool_size: 8,
+                seed: 3,
+                ..TopoBoConfig::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn limit_applies_to_new_ids_but_not_reopens() {
+        let manager = SessionManager::new(2);
+        manager.open(1, core()).unwrap();
+        manager.open(2, core()).unwrap();
+        assert_eq!(manager.open(3, core()), Err(OpError::session_limit(2)));
+        // Re-opening an existing id is a reset, not a new session.
+        manager.open(2, core()).unwrap();
+        assert!(manager.get(2).is_some());
+        let _ = manager.close(1);
+        manager.open(3, core()).unwrap();
+    }
+
+    #[test]
+    fn open_params_validate_the_spec_set() {
+        let parse = |line: &str| OpenParams::parse(&Json::parse(line).unwrap());
+        assert!(matches!(
+            parse(r#"{"op":"open_session","specs":["S-1"]}"#),
+            Err(OpError::Plain(_))
+        ));
+        let invalid = [
+            r#"{"op":"open_session","session":1}"#,
+            r#"{"op":"open_session","session":1,"specs":[]}"#,
+            r#"{"op":"open_session","session":1,"specs":["S-1","S-1"]}"#,
+            r#"{"op":"open_session","session":1,"specs":[7]}"#,
+        ];
+        for line in invalid {
+            match parse(line) {
+                Err(OpError::Typed { kind, .. }) => assert_eq!(kind, "spec_invalid", "{line}"),
+                other => panic!("{line}: {other:?}"),
+            }
+        }
+        let params =
+            parse(r#"{"op":"open_session","session":9,"specs":["S-2","S-1"],"seed":4}"#).unwrap();
+        assert_eq!(params.session, 9);
+        assert_eq!(params.spec_names, vec!["S-2", "S-1"]);
+        assert_eq!(params.seed, 4);
+        assert_eq!(params.n_init, DEFAULT_SESSION_N_INIT);
+        assert!(params.warm_start);
+    }
+
+    #[test]
+    fn observation_matches_the_optimizer_oracle_recipe() {
+        let spec = Spec::s1();
+        let perf = OpAmpPerformance {
+            gain_db: 80.0,
+            gbw_hz: 2e7,
+            pm_deg: 70.0,
+            power_w: 1e-4,
+        };
+        let obs = observation_from_perf(&spec, &perf);
+        let fom = spec.fom(&perf);
+        assert_eq!(obs.objective.to_bits(), fom.max(1.0).log10().to_bits());
+        assert_eq!(obs.constraints, spec.constraints(&perf));
+        assert_eq!(obs.metrics.len(), 5);
+        assert_eq!(obs.metrics[4].to_bits(), fom.to_bits());
+    }
+}

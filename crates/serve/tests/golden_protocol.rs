@@ -40,9 +40,21 @@ fn x_literal(topology: usize) -> String {
     format!("[{}]", xs.join(","))
 }
 
+/// Sessions the harness allows open at once — small enough for the
+/// script to hit the `session_limit` error on purpose. The fabric
+/// replay in `oa-router` pins the same limit on every shard.
+pub const GOLDEN_SESSION_LIMIT: usize = 3;
+
 /// The request script. Every protocol surface appears at least once:
 /// eval (miss, then store hit), per-spec routing, every top-level error
-/// shape, typed per-item batch errors, size_opt, and stats.
+/// shape, typed per-item batch errors, size_opt, stats, and the full
+/// session family — open/step/session_stats/close plus the typed
+/// `unknown_session`, `spec_invalid` and `session_limit` errors.
+///
+/// Session spec sets are chosen for fabric transparency: the stepping
+/// session is single-spec (no warm scan), and family members never name
+/// a spec with `size_opt` records in the script, so warm counts are 0
+/// on any store layout — single-node or per-shard.
 fn script() -> Vec<String> {
     let x0 = x_literal(0);
     let x1031 = x_literal(1031);
@@ -65,8 +77,32 @@ fn script() -> Vec<String> {
         // size_opt: seeded, tiny budget, deterministic.
         r#"{"id":10,"op":"size_opt","spec":"S-1","topology":0,"seed":7,"n_init":2,"n_iter":1}"#
             .to_owned(),
-        // stats: shape-stable modulo the zeroed micros counters.
-        r#"{"id":11,"op":"stats"}"#.to_owned(),
+        // Session lifecycle: open, init steps, a BO step, stats, close.
+        r#"{"id":12,"op":"open_session","session":40,"specs":["S-4"],"seed":9,"n_init":2,"pool_size":8,"size_init":2,"size_iter":1}"#
+            .to_owned(),
+        r#"{"id":13,"op":"step","session":40}"#.to_owned(),
+        r#"{"id":14,"op":"step","session":40}"#.to_owned(),
+        r#"{"id":15,"op":"step","session":40}"#.to_owned(),
+        r#"{"id":16,"op":"session_stats","session":40}"#.to_owned(),
+        // Typed session errors.
+        r#"{"id":17,"op":"step","session":77}"#.to_owned(),
+        r#"{"id":18,"op":"open_session","session":41,"specs":["S-9"]}"#.to_owned(),
+        r#"{"id":19,"op":"open_session","session":41,"specs":[]}"#.to_owned(),
+        r#"{"id":20,"op":"open_session","specs":["S-2"]}"#.to_owned(),
+        r#"{"id":21,"op":"open_session","session":44,"specs":["S-3","S-2","S-3"]}"#.to_owned(),
+        // Fill up to the session limit, overflow, then close to fit.
+        r#"{"id":22,"op":"open_session","session":41,"specs":["S-2","S-3"],"seed":1}"#.to_owned(),
+        r#"{"id":23,"op":"open_session","session":42,"specs":["S-5"],"seed":2}"#.to_owned(),
+        r#"{"id":24,"op":"open_session","session":43,"specs":["S-2"],"seed":3}"#.to_owned(),
+        r#"{"id":25,"op":"close_session","session":41}"#.to_owned(),
+        r#"{"id":26,"op":"open_session","session":43,"specs":["S-2"],"seed":3}"#.to_owned(),
+        r#"{"id":27,"op":"close_session","session":99}"#.to_owned(),
+        r#"{"id":28,"op":"close_session","session":40}"#.to_owned(),
+        // stats: shape-stable modulo the zeroed micros counters. Exactly
+        // one stats op, last — the fabric broadcast increments *every*
+        // shard's own stats counter, so a second stats op would read a
+        // different count through the fabric than direct.
+        r#"{"id":29,"op":"stats"}"#.to_owned(),
     ]
 }
 
@@ -96,7 +132,8 @@ fn run_script() -> Vec<(String, String)> {
         std::thread::current().id()
     ));
     let _ = fs::remove_dir_all(&dir);
-    let service = Service::new(Store::open(dir.join("results.log")).expect("fresh store opens"));
+    let service = Service::new(Store::open(dir.join("results.log")).expect("fresh store opens"))
+        .with_session_limit(GOLDEN_SESSION_LIMIT);
     let pairs = script()
         .into_iter()
         .map(|request| {

@@ -28,6 +28,7 @@ fn config_on(addr: &str, store: &Path) -> ServerConfig {
         store_path: store.to_path_buf(),
         faults: Faults::none(),
         shard: None,
+        session_limit: oa_serve::DEFAULT_SESSION_LIMIT,
     }
 }
 

@@ -1,0 +1,136 @@
+//! Session determinism properties (DESIGN.md §13).
+//!
+//! Two claims, both stated against [`Service::handle_line`] — the same
+//! code path the TCP layer serves:
+//!
+//! 1. **Replay** — a session transcript (open → N×step → stats → close)
+//!    is a pure function of the open request and the store snapshot at
+//!    open time. Re-running the identical script on a *fresh* service
+//!    over the store the first run appended to yields byte-identical
+//!    frames: the session's own `size_opt` records are served back with
+//!    the exact bytes the first run stored, and the warm-start scan
+//!    excludes the target spec so those appends never shift the warm
+//!    set. This is the invariant the failover replay
+//!    ([`oa_serve::SessionDriver`]) rests on.
+//! 2. **Isolation** — concurrent sessions interleaved on one service
+//!    produce, per session, the same frames as running each session
+//!    serially on its own. Per-session state sits behind its own lock
+//!    and the shared store only ever gains byte-identical records, so
+//!    tenants cannot perturb each other's iterate streams.
+
+use std::fs;
+use std::path::PathBuf;
+
+use oa_serve::{request, Service};
+use oa_store::Store;
+use proptest::prelude::*;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "oa_session_det_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// One session transcript: open (S-3 target, S-1 warm family), `steps`
+/// steps, a stats probe, close. Returns every response frame in order.
+fn run_transcript(
+    service: &Service,
+    session: u64,
+    seed: u64,
+    n_init: usize,
+    pool_size: usize,
+    steps: usize,
+) -> Vec<String> {
+    let open = format!(
+        r#"{{"id":1,"op":"open_session","session":{session},"specs":["S-3","S-1"],"seed":{seed},"n_init":{n_init},"pool_size":{pool_size},"size_init":2,"size_iter":1}}"#
+    );
+    let mut frames = vec![service.handle_line(&open)];
+    for i in 0..steps {
+        frames.push(service.handle_line(&request::step(2 + i as u64, session)));
+    }
+    frames.push(service.handle_line(&request::session_stats(90, session)));
+    frames.push(service.handle_line(&request::close_session(91, session)));
+    frames
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Replay: same script, same store lineage → byte-identical frames,
+    /// even though the first run appended its own records to the store.
+    #[test]
+    fn session_replay_is_byte_identical_over_its_own_store_appends(
+        seed in 0u64..1000,
+        n_init in 0usize..3,
+        steps in 1usize..4,
+    ) {
+        let dir = temp_dir("replay");
+        let _ = fs::remove_dir_all(&dir);
+        let store_path = dir.join("results.log");
+
+        // Snapshot: two S-1 sizing records the warm scan will pick up.
+        let service = Service::new(Store::open(&store_path).expect("store opens"));
+        for (i, topology) in [0usize, 97].into_iter().enumerate() {
+            let line = request::size_opt(50 + i as u64, "S-1", topology, seed ^ 7, 2, 1);
+            let response = service.handle_line(&line);
+            prop_assert!(response.contains("\"ok\":true"), "{response}");
+        }
+
+        let first = run_transcript(&service, 7, seed, n_init, 6, steps);
+        drop(service);
+
+        // Fresh service, same store — now holding the first run's appends.
+        let replayed = Service::new(Store::open(&store_path).expect("store reopens"));
+        let second = run_transcript(&replayed, 7, seed, n_init, 6, steps);
+        prop_assert_eq!(first, second);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// Isolation: three sessions stepped concurrently on one shared service
+/// must each see the exact frames they'd get running alone.
+#[test]
+fn interleaved_sessions_match_serial_per_session_transcripts() {
+    let tenants: [(u64, u64); 3] = [(1, 11), (2, 22), (3, 33)];
+    let steps = 3;
+
+    // Serial reference: each session alone on its own fresh store.
+    let mut serial = Vec::new();
+    for (i, &(session, seed)) in tenants.iter().enumerate() {
+        let dir = temp_dir(&format!("serial{i}"));
+        let _ = fs::remove_dir_all(&dir);
+        let service = Service::new(Store::open(dir.join("results.log")).expect("store opens"));
+        serial.push(run_transcript(&service, session, seed, 2, 6, steps));
+        drop(service);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // Concurrent run: all three interleave on one service + one store.
+    let dir = temp_dir("concurrent");
+    let _ = fs::remove_dir_all(&dir);
+    let service = Service::new(Store::open(dir.join("results.log")).expect("store opens"));
+    let concurrent: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tenants
+            .iter()
+            .map(|&(session, seed)| {
+                let service = &service;
+                scope.spawn(move || run_transcript(service, session, seed, 2, 6, steps))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+
+    for (i, (alone, shared)) in serial.iter().zip(&concurrent).enumerate() {
+        assert_eq!(
+            alone, shared,
+            "tenant {i}: concurrent transcript diverged from running alone"
+        );
+    }
+    drop(service);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,162 @@
+//! Warm-start differential test (DESIGN.md §13).
+//!
+//! Claim: a warm-started session's objective posterior is *exactly* a
+//! fresh [`WlGp`] fit on the k warm observations — warm records train
+//! the GP like any other data, nothing more. The test drives the real
+//! wire path (store records written through `size_opt` requests, the
+//! serving warm scan [`Service::warm_observations`]), seeds a
+//! [`BoSession`] the way `open_session` does, and compares its
+//! [`BoSession::objective_posterior`] against a from-scratch featurize +
+//! fit + predict pipeline at agreement ≤ 1e-10.
+//!
+//! A second test ties the wire format in: the first `step` of a
+//! warm-started `open_session` proposes the same topology as an
+//! in-process [`BoSession`] seeded with the same scan.
+
+use oa_bo::{BoSession, TopoBoConfig};
+use oa_circuit::Topology;
+use oa_gp::WlGp;
+use oa_graph::{WlFeatures, WlFeaturizer};
+use oa_serve::{request, Json, Service};
+use oa_store::Store;
+use std::fs;
+use std::path::PathBuf;
+
+/// WL depth used by both sides — the `open_session` serving default.
+const WL_LEVELS: usize = 4;
+const SEED: u64 = 5;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "oa_warm_diff_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// The session config `open_session` builds for
+/// `{"specs":["S-3","S-1"],"seed":5,"n_init":0,"pool_size":8}`.
+fn session_config() -> TopoBoConfig {
+    TopoBoConfig {
+        n_init: 0,
+        n_iter: 0,
+        pool_size: 8,
+        seed: SEED,
+        wl_levels: WL_LEVELS,
+        ..TopoBoConfig::default()
+    }
+}
+
+/// Populates S-1 sizing records through the wire path and returns the
+/// count that found a design (the records a warm scan picks up).
+fn populate(service: &Service) -> usize {
+    let mut found = 0;
+    for (i, topology) in [0usize, 97, 1031].into_iter().enumerate() {
+        let line = request::size_opt(70 + i as u64, "S-1", topology, 40 + i as u64, 2, 1);
+        let response = service.handle_line(&line);
+        let parsed = Json::parse(&response).expect("size_opt response parses");
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)), "{response}");
+        if parsed
+            .get("result")
+            .and_then(|r| r.get("found"))
+            .and_then(Json::as_bool)
+            == Some(true)
+        {
+            found += 1;
+        }
+    }
+    found
+}
+
+#[test]
+fn warm_started_posterior_equals_a_fresh_fit_on_the_warm_observations() {
+    let dir = temp_dir("posterior");
+    let _ = fs::remove_dir_all(&dir);
+    let service = Service::new(Store::open(dir.join("results.log")).expect("store opens"));
+    let found = populate(&service);
+    assert!(found >= 2, "fixture budgets must find designs ({found})");
+
+    // The serving scan: S-1 family records re-scored under target S-3.
+    let warm = service.warm_observations("S-3", &["S-1".to_owned()]);
+    assert_eq!(warm.len(), found, "scan must see every found record");
+
+    // Session side: seed exactly as op_open_session does.
+    let mut session = BoSession::new(session_config());
+    for (topology, observation) in &warm {
+        session.seed_observation(*topology, observation.clone());
+    }
+    let probes: Vec<Topology> = [5usize, 123, 2041]
+        .into_iter()
+        .map(|i| Topology::from_index(i).expect("probe topology in range"))
+        .collect();
+    let session_posterior = session
+        .objective_posterior(&probes)
+        .expect("warm observations fit");
+
+    // Reference side: fresh featurizer, fresh fit, same data and order.
+    let mut featurizer = WlFeaturizer::new();
+    let feats: Vec<WlFeatures> = warm
+        .iter()
+        .map(|(t, _)| featurizer.featurize_topology(t, WL_LEVELS))
+        .collect();
+    let y: Vec<f64> = warm.iter().map(|(_, o)| o.objective).collect();
+    let gp = WlGp::fit(feats, y).expect("reference fit");
+    for (probe, &(mean, var)) in probes.iter().zip(&session_posterior) {
+        let (ref_mean, ref_var) = gp
+            .predict(&featurizer.featurize_topology(probe, WL_LEVELS))
+            .expect("reference predict");
+        assert!(
+            (mean - ref_mean).abs() <= 1e-10,
+            "posterior mean diverged at {probe:?}: {mean} vs {ref_mean}"
+        );
+        assert!(
+            (var - ref_var).abs() <= 1e-10,
+            "posterior spread diverged at {probe:?}: {var} vs {ref_var}"
+        );
+    }
+    drop(service);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn first_step_of_a_warm_started_session_matches_the_in_process_proposal() {
+    let dir = temp_dir("proposal");
+    let _ = fs::remove_dir_all(&dir);
+    let service = Service::new(Store::open(dir.join("results.log")).expect("store opens"));
+    let found = populate(&service);
+    assert!(found >= 2, "fixture budgets must find designs ({found})");
+
+    // Expected proposal: a BoSession seeded with the same scan.
+    let warm = service.warm_observations("S-3", &["S-1".to_owned()]);
+    let mut expected = BoSession::new(session_config());
+    for (topology, observation) in warm {
+        expected.seed_observation(topology, observation);
+    }
+    let proposal = expected
+        .propose_default()
+        .expect("warm pool yields a proposal");
+
+    // Wire side: open with the matching parameters, step once.
+    let open = format!(
+        r#"{{"id":1,"op":"open_session","session":6,"specs":["S-3","S-1"],"seed":{SEED},"n_init":0,"pool_size":8,"size_init":2,"size_iter":1}}"#
+    );
+    let opened = Json::parse(&service.handle_line(&open)).expect("open parses");
+    assert_eq!(
+        opened
+            .get("result")
+            .and_then(|r| r.get("warm"))
+            .and_then(Json::as_u64),
+        Some(found as u64),
+        "open_session must report the warm count"
+    );
+    let stepped = Json::parse(&service.handle_line(&request::step(2, 6))).expect("step parses");
+    let result = stepped.get("result").expect("step succeeds");
+    assert_eq!(result.get("phase").and_then(Json::as_str), Some("bo"));
+    assert_eq!(
+        result.get("topology").and_then(Json::as_u64),
+        Some(proposal.index() as u64),
+        "first BO proposal must match the in-process session"
+    );
+    drop(service);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -87,6 +87,59 @@ impl EvalKey {
         out.extend_from_slice(&self.seed.to_le_bytes());
         out
     }
+
+    /// Decodes a canonical key, the exact inverse of [`EvalKey::encode`].
+    /// Returns `None` for anything that is not a complete well-formed
+    /// key (wrong tag, truncated fields, trailing bytes, non-UTF-8
+    /// spec) — store scanners use this to skip foreign records safely.
+    pub fn decode(bytes: &[u8]) -> Option<EvalKey> {
+        let mut cursor = bytes;
+        let take = |cursor: &mut &[u8], n: usize| -> Option<Vec<u8>> {
+            if cursor.len() < n {
+                return None;
+            }
+            let (head, tail) = cursor.split_at(n);
+            *cursor = tail;
+            Some(head.to_vec())
+        };
+        let u64_at = |cursor: &mut &[u8]| -> Option<u64> {
+            take(cursor, 8).map(|b| u64::from_le_bytes(b.try_into().unwrap_or([0; 8])))
+        };
+        let u32_at = |cursor: &mut &[u8]| -> Option<u32> {
+            take(cursor, 4).map(|b| u32::from_le_bytes(b.try_into().unwrap_or([0; 4])))
+        };
+        let kind = match *cursor.first()? {
+            0 => EvalKind::Eval,
+            1 => EvalKind::SizeOpt,
+            _ => return None,
+        };
+        cursor = cursor.get(1..)?;
+        let topology_code = u64_at(&mut cursor)?;
+        let n_bits = u32_at(&mut cursor)? as usize;
+        // A length prefix larger than the remaining bytes is corrupt.
+        if cursor.len() < n_bits.checked_mul(8)? {
+            return None;
+        }
+        let mut x_bits = Vec::with_capacity(n_bits);
+        for _ in 0..n_bits {
+            x_bits.push(u64_at(&mut cursor)?);
+        }
+        let spec_len = u32_at(&mut cursor)? as usize;
+        let spec_id = String::from_utf8(take(&mut cursor, spec_len)?).ok()?;
+        let process_hash = u64_at(&mut cursor)?;
+        let seed = u64_at(&mut cursor)?;
+        if !cursor.is_empty() {
+            return None;
+        }
+        Some(EvalKey {
+            kind,
+            topology_code,
+            x_bits,
+            spec_id,
+            process_hash,
+            seed,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +191,41 @@ mod tests {
             assert_ne!(v.encode(), k.encode(), "{v:?} must not collide");
         }
         assert_eq!(base().encode(), k.encode());
+    }
+
+    #[test]
+    fn decode_roundtrips_and_rejects_corruption() {
+        for key in [
+            base(),
+            EvalKey {
+                kind: EvalKind::SizeOpt,
+                x_bits: vec![4, 8],
+                seed: 7,
+                ..base()
+            },
+            EvalKey {
+                x_bits: vec![],
+                spec_id: String::new(),
+                ..base()
+            },
+        ] {
+            let bytes = key.encode();
+            assert_eq!(EvalKey::decode(&bytes), Some(key));
+        }
+        let good = base().encode();
+        assert_eq!(EvalKey::decode(&[]), None, "empty");
+        assert_eq!(EvalKey::decode(&good[..good.len() - 1]), None, "truncated");
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(EvalKey::decode(&trailing), None, "trailing bytes");
+        let mut bad_tag = good.clone();
+        bad_tag[0] = 9;
+        assert_eq!(EvalKey::decode(&bad_tag), None, "unknown tag");
+        let mut huge_len = good;
+        // Corrupt the x_bits length prefix (offset 9..13) to a value far
+        // beyond the buffer; decode must fail instead of allocating.
+        huge_len[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(EvalKey::decode(&huge_len), None, "oversized length");
     }
 
     #[test]

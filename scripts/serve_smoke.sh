@@ -104,11 +104,14 @@ scrape_addr() {
     exit 1
 }
 
+# --session-limit 3 matches the golden fixture's harness
+# (GOLDEN_SESSION_LIMIT), so the scripted session_limit overflow
+# reproduces on the shards.
 "$SERVE" --addr 127.0.0.1:0 --store "$WORK/shard0/results.log" --shard 0/2 \
-    >"$WORK/shard0.log" &
+    --session-limit 3 >"$WORK/shard0.log" &
 SHARD_PIDS="$!"
 "$SERVE" --addr 127.0.0.1:0 --store "$WORK/shard1/results.log" --shard 1/2 \
-    >"$WORK/shard1.log" &
+    --session-limit 3 >"$WORK/shard1.log" &
 SHARD_PIDS="$SHARD_PIDS $!"
 S0="$(scrape_addr "$WORK/shard0.log" 'oa-serve listening on ')"
 S1="$(scrape_addr "$WORK/shard1.log" 'oa-serve listening on ')"
