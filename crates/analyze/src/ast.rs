@@ -25,6 +25,20 @@ pub struct SourceFile {
     pub structs: Vec<StructDef>,
     /// Every `fn`, including impl/trait methods and nested-module fns.
     pub fns: Vec<FnDef>,
+    /// `const NAME: &str = "…";` items — the definition sites the
+    /// wire-schema extraction resolves identifier reads through.
+    pub const_strs: Vec<ConstStr>,
+}
+
+/// A string-typed `const`/`static` item with a literal initializer.
+#[derive(Debug, Clone)]
+pub struct ConstStr {
+    /// The constant's name.
+    pub name: String,
+    /// The literal's decoded (unescaped) value.
+    pub value: String,
+    /// 1-based source line.
+    pub line: u32,
 }
 
 /// One leaf of a `use` tree: `use a::b::{c, d as e};` yields two
@@ -166,6 +180,15 @@ pub enum Event {
         name: String,
         /// 1-based source line.
         line: u32,
+    },
+    /// A string literal in expression position, with its decoded
+    /// (unescaped) value. Consumed by the wire-schema extraction;
+    /// every other analysis ignores it.
+    Str {
+        /// 1-based source line.
+        line: u32,
+        /// The literal's decoded value.
+        text: String,
     },
 }
 

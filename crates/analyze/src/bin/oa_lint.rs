@@ -1,5 +1,5 @@
-//! Workspace lint driver, v3: two engines, SARIF output, and
-//! diff-aware baseline gating.
+//! Workspace lint driver, v4: two engines, SARIF output, diff-aware
+//! baseline gating, and wire-schema conformance.
 //!
 //! Usage:
 //!
@@ -8,15 +8,17 @@
 //!         [--sarif=<path>] [--baseline=<path>] [--write-baseline=<path>]
 //!         [--explain-discharges] [<workspace-root>]
 //! oa_lint callgraph [--dot] [--check] [<workspace-root>]
+//! oa_lint wire [--check] [<workspace-root>]
 //! ```
 //!
 //! The default `--engine=ast` parses every first-party file, builds the
 //! workspace call graph, and runs the interprocedural analyses (panic
 //! reachability with value-range discharge, lock-order cycles,
-//! determinism taint, and the effect rules `nonblocking_event_loop` /
-//! `alloc_free_kernel` / `lock_across_blocking`) alongside the
-//! token-shaped rules. `--engine=token` is the original per-file
-//! scanner, kept as a fallback and for A/B comparison.
+//! determinism taint, the effect rules `nonblocking_event_loop` /
+//! `alloc_free_kernel` / `lock_across_blocking`, and the wire-schema
+//! conformance rules `wire_*` against `crates/serve/protocol.spec`)
+//! alongside the token-shaped rules. `--engine=token` is the original
+//! per-file scanner, kept as a fallback and for A/B comparison.
 //!
 //! * `--sarif=<path>` additionally writes the run as a SARIF 2.1.0 log.
 //! * `--baseline=<path>` switches to diff-aware mode: only findings
@@ -25,7 +27,9 @@
 //! * `--write-baseline=<path>` writes the current fingerprints as the
 //!   new snapshot (review the diff before committing it).
 //! * `--timings` appends `engine=… files=… fns=… edges=… discharged=…
-//!   elapsed_ms=…` to the stderr summary, for `scripts/bench_smoke.sh`.
+//!   parse_ms=… callgraph_ms=… ranges_ms=… effects_ms=… wire_ms=…
+//!   elapsed_ms=…` to the stderr summary, for
+//!   `scripts/bench_smoke.sh`.
 //! * `--explain-discharges` prints each indexing site the value-range
 //!   analysis proved in-bounds, with its evidence.
 //!
@@ -34,24 +38,35 @@
 //! snapshot (`crates/analyze/tests/snapshots/callgraph.tsv`) and
 //! verifies the lock-acquisition graph is acyclic — the CI gate.
 //!
+//! `wire` prints the extracted wire-schema catalogue as TSV (every op
+//! the dispatch emits, every routing arm, every kind constant and its
+//! read sites, response-field and frame-skeleton rows). `--check`
+//! instead diffs it against the committed snapshot
+//! (`crates/analyze/tests/snapshots/wire.tsv`) — the CI gate that
+//! makes any wire-surface change show up in review as a snapshot
+//! diff. Regenerate with `oa_lint wire > <snapshot>`.
+//!
 //! Scans `crates/*/src/**` under the workspace root (default: the
 //! current directory). Findings print one per line in deterministic
 //! path/line order; exit status is 1 if any gating rule fired and 0
 //! otherwise.
 
 use oa_analyze::callgraph::{CallGraph, Workspace};
-use oa_analyze::engine::{self, Engine};
-use oa_analyze::{locks, sarif};
+use oa_analyze::engine::{self, Engine, WireInput};
+use oa_analyze::{locks, sarif, wire};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const SNAPSHOT: &str = "crates/analyze/tests/snapshots/callgraph.tsv";
+const WIRE_SNAPSHOT: &str = "crates/analyze/tests/snapshots/wire.tsv";
+const SPEC_PATH: &str = "crates/serve/protocol.spec";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut engine = Engine::Ast;
     let mut root = PathBuf::from(".");
     let mut callgraph = false;
+    let mut wire_cmd = false;
     let mut dot = false;
     let mut check = false;
     let mut timings = false;
@@ -68,6 +83,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "callgraph" => callgraph = true,
+            "wire" => wire_cmd = true,
             "--dot" => dot = true,
             "--check" => check = true,
             "--timings" => timings = true,
@@ -108,10 +124,20 @@ fn main() -> ExitCode {
     if callgraph {
         return run_callgraph(&root, &inputs, dot, check);
     }
+    if wire_cmd {
+        return run_wire(&root, &inputs, check);
+    }
+
+    // The wire pass reads the declared protocol; a missing or
+    // unreadable spec is itself a finding (`wire_spec`), not an abort.
+    let wire_input = WireInput {
+        path: SPEC_PATH.to_owned(),
+        text: std::fs::read_to_string(root.join(SPEC_PATH)).ok(),
+    };
 
     // lint: allow(wall_clock, CLI timing line, not a response path)
     let started = std::time::Instant::now();
-    let report = engine::run(engine, &inputs);
+    let report = engine::run_with(engine, &inputs, Some(&wire_input));
 
     if let Some(path) = &sarif_path {
         if let Err(err) = std::fs::write(path, sarif::to_sarif(&report)) {
@@ -161,12 +187,19 @@ fn main() -> ExitCode {
         Engine::Token => "token",
     };
     let timing = if timings {
+        let t = &report.timings;
         format!(
-            " (engine={label} files={} fns={} edges={} discharged={} elapsed_ms={})",
+            " (engine={label} files={} fns={} edges={} discharged={} \
+             parse_ms={} callgraph_ms={} ranges_ms={} effects_ms={} wire_ms={} elapsed_ms={})",
             report.files,
             report.fns,
             report.edges,
             report.discharged.len(),
+            t.parse_ms,
+            t.callgraph_ms,
+            t.ranges_ms,
+            t.effects_ms,
+            t.wire_ms,
             started.elapsed().as_millis()
         )
     } else {
@@ -190,6 +223,40 @@ fn main() -> ExitCode {
     } else {
         eprintln!("oa_lint: {} finding(s){timing}", gating.len());
         ExitCode::FAILURE
+    }
+}
+
+/// The `wire` subcommand: dump the extracted wire-schema catalogue as
+/// TSV, or `--check` it against the committed snapshot.
+fn run_wire(root: &Path, inputs: &[(String, String)], check: bool) -> ExitCode {
+    let ws = Workspace::parse(inputs);
+    let tsv = wire::render_tsv(&wire::extract(&ws));
+    if !check {
+        print!("{tsv}");
+        return ExitCode::SUCCESS;
+    }
+    let snap_path = root.join(WIRE_SNAPSHOT);
+    match std::fs::read_to_string(&snap_path) {
+        Ok(snap) if snap == tsv => {
+            eprintln!(
+                "oa_lint: wire catalogue matches snapshot ({} row(s))",
+                tsv.lines().count() - 1
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(snap) => {
+            eprintln!(
+                "oa_lint: wire catalogue drifted from snapshot ({} rows now, {} in snapshot);\n\
+                 regenerate with `oa_lint wire > {WIRE_SNAPSHOT}` and review the diff",
+                tsv.lines().count() - 1,
+                snap.lines().count() - 1
+            );
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("oa_lint: cannot read {}: {err}", snap_path.display());
+            ExitCode::FAILURE
+        }
     }
 }
 

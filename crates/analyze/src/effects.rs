@@ -137,7 +137,7 @@ fn event_effects(
 ) -> Option<(u32, u8, String)> {
     match ev {
         Event::Index { line, .. } => Some((*line, PANICS, "slice/array indexing".to_owned())),
-        Event::Guard { .. } | Event::DropVar { .. } => None,
+        Event::Guard { .. } | Event::DropVar { .. } | Event::Str { .. } => None,
         Event::Call(call) => {
             let line = call.line;
             let called = match &call.target {
@@ -565,7 +565,9 @@ fn walk_blocking(
                 crate::ast::StmtPart::Event(Event::DropVar { name, .. }) => {
                     held.retain(|h| h.guard_var.as_deref() != Some(name));
                 }
-                crate::ast::StmtPart::Event(Event::Index { .. } | Event::Guard { .. }) => {}
+                crate::ast::StmtPart::Event(
+                    Event::Index { .. } | Event::Guard { .. } | Event::Str { .. },
+                ) => {}
                 crate::ast::StmtPart::Event(ev @ Event::Call(call)) => {
                     if let CallTarget::Method { name, recv } = &call.target {
                         if let Some(class) =

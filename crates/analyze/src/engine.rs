@@ -23,9 +23,10 @@
 
 use crate::callgraph::{CallGraph, Workspace};
 use crate::lint::{annotations_of, lint_source, lint_source_scoped, scope_of, Finding};
+use crate::protocol::ProtocolSpec;
 use crate::ranges::Discharge;
 use crate::reachability::Allowed;
-use crate::{effects, locks, ranges, reachability, taint};
+use crate::{effects, locks, ranges, reachability, taint, wire};
 use std::collections::BTreeSet;
 
 /// Which analysis engine to run. Parsed from `--engine=` by the CLI.
@@ -49,6 +50,35 @@ impl Engine {
     }
 }
 
+/// The declared wire protocol handed to the ast engine's wire pass:
+/// the spec's display path (used in findings) and its text, `None`
+/// when the file could not be read. `run_with(.., Some(..))` enables
+/// the pass; the pass is skipped entirely when absent (unit tests,
+/// token engine).
+#[derive(Debug, Clone)]
+pub struct WireInput {
+    /// Display path of the spec file (workspace-relative).
+    pub path: String,
+    /// Spec text; `None` reports `wire_spec` (missing file).
+    pub text: Option<String>,
+}
+
+/// Wall-clock milliseconds per ast-engine phase, for `--timings` and
+/// `scripts/bench_smoke.sh` (all zero under the token engine).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseTimings {
+    /// Parsing plus the token-shaped rules.
+    pub parse_ms: u128,
+    /// Call-graph construction.
+    pub callgraph_ms: u128,
+    /// Value-range discharge.
+    pub ranges_ms: u128,
+    /// Reachability, lock order, taint, and effect inference.
+    pub effects_ms: u128,
+    /// Wire-schema extraction and spec conformance.
+    pub wire_ms: u128,
+}
+
 /// The outcome of a workspace analysis run.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -63,14 +93,24 @@ pub struct Report {
     /// Indexing sites the value-range analysis proved in-bounds
     /// (ast engine only) — printed under `--explain-discharges`.
     pub discharged: Vec<Discharge>,
+    /// Per-phase wall-clock timings (ast engine only).
+    pub timings: PhaseTimings,
 }
 
 /// Runs the chosen engine over `(path, source)` pairs for the whole
 /// workspace. Paths are workspace-relative with forward slashes.
+/// Equivalent to [`run_with`] without a wire spec.
 pub fn run(engine: Engine, inputs: &[(String, String)]) -> Report {
+    run_with(engine, inputs, None)
+}
+
+/// [`run`], optionally with the declared wire protocol: when `wire`
+/// is present the ast engine extracts the wire schema and checks it
+/// against the spec (rules `wire_*`); the token engine ignores it.
+pub fn run_with(engine: Engine, inputs: &[(String, String)], wire: Option<&WireInput>) -> Report {
     match engine {
         Engine::Token => run_token(inputs),
-        Engine::Ast => run_ast(inputs),
+        Engine::Ast => run_ast(inputs, wire),
     }
 }
 
@@ -86,16 +126,19 @@ fn run_token(inputs: &[(String, String)]) -> Report {
         fns: 0,
         edges: 0,
         discharged: Vec::new(),
+        timings: PhaseTimings::default(),
     }
 }
 
-fn run_ast(inputs: &[(String, String)]) -> Report {
-    let ws = Workspace::parse(inputs);
-    let graph = CallGraph::build(&ws);
+fn run_ast(inputs: &[(String, String)], wire_input: Option<&WireInput>) -> Report {
+    let mut timings = PhaseTimings::default();
+    // lint: allow(wall_clock, phase timing for --timings, not a response path)
+    let t = std::time::Instant::now();
 
     // Token rules minus the two the interprocedural analyses replace.
     // Annotation-hygiene findings (`bad_annotation`) come from this
     // pass; `annotations_of` below is used only for its line map.
+    let ws = Workspace::parse(inputs);
     let mut findings = Vec::new();
     let mut allowed = Allowed::new();
     for (path, source) in inputs {
@@ -106,19 +149,46 @@ fn run_ast(inputs: &[(String, String)]) -> Report {
         let (rules, _) = annotations_of(path, source);
         allowed.insert(path.clone(), rules);
     }
+    timings.parse_ms = t.elapsed().as_millis();
+
+    // lint: allow(wall_clock, phase timing for --timings, not a response path)
+    let t = std::time::Instant::now();
+    let graph = CallGraph::build(&ws);
+    timings.callgraph_ms = t.elapsed().as_millis();
 
     // Value-range analysis first: its proven sites are subtracted from
     // the panic-reachability findings (and need no annotation).
+    // lint: allow(wall_clock, phase timing for --timings, not a response path)
+    let t = std::time::Instant::now();
     let discharged = ranges::discharges(&graph);
     let discharged_lines: BTreeSet<(String, u32)> = discharged
         .iter()
         .map(|d| (d.path.clone(), d.line))
         .collect();
+    timings.ranges_ms = t.elapsed().as_millis();
 
+    // lint: allow(wall_clock, phase timing for --timings, not a response path)
+    let t = std::time::Instant::now();
     findings.extend(reachability::check(&graph, &allowed, &discharged_lines));
     findings.extend(locks::check(&graph, &allowed));
     findings.extend(taint::check(&graph, &allowed));
     findings.extend(effects::check(&graph, &allowed));
+    timings.effects_ms = t.elapsed().as_millis();
+
+    // Wire-schema extraction vs the declared protocol.
+    // lint: allow(wall_clock, phase timing for --timings, not a response path)
+    let t = std::time::Instant::now();
+    if let Some(w) = wire_input {
+        match &w.text {
+            None => findings.push(wire::spec_finding(&w.path, "file is missing or unreadable")),
+            Some(text) => match ProtocolSpec::parse(text) {
+                Err(e) => findings.push(wire::spec_finding(&w.path, &e)),
+                Ok(spec) => findings.extend(wire::check(&ws, &spec, &w.path)),
+            },
+        }
+    }
+    timings.wire_ms = t.elapsed().as_millis();
+
     findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
     findings.dedup();
 
@@ -129,6 +199,7 @@ fn run_ast(inputs: &[(String, String)]) -> Report {
         fns: graph.nodes.len(),
         edges,
         discharged,
+        timings,
     }
 }
 

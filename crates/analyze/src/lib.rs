@@ -40,11 +40,13 @@ pub mod lexer;
 pub mod lint;
 pub mod locks;
 pub mod parser;
+pub mod protocol;
 pub mod ranges;
 pub mod reachability;
 pub mod sarif;
 pub mod structural;
 pub mod taint;
+pub mod wire;
 
 pub use error::StructuralError;
 pub use lint::{lint_source, Finding};

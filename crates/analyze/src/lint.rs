@@ -45,6 +45,11 @@ pub const RULE_NAMES: &[&str] = &[
     "nonblocking_event_loop",
     "alloc_free_kernel",
     "lock_across_blocking",
+    "wire_undeclared",
+    "wire_dead",
+    "wire_client_match",
+    "wire_router_coverage",
+    "wire_spec",
 ];
 
 /// Catalogue entry describing one rule for `--list-rules`.
@@ -106,6 +111,30 @@ pub const RULES: &[RuleInfo] = &[
         name: "lock_across_blocking",
         description: "no Blocks-effect call while a lock guard is live (ast engine, \
                       effect inference over the held-guard walk)",
+    },
+    RuleInfo {
+        name: "wire_undeclared",
+        description: "every op and error kind the code emits, routes or issues must \
+                      be declared in crates/serve/protocol.spec (ast engine, wire pass)",
+    },
+    RuleInfo {
+        name: "wire_dead",
+        description: "every declared op must be dispatched or routed and every \
+                      declared kind emitted somewhere (ast engine, wire pass)",
+    },
+    RuleInfo {
+        name: "wire_client_match",
+        description: "retryable error kinds of client-issued ops must be matched on \
+                      the consumer side, or retries silently never happen (wire pass)",
+    },
+    RuleInfo {
+        name: "wire_router_coverage",
+        description: "every declared op needs a route_of arm of the declared class; \
+                      session ops must route as session or shard pinning is lost",
+    },
+    RuleInfo {
+        name: "wire_spec",
+        description: "crates/serve/protocol.spec must exist and parse (wire pass)",
     },
 ];
 

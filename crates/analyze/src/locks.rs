@@ -187,7 +187,7 @@ fn walk_block(
                 StmtPart::Event(Event::DropVar { name, .. }) => {
                     held.retain(|h| h.guard_var.as_deref() != Some(name));
                 }
-                StmtPart::Event(Event::Index { .. } | Event::Guard { .. }) => {}
+                StmtPart::Event(Event::Index { .. } | Event::Guard { .. } | Event::Str { .. }) => {}
                 StmtPart::Event(Event::Call(call)) => match &call.target {
                     CallTarget::Method { name, recv } => {
                         if let Some(class) =

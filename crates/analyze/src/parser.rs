@@ -19,8 +19,8 @@
 //! the analyses is catalogued in DESIGN.md §10 (soundness envelope).
 
 use crate::ast::{
-    Block, CallSite, CallTarget, Event, FnDef, GuardCond, LenFact, Param, SourceFile, Stmt,
-    StmtPart, StructDef, UseImport,
+    Block, CallSite, CallTarget, ConstStr, Event, FnDef, GuardCond, LenFact, Param, SourceFile,
+    Stmt, StmtPart, StructDef, UseImport,
 };
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -278,8 +278,15 @@ impl<'src> Parser<'_, 'src> {
                         let fndef = self.parse_fn(file, self_ty, item_test);
                         file.fns.push(fndef);
                     } else {
+                        let is_const = word != "type";
                         self.bump();
+                        let start = self.pos;
                         self.skip_to_semi();
+                        if is_const && !item_test {
+                            if let Some(cs) = const_str_of(&self.toks[start..self.pos]) {
+                                file.const_strs.push(cs);
+                            }
+                        }
                     }
                 }
                 "macro_rules" => {
@@ -702,6 +709,9 @@ impl<'src> Parser<'_, 'src> {
                 TokenKind::Ident => self.scan_ident(file, &mut sc, is_test),
                 TokenKind::Str => {
                     format_captures(t.text, &mut sc.stmt.reads);
+                    if let Some(text) = decode_str_literal(t.text) {
+                        sc.push_event(Event::Str { line, text });
+                    }
                     self.bump();
                 }
                 _ => self.bump(),
@@ -1350,6 +1360,84 @@ fn format_captures(text: &str, reads: &mut Vec<String>) {
     }
 }
 
+/// Decodes a string-literal token's source text (`"…"`, `r#"…"#`,
+/// `b"…"`, `br"…"`) to its runtime value. Raw strings are copied
+/// verbatim; cooked strings unescape the simple escapes and `\x`/`\u`
+/// codes. `None` for an unterminated literal (lexer EOF recovery) —
+/// unknown escapes pass through with the backslash so the value is
+/// never silently shortened.
+fn decode_str_literal(text: &str) -> Option<String> {
+    let rest = text.strip_prefix('b').unwrap_or(text);
+    if let Some(raw) = rest.strip_prefix('r') {
+        let hashes = raw.len() - raw.trim_start_matches('#').len();
+        let body = raw[hashes..].strip_prefix('"')?;
+        let body = body.strip_suffix(&raw[..hashes])?;
+        return Some(body.strip_suffix('"')?.to_owned());
+    }
+    let body = rest.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('0') => out.push('\0'),
+            Some('x') => {
+                let hex: String = chars.by_ref().take(2).collect();
+                match u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    Some(ch) => out.push(ch),
+                    None => {
+                        out.push_str("\\x");
+                        out.push_str(&hex);
+                    }
+                }
+            }
+            Some('u') => {
+                // `\u{HEX}` — collect through the closing brace.
+                let code: String = chars.by_ref().take_while(|&ch| ch != '}').collect();
+                let hex = code.strip_prefix('{').unwrap_or(&code);
+                match u32::from_str_radix(hex, 16).ok().and_then(char::from_u32) {
+                    Some(ch) => out.push(ch),
+                    None => {
+                        out.push_str("\\u");
+                        out.push_str(&code);
+                    }
+                }
+            }
+            Some(other) => out.push(other), // `\"`, `\'`, `\\`, unknown
+            None => out.push('\\'),
+        }
+    }
+    Some(out)
+}
+
+/// Matches a `NAME : … str … = "literal" ;` token run — the body of a
+/// `const`/`static` item (keyword already consumed) — and captures it
+/// as a [`ConstStr`]. Anything else (non-string type, computed or
+/// multi-literal initializer) captures nothing.
+fn const_str_of(toks: &[Token<'_>]) -> Option<ConstStr> {
+    let name = toks.first().filter(|t| t.kind == TokenKind::Ident)?;
+    let eq = toks.iter().position(|t| t.is_punct('='))?;
+    if !toks[1..eq].iter().any(|t| t.is_ident("str")) {
+        return None;
+    }
+    let init: Vec<&Token<'_>> = toks[eq + 1..].iter().filter(|t| !t.is_punct(';')).collect();
+    let [lit] = init[..] else { return None };
+    if lit.kind != TokenKind::Str {
+        return None;
+    }
+    Some(ConstStr {
+        name: name.text.strip_prefix("r#").unwrap_or(name.text).to_owned(),
+        value: decode_str_literal(lit.text)?,
+        line: name.line,
+    })
+}
+
 /// Per-statement scanning state.
 #[derive(Default)]
 struct StmtScan {
@@ -1596,6 +1684,78 @@ mod tests {
         assert!(file.fns[0].body.is_some());
         assert_eq!(file.fns[1].qual, "Greet::bye");
         assert!(file.fns[1].body.is_none());
+    }
+
+    #[test]
+    fn string_literals_become_decoded_events() {
+        let src = r#"
+            fn f(id_txt: &str) -> String {
+                let marker = "\"kind\":\"injected\"";
+                format!("{{\"id\":{id_txt},\"ok\":true}}")
+            }
+        "#;
+        let file = parse_file("f.rs", "c", src);
+        let f = file.fns.iter().find(|f| f.name == "f").unwrap();
+        let mut strs = Vec::new();
+        collect_strs(f.body.as_ref().unwrap(), &mut strs);
+        assert_eq!(
+            strs,
+            vec![
+                "\"kind\":\"injected\"".to_owned(),
+                "{{\"id\":{id_txt},\"ok\":true}}".to_owned(),
+            ]
+        );
+    }
+
+    fn collect_strs(block: &Block, out: &mut Vec<String>) {
+        for stmt in &block.stmts {
+            for part in &stmt.parts {
+                match part {
+                    StmtPart::Event(Event::Str { text, .. }) => out.push(text.clone()),
+                    StmtPart::Block(b) => collect_strs(b, out),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raw_and_escaped_literals_decode() {
+        assert_eq!(
+            decode_str_literal(r###"r#"has "quotes""#"###).as_deref(),
+            Some(r#"has "quotes""#)
+        );
+        assert_eq!(decode_str_literal(r#""a\tb\n""#).as_deref(), Some("a\tb\n"));
+        assert_eq!(
+            decode_str_literal(r#""\x41\u{2192}""#).as_deref(),
+            Some("A→")
+        );
+        assert_eq!(decode_str_literal("\"never closed"), None);
+    }
+
+    #[test]
+    fn string_const_items_are_captured() {
+        let src = r#"
+            pub const UNKNOWN_SESSION: &str = "unknown_session";
+            const LIMIT: usize = 3;
+            const ALL: &[&str] = &["a", "b"];
+            static BANNER: &'static str = "hi";
+            #[cfg(test)]
+            const TEST_ONLY: &str = "nope";
+        "#;
+        let file = parse_file("f.rs", "c", src);
+        let got: Vec<(String, String)> = file
+            .const_strs
+            .iter()
+            .map(|c| (c.name.clone(), c.value.clone()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("UNKNOWN_SESSION".into(), "unknown_session".into()),
+                ("BANNER".into(), "hi".into()),
+            ]
+        );
     }
 
     #[test]

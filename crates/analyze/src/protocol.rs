@@ -1,0 +1,888 @@
+//! The declared wire protocol and its conformance automaton.
+//!
+//! `crates/serve/protocol.spec` declares every NDJSON frame the
+//! workspace exchanges: the op table (name, routing class, required
+//! request/response fields), the typed error-kind table, and the
+//! session lifecycle (`open → step* → stats* → close`, idempotent
+//! open). [`ProtocolSpec::parse`] reads that declaration;
+//! [`Automaton`] replays a recorded request/response trace against it
+//! and rejects the first non-conforming frame with a pinned
+//! diagnostic. The wire-schema extraction ([`crate::wire`]) checks the
+//! same declaration against what the *code* emits and matches on, so
+//! the spec is pinched from both sides: traces prove the declared
+//! behavior is live, extraction proves nothing undeclared ships.
+//!
+//! The module carries its own minimal JSON reader ([`JsonValue`]) so
+//! `oa-analyze` stays dependency-free: depending on `oa-serve::json`
+//! would pull the whole simulation stack into the lint binary.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value, just structured enough for conformance checks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integer ids round-trip exactly below 2^53).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses one JSON document, rejecting trailing garbage.
+    ///
+    /// # Errors
+    ///
+    /// A message with the byte offset of the first syntax error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| format!("bad \\u escape at offset {}", self.pos))?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        Some(&other) => out.push(other as char),
+                        None => return Err("unterminated escape".to_owned()),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 scalar: copy it whole.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "bad UTF-8 in string".to_owned())?;
+                    let ch = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// A declared typed error kind.
+#[derive(Debug, Clone)]
+pub struct KindDecl {
+    /// The wire string (`"unknown_session"`, …).
+    pub name: String,
+    /// `class=retry` — clients may retry the request verbatim.
+    pub retry: bool,
+    /// `origin=router` — the router may answer any forwarded op with
+    /// this kind, so it is allowed on every op.
+    pub router_origin: bool,
+    /// 1-based line of the declaration in the spec file.
+    pub line: u32,
+}
+
+/// One declared field of a request or response object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Marked `?` — may be absent.
+    pub optional: bool,
+}
+
+/// One declared operation.
+#[derive(Debug, Clone)]
+pub struct OpDecl {
+    /// The `op` string on the wire.
+    pub name: String,
+    /// Routing class: `local`, `key`, `scatter`, `broadcast`, `session`.
+    pub route: String,
+    /// Request fields beyond `id`/`op`.
+    pub request: Vec<Field>,
+    /// `result` object fields on success.
+    pub response: Vec<Field>,
+    /// Typed error kinds the serving node may answer with.
+    pub errors: Vec<String>,
+    /// 1-based line of the declaration in the spec file.
+    pub line: u32,
+}
+
+/// How a lifecycle transition treats the per-session step counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterRule {
+    /// Reset to zero (open).
+    Reset,
+    /// The response's `field` must equal counter+1; the counter then
+    /// advances (step).
+    Increment,
+    /// The response's `field` must equal the counter exactly
+    /// (stats/close).
+    Check,
+}
+
+/// One declared session-lifecycle transition.
+#[derive(Debug, Clone)]
+pub struct LifecycleDecl {
+    /// The transitioning op.
+    pub op: String,
+    /// `from=any` — legal in every state (idempotent open); otherwise
+    /// the session must be open.
+    pub from_any: bool,
+    /// `to=open` keeps/creates the session; `to=closed` removes it.
+    pub to_open: bool,
+    /// Counter obligation.
+    pub counter: CounterRule,
+    /// The response field the counter obligation reads.
+    pub field: Option<String>,
+}
+
+/// The parsed protocol declaration.
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolSpec {
+    /// Declared typed error kinds.
+    pub kinds: Vec<KindDecl>,
+    /// Declared operations, in declaration order.
+    pub ops: Vec<OpDecl>,
+    /// Declared lifecycle transitions.
+    pub lifecycle: Vec<LifecycleDecl>,
+}
+
+/// Splits `key=a,b,c` attribute words into `(key, values)`.
+fn attr_of(word: &str) -> Option<(&str, &str)> {
+    word.split_once('=')
+}
+
+fn parse_fields(list: &str) -> Vec<Field> {
+    list.split(',')
+        .filter(|f| !f.is_empty())
+        .map(|f| match f.strip_suffix('?') {
+            Some(name) => Field {
+                name: name.to_owned(),
+                optional: true,
+            },
+            None => Field {
+                name: f.to_owned(),
+                optional: false,
+            },
+        })
+        .collect()
+}
+
+impl ProtocolSpec {
+    /// Parses the line-oriented spec grammar (see the module docs of
+    /// `crates/serve/protocol.spec`).
+    ///
+    /// # Errors
+    ///
+    /// A `line N: …` message for the first malformed or inconsistent
+    /// declaration (unknown directive, missing attribute, `errors=`
+    /// kind or lifecycle op never declared, duplicate op).
+    pub fn parse(text: &str) -> Result<ProtocolSpec, String> {
+        let mut spec = ProtocolSpec::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let n = lineno + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let directive = words.next().unwrap_or("");
+            let name = words
+                .next()
+                .ok_or_else(|| format!("line {n}: '{directive}' needs a name"))?
+                .to_owned();
+            let attrs: Vec<(&str, &str)> = words
+                .map(|w| attr_of(w).ok_or_else(|| format!("line {n}: bad attribute '{w}'")))
+                .collect::<Result<_, _>>()?;
+            let attr = |key: &str| attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+            match directive {
+                "kind" => {
+                    let class = attr("class")
+                        .ok_or_else(|| format!("line {n}: kind '{name}' needs class="))?;
+                    if class != "retry" && class != "terminal" {
+                        return Err(format!("line {n}: kind class must be retry|terminal"));
+                    }
+                    spec.kinds.push(KindDecl {
+                        name,
+                        retry: class == "retry",
+                        router_origin: attr("origin") == Some("router"),
+                        line: n as u32,
+                    });
+                }
+                "op" => {
+                    if spec.ops.iter().any(|o| o.name == name) {
+                        return Err(format!("line {n}: duplicate op '{name}'"));
+                    }
+                    let route = attr("route")
+                        .ok_or_else(|| format!("line {n}: op '{name}' needs route="))?;
+                    if !matches!(route, "local" | "key" | "scatter" | "broadcast" | "session") {
+                        return Err(format!("line {n}: unknown route '{route}'"));
+                    }
+                    spec.ops.push(OpDecl {
+                        name,
+                        route: route.to_owned(),
+                        request: parse_fields(attr("request").unwrap_or("")),
+                        response: parse_fields(attr("response").unwrap_or("")),
+                        errors: attr("errors")
+                            .unwrap_or("")
+                            .split(',')
+                            .filter(|k| !k.is_empty())
+                            .map(str::to_owned)
+                            .collect(),
+                        line: n as u32,
+                    });
+                }
+                "lifecycle" => {
+                    let counter = match attr("counter") {
+                        Some("reset") => CounterRule::Reset,
+                        Some("increment") => CounterRule::Increment,
+                        Some("check") => CounterRule::Check,
+                        _ => return Err(format!("line {n}: lifecycle needs counter=")),
+                    };
+                    spec.lifecycle.push(LifecycleDecl {
+                        op: name,
+                        from_any: attr("from") == Some("any"),
+                        to_open: attr("to") != Some("closed"),
+                        counter,
+                        field: attr("field").map(str::to_owned),
+                    });
+                }
+                other => return Err(format!("line {n}: unknown directive '{other}'")),
+            }
+        }
+        // Cross-checks: every errors= kind and lifecycle op declared.
+        for op in &spec.ops {
+            for kind in &op.errors {
+                if !spec.kinds.iter().any(|k| &k.name == kind) {
+                    return Err(format!(
+                        "op '{}' lists undeclared error kind '{kind}'",
+                        op.name
+                    ));
+                }
+            }
+        }
+        for lc in &spec.lifecycle {
+            let Some(op) = spec.ops.iter().find(|o| o.name == lc.op) else {
+                return Err(format!("lifecycle names undeclared op '{}'", lc.op));
+            };
+            if op.route != "session" {
+                return Err(format!(
+                    "lifecycle op '{}' must have route=session, has '{}'",
+                    lc.op, op.route
+                ));
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The declared op, if any.
+    pub fn op(&self, name: &str) -> Option<&OpDecl> {
+        self.ops.iter().find(|o| o.name == name)
+    }
+
+    /// The declared kind, if any.
+    pub fn kind(&self, name: &str) -> Option<&KindDecl> {
+        self.kinds.iter().find(|k| k.name == name)
+    }
+
+    /// The lifecycle transition for an op, if any.
+    pub fn lifecycle_of(&self, op: &str) -> Option<&LifecycleDecl> {
+        self.lifecycle.iter().find(|l| l.op == op)
+    }
+}
+
+/// The accepting automaton: feeds on `(request, response)` NDJSON line
+/// pairs and rejects the first frame that violates the declaration.
+/// Per-session state lives in a `BTreeMap` keyed by session id, so one
+/// automaton replays an interleaved multi-session trace.
+#[derive(Debug)]
+pub struct Automaton<'a> {
+    spec: &'a ProtocolSpec,
+    /// Open sessions → completed-step counter.
+    sessions: BTreeMap<u64, u64>,
+    frame: usize,
+}
+
+impl<'a> Automaton<'a> {
+    /// A fresh automaton with no open sessions.
+    pub fn new(spec: &'a ProtocolSpec) -> Automaton<'a> {
+        Automaton {
+            spec,
+            sessions: BTreeMap::new(),
+            frame: 0,
+        }
+    }
+
+    /// Step counters of the currently open sessions (test inspection).
+    pub fn open_sessions(&self) -> &BTreeMap<u64, u64> {
+        &self.sessions
+    }
+
+    /// Observes one request/response pair, advancing session state.
+    ///
+    /// # Errors
+    ///
+    /// A `frame N: …` diagnostic naming the first violated obligation.
+    pub fn observe(&mut self, request: &str, response: &str) -> Result<(), String> {
+        self.frame += 1;
+        let n = self.frame;
+        let fail = |msg: String| Err(format!("frame {n}: {msg}"));
+
+        let resp = match JsonValue::parse(response) {
+            Ok(v) => v,
+            Err(e) => return fail(format!("response is not JSON ({e})")),
+        };
+        let Some(ok) = resp.get("ok").and_then(JsonValue::as_bool) else {
+            return fail("response lacks boolean 'ok'".to_owned());
+        };
+
+        // Malformed request: the envelope must be a plain error with a
+        // null id (the server could not echo what it could not parse).
+        let Ok(req) = JsonValue::parse(request) else {
+            if ok {
+                return fail("unparseable request got ok:true".to_owned());
+            }
+            if resp.get("id") != Some(&JsonValue::Null) {
+                return fail("unparseable request must echo id null".to_owned());
+            }
+            return Ok(());
+        };
+
+        if resp.get("id") != req.get("id").or(Some(&JsonValue::Null)) {
+            return fail("response id does not echo the request id".to_owned());
+        }
+
+        let Some(op_name) = req.get("op").and_then(JsonValue::as_str) else {
+            return if ok {
+                fail("request without 'op' got ok:true".to_owned())
+            } else {
+                Ok(())
+            };
+        };
+        let Some(op) = self.spec.op(op_name) else {
+            return if ok {
+                fail(format!("undeclared op '{op_name}' got ok:true"))
+            } else {
+                Ok(())
+            };
+        };
+        let op = op.clone();
+
+        if !ok {
+            return self
+                .check_error(&op, &resp)
+                .map_err(|m| format!("frame {n}: {m}"));
+        }
+
+        // A request missing a required field must not succeed.
+        for f in &op.request {
+            if !f.optional && req.get(&f.name).is_none() {
+                return fail(format!(
+                    "'{op_name}' succeeded without required request field '{}'",
+                    f.name
+                ));
+            }
+        }
+
+        let Some(result) = resp.get("result") else {
+            return fail(format!("'{op_name}' ok:true without 'result'"));
+        };
+        self.check_result(&op, result)
+            .map_err(|m| format!("frame {n}: {m}"))?;
+
+        if let Some(lc) = self.spec.lifecycle_of(op_name).cloned() {
+            let Some(session) = req.get("session").and_then(JsonValue::as_u64) else {
+                return fail(format!("'{op_name}' succeeded without a session id"));
+            };
+            self.transition(&lc, session, result)
+                .map_err(|m| format!("frame {n}: {m}"))?;
+        }
+        Ok(())
+    }
+
+    /// Checks an `ok:false` frame: plain string errors always conform;
+    /// typed errors must carry a declared kind legal for this op.
+    fn check_error(&self, op: &OpDecl, resp: &JsonValue) -> Result<(), String> {
+        match resp.get("error") {
+            Some(JsonValue::Str(_)) => Ok(()),
+            Some(err @ JsonValue::Obj(_)) => {
+                let Some(kind) = err.get("kind").and_then(JsonValue::as_str) else {
+                    return Err(format!("typed error on '{}' lacks 'kind'", op.name));
+                };
+                let Some(decl) = self.spec.kind(kind) else {
+                    return Err(format!("undeclared error kind '{kind}' on '{}'", op.name));
+                };
+                if !decl.router_origin && !op.errors.iter().any(|k| k == kind) {
+                    return Err(format!(
+                        "error kind '{kind}' is not declared for '{}'",
+                        op.name
+                    ));
+                }
+                Ok(())
+            }
+            _ => Err(format!("ok:false on '{}' without 'error'", op.name)),
+        }
+    }
+
+    /// Checks an `ok:true` result object against the declared fields;
+    /// `eval_batch` items are checked as `eval` results or typed
+    /// item errors.
+    fn check_result(&self, op: &OpDecl, result: &JsonValue) -> Result<(), String> {
+        let JsonValue::Obj(fields) = result else {
+            return Err(format!("'{}' result is not an object", op.name));
+        };
+        for f in &op.response {
+            if !f.optional && result.get(&f.name).is_none() {
+                return Err(format!(
+                    "'{}' response missing required field '{}'",
+                    op.name, f.name
+                ));
+            }
+        }
+        for (k, _) in fields {
+            if !op.response.iter().any(|f| &f.name == k) {
+                return Err(format!("'{}' response has undeclared field '{k}'", op.name));
+            }
+        }
+        if op.name == "eval_batch" {
+            let items = result
+                .get("items")
+                .and_then(JsonValue::as_arr)
+                .ok_or("'eval_batch' result lacks 'items'")?;
+            let eval = self
+                .spec
+                .op("eval")
+                .ok_or("spec does not declare 'eval' for batch items")?;
+            for (i, item) in items.iter().enumerate() {
+                if let Some(err) = item.get("error") {
+                    let kind = err
+                        .get("kind")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| format!("batch item {i} error lacks 'kind'"))?;
+                    if !op.errors.iter().any(|k| k == kind) {
+                        return Err(format!("batch item {i} has undeclared error kind '{kind}'"));
+                    }
+                } else {
+                    for f in &eval.response {
+                        if !f.optional && item.get(&f.name).is_none() {
+                            return Err(format!("batch item {i} missing eval field '{}'", f.name));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one successful lifecycle transition.
+    fn transition(
+        &mut self,
+        lc: &LifecycleDecl,
+        session: u64,
+        result: &JsonValue,
+    ) -> Result<(), String> {
+        if !lc.from_any && !self.sessions.contains_key(&session) {
+            return Err(format!(
+                "'{}' succeeded on session {session} which is not open",
+                lc.op
+            ));
+        }
+        let counter = self.sessions.get(&session).copied().unwrap_or(0);
+        let observed = lc
+            .field
+            .as_ref()
+            .and_then(|f| result.get(f).and_then(JsonValue::as_u64).map(|v| (f, v)));
+        let next = match lc.counter {
+            CounterRule::Reset => 0,
+            CounterRule::Increment => {
+                let Some((field, v)) = observed else {
+                    return Err(format!("'{}' response lacks counter field", lc.op));
+                };
+                if v != counter + 1 {
+                    return Err(format!(
+                        "'{}' session {session}: '{field}' is {v}, expected {}",
+                        lc.op,
+                        counter + 1
+                    ));
+                }
+                v
+            }
+            CounterRule::Check => {
+                let Some((field, v)) = observed else {
+                    return Err(format!("'{}' response lacks counter field", lc.op));
+                };
+                if v != counter {
+                    return Err(format!(
+                        "'{}' session {session}: '{field}' is {v}, expected {counter}",
+                        lc.op
+                    ));
+                }
+                counter
+            }
+        };
+        if lc.to_open {
+            self.sessions.insert(session, next);
+        } else {
+            self.sessions.remove(&session);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI_SPEC: &str = "\
+kind boom class=terminal
+kind busy class=retry origin=router
+op ping route=key request=payload response=echo,extra? errors=boom
+op open_session route=session request=session response=session,warm errors=
+op step route=session request=session response=session,step errors=
+op close_session route=session request=session response=session,steps errors=
+lifecycle open_session from=any to=open counter=reset
+lifecycle step from=open to=open counter=increment field=step
+lifecycle close_session from=open to=closed counter=check field=steps
+";
+
+    fn spec() -> ProtocolSpec {
+        ProtocolSpec::parse(MINI_SPEC).unwrap()
+    }
+
+    #[test]
+    fn json_round_trips_the_shapes_on_the_wire() {
+        let v =
+            JsonValue::parse(r#"{"id":1,"ok":true,"result":{"x":[1,-2.5e3],"s":"a\"b","n":null}}"#)
+                .unwrap();
+        assert_eq!(v.get("id").and_then(JsonValue::as_u64), Some(1));
+        let result = v.get("result").unwrap();
+        assert_eq!(result.get("s").and_then(JsonValue::as_str), Some("a\"b"));
+        assert_eq!(result.get("n"), Some(&JsonValue::Null));
+        assert_eq!(
+            result.get("x").and_then(JsonValue::as_arr).map(<[_]>::len),
+            Some(2)
+        );
+        assert!(JsonValue::parse("{\"a\":1} trailing").is_err());
+        assert!(JsonValue::parse("{oops").is_err());
+    }
+
+    #[test]
+    fn spec_parses_and_cross_checks() {
+        let s = spec();
+        assert_eq!(s.ops.len(), 4);
+        assert_eq!(s.op("ping").unwrap().route, "key");
+        assert!(s.op("ping").unwrap().response[1].optional);
+        assert!(s.kind("busy").unwrap().router_origin);
+        assert!(ProtocolSpec::parse("op x route=key errors=ghost").is_err());
+        assert!(ProtocolSpec::parse("lifecycle ghost counter=reset").is_err());
+        assert!(
+            ProtocolSpec::parse("op s route=key\nlifecycle s counter=reset").is_err(),
+            "lifecycle ops must route=session"
+        );
+    }
+
+    #[test]
+    fn conforming_trace_is_accepted() {
+        let s = spec();
+        let mut a = Automaton::new(&s);
+        let trace = [
+            (
+                r#"{"id":1,"op":"ping","payload":1}"#,
+                r#"{"id":1,"ok":true,"result":{"echo":1}}"#,
+            ),
+            (
+                r#"{"id":2,"op":"open_session","session":7}"#,
+                r#"{"id":2,"ok":true,"result":{"session":7,"warm":0}}"#,
+            ),
+            (
+                r#"{"id":3,"op":"step","session":7}"#,
+                r#"{"id":3,"ok":true,"result":{"session":7,"step":1}}"#,
+            ),
+            // Idempotent re-open resets the counter; replay follows.
+            (
+                r#"{"id":4,"op":"open_session","session":7}"#,
+                r#"{"id":4,"ok":true,"result":{"session":7,"warm":0}}"#,
+            ),
+            (
+                r#"{"id":5,"op":"step","session":7}"#,
+                r#"{"id":5,"ok":true,"result":{"session":7,"step":1}}"#,
+            ),
+            (
+                r#"{"id":6,"op":"close_session","session":7}"#,
+                r#"{"id":6,"ok":true,"result":{"session":7,"steps":1}}"#,
+            ),
+            // Router-origin kinds are legal on any op.
+            (
+                r#"{"id":7,"op":"ping","payload":1}"#,
+                r#"{"id":7,"ok":false,"error":{"kind":"busy"}}"#,
+            ),
+            (
+                r#"{"id":8,"op":"ping","payload":1}"#,
+                r#"{"id":8,"ok":false,"error":{"kind":"boom","detail":"d"}}"#,
+            ),
+            // Malformed and unknown requests get plain errors.
+            (
+                r#"{oops"#,
+                r#"{"id":null,"ok":false,"error":"bad request"}"#,
+            ),
+            (
+                r#"{"id":9,"op":"warp"}"#,
+                r#"{"id":9,"ok":false,"error":"unknown op"}"#,
+            ),
+        ];
+        for (req, resp) in trace {
+            a.observe(req, resp).unwrap();
+        }
+        assert!(a.open_sessions().is_empty());
+    }
+
+    #[test]
+    fn violations_are_rejected_with_pinned_diagnostics() {
+        let s = spec();
+        let cases: &[(&str, &str, &str)] = &[
+            (
+                r#"{"id":1,"op":"ping","payload":1}"#,
+                r#"{"id":1,"ok":true,"result":{}}"#,
+                "missing required field 'echo'",
+            ),
+            (
+                r#"{"id":1,"op":"ping","payload":1}"#,
+                r#"{"id":1,"ok":true,"result":{"echo":1,"ghost":2}}"#,
+                "undeclared field 'ghost'",
+            ),
+            (
+                r#"{"id":1,"op":"ping","payload":1}"#,
+                r#"{"id":2,"ok":true,"result":{"echo":1}}"#,
+                "does not echo",
+            ),
+            (
+                r#"{"id":1,"op":"ping","payload":1}"#,
+                r#"{"id":1,"ok":false,"error":{"kind":"ghost"}}"#,
+                "undeclared error kind 'ghost'",
+            ),
+            (
+                r#"{"id":1,"op":"step","session":7}"#,
+                r#"{"id":1,"ok":true,"result":{"session":7,"step":1}}"#,
+                "not open",
+            ),
+            (
+                r#"{"id":1,"op":"ping"}"#,
+                r#"{"id":1,"ok":true,"result":{"echo":1}}"#,
+                "without required request field 'payload'",
+            ),
+        ];
+        for (req, resp, needle) in cases {
+            let mut a = Automaton::new(&s);
+            let err = a.observe(req, resp).unwrap_err();
+            assert!(err.contains(needle), "{err} should contain {needle}");
+        }
+    }
+
+    #[test]
+    fn step_counter_mismatches_are_rejected() {
+        let s = spec();
+        let mut a = Automaton::new(&s);
+        a.observe(
+            r#"{"id":1,"op":"open_session","session":7}"#,
+            r#"{"id":1,"ok":true,"result":{"session":7,"warm":0}}"#,
+        )
+        .unwrap();
+        let err = a
+            .observe(
+                r#"{"id":2,"op":"step","session":7}"#,
+                r#"{"id":2,"ok":true,"result":{"session":7,"step":5}}"#,
+            )
+            .unwrap_err();
+        assert!(err.contains("'step' is 5, expected 1"), "{err}");
+    }
+}

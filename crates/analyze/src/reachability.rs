@@ -127,7 +127,7 @@ pub fn check(
                     }
                     (*line, "slice/array indexing can panic".to_owned())
                 }
-                Event::DropVar { .. } | Event::Guard { .. } => return,
+                Event::DropVar { .. } | Event::Guard { .. } | Event::Str { .. } => return,
             };
             if allowed_lines.contains(&line) {
                 return;

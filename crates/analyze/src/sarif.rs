@@ -229,6 +229,7 @@ mod tests {
             fns: 0,
             edges: 0,
             discharged: Vec::new(),
+            timings: Default::default(),
         };
         let s = to_sarif(&report);
         assert_well_formed_json(&s);

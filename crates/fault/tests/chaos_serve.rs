@@ -2,6 +2,8 @@
 //! connections, mid-frame disconnects, worker panics, per-item batch
 //! errors) a retrying client must end up with responses byte-identical
 //! to a fault-free server, and the schedule must replay exactly.
+//! Every surviving trace must additionally be *accepted* by the
+//! protocol automaton compiled from `crates/serve/protocol.spec`.
 //!
 //! Serve trials pay real timeouts for injected worker panics, so only a
 //! slice of the corpus runs here; the full corpus runs in the `oa-chaos`
@@ -10,12 +12,33 @@
 use std::fs;
 use std::path::PathBuf;
 
+use oa_analyze::protocol::{Automaton, ProtocolSpec};
 use oa_serve::chaos::{load_seed_corpus, serve_trial};
 
+/// Replays the trial's request/response pairs through the conformance
+/// automaton: what clients saw under the storm must still be the
+/// declared protocol, frame by frame.
+fn assert_conforms(seed: u64, requests: &[String], responses: &[String]) {
+    let spec = ProtocolSpec::parse(include_str!("../../serve/protocol.spec"))
+        .expect("protocol.spec must parse");
+    assert_eq!(requests.len(), responses.len(), "seed {seed}: ragged trace");
+    let mut automaton = Automaton::new(&spec);
+    for (req, resp) in requests.iter().zip(responses) {
+        automaton.observe(req, resp).unwrap_or_else(|e| {
+            panic!("seed {seed}: trace violates protocol.spec: {e}\n  > {req}\n  < {resp}")
+        });
+    }
+}
+
+/// The corpus head by default; the whole corpus under `OA_CHAOS_FULL=1`
+/// (the CI chaos job sets it, so every pinned seed's trace goes through
+/// the conformance automaton there).
 fn corpus_head(n: usize) -> Vec<u64> {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/seeds/chaos.txt");
     let mut seeds = load_seed_corpus(&path).expect("pinned seed corpus must parse");
-    seeds.truncate(n);
+    if std::env::var_os("OA_CHAOS_FULL").is_none() {
+        seeds.truncate(n);
+    }
     seeds
 }
 
@@ -40,6 +63,7 @@ fn responses_survive_the_serve_storm_byte_identically() {
             trial.stats.injected > 0,
             "seed {seed}: the storm must inject for the invariant to mean anything"
         );
+        assert_conforms(seed, &trial.requests, &trial.responses);
     }
     let _ = fs::remove_dir_all(&dir);
 }

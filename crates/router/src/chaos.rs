@@ -65,6 +65,9 @@ fn trial_client_config() -> ClientConfig {
 pub struct RouterTrial {
     /// The seed the router's fault plan ran under.
     pub seed: u64,
+    /// The request lines, in issue order (paired with `responses` —
+    /// protocol-conformance replays feed on the pairs).
+    pub requests: Vec<String>,
     /// Responses from the faulty fabric, in request order.
     pub responses: Vec<String>,
     /// Whether every response byte-matches the fault-free baseline —
@@ -133,6 +136,22 @@ fn restart_shard(addr: &str, store_dir: &Path, index: u32) -> io::Result<Server>
 /// Bind/store failures outside the injected schedule, or a request
 /// still failing after the client's bounded retry budget.
 pub fn router_trial(dir: &Path, seed: u64) -> io::Result<RouterTrial> {
+    router_trial_opts(dir, seed, true)
+}
+
+/// [`router_trial`] with the mid-corpus shard kill made optional.
+///
+/// With `kill: false` the trial is the pure router storm — no process
+/// death, so the event loop consults the fault schedule the same number
+/// of times every run and `trace_hash` *is* a cross-run invariant
+/// (asserted in tests; the kill variant only gets byte-identity, see
+/// the module docs).
+///
+/// # Errors
+///
+/// Bind/store failures outside the injected schedule, or a request
+/// still failing after the client's bounded retry budget.
+pub fn router_trial_opts(dir: &Path, seed: u64, kill: bool) -> io::Result<RouterTrial> {
     let requests = trial_requests(seed);
 
     // Baseline: fault-free fabric, plain client, serial requests.
@@ -155,7 +174,7 @@ pub fn router_trial(dir: &Path, seed: u64) -> io::Result<RouterTrial> {
     let mut client = Client::connect_with(fabric.router.addr(), trial_client_config())?;
     let mut responses = Vec::with_capacity(requests.len());
     for (i, line) in requests.iter().enumerate() {
-        if i == kill_at {
+        if kill && i == kill_at {
             // Kill shard 0 between requests: its router link and store
             // go dark at once; in-flight state is empty (serial client)
             // so what this exercises is routing around the hole and the
@@ -174,6 +193,7 @@ pub fn router_trial(dir: &Path, seed: u64) -> io::Result<RouterTrial> {
     let matches_baseline = responses == baseline;
     Ok(RouterTrial {
         seed,
+        requests,
         responses,
         matches_baseline,
         trace_hash: faults.trace_hash(),
@@ -189,6 +209,9 @@ const SESSION_STEPS: usize = 5;
 pub struct SessionTrial {
     /// The seed the fault plans ran under.
     pub seed: u64,
+    /// The logical request lines, in issue order (open, steps, stats,
+    /// close — paired with `responses` for conformance replays).
+    pub requests: Vec<String>,
     /// The session's logical response stream from the faulty fabric
     /// (open, steps, stats, close — after driver-side retries/replays).
     pub responses: Vec<String>,
@@ -293,8 +316,14 @@ pub fn session_trial(dir: &Path, seed: u64) -> io::Result<SessionTrial> {
     fabric.shutdown();
 
     let matches_baseline = responses == baseline;
+    let mut requests = Vec::with_capacity(steps.len() + 3);
+    requests.push(open);
+    requests.extend(steps);
+    requests.push(stats);
+    requests.push(close);
     Ok(SessionTrial {
         seed,
+        requests,
         responses,
         matches_baseline,
         router_stats: router_faults.stats(),
@@ -331,5 +360,25 @@ mod tests {
         );
         assert!(trial.stats.injected > 0, "storm must inject");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_kill_trial_trace_hash_is_a_cross_run_invariant() {
+        // Without a process kill there is no EOF race: the event loop
+        // consults the schedule identically every run, so the decision
+        // trace (not just the bytes) must replay.
+        let dir_a = temp_dir("nokill_a");
+        let dir_b = temp_dir("nokill_b");
+        let a = router_trial_opts(&dir_a, 7, false).unwrap();
+        let b = router_trial_opts(&dir_b, 7, false).unwrap();
+        assert!(a.matches_baseline, "{:?}", a.responses);
+        assert!(b.matches_baseline, "{:?}", b.responses);
+        assert_eq!(
+            a.trace_hash, b.trace_hash,
+            "decision trace diverged across runs"
+        );
+        assert_eq!(a.requests, b.requests);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
     }
 }

@@ -40,6 +40,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use oa_fault::{Decision, Faults, Site};
+use oa_serve::wire_kinds::{OVERLOADED, UNAVAILABLE};
 use oa_serve::{error_response, Json};
 
 use crate::frame;
@@ -156,6 +157,47 @@ pub struct RouterState {
     next_sub: u64,
     /// Pre-computed keys-per-shard census for `shard_map`.
     census: Vec<u64>,
+}
+
+/// How one declared op travels through the fabric. The classes mirror
+/// the `route=` attribute in `crates/serve/protocol.spec`; the
+/// `oa_lint wire` pass extracts [`route_of`] and cross-checks the two
+/// tables in both directions (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    /// Answered by the router itself; no shard is consulted.
+    Local,
+    /// Forwarded whole to one shard, keyed by topology id (falling
+    /// back to a hash of the raw line).
+    Key,
+    /// Split per item and scattered across shards; the responses are
+    /// spliced back into one frame.
+    Scatter,
+    /// Sent to every shard; the responses are merged.
+    Broadcast,
+    /// Forwarded whole to the one shard that owns the session id —
+    /// sticky pinning, the anti-fork obligation of DESIGN.md §13.
+    Session,
+    /// Not a declared op: forwarded whole so a shard can answer with
+    /// its canonical error bytes.
+    Unknown,
+}
+
+/// The routing table: one arm per declared op. Client dispatch is
+/// driven off this classification, so the match below *is* the
+/// fabric's op coverage — adding an op to oa-serve without extending
+/// it fails the `wire_router_coverage` lint rule, which is exactly how
+/// a session fork is born.
+fn route_of(op: &str) -> Route {
+    match op {
+        "shard_map" => Route::Local,
+        "eval" => Route::Key,
+        "size_opt" => Route::Key,
+        "eval_batch" => Route::Scatter,
+        "stats" => Route::Broadcast,
+        "open_session" | "step" | "session_stats" | "close_session" => Route::Session,
+        _ => Route::Unknown,
+    }
 }
 
 /// A running router. Dropping it (or [`Router::shutdown`]) stops the
@@ -411,19 +453,20 @@ impl RouterState {
         let id_txt = id.encode().unwrap_or_else(|_| "null".to_owned());
 
         if self.pending.len() >= self.max_inflight {
-            let frame = Self::typed_failure(&id_txt, "overloaded");
+            let frame = Self::typed_failure(&id_txt, OVERLOADED);
             self.respond(client, &frame);
             return;
         }
 
-        match request.get("op").and_then(Json::as_str) {
-            Some("shard_map") => {
+        let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+        match route_of(op) {
+            Route::Local => {
                 let frame = self.shard_map_response(&id_txt);
                 self.respond(client, &frame);
             }
-            Some("stats") => self.broadcast_stats(client, line, &request, id_txt),
-            Some("eval_batch") => self.scatter_batch(client, line, &request, id_txt),
-            Some("open_session" | "step" | "session_stats" | "close_session") => {
+            Route::Broadcast => self.broadcast_stats(client, line, &request, id_txt),
+            Route::Scatter => self.scatter_batch(client, line, &request, id_txt),
+            Route::Session => {
                 // Sticky session pinning: the session id is the ring
                 // key, so every op of one session lands on the same
                 // shard — the one holding its BO state. The fallback
@@ -435,7 +478,7 @@ impl RouterState {
                     .unwrap_or_else(|| Self::line_key(line));
                 self.forward_single(client, line, key, id_txt);
             }
-            _ => {
+            Route::Key | Route::Unknown => {
                 // eval, size_opt, and every malformed-but-parseable
                 // request a shard must count and answer.
                 let key = Self::topology_key(request.get("topology"))
@@ -511,7 +554,7 @@ impl RouterState {
             .next()
             .or_else(|| self.ring.route_excluding(Self::line_key(line), &down));
         let Some(default_shard) = default_shard else {
-            let frame = Self::typed_failure(&id_txt, "unavailable");
+            let frame = Self::typed_failure(&id_txt, UNAVAILABLE);
             self.respond(client, &frame);
             return;
         };
@@ -658,7 +701,7 @@ impl RouterState {
                             match self.ring.route(key) {
                                 Some(s) => s,
                                 None => {
-                                    self.fail_sub(sub_id, "unavailable");
+                                    self.fail_sub(sub_id, UNAVAILABLE);
                                     return;
                                 }
                             }
@@ -684,7 +727,7 @@ impl RouterState {
                 }
                 // Pinned parts cannot move; fail now.
                 if self.subs.get(&sub_id).is_some_and(|s| s.key.is_none()) {
-                    self.fail_sub(sub_id, "unavailable");
+                    self.fail_sub(sub_id, UNAVAILABLE);
                     return;
                 }
                 // Routable parts re-walk the ring next iteration; if
@@ -716,7 +759,7 @@ impl RouterState {
         };
         sub.resends += 1;
         if sub.resends > self.max_resend {
-            self.fail_sub(sub_id, "unavailable");
+            self.fail_sub(sub_id, UNAVAILABLE);
             return false;
         }
         true
@@ -763,7 +806,7 @@ impl RouterState {
             if pinned {
                 // A stats part is this shard's own state; no stand-in
                 // can answer for it.
-                self.fail_sub(sub_id, "unavailable");
+                self.fail_sub(sub_id, UNAVAILABLE);
             } else if self.consume_resend(sub_id) {
                 self.dispatch(sub_id);
             }
@@ -861,7 +904,7 @@ impl RouterState {
                             if finished {
                                 let texts: Vec<String> = parts.iter().flatten().cloned().collect();
                                 let frame = merge_stats(&id_txt, &texts, *breakdown)
-                                    .unwrap_or_else(|| Self::typed_failure(&id_txt, "unavailable"));
+                                    .unwrap_or_else(|| Self::typed_failure(&id_txt, UNAVAILABLE));
                                 (client, Some(frame), true)
                             } else {
                                 (client, None, false)

@@ -8,12 +8,30 @@
 //! Trials pay real kill/restart latency, so only the corpus head runs
 //! by default; set `OA_CHAOS_FULL=1` for the whole corpus (the CI chaos
 //! job does), or `OA_CHAOS_SEED=<N>` to replay one seed.
+//!
+//! Besides byte-identity, every surviving trace must be accepted by the
+//! protocol automaton compiled from `crates/serve/protocol.spec` — the
+//! fabric may reroute and resend under the storm, but what clients see
+//! must still be the declared protocol.
 
 use std::fs;
 use std::path::PathBuf;
 
+use oa_analyze::protocol::{Automaton, ProtocolSpec};
 use oa_router::chaos::router_trial;
 use oa_serve::chaos::load_seed_corpus;
+
+fn assert_conforms(seed: u64, requests: &[String], responses: &[String]) {
+    let spec = ProtocolSpec::parse(include_str!("../../serve/protocol.spec"))
+        .expect("protocol.spec must parse");
+    assert_eq!(requests.len(), responses.len(), "seed {seed}: ragged trace");
+    let mut automaton = Automaton::new(&spec);
+    for (req, resp) in requests.iter().zip(responses) {
+        automaton.observe(req, resp).unwrap_or_else(|e| {
+            panic!("seed {seed}: trace violates protocol.spec: {e}\n  > {req}\n  < {resp}")
+        });
+    }
+}
 
 fn corpus() -> Vec<u64> {
     if let Some(seed) = std::env::var("OA_CHAOS_SEED")
@@ -52,6 +70,7 @@ fn corpus_seeds_recover_byte_identically_through_shard_kill() {
             trial.stats.injected > 0,
             "seed {seed}: the storm must inject for the invariant to mean anything"
         );
+        assert_conforms(seed, &trial.requests, &trial.responses);
     }
     let _ = fs::remove_dir_all(&dir);
 }

@@ -192,6 +192,9 @@ pub fn store_trial(dir: &Path, seed: u64) -> io::Result<StoreTrial> {
 pub struct ServeTrial {
     /// The seed the fault plan ran under.
     pub seed: u64,
+    /// The request lines, in issue order (paired with `responses` —
+    /// protocol-conformance replays feed on the pairs).
+    pub requests: Vec<String>,
     /// Responses from the faulty server, in request order.
     pub responses: Vec<String>,
     /// Whether every response byte-matches the fault-free baseline —
@@ -268,7 +271,8 @@ pub fn serve_trial(dir: &Path, seed: u64) -> io::Result<ServeTrial> {
             // not the final answer: re-request until the schedule lets
             // the batch through clean, then demand byte-identity.
             let mut attempts = 1usize;
-            while response.contains("\"kind\":\"injected\"") && attempts < MAX_BATCH_ATTEMPTS {
+            let injected_marker = format!("\"kind\":\"{}\"", crate::wire_kinds::INJECTED);
+            while response.contains(&injected_marker) && attempts < MAX_BATCH_ATTEMPTS {
                 attempts += 1;
                 response = client.request_with_retry(line)?;
             }
@@ -281,6 +285,7 @@ pub fn serve_trial(dir: &Path, seed: u64) -> io::Result<ServeTrial> {
     let matches_baseline = responses == baseline;
     Ok(ServeTrial {
         seed,
+        requests: requests.into_iter().map(|(line, _)| line).collect(),
         responses,
         matches_baseline,
         trace_hash: faults.trace_hash(),

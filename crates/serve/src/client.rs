@@ -17,6 +17,7 @@ use std::time::Duration;
 use oa_fault::RetryPolicy;
 
 use crate::json::Json;
+use crate::wire_kinds::{INJECTED, UNAVAILABLE, UNKNOWN_SESSION};
 
 /// Client resilience parameters.
 #[derive(Debug, Clone)]
@@ -330,7 +331,7 @@ impl SessionDriver {
             let response = client.request_with_retry(line)?;
             if !matches!(
                 Self::error_kind(&response).as_deref(),
-                Some("injected" | "unavailable")
+                Some(INJECTED | UNAVAILABLE)
             ) {
                 return Ok(response);
             }
@@ -424,7 +425,7 @@ impl SessionDriver {
         loop {
             let response = Self::send_past_faults(client, line, attempts)?;
             if self.open_line.is_some()
-                && (Self::error_kind(&response).as_deref() == Some("unknown_session")
+                && (Self::error_kind(&response).as_deref() == Some(UNKNOWN_SESSION)
                     || self.is_stale(&response))
             {
                 self.replay(client, attempts)?;

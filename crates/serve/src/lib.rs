@@ -49,6 +49,7 @@ pub mod json;
 mod server;
 mod service;
 mod session;
+pub mod wire_kinds;
 
 pub use client::{request, resolve, Client, ClientConfig, SessionDriver};
 pub use json::{Json, JsonError};

@@ -71,28 +71,28 @@ impl OpError {
 
     pub(crate) fn unknown_session(session: u64) -> OpError {
         OpError::Typed {
-            kind: "unknown_session",
+            kind: crate::wire_kinds::UNKNOWN_SESSION,
             detail: format!("session {session} is not open on this node"),
         }
     }
 
     pub(crate) fn session_limit(limit: usize) -> OpError {
         OpError::Typed {
-            kind: "session_limit",
+            kind: crate::wire_kinds::SESSION_LIMIT,
             detail: format!("session limit reached ({limit} open)"),
         }
     }
 
     pub(crate) fn spec_invalid(detail: impl Into<String>) -> OpError {
         OpError::Typed {
-            kind: "spec_invalid",
+            kind: crate::wire_kinds::SPEC_INVALID,
             detail: detail.into(),
         }
     }
 
     pub(crate) fn injected(detail: impl Into<String>) -> OpError {
         OpError::Typed {
-            kind: "injected",
+            kind: crate::wire_kinds::INJECTED,
             detail: detail.into(),
         }
     }

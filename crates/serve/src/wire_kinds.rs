@@ -1,0 +1,88 @@
+//! Canonical wire error-kind strings — the one definition site.
+//!
+//! Every typed error frame on the wire carries
+//! `{"error":{"kind":K,...}}` where `K` is one of the constants below.
+//! Emitters (the session manager's `OpError`, the router's typed
+//! failure frames) and matchers (the [`crate::SessionDriver`] retry
+//! policy, chaos harnesses) all name the constant instead of repeating
+//! the literal, so the `oa_lint wire` extraction pass (DESIGN.md §14)
+//! can resolve each site back to this table and the declared protocol
+//! spec (`crates/serve/protocol.spec`) has exactly one code mirror.
+//!
+//! The per-item batch kinds are defined by
+//! [`into_oa::EvalErrorKind::code`] — `into-oa` sits below this crate,
+//! so the strings live there; the `kinds_agree_with_core` test pins
+//! the two tables together.
+
+/// A session op named a session id that is not open on this node.
+/// Retryable through the [`crate::SessionDriver`]: the driver replays
+/// its recorded prefix into the (restarted, state-less) owner.
+pub const UNKNOWN_SESSION: &str = "unknown_session";
+
+/// `open_session` refused: the per-node cap on concurrently open
+/// sessions is reached. Terminal for the request.
+pub const SESSION_LIMIT: &str = "session_limit";
+
+/// `open_session` refused: the `specs` list is missing, empty,
+/// duplicated, oversized, or names an unknown spec. Terminal.
+pub const SPEC_INVALID: &str = "spec_invalid";
+
+/// A deterministic fault-injection plan failed the request on purpose.
+/// Retryable: resending without the plan firing succeeds.
+pub const INJECTED: &str = "injected";
+
+/// The item itself is malformed (per-item `eval_batch` errors; must
+/// equal [`into_oa::EvalErrorKind::BadRequest`]'s code). Terminal.
+pub const BAD_REQUEST: &str = "bad_request";
+
+/// The circuit elaborated but simulation failed (per-item `eval_batch`
+/// errors; must equal [`into_oa::EvalErrorKind::Sim`]'s code). Terminal.
+pub const SIM: &str = "sim";
+
+/// An unexpected server-side failure (per-item `eval_batch` errors;
+/// must equal [`into_oa::EvalErrorKind::Internal`]'s code). Retryable.
+pub const INTERNAL: &str = "internal";
+
+/// Router-originated: the in-flight window is full; the request was
+/// shed before any shard saw it. Retryable after backoff.
+pub const OVERLOADED: &str = "overloaded";
+
+/// Router-originated: no live shard could take the request within the
+/// failover budget. Retryable through the [`crate::SessionDriver`].
+pub const UNAVAILABLE: &str = "unavailable";
+
+/// Every kind a client can observe, in wire-stable order: serve session
+/// kinds, per-item batch kinds, then router fabric kinds.
+pub const ALL: &[&str] = &[
+    UNKNOWN_SESSION,
+    SESSION_LIMIT,
+    SPEC_INVALID,
+    INJECTED,
+    BAD_REQUEST,
+    SIM,
+    INTERNAL,
+    OVERLOADED,
+    UNAVAILABLE,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use into_oa::EvalErrorKind;
+
+    #[test]
+    fn kinds_agree_with_core() {
+        assert_eq!(EvalErrorKind::BadRequest.code(), BAD_REQUEST);
+        assert_eq!(EvalErrorKind::Sim.code(), SIM);
+        assert_eq!(EvalErrorKind::Injected.code(), INJECTED);
+        assert_eq!(EvalErrorKind::Internal.code(), INTERNAL);
+    }
+
+    #[test]
+    fn table_is_duplicate_free() {
+        let mut sorted = ALL.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ALL.len());
+    }
+}

@@ -1,0 +1,131 @@
+//! Trace conformance: the golden NDJSON fixture must be *accepted* by
+//! the automaton compiled from `protocol.spec`, and seeded mutations of
+//! the fixture must be *rejected* with the pinned diagnostic for the
+//! obligation they break.
+//!
+//! This is the dynamic half of the wire-conformance gate: the static
+//! half (`oa_lint wire --check`, `crates/analyze/tests/wire_snapshot.rs`)
+//! proves the code emits and matches only declared frames; this file
+//! proves the declared lifecycle and field contracts hold on real
+//! recorded traffic. The chaos corpora get the same treatment in
+//! `crates/router/tests/chaos_*.rs` and `crates/fault/tests/chaos_serve.rs`.
+
+use oa_analyze::protocol::{Automaton, ProtocolSpec};
+
+const SPEC_TEXT: &str = include_str!("../protocol.spec");
+const GOLDEN: &str = include_str!("golden/protocol.txt");
+
+fn spec() -> ProtocolSpec {
+    ProtocolSpec::parse(SPEC_TEXT).expect("protocol.spec must parse")
+}
+
+/// Splits the fixture's `> request` / `< response` lines into pairs.
+fn parse_pairs(text: &str) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    let mut pending: Option<String> = None;
+    for line in text.lines() {
+        if let Some(req) = line.strip_prefix("> ") {
+            assert!(pending.is_none(), "two consecutive requests in fixture");
+            pending = Some(req.to_owned());
+        } else if let Some(resp) = line.strip_prefix("< ") {
+            let req = pending.take().expect("response without a request");
+            pairs.push((req, resp.to_owned()));
+        }
+    }
+    assert!(pending.is_none(), "trailing unanswered request in fixture");
+    pairs
+}
+
+fn replay(pairs: &[(String, String)]) -> Result<(), String> {
+    let s = spec();
+    let mut a = Automaton::new(&s);
+    for (req, resp) in pairs {
+        a.observe(req, resp)?;
+    }
+    Ok(())
+}
+
+#[test]
+fn golden_fixture_is_accepted_by_the_spec_automaton() {
+    let pairs = parse_pairs(GOLDEN);
+    assert!(
+        pairs.len() > 20,
+        "fixture unexpectedly small: {}",
+        pairs.len()
+    );
+    let s = spec();
+    let mut a = Automaton::new(&s);
+    for (req, resp) in &pairs {
+        a.observe(req, resp).unwrap_or_else(|e| {
+            panic!("golden fixture violates protocol.spec: {e}\n  > {req}\n  < {resp}")
+        });
+    }
+    // The fixture ends with sessions 42 and 43 still open (40 and 41
+    // were closed) — the automaton must have tracked that.
+    let open: Vec<u64> = a.open_sessions().keys().copied().collect();
+    assert_eq!(open, vec![42, 43]);
+}
+
+/// Replays the fixture with its first occurrence of `from` replaced by
+/// `to`, returning the rejection diagnostic.
+fn mutated_rejection(from: &str, to: &str) -> String {
+    let mutated = GOLDEN.replacen(from, to, 1);
+    assert_ne!(
+        mutated, GOLDEN,
+        "mutation site '{from}' must exist in the fixture"
+    );
+    replay(&parse_pairs(&mutated)).expect_err("mutated fixture must be rejected")
+}
+
+#[test]
+fn dropped_response_field_is_rejected() {
+    // First `step` response loses its required `phase` field.
+    let err = mutated_rejection("\"phase\":", "\"phaze\":");
+    assert!(
+        err.contains("'step' response missing required field 'phase'"),
+        "{err}"
+    );
+}
+
+#[test]
+fn renamed_op_is_rejected() {
+    // First eval request claims an op the spec never declared, yet the
+    // response still succeeds.
+    let err = mutated_rejection("\"op\":\"eval\"", "\"op\":\"warp\"");
+    assert!(err.contains("undeclared op 'warp' got ok:true"), "{err}");
+}
+
+#[test]
+fn swapped_error_kind_is_rejected() {
+    // The step-on-unknown-session typed error answers with a kind
+    // outside the declared table.
+    let err = mutated_rejection("\"kind\":\"unknown_session\"", "\"kind\":\"ghost\"");
+    assert!(err.contains("undeclared error kind 'ghost'"), "{err}");
+}
+
+#[test]
+fn step_counter_skip_is_rejected() {
+    // The first step answers `step:5` where the lifecycle obliges 1.
+    let err = mutated_rejection("\"step\":1,", "\"step\":5,");
+    assert!(err.contains("'step' is 5, expected 1"), "{err}");
+}
+
+#[test]
+fn reordered_open_and_step_is_rejected() {
+    // Swap the open_session(40) pair with the step that follows it: the
+    // step now succeeds on a session that was never opened — exactly the
+    // fork the lifecycle declaration exists to catch.
+    let mut pairs = parse_pairs(GOLDEN);
+    let open_at = pairs
+        .iter()
+        .position(|(req, _)| req.contains("\"id\":12,"))
+        .expect("open_session(40) pair");
+    assert!(pairs[open_at].0.contains("\"op\":\"open_session\""));
+    assert!(pairs[open_at + 1].0.contains("\"op\":\"step\""));
+    pairs.swap(open_at, open_at + 1);
+    let err = replay(&pairs).expect_err("reordered lifecycle must be rejected");
+    assert!(
+        err.contains("'step' succeeded on session 40 which is not open"),
+        "{err}"
+    );
+}

@@ -10,9 +10,10 @@
 #      snapshots still carry the keys the benches emit, so a bench rename
 #      cannot drift away from the recorded numbers unnoticed;
 #   3. run `oa_lint --engine=ast --timings` and assert the stderr timing
-#      line still parses (engine/files/fns/edges/discharged/elapsed_ms),
-#      and that the committed BENCH_lint.json snapshot carries the same
-#      fields.
+#      line still parses (engine/files/fns/edges/discharged plus the
+#      per-pass parse_ms/callgraph_ms/ranges_ms/effects_ms/wire_ms and
+#      total elapsed_ms), and that the committed BENCH_lint.json
+#      snapshot carries the same fields.
 #
 # This is a schema/liveness gate, not a perf gate: CI machines are too
 # noisy to compare nanoseconds against the snapshots.
@@ -80,14 +81,14 @@ cargo run -q -p oa-analyze --bin oa_lint -- --engine=ast --timings \
     echo "FAIL: oa_lint --engine=ast reported findings or did not run" >&2
     exit 1
 }
-if ! grep -Eq 'engine=ast files=[0-9]+ fns=[0-9]+ edges=[0-9]+ discharged=[0-9]+ elapsed_ms=[0-9]+' "$OUT/lint.err"; then
+if ! grep -Eq 'engine=ast files=[0-9]+ fns=[0-9]+ edges=[0-9]+ discharged=[0-9]+ parse_ms=[0-9]+ callgraph_ms=[0-9]+ ranges_ms=[0-9]+ effects_ms=[0-9]+ wire_ms=[0-9]+ elapsed_ms=[0-9]+' "$OUT/lint.err"; then
     cat "$OUT/lint.err" >&2
     echo "FAIL: oa_lint --timings stderr line lost its schema" >&2
     exit 1
 fi
 
 [ -f BENCH_lint.json ] || { echo "FAIL: missing snapshot BENCH_lint.json" >&2; exit 1; }
-for key in files fns edges discharged elapsed_ms timing_line; do
+for key in files fns edges discharged parse_ms callgraph_ms ranges_ms effects_ms wire_ms elapsed_ms timing_line; do
     if ! grep -q "\"$key\"" BENCH_lint.json; then
         echo "FAIL: snapshot BENCH_lint.json lost key '$key'" >&2
         exit 1
